@@ -1,0 +1,315 @@
+//! DPGCN — the LinkTeller defense baselines (Wu et al., IEEE S&P 2022):
+//! perturb the adjacency matrix under edge-DP, then train an ordinary GCN on
+//! the perturbed graph.
+//!
+//! Two mechanisms:
+//!
+//! - **EdgeRand**: randomized response on every potential edge (ε-DP). The
+//!   expected number of flipped non-edges is `(1 − e^ε/(1+e^ε)) · N₀`, which
+//!   densifies large graphs catastrophically — exactly the failure mode the
+//!   GCON paper describes.
+//! - **LapGraph**: add `Lap(1/ε₁)` to every adjacency cell, privately
+//!   estimate the edge count with ε₂ = 0.1ε, and keep the top-|Ẽ| cells.
+//!
+//! Both are implemented by *sampling the mechanism's outcome* instead of
+//! materializing the dense `n × n` matrix: the survivor count among the N₁
+//! true edges and the N₀ non-edges are Binomial draws with the exact
+//! per-cell probabilities, and surviving non-edges are placed uniformly.
+//! This is distribution-identical to the naive implementation (cell values
+//! are i.i.d. given the threshold; ties have measure zero) and runs in
+//! O(|E| + kept) memory.
+
+use crate::gcn::{train_gcn_on_adjacency, Gcn, GcnConfig};
+use gcon_graph::normalize::symmetric;
+use gcon_graph::Graph;
+use gcon_linalg::Mat;
+use rand::Rng;
+
+/// Which LinkTeller perturbation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DpgcnMechanism {
+    /// Randomized response on every cell. Only viable for small graphs.
+    EdgeRand,
+    /// Laplace + top-k thresholding. The practical variant.
+    LapGraph,
+}
+
+/// Samples Binomial(n, p) using the right tool per regime: exact Bernoulli
+/// loop for small n, Poisson limit for rare events, normal approximation for
+/// the bulk (n here reaches ~10⁸ cell pairs).
+pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "sample_binomial: p out of range");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    let nf = n as f64;
+    let mean = nf * p;
+    let var = nf * p * (1.0 - p);
+    if n <= 1024 {
+        return (0..n).filter(|_| rng.gen::<f64>() < p).count() as u64;
+    }
+    if mean <= 30.0 {
+        return sample_poisson(mean, rng).min(n);
+    }
+    if nf - mean <= 30.0 {
+        return n - sample_poisson(nf - mean, rng).min(n);
+    }
+    let z = gcon_linalg::vecops::sample_std_normal(rng);
+    let draw = (mean + z * var.sqrt()).round();
+    draw.clamp(0.0, nf) as u64
+}
+
+/// Knuth-style Poisson sampler in log space (stable for λ up to ~700; we
+/// only call it for λ ≤ 30).
+fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // overflow guard; unreachable for λ ≤ 30
+        }
+    }
+}
+
+/// Chooses `k` distinct random non-edges (u < v, not in `g`).
+fn sample_non_edges<R: Rng + ?Sized>(g: &Graph, k: u64, rng: &mut R) -> Vec<(u32, u32)> {
+    let n = g.num_nodes() as u32;
+    let mut out = Vec::with_capacity(k as usize);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0u64;
+    let budget = k.saturating_mul(50) + 1000;
+    while (out.len() as u64) < k && attempts < budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if g.has_edge(key.0, key.1) || !seen.insert(key) {
+            continue;
+        }
+        out.push(key);
+    }
+    out
+}
+
+/// EdgeRand: randomized response with budget ε on each of the `n(n−1)/2`
+/// unordered cells.
+pub fn perturb_edgerand<R: Rng + ?Sized>(g: &Graph, eps: f64, rng: &mut R) -> Graph {
+    let keep = gcon_dp::mechanisms::randomized_response_keep_prob(eps);
+    let n = g.num_nodes() as u64;
+    let n_pairs = n * (n - 1) / 2;
+    let n1 = g.num_edges() as u64;
+    let n0 = n_pairs - n1;
+
+    let mut out = Graph::empty(g.num_nodes());
+    // Survivors among true edges.
+    let kept_ones = sample_binomial(n1, keep, rng);
+    let edges = g.edges();
+    for &(u, v) in choose_k(&edges, kept_ones as usize, rng).iter() {
+        out.add_edge(u, v);
+    }
+    // Flipped non-edges.
+    let flipped_zeros = sample_binomial(n0, 1.0 - keep, rng);
+    for (u, v) in sample_non_edges(g, flipped_zeros, rng) {
+        out.add_edge(u, v);
+    }
+    out
+}
+
+/// LapGraph: Laplace perturbation + private top-|Ẽ| thresholding.
+/// Splits the budget 0.9/0.1 between cells and the edge-count estimate.
+pub fn perturb_lapgraph<R: Rng + ?Sized>(g: &Graph, eps: f64, rng: &mut R) -> Graph {
+    assert!(eps > 0.0);
+    let eps_cells = 0.9 * eps;
+    let eps_count = 0.1 * eps;
+    let n = g.num_nodes() as u64;
+    let n_pairs = (n * (n - 1) / 2) as f64;
+    let n1 = g.num_edges() as f64;
+    let n0 = n_pairs - n1;
+
+    // Private edge count (sensitivity 1).
+    let noisy_count = (n1 + gcon_dp::mechanisms::sample_laplace(1.0 / eps_count, rng))
+        .clamp(0.0, n_pairs);
+
+    // P(cell survives threshold T): Laplace tail probabilities.
+    let p_zero = |t: f64| -> f64 {
+        // cell value = Lap(1/ε); P(Lap > t) for t ≥ 0.
+        0.5 * (-eps_cells * t.max(0.0)).exp()
+    };
+    let p_one = |t: f64| -> f64 {
+        // cell value = 1 + Lap(1/ε).
+        if t <= 1.0 {
+            1.0 - 0.5 * (-eps_cells * (1.0 - t)).exp()
+        } else {
+            0.5 * (-eps_cells * (t - 1.0)).exp()
+        }
+    };
+    let expected = |t: f64| n1 * p_one(t) + n0 * p_zero(t);
+
+    // Bisection for the threshold hitting the private count.
+    let mut lo = 0.0;
+    let mut hi = 1.0 + 60.0 / eps_cells;
+    if expected(lo) <= noisy_count {
+        // Even threshold 0 keeps too few (tiny target) — keep everything at 0.
+        hi = 0.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) > noisy_count {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let t = 0.5 * (lo + hi);
+
+    let mut out = Graph::empty(g.num_nodes());
+    let kept_ones = sample_binomial(g.num_edges() as u64, p_one(t), rng);
+    let edges = g.edges();
+    for &(u, v) in choose_k(&edges, kept_ones as usize, rng).iter() {
+        out.add_edge(u, v);
+    }
+    let kept_zeros = sample_binomial(n0 as u64, p_zero(t), rng);
+    for (u, v) in sample_non_edges(g, kept_zeros, rng) {
+        out.add_edge(u, v);
+    }
+    out
+}
+
+/// Uniformly chooses `k` items (partial Fisher–Yates).
+fn choose_k<T: Copy, R: Rng + ?Sized>(items: &[T], k: usize, rng: &mut R) -> Vec<T> {
+    let mut pool: Vec<T> = items.to_vec();
+    let k = k.min(pool.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// The full DPGCN baseline: perturb, then train a GCN on the noisy graph.
+#[allow(clippy::too_many_arguments)] // a training entry point takes the full dataset tuple
+pub fn train_dpgcn<R: Rng + ?Sized>(
+    cfg: &GcnConfig,
+    mechanism: DpgcnMechanism,
+    graph: &Graph,
+    x: &Mat,
+    labels: &[usize],
+    train_idx: &[usize],
+    num_classes: usize,
+    eps: f64,
+    rng: &mut R,
+) -> (Gcn, Graph) {
+    let noisy = match mechanism {
+        DpgcnMechanism::EdgeRand => perturb_edgerand(graph, eps, rng),
+        DpgcnMechanism::LapGraph => perturb_lapgraph(graph, eps, rng),
+    };
+    let a_hat = symmetric(&noisy);
+    let model = train_gcn_on_adjacency(cfg, &a_hat, x, labels, train_idx, num_classes, rng);
+    (model, noisy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_small_exact_regime() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let draws: Vec<u64> = (0..2000).map(|_| sample_binomial(100, 0.3, &mut rng)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((mean - 30.0).abs() < 0.7, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_normal_regime() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let n = 1_000_000u64;
+        let p = 0.25;
+        let draws: Vec<u64> = (0..500).map(|_| sample_binomial(n, p, &mut rng)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((mean / (n as f64 * p) - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_poisson_regime() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 10_000_000u64;
+        let p = 1e-6; // mean 10
+        let draws: Vec<u64> = (0..3000).map(|_| sample_binomial(n, p, &mut rng)).collect();
+        let mean = draws.iter().sum::<u64>() as f64 / draws.len() as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn edgerand_low_eps_destroys_structure() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let g = gcon_graph::generators::erdos_renyi_gnm(60, 120, &mut rng);
+        let noisy = perturb_edgerand(&g, 0.1, &mut rng);
+        // At ε = 0.1 roughly half of all pairs flip: the output is dense noise.
+        let n_pairs = 60 * 59 / 2;
+        assert!(noisy.num_edges() > n_pairs / 3, "edges {}", noisy.num_edges());
+    }
+
+    #[test]
+    fn edgerand_high_eps_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let g = gcon_graph::generators::erdos_renyi_gnm(60, 120, &mut rng);
+        let noisy = perturb_edgerand(&g, 8.0, &mut rng);
+        let kept = g
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| noisy.has_edge(u, v))
+            .count();
+        assert!(kept as f64 > 0.95 * g.num_edges() as f64, "kept {kept}");
+    }
+
+    #[test]
+    fn lapgraph_keeps_edge_count_in_ballpark() {
+        let mut rng = StdRng::seed_from_u64(36);
+        let g = gcon_graph::generators::erdos_renyi_gnm(300, 900, &mut rng);
+        let noisy = perturb_lapgraph(&g, 2.0, &mut rng);
+        let m = noisy.num_edges() as f64;
+        assert!(
+            m > 300.0 && m < 2700.0,
+            "perturbed edge count {m} wildly off from 900"
+        );
+    }
+
+    #[test]
+    fn lapgraph_high_eps_recovers_mostly_true_edges() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let g = gcon_graph::generators::erdos_renyi_gnm(200, 600, &mut rng);
+        let noisy = perturb_lapgraph(&g, 8.0, &mut rng);
+        let kept = g.edges().iter().filter(|&&(u, v)| noisy.has_edge(u, v)).count();
+        assert!(
+            kept as f64 > 0.8 * g.num_edges() as f64,
+            "only {kept} of {} true edges survive at ε=8",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn choose_k_uniform_subset() {
+        let mut rng = StdRng::seed_from_u64(38);
+        let items: Vec<u32> = (0..10).collect();
+        let picked = choose_k(&items, 4, &mut rng);
+        assert_eq!(picked.len(), 4);
+        let set: std::collections::HashSet<u32> = picked.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

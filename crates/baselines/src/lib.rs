@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Baselines for the Figure 1 comparison — every competitor the paper
+//! evaluates against, re-implemented from its source paper's algorithm
+//! description:
+//!
+//! | Module | Method | Edge-DP strategy |
+//! |---|---|---|
+//! | [`gcn`] | GCN (non-DP) [Kipf & Welling] | none — the utility upper bound |
+//! | [`mlp`] | MLP | uses no edges → ε-DP for every ε |
+//! | [`dpsgd`] | DP-SGD [Abadi et al.] on a 1-layer GCN | per-example clipped gradients + Gaussian noise with the ×2 edge-sensitivity factor, RDP-composed over steps |
+//! | [`dpgcn`] | DPGCN / LinkTeller [Wu et al.] | perturbs the adjacency matrix (LapGraph thresholding, EdgeRand randomized response) |
+//! | [`lpgnet`] | LPGNet [Kolluri et al.] | stacked MLPs over Laplace-perturbed cluster-degree vectors |
+//! | [`gap`] | GAP-EDP [Sajadmanesh et al.] | Gaussian noise on each of K aggregation hops, RDP-composed |
+//! | [`progap`] | ProGAP-EDP [Sajadmanesh & Gatica-Perez] | progressive stages of noisy aggregation + per-stage MLPs |
+//!
+//! [`method`] exposes a single [`method::Baseline`] enum +
+//! [`method::evaluate_baseline`] entry point used by the Figure 1 harness.
+
+pub mod attack;
+pub mod dpgcn;
+pub mod dpsgd;
+pub mod gap;
+pub mod gcn;
+pub mod lpgnet;
+pub mod method;
+pub mod mlp;
+pub mod progap;
+
+pub use method::{evaluate_baseline, Baseline};

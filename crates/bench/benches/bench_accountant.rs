@@ -1,0 +1,34 @@
+//! Substrate microbench: the RDP accountant used by the DP-SGD / GAP /
+//! ProGAP baselines — composition and noise-multiplier calibration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_dp::rdp::{calibrate_noise_multiplier, RdpAccountant};
+
+fn bench_accountant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accountant");
+    group.sample_size(20);
+
+    group.bench_function("compose_gaussian_1000", |b| {
+        b.iter(|| {
+            let mut acc = RdpAccountant::new();
+            acc.compose_gaussian(2.0, 1000);
+            acc.epsilon(1e-5)
+        })
+    });
+    group.bench_function("compose_subsampled_100", |b| {
+        b.iter(|| {
+            let mut acc = RdpAccountant::new();
+            acc.compose_subsampled_gaussian(0.01, 1.5, 100);
+            acc.epsilon(1e-5)
+        })
+    });
+    for steps in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("calibrate", steps), &steps, |b, &s| {
+            b.iter(|| calibrate_noise_multiplier(1.0, s, 2.0, 1e-5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accountant);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbench backing **Figure 1**: the per-method training cost
+//! on a small benchmark instance (what dominates the wall-clock of the fig1
+//! sweep binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_baselines::{evaluate_baseline, Baseline};
+use gcon_bench::{default_gcon_config, evaluate_gcon, InferenceMode};
+use gcon_datasets::cora_ml;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_methods(c: &mut Criterion) {
+    let dataset = cora_ml(0.05, 0);
+    let delta = dataset.default_delta();
+    let mut group = c.benchmark_group("fig1_methods");
+    group.sample_size(10);
+
+    let mut cfg = default_gcon_config(&dataset.name);
+    cfg.encoder.epochs = 50;
+    cfg.optimizer.max_iters = 400;
+    group.bench_function("GCON", |b| {
+        b.iter(|| evaluate_gcon(&cfg, &dataset, 1.0, delta, InferenceMode::Private, 1))
+    });
+
+    for baseline in [Baseline::Mlp, Baseline::DpSgd, Baseline::Dpgcn, Baseline::Gap] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline", baseline.name()),
+            &baseline,
+            |b, &bl| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    evaluate_baseline(bl, &dataset, 1.0, delta, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbench backing **Figure 3** (public test graph) against
+//! **Figure 2** (private test graph): the cost of the two inference paths
+//! of Algorithm 4 — the one-hop-only private aggregation of Eq. (16) vs the
+//! full training-time propagation used when the test graph is public.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_core::infer::{private_logits, public_logits};
+use gcon_core::train::train_gcon;
+use gcon_core::{GconConfig, PropagationStep};
+use gcon_datasets::cora_ml;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let dataset = cora_ml(0.1, 0);
+    let mut cfg = GconConfig::default();
+    cfg.encoder.epochs = 30;
+    cfg.optimizer.max_iters = 300;
+    let mut rng = StdRng::seed_from_u64(0);
+    let base_model = train_gcon(
+        &cfg,
+        &dataset.graph,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.split.train,
+        dataset.num_classes,
+        2.0,
+        dataset.default_delta(),
+        &mut rng,
+    );
+
+    let mut group = c.benchmark_group("fig3_inference");
+    group.sample_size(10);
+    group.bench_function("private_eq16_one_hop", |b| {
+        b.iter(|| private_logits(&base_model, &dataset.graph, &dataset.features))
+    });
+    // Public inference replays the full m-step recursion: bench across the
+    // m₁ axis Figures 2/3 sweep.
+    for m in [1usize, 5, 10, 20] {
+        let mut model = base_model.clone();
+        model.config.steps = vec![PropagationStep::Finite(m)];
+        group.bench_with_input(BenchmarkId::new("public_full_m", m), &model, |b, model| {
+            b.iter(|| public_logits(model, &dataset.graph, &dataset.features))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

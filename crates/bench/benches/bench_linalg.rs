@@ -1,0 +1,35 @@
+//! Substrate microbench: the dense GEMM and sparse×dense kernels every
+//! training loop in the workspace sits on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_graph::normalize::row_stochastic_default;
+use gcon_linalg::{ops, Mat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(10);
+
+    for n in [64usize, 256] {
+        let a = Mat::uniform(n, n, 1.0, &mut rng);
+        let b = Mat::uniform(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("t_matmul", n), &n, |bench, _| {
+            bench.iter(|| ops::t_matmul(&a, &b))
+        });
+    }
+
+    let g = gcon_graph::generators::erdos_renyi_gnm(2000, 10_000, &mut rng);
+    let a_tilde = row_stochastic_default(&g);
+    let x = Mat::uniform(2000, 64, 1.0, &mut rng);
+    group.bench_function("spmm_2000x64", |bench| bench.iter(|| a_tilde.spmm(&x)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Substrate microbench: Algorithm 2 noise sampling and the Gamma-quantile
+//! (`c_sf`, Eq. 21) solve that calibrates it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_dp::erlang::{sample_erlang, sample_sphere_noise};
+use gcon_dp::special::reg_gamma_p_inverse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise");
+    group.sample_size(20);
+
+    for d in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("sphere_noise", d), &d, |b, &d| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sample_sphere_noise(d, 2.0, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("erlang_radius", d), &d, |b, &d| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| sample_erlang(d, 2.0, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("csf_quantile", d), &d, |b, &d| {
+            b.iter(|| reg_gamma_p_inverse(d as f64, 1.0 - 1e-5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

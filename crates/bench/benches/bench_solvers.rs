@@ -1,0 +1,44 @@
+//! Criterion microbench for the three PPR (m = ∞) solvers: the production
+//! fixed-point recursion, the CGNR iterative solve, and the dense
+//! LU-inverse `α(I − (1−α)Ã)⁻¹` from the verification suite — quantifying
+//! why the production path never materializes `R_∞` (Eq. 5's "efficiency
+//! issue" the paper works around with APPR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_core::propagation::{propagate, propagate_ppr_cgnr, PropagationStep};
+use gcon_core::verify::exact_r_infinity;
+use gcon_graph::generators::erdos_renyi_gnm;
+use gcon_graph::normalize::row_stochastic_default;
+use gcon_linalg::{ops, Mat};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("ppr_solvers");
+    group.sample_size(10);
+    for n in [100usize, 300, 600] {
+        let g = erdos_renyi_gnm(n, 4 * n, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(n, 16, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.4;
+
+        group.bench_with_input(BenchmarkId::new("fixed_point", n), &n, |b, _| {
+            b.iter(|| propagate(&a, &x, alpha, PropagationStep::Infinite))
+        });
+        group.bench_with_input(BenchmarkId::new("cgnr", n), &n, |b, _| {
+            b.iter(|| propagate_ppr_cgnr(&a, &x, alpha))
+        });
+        // Dense inverse is O(n³): keep it to the smaller sizes.
+        if n <= 300 {
+            group.bench_with_input(BenchmarkId::new("dense_lu_inverse", n), &n, |b, _| {
+                b.iter(|| ops::matmul(&exact_r_infinity(&a, alpha), &x))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbench backing **Table II**: dataset generation plus the
+//! homophily-ratio statistic (Definition 7) that the table reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcon_datasets::{actor, citeseer, cora_ml, pubmed, Dataset};
+use gcon_graph::homophily_ratio;
+
+type DatasetBuilder = fn(f64, u64) -> Dataset;
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_datasets");
+    group.sample_size(10);
+    let builders: [(&str, DatasetBuilder); 4] = [
+        ("cora-ml", cora_ml),
+        ("citeseer", citeseer),
+        ("pubmed", pubmed),
+        ("actor", actor),
+    ];
+    for (name, f) in builders {
+        group.bench_with_input(BenchmarkId::new("generate", name), &f, |b, f| {
+            b.iter(|| f(0.1, 0))
+        });
+    }
+    let d = cora_ml(0.25, 0);
+    group.bench_function("homophily_ratio", |b| {
+        b.iter(|| homophily_ratio(&d.graph, &d.labels))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

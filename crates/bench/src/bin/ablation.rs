@@ -1,0 +1,149 @@
+//! Design ablations for GCON (ours — complements the paper's sweeps).
+//!
+//! Four knobs DESIGN.md calls out, each varied on Cora-ML at ε = 1:
+//!
+//! 1. loss function: MultiLabel Soft Margin vs pseudo-Huber (δ_l grid);
+//! 2. budget split ω;
+//! 3. encoder output dimension d₁ (the dimensionality issue of Sec. IV-A);
+//! 4. training-set expansion with encoder pseudo-labels (n₁ ∈ {n₀, n});
+//! 5. multi-scale propagation s > 1 (Eq. 11's concatenation, the knob the
+//!    paper exercises on Actor).
+//!
+//! ```text
+//! cargo run -p gcon-bench --release --bin ablation -- --scale 0.25 --runs 3
+//! ```
+
+use gcon_bench::{
+    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs,
+    InferenceMode,
+};
+use gcon_core::LossKind;
+use gcon_datasets::cora_ml;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let eps = 1.0;
+    let dataset = cora_ml(args.scale, args.seed);
+    let delta = dataset.default_delta();
+    println!("# GCON ablations on {} at ε = {eps}", dataset.name);
+    println!("# scale={} runs={} seed={}", args.scale, args.runs, args.seed);
+
+    let run = |cfg: &gcon_core::GconConfig| {
+        evaluate_gcon_repeated(
+            cfg,
+            &dataset,
+            eps,
+            delta,
+            InferenceMode::Private,
+            args.seed + 97,
+            args.runs,
+        )
+    };
+
+    // 1. Loss function.
+    let mut rows = Vec::new();
+    for (label, loss) in [
+        ("MultiLabel Soft Margin", LossKind::MultiLabelSoftMargin),
+        ("pseudo-Huber δ=0.1", LossKind::PseudoHuber { delta: 0.1 }),
+        ("pseudo-Huber δ=0.2", LossKind::PseudoHuber { delta: 0.2 }),
+        ("pseudo-Huber δ=0.5", LossKind::PseudoHuber { delta: 0.5 }),
+    ] {
+        let mut cfg = default_gcon_config(&dataset.name);
+        cfg.loss = loss;
+        let (m, s) = run(&cfg);
+        rows.push(vec![label.to_string(), fmt_score(m, s)]);
+    }
+    print_table("Ablation 1 — loss function", &["loss".into(), "micro-F1".into()], &rows);
+
+    // 2. Budget split ω.
+    let mut rows = Vec::new();
+    for omega in [0.5, 0.7, 0.9, 0.95] {
+        let mut cfg = default_gcon_config(&dataset.name);
+        cfg.omega = omega;
+        let (m, s) = run(&cfg);
+        rows.push(vec![format!("ω={omega}"), fmt_score(m, s)]);
+    }
+    print_table("Ablation 2 — budget split ω", &["ω".into(), "micro-F1".into()], &rows);
+
+    // 3. Encoder dimension d₁ (larger d ⇒ larger c_sf ⇒ more noise).
+    let mut rows = Vec::new();
+    for d1 in [8, 16, 32] {
+        let mut cfg = default_gcon_config(&dataset.name);
+        cfg.encoder.d1 = d1;
+        let (m, s) = run(&cfg);
+        rows.push(vec![format!("d₁={d1}"), fmt_score(m, s)]);
+    }
+    print_table("Ablation 3 — encoder dimension d₁", &["d₁".into(), "micro-F1".into()], &rows);
+
+    // 4. Training-set expansion.
+    let mut rows = Vec::new();
+    for (label, expand) in [("n₁ = n (pseudo-labels)", true), ("n₁ = n₀ (labeled only)", false)] {
+        let mut cfg = default_gcon_config(&dataset.name);
+        cfg.expand_train_set = expand;
+        let (m, s) = run(&cfg);
+        rows.push(vec![label.to_string(), fmt_score(m, s)]);
+    }
+    print_table(
+        "Ablation 4 — training-set expansion",
+        &["n₁".into(), "micro-F1".into()],
+        &rows,
+    );
+
+    // 5. Multi-scale propagation (Eq. 11): concatenating several step counts
+    // trades feature richness against the averaged sensitivity of Eq. 26.
+    use gcon_core::PropagationStep as P;
+    let mut rows = Vec::new();
+    for (label, steps) in [
+        ("s=1: {2}", vec![P::Finite(2)]),
+        ("s=2: {0, 2}", vec![P::Finite(0), P::Finite(2)]),
+        ("s=3: {1, 2, 5}", vec![P::Finite(1), P::Finite(2), P::Finite(5)]),
+        ("s=2: {2, ∞}", vec![P::Finite(2), P::Infinite]),
+    ] {
+        let mut cfg = default_gcon_config(&dataset.name);
+        cfg.steps = steps;
+        let (m, s) = run(&cfg);
+        rows.push(vec![label.to_string(), fmt_score(m, s)]);
+    }
+    print_table(
+        "Ablation 5 — multi-scale propagation (Eq. 11)",
+        &["steps".into(), "micro-F1".into()],
+        &rows,
+    );
+
+    // 6. Lemma 1 clip p (ours): clipping the off-diagonal of Ã scales the
+    // sensitivity by 2p (less noise) but caps how much any neighbor can
+    // contribute (weaker aggregation). p = 1/2 is the paper's unclipped Ã.
+    let mut rows = Vec::new();
+    for clip_p in [0.5, 0.375, 0.25, 0.125] {
+        let mut cfg = default_gcon_config(&dataset.name);
+        cfg.clip_p = clip_p;
+        let psi = gcon_core::sensitivity::psi_z_clipped(cfg.alpha, &cfg.steps, clip_p);
+        let (m, s) = run(&cfg);
+        rows.push(vec![format!("p={clip_p}"), format!("{psi:.4}"), fmt_score(m, s)]);
+    }
+    print_table(
+        "Ablation 6 — Lemma 1 clip p (sensitivity vs aggregation strength)",
+        &["clip".into(), "Ψ_p(Z)".into(), "micro-F1".into()],
+        &rows,
+    );
+
+    // 7. The Theorem 1 Remark, quantified: GCON spends ε once; a per-step
+    // mechanism must divide the same budget across its optimizer steps.
+    // (Pure budget arithmetic — no training.)
+    let mut rows = Vec::new();
+    for steps in [100usize, 1_000, 10_000] {
+        let basic = gcon_dp::composition::per_step_epsilon_basic(eps, steps);
+        let adv = gcon_dp::composition::per_step_epsilon_advanced(eps, steps, delta / 2.0);
+        rows.push(vec![
+            format!("{steps}"),
+            format!("{basic:.5}"),
+            format!("{adv:.5}"),
+            format!("{eps}"),
+        ]);
+    }
+    print_table(
+        "Ablation 7 — per-step ε under composition vs GCON's one-shot spend",
+        &["opt steps".into(), "basic comp".into(), "advanced comp".into(), "GCON".into()],
+        &rows,
+    );
+}

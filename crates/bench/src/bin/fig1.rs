@@ -1,0 +1,94 @@
+//! Regenerates **Figure 1 (a–d)**: micro-F1 versus privacy budget ε for
+//! GCON and its seven competitors on all four benchmark datasets,
+//! δ = 1/|E|, averaged over `--runs` repetitions.
+//!
+//! ```text
+//! cargo run -p gcon-bench --release --bin fig1 -- --scale 0.25 --runs 3
+//! ```
+
+use gcon_baselines::{evaluate_baseline, Baseline};
+use gcon_bench::{
+    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs,
+    InferenceMode, EPS_GRID,
+};
+use gcon_datasets::all_benchmarks;
+use gcon_linalg::vecops::{mean, std_dev};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let eps_grid: Vec<f64> =
+        if args.quick { vec![0.5, 4.0] } else { EPS_GRID.to_vec() };
+    let datasets = all_benchmarks(args.scale, args.seed);
+
+    println!("# Figure 1: model performance (micro-F1) vs privacy budget ε");
+    println!(
+        "# scale={} runs={} seed={} (paper: full scale, 10 runs)",
+        args.scale, args.runs, args.seed
+    );
+
+    for dataset in &datasets {
+        let delta = dataset.default_delta();
+        let mut header = vec!["method".to_string()];
+        header.extend(eps_grid.iter().map(|e| format!("ε={e}")));
+        let mut rows: Vec<Vec<String>> = Vec::new();
+
+        // GCON first (the paper's headline series).
+        let cfg = default_gcon_config(&dataset.name);
+        let mut row = vec!["GCON".to_string()];
+        for &eps in &eps_grid {
+            let (m, s) = evaluate_gcon_repeated(
+                &cfg,
+                dataset,
+                eps,
+                delta,
+                InferenceMode::Private,
+                args.seed + 17,
+                args.runs,
+            );
+            row.push(fmt_score(m, s));
+        }
+        rows.push(row);
+
+        for baseline in Baseline::all() {
+            let mut row = vec![baseline.name().to_string()];
+            // ε-independent methods are evaluated once and repeated across
+            // the row (their curve is flat by construction).
+            let flat: Option<(f64, f64)> = baseline.ignores_epsilon().then(|| {
+                let scores: Vec<f64> = (0..args.runs)
+                    .map(|r| {
+                        let mut rng =
+                            StdRng::seed_from_u64(args.seed + 31 + 1000 * r as u64);
+                        evaluate_baseline(baseline, dataset, 1.0, delta, &mut rng)
+                    })
+                    .collect();
+                (mean(&scores), std_dev(&scores))
+            });
+            for &eps in &eps_grid {
+                let (m, s) = match flat {
+                    Some(ms) => ms,
+                    None => {
+                        let scores: Vec<f64> = (0..args.runs)
+                            .map(|r| {
+                                let mut rng = StdRng::seed_from_u64(
+                                    args.seed + 31 + 1000 * r as u64,
+                                );
+                                evaluate_baseline(baseline, dataset, eps, delta, &mut rng)
+                            })
+                            .collect();
+                        (mean(&scores), std_dev(&scores))
+                    }
+                };
+                row.push(fmt_score(m, s));
+            }
+            rows.push(row);
+        }
+
+        print_table(
+            &format!("Figure 1 — {} (δ = 1/|E| = {delta:.2e})", dataset.name),
+            &header,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Figure 4 (a–c)**: effect of the restart probability α on
+//! GCON's micro-F1 with m₁ = 2 across ε ∈ {0.5, 1, 2, 3, 4} on Cora-ML,
+//! CiteSeer and PubMed (private inference).
+//!
+//! ```text
+//! cargo run -p gcon-bench --release --bin fig4 -- --scale 0.25 --runs 2
+//! ```
+
+use gcon_bench::{
+    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs,
+    InferenceMode, EPS_GRID,
+};
+use gcon_core::PropagationStep;
+use gcon_datasets::{citeseer, cora_ml, pubmed};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let alphas = [0.2, 0.4, 0.6, 0.8];
+    let eps_grid: Vec<f64> =
+        if args.quick { vec![0.5, 4.0] } else { EPS_GRID.to_vec() };
+
+    println!("# Figure 4: effect of the restart probability α (m₁ = 2)");
+    println!("# scale={} runs={} seed={}", args.scale, args.runs, args.seed);
+
+    let datasets = [
+        cora_ml(args.scale, args.seed),
+        citeseer(args.scale, args.seed + 1),
+        pubmed(args.scale, args.seed + 2),
+    ];
+
+    for dataset in &datasets {
+        let delta = dataset.default_delta();
+        let mut header = vec!["α \\ ε".to_string()];
+        header.extend(eps_grid.iter().map(|e| format!("ε={e}")));
+        let mut rows = Vec::new();
+        for &alpha in &alphas {
+            let mut row = vec![format!("α={alpha}")];
+            for &eps in &eps_grid {
+                let mut cfg = default_gcon_config(&dataset.name);
+                cfg.alpha = alpha;
+                cfg.alpha_inference = alpha;
+                cfg.steps = vec![PropagationStep::Finite(2)];
+                let (mean, std) = evaluate_gcon_repeated(
+                    &cfg,
+                    dataset,
+                    eps,
+                    delta,
+                    InferenceMode::Private,
+                    args.seed + 53,
+                    args.runs,
+                );
+                row.push(fmt_score(mean, std));
+            }
+            rows.push(row);
+        }
+        print_table(&format!("Figure 4 — {}", dataset.name), &header, &rows);
+    }
+}

@@ -1,0 +1,252 @@
+#![warn(missing_docs)]
+//! Experiment harness regenerating every table and figure of the GCON
+//! paper's evaluation (Sec. VI). One binary per artifact:
+//!
+//! | Binary | Paper artifact | What it prints |
+//! |---|---|---|
+//! | `fig1` | Figure 1 (a–d) | micro-F1 vs ε for 8 methods × 4 datasets |
+//! | `fig2` | Figure 2 (a–c) | effect of m₁ × α, ε = 4, private inference |
+//! | `fig3` | Figure 3 (a–c) | same sweep, public test graph |
+//! | `fig4` | Figure 4 (a–c) | effect of α across ε, m₁ = 2 |
+//! | `table2` | Table II | dataset statistics incl. homophily ratio |
+//! | `ablation` | (ours) | loss / ω / d₁ / pseudo-label ablations |
+//!
+//! All binaries accept `--scale S` (default 0.25: proportional shrink of the
+//! Table II sizes, see `gcon-datasets`), `--runs R`, `--seed N` and
+//! `--quick` (smaller grids for smoke runs). Criterion microbenches live in
+//! `benches/`.
+
+use gcon_core::infer::{private_predict, public_predict};
+use gcon_core::train::train_gcon;
+use gcon_core::{GconConfig, PropagationStep};
+use gcon_datasets::metrics::micro_f1;
+use gcon_datasets::Dataset;
+use gcon_linalg::vecops::{mean, std_dev};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which test-time protocol to score with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InferenceMode {
+    /// Eq. (16): one-hop, private test graph (Figures 1, 2, 4).
+    Private,
+    /// Full propagation on a public test graph (Figure 3).
+    Public,
+}
+
+/// Common CLI options for every harness binary.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Dataset scale in (0, 1]; 1.0 = full Table II sizes.
+    pub scale: f64,
+    /// Independent repetitions per configuration (paper: 10).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Shrink sweep grids for a fast smoke run.
+    pub quick: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: 0.25, runs: 3, seed: 0, quick: false }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale`, `--runs`, `--seed`, `--quick` from `std::env::args`.
+    pub fn from_env() -> Self {
+        let mut out = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    out.scale = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--scale needs a number in (0,1]");
+                    i += 1;
+                }
+                "--runs" => {
+                    out.runs = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--runs needs a positive integer");
+                    i += 1;
+                }
+                "--seed" => {
+                    out.seed = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                    i += 1;
+                }
+                "--quick" => out.quick = true,
+                "--bench" => {} // ignore cargo-bench artifacts
+                other => {
+                    if !other.starts_with("--") {
+                        // positional junk from cargo; ignore
+                    } else {
+                        eprintln!("warning: unknown flag {other}");
+                    }
+                }
+            }
+            i += 1;
+        }
+        assert!(out.scale > 0.0 && out.scale <= 1.0, "--scale must lie in (0, 1]");
+        assert!(out.runs >= 1, "--runs must be ≥ 1");
+        out
+    }
+}
+
+/// The paper's ε grid (Sec. VI-A).
+pub const EPS_GRID: [f64; 5] = [0.5, 1.0, 2.0, 3.0, 4.0];
+
+/// Per-dataset GCON hyperparameters following the paper's findings
+/// (Figure 4: α = 0.8 best on Cora-ML/CiteSeer, α = 0.4 on PubMed; Actor
+/// benefits from multi-scale steps including m = 0, Appendix Q).
+pub fn default_gcon_config(dataset_name: &str) -> GconConfig {
+    let mut cfg = GconConfig::default();
+    // α_I = 0.1 throughout: the paper tunes the inference restart in
+    // {α} ∪ {0.1, 0.9} (Appendix Q); on our noisy-feature stand-ins the
+    // one-hop private aggregation benefits from leaning on the neighborhood.
+    match dataset_name {
+        "cora-ml" | "citeseer" => {
+            cfg.alpha = 0.8;
+            cfg.alpha_inference = 0.1;
+            cfg.steps = vec![PropagationStep::Finite(2)];
+        }
+        "pubmed" => {
+            cfg.alpha = 0.4;
+            cfg.alpha_inference = 0.1;
+            cfg.steps = vec![PropagationStep::Finite(2)];
+        }
+        "actor" => {
+            cfg.alpha = 0.8;
+            cfg.alpha_inference = 0.5;
+            cfg.steps = vec![PropagationStep::Finite(0), PropagationStep::Finite(2)];
+        }
+        _ => {}
+    }
+    cfg
+}
+
+/// Trains GCON once and returns the test micro-F1 under the given protocol.
+pub fn evaluate_gcon(
+    cfg: &GconConfig,
+    dataset: &Dataset,
+    eps: f64,
+    delta: f64,
+    mode: InferenceMode,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = train_gcon(
+        cfg,
+        &dataset.graph,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.split.train,
+        dataset.num_classes,
+        eps,
+        delta,
+        &mut rng,
+    );
+    let pred_all = match mode {
+        InferenceMode::Private => private_predict(&model, &dataset.graph, &dataset.features),
+        InferenceMode::Public => public_predict(&model, &dataset.graph, &dataset.features),
+    };
+    let test_pred: Vec<usize> = dataset.split.test.iter().map(|&i| pred_all[i]).collect();
+    micro_f1(&test_pred, &dataset.test_labels())
+}
+
+/// Repeats GCON evaluation over `runs` seeds → `(mean, std)`.
+pub fn evaluate_gcon_repeated(
+    cfg: &GconConfig,
+    dataset: &Dataset,
+    eps: f64,
+    delta: f64,
+    mode: InferenceMode,
+    base_seed: u64,
+    runs: usize,
+) -> (f64, f64) {
+    let scores: Vec<f64> = (0..runs)
+        .map(|r| evaluate_gcon(cfg, dataset, eps, delta, mode, base_seed + 1000 * r as u64))
+        .collect();
+    (mean(&scores), std_dev(&scores))
+}
+
+/// Formats `mean ± std` to three decimals.
+pub fn fmt_score(mean: f64, std: f64) -> String {
+    format!("{mean:.3}±{std:.3}")
+}
+
+/// Prints a Markdown-ish table: header row + aligned cells.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    println!("{}", fmt_row(header));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(&sep));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcon_datasets::two_moons_graph;
+
+    #[test]
+    fn evaluate_gcon_returns_valid_score() {
+        let d = two_moons_graph(201);
+        let mut cfg = default_gcon_config(&d.name);
+        cfg.encoder.epochs = 40;
+        cfg.optimizer.max_iters = 300;
+        let f1 = evaluate_gcon(&cfg, &d, 2.0, 1e-3, InferenceMode::Private, 7);
+        assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn repeated_evaluation_is_deterministic_per_seed() {
+        let d = two_moons_graph(202);
+        let mut cfg = default_gcon_config(&d.name);
+        cfg.encoder.epochs = 30;
+        cfg.optimizer.max_iters = 200;
+        let a = evaluate_gcon(&cfg, &d, 1.0, 1e-3, InferenceMode::Public, 11);
+        let b = evaluate_gcon(&cfg, &d, 1.0, 1e-3, InferenceMode::Public, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_dataset_configs_differ() {
+        assert_eq!(default_gcon_config("pubmed").alpha, 0.4);
+        assert_eq!(default_gcon_config("cora-ml").alpha, 0.8);
+        assert_eq!(default_gcon_config("actor").steps.len(), 2);
+    }
+
+    #[test]
+    fn fmt_and_table_do_not_panic() {
+        assert_eq!(fmt_score(0.5, 0.01), "0.500±0.010");
+        print_table(
+            "t",
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2".into()]],
+        );
+    }
+}

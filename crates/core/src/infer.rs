@@ -1,0 +1,237 @@
+//! Algorithm 4: inference with a trained GCON model.
+//!
+//! Two modes (Sec. IV-C6):
+//!
+//! - **Private inference** (Eq. 16): the querying node knows its own edges,
+//!   so a *single* hop of aggregation `R̂ = (1−α_I)Ã + α_I·I` is allowed —
+//!   it uses only edges incident to each query node and reveals nothing about
+//!   non-neighboring edges. This is the standard evaluation setup (scenario
+//!   (i)) used in Figure 1 and Figure 2.
+//! - **Public inference**: when the test graph is public (Figure 3, following
+//!   the decoupled-GNN evaluation of \[46\]–\[48\]), the full training-time
+//!   propagation `Z` is computed and multiplied by `Θ_priv`.
+
+use crate::model::TrainedGcon;
+use crate::propagation::{concat_features, PropagationStep};
+use gcon_graph::normalize::row_stochastic;
+use gcon_graph::Graph;
+use gcon_linalg::{ops, reduce, Mat};
+
+/// Encodes and row-normalizes raw features with the model's public encoder.
+fn encode_normalized(model: &TrainedGcon, features: &Mat) -> Mat {
+    let mut x = model.encoder.encode(features);
+    x.normalize_rows_l2();
+    x
+}
+
+/// Private inference (Eq. 16): one-hop aggregation only.
+///
+/// Returns the logit matrix `Ŷ = (R̂_{m₁}X̄ ⊕ … ⊕ R̂_{m_s}X̄)Θ_priv`
+/// (scaled by `1/s` to match the training-time feature scale; a uniform
+/// positive scaling does not change the argmax).
+pub fn private_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
+    let x = encode_normalized(model, features);
+    let a_tilde = row_stochastic(graph, model.config.clip_p);
+    let alpha_i = model.config.alpha_inference;
+    let mut parts: Vec<Mat> = Vec::with_capacity(model.config.steps.len());
+    // One-hop aggregate, shared by every m_i > 0.
+    let mut one_hop: Option<Mat> = None;
+    for &step in &model.config.steps {
+        let part = match step {
+            PropagationStep::Finite(0) => x.clone(),
+            _ => one_hop
+                .get_or_insert_with(|| {
+                    let mut h = a_tilde.spmm(&x);
+                    h.map_inplace(|v| v * (1.0 - alpha_i));
+                    ops::add_scaled_assign(&mut h, alpha_i, &x);
+                    h
+                })
+                .clone(),
+        };
+        parts.push(part);
+    }
+    let refs: Vec<&Mat> = parts.iter().collect();
+    let mut z = Mat::hcat_all(&refs);
+    let inv_s = 1.0 / model.config.steps.len() as f64;
+    z.map_inplace(|v| v * inv_s);
+    ops::matmul(&z, &model.theta)
+}
+
+/// Private inference returning hard class predictions.
+pub fn private_predict(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Vec<usize> {
+    reduce::row_argmax(&private_logits(model, graph, features))
+}
+
+/// Public inference: full training-time propagation (no DP constraint on the
+/// test graph's edges).
+pub fn public_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
+    let x = encode_normalized(model, features);
+    let a_tilde = row_stochastic(graph, model.config.clip_p);
+    let z = concat_features(&a_tilde, &x, model.config.alpha, &model.config.steps);
+    ops::matmul(&z, &model.theta)
+}
+
+/// Public inference returning hard class predictions.
+pub fn public_predict(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Vec<usize> {
+    reduce::row_argmax(&public_logits(model, graph, features))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GconConfig;
+    use crate::train::train_gcon;
+    use gcon_graph::generators::{sbm_homophily, SbmConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_setup(seed: u64) -> (Graph, Mat, Vec<usize>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SbmConfig {
+            n: 90,
+            num_edges: 270,
+            num_classes: 3,
+            homophily: 0.85,
+            degree_exponent: 2.5,
+        };
+        let (g, labels) = sbm_homophily(&cfg, &mut rng);
+        // Informative features: class-indexed bumps + noise.
+        let x = Mat::from_fn(90, 12, |i, j| {
+            let hit = j % 3 == labels[i];
+            (if hit { 1.5 } else { 0.0 }) + 0.4 * (((i * 13 + j * 7) % 17) as f64 / 17.0 - 0.5)
+        });
+        let train_idx: Vec<usize> = (0..90).step_by(3).collect();
+        (g, x, labels, train_idx)
+    }
+
+    fn quick_config() -> GconConfig {
+        GconConfig {
+            encoder: crate::encoder::EncoderConfig {
+                hidden: 16,
+                d1: 8,
+                epochs: 80,
+                lr: 0.02,
+                weight_decay: 1e-5,
+            },
+            steps: vec![PropagationStep::Finite(2)],
+            optimizer: crate::model::OptimizerConfig {
+                lr: 0.05,
+                max_iters: 800,
+                grad_tol: 1e-7,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn private_and_public_inference_shapes() {
+        let (g, x, labels, train_idx) = toy_setup(91);
+        let mut rng = StdRng::seed_from_u64(92);
+        let model =
+            train_gcon(&quick_config(), &g, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        let lp = private_logits(&model, &g, &x);
+        let lq = public_logits(&model, &g, &x);
+        assert_eq!(lp.shape(), (90, 3));
+        assert_eq!(lq.shape(), (90, 3));
+        assert!(lp.is_finite() && lq.is_finite());
+    }
+
+    #[test]
+    fn trained_model_beats_majority_class_at_generous_budget() {
+        let (g, x, labels, train_idx) = toy_setup(93);
+        let mut rng = StdRng::seed_from_u64(94);
+        let model =
+            train_gcon(&quick_config(), &g, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        let pred = private_predict(&model, &g, &x);
+        let acc = pred.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / 90.0;
+        assert!(acc > 0.5, "private accuracy {acc} not above majority floor ≈0.33");
+    }
+
+    #[test]
+    fn private_inference_ignores_far_edges() {
+        // Removing an edge NOT incident to a node must not change that
+        // node's private prediction beyond the training-side effect — here we
+        // only exercise the inference side by reusing the same trained model.
+        let (g, x, labels, train_idx) = toy_setup(95);
+        let mut rng = StdRng::seed_from_u64(96);
+        let model =
+            train_gcon(&quick_config(), &g, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        let edges = g.edges();
+        let (u, v) = edges[0];
+        let gp = g.with_edge_removed(u, v);
+        let before = private_logits(&model, &g, &x);
+        let after = private_logits(&model, &gp, &x);
+        for i in 0..90 {
+            let i_u32 = i as u32;
+            if i_u32 == u || i_u32 == v {
+                continue; // endpoints may change
+            }
+            for j in 0..3 {
+                assert!(
+                    (before.get(i, j) - after.get(i, j)).abs() < 1e-12,
+                    "node {i} affected by non-incident edge removal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_inference_one_ignores_all_edges() {
+        // At α_I = 1, Eq. 16's R̂ = I: private inference must equal the
+        // graph-free path, so logits are identical on any two graphs.
+        let (g, x, labels, train_idx) = toy_setup(97);
+        let mut cfg = quick_config();
+        cfg.alpha_inference = 1.0;
+        let mut rng = StdRng::seed_from_u64(98);
+        let model = train_gcon(&cfg, &g, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        let on_g = private_logits(&model, &g, &x);
+        let empty = Graph::empty(90);
+        let on_empty = private_logits(&model, &empty, &x);
+        for (a, b) in on_g.as_slice().iter().zip(on_empty.as_slice()) {
+            assert!((a - b).abs() < 1e-12, "α_I = 1 still reads edges");
+        }
+    }
+
+    #[test]
+    fn clipped_model_inference_uses_clipped_normalization() {
+        // A model trained at clip p < 1/2 must aggregate with the same
+        // clipped Ã at inference: verify against a manual Eq. 16 replay.
+        let (g, x, labels, train_idx) = toy_setup(99);
+        let mut cfg = quick_config();
+        cfg.clip_p = 0.2;
+        let mut rng = StdRng::seed_from_u64(100);
+        let model = train_gcon(&cfg, &g, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        let got = private_logits(&model, &g, &x);
+
+        // Manual replay of Eq. 16 with the clipped normalization.
+        let xin = {
+            let mut e = model.encoder.encode(&x);
+            e.normalize_rows_l2();
+            e
+        };
+        let a = row_stochastic(&g, 0.2);
+        let alpha_i = model.config.alpha_inference;
+        let mut h = a.spmm(&xin);
+        h.map_inplace(|v| v * (1.0 - alpha_i));
+        ops::add_scaled_assign(&mut h, alpha_i, &xin);
+        let want = ops::matmul(&h, &model.theta);
+        for (a_, b_) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((a_ - b_).abs() < 1e-10, "clipped inference mismatch");
+        }
+    }
+
+    #[test]
+    fn step_zero_inference_is_graph_free() {
+        // steps = [0] means R̂ = I regardless of α_I (Eq. 16 first branch).
+        let (g, x, labels, train_idx) = toy_setup(101);
+        let mut cfg = quick_config();
+        cfg.steps = vec![PropagationStep::Finite(0)];
+        let mut rng = StdRng::seed_from_u64(102);
+        let model = train_gcon(&cfg, &g, &x, &labels, &train_idx, 3, 1.0, 1e-3, &mut rng);
+        // Ψ(Z) = 0 at m = 0: the report must mark the run noise-free.
+        assert!(model.report.params.is_noise_free());
+        let on_g = private_logits(&model, &g, &x);
+        let on_empty = private_logits(&model, &Graph::empty(90), &x);
+        assert_eq!(on_g.as_slice(), on_empty.as_slice());
+    }
+}

@@ -1,0 +1,78 @@
+//! Construction of the noise matrix `B` of Eq. (13).
+//!
+//! `B = (b₁, …, b_c)` has independent columns, each drawn by Algorithm 2
+//! (uniform direction on the `d`-sphere, Erlang(d, β) radius), i.e. density
+//! ∝ `exp(−β‖b‖₂)` per column.
+
+use gcon_dp::erlang::sample_sphere_noise;
+use gcon_linalg::Mat;
+use rand::Rng;
+
+/// Samples the `d × c` noise matrix. An infinite `β` (the Ψ(Z) = 0 special
+/// case, see [`crate::params::TheoremOneParams`]) yields the zero matrix.
+pub fn sample_noise_matrix<R: Rng + ?Sized>(
+    d: usize,
+    c: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Mat {
+    assert!(d > 0 && c > 0, "sample_noise_matrix: degenerate shape");
+    assert!(beta > 0.0, "sample_noise_matrix: β must be positive");
+    if beta.is_infinite() {
+        return Mat::zeros(d, c);
+    }
+    let mut b = Mat::zeros(d, c);
+    for j in 0..c {
+        let col = sample_sphere_noise(d, beta, rng);
+        for (i, &v) in col.iter().enumerate() {
+            b.set(i, j, v);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcon_linalg::vecops::{mean, norm2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_finiteness() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let b = sample_noise_matrix(12, 5, 3.0, &mut rng);
+        assert_eq!(b.shape(), (12, 5));
+        assert!(b.is_finite());
+    }
+
+    #[test]
+    fn infinite_beta_is_zero_matrix() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let b = sample_noise_matrix(4, 3, f64::INFINITY, &mut rng);
+        assert!(b.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn column_radii_follow_erlang_mean() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let (d, beta) = (24usize, 2.0);
+        let mut radii = Vec::new();
+        for _ in 0..2000 {
+            let b = sample_noise_matrix(d, 3, beta, &mut rng);
+            for j in 0..3 {
+                radii.push(norm2(&b.col(j)));
+            }
+        }
+        let m = mean(&radii);
+        assert!((m - d as f64 / beta).abs() < 0.2, "mean radius {m}");
+    }
+
+    #[test]
+    fn columns_are_independent_draws() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let b = sample_noise_matrix(16, 2, 1.0, &mut rng);
+        // Two independent sphere samples are never identical.
+        assert_ne!(b.col(0), b.col(1));
+    }
+}

@@ -1,0 +1,196 @@
+//! The perturbed objective `L_priv(Θ; Z, Y)` of Eq. (13) and its gradient.
+//!
+//! ```text
+//! L_priv(Θ) = (1/n₁) Σ_i Σ_j ℓ(z_iᵀθ_j ; y_ij)
+//!           + (Λ̄/2)‖Θ‖²_F + (1/n₁) B ⊙ Θ + (Λ′/2)‖Θ‖²_F
+//! ```
+//!
+//! where `⊙` is element-wise product followed by a global sum (Frobenius
+//! inner product). The gradient w.r.t. column `θ_j` is
+//! `(1/n₁) Σ_i z_i ℓ'(z_iᵀθ_j; y_ij) + (Λ̄+Λ′)θ_j + b_j/n₁`, matching the
+//! stationarity condition of Eq. (40) in the paper's analysis.
+
+use crate::loss::ConvexLoss;
+use gcon_linalg::{ops, Mat};
+
+/// The perturbed training objective, with everything fixed except `Θ`.
+pub struct PerturbedObjective<'a> {
+    /// Aggregate features of the labeled rows, `n₁ × d`.
+    pub z: &'a Mat,
+    /// One-hot labels, `n₁ × c`.
+    pub y: &'a Mat,
+    /// The convex per-coordinate loss.
+    pub loss: ConvexLoss,
+    /// `Λ̄ + Λ′` — total quadratic coefficient.
+    pub lambda_total: f64,
+    /// The noise matrix `B`, `d × c` (zero when Ψ(Z) = 0).
+    pub b: &'a Mat,
+}
+
+impl<'a> PerturbedObjective<'a> {
+    /// Validates dimensions and builds the objective.
+    pub fn new(
+        z: &'a Mat,
+        y: &'a Mat,
+        loss: ConvexLoss,
+        lambda_total: f64,
+        b: &'a Mat,
+    ) -> Self {
+        assert_eq!(z.rows(), y.rows(), "objective: Z/Y row mismatch");
+        assert_eq!(b.rows(), z.cols(), "objective: B rows must equal d");
+        assert_eq!(b.cols(), y.cols(), "objective: B cols must equal c");
+        assert!(z.rows() > 0, "objective: empty training set");
+        assert!(lambda_total > 0.0, "objective: Λ̄+Λ′ must be positive");
+        Self { z, y, loss, lambda_total, b }
+    }
+
+    /// Number of labeled rows n₁.
+    pub fn n1(&self) -> usize {
+        self.z.rows()
+    }
+
+    /// Evaluates `L_priv(Θ)`.
+    pub fn value(&self, theta: &Mat) -> f64 {
+        let n1 = self.n1() as f64;
+        let scores = ops::matmul(self.z, theta); // n₁ × c
+        let mut data_loss = 0.0;
+        for i in 0..scores.rows() {
+            let srow = scores.row(i);
+            let yrow = self.y.row(i);
+            for (&s, &y) in srow.iter().zip(yrow) {
+                data_loss += self.loss.value(s, y);
+            }
+        }
+        data_loss / n1
+            + 0.5 * self.lambda_total * theta.frobenius_norm_sq()
+            + ops::frobenius_inner(self.b, theta) / n1
+    }
+
+    /// Evaluates `(L_priv(Θ), ∇L_priv(Θ))` in one pass.
+    pub fn value_and_grad(&self, theta: &Mat) -> (f64, Mat) {
+        let n1 = self.n1() as f64;
+        let scores = ops::matmul(self.z, theta); // n₁ × c
+        let mut data_loss = 0.0;
+        let mut dscores = Mat::zeros(scores.rows(), scores.cols());
+        for i in 0..scores.rows() {
+            let srow = scores.row(i);
+            let yrow = self.y.row(i);
+            let drow = dscores.row_mut(i);
+            for ((d, &s), &y) in drow.iter_mut().zip(srow).zip(yrow) {
+                data_loss += self.loss.value(s, y);
+                *d = self.loss.d1(s, y) / n1;
+            }
+        }
+        // ∇ = Zᵀ·dscores + λ_total·Θ + B/n₁
+        let mut grad = ops::t_matmul(self.z, &dscores);
+        ops::add_scaled_assign(&mut grad, self.lambda_total, theta);
+        ops::add_scaled_assign(&mut grad, 1.0 / n1, self.b);
+        let value = data_loss / n1
+            + 0.5 * self.lambda_total * theta.frobenius_norm_sq()
+            + ops::frobenius_inner(self.b, theta) / n1;
+        (value, grad)
+    }
+
+    /// Gradient only.
+    pub fn gradient(&self, theta: &Mat) -> Mat {
+        self.value_and_grad(theta).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{ConvexLoss, LossKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Mat, Mat, Mat) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut z = Mat::uniform(9, 5, 1.0, &mut rng);
+        z.normalize_rows_l2();
+        let mut y = Mat::zeros(9, 3);
+        for i in 0..9 {
+            y.set(i, i % 3, 1.0);
+        }
+        let b = Mat::uniform(5, 3, 0.5, &mut rng);
+        (z, y, b)
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (z, y, b) = setup(61);
+        for kind in [LossKind::MultiLabelSoftMargin, LossKind::PseudoHuber { delta: 0.3 }] {
+            let loss = ConvexLoss::new(kind, 3);
+            let obj = PerturbedObjective::new(&z, &y, loss, 0.7, &b);
+            let mut rng = StdRng::seed_from_u64(62);
+            let theta = Mat::uniform(5, 3, 1.0, &mut rng);
+            let (_, grad) = obj.value_and_grad(&theta);
+            let h = 1e-6;
+            for i in 0..5 {
+                for j in 0..3 {
+                    let mut tp = theta.clone();
+                    tp.add_at(i, j, h);
+                    let mut tm = theta.clone();
+                    tm.add_at(i, j, -h);
+                    let fd = (obj.value(&tp) - obj.value(&tm)) / (2.0 * h);
+                    assert!(
+                        (fd - grad.get(i, j)).abs() < 1e-6,
+                        "{kind:?} grad[{i}][{j}]: fd {fd} vs {}",
+                        grad.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objective_is_convex_along_segments() {
+        let (z, y, b) = setup(63);
+        let loss = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3);
+        let obj = PerturbedObjective::new(&z, &y, loss, 0.5, &b);
+        let mut rng = StdRng::seed_from_u64(64);
+        for _ in 0..10 {
+            let t1 = Mat::uniform(5, 3, 2.0, &mut rng);
+            let t2 = Mat::uniform(5, 3, 2.0, &mut rng);
+            let mid = ops::scale(&ops::add(&t1, &t2), 0.5);
+            assert!(
+                obj.value(&mid) <= 0.5 * obj.value(&t1) + 0.5 * obj.value(&t2) + 1e-12,
+                "convexity violated"
+            );
+        }
+    }
+
+    #[test]
+    fn strong_convexity_margin() {
+        // L_priv − (λ/2)‖Θ‖² is still convex, so along segments the strong
+        // convexity inequality with modulus λ must hold.
+        let (z, y, b) = setup(65);
+        let lambda = 0.8;
+        let loss = ConvexLoss::new(LossKind::PseudoHuber { delta: 0.2 }, 3);
+        let obj = PerturbedObjective::new(&z, &y, loss, lambda, &b);
+        let mut rng = StdRng::seed_from_u64(66);
+        let t1 = Mat::uniform(5, 3, 1.0, &mut rng);
+        let t2 = Mat::uniform(5, 3, 1.0, &mut rng);
+        let mid = ops::scale(&ops::add(&t1, &t2), 0.5);
+        let diff = ops::sub(&t1, &t2);
+        let lhs = obj.value(&mid);
+        let rhs = 0.5 * obj.value(&t1) + 0.5 * obj.value(&t2)
+            - lambda / 8.0 * diff.frobenius_norm_sq();
+        assert!(lhs <= rhs + 1e-12, "strong convexity violated: {lhs} > {rhs}");
+    }
+
+    #[test]
+    fn noise_term_shifts_gradient_linearly() {
+        let (z, y, _) = setup(67);
+        let loss = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3);
+        let zero = Mat::zeros(5, 3);
+        let b = Mat::full(5, 3, 2.0);
+        let theta = Mat::zeros(5, 3);
+        let g0 = PerturbedObjective::new(&z, &y, loss, 0.5, &zero).gradient(&theta);
+        let gb = PerturbedObjective::new(&z, &y, loss, 0.5, &b).gradient(&theta);
+        let n1 = 9.0;
+        for (a, b_) in g0.as_slice().iter().zip(gb.as_slice()) {
+            assert!((b_ - a - 2.0 / n1).abs() < 1e-12);
+        }
+    }
+}

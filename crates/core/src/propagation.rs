@@ -1,0 +1,417 @@
+//! PPR / APPR propagation (Sec. II-B and IV-C2 of the paper).
+//!
+//! The propagation matrix `R_m` of Eq. (9) is never materialized. For finite
+//! `m` (APPR) the aggregate features satisfy the recursion of Eq. (4):
+//!
+//! ```text
+//! Z_0 = X,    Z_m = (1−α) Ã Z_{m−1} + α X
+//! ```
+//!
+//! For `m = ∞` (PPR, Eq. 5) the same recursion is run to its fixed point:
+//! `Z_∞ = α (I − (1−α)Ã)^{-1} X`, which exists because `I − (1−α)Ã` is
+//! invertible (Lemma 3), and the iteration contracts at rate `(1−α)`.
+
+use gcon_graph::Csr;
+use gcon_linalg::{ops, Mat};
+
+/// A propagation step count `m ∈ [0, ∞]` (Eq. 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropagationStep {
+    /// APPR with `m` finite steps; `Finite(0)` is the identity (`R_0 = I`).
+    Finite(usize),
+    /// PPR — the `m → ∞` limit.
+    Infinite,
+}
+
+impl PropagationStep {
+    /// Parses `"∞"`/`"inf"` or an integer (harness convenience).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inf" | "∞" | "infinity" => Some(Self::Infinite),
+            _ => s.parse::<usize>().ok().map(Self::Finite),
+        }
+    }
+}
+
+impl std::fmt::Display for PropagationStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Finite(m) => write!(f, "{m}"),
+            Self::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Convergence tolerance for the PPR fixed point (max-abs change per sweep).
+const PPR_TOL: f64 = 1e-10;
+/// Hard cap on PPR sweeps; the geometric rate `(1−α)` makes this generous.
+const PPR_MAX_ITERS: usize = 10_000;
+
+/// Computes `Z_m = R_m X` for one step count (Eq. 10).
+///
+/// `a_tilde` must be the row-stochastic `Ã = D⁻¹(A+I)`
+/// (see `gcon_graph::normalize::row_stochastic_default`).
+pub fn propagate(a_tilde: &Csr, x: &Mat, alpha: f64, step: PropagationStep) -> Mat {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "propagate: restart probability α must lie in (0, 1], got {alpha}"
+    );
+    assert_eq!(a_tilde.rows(), x.rows(), "propagate: dimension mismatch");
+    match step {
+        PropagationStep::Finite(m) => {
+            let mut z = x.clone();
+            for _ in 0..m {
+                z = step_once(a_tilde, &z, x, alpha);
+            }
+            z
+        }
+        PropagationStep::Infinite => {
+            let mut z = x.clone();
+            for _ in 0..PPR_MAX_ITERS {
+                let next = step_once(a_tilde, &z, x, alpha);
+                let delta = max_abs_diff(&next, &z);
+                z = next;
+                if delta < PPR_TOL {
+                    break;
+                }
+            }
+            z
+        }
+    }
+}
+
+/// One APPR sweep: `(1−α) Ã Z + α X`.
+fn step_once(a_tilde: &Csr, z: &Mat, x: &Mat, alpha: f64) -> Mat {
+    let mut next = a_tilde.spmm(z);
+    next.map_inplace(|v| v * (1.0 - alpha));
+    ops::add_scaled_assign(&mut next, alpha, x);
+    next
+}
+
+fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+}
+
+/// Matrix-free operator for `I − (1−α)Ã`, the PPR system matrix of Eq. (5).
+struct PprOperator<'a> {
+    a_tilde: &'a Csr,
+    one_minus_alpha: f64,
+}
+
+impl gcon_linalg::solve::LinearOperator for PprOperator<'_> {
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.a_tilde.spmv(x);
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = xi - self.one_minus_alpha * *yi;
+        }
+        y
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        // (I − (1−α)Ã)ᵀ = I − (1−α)Ãᵀ; apply Ãᵀ by scatter.
+        let n = self.a_tilde.rows();
+        let mut at_x = vec![0.0; n];
+        for (i, &xi) in x.iter().enumerate().take(n) {
+            let (cols, vals) = self.a_tilde.row(i);
+            if xi == 0.0 {
+                continue;
+            }
+            for (&j, &v) in cols.iter().zip(vals) {
+                at_x[j as usize] += v * xi;
+            }
+        }
+        at_x.iter().zip(x).map(|(&a, &xi)| xi - self.one_minus_alpha * a).collect()
+    }
+
+    fn dim(&self) -> usize {
+        self.a_tilde.rows()
+    }
+}
+
+/// Alternative PPR path: solves `(I − (1−α)Ã) Z_∞ = α X` column-by-column
+/// with matrix-free CGNR instead of the power iteration of
+/// [`propagate`]`(…, PropagationStep::Infinite)`.
+///
+/// Useful for small restart probabilities, where the power iteration's
+/// geometric rate `1−α` is slow; both paths agree to solver tolerance (see
+/// the equivalence test).
+pub fn propagate_ppr_cgnr(a_tilde: &Csr, x: &Mat, alpha: f64) -> Mat {
+    assert!(alpha > 0.0 && alpha <= 1.0, "propagate_ppr_cgnr: α in (0, 1]");
+    assert_eq!(a_tilde.rows(), x.rows(), "propagate_ppr_cgnr: dimension mismatch");
+    let op = PprOperator { a_tilde, one_minus_alpha: 1.0 - alpha };
+    let n = x.rows();
+    let mut z = Mat::zeros(n, x.cols());
+    for j in 0..x.cols() {
+        let mut b = x.col(j);
+        for v in &mut b {
+            *v *= alpha;
+        }
+        let (col, stats) = gcon_linalg::solve::cgnr(&op, &b, 1e-12, 4 * n + 100);
+        debug_assert!(stats.converged, "PPR CGNR failed to converge: {stats:?}");
+        for (i, &v) in col.iter().enumerate() {
+            z.set(i, j, v);
+        }
+    }
+    z
+}
+
+/// The multi-scale concatenation of Eq. (11):
+/// `Z = (1/s)(Z_{m₁} ⊕ Z_{m₂} ⊕ … ⊕ Z_{m_s})`.
+///
+/// The `1/s` weighting keeps each row's L2 norm ≤ 1 when the rows of `x` are
+/// unit-normalized (each `Z_m` row is a convex combination of unit rows).
+pub fn concat_features(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    steps: &[PropagationStep],
+) -> Mat {
+    assert!(!steps.is_empty(), "concat_features: need at least one step");
+    let parts: Vec<Mat> =
+        steps.iter().map(|&m| propagate(a_tilde, x, alpha, m)).collect();
+    let refs: Vec<&Mat> = parts.iter().collect();
+    let mut z = Mat::hcat_all(&refs);
+    let inv_s = 1.0 / steps.len() as f64;
+    z.map_inplace(|v| v * inv_s);
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcon_graph::generators;
+    use gcon_graph::normalize::row_stochastic_default;
+    use gcon_linalg::reduce::row_norms2;
+    use rand::SeedableRng;
+
+    fn small_graph() -> (gcon_graph::Graph, Csr) {
+        let g = generators::cycle(6);
+        let a = row_stochastic_default(&g);
+        (g, a)
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let (_, a) = small_graph();
+        let x = Mat::from_fn(6, 3, |i, j| (i * 3 + j) as f64);
+        let z = propagate(&a, &x, 0.5, PropagationStep::Finite(0));
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn alpha_one_is_identity_for_any_m() {
+        let (_, a) = small_graph();
+        let x = Mat::from_fn(6, 2, |i, j| (i + j) as f64);
+        for step in [PropagationStep::Finite(3), PropagationStep::Infinite] {
+            let z = propagate(&a, &x, 1.0, step);
+            for (u, v) in z.as_slice().iter().zip(x.as_slice()) {
+                assert!((u - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_features_are_fixed_points() {
+        // Rows of R_m sum to 1 (Lemma 1), so a constant column is preserved.
+        let (_, a) = small_graph();
+        let x = Mat::full(6, 2, 3.5);
+        for step in
+            [PropagationStep::Finite(1), PropagationStep::Finite(7), PropagationStep::Infinite]
+        {
+            let z = propagate(&a, &x, 0.3, step);
+            for v in z.as_slice() {
+                assert!((v - 3.5).abs() < 1e-8, "step {step:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn finite_matches_explicit_appr_polynomial() {
+        // Z_m must equal (α Σ_{i<m} (1-α)^i Ã^i + (1-α)^m Ã^m) X  (Eq. 6).
+        let (_, a) = small_graph();
+        let x = Mat::from_fn(6, 2, |i, j| ((i + 1) * (j + 2)) as f64 * 0.1);
+        let alpha: f64 = 0.4;
+        let m = 4;
+        let dense = a.to_dense();
+        // Build R_m densely.
+        let mut rm = Mat::zeros(6, 6);
+        let mut apow = Mat::eye(6);
+        for i in 0..m {
+            ops::add_scaled_assign(&mut rm, alpha * (1.0 - alpha).powi(i as i32), &apow);
+            apow = ops::matmul(&apow, &dense);
+        }
+        ops::add_scaled_assign(&mut rm, (1.0 - alpha).powi(m as i32), &apow);
+        let expect = ops::matmul(&rm, &x);
+        let z = propagate(&a, &x, alpha, PropagationStep::Finite(m));
+        for (u, v) in z.as_slice().iter().zip(expect.as_slice()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ppr_fixed_point_satisfies_linear_system() {
+        // Z_∞ should satisfy (I − (1−α)Ã) Z_∞ = α X.
+        let (_, a) = small_graph();
+        let x = Mat::from_fn(6, 3, |i, j| ((i * 3 + j) % 5) as f64 * 0.2);
+        let alpha = 0.25;
+        let z = propagate(&a, &x, alpha, PropagationStep::Infinite);
+        let az = a.spmm(&z);
+        for i in 0..6 {
+            for j in 0..3 {
+                let lhs = z.get(i, j) - (1.0 - alpha) * az.get(i, j);
+                let rhs = alpha * x.get(i, j);
+                assert!((lhs - rhs).abs() < 1e-8, "({i},{j}): {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_m_approaches_ppr() {
+        let (_, a) = small_graph();
+        let x = Mat::from_fn(6, 2, |i, j| (i as f64 - j as f64) * 0.3);
+        let alpha = 0.5;
+        let z_inf = propagate(&a, &x, alpha, PropagationStep::Infinite);
+        let z_40 = propagate(&a, &x, alpha, PropagationStep::Finite(40));
+        for (u, v) in z_40.as_slice().iter().zip(z_inf.as_slice()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_keeps_row_norm_bounded() {
+        let (_, a) = small_graph();
+        let mut x = Mat::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        x.normalize_rows_l2();
+        let z = concat_features(
+            &a,
+            &x,
+            0.4,
+            &[PropagationStep::Finite(0), PropagationStep::Finite(2), PropagationStep::Infinite],
+        );
+        assert_eq!(z.cols(), 12);
+        for n in row_norms2(&z) {
+            assert!(n <= 1.0 + 1e-9, "row norm {n} exceeds 1");
+        }
+    }
+
+    #[test]
+    fn ppr_cgnr_matches_power_iteration() {
+        let (_, a) = small_graph();
+        let x = Mat::from_fn(6, 3, |i, j| ((i * 2 + j) % 7) as f64 * 0.3 - 0.5);
+        for &alpha in &[0.1, 0.4, 0.9] {
+            let power = propagate(&a, &x, alpha, PropagationStep::Infinite);
+            let cg = propagate_ppr_cgnr(&a, &x, alpha);
+            for (u, v) in power.as_slice().iter().zip(cg.as_slice()) {
+                assert!((u - v).abs() < 1e-7, "α={alpha}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ppr_cgnr_on_bigger_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(123);
+        let g = generators::erdos_renyi_gnm(150, 450, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(150, 4, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let power = propagate(&a, &x, 0.2, PropagationStep::Infinite);
+        let cg = propagate_ppr_cgnr(&a, &x, 0.2);
+        for (u, v) in power.as_slice().iter().zip(cg.as_slice()) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn propagation_step_parsing() {
+        assert_eq!(PropagationStep::parse("3"), Some(PropagationStep::Finite(3)));
+        assert_eq!(PropagationStep::parse("inf"), Some(PropagationStep::Infinite));
+        assert_eq!(PropagationStep::parse("∞"), Some(PropagationStep::Infinite));
+        assert_eq!(PropagationStep::parse("x"), None);
+    }
+
+    #[test]
+    fn smoothing_pulls_neighbors_together() {
+        // On a homophilous structure, propagation reduces the feature gap
+        // between adjacent nodes.
+        let (g, a) = small_graph();
+        let x = Mat::from_fn(6, 1, |i, _| if i < 3 { 1.0 } else { -1.0 });
+        let z = propagate(&a, &x, 0.2, PropagationStep::Finite(5));
+        let gap = |m: &Mat| -> f64 {
+            g.edges()
+                .iter()
+                .map(|&(u, v)| (m.get(u as usize, 0) - m.get(v as usize, 0)).abs())
+                .sum()
+        };
+        assert!(gap(&z) < gap(&x));
+    }
+
+    /// The production recursion `Z_m = (1−α)ÃZ_{m−1} + αX` must equal the
+    /// paper's *explicit* Eq. (6) expansion
+    /// `R_m = α Σ_{i=0}^{m−1} (1−α)^i Ã^i + (1−α)^m Ã^m` applied to `X`,
+    /// built densely from matrix powers.
+    #[test]
+    fn recursion_matches_eq6_dense_expansion() {
+        use gcon_linalg::ops;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let g = gcon_graph::generators::erdos_renyi_gnm(12, 26, &mut rng);
+        let a_csr = gcon_graph::normalize::row_stochastic_default(&g);
+        let a = a_csr.to_dense();
+        let mut x = Mat::uniform(12, 3, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        for &alpha in &[0.2f64, 0.5, 0.9] {
+            for m in 0usize..8 {
+                // Dense R_m via Eq. (6).
+                let mut r = Mat::zeros(12, 12);
+                let mut a_pow = Mat::eye(12); // Ã^0
+                for i in 0..m {
+                    ops::add_scaled_assign(
+                        &mut r,
+                        alpha * (1.0f64 - alpha).powi(i as i32),
+                        &a_pow,
+                    );
+                    a_pow = ops::matmul(&a_pow, &a);
+                }
+                ops::add_scaled_assign(&mut r, (1.0f64 - alpha).powi(m as i32), &a_pow);
+                let z_dense = ops::matmul(&r, &x);
+                let z_rec = propagate(&a_csr, &x, alpha, PropagationStep::Finite(m));
+                for (u, v) in z_dense.as_slice().iter().zip(z_rec.as_slice()) {
+                    assert!(
+                        (u - v).abs() < 1e-10,
+                        "α={alpha} m={m}: dense {u} vs recursion {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Eq. (4) telescopes: R_m interpolates between R_0 = I (m = 0) and
+    /// R_∞; on a connected graph the APPR output converges to the PPR fixed
+    /// point geometrically at rate (1−α).
+    #[test]
+    fn appr_converges_geometrically_to_ppr() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+        let g = gcon_graph::generators::cycle(20);
+        let a = gcon_graph::normalize::row_stochastic_default(&g);
+        let mut x = Mat::uniform(20, 2, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.4;
+        let z_inf = propagate(&a, &x, alpha, PropagationStep::Infinite);
+        let mut prev_err = f64::INFINITY;
+        for m in [1usize, 2, 4, 8, 16, 32] {
+            let z_m = propagate(&a, &x, alpha, PropagationStep::Finite(m));
+            let err = gcon_linalg::ops::sub(&z_m, &z_inf).max_abs();
+            assert!(err <= prev_err + 1e-12, "m={m}: error {err} not decreasing");
+            // Geometric envelope: ‖Z_m − Z_∞‖ ≤ (1−α)^m ‖X − Z_∞‖-ish scale.
+            assert!(
+                err <= (1.0 - alpha).powi(m as i32) * 2.0 + 1e-12,
+                "m={m}: error {err} above geometric envelope"
+            );
+            prev_err = err;
+        }
+    }
+}

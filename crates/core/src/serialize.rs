@@ -1,0 +1,636 @@
+//! Binary serialization of released models.
+//!
+//! The paper's deployment story (Sec. IV-C6) is that a server *publishes*
+//! the trained `Θ_priv` — the privacy guarantee covers exactly this release.
+//! A downstream user therefore needs a durable on-disk representation of
+//! [`TrainedGcon`]: the parameters, the (public) feature encoder, the full
+//! hyperparameter configuration, and the privacy report documenting what
+//! `(ε, δ)` the artifact was trained under.
+//!
+//! Format: a little-endian tag-free binary layout (`b"GCON"` magic +
+//! version), written and parsed with the `bytes` crate. Decoding is
+//! fail-closed: any truncation, bad magic, unknown enum tag or non-finite
+//! dimension yields a [`DecodeError`] instead of a partially-built model.
+
+use crate::encoder::FeatureEncoder;
+use crate::loss::LossKind;
+use crate::model::{GconConfig, OptimizerConfig, PrivacyReport, TrainedGcon};
+use crate::params::TheoremOneParams;
+use crate::encoder::EncoderConfig;
+use crate::propagation::PropagationStep;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gcon_linalg::Mat;
+use gcon_nn::{Activation, Linear, Mlp};
+
+/// Magic prefix of the format.
+pub const MAGIC: &[u8; 4] = b"GCON";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Why a byte stream failed to decode into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the structure was complete.
+    Truncated,
+    /// The stream does not start with the `GCON` magic.
+    BadMagic,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// An enum tag had no defined meaning.
+    BadTag(&'static str, u8),
+    /// A structural invariant failed (dimension mismatch, empty layers, …).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "byte stream truncated"),
+            Self::BadMagic => write!(f, "missing GCON magic prefix"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            Self::BadTag(what, t) => write!(f, "invalid {what} tag {t}"),
+            Self::Invalid(what) => write!(f, "structural invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ------------------------------------------------------------- primitives
+
+fn put_mat(buf: &mut BytesMut, m: &Mat) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &v in m.as_slice() {
+        buf.put_f64_le(v);
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_f64(buf: &mut Bytes) -> Result<f64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn get_mat(buf: &mut Bytes) -> Result<Mat, DecodeError> {
+    let rows = get_u32(buf)? as usize;
+    let cols = get_u32(buf)? as usize;
+    let len = rows
+        .checked_mul(cols)
+        .ok_or(DecodeError::Invalid("matrix dimensions overflow"))?;
+    if buf.remaining() < len * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(buf.get_f64_le());
+    }
+    Ok(Mat::from_vec(rows, cols, data))
+}
+
+fn put_vec_f64(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_f64_le(x);
+    }
+}
+
+fn get_vec_f64(buf: &mut Bytes) -> Result<Vec<f64>, DecodeError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+// ------------------------------------------------------------ components
+
+fn activation_tag(a: Activation) -> u8 {
+    match a {
+        Activation::Relu => 0,
+        Activation::Tanh => 1,
+        Activation::Sigmoid => 2,
+        Activation::Identity => 3,
+    }
+}
+
+fn activation_from_tag(t: u8) -> Result<Activation, DecodeError> {
+    Ok(match t {
+        0 => Activation::Relu,
+        1 => Activation::Tanh,
+        2 => Activation::Sigmoid,
+        3 => Activation::Identity,
+        _ => return Err(DecodeError::BadTag("activation", t)),
+    })
+}
+
+fn put_linear(buf: &mut BytesMut, l: &Linear) {
+    put_mat(buf, &l.w);
+    put_vec_f64(buf, &l.b);
+}
+
+fn get_linear(buf: &mut Bytes) -> Result<Linear, DecodeError> {
+    let w = get_mat(buf)?;
+    let b = get_vec_f64(buf)?;
+    if b.len() != w.cols() {
+        return Err(DecodeError::Invalid("linear bias length"));
+    }
+    Ok(Linear { w, b })
+}
+
+fn put_mlp(buf: &mut BytesMut, net: &Mlp) {
+    buf.put_u32_le(net.layers.len() as u32);
+    for l in &net.layers {
+        put_linear(buf, l);
+    }
+    let (h, o) = net.activations();
+    buf.put_u8(activation_tag(h));
+    buf.put_u8(activation_tag(o));
+}
+
+fn get_mlp(buf: &mut Bytes) -> Result<Mlp, DecodeError> {
+    let depth = get_u32(buf)? as usize;
+    if depth == 0 {
+        return Err(DecodeError::Invalid("empty MLP"));
+    }
+    let mut layers = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        layers.push(get_linear(buf)?);
+    }
+    for w in layers.windows(2) {
+        if w[0].d_out() != w[1].d_in() {
+            return Err(DecodeError::Invalid("MLP layer dims do not chain"));
+        }
+    }
+    let h = activation_from_tag(get_u8(buf)?)?;
+    let o = activation_from_tag(get_u8(buf)?)?;
+    Ok(Mlp::from_parts(layers, h, o))
+}
+
+fn put_step(buf: &mut BytesMut, s: PropagationStep) {
+    match s {
+        PropagationStep::Finite(m) => {
+            buf.put_u8(0);
+            buf.put_u64_le(m as u64);
+        }
+        PropagationStep::Infinite => buf.put_u8(1),
+    }
+}
+
+fn get_step(buf: &mut Bytes) -> Result<PropagationStep, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(PropagationStep::Finite(get_u64(buf)? as usize)),
+        1 => Ok(PropagationStep::Infinite),
+        t => Err(DecodeError::BadTag("propagation step", t)),
+    }
+}
+
+fn put_loss(buf: &mut BytesMut, l: LossKind) {
+    match l {
+        LossKind::MultiLabelSoftMargin => buf.put_u8(0),
+        LossKind::PseudoHuber { delta } => {
+            buf.put_u8(1);
+            buf.put_f64_le(delta);
+        }
+    }
+}
+
+fn get_loss(buf: &mut Bytes) -> Result<LossKind, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(LossKind::MultiLabelSoftMargin),
+        1 => Ok(LossKind::PseudoHuber { delta: get_f64(buf)? }),
+        t => Err(DecodeError::BadTag("loss kind", t)),
+    }
+}
+
+fn put_config(buf: &mut BytesMut, cfg: &GconConfig) {
+    buf.put_u64_le(cfg.encoder.hidden as u64);
+    buf.put_u64_le(cfg.encoder.d1 as u64);
+    buf.put_u64_le(cfg.encoder.epochs as u64);
+    buf.put_f64_le(cfg.encoder.lr);
+    buf.put_f64_le(cfg.encoder.weight_decay);
+    buf.put_f64_le(cfg.alpha);
+    buf.put_u32_le(cfg.steps.len() as u32);
+    for &s in &cfg.steps {
+        put_step(buf, s);
+    }
+    buf.put_f64_le(cfg.lambda);
+    put_loss(buf, cfg.loss);
+    buf.put_f64_le(cfg.omega);
+    buf.put_f64_le(cfg.alpha_inference);
+    buf.put_u8(cfg.expand_train_set as u8);
+    buf.put_f64_le(cfg.clip_p);
+    buf.put_f64_le(cfg.optimizer.lr);
+    buf.put_u64_le(cfg.optimizer.max_iters as u64);
+    buf.put_f64_le(cfg.optimizer.grad_tol);
+}
+
+fn get_config(buf: &mut Bytes) -> Result<GconConfig, DecodeError> {
+    let encoder = EncoderConfig {
+        hidden: get_u64(buf)? as usize,
+        d1: get_u64(buf)? as usize,
+        epochs: get_u64(buf)? as usize,
+        lr: get_f64(buf)?,
+        weight_decay: get_f64(buf)?,
+    };
+    let alpha = get_f64(buf)?;
+    let num_steps = get_u32(buf)? as usize;
+    let mut steps = Vec::with_capacity(num_steps);
+    for _ in 0..num_steps {
+        steps.push(get_step(buf)?);
+    }
+    let lambda = get_f64(buf)?;
+    let loss = get_loss(buf)?;
+    let omega = get_f64(buf)?;
+    let alpha_inference = get_f64(buf)?;
+    let expand_train_set = match get_u8(buf)? {
+        0 => false,
+        1 => true,
+        t => return Err(DecodeError::BadTag("bool", t)),
+    };
+    let clip_p = get_f64(buf)?;
+    let optimizer = OptimizerConfig {
+        lr: get_f64(buf)?,
+        max_iters: get_u64(buf)? as usize,
+        grad_tol: get_f64(buf)?,
+    };
+    Ok(GconConfig {
+        encoder,
+        alpha,
+        steps,
+        lambda,
+        loss,
+        omega,
+        alpha_inference,
+        expand_train_set,
+        clip_p,
+        optimizer,
+    })
+}
+
+fn put_report(buf: &mut BytesMut, r: &PrivacyReport) {
+    buf.put_f64_le(r.eps);
+    buf.put_f64_le(r.delta);
+    buf.put_f64_le(r.psi_z);
+    buf.put_f64_le(r.params.lambda_eff);
+    buf.put_f64_le(r.params.csf);
+    buf.put_f64_le(r.params.c_theta);
+    buf.put_f64_le(r.params.eps_lambda);
+    buf.put_f64_le(r.params.lambda_prime);
+    buf.put_f64_le(r.params.beta);
+    buf.put_u64_le(r.n1 as u64);
+}
+
+fn get_report(buf: &mut Bytes) -> Result<PrivacyReport, DecodeError> {
+    Ok(PrivacyReport {
+        eps: get_f64(buf)?,
+        delta: get_f64(buf)?,
+        psi_z: get_f64(buf)?,
+        params: TheoremOneParams {
+            lambda_eff: get_f64(buf)?,
+            csf: get_f64(buf)?,
+            c_theta: get_f64(buf)?,
+            eps_lambda: get_f64(buf)?,
+            lambda_prime: get_f64(buf)?,
+            beta: get_f64(buf)?,
+        },
+        n1: get_u64(buf)? as usize,
+    })
+}
+
+// --------------------------------------------------------------- toplevel
+
+/// Serializes a trained model to its binary representation.
+pub fn to_bytes(model: &TrainedGcon) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4096);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    put_mat(&mut buf, &model.theta);
+    put_mlp(&mut buf, &model.encoder.net);
+    put_linear(&mut buf, &model.encoder.head);
+    put_config(&mut buf, &model.config);
+    put_report(&mut buf, &model.report);
+    buf.put_u64_le(model.num_classes as u64);
+    buf.put_u64_le(model.opt_iterations as u64);
+    buf.put_f64_le(model.final_grad_norm);
+    buf.freeze()
+}
+
+/// Decodes a model from bytes produced by [`to_bytes`]. Fail-closed.
+pub fn from_bytes(bytes: &[u8]) -> Result<TrainedGcon, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = get_u16(&mut buf)?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let theta = get_mat(&mut buf)?;
+    let net = get_mlp(&mut buf)?;
+    let head = get_linear(&mut buf)?;
+    let config = get_config(&mut buf)?;
+    let report = get_report(&mut buf)?;
+    let num_classes = get_u64(&mut buf)? as usize;
+    let opt_iterations = get_u64(&mut buf)? as usize;
+    let final_grad_norm = get_f64(&mut buf)?;
+
+    if theta.cols() != num_classes {
+        return Err(DecodeError::Invalid("theta columns vs class count"));
+    }
+    if head.d_out() != num_classes {
+        return Err(DecodeError::Invalid("encoder head vs class count"));
+    }
+    let d1 = net.layers.last().expect("validated non-empty").d_out();
+    if head.d_in() != d1 {
+        return Err(DecodeError::Invalid("encoder head vs embedding dim"));
+    }
+    if theta.rows() != config.steps.len() * d1 {
+        return Err(DecodeError::Invalid("theta rows vs s·d₁"));
+    }
+
+    Ok(TrainedGcon {
+        theta,
+        encoder: FeatureEncoder { net, head },
+        config,
+        report,
+        num_classes,
+        opt_iterations,
+        final_grad_norm,
+    })
+}
+
+/// Writes the model to a file.
+pub fn save(model: &TrainedGcon, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(model))
+}
+
+/// Reads a model back from a file.
+pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<TrainedGcon> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::train_gcon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_model(seed: u64) -> (TrainedGcon, gcon_graph::Graph, Mat) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, labels) = gcon_graph::generators::sbm_homophily(
+            &gcon_graph::generators::SbmConfig {
+                n: 50,
+                num_edges: 120,
+                num_classes: 3,
+                homophily: 0.8,
+                degree_exponent: 2.5,
+            },
+            &mut rng,
+        );
+        let x = Mat::from_fn(50, 6, |i, j| if labels[i] == j % 3 { 1.0 } else { 0.2 });
+        let idx: Vec<usize> = (0..25).collect();
+        let mut cfg = GconConfig::default();
+        cfg.encoder.epochs = 20;
+        cfg.optimizer.max_iters = 200;
+        cfg.steps =
+            vec![PropagationStep::Finite(1), PropagationStep::Infinite];
+        cfg.loss = LossKind::PseudoHuber { delta: 0.3 };
+        let model = train_gcon(&cfg, &g, &x, &labels, &idx, 3, 1.5, 1e-4, &mut rng);
+        (model, g, x)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (model, _, _) = trained_model(1);
+        let bytes = to_bytes(&model);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.theta.as_slice(), model.theta.as_slice());
+        assert_eq!(back.num_classes, model.num_classes);
+        assert_eq!(back.opt_iterations, model.opt_iterations);
+        assert_eq!(back.final_grad_norm, model.final_grad_norm);
+        assert_eq!(back.config.steps, model.config.steps);
+        assert_eq!(back.config.clip_p, model.config.clip_p);
+        assert_eq!(back.config.loss, model.config.loss);
+        assert_eq!(back.report.eps, model.report.eps);
+        assert_eq!(back.report.params.beta, model.report.params.beta);
+        assert_eq!(back.report.n1, model.report.n1);
+    }
+
+    #[test]
+    fn roundtrip_model_predicts_identically() {
+        let (model, g, x) = trained_model(2);
+        let back = from_bytes(&to_bytes(&model)).unwrap();
+        let a = crate::infer::private_logits(&model, &g, &x);
+        let b = crate::infer::private_logits(&back, &g, &x);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = crate::infer::public_logits(&model, &g, &x);
+        let d = crate::infer::public_logits(&back, &g, &x);
+        assert_eq!(c.as_slice(), d.as_slice());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (model, _, _) = trained_model(3);
+        let dir = std::env::temp_dir().join("gcon_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gcon");
+        save(&model, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.theta.as_slice(), model.theta.as_slice());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (model, _, _) = trained_model(4);
+        let mut bytes = to_bytes(&model).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadMagic)));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let (model, _, _) = trained_model(5);
+        let mut bytes = to_bytes(&model).to_vec();
+        bytes[4] = 0xFF; // version LE low byte
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix_length() {
+        let (model, _, _) = trained_model(6);
+        let bytes = to_bytes(&model);
+        // Every strict prefix must fail cleanly (no panic, no partial model).
+        for cut in [0, 3, 4, 6, 10, bytes.len() / 2, bytes.len() - 1] {
+            let r = from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly decoded");
+        }
+    }
+
+    #[test]
+    fn corrupted_enum_tag_rejected() {
+        let (model, _, _) = trained_model(7);
+        let bytes = to_bytes(&model).to_vec();
+        // Scan for the activation tags by decoding successively corrupted
+        // copies: flipping any single byte must never panic.
+        let stride = (bytes.len() / 64).max(1);
+        for i in (0..bytes.len()).step_by(stride) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] = corrupted[i].wrapping_add(0x7F);
+            let _ = from_bytes(&corrupted); // must not panic; Err or Ok both fine
+        }
+    }
+
+    #[test]
+    fn display_of_errors_is_informative() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadTag("loss kind", 9).to_string().contains("loss kind"));
+        assert!(DecodeError::UnsupportedVersion(7).to_string().contains('7'));
+    }
+
+    mod prop {
+        use super::super::*;
+        use crate::encoder::FeatureEncoder;
+        use gcon_nn::{Activation, Linear, Mlp, MlpConfig};
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        /// Builds a structurally valid TrainedGcon with random shapes and
+        /// weights, no training required.
+        fn random_model(
+            seed: u64,
+            d0: usize,
+            d1: usize,
+            c: usize,
+            s: usize,
+            huber: bool,
+            clip_p: f64,
+        ) -> TrainedGcon {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = Mlp::new(
+                &MlpConfig {
+                    dims: vec![d0, 6, d1],
+                    hidden_activation: Activation::Relu,
+                    output_activation: Activation::Tanh,
+                },
+                &mut rng,
+            );
+            let head = Linear::xavier(d1, c, &mut rng);
+            let mut config = GconConfig::default();
+            config.encoder.d1 = d1;
+            config.clip_p = clip_p;
+            config.steps = (0..s)
+                .map(|i| {
+                    if i == 0 {
+                        PropagationStep::Infinite
+                    } else {
+                        PropagationStep::Finite(i * 2)
+                    }
+                })
+                .collect();
+            config.loss = if huber {
+                LossKind::PseudoHuber { delta: 0.25 }
+            } else {
+                LossKind::MultiLabelSoftMargin
+            };
+            TrainedGcon {
+                theta: Mat::gaussian(s * d1, c, 1.0, &mut rng),
+                encoder: FeatureEncoder { net, head },
+                config,
+                report: PrivacyReport {
+                    eps: 1.5,
+                    delta: 1e-4,
+                    psi_z: 0.7,
+                    params: TheoremOneParams {
+                        lambda_eff: 0.3,
+                        csf: 21.0,
+                        c_theta: 4.2,
+                        eps_lambda: 0.01,
+                        lambda_prime: 0.0,
+                        beta: 2.5,
+                    },
+                    n1: 123,
+                },
+                num_classes: c,
+                opt_iterations: 77,
+                final_grad_norm: 1e-9,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Roundtrip over randomized shapes, losses, step sets and clips.
+            #[test]
+            fn roundtrip_any_shape(
+                seed in 0u64..1000,
+                d0 in 1usize..9,
+                d1 in 1usize..7,
+                c in 2usize..5,
+                s in 1usize..4,
+                huber: bool,
+                clip_p in 0.05f64..0.5,
+            ) {
+                let m = random_model(seed, d0, d1, c, s, huber, clip_p);
+                let back = from_bytes(&to_bytes(&m)).unwrap();
+                prop_assert_eq!(back.theta.as_slice(), m.theta.as_slice());
+                prop_assert_eq!(back.config.steps, m.config.steps);
+                prop_assert_eq!(back.config.loss, m.config.loss);
+                prop_assert!((back.config.clip_p - m.config.clip_p).abs() < 1e-15);
+                prop_assert_eq!(back.num_classes, m.num_classes);
+                // Encoder weights byte-identical.
+                for (l1, l2) in back.encoder.net.layers.iter().zip(&m.encoder.net.layers) {
+                    prop_assert_eq!(l1.w.as_slice(), l2.w.as_slice());
+                    prop_assert_eq!(&l1.b, &l2.b);
+                }
+            }
+
+            /// Any truncation fails cleanly; never panics, never Ok.
+            #[test]
+            fn any_truncation_rejected(seed in 0u64..200, frac in 0.0f64..1.0) {
+                let m = random_model(seed, 4, 3, 3, 2, false, 0.5);
+                let bytes = to_bytes(&m);
+                let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+                prop_assert!(from_bytes(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Algorithm 1: the complete GCON training pipeline.
+//!
+//! ```text
+//! 1. X̄ ← FeatureEncoder(X, Y, d₁)          (edge-free, no budget)
+//! 2. normalize rows of X̄ to unit L2
+//! 3. Ã ← D⁻¹(A + I)
+//! 4-7. Z ← (1/s)(Z_{m₁} ⊕ … ⊕ Z_{m_s}),  Z_m by the APPR/PPR recursion
+//! 8. (Λ′, β) ← Theorem 1 (Eq. 17–24)
+//! 9. B ← Algorithm 2 noise, column-wise
+//! 10. L_priv ← Eq. (13)
+//! 11. Θ_priv ← argmin L_priv              (optimizer-independent privacy)
+//! ```
+
+use crate::encoder::FeatureEncoder;
+use crate::loss::ConvexLoss;
+use crate::model::{GconConfig, OptimizerConfig, PrivacyReport, TrainedGcon};
+use crate::noise::sample_noise_matrix;
+use crate::objective::PerturbedObjective;
+use crate::params::{CalibrationInput, TheoremOneParams};
+use crate::propagation::concat_features;
+use crate::sensitivity::psi_z_clipped;
+use gcon_graph::normalize::row_stochastic;
+use gcon_graph::Graph;
+use gcon_linalg::Mat;
+use gcon_nn::{Adam, Optimizer};
+use rand::Rng;
+
+/// Minimizes a [`PerturbedObjective`] with full-batch Adam from `theta0`.
+/// Returns `(Θ*, iterations, final gradient norm)`.
+///
+/// The objective is `(Λ̄+Λ′)`-strongly convex (Lemma 4 + Fact 1), so the
+/// minimizer is unique; convergence is checked on the gradient norm.
+pub fn minimize(
+    obj: &PerturbedObjective<'_>,
+    theta0: Mat,
+    opt_cfg: &OptimizerConfig,
+) -> (Mat, usize, f64) {
+    let mut theta = theta0;
+    let mut opt = Adam::new(opt_cfg.lr);
+    let mut grad_norm = f64::INFINITY;
+    let mut iters = 0;
+    for it in 0..opt_cfg.max_iters {
+        let (_, grad) = obj.value_and_grad(&theta);
+        grad_norm = grad.frobenius_norm();
+        iters = it;
+        if grad_norm < opt_cfg.grad_tol {
+            break;
+        }
+        opt.begin_step();
+        opt.update(0, theta.as_mut_slice(), grad.as_slice());
+    }
+    (theta, iters, grad_norm)
+}
+
+/// Minimizes a [`PerturbedObjective`] with plain gradient descent plus
+/// Armijo backtracking line search.
+///
+/// Exists to demonstrate (and test) the Theorem 1 remark that GCON's
+/// privacy is *optimizer-independent*: this method and [`minimize`] (Adam)
+/// converge to the same unique minimizer of the strongly-convex objective,
+/// and neither touches the privacy calibration.
+pub fn minimize_gd(
+    obj: &PerturbedObjective<'_>,
+    theta0: Mat,
+    opt_cfg: &OptimizerConfig,
+) -> (Mat, usize, f64) {
+    let mut theta = theta0;
+    let mut step = 1.0_f64;
+    let mut grad_norm = f64::INFINITY;
+    let mut iters = 0;
+    for it in 0..opt_cfg.max_iters {
+        let (value, grad) = obj.value_and_grad(&theta);
+        grad_norm = grad.frobenius_norm();
+        iters = it;
+        if grad_norm < opt_cfg.grad_tol {
+            break;
+        }
+        // Armijo backtracking: f(θ − t·g) ≤ f(θ) − 0.5·t·‖g‖².
+        let g_sq = grad_norm * grad_norm;
+        let mut t = (step * 2.0).min(1e3);
+        let mut accepted = false;
+        for _ in 0..60 {
+            let mut cand = theta.clone();
+            gcon_linalg::ops::add_scaled_assign(&mut cand, -t, &grad);
+            if obj.value(&cand) <= value - 0.5 * t * g_sq {
+                theta = cand;
+                step = t;
+                accepted = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        if !accepted {
+            break; // step underflow: numerically at the optimum
+        }
+    }
+    (theta, iters, grad_norm)
+}
+
+/// Trains GCON on `(graph, features, labels)` under `(eps, delta)` edge-DP.
+///
+/// - `features`: `n × d₀` raw node features (public).
+/// - `labels`: class index per node (only `train_idx` entries are used as
+///   ground truth; they are public in the problem setting of Sec. III).
+/// - `train_idx`: indices of labeled training nodes.
+///
+/// Returns the released model; the privacy guarantee covers `Θ_priv` and is
+/// independent of the optimizer (Theorem 1 remark).
+#[allow(clippy::too_many_arguments)] // Algorithm 1 takes the full dataset tuple plus (ε, δ)
+pub fn train_gcon<R: Rng + ?Sized>(
+    config: &GconConfig,
+    graph: &Graph,
+    features: &Mat,
+    labels: &[usize],
+    train_idx: &[usize],
+    num_classes: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> TrainedGcon {
+    let n = graph.num_nodes();
+    assert_eq!(features.rows(), n, "train_gcon: feature rows must match node count");
+    assert_eq!(labels.len(), n, "train_gcon: need a label slot per node");
+    assert!(!train_idx.is_empty(), "train_gcon: empty training set");
+    assert!(num_classes >= 2);
+
+    // Lines 1–2: encoder (public) + row normalization.
+    let x_labeled = features.select_rows(train_idx);
+    let y_labeled: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+    let encoder =
+        FeatureEncoder::train(&config.encoder, &x_labeled, &y_labeled, num_classes, rng);
+    let mut x_enc = encoder.encode(features);
+    x_enc.normalize_rows_l2();
+
+    // Lines 4–7: propagation and concatenation (with the Lemma 1 clip,
+    // inactive at the default p = 1/2).
+    let a_tilde = row_stochastic(graph, config.clip_p);
+    let z_all = concat_features(&a_tilde, &x_enc, config.alpha, &config.steps);
+
+    // Training rows: the labeled set, optionally expanded with encoder
+    // pseudo-labels (n₁ ∈ {n₀, n} in Appendix Q). Pseudo-labels are derived
+    // from features only, so they stay edge-free.
+    let (rows, row_labels): (Vec<usize>, Vec<usize>) = if config.expand_train_set {
+        let pseudo = encoder.predict(features);
+        let mut lbls = pseudo;
+        for &i in train_idx {
+            lbls[i] = labels[i];
+        }
+        ((0..n).collect(), lbls)
+    } else {
+        (train_idx.to_vec(), y_labeled.clone())
+    };
+    // `row_labels` is parallel to `rows` in both branches (the expanded
+    // branch uses rows = 0..n, so per-node indexing coincides).
+    let z_train = z_all.select_rows(&rows);
+    let n1 = rows.len();
+    let mut y_onehot = Mat::zeros(n1, num_classes);
+    for (r, &label) in row_labels.iter().enumerate() {
+        y_onehot.set(r, label, 1.0);
+    }
+
+    // Line 8: Theorem 1 calibration. The clipped Ψ_p reduces to Lemma 2's
+    // Ψ(Z) at p = 1/2.
+    let loss = ConvexLoss::new(config.loss, num_classes);
+    let psi = psi_z_clipped(config.alpha, &config.steps, config.clip_p);
+    let d = z_train.cols();
+    let params = TheoremOneParams::compute(&CalibrationInput {
+        eps,
+        delta,
+        omega: config.omega,
+        lambda: config.lambda,
+        n1,
+        num_classes,
+        dim: d,
+        bounds: loss.bounds(),
+        psi,
+    });
+
+    // Line 9: noise.
+    let b = sample_noise_matrix(d, num_classes, params.beta, rng);
+
+    // Lines 10–11: minimize the perturbed objective.
+    let obj = PerturbedObjective::new(&z_train, &y_onehot, loss, params.lambda_total(), &b);
+    let theta0 = Mat::zeros(d, num_classes);
+    let (theta, opt_iterations, final_grad_norm) = minimize(&obj, theta0, &config.optimizer);
+
+    TrainedGcon {
+        theta,
+        encoder,
+        config: config.clone(),
+        report: PrivacyReport { eps, delta, psi_z: psi, params, n1 },
+        num_classes,
+        opt_iterations,
+        final_grad_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossKind;
+    use crate::objective::PerturbedObjective;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minimizer_reaches_unique_optimum_from_different_inits() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut z = Mat::uniform(20, 6, 1.0, &mut rng);
+        z.normalize_rows_l2();
+        let mut y = Mat::zeros(20, 3);
+        for i in 0..20 {
+            y.set(i, i % 3, 1.0);
+        }
+        let b = Mat::uniform(6, 3, 0.3, &mut rng);
+        let loss = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3);
+        let obj = PerturbedObjective::new(&z, &y, loss, 0.5, &b);
+        let cfg = OptimizerConfig { lr: 0.05, max_iters: 5000, grad_tol: 1e-10 };
+        let (t1, _, g1) = minimize(&obj, Mat::zeros(6, 3), &cfg);
+        let (t2, _, g2) = minimize(&obj, Mat::uniform(6, 3, 2.0, &mut rng), &cfg);
+        assert!(g1 < 1e-8, "g1 = {g1}");
+        assert!(g2 < 1e-8, "g2 = {g2}");
+        // Strong convexity ⇒ unique minimizer.
+        for (a, b_) in t1.as_slice().iter().zip(t2.as_slice()) {
+            assert!((a - b_).abs() < 1e-5, "minimizers differ: {a} vs {b_}");
+        }
+    }
+
+    /// The Theorem 1 remark, operationalized: two different optimizers find
+    /// the same Θ* for the same perturbed objective.
+    #[test]
+    fn adam_and_line_search_gd_agree_on_the_minimizer() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let mut z = Mat::uniform(25, 5, 1.0, &mut rng);
+        z.normalize_rows_l2();
+        let mut y = Mat::zeros(25, 3);
+        for i in 0..25 {
+            y.set(i, i % 3, 1.0);
+        }
+        let b = Mat::uniform(5, 3, 0.4, &mut rng);
+        let loss = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3);
+        let obj = PerturbedObjective::new(&z, &y, loss, 0.6, &b);
+        let cfg = OptimizerConfig { lr: 0.05, max_iters: 8000, grad_tol: 1e-11 };
+        let (t_adam, _, g1) = minimize(&obj, Mat::zeros(5, 3), &cfg);
+        let (t_gd, _, g2) = minimize_gd(&obj, Mat::uniform(5, 3, 1.0, &mut rng), &cfg);
+        // GD's Armijo test bottoms out in f64 rounding around ‖∇‖ ≈ 1e-8.
+        assert!(g1 < 1e-8, "Adam grad {g1}");
+        assert!(g2 < 1e-7, "GD grad {g2}");
+        for (a, b_) in t_adam.as_slice().iter().zip(t_gd.as_slice()) {
+            assert!((a - b_).abs() < 1e-6, "optimizers disagree: {a} vs {b_}");
+        }
+    }
+
+    #[test]
+    fn stationarity_condition_eq40_holds() {
+        // At the optimum: B = −n₁(∇data + (Λ̄+Λ′)Θ) restated as ∇L_priv = 0.
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut z = Mat::uniform(15, 4, 1.0, &mut rng);
+        z.normalize_rows_l2();
+        let mut y = Mat::zeros(15, 2);
+        for i in 0..15 {
+            y.set(i, i % 2, 1.0);
+        }
+        let b = Mat::uniform(4, 2, 0.5, &mut rng);
+        let loss = ConvexLoss::new(LossKind::PseudoHuber { delta: 0.2 }, 2);
+        let obj = PerturbedObjective::new(&z, &y, loss, 0.7, &b);
+        let cfg = OptimizerConfig { lr: 0.05, max_iters: 8000, grad_tol: 1e-11 };
+        let (theta, _, _) = minimize(&obj, Mat::zeros(4, 2), &cfg);
+        let grad = obj.gradient(&theta);
+        assert!(grad.frobenius_norm() < 1e-8);
+    }
+
+    fn tiny_dataset(seed: u64) -> (gcon_graph::Graph, Mat, Vec<usize>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, labels) = gcon_graph::generators::sbm_homophily(
+            &gcon_graph::generators::SbmConfig {
+                n: 60,
+                num_edges: 150,
+                num_classes: 2,
+                homophily: 0.9,
+                degree_exponent: 2.5,
+            },
+            &mut rng,
+        );
+        let x = Mat::from_fn(60, 4, |i, j| {
+            let base = if labels[i] == j % 2 { 1.0 } else { 0.1 };
+            base + 0.05 * ((i * 7 + j * 3) % 10) as f64
+        });
+        let train_idx: Vec<usize> = (0..30).collect();
+        (g, x, labels, train_idx)
+    }
+
+    #[test]
+    fn clipped_training_reduces_reported_sensitivity() {
+        let (g, x, labels, idx) = tiny_dataset(91);
+        let fast = |clip_p: f64| {
+            let mut cfg = crate::GconConfig { clip_p, ..Default::default() };
+            cfg.encoder.epochs = 20;
+            cfg.optimizer.max_iters = 200;
+            let mut rng = StdRng::seed_from_u64(92);
+            train_gcon(&cfg, &g, &x, &labels, &idx, 2, 1.0, 1e-4, &mut rng)
+        };
+        let unclipped = fast(0.5);
+        let clipped = fast(0.2);
+        // Ψ_p = 2p·Ψ: p = 0.2 must report the 0.4× sensitivity.
+        assert!(
+            (clipped.report.psi_z - 0.4 * unclipped.report.psi_z).abs() < 1e-12,
+            "clipped Ψ {} vs 0.4 × unclipped {}",
+            clipped.report.psi_z,
+            0.4 * unclipped.report.psi_z
+        );
+        // Lower sensitivity → larger Erlang rate (less noise) at the same ε.
+        assert!(clipped.report.params.beta > unclipped.report.params.beta);
+    }
+
+    #[test]
+    fn clipped_model_still_predicts_sanely() {
+        let (g, x, labels, idx) = tiny_dataset(93);
+        let mut cfg = crate::GconConfig { clip_p: 0.25, ..Default::default() };
+        cfg.encoder.epochs = 40;
+        cfg.optimizer.max_iters = 400;
+        let mut rng = StdRng::seed_from_u64(94);
+        let model = train_gcon(&cfg, &g, &x, &labels, &idx, 2, 4.0, 1e-4, &mut rng);
+        let pred = crate::infer::public_predict(&model, &g, &x);
+        let correct =
+            (30..60).filter(|&i| pred[i] == labels[i]).count() as f64 / 30.0;
+        assert!(correct > 0.5, "clipped-p accuracy {correct} at ε = 4 below chance");
+    }
+}

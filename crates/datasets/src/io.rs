@@ -1,0 +1,248 @@
+//! Binary serialization for datasets.
+//!
+//! Synthetic generation of the full-scale PubMed stand-in takes seconds;
+//! pipelines that re-run sweeps benefit from caching datasets on disk. The
+//! format is a small explicit little-endian codec built on `bytes` (no
+//! serde format crate is available in this workspace):
+//!
+//! ```text
+//! magic "GCDS" | version u32 | name len u32 + utf8 | num_classes u32
+//! | n u32 | num_edges u32 | edges (u32, u32)* | feat rows u32 | cols u32
+//! | features f64* | labels u32* | 3 × (len u32 + u32*) splits
+//! ```
+
+use crate::dataset::{Dataset, Split};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gcon_graph::Graph;
+use gcon_linalg::Mat;
+
+const MAGIC: &[u8; 4] = b"GCDS";
+const VERSION: u32 = 1;
+
+/// Errors from [`decode_dataset`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the `GCDS` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// A length/index field is inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a GCDS dataset buffer"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported GCDS version {v}"),
+            DecodeError::Truncated => write!(f, "dataset buffer truncated"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt dataset buffer: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a dataset into an owned byte buffer.
+pub fn encode_dataset(d: &Dataset) -> Bytes {
+    let n = d.num_nodes();
+    let edges = d.graph.edges();
+    let (rows, cols) = d.features.shape();
+    let mut buf = BytesMut::with_capacity(
+        64 + d.name.len() + edges.len() * 8 + rows * cols * 8 + n * 4,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(d.name.len() as u32);
+    buf.put_slice(d.name.as_bytes());
+    buf.put_u32_le(d.num_classes as u32);
+    buf.put_u32_le(n as u32);
+    buf.put_u32_le(edges.len() as u32);
+    for (u, v) in edges {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+    }
+    buf.put_u32_le(rows as u32);
+    buf.put_u32_le(cols as u32);
+    for &v in d.features.as_slice() {
+        buf.put_f64_le(v);
+    }
+    for &l in &d.labels {
+        buf.put_u32_le(l as u32);
+    }
+    for part in [&d.split.train, &d.split.val, &d.split.test] {
+        buf.put_u32_le(part.len() as u32);
+        for &i in part {
+            buf.put_u32_le(i as u32);
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, bytes: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < bytes {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_index_vec(buf: &mut impl Buf, max: usize) -> Result<Vec<usize>, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len * 4)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let i = buf.get_u32_le() as usize;
+        if i >= max {
+            return Err(DecodeError::Corrupt("split index out of range"));
+        }
+        out.push(i);
+    }
+    Ok(out)
+}
+
+/// Deserializes a dataset from a byte buffer produced by [`encode_dataset`].
+pub fn decode_dataset(mut buf: &[u8]) -> Result<Dataset, DecodeError> {
+    need(&buf, 8)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    need(&buf, 4)?;
+    let name_len = buf.get_u32_le() as usize;
+    need(&buf, name_len)?;
+    let mut name_bytes = vec![0u8; name_len];
+    buf.copy_to_slice(&mut name_bytes);
+    let name =
+        String::from_utf8(name_bytes).map_err(|_| DecodeError::Corrupt("name not utf8"))?;
+    need(&buf, 12)?;
+    let num_classes = buf.get_u32_le() as usize;
+    let n = buf.get_u32_le() as usize;
+    let num_edges = buf.get_u32_le() as usize;
+    need(&buf, num_edges * 8)?;
+    let mut graph = Graph::empty(n);
+    for _ in 0..num_edges {
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        if u as usize >= n || v as usize >= n {
+            return Err(DecodeError::Corrupt("edge endpoint out of range"));
+        }
+        graph.add_edge(u, v);
+    }
+    need(&buf, 8)?;
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    if rows != n {
+        return Err(DecodeError::Corrupt("feature rows must equal node count"));
+    }
+    need(&buf, rows * cols * 8)?;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(buf.get_f64_le());
+    }
+    let features = Mat::from_vec(rows, cols, data);
+    need(&buf, n * 4)?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = buf.get_u32_le() as usize;
+        if l >= num_classes {
+            return Err(DecodeError::Corrupt("label out of range"));
+        }
+        labels.push(l);
+    }
+    let train = get_index_vec(&mut buf, n)?;
+    let val = get_index_vec(&mut buf, n)?;
+    let test = get_index_vec(&mut buf, n)?;
+    Ok(Dataset {
+        name,
+        graph,
+        features,
+        labels,
+        num_classes,
+        split: Split { train, val, test },
+    })
+}
+
+/// Writes a dataset to a file.
+pub fn save_dataset(d: &Dataset, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode_dataset(d))
+}
+
+/// Reads a dataset from a file.
+pub fn load_dataset(path: &std::path::Path) -> std::io::Result<Dataset> {
+    let bytes = std::fs::read(path)?;
+    decode_dataset(&bytes)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_moons_graph;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = two_moons_graph(7);
+        let bytes = encode_dataset(&d);
+        let back = decode_dataset(&bytes).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.num_classes, d.num_classes);
+        assert_eq!(back.labels, d.labels);
+        assert_eq!(back.graph.edges(), d.graph.edges());
+        assert_eq!(back.features.as_slice(), d.features.as_slice());
+        assert_eq!(back.split.train, d.split.train);
+        assert_eq!(back.split.val, d.split.val);
+        assert_eq!(back.split.test, d.split.test);
+        back.validate();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode_dataset(b"NOPE1234").unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let d = two_moons_graph(8);
+        let bytes = encode_dataset(&d);
+        // Chop at a few strategic points; every prefix must fail cleanly.
+        for cut in [0, 3, 7, 11, 40, bytes.len() / 2, bytes.len() - 1] {
+            let res = decode_dataset(&bytes[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_label() {
+        let d = two_moons_graph(9);
+        let mut bytes = encode_dataset(&d).to_vec();
+        // Labels sit right after the feature block; find their offset.
+        let name_len = d.name.len();
+        let edges = d.graph.num_edges();
+        let (rows, cols) = d.features.shape();
+        let label_off = 4 + 4 + 4 + name_len + 4 + 4 + 4 + edges * 8 + 8 + rows * cols * 8;
+        bytes[label_off..label_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_dataset(&bytes).unwrap_err(),
+            DecodeError::Corrupt("label out of range")
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = two_moons_graph(10);
+        let path = std::env::temp_dir().join("gcon_io_test.gcds");
+        save_dataset(&d, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.labels, d.labels);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,196 @@
+//! Evaluation metrics. The paper reports micro-averaged F1 (Sec. VI-A),
+//! which for single-label multi-class prediction equals plain accuracy; we
+//! implement the general micro/macro definitions anyway and test the
+//! equivalence.
+
+/// Micro-averaged F1 over predictions and gold labels.
+///
+/// Micro-F1 pools per-class TP/FP/FN; for single-label classification every
+/// misprediction contributes exactly one FP and one FN, so micro-F1 equals
+/// accuracy.
+pub fn micro_f1(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "micro_f1: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let tp = pred.iter().zip(gold).filter(|(p, g)| p == g).count() as f64;
+    let fp = pred.len() as f64 - tp;
+    let fnn = fp; // single-label: FP count equals FN count
+    2.0 * tp / (2.0 * tp + fp + fnn)
+}
+
+/// Macro-averaged F1: unweighted mean of the per-class F1 scores over the
+/// classes present in `gold` or `pred`.
+pub fn macro_f1(pred: &[usize], gold: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "macro_f1: length mismatch");
+    if pred.is_empty() || num_classes == 0 {
+        return 0.0;
+    }
+    let mut tp = vec![0.0; num_classes];
+    let mut fp = vec![0.0; num_classes];
+    let mut fnn = vec![0.0; num_classes];
+    for (&p, &g) in pred.iter().zip(gold) {
+        if p == g {
+            tp[p] += 1.0;
+        } else {
+            fp[p] += 1.0;
+            fnn[g] += 1.0;
+        }
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for k in 0..num_classes {
+        let denom = 2.0 * tp[k] + fp[k] + fnn[k];
+        if denom > 0.0 {
+            total += 2.0 * tp[k] / denom;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Plain accuracy.
+pub fn accuracy(pred: &[usize], gold: &[usize]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(gold).filter(|(p, g)| p == g).count() as f64 / pred.len() as f64
+}
+
+/// Row-major confusion matrix: `counts[g][p]` counts gold class `g`
+/// predicted as `p`.
+pub fn confusion_matrix(pred: &[usize], gold: &[usize], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(pred.len(), gold.len(), "confusion_matrix: length mismatch");
+    let mut counts = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &g) in pred.iter().zip(gold) {
+        assert!(p < num_classes && g < num_classes, "confusion_matrix: class out of range");
+        counts[g][p] += 1;
+    }
+    counts
+}
+
+/// Per-class precision / recall / F1, for error analysis in the examples
+/// and the harness (the paper reports only micro-F1; this is diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassReport {
+    /// TP / (TP + FP); 0 when the class is never predicted.
+    pub precision: f64,
+    /// TP / (TP + FN); 0 when the class never occurs in gold.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+    /// Number of gold instances of the class.
+    pub support: usize,
+}
+
+/// Computes a [`ClassReport`] per class from predictions and gold labels.
+pub fn per_class_report(pred: &[usize], gold: &[usize], num_classes: usize) -> Vec<ClassReport> {
+    let cm = confusion_matrix(pred, gold, num_classes);
+    (0..num_classes)
+        .map(|k| {
+            let tp = cm[k][k] as f64;
+            let fp: f64 = (0..num_classes).filter(|&g| g != k).map(|g| cm[g][k] as f64).sum();
+            let fnn: f64 = (0..num_classes).filter(|&p| p != k).map(|p| cm[k][p] as f64).sum();
+            let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+            let recall = if tp + fnn > 0.0 { tp / (tp + fnn) } else { 0.0 };
+            let f1 = if precision + recall > 0.0 {
+                2.0 * precision * recall / (precision + recall)
+            } else {
+                0.0
+            };
+            ClassReport { precision, recall, f1, support: (tp + fnn) as usize }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_f1_equals_accuracy_single_label() {
+        let pred = [0, 1, 2, 1, 0, 2, 2];
+        let gold = [0, 1, 1, 1, 2, 2, 0];
+        assert!((micro_f1(&pred, &gold) - accuracy(&pred, &gold)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_worst_cases() {
+        let gold = [0, 1, 2];
+        assert_eq!(micro_f1(&gold, &gold), 1.0);
+        assert_eq!(macro_f1(&gold, &gold, 3), 1.0);
+        let wrong = [1, 2, 0];
+        assert_eq!(micro_f1(&wrong, &gold), 0.0);
+        assert_eq!(macro_f1(&wrong, &gold, 3), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_minority_class_errors_more() {
+        // 9 of class 0 correct, 1 of class 1 wrong.
+        let gold: Vec<usize> = (0..10).map(|i| usize::from(i == 9)).collect();
+        let pred = vec![0usize; 10];
+        let micro = micro_f1(&pred, &gold);
+        let mac = macro_f1(&pred, &gold, 2);
+        assert!(mac < micro, "macro {mac} should be below micro {micro}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(micro_f1(&[], &[]), 0.0);
+        assert_eq!(macro_f1(&[], &[], 3), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_cells() {
+        let gold = [0, 0, 1, 1, 2];
+        let pred = [0, 1, 1, 1, 0];
+        let cm = confusion_matrix(&pred, &gold, 3);
+        assert_eq!(cm[0][0], 1); // gold 0 → pred 0
+        assert_eq!(cm[0][1], 1); // gold 0 → pred 1
+        assert_eq!(cm[1][1], 2);
+        assert_eq!(cm[2][0], 1);
+        assert_eq!(cm[2][2], 0);
+        let total: usize = cm.iter().flatten().sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn per_class_report_matches_manual() {
+        // class 0: TP=1, FP=1 (the gold-2 one), FN=1 → P=R=0.5, F1=0.5
+        let gold = [0, 0, 1, 1, 2];
+        let pred = [0, 1, 1, 1, 0];
+        let rep = per_class_report(&pred, &gold, 3);
+        assert!((rep[0].precision - 0.5).abs() < 1e-12);
+        assert!((rep[0].recall - 0.5).abs() < 1e-12);
+        assert!((rep[0].f1 - 0.5).abs() < 1e-12);
+        assert_eq!(rep[0].support, 2);
+        // class 2 never predicted correctly: everything 0.
+        assert_eq!(rep[2].precision, 0.0);
+        assert_eq!(rep[2].recall, 0.0);
+        assert_eq!(rep[2].f1, 0.0);
+        assert_eq!(rep[2].support, 1);
+    }
+
+    #[test]
+    fn per_class_f1_averages_to_macro() {
+        let gold = [0, 1, 2, 0, 1, 2, 0];
+        let pred = [0, 1, 1, 0, 2, 2, 1];
+        let rep = per_class_report(&pred, &gold, 3);
+        let mean: f64 = rep.iter().map(|r| r.f1).sum::<f64>() / 3.0;
+        // macro_f1 averages only classes with nonzero denominator; all three
+        // classes appear here, so the two must agree.
+        assert!((mean - macro_f1(&pred, &gold, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn confusion_matrix_rejects_bad_class() {
+        confusion_matrix(&[5], &[0], 3);
+    }
+}

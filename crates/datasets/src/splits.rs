@@ -1,0 +1,214 @@
+//! The paper's fixed split conventions (Appendix P).
+//!
+//! - Citation graphs (Cora-ML, CiteSeer, PubMed): 20 labeled training nodes
+//!   per class, 500 validation nodes, 1000 test nodes.
+//! - Actor: random 60% / 20% / 20% proportions.
+
+use crate::dataset::Split;
+use rand::Rng;
+
+/// The Planetoid-style split: `per_class` training nodes per class, then
+/// `num_val` and `num_test` nodes from the remainder (all chosen from a
+/// seeded shuffle so the split is fixed per dataset instance).
+pub fn planetoid_split<R: Rng + ?Sized>(
+    labels: &[usize],
+    num_classes: usize,
+    per_class: usize,
+    num_val: usize,
+    num_test: usize,
+    rng: &mut R,
+) -> Split {
+    let n = labels.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, rng);
+
+    let mut train = Vec::with_capacity(per_class * num_classes);
+    let mut taken = vec![false; n];
+    let mut counts = vec![0usize; num_classes];
+    for &i in &order {
+        let c = labels[i];
+        if counts[c] < per_class {
+            counts[c] += 1;
+            taken[i] = true;
+            train.push(i);
+        }
+    }
+    let mut rest: Vec<usize> = order.into_iter().filter(|&i| !taken[i]).collect();
+    let num_val = num_val.min(rest.len());
+    let val: Vec<usize> = rest.drain(..num_val).collect();
+    let num_test = num_test.min(rest.len());
+    let test: Vec<usize> = rest.drain(..num_test).collect();
+    Split { train, val, test }
+}
+
+/// Proportional random split (60/20/20 for Actor, following \[43\]).
+pub fn proportional_split<R: Rng + ?Sized>(
+    n: usize,
+    train_frac: f64,
+    val_frac: f64,
+    rng: &mut R,
+) -> Split {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+    let mut order: Vec<usize> = (0..n).collect();
+    shuffle(&mut order, rng);
+    let n_train = ((n as f64) * train_frac).round() as usize;
+    let n_val = ((n as f64) * val_frac).round() as usize;
+    let train = order[..n_train].to_vec();
+    let val = order[n_train..n_train + n_val].to_vec();
+    let test = order[n_train + n_val..].to_vec();
+    Split { train, val, test }
+}
+
+/// Stratified proportional split over an explicit subset of (labeled)
+/// nodes: each class contributes `train_frac`/`val_frac` of its members to
+/// train/val, the remainder to test. Deterministic for a fixed `seed`.
+/// Used by the real-data text loaders, where only some nodes carry labels.
+pub fn stratified_split(
+    labels: &[usize],
+    labeled_idx: &[usize],
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> Split {
+    assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for &i in labeled_idx {
+        by_class.entry(labels[i]).or_default().push(i);
+    }
+    let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    for (class, mut members) in by_class {
+        let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0x9E37_79B9));
+        shuffle(&mut members, &mut rng);
+        let n = members.len();
+        // At least one training node per class when the class is non-empty.
+        let n_train = (((n as f64) * train_frac).round() as usize).clamp(1.min(n), n);
+        let n_val = (((n as f64) * val_frac).round() as usize).min(n - n_train);
+        split.train.extend(&members[..n_train]);
+        split.val.extend(&members[n_train..n_train + n_val]);
+        split.test.extend(&members[n_train + n_val..]);
+    }
+    split.train.sort_unstable();
+    split.val.sort_unstable();
+    split.test.sort_unstable();
+    split
+}
+
+/// Fisher–Yates shuffle on the sanctioned `rand` primitives.
+fn shuffle<R: Rng + ?Sized>(v: &mut [usize], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planetoid_counts_per_class() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let labels: Vec<usize> = (0..2000).map(|i| i % 4).collect();
+        let s = planetoid_split(&labels, 4, 20, 500, 1000, &mut rng);
+        assert_eq!(s.train.len(), 80);
+        assert_eq!(s.val.len(), 500);
+        assert_eq!(s.test.len(), 1000);
+        for c in 0..4 {
+            assert_eq!(s.train.iter().filter(|&&i| labels[i] == c).count(), 20);
+        }
+    }
+
+    #[test]
+    fn planetoid_disjoint() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let labels: Vec<usize> = (0..300).map(|i| i % 3).collect();
+        let s = planetoid_split(&labels, 3, 10, 50, 100, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for part in [&s.train, &s.val, &s.test] {
+            for &i in part {
+                assert!(seen.insert(i), "index {i} duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn planetoid_truncates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let labels: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let s = planetoid_split(&labels, 2, 5, 100, 100, &mut rng);
+        assert_eq!(s.train.len(), 10);
+        assert_eq!(s.val.len() + s.test.len(), 40);
+    }
+
+    #[test]
+    fn proportional_fractions() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let s = proportional_split(1000, 0.6, 0.2, &mut rng);
+        assert_eq!(s.train.len(), 600);
+        assert_eq!(s.val.len(), 200);
+        assert_eq!(s.test.len(), 200);
+    }
+
+    #[test]
+    fn splits_are_seed_deterministic() {
+        let labels: Vec<usize> = (0..200).map(|i| i % 2).collect();
+        let a = planetoid_split(&labels, 2, 10, 30, 60, &mut StdRng::seed_from_u64(7));
+        let b = planetoid_split(&labels, 2, 10, 30, 60, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn stratified_split_respects_class_proportions() {
+        // 300 of class 0, 100 of class 1: each class must contribute ~60% /
+        // ~20% / rest independently.
+        let labels: Vec<usize> = (0..400).map(|i| usize::from(i >= 300)).collect();
+        let labeled: Vec<usize> = (0..400).collect();
+        let s = stratified_split(&labels, &labeled, 0.6, 0.2, 11);
+        let count = |set: &[usize], c: usize| set.iter().filter(|&&i| labels[i] == c).count();
+        assert_eq!(count(&s.train, 0), 180);
+        assert_eq!(count(&s.train, 1), 60);
+        assert_eq!(count(&s.val, 0), 60);
+        assert_eq!(count(&s.val, 1), 20);
+        assert_eq!(count(&s.test, 0), 60);
+        assert_eq!(count(&s.test, 1), 20);
+    }
+
+    #[test]
+    fn stratified_split_only_uses_labeled_subset() {
+        let labels: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let labeled: Vec<usize> = (0..50).step_by(2).collect(); // evens only
+        let s = stratified_split(&labels, &labeled, 0.5, 0.25, 3);
+        for set in [&s.train, &s.val, &s.test] {
+            for &i in set.iter() {
+                assert_eq!(i % 2, 0, "node {i} is unlabeled but got split");
+            }
+        }
+        let total = s.train.len() + s.val.len() + s.test.len();
+        assert_eq!(total, labeled.len());
+    }
+
+    #[test]
+    fn stratified_split_keeps_singleton_class_in_train() {
+        let labels = vec![0, 0, 0, 0, 1];
+        let labeled = vec![0, 1, 2, 3, 4];
+        let s = stratified_split(&labels, &labeled, 0.5, 0.2, 9);
+        assert!(s.train.contains(&4), "singleton class must land in train");
+    }
+
+    #[test]
+    fn stratified_split_deterministic() {
+        let labels: Vec<usize> = (0..120).map(|i| i % 3).collect();
+        let labeled: Vec<usize> = (0..120).collect();
+        let a = stratified_split(&labels, &labeled, 0.6, 0.2, 5);
+        let b = stratified_split(&labels, &labeled, 0.6, 0.2, 5);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.val, b.val);
+        assert_eq!(a.test, b.test);
+    }
+}

@@ -1,0 +1,381 @@
+//! Deterministic synthetic stand-ins for the paper's benchmark datasets.
+//!
+//! Each constructor reproduces one Table II row:
+//!
+//! | Dataset  | Vertices | Edges  | Features | Classes | Homophily |
+//! |----------|----------|--------|----------|---------|-----------|
+//! | Cora-ML  | 2995     | 16316  | 2879     | 7       | 0.81      |
+//! | CiteSeer | 3327     | 9104   | 3703     | 6       | 0.71      |
+//! | PubMed   | 19717    | 88648  | 500      | 3       | 0.79      |
+//! | Actor    | 7600     | 30019  | 932      | 5       | 0.22      |
+//!
+//! Topology comes from the degree-corrected SBM with a homophily dial;
+//! features are class-conditioned sparse Bernoulli bags-of-words: each class
+//! owns a fixed-size signature dimension set that fires with elevated
+//! probability. Crucially, a `corrupt_frac` fraction of nodes draw their
+//! features from a *random other class's* signature — these nodes are
+//! unclassifiable from features alone (they cap the MLP baseline, matching
+//! the paper's MLP-vs-GCN gap) but recoverable through homophilous
+//! neighborhoods, which is exactly the signal graph convolution exploits.
+//! The per-dataset `p_signal`/`corrupt_frac` values below are calibrated so
+//! the MLP floor and non-DP GCN ceiling land near the paper's Figure 1
+//! values. The `scale` knob shrinks n, |E|, d₀ and the split sizes
+//! proportionally for tractable sweeps; `scale = 1.0` matches Table II.
+//! The signature size is fixed (not a fraction of d₀), so classification
+//! difficulty stays roughly scale-invariant.
+
+use crate::dataset::Dataset;
+use crate::splits::{planetoid_split, proportional_split};
+use gcon_graph::generators::{sbm_homophily, SbmConfig};
+use gcon_linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which split convention a spec uses (Appendix P).
+#[derive(Clone, Copy, Debug)]
+enum SplitKind {
+    /// `per_class` train nodes per class + fixed val/test counts.
+    Planetoid { per_class: usize, val: usize, test: usize },
+    /// Proportional split (train_frac, val_frac).
+    Proportional { train: f64, val: f64 },
+}
+
+/// Full description of a synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct SyntheticSpec {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Table II node count.
+    pub n: usize,
+    /// Table II undirected edge count.
+    pub num_edges: usize,
+    /// Table II feature dimension.
+    pub d0: usize,
+    /// Table II class count.
+    pub classes: usize,
+    /// Table II homophily ratio target.
+    pub homophily: f64,
+    /// Degree-propensity Pareto exponent.
+    pub degree_exponent: f64,
+    /// Probability a signature feature fires for its class.
+    pub p_signal: f64,
+    /// Probability any feature fires as background noise.
+    pub p_noise: f64,
+    /// Fraction of nodes whose features are drawn from a random *other*
+    /// class's signature. These nodes are wrong-by-features and can only be
+    /// recovered through their neighborhoods — they set the MLP floor below
+    /// the GCN ceiling, as on the paper's real datasets.
+    pub corrupt_frac: f64,
+    split: SplitKind,
+}
+
+/// Cora-ML stand-in.
+pub const CORA_ML: SyntheticSpec = SyntheticSpec {
+    name: "cora-ml",
+    n: 2995,
+    num_edges: 16_316,
+    d0: 2879,
+    classes: 7,
+    homophily: 0.81,
+    degree_exponent: 2.3,
+    p_signal: 0.18,
+    p_noise: 0.01,
+    corrupt_frac: 0.10,
+    split: SplitKind::Planetoid { per_class: 20, val: 500, test: 1000 },
+};
+
+/// CiteSeer stand-in.
+pub const CITESEER: SyntheticSpec = SyntheticSpec {
+    name: "citeseer",
+    n: 3327,
+    num_edges: 9104,
+    d0: 3703,
+    classes: 6,
+    homophily: 0.71,
+    degree_exponent: 2.5,
+    p_signal: 0.15,
+    p_noise: 0.01,
+    corrupt_frac: 0.12,
+    split: SplitKind::Planetoid { per_class: 20, val: 500, test: 1000 },
+};
+
+/// PubMed stand-in.
+pub const PUBMED: SyntheticSpec = SyntheticSpec {
+    name: "pubmed",
+    n: 19_717,
+    num_edges: 88_648,
+    d0: 500,
+    classes: 3,
+    homophily: 0.79,
+    degree_exponent: 2.2,
+    p_signal: 0.28,
+    p_noise: 0.03,
+    corrupt_frac: 0.08,
+    split: SplitKind::Planetoid { per_class: 20, val: 500, test: 1000 },
+};
+
+/// Actor stand-in (heterophilous: homophily 0.22 ≈ random wiring over 5
+/// classes, with weaker feature signal so absolute accuracy lands in the
+/// paper's 0.30–0.37 band).
+pub const ACTOR: SyntheticSpec = SyntheticSpec {
+    name: "actor",
+    n: 7600,
+    num_edges: 30_019,
+    d0: 932,
+    classes: 5,
+    homophily: 0.22,
+    degree_exponent: 2.1,
+    p_signal: 0.10,
+    p_noise: 0.03,
+    corrupt_frac: 0.15,
+    split: SplitKind::Proportional { train: 0.6, val: 0.2 },
+};
+
+impl SyntheticSpec {
+    /// Materializes the dataset at the given scale with a fixed seed.
+    ///
+    /// `scale = 1.0` reproduces the Table II sizes; smaller values shrink
+    /// n, |E|, d₀ and the split sizes proportionally while preserving class
+    /// count and homophily.
+    pub fn build(&self, scale: f64, seed: u64) -> Dataset {
+        assert!(scale > 0.0 && scale <= 1.0, "build: scale must lie in (0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = ((self.n as f64 * scale).round() as usize).max(self.classes * 40);
+        let num_edges =
+            ((self.num_edges as f64 * scale).round() as usize).max(n);
+        let d0 = ((self.d0 as f64 * scale).round() as usize).max(64);
+
+        let (graph, labels) = sbm_homophily(
+            &SbmConfig {
+                n,
+                num_edges,
+                num_classes: self.classes,
+                homophily: self.homophily,
+                degree_exponent: self.degree_exponent,
+            },
+            &mut rng,
+        );
+
+        let features = bag_of_words_features(
+            &labels,
+            self.classes,
+            d0,
+            self.p_signal,
+            self.p_noise,
+            self.corrupt_frac,
+            &mut rng,
+        );
+
+        let split = match self.split {
+            SplitKind::Planetoid { per_class, val, test } => {
+                let val = ((val as f64 * scale).round() as usize).max(20);
+                let test = ((test as f64 * scale).round() as usize).max(50);
+                planetoid_split(&labels, self.classes, per_class, val, test, &mut rng)
+            }
+            SplitKind::Proportional { train, val } => {
+                proportional_split(n, train, val, &mut rng)
+            }
+        };
+
+        let d = Dataset {
+            name: self.name.to_string(),
+            graph,
+            features,
+            labels,
+            num_classes: self.classes,
+            split,
+        };
+        d.validate();
+        d
+    }
+}
+
+/// Number of signature dimensions per class. Fixed (not a fraction of d₀)
+/// so the feature signal does not grow with the `scale` knob.
+const SIG_DIMS: usize = 16;
+
+/// Class-conditioned sparse Bernoulli bag-of-words with feature corruption.
+///
+/// Class `k` owns `min(SIG_DIMS, d₀/c)` dimensions at the start of the block
+/// `[k·d₀/c, (k+1)·d₀/c)`. A node emits its *effective* class's signature —
+/// the true class, or a random other class for the `corrupt_frac` of nodes
+/// whose features lie (recoverable only through the graph).
+fn bag_of_words_features<R: Rng + ?Sized>(
+    labels: &[usize],
+    classes: usize,
+    d0: usize,
+    p_signal: f64,
+    p_noise: f64,
+    corrupt_frac: f64,
+    rng: &mut R,
+) -> Mat {
+    assert!((0.0..1.0).contains(&corrupt_frac));
+    let block = (d0 / classes).max(1);
+    let sig = SIG_DIMS.min(block);
+    let mut x = Mat::zeros(labels.len(), d0);
+    for (i, &label) in labels.iter().enumerate() {
+        let effective = if rng.gen::<f64>() < corrupt_frac {
+            let mut other = rng.gen_range(0..classes - 1);
+            if other >= label {
+                other += 1;
+            }
+            other
+        } else {
+            label
+        };
+        let sig_start = effective * block;
+        let sig_end = (sig_start + sig).min(d0);
+        let row = x.row_mut(i);
+        for (j, v) in row.iter_mut().enumerate() {
+            let p = if (sig_start..sig_end).contains(&j) { p_signal } else { p_noise };
+            if rng.gen::<f64>() < p {
+                *v = 1.0;
+            }
+        }
+    }
+    x
+}
+
+/// Cora-ML stand-in at the given scale.
+pub fn cora_ml(scale: f64, seed: u64) -> Dataset {
+    CORA_ML.build(scale, seed)
+}
+
+/// CiteSeer stand-in at the given scale.
+pub fn citeseer(scale: f64, seed: u64) -> Dataset {
+    CITESEER.build(scale, seed)
+}
+
+/// PubMed stand-in at the given scale.
+pub fn pubmed(scale: f64, seed: u64) -> Dataset {
+    PUBMED.build(scale, seed)
+}
+
+/// Actor stand-in at the given scale.
+pub fn actor(scale: f64, seed: u64) -> Dataset {
+    ACTOR.build(scale, seed)
+}
+
+/// All four Table II datasets in paper order.
+pub fn all_benchmarks(scale: f64, seed: u64) -> Vec<Dataset> {
+    vec![
+        cora_ml(scale, seed),
+        citeseer(scale, seed.wrapping_add(1)),
+        pubmed(scale, seed.wrapping_add(2)),
+        actor(scale, seed.wrapping_add(3)),
+    ]
+}
+
+/// A small, fast, strongly homophilous 2-class dataset used by the
+/// quickstart example and smoke tests (not part of Table II).
+pub fn two_moons_graph(seed: u64) -> Dataset {
+    let spec = SyntheticSpec {
+        name: "two-moons-graph",
+        n: 240,
+        num_edges: 720,
+        d0: 64,
+        classes: 2,
+        homophily: 0.9,
+        degree_exponent: 2.5,
+        p_signal: 0.30,
+        p_noise: 0.02,
+        corrupt_frac: 0.10,
+        split: SplitKind::Planetoid { per_class: 20, val: 40, test: 120 },
+    };
+    spec.build(1.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table2_sizes() {
+        // Only generate the two smaller graphs at full scale to keep the
+        // test quick; pubmed/actor sizes are covered by the table2 harness.
+        let d = cora_ml(1.0, 0);
+        let s = d.stats();
+        assert_eq!(s.vertices, 2995);
+        assert_eq!(s.edges, 16_316);
+        assert_eq!(s.features, 2879);
+        assert_eq!(s.classes, 7);
+        assert!((s.homophily - 0.81).abs() < 0.05, "homophily {}", s.homophily);
+
+        let d = citeseer(1.0, 0);
+        let s = d.stats();
+        assert_eq!(s.vertices, 3327);
+        assert_eq!(s.edges, 9104);
+        assert_eq!(s.classes, 6);
+        assert!((s.homophily - 0.71).abs() < 0.06, "homophily {}", s.homophily);
+    }
+
+    #[test]
+    fn actor_is_heterophilous() {
+        let d = actor(0.25, 1);
+        let h = d.stats().homophily;
+        assert!(h < 0.35, "actor homophily {h} should be low");
+    }
+
+    #[test]
+    fn scaled_datasets_shrink_proportionally() {
+        let d = pubmed(0.1, 2);
+        let s = d.stats();
+        assert!((s.vertices as f64 - 1972.0).abs() < 5.0);
+        assert_eq!(s.classes, 3);
+        assert!(s.features <= 500);
+        d.validate();
+    }
+
+    #[test]
+    fn features_carry_class_signal() {
+        // Mean signature-block activation should exceed background clearly.
+        let d = two_moons_graph(3);
+        let block = d.features.cols() / 2;
+        let mut sig = 0.0;
+        let mut bg = 0.0;
+        let mut nsig = 0.0;
+        let mut nbg = 0.0;
+        for i in 0..d.num_nodes() {
+            let label = d.labels[i];
+            for j in 0..d.features.cols() {
+                let in_sig = (label * block..(label + 1) * block).contains(&j);
+                if in_sig {
+                    sig += d.features.get(i, j);
+                    nsig += 1.0;
+                } else {
+                    bg += d.features.get(i, j);
+                    nbg += 1.0;
+                }
+            }
+        }
+        assert!(sig / nsig > 3.0 * (bg / nbg), "signal {} vs noise {}", sig / nsig, bg / nbg);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = citeseer(0.1, 9);
+        let b = citeseer(0.1, 9);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.features.as_slice(), b.features.as_slice());
+        assert_eq!(a.split.train, b.split.train);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = citeseer(0.1, 1);
+        let b = citeseer(0.1, 2);
+        assert_ne!(a.graph.edges(), b.graph.edges());
+    }
+
+    #[test]
+    fn all_benchmarks_returns_four() {
+        let ds = all_benchmarks(0.05, 0);
+        assert_eq!(ds.len(), 4);
+        let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["cora-ml", "citeseer", "pubmed", "actor"]);
+        for d in &ds {
+            d.validate();
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Empirical DP auditing: statistically *lower-bound* the privacy loss of a
+//! mechanism by distinguishing its outputs on neighboring inputs.
+//!
+//! The `(ε, δ)`-DP inequality (Definition 1) implies that for any output
+//! event `O`,
+//!
+//! ```text
+//! Pr[A(D) ∈ O] ≤ e^ε · Pr[A(D') ∈ O] + δ
+//! ⇒ ε ≥ ln((Pr[A(D) ∈ O] − δ) / Pr[A(D') ∈ O])
+//! ```
+//!
+//! An auditor therefore runs the mechanism many times on `D` and on `D'`,
+//! picks a threshold event `O = {statistic > t}`, and converts the two
+//! empirical frequencies into a **high-confidence lower bound** on ε by
+//! replacing the frequencies with their Clopper–Pearson confidence limits
+//! (lower limit for the numerator, upper limit for the denominator), in the
+//! style of Jagielski et al. (NeurIPS 2020).
+//!
+//! The audit can only ever *falsify* a privacy claim: a measured lower
+//! bound above the advertised ε is a proof of a bug; a lower bound far
+//! below ε is expected (the union of all threshold events is a weak
+//! adversary). The workspace tests use this to sanity-check GCON's
+//! objective-perturbation mechanism and to show a deliberately broken
+//! variant being caught.
+
+use crate::special::reg_beta_i_inverse;
+use rand::Rng;
+
+/// One-sided Clopper–Pearson bounds for a binomial proportion:
+/// `k` successes out of `n` trials at confidence `1 − alpha` (per side).
+///
+/// Lower bound solves `Pr[Bin(n, p) ≥ k] = alpha`; upper bound solves
+/// `Pr[Bin(n, p) ≤ k] = alpha`. Both via the Beta-quantile identity.
+pub fn clopper_pearson(k: usize, n: usize, alpha: f64) -> (f64, f64) {
+    assert!(k <= n, "clopper_pearson: k > n");
+    assert!(n > 0, "clopper_pearson: need at least one trial");
+    assert!(alpha > 0.0 && alpha < 1.0, "clopper_pearson: confidence level in (0,1)");
+    let kf = k as f64;
+    let nf = n as f64;
+    let lower = if k == 0 {
+        0.0
+    } else {
+        // p_lo = BetaInv(alpha; k, n−k+1)
+        reg_beta_i_inverse(kf, nf - kf + 1.0, alpha)
+    };
+    let upper = if k == n {
+        1.0
+    } else {
+        // p_hi = BetaInv(1−alpha; k+1, n−k)
+        reg_beta_i_inverse(kf + 1.0, nf - kf, 1.0 - alpha)
+    };
+    (lower, upper)
+}
+
+/// Configuration for an audit run.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Mechanism invocations per input (the audit runs `2 · trials` total).
+    pub trials: usize,
+    /// The δ of the claimed `(ε, δ)` guarantee, subtracted from the
+    /// numerator per the DP inequality.
+    pub delta: f64,
+    /// Per-side confidence for the Clopper–Pearson limits (e.g. 0.05 for a
+    /// 95% one-sided bound on each frequency).
+    pub alpha: f64,
+    /// Number of candidate thresholds scanned over the pooled statistic
+    /// range.
+    pub thresholds: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self { trials: 1000, delta: 0.0, alpha: 0.05, thresholds: 32 }
+    }
+}
+
+/// Outcome of an audit.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditResult {
+    /// The best (largest) high-confidence lower bound on ε found over all
+    /// scanned threshold events, in both directions. Never negative.
+    pub eps_lower_bound: f64,
+    /// The threshold achieving it.
+    pub best_threshold: f64,
+    /// Empirical `Pr[stat > t | D]` at the best threshold.
+    pub rate_d: f64,
+    /// Empirical `Pr[stat > t | D']` at the best threshold.
+    pub rate_d_prime: f64,
+}
+
+/// Audits a mechanism through a scalar test statistic.
+///
+/// `run_d` / `run_d_prime` invoke the mechanism on the two neighboring
+/// inputs and reduce the output to one `f64` (the auditor's distinguishing
+/// statistic — e.g. a fixed linear projection of the released parameters).
+///
+/// Scans `cfg.thresholds` candidate thresholds over the pooled sample range
+/// and both tail directions, and returns the best Clopper–Pearson-backed
+/// lower bound `ln((p_lo − δ)/q_hi)`. The bound holds with confidence at
+/// least `1 − 2·cfg.alpha` per threshold (the scan is heuristic — for a
+/// publication-grade audit fix one threshold a priori).
+pub fn audit_eps_lower_bound<R: Rng + ?Sized>(
+    mut run_d: impl FnMut(&mut R) -> f64,
+    mut run_d_prime: impl FnMut(&mut R) -> f64,
+    cfg: &AuditConfig,
+    rng: &mut R,
+) -> AuditResult {
+    assert!(cfg.trials >= 10, "audit: need at least 10 trials per input");
+    assert!(cfg.thresholds >= 1, "audit: need at least one threshold");
+    let mut stats_d: Vec<f64> = (0..cfg.trials).map(|_| run_d(rng)).collect();
+    let mut stats_dp: Vec<f64> = (0..cfg.trials).map(|_| run_d_prime(rng)).collect();
+    stats_d.sort_by(|a, b| a.partial_cmp(b).expect("audit statistic was NaN"));
+    stats_dp.sort_by(|a, b| a.partial_cmp(b).expect("audit statistic was NaN"));
+
+    let lo = stats_d[0].min(stats_dp[0]);
+    let hi = stats_d.last().unwrap().max(*stats_dp.last().unwrap());
+    let mut best = AuditResult {
+        eps_lower_bound: 0.0,
+        best_threshold: lo,
+        rate_d: 0.0,
+        rate_d_prime: 0.0,
+    };
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe: reject hi ≤ lo AND NaN
+    if !(hi > lo) {
+        return best; // degenerate mechanism: constant output, ε_lb = 0
+    }
+
+    let count_above = |sorted: &[f64], t: f64| -> usize {
+        // Number of samples strictly above t (sorted ascending).
+        let idx = sorted.partition_point(|&x| x <= t);
+        sorted.len() - idx
+    };
+
+    for i in 0..cfg.thresholds {
+        let t = lo + (hi - lo) * (i as f64 + 0.5) / cfg.thresholds as f64;
+        for flip in [false, true] {
+            // Event: stat > t on D vs D' (flip swaps the roles, which
+            // audits the symmetric inequality).
+            let (k_num, k_den) = if flip {
+                (count_above(&stats_dp, t), count_above(&stats_d, t))
+            } else {
+                (count_above(&stats_d, t), count_above(&stats_dp, t))
+            };
+            let (p_lo, _) = clopper_pearson(k_num, cfg.trials, cfg.alpha);
+            let (_, q_hi) = clopper_pearson(k_den, cfg.trials, cfg.alpha);
+            let num = p_lo - cfg.delta;
+            if num <= 0.0 || q_hi <= 0.0 {
+                continue;
+            }
+            let eps_lb = (num / q_hi).ln();
+            if eps_lb > best.eps_lower_bound {
+                best = AuditResult {
+                    eps_lower_bound: eps_lb,
+                    best_threshold: t,
+                    rate_d: count_above(&stats_d, t) as f64 / cfg.trials as f64,
+                    rate_d_prime: count_above(&stats_dp, t) as f64 / cfg.trials as f64,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::sample_laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clopper_pearson_contains_truth() {
+        // 30 successes out of 100 at p = 0.3: the 95% bounds must straddle.
+        let (lo, hi) = clopper_pearson(30, 100, 0.05);
+        assert!(lo < 0.3 && 0.3 < hi, "({lo}, {hi})");
+        assert!(lo > 0.2 && hi < 0.42, "interval ({lo}, {hi}) implausibly wide");
+    }
+
+    #[test]
+    fn clopper_pearson_edge_counts() {
+        let (lo, hi) = clopper_pearson(0, 50, 0.05);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.12);
+        let (lo, hi) = clopper_pearson(50, 50, 0.05);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.9);
+    }
+
+    #[test]
+    fn clopper_pearson_tightens_with_n() {
+        let (lo1, hi1) = clopper_pearson(30, 100, 0.05);
+        let (lo2, hi2) = clopper_pearson(300, 1000, 0.05);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn audit_of_laplace_mechanism_respects_true_epsilon() {
+        // Laplace(1/ε) on counts differing by 1 is exactly ε-DP: the audit's
+        // lower bound must stay below ε (soundness).
+        let eps = 1.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = AuditConfig { trials: 3000, ..AuditConfig::default() };
+        let r = audit_eps_lower_bound(
+            |rng: &mut StdRng| 0.0 + sample_laplace(1.0 / eps, rng),
+            |rng: &mut StdRng| 1.0 + sample_laplace(1.0 / eps, rng),
+            &cfg,
+            &mut rng,
+        );
+        assert!(
+            r.eps_lower_bound <= eps + 0.05,
+            "audit lower bound {} exceeds the true ε = {eps}",
+            r.eps_lower_bound
+        );
+        // And it must have real distinguishing power (not vacuously 0).
+        assert!(r.eps_lower_bound > 0.3, "audit too weak: {}", r.eps_lower_bound);
+    }
+
+    #[test]
+    fn audit_catches_a_non_private_mechanism() {
+        // A mechanism that leaks the input with tiny noise: the lower bound
+        // must blow well past any reasonable claimed ε.
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = AuditConfig { trials: 2000, ..AuditConfig::default() };
+        let r = audit_eps_lower_bound(
+            |rng: &mut StdRng| 0.0 + 0.01 * sample_laplace(1.0, rng),
+            |rng: &mut StdRng| 1.0 + 0.01 * sample_laplace(1.0, rng),
+            &cfg,
+            &mut rng,
+        );
+        assert!(r.eps_lower_bound > 2.0, "leaky mechanism not caught: {}", r.eps_lower_bound);
+    }
+
+    #[test]
+    fn audit_of_identical_distributions_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = AuditConfig { trials: 2000, ..AuditConfig::default() };
+        let r = audit_eps_lower_bound(
+            |rng: &mut StdRng| sample_laplace(1.0, rng),
+            |rng: &mut StdRng| sample_laplace(1.0, rng),
+            &cfg,
+            &mut rng,
+        );
+        assert!(r.eps_lower_bound < 0.25, "false positive: {}", r.eps_lower_bound);
+    }
+
+    #[test]
+    fn audit_constant_mechanism_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = AuditConfig::default();
+        let r = audit_eps_lower_bound(
+            |_: &mut StdRng| 42.0,
+            |_: &mut StdRng| 42.0,
+            &cfg,
+            &mut rng,
+        );
+        assert_eq!(r.eps_lower_bound, 0.0);
+    }
+
+    #[test]
+    fn delta_credit_weakens_the_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = AuditConfig { trials: 2000, ..AuditConfig::default() };
+        let with_delta = AuditConfig { delta: 0.05, ..base };
+        let mk = |cfg: &AuditConfig, rng: &mut StdRng| {
+            audit_eps_lower_bound(
+                |rng: &mut StdRng| 0.0 + sample_laplace(0.5, rng),
+                |rng: &mut StdRng| 1.0 + sample_laplace(0.5, rng),
+                cfg,
+                rng,
+            )
+            .eps_lower_bound
+        };
+        let e0 = mk(&base, &mut rng);
+        let e1 = mk(&with_delta, &mut rng);
+        assert!(e1 <= e0 + 0.1, "δ-credited bound {e1} should not exceed {e0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 trials")]
+    fn audit_rejects_tiny_trial_counts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = AuditConfig { trials: 3, ..AuditConfig::default() };
+        let _ = audit_eps_lower_bound(
+            |_: &mut StdRng| 0.0,
+            |_: &mut StdRng| 0.0,
+            &cfg,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Algorithm 2 of the paper: sampling the objective-perturbation noise.
+//!
+//! Each column `b_j` of the noise matrix `B` in Eq. (13) is drawn with density
+//! ∝ `exp(−β ‖b‖₂)` over `ℝ^d`. Algorithm 2 factorizes this into
+//! (i) a radius `a` with the Erlang PDF of Eq. (14),
+//! `γ(x) = x^{d−1} e^{−βx} β^d / (d−1)!`, and (ii) a direction drawn uniformly
+//! on the unit `d`-sphere (a normalized standard Gaussian vector; correctness
+//! is Lemma 6 in the paper's Appendix E).
+
+use gcon_linalg::vecops;
+use rand::Rng;
+
+/// Samples the Erlang(`shape`, `rate`) distribution — the radius law of
+/// Eq. (14) with `shape = d` and `rate = β`.
+///
+/// Uses the exact sum-of-exponentials representation in log space, so it is
+/// stable for the large `d` (hundreds) produced by feature concatenation.
+pub fn sample_erlang<R: Rng + ?Sized>(shape: usize, rate: f64, rng: &mut R) -> f64 {
+    assert!(shape > 0, "sample_erlang: shape must be ≥ 1");
+    assert!(rate > 0.0 && rate.is_finite(), "sample_erlang: rate must be positive");
+    let mut log_sum = 0.0;
+    for _ in 0..shape {
+        // 1 - U ∈ (0, 1] avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        log_sum += u.ln();
+    }
+    -log_sum / rate
+}
+
+/// Samples a point uniformly on the unit `d`-sphere.
+pub fn sample_unit_sphere<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    assert!(d > 0, "sample_unit_sphere: dimension must be ≥ 1");
+    loop {
+        let v: Vec<f64> = (0..d).map(|_| vecops::sample_std_normal(rng)).collect();
+        let n = vecops::norm2(&v);
+        if n > 1e-12 {
+            return v.into_iter().map(|x| x / n).collect();
+        }
+        // Astronomically unlikely zero vector: resample.
+    }
+}
+
+/// Algorithm 2: one noise column `b ∈ ℝ^d` with density ∝ `exp(−β‖b‖₂)`.
+pub fn sample_sphere_noise<R: Rng + ?Sized>(d: usize, beta: f64, rng: &mut R) -> Vec<f64> {
+    let radius = sample_erlang(d, beta, rng);
+    let mut dir = sample_unit_sphere(d, rng);
+    for v in &mut dir {
+        *v *= radius;
+    }
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcon_linalg::vecops::{mean, norm2, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erlang_moments() {
+        // Erlang(k, β): mean k/β, variance k/β².
+        let mut rng = StdRng::seed_from_u64(31);
+        let (k, beta) = (8usize, 2.5);
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_erlang(k, beta, &mut rng)).collect();
+        let m = mean(&samples);
+        let v = std_dev(&samples).powi(2);
+        assert!((m - k as f64 / beta).abs() < 0.02, "mean {m}");
+        assert!((v - k as f64 / beta.powi(2)).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn erlang_shape_one_is_exponential() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let beta = 3.0;
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_erlang(1, beta, &mut rng)).collect();
+        // Exponential: P(X > 1/β) = e^{-1}.
+        let frac = samples.iter().filter(|&&x| x > 1.0 / beta).count() as f64 / 1e5;
+        let expect = (-1.0_f64).exp();
+        assert!((frac - expect).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn unit_sphere_has_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..100 {
+            let v = sample_unit_sphere(17, &mut rng);
+            assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_sphere_is_directionally_unbiased() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let d = 5;
+        let mut acc = vec![0.0; d];
+        let n = 50_000;
+        for _ in 0..n {
+            let v = sample_unit_sphere(d, &mut rng);
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += x;
+            }
+        }
+        for a in &acc {
+            assert!((a / n as f64).abs() < 0.01, "component mean {}", a / n as f64);
+        }
+    }
+
+    #[test]
+    fn sphere_noise_radius_follows_erlang_mean() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let (d, beta) = (32usize, 4.0);
+        let norms: Vec<f64> =
+            (0..20_000).map(|_| norm2(&sample_sphere_noise(d, beta, &mut rng))).collect();
+        let m = mean(&norms);
+        assert!((m - d as f64 / beta).abs() < 0.1, "mean radius {m}");
+    }
+
+    #[test]
+    fn sphere_noise_radius_tail_matches_gamma_cdf() {
+        // Cross-check Algorithm 2 against the c_sf quantile machinery of
+        // Eq. (21): the probability that β‖b‖ exceeds the (1−q)-quantile of
+        // Gamma(d, 1) should be ≈ q.
+        let mut rng = StdRng::seed_from_u64(36);
+        let (d, beta, q) = (16usize, 2.0, 0.05);
+        let threshold = crate::special::reg_gamma_p_inverse(d as f64, 1.0 - q);
+        let n = 40_000;
+        let over = (0..n)
+            .filter(|_| norm2(&sample_sphere_noise(d, beta, &mut rng)) * beta > threshold)
+            .count();
+        let frac = over as f64 / n as f64;
+        assert!((frac - q).abs() < 0.01, "tail fraction {frac} vs {q}");
+    }
+}

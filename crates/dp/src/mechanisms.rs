@@ -1,0 +1,112 @@
+//! Classic DP mechanisms used by the baselines.
+
+use rand::Rng;
+
+/// Samples Laplace(0, `scale`) by inverse-CDF.
+pub fn sample_laplace<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> f64 {
+    assert!(scale > 0.0, "sample_laplace: scale must be positive");
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(1e-300).ln()
+}
+
+/// The Laplace mechanism: adds Laplace(Δ₁/ε) noise to each value in place.
+/// Satisfies ε-DP for L1 sensitivity `l1_sensitivity`.
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    values: &mut [f64],
+    l1_sensitivity: f64,
+    eps: f64,
+    rng: &mut R,
+) {
+    assert!(eps > 0.0, "laplace_mechanism: eps must be positive");
+    let scale = l1_sensitivity / eps;
+    for v in values {
+        *v += sample_laplace(scale, rng);
+    }
+}
+
+/// Classic Gaussian-mechanism calibration
+/// `σ = Δ₂ · sqrt(2 ln(1.25/δ)) / ε` (valid for ε ≤ 1, conservative above).
+///
+/// The baselines that compose many Gaussian releases (GAP, ProGAP, DP-SGD)
+/// use the tighter RDP-based calibration in [`crate::rdp`] instead.
+pub fn gaussian_sigma_classic(l2_sensitivity: f64, eps: f64, delta: f64) -> f64 {
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    l2_sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / eps
+}
+
+/// Adds `N(0, σ²)` noise to each value in place.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(values: &mut [f64], sigma: f64, rng: &mut R) {
+    for v in values {
+        *v += gcon_linalg::vecops::sample_std_normal(rng) * sigma;
+    }
+}
+
+/// Randomized response over a binary value: keeps the true bit with
+/// probability `e^ε / (1 + e^ε)`, flips otherwise. Satisfies ε-DP.
+pub fn randomized_response_keep_prob(eps: f64) -> f64 {
+    assert!(eps > 0.0);
+    let e = eps.exp();
+    e / (1.0 + e)
+}
+
+/// Applies randomized response to one bit.
+pub fn randomized_response<R: Rng + ?Sized>(bit: bool, eps: f64, rng: &mut R) -> bool {
+    if rng.gen::<f64>() < randomized_response_keep_prob(eps) {
+        bit
+    } else {
+        !bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcon_linalg::vecops::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let b = 2.0;
+        let xs: Vec<f64> = (0..200_000).map(|_| sample_laplace(b, &mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.02);
+        // Var = 2b².
+        let v = std_dev(&xs).powi(2);
+        assert!((v - 2.0 * b * b).abs() < 0.2, "var {v}");
+    }
+
+    #[test]
+    fn laplace_mechanism_perturbs_with_right_scale() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut vals = vec![0.0; 100_000];
+        laplace_mechanism(&mut vals, 2.0, 4.0, &mut rng);
+        // scale = 0.5 → var = 0.5
+        let v = std_dev(&vals).powi(2);
+        assert!((v - 0.5).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn gaussian_sigma_decreases_with_eps() {
+        let s1 = gaussian_sigma_classic(1.0, 0.5, 1e-5);
+        let s2 = gaussian_sigma_classic(1.0, 1.0, 1e-5);
+        assert!(s1 > s2);
+        assert!(s2 > 0.0);
+    }
+
+    #[test]
+    fn rr_keep_prob_limits() {
+        assert!((randomized_response_keep_prob(1e-9) - 0.5).abs() < 1e-6);
+        assert!(randomized_response_keep_prob(10.0) > 0.9999);
+    }
+
+    #[test]
+    fn rr_flip_frequency() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let eps = 1.0;
+        let n = 100_000;
+        let kept = (0..n).filter(|_| randomized_response(true, eps, &mut rng)).count();
+        let frac = kept as f64 / n as f64;
+        assert!((frac - randomized_response_keep_prob(eps)).abs() < 0.01);
+    }
+}

@@ -1,0 +1,405 @@
+//! Special functions: log-gamma and the regularized lower incomplete gamma
+//! function, with the quantile solver used for `c_sf` (Eq. 21 of the paper).
+//!
+//! The implementations follow the classic series / continued-fraction split
+//! (Numerical Recipes style) and are validated against closed forms
+//! (`P(1, x) = 1 − e^{−x}`, integer-shape Erlang CDFs) in the tests.
+
+/// Natural log of the gamma function via the Lanczos approximation (g = 7,
+/// n = 9), accurate to ~1e-13 for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma: requires x > 0, got {x}");
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// For shape `a = d` (an integer in our use) this is exactly the CDF of the
+/// Erlang/Gamma(d, 1) distribution appearing in Eq. (21).
+pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_gamma_p: shape must be positive");
+    assert!(x >= 0.0, "reg_gamma_p: x must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion of P(a, x), converges fast for x < a + 1.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+}
+
+/// Continued fraction for Q(a, x) = 1 − P(a, x), converges fast for x ≥ a + 1.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let fpmin = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / fpmin;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < fpmin {
+            d = fpmin;
+        }
+        c = b + an / c;
+        if c.abs() < fpmin {
+            c = fpmin;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    ((a * x.ln() - x - ln_gamma(a)).exp() * h).clamp(0.0, 1.0)
+}
+
+/// Solves `min { u > 0 : P(a, u) ≥ target }` by bracketed bisection.
+///
+/// With `a = d` and `target = 1 − δ/c` this is exactly `c_sf` of Eq. (21).
+pub fn reg_gamma_p_inverse(a: f64, target: f64) -> f64 {
+    assert!((0.0..1.0).contains(&target), "reg_gamma_p_inverse: target in [0,1)");
+    if target == 0.0 {
+        return 0.0;
+    }
+    // Bracket: grow hi from around the mean (a) until the CDF exceeds target.
+    let mut lo = 0.0;
+    let mut hi = a.max(1.0);
+    while reg_gamma_p(a, hi) < target {
+        lo = hi;
+        hi *= 2.0;
+        assert!(hi < 1e12, "reg_gamma_p_inverse: failed to bracket");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if reg_gamma_p(a, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued-fraction evaluation (Numerical Recipes §6.4), accurate to
+/// ~1e-12. This is the CDF of the Beta(a, b) distribution and the binomial
+/// tail `Pr[Bin(n, p) ≥ k] = I_p(k, n−k+1)` — which is what the
+/// Clopper–Pearson interval in [`crate::audit`] inverts.
+pub fn reg_beta_i(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "reg_beta_i: shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "reg_beta_i: x must lie in [0, 1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1−x)^b / (a·B(a,b)).
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // Use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) to keep the continued
+    // fraction in its fast-converging region.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(a, b, x)) / a
+    } else {
+        1.0 - (ln_front.exp() * beta_cf(b, a, 1.0 - x)) / b
+    }
+}
+
+/// Modified Lentz continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITERS: usize = 300;
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-14;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITERS {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of the Beta CDF in its first argument position: the `p` with
+/// `I_p(a, b) = target`, found by bisection (the CDF is strictly increasing
+/// in `p`). Used for the Clopper–Pearson binomial confidence bounds.
+pub fn reg_beta_i_inverse(a: f64, b: f64, target: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&target), "reg_beta_i_inverse: target in [0, 1]");
+    if target <= 0.0 {
+        return 0.0;
+    }
+    if target >= 1.0 {
+        return 1.0;
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if reg_beta_i(a, b, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// `log(C(n, k))` via log-gamma, used by the subsampled-Gaussian accountant.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_binomial: k > n");
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Numerically stable `log(Σ exp(xᵢ))`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|&x| (x - m).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(10.0) - 362_880.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reg_gamma_p_shape_one_is_exponential_cdf() {
+        for &x in &[0.1_f64, 0.5, 1.0, 3.0, 10.0] {
+            let expect = 1.0 - (-x).exp();
+            assert!((reg_gamma_p(1.0, x) - expect).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn reg_gamma_p_erlang_shape_two() {
+        // P(2, x) = 1 - e^{-x}(1 + x)
+        for &x in &[0.3_f64, 1.0, 2.5, 8.0] {
+            let expect = 1.0 - (-x).exp() * (1.0 + x);
+            assert!((reg_gamma_p(2.0, x) - expect).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn reg_gamma_p_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 * 0.5;
+            let p = reg_gamma_p(7.0, x);
+            assert!(p >= prev - 1e-15);
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        assert!(reg_gamma_p(7.0, 200.0) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn inverse_solves_forward() {
+        for &a in &[1.0, 4.0, 64.0, 300.0] {
+            for &t in &[0.5, 0.9, 0.999, 0.999_999] {
+                let u = reg_gamma_p_inverse(a, t);
+                assert!((reg_gamma_p(a, u) - t).abs() < 1e-9, "a={a} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_minimal() {
+        // Slightly below the returned u, the CDF is below the target.
+        let a = 16.0;
+        let t = 0.99;
+        let u = reg_gamma_p_inverse(a, t);
+        assert!(reg_gamma_p(a, u - 1e-6) < t);
+    }
+
+    #[test]
+    fn ln_binomial_pascal() {
+        assert!((ln_binomial(5, 2) - 10.0_f64.ln()).abs() < 1e-12);
+        assert!((ln_binomial(10, 0)).abs() < 1e-12);
+        assert!((ln_binomial(52, 5) - 2_598_960.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        assert!((log_sum_exp(&[1000.0, 1000.0]) - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reg_beta_boundary_values() {
+        assert_eq!(reg_beta_i(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_beta_i(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn reg_beta_uniform_case() {
+        // Beta(1, 1) is uniform: I_x(1,1) = x.
+        for &x in &[0.1, 0.37, 0.5, 0.93] {
+            assert!((reg_beta_i(1.0, 1.0, x) - x).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn reg_beta_closed_forms() {
+        // I_x(1, b) = 1 − (1−x)^b and I_x(a, 1) = x^a.
+        for &(a, x) in &[(2.0, 0.3), (5.0, 0.7), (0.5, 0.2)] {
+            assert!((reg_beta_i(a, 1.0, x) - x.powf(a)).abs() < 1e-11, "a={a} x={x}");
+            assert!(
+                (reg_beta_i(1.0, a, x) - (1.0 - (1.0 - x).powf(a))).abs() < 1e-11,
+                "b={a} x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn reg_beta_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        for &(a, b, x) in &[(2.5, 4.0, 0.3), (7.0, 2.0, 0.8), (0.5, 0.5, 0.5)] {
+            let lhs = reg_beta_i(a, b, x);
+            let rhs = 1.0 - reg_beta_i(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-11, "a={a} b={b} x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn reg_beta_matches_binomial_tail() {
+        // Pr[Bin(n,p) ≥ k] = I_p(k, n−k+1): check against direct summation.
+        let (n, p) = (12u64, 0.35f64);
+        for k in 1..=n {
+            let direct: f64 = (k..=n)
+                .map(|j| {
+                    (ln_binomial(n, j)
+                        + j as f64 * p.ln()
+                        + (n - j) as f64 * (1.0 - p).ln())
+                    .exp()
+                })
+                .sum();
+            let via_beta = reg_beta_i(k as f64, (n - k) as f64 + 1.0, p);
+            assert!(
+                (direct - via_beta).abs() < 1e-10,
+                "k={k}: direct {direct} vs beta {via_beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn reg_beta_monotone_in_x() {
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let v = reg_beta_i(3.0, 5.0, x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn reg_beta_inverse_roundtrip() {
+        for &(a, b) in &[(1.0, 1.0), (3.0, 7.0), (20.0, 2.0), (0.5, 0.5)] {
+            for &t in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+                let x = reg_beta_i_inverse(a, b, t);
+                assert!(
+                    (reg_beta_i(a, b, x) - t).abs() < 1e-9,
+                    "a={a} b={b} t={t}: x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x must lie in [0, 1]")]
+    fn reg_beta_rejects_out_of_range() {
+        let _ = reg_beta_i(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,273 @@
+//! Compressed sparse row matrices and the threaded sparse×dense product that
+//! implements every graph-convolution step in the workspace.
+
+use gcon_linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Used for the normalized adjacency `Ã` so that one propagation step
+/// `Z ← Ã Z` costs O(nnz · d) instead of O(n² · d). The paper never needs the
+/// dense `R_m` (Eq. 9) explicitly — `gcon-core` carries `Z_m = R_m X` through
+/// the recursion `Z_m = (1-α) Ã Z_{m-1} + α X`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from per-row `(column, value)` pairs. Pairs within
+    /// a row need not be sorted; duplicates are summed.
+    pub fn from_row_entries(rows: usize, cols: usize, row_entries: Vec<Vec<(u32, f64)>>) -> Self {
+        assert_eq!(row_entries.len(), rows, "from_row_entries: row count mismatch");
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for mut entries in row_entries {
+            entries.sort_unstable_by_key(|&(j, _)| j);
+            let mut last: Option<u32> = None;
+            for (j, v) in entries {
+                assert!((j as usize) < cols, "from_row_entries: column {j} out of range");
+                if last == Some(j) {
+                    *values.last_mut().unwrap() += v;
+                } else {
+                    indices.push(j);
+                    values.push(v);
+                    last = Some(j);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// The `n × n` identity in CSR form.
+    pub fn eye(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(columns, values)` of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Element lookup (O(log nnz_row)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of each row.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).1.iter().sum()).collect()
+    }
+
+    /// Sum of each column.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for (&j, &v) in self.indices.iter().zip(&self.values) {
+            out[j as usize] += v;
+        }
+        out
+    }
+
+    /// Dense `self · x` for a vector.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter().zip(vals).map(|(&j, &v)| v * x[j as usize]).sum()
+            })
+            .collect()
+    }
+
+    /// Dense `self · B` (sparse × dense), parallelized over row blocks.
+    pub fn spmm(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows(), "spmm: dimension mismatch");
+        let d = b.cols();
+        let mut out = Mat::zeros(self.rows, d);
+        if self.rows == 0 || d == 0 {
+            return out;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .min(self.rows);
+        let work = self.nnz() * d;
+        if threads <= 1 || work < 1 << 16 {
+            self.spmm_block(b, out.as_mut_slice(), 0, self.rows);
+            return out;
+        }
+        let chunk = self.rows.div_ceil(threads);
+        let slice = out.as_mut_slice();
+        crossbeam::thread::scope(|scope| {
+            for (t, block) in slice.chunks_mut(chunk * d).enumerate() {
+                let start = t * chunk;
+                let end = (start + block.len() / d).min(self.rows);
+                scope.spawn(move |_| self.spmm_block(b, block, start, end));
+            }
+        })
+        .expect("spmm worker panicked");
+        out
+    }
+
+    fn spmm_block(&self, b: &Mat, out: &mut [f64], start: usize, end: usize) {
+        let d = b.cols();
+        for i in start..end {
+            let (cols, vals) = self.row(i);
+            let orow = &mut out[(i - start) * d..(i - start + 1) * d];
+            for (&j, &v) in cols.iter().zip(vals) {
+                let brow = b.row(j as usize);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+    }
+
+    /// Converts to a dense matrix (small graphs / tests only).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m.set(i, j as usize, v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr::from_row_entries(
+            3,
+            3,
+            vec![vec![(2, 2.0), (0, 1.0)], vec![], vec![(0, 3.0), (1, 4.0)]],
+        )
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let m = Csr::from_row_entries(1, 3, vec![vec![(2, 1.0), (0, 1.0), (2, 3.0)]]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        assert_eq!(m.spmv(&[1.0, 2.0, 3.0]), vec![7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        // random sparse 40x40, dense 40x17
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); 40];
+        for row in entries.iter_mut() {
+            for j in 0..40u32 {
+                if rng.gen::<f64>() < 0.15 {
+                    row.push((j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sp = Csr::from_row_entries(40, 40, entries);
+        let b = Mat::uniform(40, 17, 1.0, &mut rng);
+        let fast = sp.spmm(&b);
+        let slow = gcon_linalg::ops::matmul(&sp.to_dense(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spmm_parallel_path_matches_dense() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 300;
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for row in entries.iter_mut() {
+            for j in 0..n as u32 {
+                if rng.gen::<f64>() < 0.05 {
+                    row.push((j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sp = Csr::from_row_entries(n, n, entries);
+        let b = Mat::uniform(n, 64, 1.0, &mut rng);
+        let fast = sp.spmm(&b);
+        let slow = gcon_linalg::ops::matmul(&sp.to_dense(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_spmm_is_neutral() {
+        let b = Mat::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let i5 = Csr::eye(5);
+        assert_eq!(i5.spmm(&b), b);
+    }
+
+    #[test]
+    fn to_dense_roundtrip_values() {
+        let m = sample().to_dense();
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on Cora-ML / CiteSeer / PubMed / Actor, which are not
+//! redistributable here; `gcon-datasets` builds stand-ins from the
+//! [`sbm_homophily`] generator in this module (a degree-corrected stochastic
+//! block model with an explicit homophily dial), matching each dataset's
+//! node count, edge count, class count, and homophily ratio from Table II.
+//! See DESIGN.md §3 for the substitution rationale.
+
+use crate::Graph;
+use rand::Rng;
+
+/// Samples an index proportionally to a fixed weight vector via prefix sums.
+pub struct WeightedSampler {
+    prefix: Vec<f64>,
+    items: Vec<u32>,
+}
+
+impl WeightedSampler {
+    /// Builds a sampler over `items` with the given positive weights.
+    pub fn new(items: Vec<u32>, weights: &[f64]) -> Self {
+        assert_eq!(items.len(), weights.len());
+        assert!(!items.is_empty(), "WeightedSampler: empty support");
+        let mut prefix = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w > 0.0, "WeightedSampler: weights must be positive");
+            acc += w;
+            prefix.push(acc);
+        }
+        Self { prefix, items }
+    }
+
+    /// Draws one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let total = *self.prefix.last().unwrap();
+        let x = rng.gen::<f64>() * total;
+        let idx = self.prefix.partition_point(|&p| p < x).min(self.items.len() - 1);
+        self.items[idx]
+    }
+}
+
+/// G(n, m): exactly `m` distinct uniform random edges (or fewer if the graph
+/// saturates).
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    let max_edges = n * n.saturating_sub(1) / 2;
+    let target = m.min(max_edges);
+    let mut attempts = 0usize;
+    let budget = target.saturating_mul(200) + 1000;
+    while g.num_edges() < target && attempts < budget {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// Path graph 0-1-2-…-(n-1).
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle graph.
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(n as u32 - 1, 0);
+    }
+    g
+}
+
+/// Star graph with center 0.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(u32, u32)> = (1..n).map(|i| (0, i as u32)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Parameters for the degree-corrected SBM with a homophily dial.
+#[derive(Clone, Debug)]
+pub struct SbmConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Target number of undirected edges.
+    pub num_edges: usize,
+    /// Number of label classes.
+    pub num_classes: usize,
+    /// Probability that a sampled edge connects two same-class endpoints.
+    /// This directly dials the homophily statistics of Definition 7.
+    pub homophily: f64,
+    /// Pareto shape for node degree propensities; larger = more homogeneous
+    /// degrees. Citation-style graphs are heavy-tailed (≈ 2.0–3.0).
+    pub degree_exponent: f64,
+}
+
+/// Degree-corrected stochastic block model. Returns the graph and node labels.
+///
+/// Labels are assigned round-robin (balanced classes); each node gets a
+/// Pareto degree propensity; each edge picks its first endpoint by propensity,
+/// chooses same-class vs. cross-class with probability `homophily`, then picks
+/// the partner by propensity within the chosen side.
+pub fn sbm_homophily<R: Rng + ?Sized>(cfg: &SbmConfig, rng: &mut R) -> (Graph, Vec<usize>) {
+    assert!(cfg.num_classes >= 2, "sbm_homophily: need at least 2 classes");
+    assert!((0.0..=1.0).contains(&cfg.homophily), "sbm_homophily: homophily in [0,1]");
+    assert!(cfg.n >= 2 * cfg.num_classes, "sbm_homophily: too few nodes");
+    let n = cfg.n;
+    // Balanced labels, then shuffled so class blocks are not index-contiguous.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % cfg.num_classes).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        labels.swap(i, j);
+    }
+    // Pareto(1, a) degree propensities, capped to keep max degree sane.
+    let a = cfg.degree_exponent.max(1.1);
+    let weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            u.powf(-1.0 / a).min(50.0)
+        })
+        .collect();
+
+    let global = WeightedSampler::new((0..n as u32).collect(), &weights);
+    let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); cfg.num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        by_class[l].push(i as u32);
+    }
+    let class_samplers: Vec<WeightedSampler> = by_class
+        .iter()
+        .map(|nodes| {
+            let w: Vec<f64> = nodes.iter().map(|&i| weights[i as usize]).collect();
+            WeightedSampler::new(nodes.clone(), &w)
+        })
+        .collect();
+
+    let mut g = Graph::empty(n);
+    let mut attempts = 0usize;
+    let budget = cfg.num_edges.saturating_mul(100) + 10_000;
+    while g.num_edges() < cfg.num_edges && attempts < budget {
+        attempts += 1;
+        let u = global.sample(rng);
+        let lu = labels[u as usize];
+        let v = if rng.gen::<f64>() < cfg.homophily {
+            class_samplers[lu].sample(rng)
+        } else {
+            // Pick a different class uniformly, then a member by propensity.
+            let mut lc = rng.gen_range(0..cfg.num_classes - 1);
+            if lc >= lu {
+                lc += 1;
+            }
+            class_samplers[lc].sample(rng)
+        };
+        g.add_edge(u, v);
+    }
+    (g, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homophily::{edge_homophily, homophily_ratio};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_hits_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi_gnm(100, 300, &mut rng);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn gnm_saturates_gracefully() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = erdos_renyi_gnm(4, 100, &mut rng);
+        assert_eq!(g.num_edges(), 6); // K4
+    }
+
+    #[test]
+    fn small_builders() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(star(5).degree(0), 4);
+    }
+
+    #[test]
+    fn sbm_homophily_dial_high() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SbmConfig {
+            n: 1000,
+            num_edges: 4000,
+            num_classes: 5,
+            homophily: 0.8,
+            degree_exponent: 2.5,
+        };
+        let (g, labels) = sbm_homophily(&cfg, &mut rng);
+        assert_eq!(g.num_edges(), 4000);
+        let eh = edge_homophily(&g, &labels);
+        assert!((eh - 0.8).abs() < 0.06, "edge homophily {eh} far from 0.8");
+        let h = homophily_ratio(&g, &labels);
+        assert!(h > 0.6, "node homophily {h} too low");
+    }
+
+    #[test]
+    fn sbm_homophily_dial_low() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SbmConfig {
+            n: 1000,
+            num_edges: 4000,
+            num_classes: 5,
+            homophily: 0.2,
+            degree_exponent: 2.5,
+        };
+        let (g, labels) = sbm_homophily(&cfg, &mut rng);
+        let eh = edge_homophily(&g, &labels);
+        assert!((eh - 0.2).abs() < 0.06, "edge homophily {eh} far from 0.2");
+    }
+
+    #[test]
+    fn sbm_classes_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SbmConfig {
+            n: 600,
+            num_edges: 1500,
+            num_classes: 3,
+            homophily: 0.5,
+            degree_exponent: 2.5,
+        };
+        let (_, labels) = sbm_homophily(&cfg, &mut rng);
+        for c in 0..3 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 200);
+        }
+    }
+
+    #[test]
+    fn sbm_degrees_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = SbmConfig {
+            n: 2000,
+            num_edges: 8000,
+            num_classes: 4,
+            homophily: 0.7,
+            degree_exponent: 2.0,
+        };
+        let (g, _) = sbm_homophily(&cfg, &mut rng);
+        // Heavy tail: max degree well above the average.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn weighted_sampler_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = WeightedSampler::new(vec![10, 20], &[1.0, 9.0]);
+        let mut count20 = 0;
+        for _ in 0..10_000 {
+            if s.sample(&mut rng) == 20 {
+                count20 += 1;
+            }
+        }
+        let frac = count20 as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "frac {frac}");
+    }
+}

@@ -1,0 +1,256 @@
+//! The undirected simple graph type.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph on nodes `0..n` stored as sorted adjacency
+/// lists. Self-loops are not stored (the normalizations add the `+I`
+/// self-loop themselves, matching `Â = A + I` in Sec. IV-C2 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self { n, adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    /// Builds a graph from an undirected edge list. Duplicate edges and
+    /// self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of node `u` (self-loops excluded).
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sorted neighbor list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// True if the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Inserts the undirected edge `{u, v}`. Returns false if it already
+    /// existed or is a self-loop.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "add_edge: node out of range");
+        if u == v {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency lists out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}`. Returns false if absent.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency lists out of sync");
+                self.adj[v as usize].remove(pos_v);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Edge-level neighboring graph `D'` obtained by removing `{u, v}`
+    /// (Definition 2 of the paper, specialized to edge DP).
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist — a neighboring dataset must differ
+    /// by exactly one edge.
+    pub fn with_edge_removed(&self, u: u32, v: u32) -> Self {
+        let mut g = self.clone();
+        assert!(g.remove_edge(u, v), "with_edge_removed: edge {{{u},{v}}} not present");
+        g
+    }
+
+    /// Edge-level neighboring graph obtained by adding `{u, v}`.
+    pub fn with_edge_added(&self, u: u32, v: u32) -> Self {
+        let mut g = self.clone();
+        assert!(g.add_edge(u, v), "with_edge_added: edge {{{u},{v}}} already present");
+        g
+    }
+
+    /// All undirected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                if (u as u32) < v {
+                    out.push((u as u32, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Average degree `2|E|/n` (0 for the empty node set).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.n as f64
+        }
+    }
+
+    /// Induced subgraph on `nodes` (deduplicated, order defines the new ids).
+    /// Returns the subgraph and the old-id list parallel to the new ids.
+    pub fn induced_subgraph(&self, nodes: &[u32]) -> (Self, Vec<u32>) {
+        let mut kept: Vec<u32> = Vec::with_capacity(nodes.len());
+        let mut new_id = vec![u32::MAX; self.n];
+        for &u in nodes {
+            assert!((u as usize) < self.n, "induced_subgraph: node {u} out of range");
+            if new_id[u as usize] == u32::MAX {
+                new_id[u as usize] = kept.len() as u32;
+                kept.push(u);
+            }
+        }
+        let mut sub = Self::empty(kept.len());
+        for (new_u, &old_u) in kept.iter().enumerate() {
+            for &old_v in self.neighbors(old_u) {
+                let nv = new_id[old_v as usize];
+                if nv != u32::MAX && (new_u as u32) < nv {
+                    sub.add_edge(new_u as u32, nv);
+                }
+            }
+        }
+        (sub, kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 1)]);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3); // duplicate ignored
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::empty(2);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_edge_symmetric() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.remove_edge(2, 1));
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(2, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.remove_edge(2, 1)); // already gone
+    }
+
+    #[test]
+    fn neighboring_graph_differs_by_one_edge() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let gp = g.with_edge_removed(1, 2);
+        assert_eq!(g.num_edges() - 1, gp.num_edges());
+        assert!(!gp.has_edge(1, 2));
+        let g2 = gp.with_edge_added(1, 2);
+        assert_eq!(g2, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn with_edge_removed_missing_panics() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let _ = g.with_edge_removed(1, 2);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]);
+        let mut e = g.edges();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let (sub, kept) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(kept, vec![1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        let mut e = sub.edges();
+        e.sort_unstable();
+        // 1-2 and 2-3 survive (as 0-1, 1-2); 0-1/3-4/0-4 are cut.
+        assert_eq!(e, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let (sub, kept) = g.induced_subgraph(&[1, 1, 0]);
+        assert_eq!(kept, vec![1, 0]);
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(sub.num_nodes(), 2);
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+}

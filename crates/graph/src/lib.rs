@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Graph substrate for the GCON reproduction.
+//!
+//! Provides the undirected [`Graph`] type backed by sorted adjacency lists,
+//! a [`csr::Csr`] sparse-matrix type with a threaded sparse×dense product,
+//! the two adjacency normalizations used in the paper
+//! (row-stochastic `Ã = D⁻¹(A+I)` from Sec. IV-C2, optionally clipped per
+//! Lemma 1, and the symmetric `D^{-1/2}ÂD^{-1/2}` used by the GCN baseline),
+//! the homophily ratio of Definition 7, and synthetic graph generators with a
+//! homophily dial (used by `gcon-datasets` to stand in for the paper's
+//! benchmark graphs).
+//!
+//! Edge-level neighboring graphs (Definition 2 specialized to edge DP) are
+//! first-class: [`Graph::with_edge_removed`] / [`Graph::with_edge_added`]
+//! produce the `D'` needed by the sensitivity tests of Lemma 1/2.
+
+pub mod csr;
+pub mod generators;
+pub mod graph;
+pub mod homophily;
+pub mod normalize;
+pub mod stats;
+pub mod traversal;
+
+pub use csr::Csr;
+pub use graph::Graph;
+pub use homophily::homophily_ratio;

@@ -1,0 +1,342 @@
+#![allow(clippy::needless_range_loop)] // index-parallel loops mirror the math
+//! Eigenvalue routines for the verification suites.
+//!
+//! Two solvers live here:
+//!
+//! - [`jacobi_eigen`]: the cyclic Jacobi rotation method for **symmetric**
+//!   matrices. The Lemma 7 analysis of the paper works on real symmetric
+//!   (Hermitian) matrices — the Hessian blocks `B₁`, the perturbations `E₁` —
+//!   whose singular values equal the absolute values of their eigenvalues, so
+//!   a symmetric eigensolver is exactly what `gcon-core::verify` needs to
+//!   check the singular-value bounds numerically.
+//! - [`power_iteration`]: dominant-eigenvalue estimation for arbitrary square
+//!   matrices, used to confirm Lemma 3's claim that every eigenvalue of the
+//!   row-stochastic `Ã` satisfies `|λ| ≤ 1` (so `I − (1−α)Ã` is invertible).
+
+use crate::vecops;
+use crate::Mat;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, sorted in non-increasing order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` pairs with `values[j]`.
+    pub vectors: Mat,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Convergence is quadratic once off-diagonal mass is small; `tol` bounds the
+/// final off-diagonal Frobenius norm relative to the matrix norm. Panics if
+/// `a` is not square; symmetry is the caller's responsibility (the routine
+/// reads only the upper triangle's mirror average, so mild asymmetry from
+/// floating-point noise is tolerated).
+pub fn jacobi_eigen(a: &Mat, tol: f64) -> SymEigen {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+    let n = a.rows();
+    // Work on the symmetrized copy (m + mᵀ)/2 to be robust to fp asymmetry.
+    let mut m = Mat::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = Mat::eye(n);
+
+    let norm = m.frobenius_norm().max(f64::MIN_POSITIVE);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m.get(i, j) * m.get(i, j);
+            }
+        }
+        if (2.0 * off).sqrt() <= tol * norm {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Stable rotation angle: tan(2θ) = 2 a_pq / (a_qq − a_pp).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = {
+                    let sign = if theta >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (theta.abs() + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    // Extract, then sort by descending eigenvalue, carrying vectors along.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Mat::from_fn(n, n, |i, j| v.get(i, order[j]));
+    SymEigen { values, vectors }
+}
+
+/// Singular values of an arbitrary matrix `A`, computed as the square roots
+/// of the eigenvalues of `AᵀA` (Jacobi on the Gram matrix). Returned in
+/// non-increasing order. Adequate for the small, well-conditioned matrices
+/// the verification suite works with.
+pub fn singular_values(a: &Mat, tol: f64) -> Vec<f64> {
+    let gram = crate::ops::t_matmul(a, a);
+    jacobi_eigen(&gram, tol)
+        .values
+        .into_iter()
+        .map(|l| l.max(0.0).sqrt())
+        .collect()
+}
+
+/// Outcome of [`power_iteration`].
+#[derive(Debug, Clone)]
+pub struct PowerIterationResult {
+    /// The dominant eigenvalue estimate (Rayleigh quotient at termination).
+    pub eigenvalue: f64,
+    /// The associated unit eigenvector.
+    pub eigenvector: Vec<f64>,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Whether the residual tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Power iteration on a square matrix, estimating the eigenvalue of largest
+/// magnitude. `v0` seeds the iteration (uniform vector if `None`).
+pub fn power_iteration(
+    a: &Mat,
+    v0: Option<&[f64]>,
+    max_iters: usize,
+    tol: f64,
+) -> PowerIterationResult {
+    assert_eq!(a.rows(), a.cols(), "power_iteration requires a square matrix");
+    let n = a.rows();
+    let mut v: Vec<f64> = match v0 {
+        Some(v0) => {
+            assert_eq!(v0.len(), n);
+            v0.to_vec()
+        }
+        None => vec![1.0 / (n as f64).sqrt(); n],
+    };
+    let nrm = vecops::norm2(&v);
+    assert!(nrm > 0.0, "power_iteration seed must be nonzero");
+    for x in v.iter_mut() {
+        *x /= nrm;
+    }
+
+    let mut lambda = 0.0;
+    for it in 1..=max_iters {
+        // w = A v
+        let mut w = vec![0.0; n];
+        for i in 0..n {
+            let row = a.row(i);
+            w[i] = vecops::dot(row, &v);
+        }
+        let new_lambda = vecops::dot(&v, &w);
+        let wn = vecops::norm2(&w);
+        if wn <= f64::MIN_POSITIVE {
+            // A v = 0: v is in the kernel; eigenvalue 0 is exact.
+            return PowerIterationResult {
+                eigenvalue: 0.0,
+                eigenvector: v,
+                iterations: it,
+                converged: true,
+            };
+        }
+        for (wi, vi) in w.iter().zip(v.iter_mut()) {
+            *vi = *wi / wn;
+        }
+        if (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0) {
+            return PowerIterationResult {
+                eigenvalue: new_lambda,
+                eigenvector: v,
+                iterations: it,
+                converged: true,
+            };
+        }
+        lambda = new_lambda;
+    }
+    PowerIterationResult {
+        eigenvalue: lambda,
+        eigenvector: v,
+        iterations: max_iters,
+        converged: false,
+    }
+}
+
+/// Spectral radius estimate via power iteration with a deterministic
+/// perturbed seed (helps when the dominant eigenvector is orthogonal to the
+/// uniform vector).
+pub fn spectral_radius(a: &Mat, max_iters: usize, tol: f64) -> f64 {
+    let n = a.rows();
+    let seed: Vec<f64> = (0..n).map(|i| 1.0 + 0.01 * ((i % 17) as f64)).collect();
+    power_iteration(a, Some(&seed), max_iters, tol)
+        .eigenvalue
+        .abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, ops};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstruct(e: &SymEigen) -> Mat {
+        let n = e.values.len();
+        let lam = Mat::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let vl = ops::matmul(&e.vectors, &lam);
+        ops::matmul_bt(&vl, &e.vectors)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = jacobi_eigen(&a, 1e-12);
+        assert!(approx_eq(e.values[0], 3.0, 1e-12));
+        assert!(approx_eq(e.values[1], -1.0, 1e-12));
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigen(&a, 1e-12);
+        assert!(approx_eq(e.values[0], 3.0, 1e-10));
+        assert!(approx_eq(e.values[1], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal_and_reconstruct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 4, 7, 10] {
+            let g = Mat::gaussian(n, n, 1.0, &mut rng);
+            // Symmetrize.
+            let a = Mat::from_fn(n, n, |i, j| 0.5 * (g.get(i, j) + g.get(j, i)));
+            let e = jacobi_eigen(&a, 1e-13);
+            // VᵀV = I
+            let vtv = ops::t_matmul(&e.vectors, &e.vectors);
+            for i in 0..n {
+                for j in 0..n {
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!(approx_eq(vtv.get(i, j), want, 1e-8), "VtV({i},{j})");
+                }
+            }
+            // V Λ Vᵀ = A
+            let rec = reconstruct(&e);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        approx_eq(rec.get(i, j), a.get(i, j), 1e-8),
+                        "reconstruct n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_non_increasing() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = Mat::gaussian(6, 6, 1.0, &mut rng);
+        let a = Mat::from_fn(6, 6, |i, j| 0.5 * (g.get(i, j) + g.get(j, i)));
+        let e = jacobi_eigen(&a, 1e-12);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]);
+        let e = jacobi_eigen(&a, 1e-13);
+        let trace = 4.0 + 3.0 + 5.0;
+        let sum: f64 = e.values.iter().sum();
+        assert!(approx_eq(sum, trace, 1e-9));
+    }
+
+    #[test]
+    fn singular_values_match_eigenvalues_for_spd() {
+        // For a symmetric positive-definite matrix, σᵢ = λᵢ.
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let sv = singular_values(&a, 1e-13);
+        assert!(approx_eq(sv[0], 3.0, 1e-8));
+        assert!(approx_eq(sv[1], 1.0, 1e-8));
+    }
+
+    #[test]
+    fn singular_values_of_rank_one_outer_product() {
+        // z zᵀ with ‖z‖ = √(1+4+4) = 3 has a single singular value ‖z‖² = 9.
+        let z = [1.0, 2.0, 2.0];
+        let a = Mat::from_fn(3, 3, |i, j| z[i] * z[j]);
+        let sv = singular_values(&a, 1e-13);
+        assert!(approx_eq(sv[0], 9.0, 1e-8));
+        assert!(sv[1].abs() < 1e-6 && sv[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let r = power_iteration(&a, None, 500, 1e-12);
+        assert!(r.converged);
+        assert!(approx_eq(r.eigenvalue, 3.0, 1e-8));
+        // Eigenvector ∝ (1,1)/√2.
+        let want = 1.0 / 2.0f64.sqrt();
+        assert!(approx_eq(r.eigenvector[0].abs(), want, 1e-6));
+        assert!(approx_eq(r.eigenvector[1].abs(), want, 1e-6));
+    }
+
+    #[test]
+    fn power_iteration_on_zero_matrix_returns_zero() {
+        let a = Mat::zeros(3, 3);
+        let r = power_iteration(&a, None, 10, 1e-12);
+        assert!(r.converged);
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn spectral_radius_of_row_stochastic_matrix_is_one() {
+        // Any row-stochastic matrix has spectral radius exactly 1 (Lemma 3's
+        // engine room). Build one by normalizing random positive rows.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 8;
+        let mut a = Mat::uniform(n, n, 1.0, &mut rng);
+        a.map_inplace(|v| v.abs() + 0.01);
+        for i in 0..n {
+            let s: f64 = a.row(i).iter().sum();
+            for j in 0..n {
+                let v = a.get(i, j) / s;
+                a.set(i, j, v);
+            }
+        }
+        let rho = spectral_radius(&a, 2000, 1e-12);
+        assert!(approx_eq(rho, 1.0, 1e-6), "rho = {rho}");
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Dense linear-algebra substrate for the GCON reproduction.
+//!
+//! Every other crate in the workspace builds on the row-major [`Mat`] type and
+//! the free-function vector kernels in [`vecops`]. No external linear-algebra
+//! dependency is used: the paper's pipeline only needs dense GEMM-like
+//! products, row-wise normalization, and norms, all of which are implemented
+//! here with cache-friendly loops and scoped-thread parallelism.
+//!
+//! Design notes
+//! - `f64` throughout: the differential-privacy parameter chain of the paper
+//!   (Theorem 1, Eq. 17–24) is numerically delicate.
+//! - Matrices are row-major so that "a row = a node's feature vector" is a
+//!   contiguous slice, which is the dominant access pattern in graph
+//!   convolution.
+
+pub mod eigen;
+pub mod lu;
+pub mod mat;
+pub mod ops;
+pub mod reduce;
+pub mod solve;
+pub mod vecops;
+
+pub use mat::Mat;
+
+/// Absolute tolerance used by the test suites across the workspace when
+/// comparing floating-point kernels against naive reference implementations.
+pub const TEST_TOL: f64 = 1e-9;
+
+/// Returns true when `a` and `b` are within `tol` of each other, treating
+/// NaN as never close.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,403 @@
+//! The dense row-major matrix type.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// Row-major layout means `self.row(i)` is a contiguous `&[f64]`, which is the
+/// access pattern used by graph convolution (`Z[i] = Σ_j Ã_ij X[j]`), loss
+/// evaluation (per-node dot products `z_iᵀ θ_j`), and the noise/regularizer
+/// terms of the perturbed objective (Eq. 13 of the paper).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Mat::from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested row slices (test convenience).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Mat::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Fills a matrix with i.i.d. samples from `U(-scale, scale)`.
+    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f64, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Fills a matrix with i.i.d. standard-normal samples scaled by `std`.
+    pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| crate::vecops::sample_std_normal(rng) * std).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a new vector (columns are strided).
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// The flat row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major backing slice, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix consisting of the given rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` and `other` (same row count).
+    pub fn hcat(&self, other: &Mat) -> Self {
+        assert_eq!(self.rows, other.rows, "hcat: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Self::zeros(self.rows, cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Horizontally concatenates a list of matrices with identical row counts.
+    pub fn hcat_all(parts: &[&Mat]) -> Self {
+        assert!(!parts.is_empty(), "hcat_all: empty input");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Self::zeros(rows, cols);
+        for i in 0..rows {
+            let mut off = 0;
+            for m in parts {
+                assert_eq!(m.rows, rows, "hcat_all: row mismatch");
+                out.row_mut(i)[off..off + m.cols].copy_from_slice(m.row(i));
+                off += m.cols;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `‖M‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// True when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Normalizes each row to unit L2 norm; rows with zero norm are left
+    /// untouched. This is the pre-propagation normalization of Sec. IV-C3.
+    pub fn normalize_rows_l2(&mut self) {
+        for i in 0..self.rows {
+            let row = self.row_mut(i);
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for i in 0..show {
+            let row = self.row(i);
+            let cells: Vec<String> =
+                row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Mat::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let m = Mat::eye(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Mat::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn hcat_shapes_and_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0], &[6.0]]);
+        let c = a.hcat(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(c.row(1), &[3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn hcat_all_three_parts() {
+        let a = Mat::from_rows(&[&[1.0], &[2.0]]);
+        let b = Mat::from_rows(&[&[3.0], &[4.0]]);
+        let c = Mat::from_rows(&[&[5.0], &[6.0]]);
+        let m = Mat::hcat_all(&[&a, &b, &c]);
+        assert_eq!(m.row(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(m.row(1), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_orders() {
+        let m = Mat::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), m.row(2));
+        assert_eq!(s.row(1), m.row(0));
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut m = Mat::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[1.0, 0.0]]);
+        m.normalize_rows_l2();
+        assert!((m.row(0)[0] - 0.6).abs() < 1e-12);
+        assert!((m.row(0)[1] - 0.8).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0.0, 0.0]); // zero row untouched
+        assert_eq!(m.row(2), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!((m.frobenius_norm() - 25.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_matrix_is_seeded_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = Mat::gaussian(5, 5, 1.0, &mut r1);
+        let b = Mat::gaussian(5, 5, 1.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_and_map_inplace_agree() {
+        let m = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let doubled = m.map(|v| v * 2.0);
+        let mut m2 = m.clone();
+        m2.map_inplace(|v| v * 2.0);
+        assert_eq!(doubled, m2);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Matrix-matrix and matrix-scalar operations, including the threaded GEMM
+//! used by every training loop in the workspace.
+
+use crate::Mat;
+
+/// Number of worker threads for the parallel kernels. Matmul over row blocks
+/// is embarrassingly parallel; we cap at 8 since the matrices in this workload
+/// (≤ ~20k × ~3k) saturate memory bandwidth quickly.
+fn n_threads(rows: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(8).min(rows.max(1))
+}
+
+/// `C = A · B` with an i-k-j loop order (streams rows of B, writes rows of C),
+/// parallelized over row blocks of A with scoped threads.
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimension mismatch {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Mat::zeros(m, n);
+    if n == 0 || m == 0 {
+        return c;
+    }
+    let threads = n_threads(m);
+    if threads <= 1 || m * k * n < 1 << 16 {
+        matmul_block(a, b, c.as_mut_slice(), 0, m);
+        return c;
+    }
+    let chunk = m.div_ceil(threads);
+    let c_slice = c.as_mut_slice();
+    crossbeam::thread::scope(|scope| {
+        for (t, out) in c_slice.chunks_mut(chunk * n).enumerate() {
+            let start = t * chunk;
+            let end = (start + out.len() / n).min(m);
+            scope.spawn(move |_| {
+                matmul_block(a, b, out, start, end);
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+    c
+}
+
+/// Computes rows `[start, end)` of `A · B` into `out` (local row-major block).
+fn matmul_block(a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize) {
+    let n = b.cols();
+    for i in start..end {
+        let arow = a.row(i);
+        let crow = &mut out[(i - start) * n..(i - start + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+///
+/// This is the shape that appears in every weight gradient of the manual
+/// backprop stack (`∂L/∂W = Xᵀ · δ`).
+pub fn t_matmul(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.rows(), b.rows(), "t_matmul: row mismatch");
+    let (n_samples, d_in) = a.shape();
+    let d_out = b.cols();
+    let mut c = Mat::zeros(d_in, d_out);
+    let cs = c.as_mut_slice();
+    for i in 0..n_samples {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (k, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cs[k * d_out..(k + 1) * d_out];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose (pairwise row dots).
+pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.cols(), "matmul_bt: column mismatch");
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Mat::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv = crate::vecops::dot(arow, b.row(j));
+        }
+    }
+    c
+}
+
+/// Element-wise `A + B`.
+pub fn add(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
+    let mut out = a.clone();
+    add_assign(&mut out, b);
+    out
+}
+
+/// `a += b` element-wise.
+pub fn add_assign(a: &mut Mat, b: &Mat) {
+    assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// `a += alpha * b` element-wise.
+pub fn add_scaled_assign(a: &mut Mat, alpha: f64, b: &Mat) {
+    assert_eq!(a.shape(), b.shape(), "add_scaled_assign: shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += alpha * y;
+    }
+}
+
+/// Element-wise `A - B`.
+pub fn sub(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= y;
+    }
+    out
+}
+
+/// `alpha * A`.
+pub fn scale(a: &Mat, alpha: f64) -> Mat {
+    a.map(|v| v * alpha)
+}
+
+/// Element-wise (Hadamard) product.
+pub fn hadamard(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.shape(), b.shape(), "hadamard: shape mismatch");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+    out
+}
+
+/// `⟨A, B⟩ = Σ_ij A_ij B_ij` — the `⊙` operator of Eq. (13) in the paper
+/// (element-wise product followed by a global sum).
+pub fn frobenius_inner(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "frobenius_inner: shape mismatch");
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_small_exact() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_large() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mat::uniform(67, 43, 1.0, &mut rng);
+        let b = Mat::uniform(43, 29, 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2);
+        // Big enough to trigger the threaded path (m*k*n >= 2^16).
+        let a = Mat::uniform(128, 64, 1.0, &mut rng);
+        let b = Mat::uniform(64, 32, 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Mat::uniform(31, 7, 1.0, &mut rng);
+        let b = Mat::uniform(31, 5, 1.0, &mut rng);
+        let fast = t_matmul(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Mat::uniform(13, 9, 1.0, &mut rng);
+        let b = Mat::uniform(11, 9, 1.0, &mut rng);
+        let fast = matmul_bt(&a, &b);
+        let slow = matmul(&a, &b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(matmul(&a, &Mat::eye(5)), a);
+        assert_eq!(matmul(&Mat::eye(5), &a), a);
+    }
+
+    #[test]
+    fn add_sub_scale_roundtrip() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, 5.0]]);
+        let s = add(&a, &b);
+        assert_eq!(s, Mat::from_rows(&[&[4.0, 7.0]]));
+        assert_eq!(sub(&s, &b), a);
+        assert_eq!(scale(&a, 2.0), Mat::from_rows(&[&[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn frobenius_inner_matches_elementwise_sum() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(frobenius_inner(&a, &b), 5.0 + 12.0 + 21.0 + 32.0);
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(hadamard(&a, &b), Mat::from_rows(&[&[3.0, 8.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+}

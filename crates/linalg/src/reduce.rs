@@ -1,0 +1,91 @@
+//! Row/column reductions used by normalization and by the Lemma 1 invariant
+//! checks (row sums of propagation matrices equal 1; column sums are bounded
+//! by node degree).
+
+use crate::Mat;
+
+/// Sum of each row.
+pub fn row_sums(m: &Mat) -> Vec<f64> {
+    m.rows_iter().map(|r| r.iter().sum()).collect()
+}
+
+/// Sum of each column.
+pub fn col_sums(m: &Mat) -> Vec<f64> {
+    let mut out = vec![0.0; m.cols()];
+    for row in m.rows_iter() {
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// L2 norm of each row.
+pub fn row_norms2(m: &Mat) -> Vec<f64> {
+    m.rows_iter().map(crate::vecops::norm2).collect()
+}
+
+/// Mean of each column.
+pub fn col_means(m: &Mat) -> Vec<f64> {
+    let mut s = col_sums(m);
+    let n = m.rows().max(1) as f64;
+    for v in &mut s {
+        *v /= n;
+    }
+    s
+}
+
+/// Per-row argmax — the hard prediction of a logit/score matrix.
+pub fn row_argmax(m: &Mat) -> Vec<usize> {
+    m.rows_iter().map(crate::vecops::argmax).collect()
+}
+
+/// Σ over rows of ‖a_i − b_i‖₂: the ψ(·) sensitivity metric of Definition 3
+/// in the paper, evaluated between two concrete matrices.
+pub fn psi_row_distance(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "psi_row_distance: shape mismatch");
+    (0..a.rows()).map(|i| crate::vecops::dist2(a.row(i), b.row(i))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(row_sums(&m), vec![3.0, 7.0]);
+        assert_eq!(col_sums(&m), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn row_norms() {
+        let m = Mat::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        assert_eq!(row_norms2(&m), vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn col_means_divide() {
+        let m = Mat::from_rows(&[&[1.0], &[3.0]]);
+        assert_eq!(col_means(&m), vec![2.0]);
+    }
+
+    #[test]
+    fn row_argmax_positions() {
+        let m = Mat::from_rows(&[&[0.1, 0.9], &[0.8, 0.2]]);
+        assert_eq!(row_argmax(&m), vec![1, 0]);
+    }
+
+    #[test]
+    fn psi_distance_zero_for_identical() {
+        let m = Mat::from_fn(4, 3, |i, j| (i + j) as f64);
+        assert_eq!(psi_row_distance(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn psi_distance_sums_row_norms() {
+        let a = Mat::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = Mat::from_rows(&[&[3.0, 4.0], &[1.0, 1.0]]);
+        assert_eq!(psi_row_distance(&a, &b), 5.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Iterative linear solvers.
+//!
+//! The PPR limit `Z_∞ = α(I − (1−α)Ã)^{-1}X` (Eq. 5 of the paper) is a
+//! linear solve per feature column. `gcon-core` uses the power iteration
+//! (geometric rate `1−α`), but for small restart probabilities the system
+//! becomes ill-conditioned and conjugate-gradient-type methods converge in
+//! far fewer matrix products. This module provides a matrix-free CG on the
+//! *normal equations* (CGNR) — the operator `I − (1−α)Ã` is nonsymmetric, so
+//! plain CG does not apply — plus a dense reference solver for tests.
+
+use crate::{vecops, Mat};
+
+/// A matrix-free linear operator `y = A·x`.
+pub trait LinearOperator {
+    /// Applies the operator.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+    /// Applies the transpose.
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64>;
+    /// Operator dimension (square).
+    fn dim(&self) -> usize;
+}
+
+/// Outcome of an iterative solve.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual L2 norm `‖b − A·x‖₂`.
+    pub residual: f64,
+    /// Whether the tolerance was reached.
+    pub converged: bool,
+}
+
+/// CGNR: conjugate gradient on `AᵀA x = Aᵀ b`, valid for any nonsingular
+/// operator. Returns the solution and convergence statistics.
+pub fn cgnr<Op: LinearOperator>(
+    op: &Op,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> (Vec<f64>, SolveStats) {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "cgnr: rhs dimension mismatch");
+    let mut x = vec![0.0; n];
+    // r = b − A x = b initially.
+    let mut r = b.to_vec();
+    // z = Aᵀ r (gradient of the least-squares objective), p = z.
+    let mut z = op.apply_transpose(&r);
+    let mut p = z.clone();
+    let mut z_norm_sq = vecops::dot(&z, &z);
+    let b_norm = vecops::norm2(b).max(1e-300);
+
+    let mut stats = SolveStats { iterations: 0, residual: vecops::norm2(&r), converged: false };
+    for it in 0..max_iters {
+        stats.iterations = it;
+        if stats.residual / b_norm < tol {
+            stats.converged = true;
+            break;
+        }
+        let ap = op.apply(&p);
+        let ap_norm_sq = vecops::dot(&ap, &ap);
+        if ap_norm_sq == 0.0 {
+            break;
+        }
+        let alpha = z_norm_sq / ap_norm_sq;
+        vecops::axpy(alpha, &p, &mut x);
+        vecops::axpy(-alpha, &ap, &mut r);
+        z = op.apply_transpose(&r);
+        let z_new = vecops::dot(&z, &z);
+        let beta = z_new / z_norm_sq.max(1e-300);
+        for (pi, &zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+        z_norm_sq = z_new;
+        stats.residual = vecops::norm2(&r);
+    }
+    stats.converged = stats.converged || stats.residual / b_norm < tol;
+    (x, stats)
+}
+
+/// Dense Gaussian elimination with partial pivoting — the O(n³) reference
+/// used by tests and tiny systems.
+pub fn solve_dense(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_dense: matrix must be square");
+    assert_eq!(b.len(), n, "solve_dense: rhs dimension mismatch");
+    let mut aug = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        let mut best = aug.get(col, col).abs();
+        for row in col + 1..n {
+            let v = aug.get(row, col).abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-300 {
+            return None; // singular
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = aug.get(col, j);
+                aug.set(col, j, aug.get(pivot, j));
+                aug.set(pivot, j, tmp);
+            }
+            rhs.swap(col, pivot);
+        }
+        // Eliminate below.
+        let diag = aug.get(col, col);
+        for row in col + 1..n {
+            let f = aug.get(row, col) / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = aug.get(row, j) - f * aug.get(col, j);
+                aug.set(row, j, v);
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for (j, &xj) in x.iter().enumerate().skip(row + 1) {
+            s -= aug.get(row, j) * xj;
+        }
+        x[row] = s / aug.get(row, row);
+    }
+    Some(x)
+}
+
+/// Adapter exposing a dense [`Mat`] as a [`LinearOperator`].
+pub struct DenseOperator<'a> {
+    /// The wrapped matrix.
+    pub mat: &'a Mat,
+}
+
+impl LinearOperator for DenseOperator<'_> {
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.mat.rows()).map(|i| vecops::dot(self.mat.row(i), x)).collect()
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.mat.cols()];
+        for (i, &xi) in x.iter().enumerate() {
+            vecops::axpy(xi, self.mat.row(i), &mut out);
+        }
+        out
+    }
+
+    fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_solver_small_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve_dense(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_solver_detects_singular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(solve_dense(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn cgnr_matches_dense_solution() {
+        let mut rng = StdRng::seed_from_u64(101);
+        // Well-conditioned diagonally dominant system.
+        let n = 20;
+        let mut a = Mat::uniform(n, n, 0.3, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 3.0);
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let expect = solve_dense(&a, &b).unwrap();
+        let (x, stats) = cgnr(&DenseOperator { mat: &a }, &b, 1e-12, 500);
+        assert!(stats.converged, "residual {}", stats.residual);
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn cgnr_handles_nonsymmetric_operators() {
+        let a = Mat::from_rows(&[&[1.0, 0.9, 0.0], &[0.0, 1.0, 0.9], &[0.0, 0.0, 1.0]]);
+        let b = [1.0, 1.0, 1.0];
+        let expect = solve_dense(&a, &b).unwrap();
+        let (x, stats) = cgnr(&DenseOperator { mat: &a }, &b, 1e-13, 200);
+        assert!(stats.converged);
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cgnr_zero_rhs_gives_zero() {
+        let a = Mat::eye(4);
+        let (x, stats) = cgnr(&DenseOperator { mat: &a }, &[0.0; 4], 1e-12, 10);
+        assert!(stats.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Vector kernels shared across the workspace.
+
+use rand::Rng;
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// L1 norm.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L∞ norm.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+}
+
+/// Euclidean distance between two slices.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Scales `x` in place by `alpha`.
+#[inline]
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Rescales `x` so that its L2 norm is at most `max_norm` (gradient clipping).
+/// Returns the original norm.
+pub fn clip_norm2(x: &mut [f64], max_norm: f64) -> f64 {
+    let n = norm2(x);
+    if n > max_norm && n > 0.0 {
+        scale(x, max_norm / n);
+    }
+    n
+}
+
+/// Index of the maximum element (first on ties). Returns 0 for empty input.
+pub fn argmax(x: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two items).
+pub fn std_dev(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64).sqrt()
+}
+
+/// Samples a standard normal variate via Box–Muller (polar-free form).
+///
+/// Kept here (rather than depending on `rand_distr`) so the whole workspace
+/// shares one normal sampler built only on the sanctioned `rand` crate.
+pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller: u1 ∈ (0,1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Numerically stable softmax of a slice, written into `out`.
+pub fn softmax_into(x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    let max = x.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0.0;
+    for (o, &v) in out.iter_mut().zip(x) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    if sum > 0.0 {
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn clip_reduces_long_vectors_only() {
+        let mut x = vec![3.0, 4.0];
+        let orig = clip_norm2(&mut x, 1.0);
+        assert_eq!(orig, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-12);
+
+        let mut y = vec![0.3, 0.4];
+        clip_norm2(&mut y, 1.0);
+        assert_eq!(y, vec![0.3, 0.4]); // unchanged
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&x) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_std_normal(&mut rng)).collect();
+        let m = mean(&samples);
+        let s = std_dev(&samples);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((s - 1.0).abs() < 0.01, "std {s}");
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let x = [1.0, 2.0, 3.0];
+        let mut a = [0.0; 3];
+        let mut b = [0.0; 3];
+        softmax_into(&x, &mut a);
+        softmax_into(&[1001.0, 1002.0, 1003.0], &mut b);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dist2_symmetry() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert_eq!(dist2(&a, &b), 5.0);
+        assert_eq!(dist2(&b, &a), 5.0);
+    }
+}

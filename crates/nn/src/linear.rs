@@ -1,0 +1,145 @@
+//! The fully-connected layer with hand-derived gradients.
+
+use gcon_linalg::{ops, Mat};
+use rand::Rng;
+
+/// A dense affine layer `Y = X·W + b` with `W : d_in × d_out`, `b : d_out`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix, `d_in × d_out`.
+    pub w: Mat,
+    /// Bias vector, length `d_out`.
+    pub b: Vec<f64>,
+}
+
+/// Gradients of a [`Linear`] layer produced by [`Linear::backward`].
+#[derive(Clone, Debug)]
+pub struct LinearGrads {
+    /// `∂L/∂W = Xᵀ·δ`.
+    pub dw: Mat,
+    /// `∂L/∂b = Σ_rows δ`.
+    pub db: Vec<f64>,
+}
+
+impl Linear {
+    /// Glorot/Xavier-uniform initialization: `U(±√(6/(d_in+d_out)))`.
+    pub fn xavier<R: Rng + ?Sized>(d_in: usize, d_out: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (d_in + d_out) as f64).sqrt();
+        Self { w: Mat::uniform(d_in, d_out, bound, rng), b: vec![0.0; d_out] }
+    }
+
+    /// Kaiming/He initialization (good defaults ahead of ReLU).
+    pub fn kaiming<R: Rng + ?Sized>(d_in: usize, d_out: usize, rng: &mut R) -> Self {
+        let std = (2.0 / d_in as f64).sqrt();
+        Self { w: Mat::gaussian(d_in, d_out, std, rng), b: vec![0.0; d_out] }
+    }
+
+    /// Input dimension.
+    pub fn d_in(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn d_out(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass `Y = X·W + b`.
+    pub fn forward(&self, x: &Mat) -> Mat {
+        let mut y = ops::matmul(x, &self.w);
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            for (v, &bv) in row.iter_mut().zip(&self.b) {
+                *v += bv;
+            }
+        }
+        y
+    }
+
+    /// Backward pass. Given the layer input `x` and the upstream gradient
+    /// `dy = ∂L/∂Y`, returns `(∂L/∂X, gradients)`.
+    pub fn backward(&self, x: &Mat, dy: &Mat) -> (Mat, LinearGrads) {
+        assert_eq!(x.rows(), dy.rows(), "backward: batch mismatch");
+        assert_eq!(dy.cols(), self.d_out(), "backward: output dim mismatch");
+        let dw = ops::t_matmul(x, dy);
+        let db = gcon_linalg::reduce::col_sums(dy);
+        let dx = ops::matmul_bt(dy, &self.w);
+        (dx, LinearGrads { dw, db })
+    }
+
+    /// Squared Frobenius norm of the weights (for L2 regularization; biases
+    /// are conventionally not decayed).
+    pub fn weight_norm_sq(&self) -> f64 {
+        self.w.frobenius_norm_sq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes_and_bias() {
+        let layer = Linear { w: Mat::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]), b: vec![10.0, 20.0] };
+        let x = Mat::from_rows(&[&[1.0, 1.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.row(0), &[11.0, 22.0]);
+    }
+
+    /// Central finite-difference check of all three gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = Linear::xavier(4, 3, &mut rng);
+        let x = Mat::uniform(5, 4, 1.0, &mut rng);
+        // Scalar loss L = Σ_ij c_ij * Y_ij with random coefficients c.
+        let c = Mat::uniform(5, 3, 1.0, &mut rng);
+        let loss = |l: &Linear, xx: &Mat| ops::frobenius_inner(&l.forward(xx), &c);
+
+        let (dx, grads) = layer.backward(&x, &c);
+        let h = 1e-6;
+
+        // dW
+        for i in 0..4 {
+            for j in 0..3 {
+                let mut lp = layer.clone();
+                lp.w.add_at(i, j, h);
+                let mut lm = layer.clone();
+                lm.w.add_at(i, j, -h);
+                let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+                assert!((fd - grads.dw.get(i, j)).abs() < 1e-5, "dW[{i}][{j}]");
+            }
+        }
+        // db
+        for j in 0..3 {
+            let mut lp = layer.clone();
+            lp.b[j] += h;
+            let mut lm = layer.clone();
+            lm.b[j] -= h;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
+            assert!((fd - grads.db[j]).abs() < 1e-5, "db[{j}]");
+        }
+        // dX
+        for i in 0..5 {
+            for j in 0..4 {
+                let mut xp = x.clone();
+                xp.add_at(i, j, h);
+                let mut xm = x.clone();
+                xm.add_at(i, j, -h);
+                let fd = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * h);
+                assert!((fd - dx.get(i, j)).abs() < 1e-5, "dX[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let layer = Linear::xavier(100, 50, &mut rng);
+        let bound = (6.0 / 150.0_f64).sqrt();
+        assert!(layer.w.max_abs() <= bound);
+        assert!(layer.b.iter().all(|&v| v == 0.0));
+    }
+}

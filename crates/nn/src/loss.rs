@@ -1,0 +1,121 @@
+//! Classification losses for the NN stack.
+//!
+//! Note: these are the losses of the *non-private* components (encoder and
+//! baseline networks). GCON's strongly-convex training losses (MultiLabel
+//! Soft Margin, pseudo-Huber; Appendix F of the paper) live in
+//! `gcon-core::loss` because their derivative suprema enter the privacy
+//! calibration.
+
+use gcon_linalg::{vecops, Mat};
+
+/// Mean softmax cross-entropy over rows.
+///
+/// Returns `(loss, ∂loss/∂logits)`; the gradient is the classic
+/// `(softmax(logits) − onehot) / n`.
+pub fn softmax_cross_entropy(logits: &Mat, labels: &[usize]) -> (f64, Mat) {
+    let n = logits.rows();
+    assert_eq!(labels.len(), n, "softmax_cross_entropy: label count mismatch");
+    assert!(n > 0, "softmax_cross_entropy: empty batch");
+    let c = logits.cols();
+    let mut grad = Mat::zeros(n, c);
+    let mut loss = 0.0;
+    let mut probs = vec![0.0; c];
+    for (i, &y) in labels.iter().enumerate() {
+        vecops::softmax_into(logits.row(i), &mut probs);
+        debug_assert!(y < c, "label {y} out of range for {c} classes");
+        // Clamp to avoid -inf when a probability underflows to 0.
+        loss -= probs[y].max(1e-300).ln();
+        let grow = grad.row_mut(i);
+        for (g, &p) in grow.iter_mut().zip(&probs) {
+            *g = p / n as f64;
+        }
+        grow[y] -= 1.0 / n as f64;
+    }
+    (loss / n as f64, grad)
+}
+
+/// Mean squared error `‖pred − target‖²_F / (2n)` with gradient.
+pub fn mse(pred: &Mat, target: &Mat) -> (f64, Mat) {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    let n = pred.rows().max(1) as f64;
+    let mut grad = gcon_linalg::ops::sub(pred, target);
+    let loss = grad.frobenius_norm_sq() / (2.0 * n);
+    grad.map_inplace(|v| v / n);
+    (loss, grad)
+}
+
+/// Classification accuracy of logits against integer labels.
+pub fn accuracy(logits: &Mat, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = (0..logits.rows())
+        .filter(|&i| vecops::argmax(logits.row(i)) == labels[i])
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        let logits = Mat::from_rows(&[&[100.0, 0.0], &[0.0, 100.0]]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-10);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Mat::zeros(3, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2]);
+        assert!((loss - 4.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Mat::from_rows(&[&[0.5, -0.3, 0.1], &[-1.0, 0.7, 0.2]]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let h = 1e-6;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut lp = logits.clone();
+                lp.add_at(i, j, h);
+                let mut lm = logits.clone();
+                lm.add_at(i, j, -h);
+                let fd = (softmax_cross_entropy(&lp, &labels).0
+                    - softmax_cross_entropy(&lm, &labels).0)
+                    / (2.0 * h);
+                assert!((fd - grad.get(i, j)).abs() < 1e-6, "grad[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_differences() {
+        let pred = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let target = Mat::from_rows(&[&[0.0, 2.0], &[4.0, 4.0]]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - (1.0 + 1.0) / 4.0).abs() < 1e-12);
+        let h = 1e-6;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut pp = pred.clone();
+                pp.add_at(i, j, h);
+                let mut pm = pred.clone();
+                pm.add_at(i, j, -h);
+                let fd = (mse(&pp, &target).0 - mse(&pm, &target).0) / (2.0 * h);
+                assert!((fd - grad.get(i, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Mat::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.6, 0.4]]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,370 @@
+//! Multi-layer perceptron built from [`Linear`] layers.
+//!
+//! Used directly as the MLP baseline (edge-free → trivially edge-DP) and as
+//! the building block of GCON's feature encoder and the GAP/ProGAP/LPGNet
+//! heads. Exposes the cached forward / explicit backward pair so composite
+//! models (encoder + classification head, GCN) can backpropagate through it.
+
+use crate::activations::Activation;
+use crate::linear::{Linear, LinearGrads};
+use crate::loss::softmax_cross_entropy;
+use crate::optim::{Adam, Optimizer};
+use gcon_linalg::Mat;
+use rand::Rng;
+
+/// Architecture description for an [`Mlp`].
+#[derive(Clone, Debug)]
+pub struct MlpConfig {
+    /// Layer widths, `[d_in, h1, …, d_out]`; must have ≥ 2 entries.
+    pub dims: Vec<usize>,
+    /// Activation after every hidden layer.
+    pub hidden_activation: Activation,
+    /// Activation after the final layer (Identity for logits).
+    pub output_activation: Activation,
+}
+
+impl MlpConfig {
+    /// ReLU hidden layers and raw-logit output.
+    pub fn relu_classifier(dims: Vec<usize>) -> Self {
+        Self {
+            dims,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Identity,
+        }
+    }
+}
+
+/// A feed-forward network with per-layer activations.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    /// The affine layers.
+    pub layers: Vec<Linear>,
+    hidden_act: Activation,
+    out_act: Activation,
+}
+
+impl Mlp {
+    /// Initializes the network (Kaiming for ReLU hidden stacks, Xavier
+    /// otherwise).
+    pub fn new<R: Rng + ?Sized>(cfg: &MlpConfig, rng: &mut R) -> Self {
+        assert!(cfg.dims.len() >= 2, "MlpConfig: need at least input and output dims");
+        let layers = cfg
+            .dims
+            .windows(2)
+            .map(|w| {
+                if cfg.hidden_activation == Activation::Relu {
+                    Linear::kaiming(w[0], w[1], rng)
+                } else {
+                    Linear::xavier(w[0], w[1], rng)
+                }
+            })
+            .collect();
+        Self { layers, hidden_act: cfg.hidden_activation, out_act: cfg.output_activation }
+    }
+
+    /// Rebuilds a network from its constituent parts (deserialization path).
+    pub fn from_parts(layers: Vec<Linear>, hidden_act: Activation, out_act: Activation) -> Self {
+        assert!(!layers.is_empty(), "Mlp::from_parts: need at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].d_out(),
+                w[1].d_in(),
+                "Mlp::from_parts: consecutive layer dims must chain"
+            );
+        }
+        Self { layers, hidden_act, out_act }
+    }
+
+    /// The `(hidden, output)` activation pair (serialization path).
+    pub fn activations(&self) -> (Activation, Activation) {
+        (self.hidden_act, self.out_act)
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Activation used after layer `l`.
+    fn activation_at(&self, l: usize) -> Activation {
+        if l + 1 == self.layers.len() {
+            self.out_act
+        } else {
+            self.hidden_act
+        }
+    }
+
+    /// Forward pass returning only the output.
+    pub fn forward(&self, x: &Mat) -> Mat {
+        let mut a = x.clone();
+        for (l, layer) in self.layers.iter().enumerate() {
+            a = layer.forward(&a);
+            self.activation_at(l).apply(&mut a);
+        }
+        a
+    }
+
+    /// Forward pass returning every post-activation, `[x, a1, …, a_L]`.
+    pub fn forward_cached(&self, x: &Mat) -> Vec<Mat> {
+        let mut cache = Vec::with_capacity(self.layers.len() + 1);
+        cache.push(x.clone());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let mut a = layer.forward(cache.last().unwrap());
+            self.activation_at(l).apply(&mut a);
+            cache.push(a);
+        }
+        cache
+    }
+
+    /// Backward pass from the gradient w.r.t. the network *output*
+    /// (post-activation). Returns the gradient w.r.t. the input and one
+    /// [`LinearGrads`] per layer (front to back).
+    pub fn backward(&self, cache: &[Mat], dout: Mat) -> (Mat, Vec<LinearGrads>) {
+        assert_eq!(cache.len(), self.layers.len() + 1, "backward: cache/layer mismatch");
+        let mut grads: Vec<Option<LinearGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut delta = dout;
+        for l in (0..self.layers.len()).rev() {
+            self.activation_at(l).backprop_inplace(&cache[l + 1], &mut delta);
+            let (dx, g) = self.layers[l].backward(&cache[l], &delta);
+            grads[l] = Some(g);
+            delta = dx;
+        }
+        (delta, grads.into_iter().map(|g| g.unwrap()).collect())
+    }
+
+    /// Applies gradients with the given optimizer; `weight_decay` adds
+    /// `wd · W` to each weight gradient (biases are not decayed). Parameter
+    /// tensors are registered with the optimizer starting at `base_idx`
+    /// (2 slots per layer), so several networks can share one optimizer.
+    pub fn apply_grads(
+        &mut self,
+        grads: &[LinearGrads],
+        opt: &mut dyn Optimizer,
+        weight_decay: f64,
+        base_idx: usize,
+    ) {
+        assert_eq!(grads.len(), self.layers.len());
+        for (l, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            if weight_decay > 0.0 {
+                let mut dw = g.dw.clone();
+                gcon_linalg::ops::add_scaled_assign(&mut dw, weight_decay, &layer.w);
+                opt.update(base_idx + 2 * l, layer.w.as_mut_slice(), dw.as_slice());
+            } else {
+                opt.update(base_idx + 2 * l, layer.w.as_mut_slice(), g.dw.as_slice());
+            }
+            opt.update(base_idx + 2 * l + 1, &mut layer.b, &g.db);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
+    }
+
+    /// Full-batch Adam training with softmax cross-entropy. Returns the loss
+    /// trajectory. The output activation should be `Identity` (logits).
+    pub fn train_cross_entropy(
+        &mut self,
+        x: &Mat,
+        labels: &[usize],
+        epochs: usize,
+        lr: f64,
+        weight_decay: f64,
+    ) -> Vec<f64> {
+        let mut opt = Adam::new(lr);
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let cache = self.forward_cached(x);
+            let (loss, dlogits) = softmax_cross_entropy(cache.last().unwrap(), labels);
+            let (_, grads) = self.backward(&cache, dlogits);
+            opt.begin_step();
+            self.apply_grads(&grads, &mut opt, weight_decay, 0);
+            losses.push(loss);
+        }
+        losses
+    }
+
+    /// Hard class predictions (row-wise argmax of the output).
+    pub fn predict(&self, x: &Mat) -> Vec<usize> {
+        gcon_linalg::reduce::row_argmax(&self.forward(x))
+    }
+
+    /// Cross-entropy training with early stopping: after every epoch the
+    /// validation loss is evaluated, and training stops once it has failed
+    /// to improve for `patience` consecutive epochs; the best-validation
+    /// weights are restored. Returns `(epochs run, best validation loss)`.
+    #[allow(clippy::too_many_arguments)] // a training entry point takes the full data tuple
+    pub fn train_cross_entropy_early_stopping(
+        &mut self,
+        x_train: &Mat,
+        y_train: &[usize],
+        x_val: &Mat,
+        y_val: &[usize],
+        max_epochs: usize,
+        patience: usize,
+        lr: f64,
+        weight_decay: f64,
+    ) -> (usize, f64) {
+        assert!(patience >= 1, "early stopping needs patience ≥ 1");
+        let mut opt = Adam::new(lr);
+        let mut best_loss = f64::INFINITY;
+        let mut best_weights: Option<Vec<Linear>> = None;
+        let mut stale = 0usize;
+        let mut epochs_run = 0usize;
+        for epoch in 0..max_epochs {
+            epochs_run = epoch + 1;
+            let cache = self.forward_cached(x_train);
+            let (_, dlogits) = softmax_cross_entropy(cache.last().unwrap(), y_train);
+            let (_, grads) = self.backward(&cache, dlogits);
+            opt.begin_step();
+            self.apply_grads(&grads, &mut opt, weight_decay, 0);
+
+            let (val_loss, _) = softmax_cross_entropy(&self.forward(x_val), y_val);
+            if val_loss < best_loss - 1e-12 {
+                best_loss = val_loss;
+                best_weights = Some(self.layers.clone());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= patience {
+                    break;
+                }
+            }
+        }
+        if let Some(w) = best_weights {
+            self.layers = w;
+        }
+        (epochs_run, best_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcon_linalg::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mlp = Mlp::new(&MlpConfig::relu_classifier(vec![10, 16, 4]), &mut rng);
+        let x = Mat::uniform(7, 10, 1.0, &mut rng);
+        assert_eq!(mlp.forward(&x).shape(), (7, 4));
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(mlp.num_params(), 10 * 16 + 16 + 16 * 4 + 4);
+    }
+
+    /// End-to-end gradient check through two layers + ReLU.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mlp = Mlp::new(
+            &MlpConfig {
+                dims: vec![5, 8, 3],
+                hidden_activation: Activation::Tanh, // smooth, so FD is reliable
+                output_activation: Activation::Identity,
+            },
+            &mut rng,
+        );
+        let x = Mat::uniform(6, 5, 1.0, &mut rng);
+        let c = Mat::uniform(6, 3, 1.0, &mut rng);
+        let loss = |m: &Mlp| ops::frobenius_inner(&m.forward(&x), &c);
+
+        let cache = mlp.forward_cached(&x);
+        let (_, grads) = mlp.backward(&cache, c.clone());
+        let h = 1e-6;
+        for (l, g) in grads.iter().enumerate() {
+            for i in 0..mlp.layers[l].w.rows() {
+                for j in 0..mlp.layers[l].w.cols() {
+                    let mut mp = mlp.clone();
+                    mp.layers[l].w.add_at(i, j, h);
+                    let mut mm = mlp.clone();
+                    mm.layers[l].w.add_at(i, j, -h);
+                    let fd = (loss(&mp) - loss(&mm)) / (2.0 * h);
+                    assert!(
+                        (fd - g.dw.get(i, j)).abs() < 1e-4,
+                        "layer {l} dW[{i}][{j}]: fd {fd} vs {}",
+                        g.dw.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Mat::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let labels = [0usize, 1, 1, 0];
+        let mut mlp = Mlp::new(&MlpConfig::relu_classifier(vec![2, 16, 2]), &mut rng);
+        let losses = mlp.train_cross_entropy(&x, &labels, 400, 0.05, 0.0);
+        assert!(losses.last().unwrap() < &0.05, "final loss {}", losses.last().unwrap());
+        assert_eq!(mlp.predict(&x), labels.to_vec());
+    }
+
+    #[test]
+    fn loss_decreases_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let n = 60;
+        let x = Mat::from_fn(n, 3, |i, j| {
+            let class = (i % 2) as f64;
+            class * 2.0 - 1.0 + 0.1 * ((i * 3 + j) % 7) as f64
+        });
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let mut mlp = Mlp::new(&MlpConfig::relu_classifier(vec![3, 8, 2]), &mut rng);
+        let losses = mlp.train_cross_entropy(&x, &labels, 100, 0.02, 1e-4);
+        assert!(losses.last().unwrap() < &losses[0]);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max_and_restores_best() {
+        let mut rng = StdRng::seed_from_u64(26);
+        // Tiny train set + disjoint val set with the same rule: overfitting
+        // sets in quickly, so early stopping must trigger well before 2000.
+        let x_train = Mat::from_fn(8, 4, |i, j| if j == i % 2 { 1.0 } else { 0.1 * j as f64 });
+        let y_train: Vec<usize> = (0..8).map(|i| i % 2).collect();
+        let x_val = Mat::from_fn(20, 4, |i, j| {
+            (if j == i % 2 { 1.0 } else { 0.1 * j as f64 })
+                + 0.3 * (((i * 7 + j) % 5) as f64 / 5.0 - 0.4)
+        });
+        // 30% label noise: as the net drives the train loss to zero it grows
+        // over-confident on exactly these points, so the validation loss
+        // eventually rises — the regime early stopping exists for.
+        let y_val: Vec<usize> = (0..20).map(|i| if i % 3 == 0 { (i + 1) % 2 } else { i % 2 }).collect();
+        let mut mlp = Mlp::new(&MlpConfig::relu_classifier(vec![4, 32, 2]), &mut rng);
+        let (epochs, best) = mlp.train_cross_entropy_early_stopping(
+            &x_train, &y_train, &x_val, &y_val, 2000, 25, 0.05, 0.0,
+        );
+        assert!(epochs < 2000, "early stopping never triggered ({epochs} epochs)");
+        // The restored weights reproduce the reported best validation loss.
+        let (val_loss, _) = softmax_cross_entropy(&mlp.forward(&x_val), &y_val);
+        assert!((val_loss - best).abs() < 1e-9, "restored {val_loss} vs best {best}");
+    }
+
+    #[test]
+    fn shared_optimizer_base_idx_does_not_collide() {
+        // Two MLPs sharing one Adam must keep disjoint state slots.
+        let mut rng = StdRng::seed_from_u64(25);
+        let cfg = MlpConfig::relu_classifier(vec![2, 3, 2]);
+        let mut a = Mlp::new(&cfg, &mut rng);
+        let mut b = Mlp::new(&cfg, &mut rng);
+        let x = Mat::uniform(4, 2, 1.0, &mut rng);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..3 {
+            let ca = a.forward_cached(&x);
+            let (_, la) = softmax_cross_entropy(ca.last().unwrap(), &[0, 1, 0, 1]);
+            let (_, ga) = a.backward(&ca, la);
+            let cb = b.forward_cached(&x);
+            let (_, lb) = softmax_cross_entropy(cb.last().unwrap(), &[1, 0, 1, 0]);
+            let (_, gb) = b.backward(&cb, lb);
+            opt.begin_step();
+            let slots_a = 2 * a.depth();
+            a.apply_grads(&ga, &mut opt, 0.0, 0);
+            b.apply_grads(&gb, &mut opt, 0.0, slots_a);
+        }
+        // Nothing blew up and weights stayed finite.
+        assert!(a.layers[0].w.is_finite());
+        assert!(b.layers[0].w.is_finite());
+    }
+}

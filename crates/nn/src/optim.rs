@@ -1,0 +1,192 @@
+//! First-order optimizers.
+//!
+//! The optimizers operate on flat `&mut [f64]` parameter slices identified by
+//! a stable index, so any model (MLP, GCN, GCON's Θ) can drive them without a
+//! parameter-registry abstraction. Per Theorem 1 of the paper, GCON's privacy
+//! guarantee is *independent* of the optimizer — these are pure utility.
+
+/// Common interface: one `update` call per parameter tensor per step, after a
+/// single `begin_step`.
+pub trait Optimizer {
+    /// Advances the internal step counter (call once per optimization step).
+    fn begin_step(&mut self);
+    /// Applies the update rule for parameter tensor `idx`.
+    fn update(&mut self, idx: usize, param: &mut [f64], grad: &[f64]);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    fn slot(&mut self, idx: usize, len: usize) -> &mut Vec<f64> {
+        while self.velocity.len() <= idx {
+            self.velocity.push(Vec::new());
+        }
+        let v = &mut self.velocity[idx];
+        if v.len() != len {
+            *v = vec![0.0; len];
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, idx: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len());
+        if self.momentum == 0.0 {
+            for (p, &g) in param.iter_mut().zip(grad) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        let momentum = self.momentum;
+        let lr = self.lr;
+        let v = self.slot(idx, param.len());
+        for ((p, &g), vel) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+            *vel = momentum * *vel + g;
+            *p -= lr * *vel;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimizer the paper
+/// uses for both the encoder and the perturbed-objective minimization.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999, 1e-8) moment configuration.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    fn slots(&mut self, idx: usize, len: usize) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        while self.m.len() <= idx {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[idx].len() != len {
+            self.m[idx] = vec![0.0; len];
+            self.v[idx] = vec![0.0; len];
+        }
+        (&mut self.m[idx], &mut self.v[idx])
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, idx: usize, param: &mut [f64], grad: &[f64]) {
+        assert_eq!(param.len(), grad.len());
+        assert!(self.t > 0, "Adam::update before begin_step");
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let (m, v) = self.slots(idx, param.len());
+        for (i, (p, &g)) in param.iter_mut().zip(grad).enumerate() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x-3)² and check convergence.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = [0.0_f64];
+        for _ in 0..steps {
+            opt.begin_step();
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.update(0, &mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimize(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = minimize(&mut opt, 400);
+        assert!((x - 3.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = minimize(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction the very first Adam step ≈ lr * sign(grad).
+        let mut opt = Adam::new(0.01);
+        let mut x = [0.0_f64];
+        opt.begin_step();
+        opt.update(0, &mut x, &[42.0]);
+        assert!((x[0] + 0.01).abs() < 1e-6, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn adam_handles_multiple_params_independently(){
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0_f64; 2];
+        let mut b = [0.0_f64; 3];
+        for _ in 0..300 {
+            opt.begin_step();
+            let ga = [2.0 * (a[0] - 1.0), 2.0 * (a[1] + 1.0)];
+            let gb = [b[0] - 5.0, b[1], b[2] + 2.0];
+            opt.update(0, &mut a, &ga);
+            opt.update(1, &mut b, &gb);
+        }
+        assert!((a[0] - 1.0).abs() < 1e-3);
+        assert!((a[1] + 1.0).abs() < 1e-3);
+        assert!((b[0] - 5.0).abs() < 1e-2);
+        assert!((b[2] + 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,83 @@
+#![allow(clippy::field_reassign_with_default)] // config knobs read clearer as assignments
+//! GCON on a **heterophilous** graph (the paper's Actor scenario): nodes
+//! with different labels are wired together, so plain neighbor averaging
+//! helps little — the paper responds with multi-scale concatenation
+//! (Eq. 11, `s ∈ {1,2,3}` with steps drawn from `{0,1,2,5}`), which lets
+//! the model keep the un-propagated features (`m = 0`) alongside one or
+//! two smoothed views.
+//!
+//! This example compares single-scale vs multi-scale GCON on the Actor
+//! stand-in (homophily ≈ 0.22) and, as a control, shows why the same
+//! concatenation is *not* free on a homophilous graph (Eq. 26 averages the
+//! per-scale sensitivities, so adding `m = 0` dilutes the useful scale).
+//!
+//! ```text
+//! cargo run --release --example heterophily_multiscale
+//! ```
+
+use gcon::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eval(dataset: &gcon::datasets::Dataset, steps: Vec<PropagationStep>, eps: f64) -> f64 {
+    let mut cfg = GconConfig::default();
+    cfg.steps = steps;
+    cfg.alpha = 0.6;
+    cfg.alpha_inference = 0.6;
+    // Average over a few seeds: objective-perturbation noise is real noise.
+    let runs = 3;
+    let mut total = 0.0;
+    for seed in 0..runs {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let model = train_gcon(
+            &cfg,
+            &dataset.graph,
+            &dataset.features,
+            &dataset.labels,
+            &dataset.split.train,
+            dataset.num_classes,
+            eps,
+            dataset.default_delta(),
+            &mut rng,
+        );
+        let pred = private_predict(&model, &dataset.graph, &dataset.features);
+        let test: Vec<usize> = dataset.split.test.iter().map(|&i| pred[i]).collect();
+        total += micro_f1(&test, &dataset.test_labels());
+    }
+    total / runs as f64
+}
+
+fn main() {
+    use PropagationStep::Finite as F;
+    let eps = 4.0;
+    let configs: [(&str, Vec<PropagationStep>); 4] = [
+        ("s=1: {2}", vec![F(2)]),
+        ("s=2: {0, 2}", vec![F(0), F(2)]),
+        ("s=3: {0, 1, 2}", vec![F(0), F(1), F(2)]),
+        ("s=3: {0, 2, 5}", vec![F(0), F(2), F(5)]),
+    ];
+
+    type Maker = fn(f64, u64) -> gcon::datasets::Dataset;
+    for (name, make) in [
+        ("actor (heterophilous)", gcon::datasets::actor as Maker),
+        ("cora-ml (homophilous)", gcon::datasets::cora_ml as Maker),
+    ] {
+        let dataset = make(0.25, 7);
+        let stats = dataset.stats();
+        println!(
+            "\n{name}: n={}, |E|={}, homophily={:.2}, ε={eps}",
+            stats.vertices, stats.edges, stats.homophily
+        );
+        println!("{:<18} {:>9}", "steps", "micro-F1");
+        for (label, steps) in &configs {
+            let f1 = eval(&dataset, steps.clone(), eps);
+            println!("{label:<18} {f1:>9.3}");
+        }
+    }
+    println!("\nReading: on the heterophilous graph the m = 0 channel (raw");
+    println!("features) carries most of the signal, so concatenations that");
+    println!("include it compete with or beat single-scale smoothing — the");
+    println!("paper's motivation for s > 1 on Actor. On the homophilous");
+    println!("control the single smoothed scale wins and adding m = 0 dilutes");
+    println!("it (Eq. 11 weights every scale by 1/s).");
+}

@@ -1,0 +1,74 @@
+//! Privacy-accounting walkthrough — no training, just the calibration
+//! machinery. Shows (i) the full Theorem 1 chain (Eq. 17–24) across budgets
+//! and propagation choices, and (ii) why GCON's one-shot budget beats
+//! step-composed accounting: the DP-SGD baseline must split ε over every
+//! optimization step through the RDP accountant, while GCON's Theorem 1
+//! charges the budget once, independent of the optimizer.
+//!
+//! ```text
+//! cargo run --release --example privacy_accounting
+//! ```
+
+use gcon::core::loss::{ConvexLoss, LossKind};
+use gcon::core::params::{CalibrationInput, TheoremOneParams};
+use gcon::core::sensitivity::psi_zm;
+use gcon::core::PropagationStep;
+use gcon::dp::rdp::{calibrate_noise_multiplier, RdpAccountant};
+
+fn main() {
+    let loss = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 7);
+    let base = CalibrationInput {
+        eps: 1.0,
+        delta: 1e-4,
+        omega: 0.9,
+        lambda: 0.2,
+        n1: 2995,
+        num_classes: 7,
+        dim: 16,
+        bounds: loss.bounds(),
+        psi: 0.0, // set per row below
+    };
+
+    println!("## Theorem 1 chain across ε (α = 0.8, m₁ = 2)");
+    println!("{:>6} | {:>8} | {:>8} | {:>8} | {:>8}", "ε", "β", "Λ̄", "Λ′", "ε_Λ");
+    let psi = psi_zm(0.8, PropagationStep::Finite(2));
+    for eps in [0.5, 1.0, 2.0, 3.0, 4.0] {
+        let p = TheoremOneParams::compute(&CalibrationInput { eps, psi, ..base });
+        println!(
+            "{eps:>6} | {:>8.3} | {:>8.4} | {:>8.4} | {:>8.4}",
+            p.beta, p.lambda_eff, p.lambda_prime, p.eps_lambda
+        );
+    }
+
+    println!("\n## Sensitivity Ψ(Z_m) (Lemma 2) — the α/m trade-off");
+    println!("{:>6} | {:>8} {:>8} {:>8} {:>8}", "α", "m=1", "m=2", "m=10", "m=∞");
+    for alpha in [0.2, 0.4, 0.6, 0.8] {
+        let row: Vec<f64> = [
+            PropagationStep::Finite(1),
+            PropagationStep::Finite(2),
+            PropagationStep::Finite(10),
+            PropagationStep::Infinite,
+        ]
+        .iter()
+        .map(|&m| psi_zm(alpha, m))
+        .collect();
+        println!(
+            "{alpha:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            row[0], row[1], row[2], row[3]
+        );
+    }
+
+    println!("\n## One-shot (GCON) vs step-composed (DP-SGD) accounting at ε = 1");
+    println!("GCON: Theorem 1 charges the whole ε once — any number of Adam");
+    println!("steps is free. DP-SGD must compose per step (RDP accountant):");
+    println!("{:>8} | {:>14} | {:>22}", "steps", "noise mult σ̂", "achieved ε (δ=1e-4)");
+    for steps in [10usize, 40, 160, 640] {
+        let nm = calibrate_noise_multiplier(1.0, steps, 1.0, 1e-4);
+        let mut acc = RdpAccountant::new();
+        acc.compose_gaussian(nm, steps);
+        println!("{steps:>8} | {nm:>14.3} | {:>22.4}", acc.epsilon(1e-4));
+    }
+    println!("\nReading: 64× more steps costs DP-SGD ≈8× more noise per step,");
+    println!("while GCON's perturbation is fixed — the structural advantage the");
+    println!("paper's Remark after Theorem 1 points out.");
+}

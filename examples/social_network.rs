@@ -1,0 +1,112 @@
+//! Social-network scenario from the paper's introduction: a platform wants
+//! to release a node-classification model (e.g. interest prediction) trained
+//! on its *private friendship graph*. A user's political-group membership
+//! must not be inferable from the released parameters.
+//!
+//! This example sweeps the privacy budget ε and compares GCON with the two
+//! reference points that bracket it: the edge-free MLP (privacy for free,
+//! no graph signal) and the non-private GCN (all signal, no privacy).
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use gcon::baselines::{evaluate_baseline, Baseline};
+use gcon::prelude::*;
+use gcon_graph::generators::{sbm_homophily, SbmConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A mid-sized "friendship graph": 1200 users, 4 interest communities,
+    // strongly homophilous wiring (friends share interests), heavy-tailed
+    // degrees (influencers).
+    let mut rng = StdRng::seed_from_u64(7);
+    let (graph, labels) = sbm_homophily(
+        &SbmConfig {
+            n: 1200,
+            num_edges: 4800,
+            num_classes: 4,
+            homophily: 0.82,
+            degree_exponent: 2.2,
+        },
+        &mut rng,
+    );
+    // Sparse profile features with partial class signal (bios, likes, …).
+    let d0 = 128;
+    let block = d0 / 4;
+    let features = Mat::from_fn(1200, d0, |i, j| {
+        let in_sig = (labels[i] * block..(labels[i] + 1) * block).contains(&j);
+        let h = ((i * 2654435761 + j * 40503) % 1000) as f64 / 1000.0;
+        if (in_sig && h < 0.22) || (!in_sig && h < 0.02) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    // Proportional split as in the paper's Actor setup (Appendix P).
+    let split = gcon::datasets::splits::proportional_split(1200, 0.3, 0.2, &mut rng);
+    let dataset = Dataset {
+        name: "social-network".into(),
+        graph,
+        features,
+        labels,
+        num_classes: 4,
+        split,
+    };
+    dataset.validate();
+    let delta = dataset.default_delta();
+    println!(
+        "friendship graph: {} users, {} private edges, homophily {:.2}",
+        dataset.num_nodes(),
+        dataset.graph.num_edges(),
+        dataset.stats().homophily
+    );
+
+    let score = |pred: &[usize]| {
+        let test: Vec<usize> = dataset.split.test.iter().map(|&i| pred[i]).collect();
+        micro_f1(&test, &dataset.test_labels())
+    };
+
+    // Reference points.
+    let mut rng = StdRng::seed_from_u64(8);
+    let mlp_f1 = evaluate_baseline(Baseline::Mlp, &dataset, 1.0, delta, &mut rng);
+    let mut rng = StdRng::seed_from_u64(9);
+    let gcn_f1 = evaluate_baseline(Baseline::GcnNonDp, &dataset, 1.0, delta, &mut rng);
+    println!("\nMLP (edge-free, any ε)   : {mlp_f1:.3}");
+    println!("GCN (non-private ceiling): {gcn_f1:.3}");
+
+    // GCON configuration for this graph: a wider encoder (d₁ = 32), a
+    // moderate restart probability with m₁ = 5 APPR steps, and a small
+    // inference-time α_I so the one-hop private aggregation (Eq. 16) leans
+    // on the (clean, homophilous) neighborhood.
+    let mut cfg = GconConfig::default();
+    cfg.encoder.d1 = 32;
+    cfg.alpha = 0.4;
+    cfg.alpha_inference = 0.2;
+    cfg.steps = vec![PropagationStep::Finite(5)];
+
+    println!("\nGCON under edge-DP (private inference):");
+    println!("{:>6} | {:>8} | {:>10} | {:>8}", "ε", "micro-F1", "β (noise)", "Ψ(Z)");
+    for eps in [0.5, 1.0, 2.0, 4.0] {
+        let mut rng = StdRng::seed_from_u64(10);
+        let model = train_gcon(
+            &cfg,
+            &dataset.graph,
+            &dataset.features,
+            &dataset.labels,
+            &dataset.split.train,
+            dataset.num_classes,
+            eps,
+            delta,
+            &mut rng,
+        );
+        let f1 = score(&private_predict(&model, &dataset.graph, &dataset.features));
+        println!(
+            "{eps:>6} | {f1:>8.3} | {:>10.3} | {:>8.3}",
+            model.report.params.beta, model.report.psi_z
+        );
+    }
+    println!("\nReading: GCON climbs from near the MLP floor toward the");
+    println!("non-private GCN ceiling as ε grows — the Figure 1 shape.");
+}

@@ -1,0 +1,335 @@
+//! `gcon` — command-line interface for the library's train → release →
+//! infer workflow.
+//!
+//! ```text
+//! gcon train  --dataset cora-ml --eps 1.0 --out model.gcon [--scale 0.25]
+//!             [--alpha 0.8] [--steps 2] [--lambda 0.2] [--clip-p 0.5]
+//!             [--omega 0.9] [--loss msm|huber:<δ>] [--seed 1]
+//! gcon infer  --model model.gcon --dataset cora-ml [--mode private|public]
+//!             [--scale 0.25] [--seed 1]
+//! gcon report --model model.gcon
+//! ```
+//!
+//! The dataset flags regenerate the same deterministic synthetic stand-in
+//! the harness uses (same `--scale`/`--seed` ⇒ same graph), so `infer` can
+//! evaluate an artifact produced by an earlier `train` run.
+
+use gcon::core::serialize;
+use gcon::core::{GconConfig, LossKind, PropagationStep};
+use gcon::datasets::{metrics, Dataset};
+use gcon::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed `--key value` arguments after the subcommand.
+#[derive(Debug, Default)]
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs; rejects dangling keys and bare words.
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{k}`"))?;
+            let val =
+                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+            if flags.insert(key.to_string(), val.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn parse_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not a number: `{v}`")),
+        }
+    }
+
+    fn parse_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: not an integer: `{v}`")),
+        }
+    }
+}
+
+/// Parses the `--loss` flag: `msm` or `huber:<δ>`.
+fn parse_loss(s: &str) -> Result<LossKind, String> {
+    if s == "msm" {
+        return Ok(LossKind::MultiLabelSoftMargin);
+    }
+    if let Some(d) = s.strip_prefix("huber:") {
+        let delta: f64 =
+            d.parse().map_err(|_| format!("--loss huber:<δ>: bad δ `{d}`"))?;
+        if delta <= 0.0 {
+            return Err("--loss huber δ must be positive".into());
+        }
+        return Ok(LossKind::PseudoHuber { delta });
+    }
+    Err(format!("--loss must be `msm` or `huber:<δ>`, got `{s}`"))
+}
+
+/// Parses the `--steps` flag: comma-separated `m` values, `inf` allowed.
+fn parse_steps(s: &str) -> Result<Vec<PropagationStep>, String> {
+    let steps: Option<Vec<PropagationStep>> =
+        s.split(',').map(|t| PropagationStep::parse(t.trim())).collect();
+    let steps = steps.ok_or_else(|| format!("--steps: bad step list `{s}`"))?;
+    if steps.is_empty() {
+        return Err("--steps: need at least one step".into());
+    }
+    Ok(steps)
+}
+
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let name = args.required("dataset")?;
+    let scale = args.parse_f64("scale", 0.25)?;
+    let seed = args.parse_u64("seed", 1)?;
+    Ok(match name {
+        "cora-ml" => gcon::datasets::cora_ml(scale, seed),
+        "citeseer" => gcon::datasets::citeseer(scale, seed),
+        "pubmed" => gcon::datasets::pubmed(scale, seed),
+        "actor" => gcon::datasets::actor(scale, seed),
+        "two-moons" => gcon::datasets::two_moons_graph(seed),
+        "file" => {
+            // Real data from disk: --edges/--features/--labels text files
+            // (see gcon::datasets::text_io for the accepted grammars).
+            let edges = args.required("edges")?;
+            let feats = args.required("features")?;
+            let labels = args.required("labels")?;
+            let train_frac = args.parse_f64("train-frac", 0.6)?;
+            let val_frac = args.parse_f64("val-frac", 0.2)?;
+            gcon::datasets::text_io::load_from_files(
+                "file",
+                std::path::Path::new(edges),
+                std::path::Path::new(feats),
+                std::path::Path::new(labels),
+                train_frac,
+                val_frac,
+                seed,
+            )
+            .map_err(|e| format!("loading dataset files: {e}"))?
+        }
+        other => {
+            return Err(format!(
+                "unknown dataset `{other}` \
+                 (expected cora-ml|citeseer|pubmed|actor|two-moons|file)"
+            ))
+        }
+    })
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let eps = args.required("eps")?.parse::<f64>().map_err(|_| "--eps: not a number")?;
+    let out = args.required("out")?;
+    let delta = args.parse_f64("delta", dataset.default_delta())?;
+    let seed = args.parse_u64("seed", 1)?;
+
+    let mut cfg = GconConfig::default();
+    cfg.alpha = args.parse_f64("alpha", cfg.alpha)?;
+    cfg.alpha_inference = args.parse_f64("alpha-i", cfg.alpha)?;
+    cfg.lambda = args.parse_f64("lambda", cfg.lambda)?;
+    cfg.omega = args.parse_f64("omega", cfg.omega)?;
+    cfg.clip_p = args.parse_f64("clip-p", cfg.clip_p)?;
+    if let Some(s) = args.get("steps") {
+        cfg.steps = parse_steps(s)?;
+    }
+    if let Some(l) = args.get("loss") {
+        cfg.loss = parse_loss(l)?;
+    }
+    cfg.validate()?;
+
+    eprintln!(
+        "training GCON on {} (n={}, |E|={}) at (ε={eps}, δ={delta:.3e})…",
+        dataset.name,
+        dataset.num_nodes(),
+        dataset.graph.num_edges()
+    );
+    let mut rng = StdRng::seed_from_u64(seed + 1000);
+    let model = train_gcon(
+        &cfg,
+        &dataset.graph,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.split.train,
+        dataset.num_classes,
+        eps,
+        delta,
+        &mut rng,
+    );
+    println!("{}", model.report);
+    serialize::save(&model, out).map_err(|e| format!("writing {out}: {e}"))?;
+    let size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {out} ({size} bytes)");
+    Ok(())
+}
+
+fn cmd_infer(args: &Args) -> Result<(), String> {
+    let model_path = args.required("model")?;
+    let model =
+        serialize::load(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let dataset = load_dataset(args)?;
+    let mode = args.get("mode").unwrap_or("private");
+    let pred = match mode {
+        "private" => private_predict(&model, &dataset.graph, &dataset.features),
+        "public" => public_predict(&model, &dataset.graph, &dataset.features),
+        other => return Err(format!("--mode must be private|public, got `{other}`")),
+    };
+    let test_pred: Vec<usize> = dataset.split.test.iter().map(|&i| pred[i]).collect();
+    let gold = dataset.test_labels();
+    println!("dataset     : {}", dataset.name);
+    println!("mode        : {mode}");
+    println!("test nodes  : {}", gold.len());
+    println!("micro-F1    : {:.4}", micro_f1(&test_pred, &gold));
+    println!(
+        "macro-F1    : {:.4}",
+        metrics::macro_f1(&test_pred, &gold, dataset.num_classes)
+    );
+    println!("trained at  : (ε={}, δ={:.3e})", model.report.eps, model.report.delta);
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let model_path = args.required("model")?;
+    let model =
+        serialize::load(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    println!("{}", model.report);
+    println!("classes           : {}", model.num_classes);
+    println!("feature dim d     : {}", model.dim());
+    println!("restart α         : {}", model.config.alpha);
+    println!(
+        "steps m₁…m_s      : {}",
+        model
+            .config
+            .steps
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("loss              : {:?}", model.config.loss);
+    println!("Lemma 1 clip p    : {}", model.config.clip_p);
+    println!("optimizer iters   : {}", model.opt_iterations);
+    println!("final ‖∇L_priv‖   : {:.3e}", model.final_grad_norm);
+    Ok(())
+}
+
+const USAGE: &str = "usage:
+  gcon train  --dataset <name> --eps <ε> --out <path> [options]
+  gcon infer  --model <path> --dataset <name> [--mode private|public]
+  gcon report --model <path>
+
+datasets: cora-ml | citeseer | pubmed | actor | two-moons
+          | file --edges <p> --features <p> --labels <p>
+                 [--train-frac 0.6] [--val-frac 0.2]
+train options: --delta <δ> --alpha <α> --alpha-i <α_I> --steps <m1,m2,…|inf>
+               --lambda <Λ> --omega <ω> --clip-p <p> --loss <msm|huber:δ>
+               --scale <f> --seed <n>";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), String> {
+        let args = Args::parse(rest)?;
+        match cmd.as_str() {
+            "train" => cmd_train(&args),
+            "infer" => cmd_infer(&args),
+            "report" => cmd_report(&args),
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_flags() {
+        let a = Args::parse(&argv(&["--eps", "1.5", "--dataset", "cora-ml"])).unwrap();
+        assert_eq!(a.get("eps"), Some("1.5"));
+        assert_eq!(a.get("dataset"), Some("cora-ml"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_bare_words_and_dangling_flags() {
+        assert!(Args::parse(&argv(&["eps", "1.5"])).is_err());
+        assert!(Args::parse(&argv(&["--eps"])).is_err());
+        assert!(Args::parse(&argv(&["--eps", "1", "--eps", "2"])).is_err());
+    }
+
+    #[test]
+    fn numeric_defaults_and_errors() {
+        let a = Args::parse(&argv(&["--eps", "abc"])).unwrap();
+        assert!(a.parse_f64("eps", 1.0).is_err());
+        assert_eq!(a.parse_f64("scale", 0.25).unwrap(), 0.25);
+        assert_eq!(a.parse_u64("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn loss_flag_grammar() {
+        assert_eq!(parse_loss("msm").unwrap(), LossKind::MultiLabelSoftMargin);
+        assert_eq!(
+            parse_loss("huber:0.3").unwrap(),
+            LossKind::PseudoHuber { delta: 0.3 }
+        );
+        assert!(parse_loss("huber:-1").is_err());
+        assert!(parse_loss("hinge").is_err());
+    }
+
+    #[test]
+    fn steps_flag_grammar() {
+        assert_eq!(
+            parse_steps("1, 2, inf").unwrap(),
+            vec![
+                PropagationStep::Finite(1),
+                PropagationStep::Finite(2),
+                PropagationStep::Infinite
+            ]
+        );
+        assert!(parse_steps("1, x").is_err());
+        assert!(parse_steps("").is_err());
+    }
+
+    #[test]
+    fn unknown_dataset_rejected() {
+        let a = Args::parse(&argv(&["--dataset", "imagenet"])).unwrap();
+        assert!(load_dataset(&a).unwrap_err().contains("unknown dataset"));
+    }
+}

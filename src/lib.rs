@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! # gcon — Differentially Private GCNs via Objective Perturbation
+//!
+//! A from-scratch Rust reproduction of *GCON: Differentially Private Graph
+//! Convolutional Network via Objective Perturbation* (Wei et al., ICDE 2025),
+//! including every substrate the paper depends on and every baseline its
+//! evaluation compares against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gcon::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A small homophilous node-classification dataset.
+//! let dataset = gcon::datasets::two_moons_graph(0);
+//! let mut rng = StdRng::seed_from_u64(0);
+//!
+//! // Train under (ε = 2, δ = 1/|E|) edge-level differential privacy.
+//! let mut config = GconConfig::default();
+//! config.encoder.epochs = 40;          // keep the doctest fast
+//! config.optimizer.max_iters = 300;
+//! let model = train_gcon(
+//!     &config,
+//!     &dataset.graph,
+//!     &dataset.features,
+//!     &dataset.labels,
+//!     &dataset.split.train,
+//!     dataset.num_classes,
+//!     2.0,
+//!     dataset.default_delta(),
+//!     &mut rng,
+//! );
+//!
+//! // Private inference uses only each query node's own edges (Eq. 16).
+//! let pred = private_predict(&model, &dataset.graph, &dataset.features);
+//! assert_eq!(pred.len(), dataset.num_nodes());
+//! println!("spent ε = {}, β = {}", model.report.eps, model.report.params.beta);
+//! ```
+//!
+//! ## Crate map
+//!
+//! - [`core`]: the paper's contribution — propagation, convex losses,
+//!   Theorem 1 calibration, objective perturbation, inference.
+//! - [`graph`]: CSR adjacency, normalizations, homophily, generators.
+//! - [`linalg`]: dense matrix substrate.
+//! - [`nn`]: manual-gradient MLP stack (encoder + baseline heads).
+//! - [`dp`]: mechanisms, Erlang/sphere sampling, RDP accountant.
+//! - [`datasets`]: Table II stand-ins, splits, metrics.
+//! - [`baselines`]: DP-SGD, DPGCN, LPGNet, GAP, ProGAP, MLP, non-DP GCN.
+
+pub use gcon_baselines as baselines;
+pub use gcon_core as core;
+pub use gcon_datasets as datasets;
+pub use gcon_dp as dp;
+pub use gcon_graph as graph;
+pub use gcon_linalg as linalg;
+pub use gcon_nn as nn;
+
+/// The most common imports for using GCON end to end.
+pub mod prelude {
+    pub use gcon_core::infer::{private_predict, public_predict};
+    pub use gcon_core::train::train_gcon;
+    pub use gcon_core::{GconConfig, LossKind, PropagationStep, TrainedGcon};
+    pub use gcon_datasets::metrics::micro_f1;
+    pub use gcon_datasets::Dataset;
+    pub use gcon_graph::Graph;
+    pub use gcon_linalg::Mat;
+}
