@@ -254,13 +254,7 @@ mod tests {
         let graph = gcon_graph::generators::erdos_renyi_gnm(80, 200, &mut rng);
         let a_tilde = gcon_graph::normalize::row_stochastic_default(&graph);
         let x = Mat::uniform(80, 6, 1.0, &mut rng);
-        let auc_val = influence_attack_auc(
-            &x,
-            &graph,
-            |feat| a_tilde.spmm(feat),
-            100,
-            &mut rng,
-        );
+        let auc_val = influence_attack_auc(&x, &graph, |feat| a_tilde.spmm(feat), 100, &mut rng);
         assert!(auc_val > 0.95, "influence AUC {auc_val} should be ≈ 1 on 1-hop GCN");
     }
 
@@ -271,8 +265,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(94);
         let graph = gcon_graph::generators::erdos_renyi_gnm(60, 150, &mut rng);
         let x = Mat::uniform(60, 4, 1.0, &mut rng);
-        let auc_val =
-            influence_attack_auc(&x, &graph, |feat| feat.map(|v| v * 2.0), 80, &mut rng);
+        let auc_val = influence_attack_auc(&x, &graph, |feat| feat.map(|v| v * 2.0), 80, &mut rng);
         assert!((auc_val - 0.5).abs() < 1e-9, "AUC {auc_val}");
     }
 

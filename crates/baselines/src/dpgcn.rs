@@ -139,8 +139,8 @@ pub fn perturb_lapgraph<R: Rng + ?Sized>(g: &Graph, eps: f64, rng: &mut R) -> Gr
     let n0 = n_pairs - n1;
 
     // Private edge count (sensitivity 1).
-    let noisy_count = (n1 + gcon_dp::mechanisms::sample_laplace(1.0 / eps_count, rng))
-        .clamp(0.0, n_pairs);
+    let noisy_count =
+        (n1 + gcon_dp::mechanisms::sample_laplace(1.0 / eps_count, rng)).clamp(0.0, n_pairs);
 
     // P(cell survives threshold T): Laplace tail probabilities.
     let p_zero = |t: f64| -> f64 {
@@ -270,11 +270,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(35);
         let g = gcon_graph::generators::erdos_renyi_gnm(60, 120, &mut rng);
         let noisy = perturb_edgerand(&g, 8.0, &mut rng);
-        let kept = g
-            .edges()
-            .iter()
-            .filter(|&&(u, v)| noisy.has_edge(u, v))
-            .count();
+        let kept = g.edges().iter().filter(|&&(u, v)| noisy.has_edge(u, v)).count();
         assert!(kept as f64 > 0.95 * g.num_edges() as f64, "kept {kept}");
     }
 
@@ -284,10 +280,7 @@ mod tests {
         let g = gcon_graph::generators::erdos_renyi_gnm(300, 900, &mut rng);
         let noisy = perturb_lapgraph(&g, 2.0, &mut rng);
         let m = noisy.num_edges() as f64;
-        assert!(
-            m > 300.0 && m < 2700.0,
-            "perturbed edge count {m} wildly off from 900"
-        );
+        assert!(m > 300.0 && m < 2700.0, "perturbed edge count {m} wildly off from 900");
     }
 
     #[test]

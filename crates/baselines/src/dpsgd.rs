@@ -11,11 +11,11 @@
 //! comparison is thus generous to DP-SGD). Full-batch steps compose as plain
 //! Gaussian mechanisms through the RDP accountant.
 
+use gcon_dp::mechanisms::add_gaussian_noise;
+use gcon_dp::rdp::calibrate_noise_multiplier;
 use gcon_graph::normalize::row_stochastic_default;
 use gcon_graph::Graph;
 use gcon_linalg::{reduce, vecops, Mat};
-use gcon_dp::mechanisms::add_gaussian_noise;
-use gcon_dp::rdp::calibrate_noise_multiplier;
 use rand::Rng;
 
 /// Hyperparameters for the DP-SGD baseline.
@@ -88,8 +88,7 @@ pub fn train_and_predict_dpsgd<R: Rng + ?Sized>(
             // gᵢ = zᵢ ⊗ (p − e_y); ‖gᵢ‖_F = ‖zᵢ‖·‖p − e_y‖.
             let zi = z.row(i);
             let gnorm = vecops::norm2(zi) * vecops::norm2(&probs);
-            let scale_factor =
-                if gnorm > cfg.clip { cfg.clip / gnorm } else { 1.0 };
+            let scale_factor = if gnorm > cfg.clip { cfg.clip / gnorm } else { 1.0 };
             for (k, &zv) in zi.iter().enumerate() {
                 if zv == 0.0 {
                     continue;
@@ -167,9 +166,6 @@ mod tests {
         // Averaged over seeds, tight budgets should hurt relative to ε=8.
         let tight: f64 = (0..3).map(|s| run(0.05, 100 + s)).sum::<f64>() / 3.0;
         let loose: f64 = (0..3).map(|s| run(8.0, 200 + s)).sum::<f64>() / 3.0;
-        assert!(
-            loose > tight - 0.05,
-            "expected ε=8 ({loose}) ≥ ε=0.05 ({tight}) − slack"
-        );
+        assert!(loose > tight - 0.05, "expected ε=8 ({loose}) ≥ ε=0.05 ({tight}) − slack");
     }
 }

@@ -40,7 +40,13 @@ impl Default for GapConfig {
     fn default() -> Self {
         Self {
             hops: 2,
-            encoder: EncoderConfig { d1: 16, hidden: 64, epochs: 150, lr: 0.01, weight_decay: 1e-5 },
+            encoder: EncoderConfig {
+                d1: 16,
+                hidden: 64,
+                epochs: 150,
+                lr: 0.01,
+                weight_decay: 1e-5,
+            },
             classifier_hidden: 64,
             classifier_epochs: 200,
             lr: 0.01,
@@ -51,9 +57,8 @@ impl Default for GapConfig {
 /// Raw adjacency (ones, no self-loops) in CSR form for sum aggregation.
 pub fn adjacency_csr(graph: &Graph) -> Csr {
     let n = graph.num_nodes();
-    let rows: Vec<Vec<(u32, f64)>> = (0..n as u32)
-        .map(|u| graph.neighbors(u).iter().map(|&v| (v, 1.0)).collect())
-        .collect();
+    let rows: Vec<Vec<(u32, f64)>> =
+        (0..n as u32).map(|u| graph.neighbors(u).iter().map(|&v| (v, 1.0)).collect()).collect();
     Csr::from_row_entries(n, n, rows)
 }
 
@@ -74,13 +79,15 @@ pub fn perturbed_aggregation<R: Rng + ?Sized>(
     let mut cached = Vec::with_capacity(hops + 1);
     let mut cur = x0.clone();
     cur.normalize_rows_l2();
-    cached.push(cur.clone());
+    cached.push(cur);
     for _ in 0..hops {
-        let mut agg = a.spmm(&cur);
+        // Each hop's aggregate is written straight into its cache slot —
+        // no intermediate clone per hop.
+        let mut agg = Mat::default();
+        a.spmm_into(cached.last().expect("hop 0 cached"), &mut agg);
         add_gaussian_noise(agg.as_mut_slice(), sigma, rng);
         agg.normalize_rows_l2();
-        cached.push(agg.clone());
-        cur = agg;
+        cached.push(agg);
     }
     cached
 }
@@ -101,13 +108,8 @@ pub fn train_and_predict_gap<R: Rng + ?Sized>(
     let y_train: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
 
     // 1. Public encoder.
-    let encoder = FeatureEncoder::train(
-        &cfg.encoder,
-        &x.select_rows(train_idx),
-        &y_train,
-        num_classes,
-        rng,
-    );
+    let encoder =
+        FeatureEncoder::train(&cfg.encoder, &x.select_rows(train_idx), &y_train, num_classes, rng);
     let x0 = encoder.encode(x);
 
     // 2. PMA with RDP-calibrated noise over K releases.

@@ -10,7 +10,6 @@
 use gcon_graph::normalize::symmetric;
 use gcon_graph::{Csr, Graph};
 use gcon_linalg::{reduce, Mat};
-use gcon_nn::loss::softmax_cross_entropy;
 use gcon_nn::{Activation, Adam, Linear, Optimizer};
 use rand::Rng;
 
@@ -57,16 +56,41 @@ impl Gcn {
 }
 
 /// Cross-entropy restricted to `idx` rows, returning the gradient scattered
-/// back to the full logit matrix (zero rows elsewhere).
+/// back to the full logit matrix (zero rows elsewhere). Reference form of
+/// [`masked_cross_entropy_into`], kept for the unit tests.
+#[cfg(test)]
 fn masked_cross_entropy(logits: &Mat, labels: &[usize], idx: &[usize]) -> (f64, Mat) {
-    let sel = logits.select_rows(idx);
     let sel_labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
-    let (loss, grad_sel) = softmax_cross_entropy(&sel, &sel_labels);
-    let mut grad = Mat::zeros(logits.rows(), logits.cols());
-    for (r, &i) in idx.iter().enumerate() {
-        grad.row_mut(i).copy_from_slice(grad_sel.row(r));
-    }
+    let mut scratch = MaskedCeScratch::default();
+    let mut grad = Mat::default();
+    let loss = masked_cross_entropy_into(logits, &sel_labels, idx, &mut scratch, &mut grad);
     (loss, grad)
+}
+
+/// Reusable buffers for [`masked_cross_entropy_into`].
+#[derive(Default)]
+struct MaskedCeScratch {
+    sel: Mat,
+    grad_sel: Mat,
+}
+
+/// [`masked_cross_entropy`] with pre-gathered labels and caller-owned
+/// buffers — the epoch-loop form (no per-iteration allocation).
+fn masked_cross_entropy_into(
+    logits: &Mat,
+    sel_labels: &[usize],
+    idx: &[usize],
+    scratch: &mut MaskedCeScratch,
+    grad: &mut Mat,
+) -> f64 {
+    logits.select_rows_into(idx, &mut scratch.sel);
+    let loss =
+        gcon_nn::loss::softmax_cross_entropy_into(&scratch.sel, sel_labels, &mut scratch.grad_sel);
+    grad.reset_to_zeros(logits.rows(), logits.cols());
+    for (r, &i) in idx.iter().enumerate() {
+        grad.row_mut(i).copy_from_slice(scratch.grad_sel.row(r));
+    }
+    loss
 }
 
 /// Trains the GCN with full-batch Adam on the labeled nodes.
@@ -101,29 +125,48 @@ pub fn train_gcn_on_adjacency<R: Rng + ?Sized>(
         w2: Linear::xavier(cfg.hidden, num_classes, rng),
     };
     let mut opt = Adam::new(cfg.lr);
-    // Â X is constant across epochs — hoist it.
+    // Â X and the gathered labels are constant across epochs — hoist them,
+    // and keep every forward/backward buffer outside the loop so the
+    // steady-state epoch performs no matrix allocation.
     let ax = a_hat.spmm(x);
+    let sel_labels: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+    let mut h1 = Mat::default();
+    let mut ah = Mat::default();
+    let mut logits = Mat::default();
+    let mut ce_scratch = MaskedCeScratch::default();
+    let mut dlogits = Mat::default();
+    let mut d_ah = Mat::default();
+    let mut dh1 = Mat::default();
+    let mut g1 = gcon_nn::LinearGrads::zeros(0, 0);
+    let mut g2 = gcon_nn::LinearGrads::zeros(0, 0);
     for _ in 0..cfg.epochs {
         // Forward with caches.
-        let mut h1 = model.w1.forward(&ax);
+        model.w1.forward_into(&ax, &mut h1);
         Activation::Relu.apply(&mut h1);
-        let ah = a_hat.spmm(&h1);
-        let logits = model.w2.forward(&ah);
-        let (_, dlogits) = masked_cross_entropy(&logits, labels, train_idx);
+        a_hat.spmm_into(&h1, &mut ah);
+        model.w2.forward_into(&ah, &mut logits);
+        let _ = masked_cross_entropy_into(
+            &logits,
+            &sel_labels,
+            train_idx,
+            &mut ce_scratch,
+            &mut dlogits,
+        );
         // Backward.
-        let (d_ah, g2) = model.w2.backward(&ah, &dlogits);
-        let mut dh1 = a_hat.spmm(&d_ah); // Âᵀ = Â (symmetric normalization)
+        model.w2.backward_into(&ah, &dlogits, &mut d_ah, &mut g2);
+        a_hat.spmm_into(&d_ah, &mut dh1); // Âᵀ = Â (symmetric normalization)
         Activation::Relu.backprop_inplace(&h1, &mut dh1);
-        let (_, g1) = model.w1.backward(&ax, &dh1);
-        // Update with weight decay on W only.
+        // Layer-0 input gradient is never read (ax is the fixed input):
+        // weights-only backward skips that n × d_in GEMM.
+        model.w1.backward_weights_into(&ax, &dh1, &mut g1);
+        // Update with weight decay on W only (gradients are scratch, decay
+        // is added in place).
         opt.begin_step();
-        let mut dw1 = g1.dw;
-        gcon_linalg::ops::add_scaled_assign(&mut dw1, cfg.weight_decay, &model.w1.w);
-        opt.update(0, model.w1.w.as_mut_slice(), dw1.as_slice());
+        gcon_linalg::ops::add_scaled_assign(&mut g1.dw, cfg.weight_decay, &model.w1.w);
+        opt.update(0, model.w1.w.as_mut_slice(), g1.dw.as_slice());
         opt.update(1, &mut model.w1.b, &g1.db);
-        let mut dw2 = g2.dw;
-        gcon_linalg::ops::add_scaled_assign(&mut dw2, cfg.weight_decay, &model.w2.w);
-        opt.update(2, model.w2.w.as_mut_slice(), dw2.as_slice());
+        gcon_linalg::ops::add_scaled_assign(&mut g2.dw, cfg.weight_decay, &model.w2.w);
+        opt.update(2, model.w2.w.as_mut_slice(), g2.dw.as_slice());
         opt.update(3, &mut model.w2.b, &g2.db);
     }
     model
@@ -132,8 +175,8 @@ pub fn train_gcn_on_adjacency<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gcon_datasets::two_moons_graph;
     use gcon_datasets::metrics::micro_f1;
+    use gcon_datasets::two_moons_graph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

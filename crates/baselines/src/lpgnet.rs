@@ -67,10 +67,8 @@ pub fn train_and_predict_lpgnet<R: Rng + ?Sized>(
     let eps_stage = eps / cfg.stages as f64;
 
     // Stage 0: edge-free MLP gives the initial clusters (free under edge DP).
-    let mut mlp = Mlp::new(
-        &MlpConfig::relu_classifier(vec![x.cols(), cfg.hidden, num_classes]),
-        rng,
-    );
+    let mut mlp =
+        Mlp::new(&MlpConfig::relu_classifier(vec![x.cols(), cfg.hidden, num_classes]), rng);
     mlp.train_cross_entropy(
         &x.select_rows(train_idx),
         &y_train,
@@ -83,19 +81,12 @@ pub fn train_and_predict_lpgnet<R: Rng + ?Sized>(
     for _ in 0..cfg.stages {
         // Noisy degree vectors (L1 sensitivity 2 per stage).
         let mut deg = cluster_degree_vectors(graph, &clusters, num_classes);
-        gcon_dp::mechanisms::laplace_mechanism(
-            deg.as_mut_slice(),
-            2.0,
-            eps_stage,
-            rng,
-        );
+        gcon_dp::mechanisms::laplace_mechanism(deg.as_mut_slice(), 2.0, eps_stage, rng);
         // Row-normalize the noisy vectors so the MLP sees bounded inputs.
         deg.normalize_rows_l2();
         let aug = x.hcat(&deg);
-        let mut stage_mlp = Mlp::new(
-            &MlpConfig::relu_classifier(vec![aug.cols(), cfg.hidden, num_classes]),
-            rng,
-        );
+        let mut stage_mlp =
+            Mlp::new(&MlpConfig::relu_classifier(vec![aug.cols(), cfg.hidden, num_classes]), rng);
         stage_mlp.train_cross_entropy(
             &aug.select_rows(train_idx),
             &y_train,

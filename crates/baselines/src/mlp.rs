@@ -36,10 +36,8 @@ pub fn train_and_predict_mlp<R: Rng + ?Sized>(
 ) -> Vec<usize> {
     let x_train = x.select_rows(train_idx);
     let y_train: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
-    let mut mlp = Mlp::new(
-        &MlpConfig::relu_classifier(vec![x.cols(), cfg.hidden, num_classes]),
-        rng,
-    );
+    let mut mlp =
+        Mlp::new(&MlpConfig::relu_classifier(vec![x.cols(), cfg.hidden, num_classes]), rng);
     mlp.train_cross_entropy(&x_train, &y_train, cfg.epochs, cfg.lr, cfg.weight_decay);
     mlp.predict(x)
 }

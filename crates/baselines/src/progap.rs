@@ -14,8 +14,8 @@ use gcon_dp::mechanisms::add_gaussian_noise;
 use gcon_dp::rdp::calibrate_noise_multiplier;
 use gcon_graph::Graph;
 use gcon_linalg::Mat;
-use gcon_nn::loss::softmax_cross_entropy;
-use gcon_nn::{Activation, Adam, Linear, Mlp, MlpConfig, Optimizer};
+use gcon_nn::loss::softmax_cross_entropy_into;
+use gcon_nn::{Activation, Adam, Linear, LinearGrads, Mlp, MlpConfig, MlpWorkspace, Optimizer};
 use rand::Rng;
 
 /// Hyperparameters for ProGAP-EDP.
@@ -69,15 +69,20 @@ fn train_stage<R: Rng + ?Sized>(
     let mut head = Linear::xavier(cfg.embed_dim, num_classes, rng);
     let mut opt = Adam::new(cfg.lr);
     let net_slots = 2 * net.depth();
+    // Epoch-loop buffers hoisted: steady-state epochs allocate nothing.
+    let mut ws = MlpWorkspace::new();
+    let mut logits = Mat::default();
+    let mut dlogits = Mat::default();
+    let mut demb = Mat::default();
+    let mut hg = LinearGrads::zeros(0, 0);
     for _ in 0..cfg.epochs {
-        let cache = net.forward_cached(&x_train);
-        let emb = cache.last().unwrap();
-        let logits = head.forward(emb);
-        let (_, dlogits) = softmax_cross_entropy(&logits, &y_train);
-        let (demb, hg) = head.backward(emb, &dlogits);
-        let (_, ng) = net.backward(&cache, demb);
+        net.forward_cached_ws(&x_train, &mut ws);
+        head.forward_into(ws.output(), &mut logits);
+        let _ = softmax_cross_entropy_into(&logits, &y_train, &mut dlogits);
+        head.backward_into(ws.output(), &dlogits, &mut demb, &mut hg);
+        net.backward_ws_weights_only(&mut ws, &demb);
         opt.begin_step();
-        net.apply_grads(&ng, &mut opt, 1e-5, 0);
+        net.apply_grads_ws(&mut ws, &mut opt, 1e-5, 0);
         opt.update(net_slots, head.w.as_mut_slice(), hg.dw.as_slice());
         opt.update(net_slots + 1, &mut head.b, &hg.db);
     }
@@ -106,13 +111,15 @@ pub fn train_and_predict_progap<R: Rng + ?Sized>(
     let stage0 = train_stage(x, labels, train_idx, num_classes, cfg, rng);
     let mut embedding = stage0.net.forward(x);
     let mut last_stage = stage0;
-    let mut last_input = x.clone();
 
+    // Aggregation buffers shared across stages.
+    let mut normed = Mat::default();
+    let mut agg = Mat::default();
     for _ in 0..cfg.stages {
         // Noisy sum-aggregation of the normalized previous embedding.
-        let mut normed = embedding.clone();
+        normed.copy_from(&embedding);
         normed.normalize_rows_l2();
-        let mut agg = a.spmm(&normed);
+        a.spmm_into(&normed, &mut agg);
         add_gaussian_noise(agg.as_mut_slice(), sigma, rng);
         agg.normalize_rows_l2();
         // Jumping-knowledge concatenation.
@@ -120,11 +127,10 @@ pub fn train_and_predict_progap<R: Rng + ?Sized>(
         let stage = train_stage(&input, labels, train_idx, num_classes, cfg, rng);
         embedding = stage.net.forward(&input);
         last_stage = stage;
-        last_input = input;
     }
 
-    let emb = last_stage.net.forward(&last_input);
-    gcon_linalg::reduce::row_argmax(&last_stage.head.forward(&emb))
+    // `embedding` is already the final stage's full-graph forward.
+    gcon_linalg::reduce::row_argmax(&last_stage.head.forward(&embedding))
 }
 
 #[cfg(test)]

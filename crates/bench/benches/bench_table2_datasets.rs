@@ -10,21 +10,13 @@ type DatasetBuilder = fn(f64, u64) -> Dataset;
 fn bench_datasets(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_datasets");
     group.sample_size(10);
-    let builders: [(&str, DatasetBuilder); 4] = [
-        ("cora-ml", cora_ml),
-        ("citeseer", citeseer),
-        ("pubmed", pubmed),
-        ("actor", actor),
-    ];
+    let builders: [(&str, DatasetBuilder); 4] =
+        [("cora-ml", cora_ml), ("citeseer", citeseer), ("pubmed", pubmed), ("actor", actor)];
     for (name, f) in builders {
-        group.bench_with_input(BenchmarkId::new("generate", name), &f, |b, f| {
-            b.iter(|| f(0.1, 0))
-        });
+        group.bench_with_input(BenchmarkId::new("generate", name), &f, |b, f| b.iter(|| f(0.1, 0)));
     }
     let d = cora_ml(0.25, 0);
-    group.bench_function("homophily_ratio", |b| {
-        b.iter(|| homophily_ratio(&d.graph, &d.labels))
-    });
+    group.bench_function("homophily_ratio", |b| b.iter(|| homophily_ratio(&d.graph, &d.labels)));
     group.finish();
 }
 

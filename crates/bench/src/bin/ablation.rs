@@ -14,8 +14,7 @@
 //! ```
 
 use gcon_bench::{
-    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs,
-    InferenceMode,
+    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs, InferenceMode,
 };
 use gcon_core::LossKind;
 use gcon_datasets::cora_ml;
@@ -77,17 +76,14 @@ fn main() {
 
     // 4. Training-set expansion.
     let mut rows = Vec::new();
-    for (label, expand) in [("n₁ = n (pseudo-labels)", true), ("n₁ = n₀ (labeled only)", false)] {
+    for (label, expand) in [("n₁ = n (pseudo-labels)", true), ("n₁ = n₀ (labeled only)", false)]
+    {
         let mut cfg = default_gcon_config(&dataset.name);
         cfg.expand_train_set = expand;
         let (m, s) = run(&cfg);
         rows.push(vec![label.to_string(), fmt_score(m, s)]);
     }
-    print_table(
-        "Ablation 4 — training-set expansion",
-        &["n₁".into(), "micro-F1".into()],
-        &rows,
-    );
+    print_table("Ablation 4 — training-set expansion", &["n₁".into(), "micro-F1".into()], &rows);
 
     // 5. Multi-scale propagation (Eq. 11): concatenating several step counts
     // trades feature richness against the averaged sensitivity of Eq. 26.

@@ -18,8 +18,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let eps_grid: Vec<f64> =
-        if args.quick { vec![0.5, 4.0] } else { EPS_GRID.to_vec() };
+    let eps_grid: Vec<f64> = if args.quick { vec![0.5, 4.0] } else { EPS_GRID.to_vec() };
     let datasets = all_benchmarks(args.scale, args.seed);
 
     println!("# Figure 1: model performance (micro-F1) vs privacy budget ε");
@@ -58,8 +57,7 @@ fn main() {
             let flat: Option<(f64, f64)> = baseline.ignores_epsilon().then(|| {
                 let scores: Vec<f64> = (0..args.runs)
                     .map(|r| {
-                        let mut rng =
-                            StdRng::seed_from_u64(args.seed + 31 + 1000 * r as u64);
+                        let mut rng = StdRng::seed_from_u64(args.seed + 31 + 1000 * r as u64);
                         evaluate_baseline(baseline, dataset, 1.0, delta, &mut rng)
                     })
                     .collect();
@@ -71,9 +69,8 @@ fn main() {
                     None => {
                         let scores: Vec<f64> = (0..args.runs)
                             .map(|r| {
-                                let mut rng = StdRng::seed_from_u64(
-                                    args.seed + 31 + 1000 * r as u64,
-                                );
+                                let mut rng =
+                                    StdRng::seed_from_u64(args.seed + 31 + 1000 * r as u64);
                                 evaluate_baseline(baseline, dataset, eps, delta, &mut rng)
                             })
                             .collect();

@@ -7,8 +7,7 @@
 //! ```
 
 use gcon_bench::{
-    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs,
-    InferenceMode,
+    default_gcon_config, evaluate_gcon_repeated, fmt_score, print_table, HarnessArgs, InferenceMode,
 };
 use gcon_core::PropagationStep;
 use gcon_datasets::{citeseer, cora_ml, pubmed};
@@ -20,8 +19,10 @@ fn main() {
     let steps: Vec<PropagationStep> = if args.quick {
         vec![PropagationStep::Finite(1), PropagationStep::Finite(10), PropagationStep::Infinite]
     } else {
-        let mut v: Vec<PropagationStep> =
-            [1usize, 2, 5, 10, 12, 14, 16, 20].iter().map(|&m| PropagationStep::Finite(m)).collect();
+        let mut v: Vec<PropagationStep> = [1usize, 2, 5, 10, 12, 14, 16, 20]
+            .iter()
+            .map(|&m| PropagationStep::Finite(m))
+            .collect();
         v.push(PropagationStep::Infinite);
         v
     };

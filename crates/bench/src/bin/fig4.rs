@@ -16,8 +16,7 @@ use gcon_datasets::{citeseer, cora_ml, pubmed};
 fn main() {
     let args = HarnessArgs::from_env();
     let alphas = [0.2, 0.4, 0.6, 0.8];
-    let eps_grid: Vec<f64> =
-        if args.quick { vec![0.5, 4.0] } else { EPS_GRID.to_vec() };
+    let eps_grid: Vec<f64> = if args.quick { vec![0.5, 4.0] } else { EPS_GRID.to_vec() };
 
     println!("# Figure 4: effect of the restart probability α (m₁ = 2)");
     println!("# scale={} runs={} seed={}", args.scale, args.runs, args.seed);

@@ -32,18 +32,11 @@ fn main() {
     println!("# scale={} seed={}", args.scale, args.seed);
 
     let datasets = all_benchmarks(args.scale, args.seed);
-    let header: Vec<String> = [
-        "dataset",
-        "vertices",
-        "edges",
-        "features",
-        "classes",
-        "homophily",
-        "paper homophily",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let header: Vec<String> =
+        ["dataset", "vertices", "edges", "features", "classes", "homophily", "paper homophily"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
 
     let mut rows = Vec::new();
     for (dataset, paper) in datasets.iter().zip(&PAPER) {

@@ -192,11 +192,8 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
         }
     }
     let fmt_row = |cells: &[String]| {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         format!("| {} |", padded.join(" | "))
     };
     println!("{}", fmt_row(header));
@@ -243,10 +240,6 @@ mod tests {
     #[test]
     fn fmt_and_table_do_not_panic() {
         assert_eq!(fmt_score(0.5, 0.01), "0.500±0.010");
-        print_table(
-            "t",
-            &["a".into(), "b".into()],
-            &[vec!["1".into(), "2".into()]],
-        );
+        print_table("t", &["a".into(), "b".into()], &[vec!["1".into(), "2".into()]]);
     }
 }

@@ -9,8 +9,8 @@
 //! softmax cross-entropy.
 
 use gcon_linalg::Mat;
-use gcon_nn::loss::softmax_cross_entropy;
-use gcon_nn::{Activation, Adam, Linear, Mlp, MlpConfig, Optimizer};
+use gcon_nn::loss::softmax_cross_entropy_into;
+use gcon_nn::{Activation, Adam, Linear, LinearGrads, Mlp, MlpConfig, MlpWorkspace, Optimizer};
 use rand::Rng;
 
 /// Hyperparameters for the encoder.
@@ -66,18 +66,23 @@ impl FeatureEncoder {
         let mut head = Linear::xavier(cfg.d1, num_classes, rng);
         let mut opt = Adam::new(cfg.lr);
         let net_slots = 2 * net.depth();
+        // All epoch-loop buffers live outside the loop: steady-state epochs
+        // perform no matrix allocation (gcon-runtime `_into` discipline).
+        let mut ws = MlpWorkspace::new();
+        let mut logits = Mat::zeros(0, 0);
+        let mut dlogits = Mat::zeros(0, 0);
+        let mut demb = Mat::zeros(0, 0);
+        let mut head_grads = LinearGrads::zeros(0, 0);
         for _ in 0..cfg.epochs {
-            let cache = net.forward_cached(x_labeled);
-            let emb = cache.last().unwrap();
-            let logits = head.forward(emb);
-            let (_, dlogits) = softmax_cross_entropy(&logits, labels);
-            let (demb, head_grads) = head.backward(emb, &dlogits);
-            let (_, net_grads) = net.backward(&cache, demb);
+            net.forward_cached_ws(x_labeled, &mut ws);
+            head.forward_into(ws.output(), &mut logits);
+            let _ = softmax_cross_entropy_into(&logits, labels, &mut dlogits);
+            head.backward_into(ws.output(), &dlogits, &mut demb, &mut head_grads);
+            net.backward_ws_weights_only(&mut ws, &demb);
             opt.begin_step();
-            net.apply_grads(&net_grads, &mut opt, cfg.weight_decay, 0);
-            let mut dw = head_grads.dw;
-            gcon_linalg::ops::add_scaled_assign(&mut dw, cfg.weight_decay, &head.w);
-            opt.update(net_slots, head.w.as_mut_slice(), dw.as_slice());
+            net.apply_grads_ws(&mut ws, &mut opt, cfg.weight_decay, 0);
+            gcon_linalg::ops::add_scaled_assign(&mut head_grads.dw, cfg.weight_decay, &head.w);
+            opt.update(net_slots, head.w.as_mut_slice(), head_grads.dw.as_slice());
             opt.update(net_slots + 1, &mut head.b, &head_grads.db);
         }
         Self { net, head }

@@ -33,26 +33,25 @@ pub fn private_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat
     let x = encode_normalized(model, features);
     let a_tilde = row_stochastic(graph, model.config.clip_p);
     let alpha_i = model.config.alpha_inference;
-    let mut parts: Vec<Mat> = Vec::with_capacity(model.config.steps.len());
-    // One-hop aggregate, shared by every m_i > 0.
+    let steps = &model.config.steps;
+    let (n, d) = x.shape();
+    let mut z = Mat::zeros(n, steps.len() * d);
+    // One-hop aggregate, computed at most once and written straight into
+    // every m_i > 0 column block of the concatenation.
     let mut one_hop: Option<Mat> = None;
-    for &step in &model.config.steps {
+    for (i, &step) in steps.iter().enumerate() {
         let part = match step {
-            PropagationStep::Finite(0) => x.clone(),
-            _ => one_hop
-                .get_or_insert_with(|| {
-                    let mut h = a_tilde.spmm(&x);
-                    h.map_inplace(|v| v * (1.0 - alpha_i));
-                    ops::add_scaled_assign(&mut h, alpha_i, &x);
-                    h
-                })
-                .clone(),
+            PropagationStep::Finite(0) => &x,
+            _ => &*one_hop.get_or_insert_with(|| {
+                let mut h = a_tilde.spmm(&x);
+                h.map_inplace(|v| v * (1.0 - alpha_i));
+                ops::add_scaled_assign(&mut h, alpha_i, &x);
+                h
+            }),
         };
-        parts.push(part);
+        z.copy_into_columns(i * d, part);
     }
-    let refs: Vec<&Mat> = parts.iter().collect();
-    let mut z = Mat::hcat_all(&refs);
-    let inv_s = 1.0 / model.config.steps.len() as f64;
+    let inv_s = 1.0 / steps.len() as f64;
     z.map_inplace(|v| v * inv_s);
     ops::matmul(&z, &model.theta)
 }
@@ -114,11 +113,7 @@ mod tests {
                 weight_decay: 1e-5,
             },
             steps: vec![PropagationStep::Finite(2)],
-            optimizer: crate::model::OptimizerConfig {
-                lr: 0.05,
-                max_iters: 800,
-                grad_tol: 1e-7,
-            },
+            optimizer: crate::model::OptimizerConfig { lr: 0.05, max_iters: 800, grad_tol: 1e-7 },
             ..Default::default()
         }
     }

@@ -181,23 +181,11 @@ mod tests {
         for loss in losses() {
             for &(x, y) in &sample_points() {
                 let d1_fd = (loss.value(x + h, y) - loss.value(x - h, y)) / (2.0 * h);
-                assert!(
-                    (d1_fd - loss.d1(x, y)).abs() < 1e-7,
-                    "{:?} d1 at ({x},{y})",
-                    loss.kind()
-                );
+                assert!((d1_fd - loss.d1(x, y)).abs() < 1e-7, "{:?} d1 at ({x},{y})", loss.kind());
                 let d2_fd = (loss.d1(x + h, y) - loss.d1(x - h, y)) / (2.0 * h);
-                assert!(
-                    (d2_fd - loss.d2(x, y)).abs() < 1e-7,
-                    "{:?} d2 at ({x},{y})",
-                    loss.kind()
-                );
+                assert!((d2_fd - loss.d2(x, y)).abs() < 1e-7, "{:?} d2 at ({x},{y})", loss.kind());
                 let d3_fd = (loss.d2(x + h, y) - loss.d2(x - h, y)) / (2.0 * h);
-                assert!(
-                    (d3_fd - loss.d3(x, y)).abs() < 1e-6,
-                    "{:?} d3 at ({x},{y})",
-                    loss.kind()
-                );
+                assert!((d3_fd - loss.d3(x, y)).abs() < 1e-6, "{:?} d3 at ({x},{y})", loss.kind());
             }
         }
     }
@@ -221,10 +209,8 @@ mod tests {
         for loss in losses() {
             let b = loss.bounds();
             let pts = sample_points();
-            let max_d2 =
-                pts.iter().map(|&(x, y)| loss.d2(x, y).abs()).fold(0.0_f64, f64::max);
-            let max_d3 =
-                pts.iter().map(|&(x, y)| loss.d3(x, y).abs()).fold(0.0_f64, f64::max);
+            let max_d2 = pts.iter().map(|&(x, y)| loss.d2(x, y).abs()).fold(0.0_f64, f64::max);
+            let max_d3 = pts.iter().map(|&(x, y)| loss.d3(x, y).abs()).fold(0.0_f64, f64::max);
             assert!(max_d2 > 0.95 * b.c2, "{:?}: max d2 {max_d2} vs c2 {}", loss.kind(), b.c2);
             assert!(max_d3 > 0.90 * b.c3, "{:?}: max d3 {max_d3} vs c3 {}", loss.kind(), b.c3);
         }

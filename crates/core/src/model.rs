@@ -211,8 +211,8 @@ mod tests {
 
     #[test]
     fn privacy_report_display_mentions_all_parameters() {
-        use crate::params::{CalibrationInput, TheoremOneParams};
         use crate::loss::{ConvexLoss, LossKind};
+        use crate::params::{CalibrationInput, TheoremOneParams};
         let params = TheoremOneParams::compute(&CalibrationInput {
             eps: 1.0,
             delta: 1e-4,
@@ -224,8 +224,7 @@ mod tests {
             bounds: ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3).bounds(),
             psi: 1.0,
         });
-        let report =
-            PrivacyReport { eps: 1.0, delta: 1e-4, psi_z: 1.0, params, n1: 500 };
+        let report = PrivacyReport { eps: 1.0, delta: 1e-4, psi_z: 1.0, params, n1: 500 };
         let s = format!("{report}");
         for needle in ["ε = 1", "Ψ(Z)", "Λ′", "c_sf", "c_θ", "β"] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
@@ -234,8 +233,8 @@ mod tests {
 
     #[test]
     fn noise_free_report_displays_infinity() {
-        use crate::params::{CalibrationInput, TheoremOneParams};
         use crate::loss::{ConvexLoss, LossKind};
+        use crate::params::{CalibrationInput, TheoremOneParams};
         let params = TheoremOneParams::compute(&CalibrationInput {
             eps: 1.0,
             delta: 1e-4,
@@ -247,8 +246,7 @@ mod tests {
             bounds: ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3).bounds(),
             psi: 0.0,
         });
-        let report =
-            PrivacyReport { eps: 1.0, delta: 1e-4, psi_z: 0.0, params, n1: 500 };
+        let report = PrivacyReport { eps: 1.0, delta: 1e-4, psi_z: 0.0, params, n1: 500 };
         assert!(format!("{report}").contains("no noise required"));
     }
 

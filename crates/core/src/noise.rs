@@ -10,12 +10,7 @@ use rand::Rng;
 
 /// Samples the `d × c` noise matrix. An infinite `β` (the Ψ(Z) = 0 special
 /// case, see [`crate::params::TheoremOneParams`]) yields the zero matrix.
-pub fn sample_noise_matrix<R: Rng + ?Sized>(
-    d: usize,
-    c: usize,
-    beta: f64,
-    rng: &mut R,
-) -> Mat {
+pub fn sample_noise_matrix<R: Rng + ?Sized>(d: usize, c: usize, beta: f64, rng: &mut R) -> Mat {
     assert!(d > 0 && c > 0, "sample_noise_matrix: degenerate shape");
     assert!(beta > 0.0, "sample_noise_matrix: β must be positive");
     if beta.is_infinite() {

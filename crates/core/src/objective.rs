@@ -29,13 +29,7 @@ pub struct PerturbedObjective<'a> {
 
 impl<'a> PerturbedObjective<'a> {
     /// Validates dimensions and builds the objective.
-    pub fn new(
-        z: &'a Mat,
-        y: &'a Mat,
-        loss: ConvexLoss,
-        lambda_total: f64,
-        b: &'a Mat,
-    ) -> Self {
+    pub fn new(z: &'a Mat, y: &'a Mat, loss: ConvexLoss, lambda_total: f64, b: &'a Mat) -> Self {
         assert_eq!(z.rows(), y.rows(), "objective: Z/Y row mismatch");
         assert_eq!(b.rows(), z.cols(), "objective: B rows must equal d");
         assert_eq!(b.cols(), y.cols(), "objective: B cols must equal c");
@@ -174,8 +168,8 @@ mod tests {
         let mid = ops::scale(&ops::add(&t1, &t2), 0.5);
         let diff = ops::sub(&t1, &t2);
         let lhs = obj.value(&mid);
-        let rhs = 0.5 * obj.value(&t1) + 0.5 * obj.value(&t2)
-            - lambda / 8.0 * diff.frobenius_norm_sq();
+        let rhs =
+            0.5 * obj.value(&t1) + 0.5 * obj.value(&t2) - lambda / 8.0 * diff.frobenius_norm_sq();
         assert!(lhs <= rhs + 1e-12, "strong convexity violated: {lhs} > {rhs}");
     }
 

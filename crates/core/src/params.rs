@@ -125,8 +125,8 @@ impl TheoremOneParams {
         };
 
         // Eq. (18): β = max(ε − ε_Λ, ωε) / (c(c₁ + c₂·c_θ)Ψ).
-        let beta = (eps - eps_lambda).max(omega * eps)
-            / (c * (bounds.c1 + bounds.c2 * c_theta) * psi);
+        let beta =
+            (eps - eps_lambda).max(omega * eps) / (c * (bounds.c1 + bounds.c2 * c_theta) * psi);
 
         Self { lambda_eff, csf, c_theta, eps_lambda, lambda_prime, beta }
     }
@@ -230,8 +230,7 @@ mod tests {
             let c = input.num_classes as f64;
             let d = input.dim as f64;
             let jac_num = (2.0 * input.bounds.c2 + input.bounds.c3 * p.c_theta) * psi;
-            let log_ratio =
-                c * d * (1.0 + jac_num / (d * n1 as f64 * p.lambda_total())).ln();
+            let log_ratio = c * d * (1.0 + jac_num / (d * n1 as f64 * p.lambda_total())).ln();
             let budget = ((1.0 - input.omega) * input.eps).max(p.eps_lambda.min(input.eps));
             assert!(
                 log_ratio <= budget + 1e-9,
@@ -259,8 +258,7 @@ mod tests {
         // Λ exactly at the critical value: Eq. 22's ξ must keep c_θ finite.
         let input = base_input();
         let c = input.num_classes as f64;
-        let critical = c * input.bounds.c2 * input.psi
-            * TheoremOneParams::compute(&input).csf
+        let critical = c * input.bounds.c2 * input.psi * TheoremOneParams::compute(&input).csf
             / (input.n1 as f64 * input.omega * input.eps);
         let p = TheoremOneParams::compute(&CalibrationInput { lambda: critical, ..input });
         assert!(p.c_theta.is_finite() && p.c_theta > 0.0);

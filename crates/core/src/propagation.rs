@@ -10,9 +10,23 @@
 //! For `m = ∞` (PPR, Eq. 5) the same recursion is run to its fixed point:
 //! `Z_∞ = α (I − (1−α)Ã)^{-1} X`, which exists because `I − (1−α)Ã` is
 //! invertible (Lemma 3), and the iteration contracts at rate `(1−α)`.
+//!
+//! Two execution modes sit on the shared runtime layer:
+//!
+//! - [`propagate_into`] runs the recursion between two caller-owned
+//!   ping-pong buffers, so a training loop re-propagating every epoch
+//!   performs no per-step allocation.
+//! - [`propagate_multi`] computes **all** requested scales `{m₁ < … < m_s}`
+//!   in a *single* sweep of the recursion, snapshotting `Z_{m_i}` into the
+//!   concatenated output as each scale is passed. The recursion makes
+//!   `Z_{m_s}` a strict continuation of `Z_{m_1}`, so the sweep costs
+//!   `max(m_i)` sparse products instead of `Σ m_i` (PPR `∞` is handled as
+//!   the final fixed-point segment). [`spmm_ops_performed`] exposes the
+//!   product counter the tests and benches use to verify this.
 
 use gcon_graph::Csr;
 use gcon_linalg::{ops, Mat};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A propagation step count `m ∈ [0, ∞]` (Eq. 9).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,52 +61,85 @@ const PPR_TOL: f64 = 1e-10;
 /// Hard cap on PPR sweeps; the geometric rate `(1−α)` makes this generous.
 const PPR_MAX_ITERS: usize = 10_000;
 
+/// Running count of `Ã · Z` sparse products performed by the propagation
+/// kernels in this process (all threads).
+static SPMM_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `Ã · Z` products performed by [`propagate`], [`propagate_into`] and
+/// [`propagate_multi`] since process start. The single-pass multi-scale
+/// acceptance check — `max(m_i)` products instead of `Σ m_i` — is asserted
+/// against deltas of this counter.
+pub fn spmm_ops_performed() -> usize {
+    SPMM_OPS.load(Ordering::Relaxed) as usize
+}
+
 /// Computes `Z_m = R_m X` for one step count (Eq. 10).
 ///
 /// `a_tilde` must be the row-stochastic `Ã = D⁻¹(A+I)`
 /// (see `gcon_graph::normalize::row_stochastic_default`).
+///
+/// Allocating convenience wrapper around [`propagate_into`].
 pub fn propagate(a_tilde: &Csr, x: &Mat, alpha: f64, step: PropagationStep) -> Mat {
+    let mut z = Mat::zeros(0, 0);
+    let mut scratch = Mat::zeros(0, 0);
+    propagate_into(a_tilde, x, alpha, step, &mut z, &mut scratch);
+    z
+}
+
+/// Computes `Z_m = R_m X` into the caller-owned ping-pong pair
+/// `(z, scratch)`, reusing both backing buffers across calls. On return `z`
+/// holds the result and `scratch` holds the penultimate iterate; both are
+/// reshaped as needed. The buffers may start empty (`Mat::zeros(0, 0)`) —
+/// they grow to `x`'s shape on first use and are never reallocated after.
+pub fn propagate_into(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    step: PropagationStep,
+    z: &mut Mat,
+    scratch: &mut Mat,
+) {
     assert!(
         alpha > 0.0 && alpha <= 1.0,
         "propagate: restart probability α must lie in (0, 1], got {alpha}"
     );
     assert_eq!(a_tilde.rows(), x.rows(), "propagate: dimension mismatch");
+    z.copy_from(x);
     match step {
         PropagationStep::Finite(m) => {
-            let mut z = x.clone();
             for _ in 0..m {
-                z = step_once(a_tilde, &z, x, alpha);
+                step_once_into(a_tilde, z, scratch, x, alpha);
             }
-            z
         }
         PropagationStep::Infinite => {
-            let mut z = x.clone();
-            for _ in 0..PPR_MAX_ITERS {
-                let next = step_once(a_tilde, &z, x, alpha);
-                let delta = max_abs_diff(&next, &z);
-                z = next;
-                if delta < PPR_TOL {
-                    break;
-                }
-            }
-            z
+            run_to_fixed_point(a_tilde, z, scratch, x, alpha);
         }
     }
 }
 
-/// One APPR sweep: `(1−α) Ã Z + α X`.
-fn step_once(a_tilde: &Csr, z: &Mat, x: &Mat, alpha: f64) -> Mat {
-    let mut next = a_tilde.spmm(z);
-    next.map_inplace(|v| v * (1.0 - alpha));
-    ops::add_scaled_assign(&mut next, alpha, x);
-    next
+/// One APPR sweep in place: `z ← (1−α) Ã z + α x`, with `scratch` receiving
+/// the previous iterate (the buffers are swapped, not copied).
+fn step_once_into(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha: f64) {
+    SPMM_OPS.fetch_add(1, Ordering::Relaxed);
+    a_tilde.spmm_into(z, scratch);
+    scratch.map_inplace(|v| v * (1.0 - alpha));
+    ops::add_scaled_assign(scratch, alpha, x);
+    std::mem::swap(z, scratch);
+}
+
+/// Iterates `z` to the PPR fixed point (Eq. 5), leaving the result in `z`.
+fn run_to_fixed_point(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha: f64) {
+    for _ in 0..PPR_MAX_ITERS {
+        step_once_into(a_tilde, z, scratch, x, alpha);
+        // After the swap `scratch` holds the previous iterate.
+        if max_abs_diff(z, scratch) < PPR_TOL {
+            break;
+        }
+    }
 }
 
 fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+    a.as_slice().iter().zip(b.as_slice()).fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
 }
 
 /// Matrix-free operator for `I − (1−α)Ã`, the PPR system matrix of Eq. (5).
@@ -158,22 +205,68 @@ pub fn propagate_ppr_cgnr(a_tilde: &Csr, x: &Mat, alpha: f64) -> Mat {
     z
 }
 
+/// Computes every requested scale `Z_{m_i}` in **one** sweep of the APPR
+/// recursion and returns the unweighted concatenation
+/// `Z_{m_1} ⊕ Z_{m_2} ⊕ … ⊕ Z_{m_s}` (column blocks in `steps` order).
+///
+/// Because `Z_m` depends only on `Z_{m−1}`, running the recursion once to
+/// `max(m_i)` and snapshotting each requested scale as it is passed costs
+/// `max(m_i)` sparse products instead of the `Σ m_i` that per-scale
+/// [`propagate`] calls would pay. A `PropagationStep::Infinite` entry is
+/// handled as the final segment: the sweep simply continues from the largest
+/// finite scale to the fixed point (the iteration contracts toward `Z_∞`
+/// from *any* starting point, so the continuation converges to the same
+/// limit — finite blocks are bit-identical to per-scale propagation, the
+/// `∞` block agrees to fixed-point tolerance).
+pub fn propagate_multi(a_tilde: &Csr, x: &Mat, alpha: f64, steps: &[PropagationStep]) -> Mat {
+    assert!(!steps.is_empty(), "propagate_multi: need at least one step");
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "propagate_multi: restart probability α must lie in (0, 1], got {alpha}"
+    );
+    assert_eq!(a_tilde.rows(), x.rows(), "propagate_multi: dimension mismatch");
+    let (n, d) = x.shape();
+    let mut out = Mat::zeros(n, steps.len() * d);
+    let max_finite = steps
+        .iter()
+        .filter_map(|s| match s {
+            PropagationStep::Finite(m) => Some(*m),
+            PropagationStep::Infinite => None,
+        })
+        .max();
+    let has_infinite = steps.contains(&PropagationStep::Infinite);
+
+    let snapshot = |out: &mut Mat, z: &Mat, reached: PropagationStep| {
+        for (i, &s) in steps.iter().enumerate() {
+            if s == reached {
+                out.copy_into_columns(i * d, z);
+            }
+        }
+    };
+
+    snapshot(&mut out, x, PropagationStep::Finite(0));
+    let mut z = x.clone();
+    let mut scratch = Mat::zeros(0, 0);
+    for k in 1..=max_finite.unwrap_or(0) {
+        step_once_into(a_tilde, &mut z, &mut scratch, x, alpha);
+        snapshot(&mut out, &z, PropagationStep::Finite(k));
+    }
+    if has_infinite {
+        run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
+        snapshot(&mut out, &z, PropagationStep::Infinite);
+    }
+    out
+}
+
 /// The multi-scale concatenation of Eq. (11):
 /// `Z = (1/s)(Z_{m₁} ⊕ Z_{m₂} ⊕ … ⊕ Z_{m_s})`.
 ///
 /// The `1/s` weighting keeps each row's L2 norm ≤ 1 when the rows of `x` are
 /// unit-normalized (each `Z_m` row is a convex combination of unit rows).
-pub fn concat_features(
-    a_tilde: &Csr,
-    x: &Mat,
-    alpha: f64,
-    steps: &[PropagationStep],
-) -> Mat {
+/// All scales are computed by the single-pass [`propagate_multi`] sweep.
+pub fn concat_features(a_tilde: &Csr, x: &Mat, alpha: f64, steps: &[PropagationStep]) -> Mat {
     assert!(!steps.is_empty(), "concat_features: need at least one step");
-    let parts: Vec<Mat> =
-        steps.iter().map(|&m| propagate(a_tilde, x, alpha, m)).collect();
-    let refs: Vec<&Mat> = parts.iter().collect();
-    let mut z = Mat::hcat_all(&refs);
+    let mut z = propagate_multi(a_tilde, x, alpha, steps);
     let inv_s = 1.0 / steps.len() as f64;
     z.map_inplace(|v| v * inv_s);
     z
@@ -369,21 +462,14 @@ mod tests {
                 let mut r = Mat::zeros(12, 12);
                 let mut a_pow = Mat::eye(12); // Ã^0
                 for i in 0..m {
-                    ops::add_scaled_assign(
-                        &mut r,
-                        alpha * (1.0f64 - alpha).powi(i as i32),
-                        &a_pow,
-                    );
+                    ops::add_scaled_assign(&mut r, alpha * (1.0f64 - alpha).powi(i as i32), &a_pow);
                     a_pow = ops::matmul(&a_pow, &a);
                 }
                 ops::add_scaled_assign(&mut r, (1.0f64 - alpha).powi(m as i32), &a_pow);
                 let z_dense = ops::matmul(&r, &x);
                 let z_rec = propagate(&a_csr, &x, alpha, PropagationStep::Finite(m));
                 for (u, v) in z_dense.as_slice().iter().zip(z_rec.as_slice()) {
-                    assert!(
-                        (u - v).abs() < 1e-10,
-                        "α={alpha} m={m}: dense {u} vs recursion {v}"
-                    );
+                    assert!((u - v).abs() < 1e-10, "α={alpha} m={m}: dense {u} vs recursion {v}");
                 }
             }
         }

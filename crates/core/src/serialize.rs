@@ -12,11 +12,11 @@
 //! fail-closed: any truncation, bad magic, unknown enum tag or non-finite
 //! dimension yields a [`DecodeError`] instead of a partially-built model.
 
+use crate::encoder::EncoderConfig;
 use crate::encoder::FeatureEncoder;
 use crate::loss::LossKind;
 use crate::model::{GconConfig, OptimizerConfig, PrivacyReport, TrainedGcon};
 use crate::params::TheoremOneParams;
-use crate::encoder::EncoderConfig;
 use crate::propagation::PropagationStep;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gcon_linalg::Mat;
@@ -104,9 +104,7 @@ fn get_f64(buf: &mut Bytes) -> Result<f64, DecodeError> {
 fn get_mat(buf: &mut Bytes) -> Result<Mat, DecodeError> {
     let rows = get_u32(buf)? as usize;
     let cols = get_u32(buf)? as usize;
-    let len = rows
-        .checked_mul(cols)
-        .ok_or(DecodeError::Invalid("matrix dimensions overflow"))?;
+    let len = rows.checked_mul(cols).ok_or(DecodeError::Invalid("matrix dimensions overflow"))?;
     if buf.remaining() < len * 8 {
         return Err(DecodeError::Truncated);
     }
@@ -429,8 +427,7 @@ mod tests {
         let mut cfg = GconConfig::default();
         cfg.encoder.epochs = 20;
         cfg.optimizer.max_iters = 200;
-        cfg.steps =
-            vec![PropagationStep::Finite(1), PropagationStep::Infinite];
+        cfg.steps = vec![PropagationStep::Finite(1), PropagationStep::Infinite];
         cfg.loss = LossKind::PseudoHuber { delta: 0.3 };
         let model = train_gcon(&cfg, &g, &x, &labels, &idx, 3, 1.5, 1e-4, &mut rng);
         (model, g, x)

@@ -118,24 +118,57 @@ pub fn train_gcon<R: Rng + ?Sized>(
     delta: f64,
     rng: &mut R,
 ) -> TrainedGcon {
+    let a_tilde = row_stochastic(graph, config.clip_p);
+    train_gcon_on_adjacency(
+        config,
+        graph,
+        &a_tilde,
+        features,
+        labels,
+        train_idx,
+        num_classes,
+        eps,
+        delta,
+        rng,
+    )
+}
+
+/// [`train_gcon`] with the normalized adjacency `Ã` supplied by the caller.
+///
+/// `a_tilde` must equal `row_stochastic(graph, config.clip_p)`; callers that
+/// train many candidates on one graph (the tuning grid, the figure
+/// harnesses) pass a cached `Ã` so the normalization is not recomputed per
+/// candidate.
+#[allow(clippy::too_many_arguments)] // Algorithm 1 takes the full dataset tuple plus (ε, δ)
+pub fn train_gcon_on_adjacency<R: Rng + ?Sized>(
+    config: &GconConfig,
+    graph: &Graph,
+    a_tilde: &gcon_graph::Csr,
+    features: &Mat,
+    labels: &[usize],
+    train_idx: &[usize],
+    num_classes: usize,
+    eps: f64,
+    delta: f64,
+    rng: &mut R,
+) -> TrainedGcon {
     let n = graph.num_nodes();
     assert_eq!(features.rows(), n, "train_gcon: feature rows must match node count");
     assert_eq!(labels.len(), n, "train_gcon: need a label slot per node");
+    assert_eq!(a_tilde.rows(), n, "train_gcon: adjacency/node count mismatch");
     assert!(!train_idx.is_empty(), "train_gcon: empty training set");
     assert!(num_classes >= 2);
 
     // Lines 1–2: encoder (public) + row normalization.
     let x_labeled = features.select_rows(train_idx);
     let y_labeled: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
-    let encoder =
-        FeatureEncoder::train(&config.encoder, &x_labeled, &y_labeled, num_classes, rng);
+    let encoder = FeatureEncoder::train(&config.encoder, &x_labeled, &y_labeled, num_classes, rng);
     let mut x_enc = encoder.encode(features);
     x_enc.normalize_rows_l2();
 
-    // Lines 4–7: propagation and concatenation (with the Lemma 1 clip,
-    // inactive at the default p = 1/2).
-    let a_tilde = row_stochastic(graph, config.clip_p);
-    let z_all = concat_features(&a_tilde, &x_enc, config.alpha, &config.steps);
+    // Lines 4–7: single-pass multi-scale propagation and concatenation
+    // (with the Lemma 1 clip, inactive at the default p = 1/2).
+    let z_all = concat_features(a_tilde, &x_enc, config.alpha, &config.steps);
 
     // Training rows: the labeled set, optionally expanded with encoder
     // pseudo-labels (n₁ ∈ {n₀, n} in Appendix Q). Pseudo-labels are derived
@@ -322,8 +355,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(94);
         let model = train_gcon(&cfg, &g, &x, &labels, &idx, 2, 4.0, 1e-4, &mut rng);
         let pred = crate::infer::public_predict(&model, &g, &x);
-        let correct =
-            (30..60).filter(|&i| pred[i] == labels[i]).count() as f64 / 30.0;
+        let correct = (30..60).filter(|&i| pred[i] == labels[i]).count() as f64 / 30.0;
         assert!(correct > 0.5, "clipped-p accuracy {correct} at ε = 4 below chance");
     }
 }

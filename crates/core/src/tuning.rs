@@ -14,8 +14,9 @@
 
 use crate::infer::private_predict;
 use crate::model::GconConfig;
-use crate::train::train_gcon;
+use crate::train::train_gcon_on_adjacency;
 use crate::TrainedGcon;
+use gcon_graph::normalize::row_stochastic;
 use gcon_graph::Graph;
 use gcon_linalg::Mat;
 use rand::Rng;
@@ -85,23 +86,33 @@ pub fn tune_gcon<R: Rng + ?Sized>(
     assert!(!val_idx.is_empty(), "tune_gcon: empty validation split");
     let mut best: Option<(f64, TrainedGcon, GconConfig)> = None;
     let mut trace = Vec::new();
+    // Ã depends only on (graph, clip_p): normalize once per swept clip and
+    // share the CSR across every candidate in the inner loops.
+    let a_tildes: Vec<gcon_graph::Csr> =
+        grid.clip_p.iter().map(|&p| row_stochastic(graph, p)).collect();
     for &alpha_i in &grid.alpha_inference {
         for &expand in &grid.expand_train_set {
             for &lambda in &grid.lambda {
-                for &clip_p in &grid.clip_p {
+                for (&clip_p, a_tilde) in grid.clip_p.iter().zip(&a_tildes) {
                     let mut cfg = base.clone();
                     cfg.alpha_inference = alpha_i;
                     cfg.expand_train_set = expand;
                     cfg.lambda = lambda;
                     cfg.clip_p = clip_p;
-                    let model = train_gcon(
-                        &cfg, graph, features, labels, train_idx, num_classes, eps, delta, rng,
+                    let model = train_gcon_on_adjacency(
+                        &cfg,
+                        graph,
+                        a_tilde,
+                        features,
+                        labels,
+                        train_idx,
+                        num_classes,
+                        eps,
+                        delta,
+                        rng,
                     );
                     let pred = private_predict(&model, graph, features);
-                    let correct = val_idx
-                        .iter()
-                        .filter(|&&i| pred[i] == labels[i])
-                        .count();
+                    let correct = val_idx.iter().filter(|&&i| pred[i] == labels[i]).count();
                     let score = correct as f64 / val_idx.len() as f64;
                     trace.push(TuningOutcome { config: cfg.clone(), val_score: score });
                     let better = match &best {
@@ -139,21 +150,11 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(7);
         let tuned = tune_gcon(
-            &base,
-            &grid,
-            &dataset.0,
-            &dataset.1,
-            &dataset.2,
-            &dataset.3,
-            &dataset.4,
-            2,
-            2.0,
-            1e-3,
+            &base, &grid, &dataset.0, &dataset.1, &dataset.2, &dataset.3, &dataset.4, 2, 2.0, 1e-3,
             &mut rng,
         );
         assert_eq!(tuned.trace.len(), 2);
-        let max_trace =
-            tuned.trace.iter().map(|o| o.val_score).fold(0.0_f64, f64::max);
+        let max_trace = tuned.trace.iter().map(|o| o.val_score).fold(0.0_f64, f64::max);
         assert_eq!(tuned.best_score, max_trace);
         assert!(tuned.best_score > 0.4, "best val score {}", tuned.best_score);
     }

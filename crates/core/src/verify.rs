@@ -238,10 +238,7 @@ pub fn lemma8_check(
         let d = bp.get(a, j) - b.get(a, j);
         shift += d * d;
     }
-    Lemma8Check {
-        noise_shift: shift.sqrt(),
-        bound: (bounds.c1 + bounds.c2 * theta_j_norm) * psi,
-    }
+    Lemma8Check { noise_shift: shift.sqrt(), bound: (bounds.c1 + bounds.c2 * theta_j_norm) * psi }
 }
 
 /// The exact dense PPR matrix `R_∞ = α (I − (1−α) Ã)⁻¹` of Eq. (5), via LU
@@ -259,9 +256,7 @@ pub fn exact_r_infinity(a_tilde: &Csr, alpha: f64) -> Mat {
         let id = if i == j { 1.0 } else { 0.0 };
         id - (1.0 - alpha) * dense.get(i, j)
     });
-    let inv = Lu::new(&system)
-        .inverse()
-        .expect("I − (1−α)Ã is invertible by Lemma 3");
+    let inv = Lu::new(&system).inverse().expect("I − (1−α)Ã is invertible by Lemma 3");
     ops::scale(&inv, alpha)
 }
 
@@ -307,7 +302,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let b = Mat::uniform(4, 3, 0.4, &mut rng);
         let obj = crate::objective::PerturbedObjective::new(&z, &y, loss, lambda_total, &b);
-        let opt_cfg = crate::model::OptimizerConfig { lr: 0.05, max_iters: 50_000, grad_tol: 1e-11 };
+        let opt_cfg =
+            crate::model::OptimizerConfig { lr: 0.05, max_iters: 50_000, grad_tol: 1e-11 };
         let (theta, _, _) = crate::train::minimize(&obj, Mat::zeros(4, 3), &opt_cfg);
         let loss2 = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3);
         let recovered = noise_from_theta(&z, &y, &loss2, lambda_total, &theta);

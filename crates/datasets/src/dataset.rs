@@ -111,11 +111,7 @@ mod tests {
             features: Mat::from_fn(10, 3, |i, j| (i * 3 + j) as f64),
             labels: (0..10).map(|i| i % 2).collect(),
             num_classes: 2,
-            split: Split {
-                train: vec![0, 1, 2, 3],
-                val: vec![4, 5],
-                test: vec![6, 7, 8, 9],
-            },
+            split: Split { train: vec![0, 1, 2, 3], val: vec![4, 5], test: vec![6, 7, 8, 9] },
         }
     }
 

@@ -50,9 +50,8 @@ pub fn encode_dataset(d: &Dataset) -> Bytes {
     let n = d.num_nodes();
     let edges = d.graph.edges();
     let (rows, cols) = d.features.shape();
-    let mut buf = BytesMut::with_capacity(
-        64 + d.name.len() + edges.len() * 8 + rows * cols * 8 + n * 4,
-    );
+    let mut buf =
+        BytesMut::with_capacity(64 + d.name.len() + edges.len() * 8 + rows * cols * 8 + n * 4);
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(d.name.len() as u32);
@@ -121,8 +120,7 @@ pub fn decode_dataset(mut buf: &[u8]) -> Result<Dataset, DecodeError> {
     need(&buf, name_len)?;
     let mut name_bytes = vec![0u8; name_len];
     buf.copy_to_slice(&mut name_bytes);
-    let name =
-        String::from_utf8(name_bytes).map_err(|_| DecodeError::Corrupt("name not utf8"))?;
+    let name = String::from_utf8(name_bytes).map_err(|_| DecodeError::Corrupt("name not utf8"))?;
     need(&buf, 12)?;
     let num_classes = buf.get_u32_le() as usize;
     let n = buf.get_u32_le() as usize;
@@ -161,14 +159,7 @@ pub fn decode_dataset(mut buf: &[u8]) -> Result<Dataset, DecodeError> {
     let train = get_index_vec(&mut buf, n)?;
     let val = get_index_vec(&mut buf, n)?;
     let test = get_index_vec(&mut buf, n)?;
-    Ok(Dataset {
-        name,
-        graph,
-        features,
-        labels,
-        num_classes,
-        split: Split { train, val, test },
-    })
+    Ok(Dataset { name, graph, features, labels, num_classes, split: Split { train, val, test } })
 }
 
 /// Writes a dataset to a file.
@@ -230,10 +221,7 @@ mod tests {
         let (rows, cols) = d.features.shape();
         let label_off = 4 + 4 + 4 + name_len + 4 + 4 + 4 + edges * 8 + 8 + rows * cols * 8;
         bytes[label_off..label_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(
-            decode_dataset(&bytes).unwrap_err(),
-            DecodeError::Corrupt("label out of range")
-        );
+        assert_eq!(decode_dataset(&bytes).unwrap_err(), DecodeError::Corrupt("label out of range"));
     }
 
     #[test]

@@ -141,8 +141,7 @@ impl SyntheticSpec {
         assert!(scale > 0.0 && scale <= 1.0, "build: scale must lie in (0, 1]");
         let mut rng = StdRng::seed_from_u64(seed);
         let n = ((self.n as f64 * scale).round() as usize).max(self.classes * 40);
-        let num_edges =
-            ((self.num_edges as f64 * scale).round() as usize).max(n);
+        let num_edges = ((self.num_edges as f64 * scale).round() as usize).max(n);
         let d0 = ((self.d0 as f64 * scale).round() as usize).max(64);
 
         let (graph, labels) = sbm_homophily(
@@ -172,9 +171,7 @@ impl SyntheticSpec {
                 let test = ((test as f64 * scale).round() as usize).max(50);
                 planetoid_split(&labels, self.classes, per_class, val, test, &mut rng)
             }
-            SplitKind::Proportional { train, val } => {
-                proportional_split(n, train, val, &mut rng)
-            }
+            SplitKind::Proportional { train, val } => proportional_split(n, train, val, &mut rng),
         };
 
         let d = Dataset {

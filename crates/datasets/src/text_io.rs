@@ -171,9 +171,7 @@ pub fn parse_features(text: &str, vocab: &mut NodeVocab) -> Result<Mat, TextErro
         rows.push(Row { node, dense, sparse });
     }
     if any_sparse && any_dense {
-        return Err(TextError::Inconsistent(
-            "feature file mixes dense and sparse rows".into(),
-        ));
+        return Err(TextError::Inconsistent("feature file mixes dense and sparse rows".into()));
     }
     for r in &rows {
         if !r.dense.is_empty() && r.dense.len() != dim {
@@ -263,7 +261,18 @@ pub fn assemble(
         for i in 0..x.rows() {
             padded.row_mut(i).copy_from_slice(x.row(i));
         }
-        return assemble_inner(name, n, edges, padded, labels, num_classes, &labeled, train_frac, val_frac, seed);
+        return assemble_inner(
+            name,
+            n,
+            edges,
+            padded,
+            labels,
+            num_classes,
+            &labeled,
+            train_frac,
+            val_frac,
+            seed,
+        );
     }
     assemble_inner(name, n, edges, x, labels, num_classes, &labeled, train_frac, val_frac, seed)
 }
@@ -287,14 +296,7 @@ fn assemble_inner(
     let graph = Graph::from_edges(n, &edges);
     let labeled_idx: Vec<usize> = labeled.iter().map(|&v| v as usize).collect();
     let split = stratified_split(&labels, &labeled_idx, train_frac, val_frac, seed);
-    Ok(Dataset {
-        name: name.to_string(),
-        graph,
-        features: x,
-        labels,
-        num_classes,
-        split,
-    })
+    Ok(Dataset { name: name.to_string(), graph, features: x, labels, num_classes, split })
 }
 
 /// Loads the three files from disk and assembles the dataset.
@@ -379,14 +381,8 @@ mod tests {
         assert_eq!(d.num_classes, 2);
         assert_eq!(d.features.shape(), (3, 2));
         // Every labeled node appears in exactly one split bucket.
-        let mut all: Vec<usize> = d
-            .split
-            .train
-            .iter()
-            .chain(&d.split.val)
-            .chain(&d.split.test)
-            .copied()
-            .collect();
+        let mut all: Vec<usize> =
+            d.split.train.iter().chain(&d.split.val).chain(&d.split.test).copied().collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), d.split.train.len() + d.split.val.len() + d.split.test.len());
@@ -421,9 +417,6 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(
-            assemble("x", "", "", "", 0.5, 0.2, 0),
-            Err(TextError::Inconsistent(_))
-        ));
+        assert!(matches!(assemble("x", "", "", "", 0.5, 0.2, 0), Err(TextError::Inconsistent(_))));
     }
 }

@@ -114,12 +114,8 @@ pub fn audit_eps_lower_bound<R: Rng + ?Sized>(
 
     let lo = stats_d[0].min(stats_dp[0]);
     let hi = stats_d.last().unwrap().max(*stats_dp.last().unwrap());
-    let mut best = AuditResult {
-        eps_lower_bound: 0.0,
-        best_threshold: lo,
-        rate_d: 0.0,
-        rate_d_prime: 0.0,
-    };
+    let mut best =
+        AuditResult { eps_lower_bound: 0.0, best_threshold: lo, rate_d: 0.0, rate_d_prime: 0.0 };
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe: reject hi ≤ lo AND NaN
     if !(hi > lo) {
         return best; // degenerate mechanism: constant output, ε_lb = 0
@@ -247,12 +243,7 @@ mod tests {
     fn audit_constant_mechanism_returns_zero() {
         let mut rng = StdRng::seed_from_u64(4);
         let cfg = AuditConfig::default();
-        let r = audit_eps_lower_bound(
-            |_: &mut StdRng| 42.0,
-            |_: &mut StdRng| 42.0,
-            &cfg,
-            &mut rng,
-        );
+        let r = audit_eps_lower_bound(|_: &mut StdRng| 42.0, |_: &mut StdRng| 42.0, &cfg, &mut rng);
         assert_eq!(r.eps_lower_bound, 0.0);
     }
 
@@ -280,11 +271,6 @@ mod tests {
     fn audit_rejects_tiny_trial_counts() {
         let mut rng = StdRng::seed_from_u64(6);
         let cfg = AuditConfig { trials: 3, ..AuditConfig::default() };
-        let _ = audit_eps_lower_bound(
-            |_: &mut StdRng| 0.0,
-            |_: &mut StdRng| 0.0,
-            &cfg,
-            &mut rng,
-        );
+        let _ = audit_eps_lower_bound(|_: &mut StdRng| 0.0, |_: &mut StdRng| 0.0, &cfg, &mut rng);
     }
 }

@@ -152,10 +152,7 @@ mod tests {
         for &(total, k) in &[(1.0f64, 100usize), (4.0, 1000), (0.5, 37)] {
             let e = per_step_epsilon_advanced(total, k, 1e-6);
             let (back, _) = advanced_composition(e, 0.0, k, 1e-6);
-            assert!(
-                (back - total).abs() < 1e-6,
-                "total={total} k={k}: roundtrip {back}"
-            );
+            assert!((back - total).abs() < 1e-6, "total={total} k={k}: roundtrip {back}");
         }
     }
 

@@ -108,12 +108,7 @@ impl RdpAccountant {
 /// Finds the smallest noise multiplier such that `steps` subsampled-Gaussian
 /// releases at rate `q` stay within `(eps, delta)`. Pass `q = 1.0` for
 /// full-batch (plain Gaussian) composition.
-pub fn calibrate_noise_multiplier(
-    q: f64,
-    steps: usize,
-    eps: f64,
-    delta: f64,
-) -> f64 {
+pub fn calibrate_noise_multiplier(q: f64, steps: usize, eps: f64, delta: f64) -> f64 {
     assert!(eps > 0.0);
     let eval = |nm: f64| -> f64 {
         let mut acc = RdpAccountant::new();

@@ -137,8 +137,7 @@ pub fn reg_beta_i(a: f64, b: f64, x: f64) -> f64 {
         return 1.0;
     }
     // Prefactor x^a (1−x)^b / (a·B(a,b)).
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     // Use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) to keep the continued
     // fraction in its fast-converging region.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -359,17 +358,11 @@ mod tests {
         for k in 1..=n {
             let direct: f64 = (k..=n)
                 .map(|j| {
-                    (ln_binomial(n, j)
-                        + j as f64 * p.ln()
-                        + (n - j) as f64 * (1.0 - p).ln())
-                    .exp()
+                    (ln_binomial(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp()
                 })
                 .sum();
             let via_beta = reg_beta_i(k as f64, (n - k) as f64 + 1.0, p);
-            assert!(
-                (direct - via_beta).abs() < 1e-10,
-                "k={k}: direct {direct} vs beta {via_beta}"
-            );
+            assert!((direct - via_beta).abs() < 1e-10, "k={k}: direct {direct} vs beta {via_beta}");
         }
     }
 
@@ -389,10 +382,7 @@ mod tests {
         for &(a, b) in &[(1.0, 1.0), (3.0, 7.0), (20.0, 2.0), (0.5, 0.5)] {
             for &t in &[0.01, 0.25, 0.5, 0.9, 0.999] {
                 let x = reg_beta_i_inverse(a, b, t);
-                assert!(
-                    (reg_beta_i(a, b, x) - t).abs() < 1e-9,
-                    "a={a} b={b} t={t}: x={x}"
-                );
+                assert!((reg_beta_i(a, b, x) - t).abs() < 1e-9, "a={a} b={b} t={t}: x={x}");
             }
         }
     }

@@ -116,35 +116,30 @@ impl Csr {
             .collect()
     }
 
-    /// Dense `self · B` (sparse × dense), parallelized over row blocks.
+    /// Dense `self · B` (sparse × dense), parallelized over row blocks on
+    /// the shared `gcon-runtime` pool.
     pub fn spmm(&self, b: &Mat) -> Mat {
+        // `spmm_into` shapes and zero-fills; starting empty avoids a
+        // redundant full-size zero write.
+        let mut out = Mat::default();
+        self.spmm_into(b, &mut out);
+        out
+    }
+
+    /// Dense `self · B` written into `out`, which is reshaped (reusing its
+    /// backing buffer when capacity allows) to `self.rows() × b.cols()`.
+    ///
+    /// This is the hot kernel of every propagation step; the `_into` form
+    /// lets the APPR recursion ping-pong between two long-lived buffers
+    /// instead of allocating a fresh matrix per step.
+    pub fn spmm_into(&self, b: &Mat, out: &mut Mat) {
         assert_eq!(self.cols, b.rows(), "spmm: dimension mismatch");
         let d = b.cols();
-        let mut out = Mat::zeros(self.rows, d);
-        if self.rows == 0 || d == 0 {
-            return out;
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8)
-            .min(self.rows);
+        out.reset_to_zeros(self.rows, d);
         let work = self.nnz() * d;
-        if threads <= 1 || work < 1 << 16 {
-            self.spmm_block(b, out.as_mut_slice(), 0, self.rows);
-            return out;
-        }
-        let chunk = self.rows.div_ceil(threads);
-        let slice = out.as_mut_slice();
-        crossbeam::thread::scope(|scope| {
-            for (t, block) in slice.chunks_mut(chunk * d).enumerate() {
-                let start = t * chunk;
-                let end = (start + block.len() / d).min(self.rows);
-                scope.spawn(move |_| self.spmm_block(b, block, start, end));
-            }
-        })
-        .expect("spmm worker panicked");
-        out
+        gcon_runtime::parallel_rows(out.as_mut_slice(), self.rows, d, work, |block, start, end| {
+            self.spmm_block(b, block, start, end);
+        });
     }
 
     fn spmm_block(&self, b: &Mat, out: &mut [f64], start: usize, end: usize) {

@@ -59,7 +59,8 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Grap
 
 /// Path graph 0-1-2-…-(n-1).
 pub fn path(n: usize) -> Graph {
-    let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+    let edges: Vec<(u32, u32)> =
+        (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
     Graph::from_edges(n, &edges)
 }
 

@@ -92,9 +92,8 @@ impl Graph {
             Err(_) => false,
             Ok(pos_u) => {
                 self.adj[u as usize].remove(pos_u);
-                let pos_v = self.adj[v as usize]
-                    .binary_search(&u)
-                    .expect("adjacency lists out of sync");
+                let pos_v =
+                    self.adj[v as usize].binary_search(&u).expect("adjacency lists out of sync");
                 self.adj[v as usize].remove(pos_v);
                 self.num_edges -= 1;
                 true

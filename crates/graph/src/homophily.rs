@@ -37,8 +37,7 @@ pub fn edge_homophily(graph: &Graph, labels: &[usize]) -> f64 {
     if edges.is_empty() {
         return 0.0;
     }
-    let same =
-        edges.iter().filter(|&&(u, v)| labels[u as usize] == labels[v as usize]).count();
+    let same = edges.iter().filter(|&&(u, v)| labels[u as usize] == labels[v as usize]).count();
     same as f64 / edges.len() as f64
 }
 

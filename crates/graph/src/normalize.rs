@@ -59,11 +59,8 @@ pub fn symmetric(graph: &Graph) -> Csr {
     let mut rows = Vec::with_capacity(n);
     for u in 0..n as u32 {
         let du = inv_sqrt[u as usize];
-        let mut entries: Vec<(u32, f64)> = graph
-            .neighbors(u)
-            .iter()
-            .map(|&v| (v, du * inv_sqrt[v as usize]))
-            .collect();
+        let mut entries: Vec<(u32, f64)> =
+            graph.neighbors(u).iter().map(|&v| (v, du * inv_sqrt[v as usize])).collect();
         entries.push((u, du * du));
         rows.push(entries);
     }
@@ -91,11 +88,8 @@ pub fn general_r(graph: &Graph, r: f64) -> Csr {
     let mut rows = Vec::with_capacity(n);
     for u in 0..n as u32 {
         let lu = left[u as usize];
-        let mut entries: Vec<(u32, f64)> = graph
-            .neighbors(u)
-            .iter()
-            .map(|&v| (v, lu * right[v as usize]))
-            .collect();
+        let mut entries: Vec<(u32, f64)> =
+            graph.neighbors(u).iter().map(|&v| (v, lu * right[v as usize])).collect();
         entries.push((u, lu * right[u as usize]));
         rows.push(entries);
     }

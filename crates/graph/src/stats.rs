@@ -79,7 +79,7 @@ mod tests {
     #[test]
     fn components_of_disjoint_paths() {
         let mut g = generators::path(4); // 0-1-2-3
-        // add an isolated pair 4-5 requires a larger graph:
+                                         // add an isolated pair 4-5 requires a larger graph:
         let mut g2 = Graph::empty(6);
         for (u, v) in g.edges() {
             g2.add_edge(u, v);

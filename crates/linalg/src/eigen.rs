@@ -108,11 +108,7 @@ pub fn jacobi_eigen(a: &Mat, tol: f64) -> SymEigen {
 /// the verification suite works with.
 pub fn singular_values(a: &Mat, tol: f64) -> Vec<f64> {
     let gram = crate::ops::t_matmul(a, a);
-    jacobi_eigen(&gram, tol)
-        .values
-        .into_iter()
-        .map(|l| l.max(0.0).sqrt())
-        .collect()
+    jacobi_eigen(&gram, tol).values.into_iter().map(|l| l.max(0.0).sqrt()).collect()
 }
 
 /// Outcome of [`power_iteration`].
@@ -197,9 +193,7 @@ pub fn power_iteration(
 pub fn spectral_radius(a: &Mat, max_iters: usize, tol: f64) -> f64 {
     let n = a.rows();
     let seed: Vec<f64> = (0..n).map(|i| 1.0 + 0.01 * ((i % 17) as f64)).collect();
-    power_iteration(a, Some(&seed), max_iters, tol)
-        .eigenvalue
-        .abs()
+    power_iteration(a, Some(&seed), max_iters, tol).eigenvalue.abs()
 }
 
 #[cfg(test)]

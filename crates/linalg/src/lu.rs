@@ -93,12 +93,7 @@ impl Lu {
             }
         }
 
-        Self {
-            packed,
-            perm,
-            sign,
-            singular,
-        }
+        Self { packed, perm, sign, singular }
     }
 
     /// Dimension of the factored matrix.

@@ -161,6 +161,27 @@ impl Mat {
         self.data
     }
 
+    /// Reshapes to `rows × cols` and zero-fills, reusing the backing
+    /// allocation whenever its capacity suffices. This is the entry point of
+    /// every `_into` kernel: an output buffer threaded through a training
+    /// loop reaches its steady-state capacity once and is never reallocated
+    /// again.
+    pub fn reset_to_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an element-wise copy of `src` (shape included), reusing
+    /// the backing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, src: &Mat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Iterator over rows as slices.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1))
@@ -194,11 +215,36 @@ impl Mat {
 
     /// Extracts the sub-matrix consisting of the given rows, in order.
     pub fn select_rows(&self, indices: &[usize]) -> Self {
-        let mut out = Self::zeros(indices.len(), self.cols);
+        let mut out = Self::default();
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Mat::select_rows`] written into `out` (reshaped, buffer reused).
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Self) {
+        out.reset_to_zeros(indices.len(), self.cols);
         for (r, &i) in indices.iter().enumerate() {
             out.row_mut(r).copy_from_slice(self.row(i));
         }
-        out
+    }
+
+    /// Copies `src` into the column block `[col_offset, col_offset + src.cols())`
+    /// of `self` (same row count). The block-write primitive behind
+    /// single-pass multi-scale propagation: each scale is snapshotted into
+    /// its slot of the concatenated output without intermediate matrices.
+    pub fn copy_into_columns(&mut self, col_offset: usize, src: &Mat) {
+        assert_eq!(self.rows, src.rows, "copy_into_columns: row mismatch");
+        assert!(
+            col_offset + src.cols <= self.cols,
+            "copy_into_columns: block [{}, {}) exceeds {} columns",
+            col_offset,
+            col_offset + src.cols,
+            self.cols
+        );
+        for i in 0..self.rows {
+            let dst = &mut self.row_mut(i)[col_offset..col_offset + src.cols];
+            dst.copy_from_slice(src.row(i));
+        }
     }
 
     /// Horizontally concatenates `self` and `other` (same row count).
@@ -265,20 +311,22 @@ impl Mat {
     }
 }
 
+impl Default for Mat {
+    /// The empty `0 × 0` matrix — the canonical starting state of a
+    /// reusable buffer (every `_into` kernel reshapes it on first use).
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl fmt::Debug for Mat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
         let show = self.rows.min(6);
         for i in 0..show {
             let row = self.row(i);
-            let cells: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:.4}")).collect();
-            writeln!(
-                f,
-                "  [{}{}]",
-                cells.join(", "),
-                if self.cols > 8 { ", …" } else { "" }
-            )?;
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
         }
         if self.rows > show {
             writeln!(f, "  …")?;

@@ -1,19 +1,26 @@
 //! Matrix-matrix and matrix-scalar operations, including the threaded GEMM
 //! used by every training loop in the workspace.
+//!
+//! The parallel kernels run on the persistent `gcon-runtime` worker pool
+//! (one pool for the whole process; width from `GCON_THREADS` or the
+//! hardware). Each allocating kernel has a buffer-reusing `_into` twin so
+//! steady-state training loops perform no per-iteration allocation.
 
 use crate::Mat;
 
-/// Number of worker threads for the parallel kernels. Matmul over row blocks
-/// is embarrassingly parallel; we cap at 8 since the matrices in this workload
-/// (≤ ~20k × ~3k) saturate memory bandwidth quickly.
-fn n_threads(rows: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min(8).min(rows.max(1))
+/// `C = A · B` with an i-k-j loop order (streams rows of B, writes rows of C),
+/// parallelized over row blocks of A on the shared runtime pool.
+pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+    // `matmul_into` shapes and zero-fills; starting empty avoids a
+    // redundant full-size zero write.
+    let mut c = Mat::default();
+    matmul_into(a, b, &mut c);
+    c
 }
 
-/// `C = A · B` with an i-k-j loop order (streams rows of B, writes rows of C),
-/// parallelized over row blocks of A with scoped threads.
-pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+/// `C = A · B` written into `c`, which is reshaped (reusing its backing
+/// buffer when capacity allows) to `a.rows() × b.cols()`.
+pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -25,28 +32,10 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
     );
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut c = Mat::zeros(m, n);
-    if n == 0 || m == 0 {
-        return c;
-    }
-    let threads = n_threads(m);
-    if threads <= 1 || m * k * n < 1 << 16 {
-        matmul_block(a, b, c.as_mut_slice(), 0, m);
-        return c;
-    }
-    let chunk = m.div_ceil(threads);
-    let c_slice = c.as_mut_slice();
-    crossbeam::thread::scope(|scope| {
-        for (t, out) in c_slice.chunks_mut(chunk * n).enumerate() {
-            let start = t * chunk;
-            let end = (start + out.len() / n).min(m);
-            scope.spawn(move |_| {
-                matmul_block(a, b, out, start, end);
-            });
-        }
-    })
-    .expect("matmul worker panicked");
-    c
+    c.reset_to_zeros(m, n);
+    gcon_runtime::parallel_rows(c.as_mut_slice(), m, n, m * k * n, |block, start, end| {
+        matmul_block(a, b, block, start, end);
+    });
 }
 
 /// Computes rows `[start, end)` of `A · B` into `out` (local row-major block).
@@ -72,10 +61,17 @@ fn matmul_block(a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize) {
 /// This is the shape that appears in every weight gradient of the manual
 /// backprop stack (`∂L/∂W = Xᵀ · δ`).
 pub fn t_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::default();
+    t_matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = Aᵀ · B` written into `c` (reshaped to `a.cols() × b.cols()`).
+pub fn t_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.rows(), b.rows(), "t_matmul: row mismatch");
     let (n_samples, d_in) = a.shape();
     let d_out = b.cols();
-    let mut c = Mat::zeros(d_in, d_out);
+    c.reset_to_zeros(d_in, d_out);
     let cs = c.as_mut_slice();
     for i in 0..n_samples {
         let arow = a.row(i);
@@ -90,23 +86,31 @@ pub fn t_matmul(a: &Mat, b: &Mat) -> Mat {
             }
         }
     }
-    c
 }
 
 /// `C = A · Bᵀ` without materializing the transpose (pairwise row dots).
 pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::default();
+    matmul_bt_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · Bᵀ` written into `c` (reshaped to `a.rows() × b.rows()`),
+/// parallelized over row blocks of A on the shared runtime pool.
+pub fn matmul_bt_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.cols(), b.cols(), "matmul_bt: column mismatch");
     let m = a.rows();
     let n = b.rows();
-    let mut c = Mat::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (j, cv) in crow.iter_mut().enumerate() {
-            *cv = crate::vecops::dot(arow, b.row(j));
+    let k = a.cols();
+    c.reset_to_zeros(m, n);
+    gcon_runtime::parallel_rows(c.as_mut_slice(), m, n, m * k * n, |block, start, _end| {
+        for (local, crow) in block.chunks_mut(n.max(1)).enumerate() {
+            let arow = a.row(start + local);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = crate::vecops::dot(arow, b.row(j));
+            }
         }
-    }
-    c
+    });
 }
 
 /// Element-wise `A + B`.

@@ -11,13 +11,20 @@ pub fn row_sums(m: &Mat) -> Vec<f64> {
 
 /// Sum of each column.
 pub fn col_sums(m: &Mat) -> Vec<f64> {
-    let mut out = vec![0.0; m.cols()];
+    let mut out = Vec::new();
+    col_sums_into(m, &mut out);
+    out
+}
+
+/// Sum of each column written into `out` (resized, allocation reused).
+pub fn col_sums_into(m: &Mat, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(m.cols(), 0.0);
     for row in m.rows_iter() {
         for (o, &v) in out.iter_mut().zip(row) {
             *o += v;
         }
     }
-    out
 }
 
 /// L2 norm of each row.

@@ -91,8 +91,7 @@ mod tests {
     #[test]
     fn derivatives_match_finite_differences() {
         let h = 1e-6;
-        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity]
-        {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
             for &x in &[-2.0, -0.5, 0.3, 1.7] {
                 let y = act.apply_scalar(x);
                 let fd = (act.apply_scalar(x + h) - act.apply_scalar(x - h)) / (2.0 * h);

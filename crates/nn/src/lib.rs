@@ -24,6 +24,6 @@ pub mod mlp;
 pub mod optim;
 
 pub use activations::Activation;
-pub use linear::Linear;
-pub use mlp::{Mlp, MlpConfig};
+pub use linear::{Linear, LinearGrads};
+pub use mlp::{Mlp, MlpConfig, MlpWorkspace};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -21,6 +21,14 @@ pub struct LinearGrads {
     pub db: Vec<f64>,
 }
 
+impl LinearGrads {
+    /// Zero-valued gradients shaped for a `d_in × d_out` layer — the
+    /// starting state of a reusable gradient buffer.
+    pub fn zeros(d_in: usize, d_out: usize) -> Self {
+        Self { dw: Mat::zeros(d_in, d_out), db: vec![0.0; d_out] }
+    }
+}
+
 impl Linear {
     /// Glorot/Xavier-uniform initialization: `U(±√(6/(d_in+d_out)))`.
     pub fn xavier<R: Rng + ?Sized>(d_in: usize, d_out: usize, rng: &mut R) -> Self {
@@ -46,25 +54,48 @@ impl Linear {
 
     /// Forward pass `Y = X·W + b`.
     pub fn forward(&self, x: &Mat) -> Mat {
-        let mut y = ops::matmul(x, &self.w);
+        let mut y = Mat::default();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Forward pass written into `y` (reshaped, backing buffer reused).
+    pub fn forward_into(&self, x: &Mat, y: &mut Mat) {
+        ops::matmul_into(x, &self.w, y);
         for i in 0..y.rows() {
             let row = y.row_mut(i);
             for (v, &bv) in row.iter_mut().zip(&self.b) {
                 *v += bv;
             }
         }
-        y
     }
 
     /// Backward pass. Given the layer input `x` and the upstream gradient
     /// `dy = ∂L/∂Y`, returns `(∂L/∂X, gradients)`.
     pub fn backward(&self, x: &Mat, dy: &Mat) -> (Mat, LinearGrads) {
+        let mut dx = Mat::default();
+        let mut grads = LinearGrads::zeros(0, 0);
+        self.backward_into(x, dy, &mut dx, &mut grads);
+        (dx, grads)
+    }
+
+    /// Backward pass into caller-owned buffers: `dx` receives `∂L/∂X` and
+    /// `grads` receives the weight/bias gradients. All three backing buffers
+    /// are reused across calls (the epoch loop's steady state performs no
+    /// gradient allocation).
+    pub fn backward_into(&self, x: &Mat, dy: &Mat, dx: &mut Mat, grads: &mut LinearGrads) {
+        self.backward_weights_into(x, dy, grads);
+        ops::matmul_bt_into(dy, &self.w, dx);
+    }
+
+    /// Weight/bias gradients only — skips the `∂L/∂X = δ·Wᵀ` product. Use
+    /// for the first layer of a network whose input gradient nobody reads
+    /// (it is a full `n × d_in` GEMM that would be discarded).
+    pub fn backward_weights_into(&self, x: &Mat, dy: &Mat, grads: &mut LinearGrads) {
         assert_eq!(x.rows(), dy.rows(), "backward: batch mismatch");
         assert_eq!(dy.cols(), self.d_out(), "backward: output dim mismatch");
-        let dw = ops::t_matmul(x, dy);
-        let db = gcon_linalg::reduce::col_sums(dy);
-        let dx = ops::matmul_bt(dy, &self.w);
-        (dx, LinearGrads { dw, db })
+        ops::t_matmul_into(x, dy, &mut grads.dw);
+        gcon_linalg::reduce::col_sums_into(dy, &mut grads.db);
     }
 
     /// Squared Frobenius norm of the weights (for L2 regularization; biases

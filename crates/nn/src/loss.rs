@@ -13,11 +13,19 @@ use gcon_linalg::{vecops, Mat};
 /// Returns `(loss, ∂loss/∂logits)`; the gradient is the classic
 /// `(softmax(logits) − onehot) / n`.
 pub fn softmax_cross_entropy(logits: &Mat, labels: &[usize]) -> (f64, Mat) {
+    let mut grad = Mat::zeros(0, 0);
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] with the gradient written into a caller-owned
+/// buffer (reshaped, backing allocation reused across epochs).
+pub fn softmax_cross_entropy_into(logits: &Mat, labels: &[usize], grad: &mut Mat) -> f64 {
     let n = logits.rows();
     assert_eq!(labels.len(), n, "softmax_cross_entropy: label count mismatch");
     assert!(n > 0, "softmax_cross_entropy: empty batch");
     let c = logits.cols();
-    let mut grad = Mat::zeros(n, c);
+    grad.reset_to_zeros(n, c);
     let mut loss = 0.0;
     let mut probs = vec![0.0; c];
     for (i, &y) in labels.iter().enumerate() {
@@ -31,7 +39,7 @@ pub fn softmax_cross_entropy(logits: &Mat, labels: &[usize]) -> (f64, Mat) {
         }
         grow[y] -= 1.0 / n as f64;
     }
-    (loss / n as f64, grad)
+    loss / n as f64
 }
 
 /// Mean squared error `‖pred − target‖²_F / (2n)` with gradient.
@@ -50,9 +58,8 @@ pub fn accuracy(logits: &Mat, labels: &[usize]) -> f64 {
     if labels.is_empty() {
         return 0.0;
     }
-    let correct = (0..logits.rows())
-        .filter(|&i| vecops::argmax(logits.row(i)) == labels[i])
-        .count();
+    let correct =
+        (0..logits.rows()).filter(|&i| vecops::argmax(logits.row(i)) == labels[i]).count();
     correct as f64 / labels.len() as f64
 }
 

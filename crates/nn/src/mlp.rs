@@ -7,10 +7,54 @@
 
 use crate::activations::Activation;
 use crate::linear::{Linear, LinearGrads};
-use crate::loss::softmax_cross_entropy;
+use crate::loss::softmax_cross_entropy_into;
 use crate::optim::{Adam, Optimizer};
 use gcon_linalg::Mat;
 use rand::Rng;
+
+/// Reusable buffers for one network's forward/backward sweep.
+///
+/// A training loop owns one workspace per network and threads it through
+/// [`Mlp::forward_cached_ws`] / [`Mlp::backward_ws`]; after the first epoch
+/// every buffer has reached its steady-state capacity and no per-iteration
+/// matrix allocation happens. A fresh (empty) workspace is valid for any
+/// network — buffers are shaped on first use.
+#[derive(Clone, Debug, Default)]
+pub struct MlpWorkspace {
+    /// Post-activation cache `[x, a₁, …, a_L]`.
+    cache: Vec<Mat>,
+    /// Upstream-gradient ping-pong pair for the backward sweep.
+    delta: Mat,
+    delta_next: Mat,
+    /// One gradient slot per layer (front to back).
+    grads: Vec<LinearGrads>,
+}
+
+impl MlpWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The network output of the last [`Mlp::forward_cached_ws`] call.
+    ///
+    /// # Panics
+    /// Panics if no forward pass has been run through this workspace.
+    pub fn output(&self) -> &Mat {
+        self.cache.last().expect("MlpWorkspace::output: no forward pass recorded")
+    }
+
+    /// Gradient w.r.t. the network *input* from the last
+    /// [`Mlp::backward_ws`] call.
+    pub fn input_grad(&self) -> &Mat {
+        &self.delta
+    }
+
+    /// Per-layer gradients from the last [`Mlp::backward_ws`] call.
+    pub fn grads(&self) -> &[LinearGrads] {
+        &self.grads
+    }
+}
 
 /// Architecture description for an [`Mlp`].
 #[derive(Clone, Debug)]
@@ -26,11 +70,7 @@ pub struct MlpConfig {
 impl MlpConfig {
     /// ReLU hidden layers and raw-logit output.
     pub fn relu_classifier(dims: Vec<usize>) -> Self {
-        Self {
-            dims,
-            hidden_activation: Activation::Relu,
-            output_activation: Activation::Identity,
-        }
+        Self { dims, hidden_activation: Activation::Relu, output_activation: Activation::Identity }
     }
 }
 
@@ -116,6 +156,61 @@ impl Mlp {
         cache
     }
 
+    /// Forward pass with caches written into `ws` (buffer-reusing twin of
+    /// [`Mlp::forward_cached`]); the output is `ws.output()`.
+    pub fn forward_cached_ws(&self, x: &Mat, ws: &mut MlpWorkspace) {
+        ws.cache.resize_with(self.layers.len() + 1, || Mat::zeros(0, 0));
+        ws.cache[0].copy_from(x);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (before, after) = ws.cache.split_at_mut(l + 1);
+            layer.forward_into(&before[l], &mut after[0]);
+            self.activation_at(l).apply(&mut after[0]);
+        }
+    }
+
+    /// Backward pass from `dout = ∂L/∂output`, the buffer-reusing twin of
+    /// [`Mlp::backward`]. Per-layer gradients land in `ws.grads()` and the
+    /// input gradient in `ws.input_grad()`.
+    pub fn backward_ws(&self, ws: &mut MlpWorkspace, dout: &Mat) {
+        self.backward_ws_impl(ws, dout, true);
+    }
+
+    /// [`Mlp::backward_ws`] without the layer-0 input-gradient product.
+    ///
+    /// Training loops that own the network's raw input (every epoch loop in
+    /// the workspace) never read `∂L/∂input`, yet computing it is a full
+    /// `n × d_in` GEMM per step — the weights-only form skips it.
+    /// `ws.input_grad()` is NOT meaningful after this call.
+    pub fn backward_ws_weights_only(&self, ws: &mut MlpWorkspace, dout: &Mat) {
+        self.backward_ws_impl(ws, dout, false);
+    }
+
+    fn backward_ws_impl(&self, ws: &mut MlpWorkspace, dout: &Mat, need_input_grad: bool) {
+        assert_eq!(
+            ws.cache.len(),
+            self.layers.len() + 1,
+            "backward_ws: run forward_cached_ws first"
+        );
+        // Match the slot count to *this* network (truncating too, so one
+        // workspace can be reused across networks of different depth).
+        ws.grads.resize_with(self.layers.len(), || LinearGrads::zeros(0, 0));
+        ws.delta.copy_from(dout);
+        for l in (0..self.layers.len()).rev() {
+            self.activation_at(l).backprop_inplace(&ws.cache[l + 1], &mut ws.delta);
+            if l == 0 && !need_input_grad {
+                self.layers[0].backward_weights_into(&ws.cache[0], &ws.delta, &mut ws.grads[0]);
+            } else {
+                self.layers[l].backward_into(
+                    &ws.cache[l],
+                    &ws.delta,
+                    &mut ws.delta_next,
+                    &mut ws.grads[l],
+                );
+                std::mem::swap(&mut ws.delta, &mut ws.delta_next);
+            }
+        }
+    }
+
     /// Backward pass from the gradient w.r.t. the network *output*
     /// (post-activation). Returns the gradient w.r.t. the input and one
     /// [`LinearGrads`] per layer (front to back).
@@ -133,12 +228,14 @@ impl Mlp {
     }
 
     /// Applies gradients with the given optimizer; `weight_decay` adds
-    /// `wd · W` to each weight gradient (biases are not decayed). Parameter
-    /// tensors are registered with the optimizer starting at `base_idx`
-    /// (2 slots per layer), so several networks can share one optimizer.
+    /// `wd · W` to each weight gradient **in place** (biases are not
+    /// decayed — gradients are per-step scratch, so no defensive copy is
+    /// made). Parameter tensors are registered with the optimizer starting
+    /// at `base_idx` (2 slots per layer), so several networks can share one
+    /// optimizer.
     pub fn apply_grads(
         &mut self,
-        grads: &[LinearGrads],
+        grads: &mut [LinearGrads],
         opt: &mut dyn Optimizer,
         weight_decay: f64,
         base_idx: usize,
@@ -146,14 +243,22 @@ impl Mlp {
         assert_eq!(grads.len(), self.layers.len());
         for (l, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
             if weight_decay > 0.0 {
-                let mut dw = g.dw.clone();
-                gcon_linalg::ops::add_scaled_assign(&mut dw, weight_decay, &layer.w);
-                opt.update(base_idx + 2 * l, layer.w.as_mut_slice(), dw.as_slice());
-            } else {
-                opt.update(base_idx + 2 * l, layer.w.as_mut_slice(), g.dw.as_slice());
+                gcon_linalg::ops::add_scaled_assign(&mut g.dw, weight_decay, &layer.w);
             }
+            opt.update(base_idx + 2 * l, layer.w.as_mut_slice(), g.dw.as_slice());
             opt.update(base_idx + 2 * l + 1, &mut layer.b, &g.db);
         }
+    }
+
+    /// [`Mlp::apply_grads`] over the gradients held in `ws`.
+    pub fn apply_grads_ws(
+        &mut self,
+        ws: &mut MlpWorkspace,
+        opt: &mut dyn Optimizer,
+        weight_decay: f64,
+        base_idx: usize,
+    ) {
+        self.apply_grads(&mut ws.grads, opt, weight_decay, base_idx);
     }
 
     /// Total number of scalar parameters.
@@ -173,12 +278,14 @@ impl Mlp {
     ) -> Vec<f64> {
         let mut opt = Adam::new(lr);
         let mut losses = Vec::with_capacity(epochs);
+        let mut ws = MlpWorkspace::new();
+        let mut dlogits = Mat::zeros(0, 0);
         for _ in 0..epochs {
-            let cache = self.forward_cached(x);
-            let (loss, dlogits) = softmax_cross_entropy(cache.last().unwrap(), labels);
-            let (_, grads) = self.backward(&cache, dlogits);
+            self.forward_cached_ws(x, &mut ws);
+            let loss = softmax_cross_entropy_into(ws.output(), labels, &mut dlogits);
+            self.backward_ws_weights_only(&mut ws, &dlogits);
             opt.begin_step();
-            self.apply_grads(&grads, &mut opt, weight_decay, 0);
+            self.apply_grads_ws(&mut ws, &mut opt, weight_decay, 0);
             losses.push(loss);
         }
         losses
@@ -211,15 +318,20 @@ impl Mlp {
         let mut best_weights: Option<Vec<Linear>> = None;
         let mut stale = 0usize;
         let mut epochs_run = 0usize;
+        let mut ws = MlpWorkspace::new();
+        let mut val_ws = MlpWorkspace::new();
+        let mut dlogits = Mat::zeros(0, 0);
+        let mut val_grad = Mat::zeros(0, 0);
         for epoch in 0..max_epochs {
             epochs_run = epoch + 1;
-            let cache = self.forward_cached(x_train);
-            let (_, dlogits) = softmax_cross_entropy(cache.last().unwrap(), y_train);
-            let (_, grads) = self.backward(&cache, dlogits);
+            self.forward_cached_ws(x_train, &mut ws);
+            let _ = softmax_cross_entropy_into(ws.output(), y_train, &mut dlogits);
+            self.backward_ws_weights_only(&mut ws, &dlogits);
             opt.begin_step();
-            self.apply_grads(&grads, &mut opt, weight_decay, 0);
+            self.apply_grads_ws(&mut ws, &mut opt, weight_decay, 0);
 
-            let (val_loss, _) = softmax_cross_entropy(&self.forward(x_val), y_val);
+            self.forward_cached_ws(x_val, &mut val_ws);
+            let val_loss = softmax_cross_entropy_into(val_ws.output(), y_val, &mut val_grad);
             if val_loss < best_loss - 1e-12 {
                 best_loss = val_loss;
                 best_weights = Some(self.layers.clone());
@@ -241,6 +353,7 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loss::softmax_cross_entropy;
     use gcon_linalg::ops;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -331,7 +444,8 @@ mod tests {
         // 30% label noise: as the net drives the train loss to zero it grows
         // over-confident on exactly these points, so the validation loss
         // eventually rises — the regime early stopping exists for.
-        let y_val: Vec<usize> = (0..20).map(|i| if i % 3 == 0 { (i + 1) % 2 } else { i % 2 }).collect();
+        let y_val: Vec<usize> =
+            (0..20).map(|i| if i % 3 == 0 { (i + 1) % 2 } else { i % 2 }).collect();
         let mut mlp = Mlp::new(&MlpConfig::relu_classifier(vec![4, 32, 2]), &mut rng);
         let (epochs, best) = mlp.train_cross_entropy_early_stopping(
             &x_train, &y_train, &x_val, &y_val, 2000, 25, 0.05, 0.0,
@@ -340,6 +454,38 @@ mod tests {
         // The restored weights reproduce the reported best validation loss.
         let (val_loss, _) = softmax_cross_entropy(&mlp.forward(&x_val), &y_val);
         assert!((val_loss - best).abs() < 1e-9, "restored {val_loss} vs best {best}");
+    }
+
+    /// One workspace reused across networks of different depth (and the
+    /// workspace path must reproduce the allocating path bit-for-bit).
+    #[test]
+    fn workspace_reuse_across_depths_matches_allocating_path() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let deep = Mlp::new(&MlpConfig::relu_classifier(vec![4, 8, 6, 2]), &mut rng);
+        let shallow = Mlp::new(&MlpConfig::relu_classifier(vec![4, 5, 2]), &mut rng);
+        let x = Mat::uniform(6, 4, 1.0, &mut rng);
+        let dout = Mat::uniform(6, 2, 1.0, &mut rng);
+        let mut ws = MlpWorkspace::new();
+        // Deep first so the workspace holds 3 grad slots, then shallow: the
+        // slot count must shrink to 2, not panic in apply_grads.
+        for net in [&deep, &shallow] {
+            net.forward_cached_ws(&x, &mut ws);
+            let cache = net.forward_cached(&x);
+            assert_eq!(ws.output().as_slice(), cache.last().unwrap().as_slice());
+            net.backward_ws(&mut ws, &dout);
+            let (dx, grads) = net.backward(&cache, dout.clone());
+            assert_eq!(ws.grads().len(), net.depth());
+            assert_eq!(ws.input_grad().as_slice(), dx.as_slice());
+            for (a, b) in ws.grads().iter().zip(&grads) {
+                assert_eq!(a.dw.as_slice(), b.dw.as_slice());
+                assert_eq!(a.db, b.db);
+            }
+        }
+        let mut net = shallow.clone();
+        let mut opt = Adam::new(0.01);
+        opt.begin_step();
+        net.apply_grads_ws(&mut ws, &mut opt, 0.1, 0);
+        assert!(net.layers[0].w.is_finite());
     }
 
     #[test]
@@ -354,14 +500,14 @@ mod tests {
         for _ in 0..3 {
             let ca = a.forward_cached(&x);
             let (_, la) = softmax_cross_entropy(ca.last().unwrap(), &[0, 1, 0, 1]);
-            let (_, ga) = a.backward(&ca, la);
+            let (_, mut ga) = a.backward(&ca, la);
             let cb = b.forward_cached(&x);
             let (_, lb) = softmax_cross_entropy(cb.last().unwrap(), &[1, 0, 1, 0]);
-            let (_, gb) = b.backward(&cb, lb);
+            let (_, mut gb) = b.backward(&cb, lb);
             opt.begin_step();
             let slots_a = 2 * a.depth();
-            a.apply_grads(&ga, &mut opt, 0.0, 0);
-            b.apply_grads(&gb, &mut opt, 0.0, slots_a);
+            a.apply_grads(&mut ga, &mut opt, 0.0, 0);
+            b.apply_grads(&mut gb, &mut opt, 0.0, slots_a);
         }
         // Nothing blew up and weights stayed finite.
         assert!(a.layers[0].w.is_finite());

@@ -173,7 +173,7 @@ mod tests {
     }
 
     #[test]
-    fn adam_handles_multiple_params_independently(){
+    fn adam_handles_multiple_params_independently() {
         let mut opt = Adam::new(0.1);
         let mut a = [0.0_f64; 2];
         let mut b = [0.0_f64; 3];

@@ -1,0 +1,459 @@
+#![warn(missing_docs)]
+//! Shared execution layer for the GCON workspace.
+//!
+//! Every hot kernel in the workspace — dense GEMM (`gcon-linalg`), the
+//! sparse×dense product behind graph convolution (`gcon-graph`), and the
+//! APPR/PPR propagation recursion (`gcon-core`) — parallelizes the same way:
+//! split the output rows into contiguous blocks and hand each block to a
+//! thread. Before this crate existed each call site spawned a fresh scoped
+//! thread per block, paying thread start-up and teardown on every product of
+//! every training iteration.
+//!
+//! [`pool()`] instead exposes one lazily-initialized, process-wide worker
+//! pool. Kernels submit row-block jobs through [`parallel_rows`] (or the
+//! lower-level [`Pool::run`]); workers are parked between jobs and reused
+//! across calls, so the steady-state cost of a parallel kernel is one
+//! condvar wake-up instead of `threads` × `spawn`.
+//!
+//! The pool width defaults to the hardware parallelism and can be pinned
+//! with the `GCON_THREADS` environment variable (read once, at first use;
+//! `GCON_THREADS=1` disables worker threads entirely, which also makes
+//! execution deterministic in thread count for profiling).
+//!
+//! Work submitted while *on* a pool worker (nested parallelism) runs inline
+//! on the calling thread — the pool never deadlocks on reentrancy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Minimum number of scalar operations (e.g. `nnz · d` or `m·k·n`) below
+/// which parallel kernels should run single-threaded; splitting tiny
+/// products across threads costs more in wake-ups than it saves.
+pub const PAR_THRESHOLD: usize = 1 << 16;
+
+/// A chunked job: workers repeatedly claim chunk indices from `cursor` until
+/// `num_chunks` is exhausted, calling the type-erased closure on each.
+struct Job {
+    /// Type-erased `&(dyn Fn(usize) + Sync)` with the lifetime transmuted
+    /// away. Valid only while the submitting `Pool::run` call is blocked,
+    /// which `Pool::run` guarantees by waiting for all workers to retire the
+    /// job before returning.
+    func: *const (dyn Fn(usize) + Sync),
+    cursor: AtomicUsize,
+    num_chunks: usize,
+}
+
+// SAFETY: `func` points at a `Sync` closure, and the raw pointer is only
+// dereferenced while the submitting thread keeps the closure alive.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until the cursor runs out.
+    fn drain(&self) {
+        let f = unsafe { &*self.func };
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.num_chunks {
+                return;
+            }
+            f(i);
+        }
+    }
+}
+
+/// State shared between the submitting thread and the workers.
+struct Shared {
+    slot: Mutex<JobSlot>,
+    /// Workers wait here for a new generation.
+    work_cv: Condvar,
+    /// The submitter waits here for `active` to reach zero.
+    done_cv: Condvar,
+}
+
+struct JobSlot {
+    /// Incremented once per submitted job so parked workers can tell a new
+    /// job from a spurious wake-up.
+    generation: u64,
+    job: Option<Arc<Job>>,
+    /// Workers still attached to the current generation.
+    active: usize,
+    /// Set when any worker's chunk closure panicked during this generation.
+    panicked: bool,
+    /// Set by `Pool::drop`; workers exit their loop on the next wake-up.
+    shutting_down: bool,
+}
+
+/// Locks a pool mutex, recovering from poisoning. Safe here because every
+/// critical section only performs single-field assignments on the job-slot
+/// bookkeeping (no invariant can be left half-updated by a panic), and job
+/// panics themselves are caught before any lock is taken.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    /// True on pool worker threads; used to run nested submissions inline.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// True while this thread is inside `Pool::run` draining its own job.
+    /// A chunk closure that submits again would self-deadlock on the
+    /// non-reentrant `submit` mutex, so such nested submissions run inline.
+    static IS_SUBMITTING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The persistent worker pool. Obtain the process-wide instance with
+/// [`pool()`]; constructing additional pools is possible (mostly for tests)
+/// via [`Pool::with_threads`].
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Number of background workers (the submitting thread also participates,
+    /// so total parallelism is `workers + 1`).
+    workers: usize,
+    /// Serializes submissions from different threads.
+    submit: Mutex<()>,
+    /// Worker join handles, reclaimed by `Drop`.
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Builds a pool with `width` total threads of parallelism
+    /// (`width - 1` background workers; the caller is the last lane).
+    pub fn with_threads(width: usize) -> Self {
+        let workers = width.max(1) - 1;
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(JobSlot {
+                generation: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutting_down: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gcon-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("gcon-runtime: failed to spawn worker thread")
+            })
+            .collect();
+        Self { shared, workers, submit: Mutex::new(()), handles }
+    }
+
+    /// Total parallel width (background workers + the submitting thread).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.workers + 1
+    }
+
+    /// Runs `f(0), f(1), …, f(num_chunks - 1)` across the pool, returning
+    /// once every chunk has completed. Chunks are claimed dynamically, so
+    /// uneven chunk costs balance automatically.
+    ///
+    /// Calls from within a pool worker (nested parallelism) and trivial jobs
+    /// (`num_chunks <= 1`, or a pool with no workers) run inline.
+    pub fn run(&self, num_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if num_chunks == 0 {
+            return;
+        }
+        let nested = IS_POOL_WORKER.with(|w| w.get()) || IS_SUBMITTING.with(|s| s.get());
+        if num_chunks == 1 || self.workers == 0 || nested {
+            for i in 0..num_chunks {
+                f(i);
+            }
+            return;
+        }
+        let _submission = lock_ignore_poison(&self.submit);
+        // SAFETY: we erase the closure's lifetime to park it in the shared
+        // slot; `run` does not return — or unwind — until every worker has
+        // retired the job (active == 0): the submitter's own drain runs
+        // under catch_unwind and the join loop below executes on both the
+        // normal and the panic path, so the borrow outlives all uses.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        let job = Arc::new(Job { func: erased, cursor: AtomicUsize::new(0), num_chunks });
+        {
+            let mut slot = lock_ignore_poison(&self.shared.slot);
+            slot.generation += 1;
+            slot.job = Some(Arc::clone(&job));
+            slot.active = self.workers;
+            slot.panicked = false;
+        }
+        self.shared.work_cv.notify_all();
+        // The submitting thread is a full participant. A panicking chunk
+        // must not unwind past the job while workers still hold the erased
+        // pointer, so capture it and re-raise only after the join. The
+        // IS_SUBMITTING flag routes any nested submission from a chunk on
+        // this thread to the inline path above.
+        IS_SUBMITTING.with(|s| s.set(true));
+        let caller_panic =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.drain())).err();
+        IS_SUBMITTING.with(|s| s.set(false));
+        let worker_panicked = {
+            let mut slot = lock_ignore_poison(&self.shared.slot);
+            while slot.active > 0 {
+                slot = self.shared.done_cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+            }
+            slot.job = None;
+            slot.panicked
+        };
+        if let Some(panic) = caller_panic {
+            std::panic::resume_unwind(panic);
+        }
+        assert!(!worker_panicked, "gcon-runtime: a pool worker panicked while running a job");
+    }
+}
+
+impl Drop for Pool {
+    /// Parks no thread forever: wakes every worker with the shutdown flag
+    /// and joins them, so ad-hoc pools (tests, scoped tools) release their
+    /// OS threads. The process-wide [`pool()`] instance is never dropped.
+    fn drop(&mut self) {
+        {
+            let mut slot = lock_ignore_poison(&self.shared.slot);
+            slot.shutting_down = true;
+            slot.generation += 1;
+            slot.job = None;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock_ignore_poison(&shared.slot);
+            while slot.generation == seen_generation {
+                slot = shared.work_cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+            }
+            if slot.shutting_down {
+                return;
+            }
+            seen_generation = slot.generation;
+            slot.job.clone()
+        };
+        // A panicking job must not kill the worker before it checks in:
+        // that would leave `active > 0` forever and deadlock the submitter.
+        // Catch, record, and let the submitter re-raise after the join.
+        let panicked = if let Some(job) = job {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.drain())).is_err()
+        } else {
+            false
+        };
+        let mut slot = lock_ignore_poison(&shared.slot);
+        slot.panicked |= panicked;
+        slot.active -= 1;
+        if slot.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// The process-wide pool, created on first use.
+///
+/// Width is `GCON_THREADS` when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::with_threads(configured_width()))
+}
+
+/// The pool width [`pool()`] uses (without forcing pool creation). The
+/// environment is consulted once and cached — this sits on every kernel's
+/// inline-vs-parallel decision.
+pub fn configured_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        std::env::var("GCON_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// Splits the row-major buffer `out` (`n` rows × `d` columns) into contiguous
+/// row blocks and invokes `f(block, start_row, end_row)` for each block in
+/// parallel on the process-wide pool. `block` covers exactly rows
+/// `[start_row, end_row)` of `out`.
+///
+/// `work` is the caller's estimate of total scalar operations; jobs below
+/// [`PAR_THRESHOLD`] run inline on the calling thread. Degenerate shapes
+/// (`n == 0` or `d == 0`) return immediately without invoking `f`.
+pub fn parallel_rows<F>(out: &mut [f64], n: usize, d: usize, work: usize, f: F)
+where
+    F: Fn(&mut [f64], usize, usize) + Sync,
+{
+    assert_eq!(out.len(), n * d, "parallel_rows: buffer is not n × d");
+    if n == 0 || d == 0 {
+        return;
+    }
+    // Decide inline-vs-parallel from the configured width so that a process
+    // doing only sub-threshold work never pays pool startup.
+    let threads = configured_width().min(n);
+    if threads <= 1 || work < PAR_THRESHOLD {
+        f(out, 0, n);
+        return;
+    }
+    let pool = pool();
+    // Over-decompose relative to the thread count so dynamic chunk claiming
+    // can balance uneven rows (e.g. skewed CSR degree distributions).
+    let chunks = (threads * 4).min(n);
+    let rows_per_chunk = n.div_ceil(chunks);
+    // Raw-pointer newtype so the closure can share the base across threads
+    // without an int-to-pointer round trip (provenance-preserving).
+    struct BasePtr(*mut f64);
+    unsafe impl Send for BasePtr {}
+    unsafe impl Sync for BasePtr {}
+    impl BasePtr {
+        // Accessor (rather than direct field use in the closure) so the
+        // closure captures the Sync newtype, not the raw `*mut f64` field.
+        fn get(&self) -> *mut f64 {
+            self.0
+        }
+    }
+    let base = BasePtr(out.as_mut_ptr());
+    let run = |chunk: usize| {
+        let start = chunk * rows_per_chunk;
+        let end = ((chunk + 1) * rows_per_chunk).min(n);
+        if start >= end {
+            return;
+        }
+        // SAFETY: chunks index disjoint row ranges of `out`, and `out` is
+        // borrowed mutably for the duration of `pool.run`.
+        let block =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(start * d), (end - start) * d) };
+        f(block, start, end);
+    };
+    pool.run(start_to_chunks(n, rows_per_chunk), &run);
+}
+
+#[inline]
+fn start_to_chunks(n: usize, rows_per_chunk: usize) -> usize {
+    n.div_ceil(rows_per_chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_rows_fills_every_row_once() {
+        let n = 1000;
+        let d = 100; // n * d > PAR_THRESHOLD → parallel path
+        let mut out = vec![0.0; n * d];
+        parallel_rows(&mut out, n, d, n * d, |block, start, end| {
+            assert_eq!(block.len(), (end - start) * d);
+            for (r, row) in block.chunks_mut(d).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (start + r) as f64;
+                }
+            }
+        });
+        for (i, row) in out.chunks(d).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f64), "row {i} wrong or touched twice");
+        }
+    }
+
+    #[test]
+    fn parallel_rows_small_work_runs_inline() {
+        let mut out = vec![0.0; 4 * 2];
+        parallel_rows(&mut out, 4, 2, 8, |block, start, end| {
+            assert_eq!((start, end), (0, 4));
+            block.fill(1.0);
+        });
+        assert!(out.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn parallel_rows_degenerate_shapes() {
+        let mut empty: Vec<f64> = Vec::new();
+        parallel_rows(&mut empty, 0, 5, 0, |_, _, _| panic!("must not run"));
+        parallel_rows(&mut empty, 5, 0, 0, |_, _, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn pool_run_executes_each_chunk_exactly_once() {
+        let pool = Pool::with_threads(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(64, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = Pool::with_threads(3);
+        for round in 0..200 {
+            let sum = AtomicUsize::new(0);
+            pool.run(17, &|i| {
+                sum.fetch_add(i + round, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..17).sum::<usize>() + 17 * round);
+        }
+    }
+
+    #[test]
+    fn nested_submission_runs_inline_without_deadlock() {
+        // Explicit multi-worker pool: the global pool degenerates to zero
+        // workers on single-core machines, which would make this test
+        // vacuous. Nested chunks land on BOTH worker threads (IS_POOL_WORKER
+        // guard) and the submitting thread (IS_SUBMITTING guard); either
+        // re-entering the pool for real would deadlock on `submit`.
+        let pool = Pool::with_threads(4);
+        assert_eq!(pool.width(), 4);
+        let outer = AtomicUsize::new(0);
+        pool.run(16, &|_| {
+            let inner = AtomicUsize::new(0);
+            pool.run(4, &|j| {
+                inner.fetch_add(j, Ordering::Relaxed);
+            });
+            assert_eq!(inner.load(Ordering::Relaxed), 6);
+            outer.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        let pool = Pool::with_threads(4);
+        // A chunk panics (it may land on a worker or on the submitter);
+        // run() must join every thread, then re-raise exactly one panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(32, &|i| {
+                if i == 13 {
+                    panic!("chunk 13 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate to the submitter");
+        // The pool stays fully usable afterwards: no dead workers, no
+        // poisoned bookkeeping, no stale `panicked` flag.
+        for _ in 0..5 {
+            let sum = AtomicUsize::new(0);
+            pool.run(16, &|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), (0..16).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn width_is_at_least_one() {
+        assert!(pool().width() >= 1);
+        assert!(configured_width() >= 1);
+        assert_eq!(Pool::with_threads(1).width(), 1);
+    }
+}

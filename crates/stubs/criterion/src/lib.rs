@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+//! Offline drop-in stub for the `criterion` crate.
+//!
+//! Implements the benchmark-harness subset the workspace's benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`, and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! plain wall-clock mean over `sample_size` batches with a short warm-up,
+//! printed as `ns/iter` — enough to record relative kernel speeds in the
+//! perf trajectory without the full statistical machinery.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the mean over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_nanos().max(1) as u64;
+        // Batch so each sample runs ≥ ~1ms but total time stays bounded.
+        let iters_per_sample = (1_000_000 / once).clamp(1, 10_000) as usize;
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u128;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total_ns += t.elapsed().as_nanos();
+            total_iters += iters_per_sample as u128;
+        }
+        self.mean_ns = total_ns as f64 / total_iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: &str, run: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { samples: self.samples, mean_ns: 0.0 };
+        run(&mut b);
+        println!("{}/{id}: {:.0} ns/iter", self.name, b.mean_ns);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f(input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints as it
+    /// goes, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 20, _parent: self }
+    }
+
+    /// Benchmarks a stand-alone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &p| {
+            b.iter(|| black_box(p * 2));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

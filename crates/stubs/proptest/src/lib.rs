@@ -1,0 +1,257 @@
+#![warn(missing_docs)]
+//! Offline drop-in stub for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro over `name in strategy` / `name: type` parameters,
+//! range and `collection::vec` strategies, `ProptestConfig::with_cases`,
+//! and `prop_assert!`/`prop_assert_eq!`. Cases are generated from a
+//! deterministic per-case seed, so failures reproduce; there is no
+//! shrinking — the failing case's inputs are printed instead.
+
+use rand::rngs::StdRng;
+
+/// How a test case's inputs are produced (simplified `proptest::Strategy`).
+pub trait Strategy {
+    /// The value type this strategy yields.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+/// Types usable as bare `name: type` parameters (simplified `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen(rng)
+    }
+}
+
+/// Strategy wrapper for `name: type` parameters.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the explicit form of a `name: type` parameter.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s with element strategy `S` and a length
+    /// drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(strategy, len_range)` — vectors of random length and elements.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (simplified `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Everything the `proptest!` macro and its call sites need in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Runs `cases` deterministic cases of a property (used by [`proptest!`]).
+pub fn run_cases(cases: u32, base_seed: u64, mut case: impl FnMut(&mut StdRng, u64)) {
+    use rand::SeedableRng;
+    for i in 0..cases as u64 {
+        // Distinct, reproducible stream per case.
+        let seed = base_seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ 0xA5A5_5A5A;
+        let mut rng = StdRng::seed_from_u64(seed);
+        case(&mut rng, i);
+    }
+}
+
+/// Deterministic per-property seed derived from the property name.
+pub fn name_seed(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Property-test entry macro (simplified `proptest::proptest!`).
+///
+/// Supports an optional `#![proptest_config(expr)]` inner attribute and any
+/// number of `#[test] fn name(param in strategy, param: Type, …) { … }`
+/// items. Each property runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(
+                    config.cases,
+                    $crate::name_seed(stringify!($name)),
+                    |__proptest_rng, __proptest_case| {
+                        let run = || {
+                            $crate::proptest!(@bind __proptest_rng, ($($params)*) => $body);
+                        };
+                        if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                            eprintln!(
+                                "proptest: property `{}` failed on case {}",
+                                stringify!($name),
+                                __proptest_case
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    (@bind $rng:ident, () => $body:block) => {
+        { let _ = &mut *$rng; $body }
+    };
+    (@bind $rng:ident, ($arg:ident in $strat:expr $(, $($rest:tt)*)?) => $body:block) => {
+        {
+            let $arg = $crate::Strategy::sample(&($strat), &mut *$rng);
+            $crate::proptest!(@bind $rng, ($($($rest)*)?) => $body)
+        }
+    };
+    (@bind $rng:ident, ($arg:ident : $ty:ty $(, $($rest:tt)*)?) => $body:block) => {
+        {
+            let $arg = <$ty as $crate::Arbitrary>::arbitrary(&mut *$rng);
+            $crate::proptest!(@bind $rng, ($($($rest)*)?) => $body)
+        }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -1.0f64..1.0, flag: bool) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in collection::vec(0usize..5, 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases(8, 42, |rng, _| first.push(rand::Rng::gen::<u64>(rng)));
+        let mut second = Vec::new();
+        crate::run_cases(8, 42, |rng, _| second.push(rand::Rng::gen::<u64>(rng)));
+        assert_eq!(first, second);
+    }
+}

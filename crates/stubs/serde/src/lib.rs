@@ -1,0 +1,6 @@
+#![warn(missing_docs)]
+//! Offline drop-in stub for `serde`: re-exports no-op `Serialize` /
+//! `Deserialize` derives. The workspace's persistence paths are hand-rolled
+//! byte codecs, so the derives only need to parse, not generate impls.
+
+pub use serde_derive::{Deserialize, Serialize};

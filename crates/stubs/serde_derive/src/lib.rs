@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on a few substrate types but never serializes
+//! them through serde (the model/dataset codecs are hand-rolled in
+//! `gcon-core::serialize` / `gcon-datasets::io`), so empty derive
+//! expansions keep the annotations compiling without the real dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,8 +8,8 @@
 //! cargo run --release --example citation_private_vs_public
 //! ```
 
-use gcon::prelude::*;
 use gcon::core::infer::{private_predict, public_predict};
+use gcon::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,10 +33,7 @@ fn main() {
         micro_f1(&test, &dataset.test_labels())
     };
 
-    println!(
-        "{:>8} {:>6} | {:>9} | {:>9} | {:>10}",
-        "m₁", "α", "private", "public", "Ψ(Z)"
-    );
+    println!("{:>8} {:>6} | {:>9} | {:>9} | {:>10}", "m₁", "α", "private", "public", "Ψ(Z)");
     for &alpha in &[0.4, 0.8] {
         for m1 in [
             PropagationStep::Finite(1),

@@ -52,10 +52,7 @@ fn main() {
         .iter()
         .map(|&m| psi_zm(alpha, m))
         .collect();
-        println!(
-            "{alpha:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            row[0], row[1], row[2], row[3]
-        );
+        println!("{alpha:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}", row[0], row[1], row[2], row[3]);
     }
 
     println!("\n## One-shot (GCON) vs step-composed (DP-SGD) accounting at ε = 1");

@@ -52,17 +52,13 @@ fn main() {
     let loss_kind = LossKind::MultiLabelSoftMargin;
     let run_once = |zm: &Mat, lambda_total: f64, beta: f64, dir: &Mat, rng: &mut StdRng| {
         let b = sample_noise_matrix(zm.cols(), c, beta, rng);
-        let obj =
-            PerturbedObjective::new(zm, &y, ConvexLoss::new(loss_kind, c), lambda_total, &b);
+        let obj = PerturbedObjective::new(zm, &y, ConvexLoss::new(loss_kind, c), lambda_total, &b);
         let opt = OptimizerConfig { lr: 0.1, max_iters: 4000, grad_tol: 1e-9 };
         let (theta, _, _) = minimize(&obj, Mat::zeros(zm.cols(), c), &opt);
         ops::frobenius_inner(&theta, dir)
     };
 
-    println!(
-        "{:<28} {:>9} {:>12} {:>12}",
-        "mechanism", "claimed ε", "audit ε_lb", "verdict"
-    );
+    println!("{:<28} {:>9} {:>12} {:>12}", "mechanism", "claimed ε", "audit ε_lb", "verdict");
     for &eps in &[0.5, 1.0, 2.0] {
         let lf = ConvexLoss::new(loss_kind, c);
         let params = TheoremOneParams::compute(&CalibrationInput {

@@ -53,5 +53,8 @@ fn main() {
     // 6. For comparison: public inference with the full propagation.
     let pred_pub = public_predict(&model, &dataset.graph, &dataset.features);
     let test_pub: Vec<usize> = dataset.split.test.iter().map(|&i| pred_pub[i]).collect();
-    println!("test micro-F1 (public inference) : {:.3}", micro_f1(&test_pub, &dataset.test_labels()));
+    println!(
+        "test micro-F1 (public inference) : {:.3}",
+        micro_f1(&test_pub, &dataset.test_labels())
+    );
 }

@@ -46,14 +46,8 @@ fn main() {
     });
     // Proportional split as in the paper's Actor setup (Appendix P).
     let split = gcon::datasets::splits::proportional_split(1200, 0.3, 0.2, &mut rng);
-    let dataset = Dataset {
-        name: "social-network".into(),
-        graph,
-        features,
-        labels,
-        num_classes: 4,
-        split,
-    };
+    let dataset =
+        Dataset { name: "social-network".into(), graph, features, labels, num_classes: 4, split };
     dataset.validate();
     let delta = dataset.default_delta();
     println!(

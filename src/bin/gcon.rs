@@ -35,11 +35,8 @@ impl Args {
         let mut flags = HashMap::new();
         let mut it = argv.iter();
         while let Some(k) = it.next() {
-            let key = k
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got `{k}`"))?;
-            let val =
-                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+            let key = k.strip_prefix("--").ok_or_else(|| format!("expected --flag, got `{k}`"))?;
+            let val = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
             if flags.insert(key.to_string(), val.clone()).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
@@ -76,8 +73,7 @@ fn parse_loss(s: &str) -> Result<LossKind, String> {
         return Ok(LossKind::MultiLabelSoftMargin);
     }
     if let Some(d) = s.strip_prefix("huber:") {
-        let delta: f64 =
-            d.parse().map_err(|_| format!("--loss huber:<δ>: bad δ `{d}`"))?;
+        let delta: f64 = d.parse().map_err(|_| format!("--loss huber:<δ>: bad δ `{d}`"))?;
         if delta <= 0.0 {
             return Err("--loss huber δ must be positive".into());
         }
@@ -183,8 +179,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 
 fn cmd_infer(args: &Args) -> Result<(), String> {
     let model_path = args.required("model")?;
-    let model =
-        serialize::load(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let model = serialize::load(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
     let dataset = load_dataset(args)?;
     let mode = args.get("mode").unwrap_or("private");
     let pred = match mode {
@@ -198,31 +193,21 @@ fn cmd_infer(args: &Args) -> Result<(), String> {
     println!("mode        : {mode}");
     println!("test nodes  : {}", gold.len());
     println!("micro-F1    : {:.4}", micro_f1(&test_pred, &gold));
-    println!(
-        "macro-F1    : {:.4}",
-        metrics::macro_f1(&test_pred, &gold, dataset.num_classes)
-    );
+    println!("macro-F1    : {:.4}", metrics::macro_f1(&test_pred, &gold, dataset.num_classes));
     println!("trained at  : (ε={}, δ={:.3e})", model.report.eps, model.report.delta);
     Ok(())
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
     let model_path = args.required("model")?;
-    let model =
-        serialize::load(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
+    let model = serialize::load(model_path).map_err(|e| format!("reading {model_path}: {e}"))?;
     println!("{}", model.report);
     println!("classes           : {}", model.num_classes);
     println!("feature dim d     : {}", model.dim());
     println!("restart α         : {}", model.config.alpha);
     println!(
         "steps m₁…m_s      : {}",
-        model
-            .config
-            .steps
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
+        model.config.steps.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(", ")
     );
     println!("loss              : {:?}", model.config.loss);
     println!("Lemma 1 clip p    : {}", model.config.clip_p);
@@ -305,10 +290,7 @@ mod tests {
     #[test]
     fn loss_flag_grammar() {
         assert_eq!(parse_loss("msm").unwrap(), LossKind::MultiLabelSoftMargin);
-        assert_eq!(
-            parse_loss("huber:0.3").unwrap(),
-            LossKind::PseudoHuber { delta: 0.3 }
-        );
+        assert_eq!(parse_loss("huber:0.3").unwrap(), LossKind::PseudoHuber { delta: 0.3 });
         assert!(parse_loss("huber:-1").is_err());
         assert!(parse_loss("hinge").is_err());
     }
@@ -317,11 +299,7 @@ mod tests {
     fn steps_flag_grammar() {
         assert_eq!(
             parse_steps("1, 2, inf").unwrap(),
-            vec![
-                PropagationStep::Finite(1),
-                PropagationStep::Finite(2),
-                PropagationStep::Infinite
-            ]
+            vec![PropagationStep::Finite(1), PropagationStep::Finite(2), PropagationStep::Infinite]
         );
         assert!(parse_steps("1, x").is_err());
         assert!(parse_steps("").is_err());

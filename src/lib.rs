@@ -49,6 +49,36 @@
 //! - [`dp`]: mechanisms, Erlang/sphere sampling, RDP accountant.
 //! - [`datasets`]: Table II stand-ins, splits, metrics.
 //! - [`baselines`]: DP-SGD, DPGCN, LPGNet, GAP, ProGAP, MLP, non-DP GCN.
+//! - [`runtime`]: the shared execution layer every kernel above runs on.
+//!
+//! ## Architecture / execution layer
+//!
+//! All hot kernels in the workspace share one execution substrate,
+//! `gcon-runtime` (re-exported here as [`runtime`]):
+//!
+//! - **Persistent worker pool.** [`runtime::pool()`] lazily spawns one
+//!   process-wide set of workers (width from the `GCON_THREADS` environment
+//!   variable, default: hardware parallelism) and parks them between jobs.
+//!   Kernels submit row-block work through [`runtime::parallel_rows`]; no
+//!   kernel spawns threads of its own, so the steady-state cost of a
+//!   parallel product is a condvar wake-up rather than per-call thread
+//!   creation. Layering: `linalg::ops::{matmul, matmul_bt}` and
+//!   `graph::Csr::spmm` parallelize on the pool; `nn`, `core` and
+//!   `baselines` inherit it through those kernels.
+//! - **Buffer-reusing `_into` kernels.** Every allocating kernel has a twin
+//!   writing into a caller-owned [`Mat`] that is reshaped in place
+//!   (`matmul_into`, `spmm_into`, `forward_into`/`backward_into`,
+//!   `softmax_cross_entropy_into`, …). Training loops — the GCON encoder,
+//!   the GCN/GAP/ProGAP baselines, `Mlp::train_cross_entropy` — hoist their
+//!   buffers (`nn::MlpWorkspace`) outside the epoch loop, so steady-state
+//!   epochs perform no matrix allocation.
+//! - **Single-pass multi-scale propagation.** The recursion
+//!   `Z_m = (1−α)ÃZ_{m−1} + αX` makes each scale a strict continuation of
+//!   the previous one, so `core::propagation::propagate_multi` computes all
+//!   requested scales `{m₁ < … < m_s}` (Eq. 9–11) in one sweep: `max(mᵢ)`
+//!   sparse products instead of `Σ mᵢ`, with PPR `∞` as the final
+//!   fixed-point segment. `concat_features` — and with it training, tuning,
+//!   public inference and the figure harnesses — ride this sweep.
 
 pub use gcon_baselines as baselines;
 pub use gcon_core as core;
@@ -57,6 +87,7 @@ pub use gcon_dp as dp;
 pub use gcon_graph as graph;
 pub use gcon_linalg as linalg;
 pub use gcon_nn as nn;
+pub use gcon_runtime as runtime;
 
 /// The most common imports for using GCON end to end.
 pub mod prelude {

@@ -175,8 +175,5 @@ fn honest_noise_makes_outputs_statistically_close() {
     };
     let gap = (mean(&a) - mean(&b)).abs();
     let spread = sd(&a).max(sd(&b));
-    assert!(
-        gap < spread,
-        "mean gap {gap} not hidden inside the noise spread {spread}"
-    );
+    assert!(gap < spread, "mean gap {gap} not hidden inside the noise spread {spread}");
 }

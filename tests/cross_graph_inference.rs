@@ -36,20 +36,12 @@ fn model_transfers_to_a_fresh_graph_from_the_same_distribution() {
     let model = train_on(&train_set, 33);
 
     let pred = private_predict(&model, &serve_set.graph, &serve_set.features);
-    let acc = pred
-        .iter()
-        .zip(&serve_set.labels)
-        .filter(|(a, b)| a == b)
-        .count() as f64
+    let acc = pred.iter().zip(&serve_set.labels).filter(|(a, b)| a == b).count() as f64
         / serve_set.num_nodes() as f64;
     assert!(acc > 0.6, "cross-graph private accuracy {acc}");
 
     let pred_pub = public_predict(&model, &serve_set.graph, &serve_set.features);
-    let acc_pub = pred_pub
-        .iter()
-        .zip(&serve_set.labels)
-        .filter(|(a, b)| a == b)
-        .count() as f64
+    let acc_pub = pred_pub.iter().zip(&serve_set.labels).filter(|(a, b)| a == b).count() as f64
         / serve_set.num_nodes() as f64;
     assert!(acc_pub > 0.6, "cross-graph public accuracy {acc_pub}");
 }

@@ -2,8 +2,8 @@
 //! (synthetic) datasets, exercising every crate together.
 
 use gcon::baselines::{evaluate_baseline, Baseline};
-use gcon::prelude::*;
 use gcon::core::infer::{private_predict, public_predict};
+use gcon::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,10 +57,7 @@ fn utility_improves_from_tiny_to_generous_budget() {
     };
     let tight = avg(0.05);
     let loose = avg(4.0);
-    assert!(
-        loose >= tight - 0.02,
-        "utility at ε=4 ({loose}) should not trail ε=0.05 ({tight})"
-    );
+    assert!(loose >= tight - 0.02, "utility at ε=4 ({loose}) should not trail ε=0.05 ({tight})");
 }
 
 #[test]

@@ -68,8 +68,8 @@ fn config_default_is_valid() {
 #[test]
 #[should_panic(expected = "ε must be positive")]
 fn calibration_rejects_zero_epsilon() {
-    use gcon::core::params::{CalibrationInput, TheoremOneParams};
     use gcon::core::loss::ConvexLoss;
+    use gcon::core::params::{CalibrationInput, TheoremOneParams};
     let bounds = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3).bounds();
     let _ = TheoremOneParams::compute(&CalibrationInput {
         eps: 0.0,
@@ -87,8 +87,8 @@ fn calibration_rejects_zero_epsilon() {
 #[test]
 #[should_panic(expected = "δ must lie in (0, 1)")]
 fn calibration_rejects_delta_one() {
-    use gcon::core::params::{CalibrationInput, TheoremOneParams};
     use gcon::core::loss::ConvexLoss;
+    use gcon::core::params::{CalibrationInput, TheoremOneParams};
     let bounds = ConvexLoss::new(LossKind::MultiLabelSoftMargin, 3).bounds();
     let _ = TheoremOneParams::compute(&CalibrationInput {
         eps: 1.0,
@@ -175,7 +175,13 @@ fn objective_rejects_mismatched_labels() {
     let z = Mat::zeros(4, 3);
     let y = Mat::zeros(5, 2);
     let b = Mat::zeros(3, 2);
-    let _ = PerturbedObjective::new(&z, &y, ConvexLoss::new(LossKind::MultiLabelSoftMargin, 2), 0.5, &b);
+    let _ = PerturbedObjective::new(
+        &z,
+        &y,
+        ConvexLoss::new(LossKind::MultiLabelSoftMargin, 2),
+        0.5,
+        &b,
+    );
 }
 
 #[test]
@@ -186,7 +192,13 @@ fn objective_rejects_wrong_noise_shape() {
     let z = Mat::zeros(4, 3);
     let y = Mat::zeros(4, 2);
     let b = Mat::zeros(7, 2);
-    let _ = PerturbedObjective::new(&z, &y, ConvexLoss::new(LossKind::MultiLabelSoftMargin, 2), 0.5, &b);
+    let _ = PerturbedObjective::new(
+        &z,
+        &y,
+        ConvexLoss::new(LossKind::MultiLabelSoftMargin, 2),
+        0.5,
+        &b,
+    );
 }
 
 #[test]
@@ -197,7 +209,13 @@ fn objective_rejects_zero_lambda() {
     let z = Mat::zeros(4, 3);
     let y = Mat::zeros(4, 2);
     let b = Mat::zeros(3, 2);
-    let _ = PerturbedObjective::new(&z, &y, ConvexLoss::new(LossKind::MultiLabelSoftMargin, 2), 0.0, &b);
+    let _ = PerturbedObjective::new(
+        &z,
+        &y,
+        ConvexLoss::new(LossKind::MultiLabelSoftMargin, 2),
+        0.0,
+        &b,
+    );
 }
 
 // ------------------------------------------------------------------ noise

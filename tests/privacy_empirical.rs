@@ -47,11 +47,7 @@ fn feature_rows_stay_unit_bounded_through_pipeline() {
     for steps in [
         vec![PropagationStep::Finite(1)],
         vec![PropagationStep::Finite(5), PropagationStep::Infinite],
-        vec![
-            PropagationStep::Finite(0),
-            PropagationStep::Finite(2),
-            PropagationStep::Finite(10),
-        ],
+        vec![PropagationStep::Finite(0), PropagationStep::Finite(2), PropagationStep::Finite(10)],
     ] {
         let z = concat_features(&a, &x, 0.3, &steps);
         for n in row_norms2(&z) {
@@ -119,8 +115,5 @@ fn noise_radius_exceeds_csf_with_probability_at_most_delta_over_c() {
     }
     let rate = exceed as f64 / (trials * c) as f64;
     let target = delta / c as f64;
-    assert!(
-        rate <= target * 1.3 + 0.002,
-        "exceed rate {rate} vs design target {target}"
-    );
+    assert!(rate <= target * 1.3 + 0.002, "exceed rate {rate} vs design target {target}");
 }

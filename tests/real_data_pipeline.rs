@@ -12,7 +12,9 @@ use std::fmt::Write as _;
 
 /// Writes a small homophilous dataset to disk in the text formats and
 /// returns the three paths.
-fn write_text_dataset(dir: &std::path::Path) -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
+fn write_text_dataset(
+    dir: &std::path::Path,
+) -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
     std::fs::create_dir_all(dir).unwrap();
     let n = 90usize;
     let c = 3usize;
@@ -53,16 +55,9 @@ fn text_files_through_algorithm1_and_release() {
     let dir = std::env::temp_dir().join("gcon_real_data_pipeline");
     let (e, f, l) = write_text_dataset(&dir);
 
-    let dataset = gcon::datasets::text_io::load_from_files(
-        "disk-homophilous",
-        &e,
-        &f,
-        &l,
-        0.5,
-        0.2,
-        42,
-    )
-    .expect("load text dataset");
+    let dataset =
+        gcon::datasets::text_io::load_from_files("disk-homophilous", &e, &f, &l, 0.5, 0.2, 42)
+            .expect("load text dataset");
     assert_eq!(dataset.num_nodes(), 90);
     assert_eq!(dataset.num_classes, 3);
     // The wiring above is class-pure except the sparse cross links.
@@ -104,8 +99,7 @@ fn text_loader_matches_direct_construction() {
     // must produce identical propagation output.
     let dir = std::env::temp_dir().join("gcon_real_data_equiv");
     let (e, f, l) = write_text_dataset(&dir);
-    let dataset =
-        gcon::datasets::text_io::load_from_files("x", &e, &f, &l, 0.5, 0.2, 1).unwrap();
+    let dataset = gcon::datasets::text_io::load_from_files("x", &e, &f, &l, 0.5, 0.2, 1).unwrap();
 
     // Reconstruct directly, replicating the documented compaction (ids are
     // interned in first-appearance order over the edge file) with an

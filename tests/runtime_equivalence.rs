@@ -1,0 +1,208 @@
+//! Property tests for the shared runtime layer: the buffer-reusing `_into`
+//! kernels and the single-pass multi-scale propagation sweep must be
+//! element-wise equal to their allocating / per-scale reference forms, and
+//! the sweep must cost `max(m_i)` sparse products rather than `Σ m_i`.
+
+use gcon::core::propagation::{propagate, propagate_into, propagate_multi, PropagationStep};
+use gcon::graph::normalize::row_stochastic_default;
+use gcon::graph::Csr;
+use gcon::linalg::{ops, Mat};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random CSR with ~`density` fill, entries in (−1, 1).
+fn random_csr(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> Csr {
+    let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+    for row in entries.iter_mut() {
+        for j in 0..cols as u32 {
+            if rng.gen::<f64>() < density {
+                row.push((j, rng.gen_range(-1.0..1.0)));
+            }
+        }
+    }
+    Csr::from_row_entries(rows, cols, entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `spmm_into` must equal the allocating `spmm` bit-for-bit on random
+    /// sparse×dense products, including when the output buffer arrives
+    /// pre-filled with stale values of a different shape.
+    #[test]
+    fn spmm_into_matches_allocating(
+        seed in 0u64..1000,
+        n in 1usize..60,
+        k in 1usize..40,
+        d in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = random_csr(n, k, 0.2, &mut rng);
+        let b = Mat::uniform(k, d, 1.0, &mut rng);
+        let fresh = sp.spmm(&b);
+        // Stale buffer of a different shape, full of garbage.
+        let mut reused = Mat::full(3, 7, f64::NAN);
+        sp.spmm_into(&b, &mut reused);
+        prop_assert_eq!(reused.shape(), (n, d));
+        for (x, y) in fresh.as_slice().iter().zip(reused.as_slice()) {
+            prop_assert!(x.to_bits() == y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    /// `matmul_into` / `matmul_bt_into` / `t_matmul_into` match their
+    /// allocating counterparts bit-for-bit on random dense inputs.
+    #[test]
+    fn matmul_into_matches_allocating(
+        seed in 0u64..1000,
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::uniform(m, k, 1.0, &mut rng);
+        let b = Mat::uniform(k, n, 1.0, &mut rng);
+        let mut out = Mat::full(2, 2, f64::NAN);
+        ops::matmul_into(&a, &b, &mut out);
+        prop_assert_eq!(&ops::matmul(&a, &b), &out);
+
+        let bt = Mat::uniform(n, k, 1.0, &mut rng);
+        ops::matmul_bt_into(&a, &bt, &mut out);
+        prop_assert_eq!(&ops::matmul_bt(&a, &bt), &out);
+
+        let at = Mat::uniform(m, n, 1.0, &mut rng);
+        ops::t_matmul_into(&a, &at, &mut out);
+        prop_assert_eq!(&ops::t_matmul(&a, &at), &out);
+    }
+
+    /// `propagate_into` (ping-pong buffers) equals the allocating
+    /// `propagate` bit-for-bit, with buffers reused across disparate calls.
+    #[test]
+    fn propagate_into_matches_allocating(
+        seed in 0u64..500,
+        n in 2usize..40,
+        d in 1usize..8,
+        m in 0usize..12,
+        alpha in 0.05f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gcon::graph::generators::erdos_renyi_gnm(n, 2 * n, &mut rng);
+        let a = row_stochastic_default(&g);
+        let x = Mat::uniform(n, d, 1.0, &mut rng);
+        let mut z = Mat::full(1, 1, f64::NAN);
+        let mut scratch = Mat::full(5, 2, f64::NAN);
+        for step in [PropagationStep::Finite(m), PropagationStep::Infinite] {
+            let reference = propagate(&a, &x, alpha, step);
+            propagate_into(&a, &x, alpha, step, &mut z, &mut scratch);
+            for (u, v) in reference.as_slice().iter().zip(z.as_slice()) {
+                prop_assert!(u.to_bits() == v.to_bits(), "step {step}: {u} vs {v}");
+            }
+        }
+    }
+
+    /// The single-pass `propagate_multi` sweep is element-wise equal
+    /// (≤ 1e-12; finite scales are bit-identical) to per-scale `propagate`
+    /// over random finite scale sets, in arbitrary order with duplicates.
+    #[test]
+    fn propagate_multi_matches_per_scale(
+        seed in 0u64..500,
+        n in 2usize..40,
+        d in 1usize..6,
+        m1 in 0usize..10,
+        m2 in 0usize..10,
+        m3 in 0usize..10,
+        alpha in 0.05f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gcon::graph::generators::erdos_renyi_gnm(n, 2 * n, &mut rng);
+        let a = row_stochastic_default(&g);
+        let x = Mat::uniform(n, d, 1.0, &mut rng);
+        let steps = [
+            PropagationStep::Finite(m1),
+            PropagationStep::Finite(m2),
+            PropagationStep::Finite(m3),
+        ];
+        let multi = propagate_multi(&a, &x, alpha, &steps);
+        prop_assert_eq!(multi.shape(), (n, 3 * d));
+        for (i, &s) in steps.iter().enumerate() {
+            let single = propagate(&a, &x, alpha, s);
+            for r in 0..n {
+                for c in 0..d {
+                    let u = single.get(r, c);
+                    let v = multi.get(r, i * d + c);
+                    prop_assert!((u - v).abs() <= 1e-12, "scale {s}: {u} vs {v}");
+                }
+            }
+        }
+    }
+
+    /// With an `∞` entry the sweep's final segment continues from the
+    /// largest finite scale; the resulting block must satisfy the PPR
+    /// fixed-point system `(I − (1−α)Ã) Z_∞ = α X` to solver tolerance and
+    /// agree with per-scale PPR.
+    #[test]
+    fn propagate_multi_infinite_segment_is_a_ppr_fixed_point(
+        seed in 0u64..200,
+        n in 2usize..30,
+        d in 1usize..5,
+        m in 0usize..6,
+        alpha in 0.3f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gcon::graph::generators::erdos_renyi_gnm(n, 2 * n, &mut rng);
+        let a = row_stochastic_default(&g);
+        let x = Mat::uniform(n, d, 1.0, &mut rng);
+        let steps = [PropagationStep::Finite(m), PropagationStep::Infinite];
+        let multi = propagate_multi(&a, &x, alpha, &steps);
+        // Extract the ∞ block.
+        let mut z_inf = Mat::zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                z_inf.set(r, c, multi.get(r, d + c));
+            }
+        }
+        // Fixed-point residual.
+        let az = a.spmm(&z_inf);
+        for r in 0..n {
+            for c in 0..d {
+                let lhs = z_inf.get(r, c) - (1.0 - alpha) * az.get(r, c);
+                prop_assert!(
+                    (lhs - alpha * x.get(r, c)).abs() < 1e-7,
+                    "residual at ({r},{c})"
+                );
+            }
+        }
+        // And it agrees with the stand-alone PPR solve to tolerance.
+        let reference = propagate(&a, &x, alpha, PropagationStep::Infinite);
+        for (u, v) in reference.as_slice().iter().zip(z_inf.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_are_supported() {
+    // rows == 0.
+    let empty_csr = Csr::from_row_entries(0, 5, vec![]);
+    let b = Mat::zeros(5, 3);
+    let mut out = Mat::full(2, 2, f64::NAN);
+    empty_csr.spmm_into(&b, &mut out);
+    assert_eq!(out.shape(), (0, 3));
+
+    // d == 0 (empty feature dimension).
+    let csr = Csr::eye(4);
+    let b0 = Mat::zeros(4, 0);
+    csr.spmm_into(&b0, &mut out);
+    assert_eq!(out.shape(), (4, 0));
+    assert_eq!(csr.spmm(&b0).shape(), (4, 0));
+
+    // Dense kernels on empty shapes.
+    let a = Mat::zeros(0, 7);
+    let c = Mat::zeros(7, 3);
+    let mut dense_out = Mat::full(1, 1, 0.5);
+    ops::matmul_into(&a, &c, &mut dense_out);
+    assert_eq!(dense_out.shape(), (0, 3));
+    ops::matmul_into(&Mat::zeros(3, 0), &Mat::zeros(0, 2), &mut dense_out);
+    assert_eq!(dense_out.shape(), (3, 2));
+    assert!(dense_out.as_slice().iter().all(|&v| v == 0.0));
+}

@@ -1,0 +1,74 @@
+//! Operation-count assertions for single-pass multi-scale propagation
+//! (the acceptance criterion of the runtime refactor). These live in their
+//! own integration-test binary because they read deltas of the process-wide
+//! `Ã·Z` product counter: a `Mutex` serializes the two tests against each
+//! other, and no other propagation work runs in this process.
+
+use gcon::core::propagation::{
+    concat_features, propagate, propagate_multi, spmm_ops_performed, PropagationStep,
+};
+use gcon::graph::normalize::row_stochastic_default;
+use gcon::linalg::Mat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes counter-reading tests within this binary.
+static COUNTER_GUARD: Mutex<()> = Mutex::new(());
+
+/// The acceptance criterion of the refactor: computing scales {m₁ < … < m_s}
+/// in one sweep performs exactly max(mᵢ) `Ã·Z` products, not Σ mᵢ.
+#[test]
+fn single_pass_costs_max_not_sum() {
+    let _guard = COUNTER_GUARD.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let g = gcon::graph::generators::erdos_renyi_gnm(50, 150, &mut rng);
+    let a = row_stochastic_default(&g);
+    let x = Mat::uniform(50, 4, 1.0, &mut rng);
+    let steps =
+        [PropagationStep::Finite(2), PropagationStep::Finite(5), PropagationStep::Finite(9)];
+
+    let before = spmm_ops_performed();
+    let _ = propagate_multi(&a, &x, 0.4, &steps);
+    let single_pass = spmm_ops_performed() - before;
+    assert_eq!(single_pass, 9, "single-pass must cost max(m_i) products");
+
+    let before = spmm_ops_performed();
+    for &s in &steps {
+        let _ = propagate(&a, &x, 0.4, s);
+    }
+    let per_scale = spmm_ops_performed() - before;
+    assert_eq!(per_scale, 16, "per-scale costs Σ m_i products");
+
+    // concat_features rides the single-pass sweep.
+    let before = spmm_ops_performed();
+    let _ = concat_features(&a, &x, 0.4, &steps);
+    assert_eq!(spmm_ops_performed() - before, 9);
+}
+
+/// With an `∞` scale the sweep costs max-finite + fixed-point iterations —
+/// strictly fewer products than running PPR from scratch plus the finite
+/// scales separately.
+#[test]
+fn single_pass_with_infinity_is_a_strict_continuation() {
+    let _guard = COUNTER_GUARD.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(78);
+    let g = gcon::graph::generators::erdos_renyi_gnm(40, 120, &mut rng);
+    let a = row_stochastic_default(&g);
+    let x = Mat::uniform(40, 3, 1.0, &mut rng);
+    let steps = [PropagationStep::Finite(6), PropagationStep::Infinite];
+
+    let before = spmm_ops_performed();
+    let _ = propagate_multi(&a, &x, 0.5, &steps);
+    let single_pass = spmm_ops_performed() - before;
+
+    let before = spmm_ops_performed();
+    for &s in &steps {
+        let _ = propagate(&a, &x, 0.5, s);
+    }
+    let per_scale = spmm_ops_performed() - before;
+    assert!(
+        single_pass < per_scale,
+        "continuation ({single_pass} products) must beat per-scale ({per_scale})"
+    );
+}

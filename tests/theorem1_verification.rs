@@ -136,15 +136,8 @@ fn lemma7_determinant_budget_covers_full_block_jacobian() {
     }
     let mut total_ln_ratio = 0.0;
     for j in 0..c {
-        let chk = lemma7_check(
-            &pair.z,
-            &pair.z_prime,
-            &pair.y,
-            &loss,
-            params.lambda_total(),
-            &theta,
-            j,
-        );
+        let chk =
+            lemma7_check(&pair.z, &pair.z_prime, &pair.y, &loss, params.lambda_total(), &theta, j);
         total_ln_ratio += chk.ln_det_ratio;
     }
     assert!(
@@ -178,8 +171,15 @@ fn lemma8_density_exponent_fits_remaining_budget() {
         }
         let mut total_shift = 0.0;
         for j in 0..c {
-            let chk =
-                lemma8_check(&pair.z, &pair.z_prime, &pair.y, &loss, params.lambda_total(), &theta, j);
+            let chk = lemma8_check(
+                &pair.z,
+                &pair.z_prime,
+                &pair.y,
+                &loss,
+                params.lambda_total(),
+                &theta,
+                j,
+            );
             assert!(chk.holds(1e-9), "seed {seed} class {j}");
             total_shift += chk.noise_shift;
         }
@@ -250,15 +250,8 @@ fn end_to_end_privacy_loss_bounded_by_epsilon() {
     // log Jacobian determinant ratio, summed over the class blocks.
     let mut log_jac_ratio = 0.0;
     for j in 0..c {
-        let chk = lemma7_check(
-            &pair.z,
-            &pair.z_prime,
-            &pair.y,
-            &loss,
-            params.lambda_total(),
-            &theta,
-            j,
-        );
+        let chk =
+            lemma7_check(&pair.z, &pair.z_prime, &pair.y, &loss, params.lambda_total(), &theta, j);
         log_jac_ratio += chk.ln_det_ratio;
     }
 
@@ -324,8 +317,7 @@ fn full_training_on_neighboring_graphs_stays_in_theta_ball() {
         let c_theta = model.report.params.c_theta;
         let d = model.theta.rows();
         for j in 0..model.theta.cols() {
-            let norm: f64 =
-                (0..d).map(|i| model.theta.get(i, j).powi(2)).sum::<f64>().sqrt();
+            let norm: f64 = (0..d).map(|i| model.theta.get(i, j).powi(2)).sum::<f64>().sqrt();
             assert!(
                 norm <= c_theta + 1e-9,
                 "seed {seed}: ‖θ_{j}‖ = {norm} escaped c_θ = {c_theta}"
@@ -400,18 +392,11 @@ fn star_graph_is_the_stress_case_for_lemma1_columns() {
     for &alpha in &[0.2, 0.5, 0.8] {
         for &m in &[1usize, 3, 8] {
             let z = propagate(&row_stochastic_default(&g), &x, alpha, PropagationStep::Finite(m));
-            let zp = propagate(
-                &row_stochastic_default(&g_prime),
-                &x,
-                alpha,
-                PropagationStep::Finite(m),
-            );
+            let zp =
+                propagate(&row_stochastic_default(&g_prime), &x, alpha, PropagationStep::Finite(m));
             let measured = psi_observed(&z, &zp);
             let cap = gcon::core::sensitivity::psi_zm(alpha, PropagationStep::Finite(m));
-            assert!(
-                measured <= cap + 1e-9,
-                "star α={alpha} m={m}: ψ {measured} > Ψ {cap}"
-            );
+            assert!(measured <= cap + 1e-9, "star α={alpha} m={m}: ψ {measured} > Ψ {cap}");
         }
     }
 }
