@@ -1,17 +1,55 @@
-//! Criterion microbench for the three PPR (m = ∞) solvers: the production
-//! fixed-point recursion, the CGNR iterative solve, and the dense
+//! Criterion microbench for the PPR (m = ∞) solvers: the production
+//! fixed-point recursion, the block-CGNR iterative solve, and the dense
 //! LU-inverse `α(I − (1−α)Ã)⁻¹` from the verification suite — quantifying
 //! why the production path never materializes `R_∞` (Eq. 5's "efficiency
 //! issue" the paper works around with APPR).
+//!
+//! Two comparisons drive solver selection:
+//!
+//! - `ppr_solvers`: solver families across graph sizes at a moderate α.
+//! - `ppr_alpha` / `ppr_alpha_cycle`: power vs. block CGNR vs. the old
+//!   column-at-a-time CGNR across α ∈ {0.01, 0.05, 0.1, 0.2} — the regime
+//!   where `PprSolver::Auto` switches, and where the block path's
+//!   one-product-pair-per-iteration beats the per-column loop. The sweep
+//!   runs on two topologies because the power iteration's effective rate is
+//!   `(1−α)·λ₂(Ã)`: on an Erdős–Rényi *expander* (`ppr_alpha`) the spectral
+//!   gap keeps it fast even at tiny α, while on a ring lattice
+//!   (`ppr_alpha_cycle`, `λ₂ ≈ 1`) small α is exactly the regime where CGNR
+//!   needs far fewer products.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gcon_core::propagation::{propagate, propagate_ppr_cgnr, PropagationStep};
+use gcon_core::propagation::{
+    ppr_cgnr_budget, propagate_ppr_cgnr, propagate_with_solver, PprOperator, PprSolver,
+    PropagationStep,
+};
 use gcon_core::verify::exact_r_infinity;
-use gcon_graph::generators::erdos_renyi_gnm;
+use gcon_graph::generators::{cycle, erdos_renyi_gnm};
 use gcon_graph::normalize::row_stochastic_default;
+use gcon_graph::Csr;
+use gcon_linalg::solve::cgnr;
 use gcon_linalg::{ops, Mat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The pre-refactor path: one CGNR solve per feature column through the
+/// scatter-transpose [`PprOperator`]. Kept here (only) as the baseline the
+/// block solver is measured against.
+fn ppr_cgnr_by_columns(a_tilde: &Csr, x: &Mat, alpha: f64) -> Mat {
+    let op = PprOperator::new(a_tilde, alpha);
+    let n = x.rows();
+    let mut z = Mat::zeros(n, x.cols());
+    for j in 0..x.cols() {
+        let mut b = x.col(j);
+        for v in &mut b {
+            *v *= alpha;
+        }
+        let (col, _) = cgnr(&op, &b, 1e-12, ppr_cgnr_budget(n));
+        for (i, &v) in col.iter().enumerate() {
+            z.set(i, j, v);
+        }
+    }
+    z
+}
 
 fn bench_solvers(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -25,9 +63,11 @@ fn bench_solvers(c: &mut Criterion) {
         let alpha = 0.4;
 
         group.bench_with_input(BenchmarkId::new("fixed_point", n), &n, |b, _| {
-            b.iter(|| propagate(&a, &x, alpha, PropagationStep::Infinite))
+            b.iter(|| {
+                propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Power)
+            })
         });
-        group.bench_with_input(BenchmarkId::new("cgnr", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("cgnr_block", n), &n, |b, _| {
             b.iter(|| propagate_ppr_cgnr(&a, &x, alpha))
         });
         // Dense inverse is O(n³): keep it to the smaller sizes.
@@ -40,5 +80,38 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
+fn alpha_sweep_on(c: &mut Criterion, group_name: &str, a: &Csr, x: &Mat) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &alpha in &[0.01f64, 0.05, 0.1, 0.2] {
+        let id = format!("{alpha}");
+        group.bench_with_input(BenchmarkId::new("power", &id), &alpha, |b, &alpha| {
+            b.iter(|| {
+                propagate_with_solver(a, x, alpha, PropagationStep::Infinite, PprSolver::Power)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cgnr_block", &id), &alpha, |b, &alpha| {
+            b.iter(|| propagate_ppr_cgnr(a, x, alpha))
+        });
+        group.bench_with_input(BenchmarkId::new("cgnr_columns", &id), &alpha, |b, &alpha| {
+            b.iter(|| ppr_cgnr_by_columns(a, x, alpha))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 300;
+    let mut x = Mat::uniform(n, 16, 1.0, &mut rng);
+    x.normalize_rows_l2();
+
+    let g = erdos_renyi_gnm(n, 4 * n, &mut rng);
+    alpha_sweep_on(c, "ppr_alpha", &row_stochastic_default(&g), &x);
+
+    let ring = cycle(n);
+    alpha_sweep_on(c, "ppr_alpha_cycle", &row_stochastic_default(&ring), &x);
+}
+
+criterion_group!(benches, bench_solvers, bench_alpha_sweep);
 criterion_main!(benches);

@@ -12,7 +12,7 @@
 //!   propagation `Z` is computed and multiplied by `Θ_priv`.
 
 use crate::model::TrainedGcon;
-use crate::propagation::{concat_features, PropagationStep};
+use crate::propagation::{concat_features_with_solver, PropagationStep};
 use gcon_graph::normalize::row_stochastic;
 use gcon_graph::Graph;
 use gcon_linalg::{ops, reduce, Mat};
@@ -66,7 +66,13 @@ pub fn private_predict(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Ve
 pub fn public_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
     let x = encode_normalized(model, features);
     let a_tilde = row_stochastic(graph, model.config.clip_p);
-    let z = concat_features(&a_tilde, &x, model.config.alpha, &model.config.steps);
+    let z = concat_features_with_solver(
+        &a_tilde,
+        &x,
+        model.config.alpha,
+        &model.config.steps,
+        model.config.ppr_solver,
+    );
     ops::matmul(&z, &model.theta)
 }
 

@@ -49,4 +49,4 @@ pub mod verify;
 pub use loss::{ConvexLoss, LossBounds, LossKind};
 pub use model::{GconConfig, PrivacyReport, TrainedGcon};
 pub use params::TheoremOneParams;
-pub use propagation::PropagationStep;
+pub use propagation::{PprSolver, PropagationStep};

@@ -3,7 +3,7 @@
 use crate::encoder::{EncoderConfig, FeatureEncoder};
 use crate::loss::LossKind;
 use crate::params::TheoremOneParams;
-use crate::propagation::PropagationStep;
+use crate::propagation::{PprSolver, PropagationStep};
 use gcon_linalg::Mat;
 
 /// Optimizer settings for minimizing the perturbed objective. Per the
@@ -50,6 +50,13 @@ pub struct GconConfig {
     /// smaller values trade per-edge influence for a `2p`-scaled
     /// sensitivity `Ψ_p(Z)` and thus less noise (Lemma 1 extension).
     pub clip_p: f64,
+    /// How the PPR limit (`PropagationStep::Infinite`) is solved during
+    /// training and public inference. `Auto` (the default) picks block CGNR
+    /// for small restart probabilities and the power iteration otherwise;
+    /// a non-converged CGNR solve always falls back to the power iteration.
+    /// Solver choice affects runtime only — never privacy (the calibration
+    /// chain depends on `Ψ(Z)`, not on how `Z` was computed).
+    pub ppr_solver: PprSolver,
     /// Optimizer settings for Eq. (15).
     pub optimizer: OptimizerConfig,
 }
@@ -66,6 +73,7 @@ impl Default for GconConfig {
             alpha_inference: 0.6,
             expand_train_set: true,
             clip_p: 0.5,
+            ppr_solver: PprSolver::Auto,
             optimizer: OptimizerConfig::default(),
         }
     }

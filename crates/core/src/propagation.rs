@@ -23,10 +23,37 @@
 //!   `max(m_i)` sparse products instead of `Σ m_i` (PPR `∞` is handled as
 //!   the final fixed-point segment). [`spmm_ops_performed`] exposes the
 //!   product counter the tests and benches use to verify this.
+//!
+//! # Solving the PPR limit: solver selection and fallback semantics
+//!
+//! The `m = ∞` system `(I − (1−α)Ã) Z_∞ = α X` has two solvers:
+//!
+//! - **Power iteration** (the fixed-point recursion above): effective rate
+//!   `(1−α)·λ₂(Ã)`, unconditionally convergent, no extra memory — the right
+//!   choice whenever the restart probability is moderate *or* the graph has
+//!   a real spectral gap (expanders stay fast even at tiny `α`).
+//! - **Block CGNR** ([`propagate_ppr_cgnr`]): all feature columns are solved
+//!   simultaneously through `gcon_linalg::solve::block_cgnr`, paying one
+//!   `Ã` and one `Ãᵀ` product per iteration *total* (the `Ãᵀ` application
+//!   runs the pooled row-block kernel on a precomputed [`Csr::transpose`],
+//!   not a per-column scatter). Its product count scales with the condition
+//!   number `≈ (2−α)/α` independent of the spectral gap, so it wins on
+//!   poorly-connected graphs at small `α` — the regime where the power
+//!   iteration needs `O(log(1/tol)/α)` sweeps.
+//!
+//! [`PprSolver`] selects between them; the default [`PprSolver::Auto`] picks
+//! CGNR below `α <` [`PPR_CGNR_ALPHA_MAX`] and the power iteration
+//! otherwise, and `GconConfig::ppr_solver` overrides the choice for
+//! training/inference pipelines. **Convergence failure is a first-class
+//! outcome**: if any column of the CGNR solve fails to reach tolerance
+//! within its iteration budget, a warning is logged and the power iteration
+//! — which cannot fail to converge on a row-stochastic `Ã` — finishes the
+//! solve, warm-started from the partial CGNR iterate. No code path returns
+//! an unconverged solve.
 
 use gcon_graph::Csr;
+use gcon_linalg::solve::{block_cgnr, BlockLinearOperator, LinearOperator, SolveStats};
 use gcon_linalg::{ops, Mat};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A propagation step count `m ∈ [0, ∞]` (Eq. 9).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,17 +87,28 @@ impl std::fmt::Display for PropagationStep {
 const PPR_TOL: f64 = 1e-10;
 /// Hard cap on PPR sweeps; the geometric rate `(1−α)` makes this generous.
 const PPR_MAX_ITERS: usize = 10_000;
+/// Relative tolerance of the CGNR solve (judged on the true residual).
+const PPR_CGNR_TOL: f64 = 1e-12;
+/// Below this restart probability [`PprSolver::Auto`] picks CGNR. The power
+/// iteration's worst-case rate is `(1−α)·λ₂(Ã)` while CGNR's product count
+/// scales with the condition number `≈ (2−α)/α` of `I − (1−α)Ã`, so CGNR's
+/// advantage needs *both* a small `α` and a graph without a strong spectral
+/// gap (`bench_solvers`'s `ppr_alpha` sweeps show the power iteration still
+/// winning at α = 0.01 on an Erdős–Rényi expander, and CGNR pulling ahead
+/// only on the ring lattice). The threshold is therefore calibrated
+/// conservatively; workloads that know their graphs are poorly connected
+/// can force `PprSolver::Cgnr` via `GconConfig::ppr_solver`.
+pub const PPR_CGNR_ALPHA_MAX: f64 = 0.02;
 
-/// Running count of `Ã · Z` sparse products performed by the propagation
-/// kernels in this process (all threads).
-static SPMM_OPS: AtomicU64 = AtomicU64::new(0);
-
-/// Total `Ã · Z` products performed by [`propagate`], [`propagate_into`] and
-/// [`propagate_multi`] since process start. The single-pass multi-scale
-/// acceptance check — `max(m_i)` products instead of `Σ m_i` — is asserted
-/// against deltas of this counter.
+/// Total sparse products (`Ã·Z`, `Ã·x`, `Ãᵀ·Z`) performed since process
+/// start. Counting lives in the `gcon-graph` kernels themselves
+/// ([`gcon_graph::spmm_ops_performed`]), so every path — the propagation
+/// recursion *and* the CGNR solver's operator applications — is accounted.
+/// The single-pass multi-scale acceptance check (`max(m_i)` products instead
+/// of `Σ m_i`) and the block-CGNR check (one product pair per iteration for
+/// all columns) are asserted against deltas of this counter.
 pub fn spmm_ops_performed() -> usize {
-    SPMM_OPS.load(Ordering::Relaxed) as usize
+    gcon_graph::spmm_ops_performed()
 }
 
 /// Computes `Z_m = R_m X` for one step count (Eq. 10).
@@ -78,8 +116,31 @@ pub fn spmm_ops_performed() -> usize {
 /// `a_tilde` must be the row-stochastic `Ã = D⁻¹(A+I)`
 /// (see `gcon_graph::normalize::row_stochastic_default`).
 ///
-/// Allocating convenience wrapper around [`propagate_into`].
+/// Equivalent to [`propagate_with_solver`] with [`PprSolver::Auto`]: finite
+/// steps run the recursion; the `∞` limit is solved by CGNR for small `α`
+/// and by the power iteration otherwise (both agree to solver tolerance).
 pub fn propagate(a_tilde: &Csr, x: &Mat, alpha: f64, step: PropagationStep) -> Mat {
+    propagate_with_solver(a_tilde, x, alpha, step, PprSolver::Auto)
+}
+
+/// [`propagate`] with an explicit [`PprSolver`] choice for the `∞` limit
+/// (finite steps always run the recursion; the solver selection is a no-op
+/// for them).
+pub fn propagate_with_solver(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    step: PropagationStep,
+    solver: PprSolver,
+) -> Mat {
+    if step == PropagationStep::Infinite && solver.chooses_cgnr(alpha) {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "propagate: restart probability α must lie in (0, 1], got {alpha}"
+        );
+        assert_eq!(a_tilde.rows(), x.rows(), "propagate: dimension mismatch");
+        return propagate_ppr_cgnr(a_tilde, x, alpha);
+    }
     let mut z = Mat::zeros(0, 0);
     let mut scratch = Mat::zeros(0, 0);
     propagate_into(a_tilde, x, alpha, step, &mut z, &mut scratch);
@@ -120,7 +181,6 @@ pub fn propagate_into(
 /// One APPR sweep in place: `z ← (1−α) Ã z + α x`, with `scratch` receiving
 /// the previous iterate (the buffers are swapped, not copied).
 fn step_once_into(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha: f64) {
-    SPMM_OPS.fetch_add(1, Ordering::Relaxed);
     a_tilde.spmm_into(z, scratch);
     scratch.map_inplace(|v| v * (1.0 - alpha));
     ops::add_scaled_assign(scratch, alpha, x);
@@ -142,13 +202,47 @@ fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
     a.as_slice().iter().zip(b.as_slice()).fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
 }
 
-/// Matrix-free operator for `I − (1−α)Ã`, the PPR system matrix of Eq. (5).
-struct PprOperator<'a> {
+/// Which solver computes the PPR limit `Z_∞` (`PropagationStep::Infinite`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PprSolver {
+    /// Pick from `α`: CGNR below [`PPR_CGNR_ALPHA_MAX`], power iteration
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Always the fixed-point recursion (geometric rate `1−α`).
+    Power,
+    /// Always block CGNR, with automatic fallback to the power iteration on
+    /// non-convergence.
+    Cgnr,
+}
+
+impl PprSolver {
+    /// Whether this selection resolves to CGNR for restart probability `α`.
+    pub fn chooses_cgnr(self, alpha: f64) -> bool {
+        match self {
+            Self::Auto => alpha < PPR_CGNR_ALPHA_MAX,
+            Self::Power => false,
+            Self::Cgnr => true,
+        }
+    }
+}
+
+/// Matrix-free operator for `I − (1−α)Ã`, the PPR system matrix of Eq. (5),
+/// applied to one vector. Used by the per-column benchmarks and tests; the
+/// production path is the block operator behind [`propagate_ppr_cgnr`].
+pub struct PprOperator<'a> {
     a_tilde: &'a Csr,
     one_minus_alpha: f64,
 }
 
-impl gcon_linalg::solve::LinearOperator for PprOperator<'_> {
+impl<'a> PprOperator<'a> {
+    /// Wraps the row-stochastic `Ã` for restart probability `alpha`.
+    pub fn new(a_tilde: &'a Csr, alpha: f64) -> Self {
+        Self { a_tilde, one_minus_alpha: 1.0 - alpha }
+    }
+}
+
+impl LinearOperator for PprOperator<'_> {
     fn apply(&self, x: &[f64]) -> Vec<f64> {
         let mut y = self.a_tilde.spmv(x);
         for (yi, &xi) in y.iter_mut().zip(x) {
@@ -158,18 +252,9 @@ impl gcon_linalg::solve::LinearOperator for PprOperator<'_> {
     }
 
     fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
-        // (I − (1−α)Ã)ᵀ = I − (1−α)Ãᵀ; apply Ãᵀ by scatter.
-        let n = self.a_tilde.rows();
-        let mut at_x = vec![0.0; n];
-        for (i, &xi) in x.iter().enumerate().take(n) {
-            let (cols, vals) = self.a_tilde.row(i);
-            if xi == 0.0 {
-                continue;
-            }
-            for (&j, &v) in cols.iter().zip(vals) {
-                at_x[j as usize] += v * xi;
-            }
-        }
+        // (I − (1−α)Ã)ᵀ = I − (1−α)Ãᵀ; the per-vector `Ãᵀ` scatter is
+        // exactly what the block operator's precomputed transpose avoids.
+        let at_x = self.a_tilde.spmv_t(x);
         at_x.iter().zip(x).map(|(&a, &xi)| xi - self.one_minus_alpha * a).collect()
     }
 
@@ -178,30 +263,108 @@ impl gcon_linalg::solve::LinearOperator for PprOperator<'_> {
     }
 }
 
-/// Alternative PPR path: solves `(I − (1−α)Ã) Z_∞ = α X` column-by-column
-/// with matrix-free CGNR instead of the power iteration of
-/// [`propagate`]`(…, PropagationStep::Infinite)`.
+/// Matrix-free block operator for `I − (1−α)Ã` applied to all feature
+/// columns at once. The `Ãᵀ` application runs the pooled row-block `spmm`
+/// kernel on a transpose precomputed at construction — one O(nnz) counting
+/// sort buys scatter-free transposed products for every solver iteration.
+struct PprBlockOperator<'a> {
+    a_tilde: &'a Csr,
+    a_tilde_t: Csr,
+    one_minus_alpha: f64,
+}
+
+impl<'a> PprBlockOperator<'a> {
+    fn new(a_tilde: &'a Csr, alpha: f64) -> Self {
+        Self { a_tilde, a_tilde_t: a_tilde.transpose(), one_minus_alpha: 1.0 - alpha }
+    }
+
+    /// `out ← x − (1−α)·out`, the shared affine tail of both applications.
+    fn finish(&self, x: &Mat, out: &mut Mat) {
+        for (o, &xi) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = xi - self.one_minus_alpha * *o;
+        }
+    }
+}
+
+impl BlockLinearOperator for PprBlockOperator<'_> {
+    fn apply_into(&self, x: &Mat, out: &mut Mat) {
+        self.a_tilde.spmm_into(x, out);
+        self.finish(x, out);
+    }
+
+    fn apply_transpose_into(&self, x: &Mat, out: &mut Mat) {
+        self.a_tilde_t.spmm_into(x, out);
+        self.finish(x, out);
+    }
+
+    fn dim(&self) -> usize {
+        self.a_tilde.rows()
+    }
+}
+
+/// Default CGNR iteration budget for an `n`-node system — what
+/// [`propagate_ppr_cgnr`] passes to the solver. Public so the op-count
+/// tests and the solver benchmarks measure the budget production actually
+/// uses.
+pub fn ppr_cgnr_budget(n: usize) -> usize {
+    4 * n + 100
+}
+
+/// Raw block-CGNR solve of `(I − (1−α)Ã) Z_∞ = α X`: returns the iterate
+/// and one honest [`SolveStats`] per feature column (true-residual verdict,
+/// actual iteration count) **without** any fallback. Callers that cannot
+/// tolerate a non-converged column use [`propagate_ppr_cgnr`] /
+/// [`propagate_ppr_cgnr_bounded`], which fall back to the power iteration.
+pub fn solve_ppr_cgnr(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    max_iters: usize,
+) -> (Mat, Vec<SolveStats>) {
+    assert!(alpha > 0.0 && alpha <= 1.0, "solve_ppr_cgnr: α in (0, 1]");
+    assert_eq!(a_tilde.rows(), x.rows(), "solve_ppr_cgnr: dimension mismatch");
+    let op = PprBlockOperator::new(a_tilde, alpha);
+    let b = x.map(|v| v * alpha);
+    block_cgnr(&op, &b, PPR_CGNR_TOL, max_iters)
+}
+
+/// Alternative PPR path: solves `(I − (1−α)Ã) Z_∞ = α X` for **all** feature
+/// columns simultaneously with matrix-free block CGNR instead of the power
+/// iteration of [`propagate`]`(…, PropagationStep::Infinite)`.
 ///
 /// Useful for small restart probabilities, where the power iteration's
 /// geometric rate `1−α` is slow; both paths agree to solver tolerance (see
-/// the equivalence test).
+/// the equivalence tests). If any column fails to converge within the
+/// iteration budget the whole block is recomputed with the power iteration
+/// (with a logged warning) — an unconverged solve is never returned.
 pub fn propagate_ppr_cgnr(a_tilde: &Csr, x: &Mat, alpha: f64) -> Mat {
-    assert!(alpha > 0.0 && alpha <= 1.0, "propagate_ppr_cgnr: α in (0, 1]");
-    assert_eq!(a_tilde.rows(), x.rows(), "propagate_ppr_cgnr: dimension mismatch");
-    let op = PprOperator { a_tilde, one_minus_alpha: 1.0 - alpha };
-    let n = x.rows();
-    let mut z = Mat::zeros(n, x.cols());
-    for j in 0..x.cols() {
-        let mut b = x.col(j);
-        for v in &mut b {
-            *v *= alpha;
-        }
-        let (col, stats) = gcon_linalg::solve::cgnr(&op, &b, 1e-12, 4 * n + 100);
-        debug_assert!(stats.converged, "PPR CGNR failed to converge: {stats:?}");
-        for (i, &v) in col.iter().enumerate() {
-            z.set(i, j, v);
-        }
+    propagate_ppr_cgnr_bounded(a_tilde, x, alpha, ppr_cgnr_budget(a_tilde.rows()))
+}
+
+/// [`propagate_ppr_cgnr`] with an explicit iteration budget. Exposed so the
+/// fallback path is testable in release builds: a budget too small to
+/// converge must still yield the correct `Z_∞` (via the power iteration),
+/// never a half-converged iterate.
+pub fn propagate_ppr_cgnr_bounded(a_tilde: &Csr, x: &Mat, alpha: f64, max_iters: usize) -> Mat {
+    let (z, stats) = solve_ppr_cgnr(a_tilde, x, alpha, max_iters);
+    let failed = stats.iter().filter(|s| !s.converged).count();
+    if failed == 0 {
+        return z;
     }
+    let worst = stats.iter().map(|s| s.residual).fold(0.0_f64, f64::max);
+    eprintln!(
+        "gcon-core: PPR CGNR left {failed}/{} columns unconverged after {} iterations \
+         (worst residual {worst:.3e}); falling back to the power iteration",
+        stats.len(),
+        max_iters,
+    );
+    // The recursion contracts toward Z_∞ from any finite starting point, so
+    // the solver's partial iterate warm-starts the fallback instead of being
+    // discarded (a non-finite iterate would never satisfy the fixed-point
+    // stopping rule, so that one case restarts from X).
+    let mut z = if z.is_finite() { z } else { x.clone() };
+    let mut scratch = Mat::default();
+    run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
     z
 }
 
@@ -213,12 +376,27 @@ pub fn propagate_ppr_cgnr(a_tilde: &Csr, x: &Mat, alpha: f64) -> Mat {
 /// `max(m_i)` and snapshotting each requested scale as it is passed costs
 /// `max(m_i)` sparse products instead of the `Σ m_i` that per-scale
 /// [`propagate`] calls would pay. A `PropagationStep::Infinite` entry is
-/// handled as the final segment: the sweep simply continues from the largest
-/// finite scale to the fixed point (the iteration contracts toward `Z_∞`
-/// from *any* starting point, so the continuation converges to the same
-/// limit — finite blocks are bit-identical to per-scale propagation, the
-/// `∞` block agrees to fixed-point tolerance).
+/// handled as the final segment: with the power solver the sweep simply
+/// continues from the largest finite scale to the fixed point (the iteration
+/// contracts toward `Z_∞` from *any* starting point, so the continuation
+/// converges to the same limit — finite blocks are bit-identical to
+/// per-scale propagation, the `∞` block agrees to fixed-point tolerance);
+/// with CGNR selected the `∞` block is solved directly by the block solver.
+///
+/// Equivalent to [`propagate_multi_with_solver`] with [`PprSolver::Auto`].
 pub fn propagate_multi(a_tilde: &Csr, x: &Mat, alpha: f64, steps: &[PropagationStep]) -> Mat {
+    propagate_multi_with_solver(a_tilde, x, alpha, steps, PprSolver::Auto)
+}
+
+/// [`propagate_multi`] with an explicit [`PprSolver`] choice for the `∞`
+/// segment.
+pub fn propagate_multi_with_solver(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    steps: &[PropagationStep],
+    solver: PprSolver,
+) -> Mat {
     assert!(!steps.is_empty(), "propagate_multi: need at least one step");
     assert!(
         alpha > 0.0 && alpha <= 1.0,
@@ -252,8 +430,13 @@ pub fn propagate_multi(a_tilde: &Csr, x: &Mat, alpha: f64, steps: &[PropagationS
         snapshot(&mut out, &z, PropagationStep::Finite(k));
     }
     if has_infinite {
-        run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
-        snapshot(&mut out, &z, PropagationStep::Infinite);
+        if solver.chooses_cgnr(alpha) {
+            let z_inf = propagate_ppr_cgnr(a_tilde, x, alpha);
+            snapshot(&mut out, &z_inf, PropagationStep::Infinite);
+        } else {
+            run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
+            snapshot(&mut out, &z, PropagationStep::Infinite);
+        }
     }
     out
 }
@@ -264,9 +447,24 @@ pub fn propagate_multi(a_tilde: &Csr, x: &Mat, alpha: f64, steps: &[PropagationS
 /// The `1/s` weighting keeps each row's L2 norm ≤ 1 when the rows of `x` are
 /// unit-normalized (each `Z_m` row is a convex combination of unit rows).
 /// All scales are computed by the single-pass [`propagate_multi`] sweep.
+///
+/// Equivalent to [`concat_features_with_solver`] with [`PprSolver::Auto`].
 pub fn concat_features(a_tilde: &Csr, x: &Mat, alpha: f64, steps: &[PropagationStep]) -> Mat {
+    concat_features_with_solver(a_tilde, x, alpha, steps, PprSolver::Auto)
+}
+
+/// [`concat_features`] with an explicit [`PprSolver`] choice for any `∞`
+/// scale — this is what training and public inference call with
+/// `GconConfig::ppr_solver`.
+pub fn concat_features_with_solver(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    steps: &[PropagationStep],
+    solver: PprSolver,
+) -> Mat {
     assert!(!steps.is_empty(), "concat_features: need at least one step");
-    let mut z = propagate_multi(a_tilde, x, alpha, steps);
+    let mut z = propagate_multi_with_solver(a_tilde, x, alpha, steps, solver);
     let inv_s = 1.0 / steps.len() as f64;
     z.map_inplace(|v| v * inv_s);
     z
@@ -395,7 +593,8 @@ mod tests {
         let (_, a) = small_graph();
         let x = Mat::from_fn(6, 3, |i, j| ((i * 2 + j) % 7) as f64 * 0.3 - 0.5);
         for &alpha in &[0.1, 0.4, 0.9] {
-            let power = propagate(&a, &x, alpha, PropagationStep::Infinite);
+            let power =
+                propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
             let cg = propagate_ppr_cgnr(&a, &x, alpha);
             for (u, v) in power.as_slice().iter().zip(cg.as_slice()) {
                 assert!((u - v).abs() < 1e-7, "α={alpha}: {u} vs {v}");
@@ -412,10 +611,103 @@ mod tests {
         let a = row_stochastic_default(&g);
         let mut x = Mat::uniform(150, 4, 1.0, &mut rng);
         x.normalize_rows_l2();
-        let power = propagate(&a, &x, 0.2, PropagationStep::Infinite);
+        let power = propagate_with_solver(&a, &x, 0.2, PropagationStep::Infinite, PprSolver::Power);
         let cg = propagate_ppr_cgnr(&a, &x, 0.2);
         for (u, v) in power.as_slice().iter().zip(cg.as_slice()) {
             assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    /// Regression for the silent-failure bug: a budget too small to converge
+    /// must fall back to the power iteration, so the result is still correct
+    /// in `--release` (the old path `debug_assert!`ed and returned garbage).
+    #[test]
+    fn non_converged_cgnr_falls_back_to_power_iteration() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(55);
+        let g = generators::erdos_renyi_gnm(60, 180, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(60, 3, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.05;
+        // Sanity: two iterations genuinely cannot reach tolerance here.
+        let (_, stats) = solve_ppr_cgnr(&a, &x, alpha, 2);
+        assert!(stats.iter().all(|s| !s.converged), "budget of 2 unexpectedly converged");
+        let power =
+            propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
+        let z = propagate_ppr_cgnr_bounded(&a, &x, alpha, 2);
+        // The fallback warm-starts from the partial CGNR iterate, so it
+        // reaches the same fixed point to tolerance (not bit-identically).
+        for (u, v) in power.as_slice().iter().zip(z.as_slice()) {
+            assert!(
+                (u - v).abs() < 1e-7,
+                "fallback must reproduce the power iteration: {u} vs {v}"
+            );
+        }
+    }
+
+    /// Honest statistics on an ill-conditioned system (α = 0.01): each
+    /// column's reported residual must equal the directly computed
+    /// `‖αx_j − (I − (1−α)Ã) z_j‖₂`, not a drifted recurrence value.
+    #[test]
+    fn cgnr_stats_report_true_residual_when_ill_conditioned() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(56);
+        let g = generators::erdos_renyi_gnm(80, 240, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(80, 4, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.01;
+        let (z, stats) = solve_ppr_cgnr(&a, &x, alpha, ppr_cgnr_budget(80));
+        let op = PprOperator::new(&a, alpha);
+        for (j, s) in stats.iter().enumerate() {
+            let az = op.apply(&z.col(j));
+            let direct = x
+                .col(j)
+                .iter()
+                .zip(&az)
+                .map(|(&xi, &ai)| (alpha * xi - ai) * (alpha * xi - ai))
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                (s.residual - direct).abs() <= 1e-12 * direct.max(1.0),
+                "column {j}: reported {} vs direct {direct}",
+                s.residual
+            );
+            assert!(s.converged, "column {j} should converge within the default budget: {s:?}");
+        }
+    }
+
+    /// The auto selection switches solver at the documented threshold.
+    #[test]
+    fn solver_auto_threshold() {
+        assert!(PprSolver::Auto.chooses_cgnr(0.01));
+        assert!(PprSolver::Auto.chooses_cgnr(PPR_CGNR_ALPHA_MAX - 1e-9));
+        assert!(!PprSolver::Auto.chooses_cgnr(PPR_CGNR_ALPHA_MAX));
+        assert!(!PprSolver::Auto.chooses_cgnr(0.6));
+        assert!(PprSolver::Cgnr.chooses_cgnr(0.9));
+        assert!(!PprSolver::Power.chooses_cgnr(0.01));
+    }
+
+    /// `propagate_multi` with CGNR selected for the `∞` block agrees with
+    /// the pure-power sweep on every block.
+    #[test]
+    fn propagate_multi_solver_choices_agree() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(57);
+        let g = generators::erdos_renyi_gnm(50, 150, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(50, 3, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let steps = [PropagationStep::Finite(2), PropagationStep::Infinite];
+        let alpha = 0.08;
+        let power = propagate_multi_with_solver(&a, &x, alpha, &steps, PprSolver::Power);
+        let cgnr = propagate_multi_with_solver(&a, &x, alpha, &steps, PprSolver::Cgnr);
+        for (u, v) in power.as_slice().iter().zip(cgnr.as_slice()) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
         }
     }
 

@@ -17,15 +17,19 @@ use crate::encoder::FeatureEncoder;
 use crate::loss::LossKind;
 use crate::model::{GconConfig, OptimizerConfig, PrivacyReport, TrainedGcon};
 use crate::params::TheoremOneParams;
-use crate::propagation::PropagationStep;
+use crate::propagation::{PprSolver, PropagationStep};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gcon_linalg::Mat;
 use gcon_nn::{Activation, Linear, Mlp};
 
 /// Magic prefix of the format.
 pub const MAGIC: &[u8; 4] = b"GCON";
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version. Version 2 added the `ppr_solver` tag to the
+/// configuration block; version-1 streams still decode (the solver defaults
+/// to `PprSolver::Auto`).
+pub const VERSION: u16 = 2;
+/// Oldest format version [`from_bytes`] still decodes.
+pub const MIN_VERSION: u16 = 1;
 
 /// Why a byte stream failed to decode into a model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +38,8 @@ pub enum DecodeError {
     Truncated,
     /// The stream does not start with the `GCON` magic.
     BadMagic,
-    /// The format version is newer than this library understands.
+    /// The format version lies outside the `MIN_VERSION..=VERSION` range
+    /// this library understands.
     UnsupportedVersion(u16),
     /// An enum tag had no defined meaning.
     BadTag(&'static str, u8),
@@ -230,7 +235,7 @@ fn get_loss(buf: &mut Bytes) -> Result<LossKind, DecodeError> {
     }
 }
 
-fn put_config(buf: &mut BytesMut, cfg: &GconConfig) {
+fn put_config(buf: &mut BytesMut, cfg: &GconConfig, version: u16) {
     buf.put_u64_le(cfg.encoder.hidden as u64);
     buf.put_u64_le(cfg.encoder.d1 as u64);
     buf.put_u64_le(cfg.encoder.epochs as u64);
@@ -247,12 +252,19 @@ fn put_config(buf: &mut BytesMut, cfg: &GconConfig) {
     buf.put_f64_le(cfg.alpha_inference);
     buf.put_u8(cfg.expand_train_set as u8);
     buf.put_f64_le(cfg.clip_p);
+    if version >= 2 {
+        buf.put_u8(match cfg.ppr_solver {
+            PprSolver::Auto => 0,
+            PprSolver::Power => 1,
+            PprSolver::Cgnr => 2,
+        });
+    }
     buf.put_f64_le(cfg.optimizer.lr);
     buf.put_u64_le(cfg.optimizer.max_iters as u64);
     buf.put_f64_le(cfg.optimizer.grad_tol);
 }
 
-fn get_config(buf: &mut Bytes) -> Result<GconConfig, DecodeError> {
+fn get_config(buf: &mut Bytes, version: u16) -> Result<GconConfig, DecodeError> {
     let encoder = EncoderConfig {
         hidden: get_u64(buf)? as usize,
         d1: get_u64(buf)? as usize,
@@ -276,6 +288,18 @@ fn get_config(buf: &mut Bytes) -> Result<GconConfig, DecodeError> {
         t => return Err(DecodeError::BadTag("bool", t)),
     };
     let clip_p = get_f64(buf)?;
+    // Version 1 predates the solver tag; those models used what is now the
+    // Auto selection.
+    let ppr_solver = if version >= 2 {
+        match get_u8(buf)? {
+            0 => PprSolver::Auto,
+            1 => PprSolver::Power,
+            2 => PprSolver::Cgnr,
+            t => return Err(DecodeError::BadTag("ppr solver", t)),
+        }
+    } else {
+        PprSolver::Auto
+    };
     let optimizer = OptimizerConfig {
         lr: get_f64(buf)?,
         max_iters: get_u64(buf)? as usize,
@@ -291,6 +315,7 @@ fn get_config(buf: &mut Bytes) -> Result<GconConfig, DecodeError> {
         alpha_inference,
         expand_train_set,
         clip_p,
+        ppr_solver,
         optimizer,
     })
 }
@@ -327,15 +352,22 @@ fn get_report(buf: &mut Bytes) -> Result<PrivacyReport, DecodeError> {
 
 // --------------------------------------------------------------- toplevel
 
-/// Serializes a trained model to its binary representation.
+/// Serializes a trained model to its binary representation (the current
+/// [`VERSION`]).
 pub fn to_bytes(model: &TrainedGcon) -> Bytes {
+    to_bytes_versioned(model, VERSION)
+}
+
+/// [`to_bytes`] at an explicit format version; older versions drop the
+/// fields they predate. Used by the compatibility tests.
+fn to_bytes_versioned(model: &TrainedGcon, version: u16) -> Bytes {
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(version);
     put_mat(&mut buf, &model.theta);
     put_mlp(&mut buf, &model.encoder.net);
     put_linear(&mut buf, &model.encoder.head);
-    put_config(&mut buf, &model.config);
+    put_config(&mut buf, &model.config, version);
     put_report(&mut buf, &model.report);
     buf.put_u64_le(model.num_classes as u64);
     buf.put_u64_le(model.opt_iterations as u64);
@@ -343,7 +375,8 @@ pub fn to_bytes(model: &TrainedGcon) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a model from bytes produced by [`to_bytes`]. Fail-closed.
+/// Decodes a model from bytes produced by [`to_bytes`] — any format version
+/// in `MIN_VERSION..=VERSION`. Fail-closed.
 pub fn from_bytes(bytes: &[u8]) -> Result<TrainedGcon, DecodeError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     if buf.remaining() < 4 {
@@ -355,13 +388,13 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TrainedGcon, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let version = get_u16(&mut buf)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DecodeError::UnsupportedVersion(version));
     }
     let theta = get_mat(&mut buf)?;
     let net = get_mlp(&mut buf)?;
     let head = get_linear(&mut buf)?;
-    let config = get_config(&mut buf)?;
+    let config = get_config(&mut buf, version)?;
     let report = get_report(&mut buf)?;
     let num_classes = get_u64(&mut buf)? as usize;
     let opt_iterations = get_u64(&mut buf)? as usize;
@@ -429,6 +462,7 @@ mod tests {
         cfg.optimizer.max_iters = 200;
         cfg.steps = vec![PropagationStep::Finite(1), PropagationStep::Infinite];
         cfg.loss = LossKind::PseudoHuber { delta: 0.3 };
+        cfg.ppr_solver = PprSolver::Cgnr;
         let model = train_gcon(&cfg, &g, &x, &labels, &idx, 3, 1.5, 1e-4, &mut rng);
         (model, g, x)
     }
@@ -445,6 +479,7 @@ mod tests {
         assert_eq!(back.config.steps, model.config.steps);
         assert_eq!(back.config.clip_p, model.config.clip_p);
         assert_eq!(back.config.loss, model.config.loss);
+        assert_eq!(back.config.ppr_solver, model.config.ppr_solver);
         assert_eq!(back.report.eps, model.report.eps);
         assert_eq!(back.report.params.beta, model.report.params.beta);
         assert_eq!(back.report.n1, model.report.n1);
@@ -488,6 +523,26 @@ mod tests {
         let mut bytes = to_bytes(&model).to_vec();
         bytes[4] = 0xFF; // version LE low byte
         assert!(matches!(from_bytes(&bytes), Err(DecodeError::UnsupportedVersion(_))));
+        let mut bytes = to_bytes(&model).to_vec();
+        bytes[4] = 0; // version 0 predates MIN_VERSION
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::UnsupportedVersion(0))));
+    }
+
+    /// Version-1 artifacts (published before the `ppr_solver` tag existed)
+    /// must keep decoding, with the solver defaulting to `Auto`.
+    #[test]
+    fn version_one_streams_still_decode() {
+        let (mut model, g, x) = trained_model(8);
+        // v1 cannot carry a non-default solver; encode the equivalent model.
+        model.config.ppr_solver = PprSolver::Auto;
+        let v1 = to_bytes_versioned(&model, 1);
+        let back = from_bytes(&v1).expect("v1 stream must decode");
+        assert_eq!(back.config.ppr_solver, PprSolver::Auto);
+        assert_eq!(back.theta.as_slice(), model.theta.as_slice());
+        assert_eq!(back.config.steps, model.config.steps);
+        let a = crate::infer::private_logits(&model, &g, &x);
+        let b = crate::infer::private_logits(&back, &g, &x);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

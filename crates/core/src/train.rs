@@ -17,7 +17,7 @@ use crate::model::{GconConfig, OptimizerConfig, PrivacyReport, TrainedGcon};
 use crate::noise::sample_noise_matrix;
 use crate::objective::PerturbedObjective;
 use crate::params::{CalibrationInput, TheoremOneParams};
-use crate::propagation::concat_features;
+use crate::propagation::concat_features_with_solver;
 use crate::sensitivity::psi_z_clipped;
 use gcon_graph::normalize::row_stochastic;
 use gcon_graph::Graph;
@@ -168,7 +168,13 @@ pub fn train_gcon_on_adjacency<R: Rng + ?Sized>(
 
     // Lines 4–7: single-pass multi-scale propagation and concatenation
     // (with the Lemma 1 clip, inactive at the default p = 1/2).
-    let z_all = concat_features(a_tilde, &x_enc, config.alpha, &config.steps);
+    let z_all = concat_features_with_solver(
+        a_tilde,
+        &x_enc,
+        config.alpha,
+        &config.steps,
+        config.ppr_solver,
+    );
 
     // Training rows: the labeled set, optionally expanded with encoder
     // pseudo-labels (n₁ ∈ {n₀, n} in Appendix Q). Pseudo-labels are derived

@@ -1,8 +1,28 @@
 //! Compressed sparse row matrices and the threaded sparse×dense product that
 //! implements every graph-convolution step in the workspace.
+//!
+//! Every sparse product — [`Csr::spmv`]/[`Csr::spmv_t`],
+//! [`Csr::spmm`]/[`Csr::spmm_into`] and the transposed [`Csr::spmm_t_into`]
+//! — increments a process-wide counter exposed by [`spmm_ops_performed`].
+//! Counting at the kernel layer (rather than at call sites) means no product
+//! can escape the accounting: the op-count acceptance tests for single-pass
+//! propagation and for the block CGNR solver both read deltas of this
+//! counter.
 
 use gcon_linalg::Mat;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Running count of sparse products (`spmv`, `spmm`, `spmm_t`) performed in
+/// this process (all threads).
+static SPMM_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total sparse products performed since process start. A `Csr::spmv` call
+/// counts 1, a `Csr::spmm`/`spmm_into`/`spmm_t_into` call counts 1 (one
+/// sparse×dense product, whatever the dense width).
+pub fn spmm_ops_performed() -> usize {
+    SPMM_OPS.load(Ordering::Relaxed) as usize
+}
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -108,12 +128,33 @@ impl Csr {
     /// Dense `self · x` for a vector.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
+        SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         (0..self.rows)
             .map(|i| {
                 let (cols, vals) = self.row(i);
                 cols.iter().zip(vals).map(|(&j, &v)| v * x[j as usize]).sum()
             })
             .collect()
+    }
+
+    /// Dense `selfᵀ · x` for a vector, applied as an O(nnz) scatter over the
+    /// rows of `self` — no transposed structure required. For repeated
+    /// transposed products on dense blocks, precompute [`Csr::transpose`]
+    /// and use the pooled [`Csr::spmm_into`] instead.
+    pub fn spmv_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "spmv_t: dimension mismatch");
+        SPMM_OPS.fetch_add(1, Ordering::Relaxed);
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                out[j as usize] += v * xi;
+            }
+        }
+        out
     }
 
     /// Dense `self · B` (sparse × dense), parallelized over row blocks on
@@ -134,6 +175,7 @@ impl Csr {
     /// instead of allocating a fresh matrix per step.
     pub fn spmm_into(&self, b: &Mat, out: &mut Mat) {
         assert_eq!(self.cols, b.rows(), "spmm: dimension mismatch");
+        SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         let d = b.cols();
         out.reset_to_zeros(self.rows, d);
         let work = self.nnz() * d;
@@ -154,6 +196,48 @@ impl Csr {
                 }
             }
         }
+    }
+
+    /// The transpose as a new CSR matrix, built with an O(nnz) counting
+    /// sort. Column indices within each transposed row come out sorted.
+    ///
+    /// Repeated `selfᵀ · B` products (e.g. the `Ãᵀ` application inside every
+    /// CGNR iteration) should precompute this once and call [`Csr::spmm_into`]
+    /// on the result — that runs the same pooled row-block kernel as the
+    /// forward product instead of an O(nnz) scatter per application.
+    pub fn transpose(&self) -> Csr {
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            indptr[j as usize + 1] += 1;
+        }
+        for j in 0..self.cols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut next = indptr.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let pos = next[j as usize];
+                indices[pos] = i as u32;
+                values[pos] = v;
+                next[j as usize] += 1;
+            }
+        }
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Dense `selfᵀ · B` written into `out` (reshaped to
+    /// `self.cols() × b.cols()`), running the pooled row-block kernel on a
+    /// transposed copy of `self`.
+    ///
+    /// This transposes on every call; callers applying `selfᵀ` repeatedly
+    /// (iterative solvers) should hold [`Csr::transpose`] themselves and use
+    /// [`Csr::spmm_into`] directly, which is what the PPR block operator in
+    /// `gcon-core` does.
+    pub fn spmm_t_into(&self, b: &Mat, out: &mut Mat) {
+        self.transpose().spmm_into(b, out);
     }
 
     /// Converts to a dense matrix (small graphs / tests only).
@@ -204,6 +288,13 @@ mod tests {
     fn spmv_matches_dense() {
         let m = sample();
         assert_eq!(m.spmv(&[1.0, 2.0, 3.0]), vec![7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn spmv_t_matches_transposed_spmv() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.spmv_t(&x), m.transpose().spmv(&x));
     }
 
     #[test]
@@ -264,5 +355,68 @@ mod tests {
         let m = sample().to_dense();
         assert_eq!(m.get(2, 1), 4.0);
         assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let (rows, cols) = (23, 31);
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+        for row in entries.iter_mut() {
+            for j in 0..cols as u32 {
+                if rng.gen::<f64>() < 0.2 {
+                    row.push((j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sp = Csr::from_row_entries(rows, cols, entries);
+        let t = sp.transpose();
+        assert_eq!((t.rows(), t.cols()), (cols, rows));
+        assert_eq!(t.nnz(), sp.nnz());
+        assert_eq!(t.to_dense(), sp.to_dense().transpose());
+        // Involution.
+        assert_eq!(t.transpose(), sp);
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transposed_matmul() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = 40;
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for row in entries.iter_mut() {
+            for j in 0..n as u32 {
+                if rng.gen::<f64>() < 0.1 {
+                    row.push((j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sp = Csr::from_row_entries(n, n, entries);
+        let b = Mat::uniform(n, 7, 1.0, &mut rng);
+        let mut fast = Mat::default();
+        sp.spmm_t_into(&b, &mut fast);
+        let slow = gcon_linalg::ops::matmul(&sp.to_dense().transpose(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sparse_products_are_counted() {
+        // Other unit tests in this binary may run sparse products
+        // concurrently, so only a lower bound is asserted here; the exact
+        // per-call accounting is pinned down by the serialized op-count
+        // suite in `tests/runtime_opcount.rs`.
+        let m = sample();
+        let b = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let before = spmm_ops_performed();
+        let _ = m.spmv(&[1.0, 2.0, 3.0]);
+        let _ = m.spmm(&b);
+        let mut out = Mat::default();
+        m.spmm_t_into(&b, &mut out);
+        assert!(spmm_ops_performed() - before >= 3);
     }
 }

@@ -22,6 +22,6 @@ pub mod normalize;
 pub mod stats;
 pub mod traversal;
 
-pub use csr::Csr;
+pub use csr::{spmm_ops_performed, Csr};
 pub use graph::Graph;
 pub use homophily::homophily_ratio;

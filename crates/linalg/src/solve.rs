@@ -7,6 +7,26 @@
 //! far fewer matrix products. This module provides a matrix-free CG on the
 //! *normal equations* (CGNR) — the operator `I − (1−α)Ã` is nonsymmetric, so
 //! plain CG does not apply — plus a dense reference solver for tests.
+//!
+//! Two solver shapes are offered:
+//!
+//! - [`cgnr`] solves `A x = b` for one right-hand side through a
+//!   [`LinearOperator`].
+//! - [`block_cgnr`] solves `A X = B` for **all** columns of `B`
+//!   simultaneously through a [`BlockLinearOperator`]: one `A` product and
+//!   one `Aᵀ` product per iteration *total*, with per-column step sizes and
+//!   per-column convergence tracking. Converged columns freeze (their
+//!   iterates stop moving) while the remaining columns keep iterating, and
+//!   each column's trajectory is exactly the trajectory the single-column
+//!   [`cgnr`] would have taken.
+//!
+//! Both solvers report honest statistics: `iterations` is the number of
+//! iterations actually performed on every exit path, and the `converged`
+//! verdict is decided on the **true** residual `‖b − A x‖₂` — recomputed
+//! with one final operator application — never on the recurrence residual,
+//! which drifts from the truth on ill-conditioned systems. Callers must
+//! check [`SolveStats::converged`]; a `false` means the returned iterate is
+//! only the best effort within the iteration budget.
 
 use crate::{vecops, Mat};
 
@@ -20,19 +40,51 @@ pub trait LinearOperator {
     fn dim(&self) -> usize;
 }
 
+/// A matrix-free linear operator applied to every column of a dense block,
+/// `Y = A·X`, with buffer-reusing `_into` forms so the solver's inner loop
+/// performs no per-iteration allocation.
+pub trait BlockLinearOperator {
+    /// Applies the operator to every column of `x`, writing into `out`
+    /// (reshaped as needed, backing buffer reused).
+    fn apply_into(&self, x: &Mat, out: &mut Mat);
+    /// Applies the transpose to every column of `x`, writing into `out`.
+    fn apply_transpose_into(&self, x: &Mat, out: &mut Mat);
+    /// Operator dimension (square).
+    fn dim(&self) -> usize;
+
+    /// Allocating convenience form of [`BlockLinearOperator::apply_into`].
+    fn apply(&self, x: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.apply_into(x, &mut out);
+        out
+    }
+
+    /// Allocating convenience form of
+    /// [`BlockLinearOperator::apply_transpose_into`].
+    fn apply_transpose(&self, x: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.apply_transpose_into(x, &mut out);
+        out
+    }
+}
+
 /// Outcome of an iterative solve.
 #[derive(Clone, Copy, Debug)]
 pub struct SolveStats {
-    /// Iterations performed.
+    /// Iterations actually performed (operator product pairs consumed by the
+    /// main recurrence; the final true-residual check is not counted).
     pub iterations: usize,
-    /// Final residual L2 norm `‖b − A·x‖₂`.
+    /// Final **true** residual L2 norm `‖b − A·x‖₂`, recomputed from the
+    /// returned iterate rather than read off the recurrence.
     pub residual: f64,
-    /// Whether the tolerance was reached.
+    /// Whether the relative tolerance was reached, judged on the true
+    /// residual.
     pub converged: bool,
 }
 
 /// CGNR: conjugate gradient on `AᵀA x = Aᵀ b`, valid for any nonsingular
-/// operator. Returns the solution and convergence statistics.
+/// operator. Returns the solution and convergence statistics; the caller
+/// must inspect [`SolveStats::converged`].
 pub fn cgnr<Op: LinearOperator>(
     op: &Op,
     b: &[f64],
@@ -50,18 +102,15 @@ pub fn cgnr<Op: LinearOperator>(
     let mut z_norm_sq = vecops::dot(&z, &z);
     let b_norm = vecops::norm2(b).max(1e-300);
 
-    let mut stats = SolveStats { iterations: 0, residual: vecops::norm2(&r), converged: false };
-    for it in 0..max_iters {
-        stats.iterations = it;
-        if stats.residual / b_norm < tol {
-            stats.converged = true;
-            break;
-        }
+    let mut iterations = 0;
+    let mut recurrence_residual = vecops::norm2(&r);
+    while iterations < max_iters && recurrence_residual / b_norm >= tol {
         let ap = op.apply(&p);
         let ap_norm_sq = vecops::dot(&ap, &ap);
         if ap_norm_sq == 0.0 {
-            break;
+            break; // stagnated: A p = 0 with p ≠ 0 (singular operator)
         }
+        iterations += 1;
         let alpha = z_norm_sq / ap_norm_sq;
         vecops::axpy(alpha, &p, &mut x);
         vecops::axpy(-alpha, &ap, &mut r);
@@ -72,9 +121,146 @@ pub fn cgnr<Op: LinearOperator>(
             *pi = zi + beta * *pi;
         }
         z_norm_sq = z_new;
-        stats.residual = vecops::norm2(&r);
+        recurrence_residual = vecops::norm2(&r);
     }
-    stats.converged = stats.converged || stats.residual / b_norm < tol;
+    // The recurrence residual drifts from ‖b − A x‖₂ in floating point on
+    // ill-conditioned systems; the verdict must use the real thing.
+    let ax = op.apply(&x);
+    let residual = b.iter().zip(&ax).map(|(&bi, &ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
+    let converged = residual / b_norm < tol;
+    (x, SolveStats { iterations, residual, converged })
+}
+
+/// Per-column dot products `out[j] = Σ_i a[i][j]·b[i][j]`, accumulated in
+/// ascending row order so each column's sum matches the order
+/// [`vecops::dot`] would use on the extracted column.
+fn column_dots(a: &Mat, b: &Mat) -> Vec<f64> {
+    debug_assert_eq!(a.shape(), b.shape());
+    let mut out = vec![0.0; a.cols()];
+    for i in 0..a.rows() {
+        for (o, (&x, &y)) in out.iter_mut().zip(a.row(i).iter().zip(b.row(i))) {
+            *o += x * y;
+        }
+    }
+    out
+}
+
+/// Column-wise axpy `y[:, j] += alpha[j] · x[:, j]`.
+fn axpy_columns(alpha: &[f64], x: &Mat, y: &mut Mat) {
+    debug_assert_eq!(x.shape(), y.shape());
+    for i in 0..x.rows() {
+        for ((yv, &xv), &a) in y.row_mut(i).iter_mut().zip(x.row(i)).zip(alpha) {
+            *yv += a * xv;
+        }
+    }
+}
+
+/// Multi-RHS block CGNR: solves `A X = B` for every column of `B`
+/// simultaneously, performing **one** `A` product and **one** `Aᵀ` product
+/// per iteration regardless of the number of columns (plus one initial `Aᵀ`
+/// and one final true-residual `A` application). Each column carries its own
+/// step sizes `α_j, β_j`; a column whose recurrence residual passes `tol`
+/// freezes — its iterate, residual and direction stop being updated — while
+/// the remaining columns keep iterating, so the per-column trajectories
+/// coincide with what the single-RHS [`cgnr`] would compute.
+///
+/// Returns the solution block and one [`SolveStats`] per column, each judged
+/// on the true residual of that column.
+pub fn block_cgnr<Op: BlockLinearOperator>(
+    op: &Op,
+    b: &Mat,
+    tol: f64,
+    max_iters: usize,
+) -> (Mat, Vec<SolveStats>) {
+    let n = op.dim();
+    let d = b.cols();
+    assert_eq!(b.rows(), n, "block_cgnr: rhs dimension mismatch");
+    let mut x = Mat::zeros(n, d);
+    if d == 0 {
+        return (x, Vec::new());
+    }
+    // R = B − A X = B initially; Z = Aᵀ R; P = Z.
+    let mut r = b.clone();
+    let mut z = Mat::default();
+    op.apply_transpose_into(&r, &mut z);
+    let mut p = z.clone();
+    let mut ap = Mat::default();
+    let mut z_norm_sq = column_dots(&z, &z);
+    let b_norm: Vec<f64> = column_dots(b, b).iter().map(|v| v.sqrt().max(1e-300)).collect();
+    let mut r_norm_sq = column_dots(&r, &r);
+
+    let mut active = vec![true; d];
+    let mut iterations = vec![0usize; d];
+    let mut performed = 0;
+    while performed < max_iters {
+        for j in 0..d {
+            if active[j] && r_norm_sq[j].sqrt() / b_norm[j] < tol {
+                active[j] = false;
+            }
+        }
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        performed += 1;
+        op.apply_into(&p, &mut ap);
+        let ap_norm_sq = column_dots(&ap, &ap);
+        // Frozen (and stagnated) columns get α_j = β_j = 0: their x, r and p
+        // columns pass through every block update unchanged.
+        let mut alpha = vec![0.0; d];
+        for j in 0..d {
+            if active[j] {
+                if ap_norm_sq[j] == 0.0 {
+                    active[j] = false; // stagnated: singular in this column
+                } else {
+                    alpha[j] = z_norm_sq[j] / ap_norm_sq[j];
+                    iterations[j] = performed;
+                }
+            }
+        }
+        axpy_columns(&alpha, &p, &mut x);
+        let neg_alpha: Vec<f64> = alpha.iter().map(|a| -a).collect();
+        axpy_columns(&neg_alpha, &ap, &mut r);
+        op.apply_transpose_into(&r, &mut z);
+        let z_new = column_dots(&z, &z);
+        let mut beta = vec![0.0; d];
+        for j in 0..d {
+            if active[j] {
+                beta[j] = z_new[j] / z_norm_sq[j].max(1e-300);
+                z_norm_sq[j] = z_new[j];
+            }
+        }
+        for i in 0..n {
+            let prow = p.row_mut(i);
+            let zrow = z.row(i);
+            for ((pv, &zv), (&bj, &act)) in prow.iter_mut().zip(zrow).zip(beta.iter().zip(&active))
+            {
+                if act {
+                    *pv = zv + bj * *pv;
+                }
+            }
+        }
+        r_norm_sq = column_dots(&r, &r);
+    }
+    // One final product recomputes every column's true residual; the
+    // recurrence residual is only trusted for scheduling, never for the
+    // convergence verdict.
+    op.apply_into(&x, &mut ap);
+    let mut true_norm_sq = vec![0.0; d];
+    for i in 0..b.rows() {
+        for (t, (&bv, &av)) in true_norm_sq.iter_mut().zip(b.row(i).iter().zip(ap.row(i))) {
+            *t += (bv - av) * (bv - av);
+        }
+    }
+    let stats = (0..d)
+        .map(|j| {
+            let residual = true_norm_sq[j].sqrt();
+            SolveStats {
+                iterations: iterations[j],
+                residual,
+                converged: residual / b_norm[j] < tol,
+            }
+        })
+        .collect();
     (x, stats)
 }
 
@@ -134,7 +320,8 @@ pub fn solve_dense(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
     Some(x)
 }
 
-/// Adapter exposing a dense [`Mat`] as a [`LinearOperator`].
+/// Adapter exposing a dense [`Mat`] as a [`LinearOperator`] /
+/// [`BlockLinearOperator`].
 pub struct DenseOperator<'a> {
     /// The wrapped matrix.
     pub mat: &'a Mat,
@@ -151,6 +338,20 @@ impl LinearOperator for DenseOperator<'_> {
             vecops::axpy(xi, self.mat.row(i), &mut out);
         }
         out
+    }
+
+    fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+}
+
+impl BlockLinearOperator for DenseOperator<'_> {
+    fn apply_into(&self, x: &Mat, out: &mut Mat) {
+        crate::ops::matmul_into(self.mat, x, out);
+    }
+
+    fn apply_transpose_into(&self, x: &Mat, out: &mut Mat) {
+        crate::ops::t_matmul_into(self.mat, x, out);
     }
 
     fn dim(&self) -> usize {
@@ -213,6 +414,126 @@ mod tests {
         let a = Mat::eye(4);
         let (x, stats) = cgnr(&DenseOperator { mat: &a }, &[0.0; 4], 1e-12, 10);
         assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    /// Regression: an exhausted iteration budget must report the true number
+    /// of iterations performed (`max_iters`), not `max_iters − 1`, and must
+    /// report `converged = false`.
+    #[test]
+    fn cgnr_reports_exact_iteration_count_on_budget_exhaustion() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 30;
+        let mut a = Mat::uniform(n, n, 1.0, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 0.5); // poorly conditioned on purpose
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 2.0).collect();
+        for budget in [1usize, 2, 3, 5] {
+            let (_, stats) = cgnr(&DenseOperator { mat: &a }, &b, 1e-14, budget);
+            assert_eq!(stats.iterations, budget, "budget {budget}");
+            assert!(!stats.converged, "budget {budget} cannot reach 1e-14");
+        }
+    }
+
+    /// The reported residual must be the directly computed `‖b − A x‖₂` even
+    /// on an ill-conditioned system where the recurrence residual drifts.
+    #[test]
+    fn cgnr_residual_is_the_true_residual() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 25;
+        // Wide spread of diagonal scales → ill-conditioned.
+        let mut a = Mat::uniform(n, n, 0.05, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 10.0_f64.powi((i % 6) as i32 - 3));
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let op = DenseOperator { mat: &a };
+        let (x, stats) = cgnr(&op, &b, 1e-10, 2000);
+        let ax = LinearOperator::apply(&op, &x);
+        let direct = b.iter().zip(&ax).map(|(&u, &v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        assert!(
+            (stats.residual - direct).abs() <= 1e-12 * direct.max(1.0),
+            "reported {} vs direct {direct}",
+            stats.residual
+        );
+    }
+
+    #[test]
+    fn block_cgnr_matches_per_column_cgnr() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 24;
+        let d = 5;
+        let mut a = Mat::uniform(n, n, 0.3, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 2.5);
+        }
+        let b = Mat::uniform(n, d, 1.0, &mut rng);
+        let op = DenseOperator { mat: &a };
+        let (x_block, stats) = block_cgnr(&op, &b, 1e-12, 500);
+        assert_eq!(stats.len(), d);
+        for (j, s) in stats.iter().enumerate() {
+            assert!(s.converged, "column {j}: {s:?}");
+            let (x_col, s_col) = cgnr(&op, &b.col(j), 1e-12, 500);
+            assert!(s_col.converged);
+            for (i, &v) in x_col.iter().enumerate() {
+                assert!(
+                    (x_block.get(i, j) - v).abs() < 1e-10,
+                    "({i},{j}): block {} vs column {v}",
+                    x_block.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_cgnr_per_column_convergence_is_independent() {
+        // One easy column (identity-dominated direction) next to columns
+        // that need more iterations: each column's stats are its own.
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 20;
+        let mut a = Mat::uniform(n, n, 0.4, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 3.0);
+        }
+        let mut b = Mat::uniform(n, 3, 1.0, &mut rng);
+        for i in 0..n {
+            b.set(i, 0, 0.0); // zero rhs converges in 0 iterations
+        }
+        let op = DenseOperator { mat: &a };
+        let (x, stats) = block_cgnr(&op, &b, 1e-12, 500);
+        assert!(stats.iter().all(|s| s.converged));
+        assert_eq!(stats[0].iterations, 0);
+        assert!(stats[1].iterations > 0);
+        for i in 0..n {
+            assert_eq!(x.get(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn block_cgnr_reports_honest_failure_on_tiny_budget() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30;
+        let mut a = Mat::uniform(n, n, 1.0, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 0.5);
+        }
+        let b = Mat::uniform(n, 4, 1.0, &mut rng);
+        let op = DenseOperator { mat: &a };
+        let (_, stats) = block_cgnr(&op, &b, 1e-14, 2);
+        for s in &stats {
+            assert_eq!(s.iterations, 2);
+            assert!(!s.converged);
+            assert!(s.residual > 0.0);
+        }
+    }
+
+    #[test]
+    fn block_cgnr_empty_block() {
+        let a = Mat::eye(4);
+        let (x, stats) = block_cgnr(&DenseOperator { mat: &a }, &Mat::zeros(4, 0), 1e-12, 10);
+        assert_eq!(x.shape(), (4, 0));
+        assert!(stats.is_empty());
     }
 }

@@ -79,6 +79,15 @@
 //!   sparse products instead of `Σ mᵢ`, with PPR `∞` as the final
 //!   fixed-point segment. `concat_features` — and with it training, tuning,
 //!   public inference and the figure harnesses — ride this sweep.
+//! - **Multi-RHS PPR solver.** The PPR limit can alternatively be solved by
+//!   `core::propagation::propagate_ppr_cgnr`: a block CGNR
+//!   (`linalg::solve::block_cgnr`) iterating every feature column at once —
+//!   one `Ã` and one `Ãᵀ` product per iteration total, the transposed
+//!   product running the pooled spmm kernel on a precomputed
+//!   `graph::Csr::transpose`. `core::propagation::PprSolver` (overridable
+//!   via `GconConfig::ppr_solver`) selects between it and the power
+//!   iteration; a non-converged CGNR solve always falls back to the power
+//!   iteration rather than returning an unconverged iterate.
 
 pub use gcon_baselines as baselines;
 pub use gcon_core as core;
@@ -93,7 +102,7 @@ pub use gcon_runtime as runtime;
 pub mod prelude {
     pub use gcon_core::infer::{private_predict, public_predict};
     pub use gcon_core::train::train_gcon;
-    pub use gcon_core::{GconConfig, LossKind, PropagationStep, TrainedGcon};
+    pub use gcon_core::{GconConfig, LossKind, PprSolver, PropagationStep, TrainedGcon};
     pub use gcon_datasets::metrics::micro_f1;
     pub use gcon_datasets::Dataset;
     pub use gcon_graph::Graph;

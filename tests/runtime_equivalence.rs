@@ -3,7 +3,9 @@
 //! element-wise equal to their allocating / per-scale reference forms, and
 //! the sweep must cost `max(m_i)` sparse products rather than `Σ m_i`.
 
-use gcon::core::propagation::{propagate, propagate_into, propagate_multi, PropagationStep};
+use gcon::core::propagation::{
+    propagate, propagate_into, propagate_multi, propagate_with_solver, PprSolver, PropagationStep,
+};
 use gcon::graph::normalize::row_stochastic_default;
 use gcon::graph::Csr;
 use gcon::linalg::{ops, Mat};
@@ -92,7 +94,11 @@ proptest! {
         let mut z = Mat::full(1, 1, f64::NAN);
         let mut scratch = Mat::full(5, 2, f64::NAN);
         for step in [PropagationStep::Finite(m), PropagationStep::Infinite] {
-            let reference = propagate(&a, &x, alpha, step);
+            // `propagate_into` is the power-path primitive, so pin the
+            // reference to the power solver (`propagate`'s Auto selection
+            // may route small-α ∞ steps to CGNR, which only agrees to
+            // solver tolerance, not bit-for-bit).
+            let reference = propagate_with_solver(&a, &x, alpha, step, PprSolver::Power);
             propagate_into(&a, &x, alpha, step, &mut z, &mut scratch);
             for (u, v) in reference.as_slice().iter().zip(z.as_slice()) {
                 prop_assert!(u.to_bits() == v.to_bits(), "step {step}: {u} vs {v}");

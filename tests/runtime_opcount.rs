@@ -5,9 +5,11 @@
 //! other, and no other propagation work runs in this process.
 
 use gcon::core::propagation::{
-    concat_features, propagate, propagate_multi, spmm_ops_performed, PropagationStep,
+    concat_features, ppr_cgnr_budget, propagate, propagate_multi, solve_ppr_cgnr,
+    spmm_ops_performed, PprOperator, PropagationStep,
 };
 use gcon::graph::normalize::row_stochastic_default;
+use gcon::linalg::solve::cgnr;
 use gcon::linalg::Mat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,5 +72,101 @@ fn single_pass_with_infinity_is_a_strict_continuation() {
     assert!(
         single_pass < per_scale,
         "continuation ({single_pass} products) must beat per-scale ({per_scale})"
+    );
+}
+
+/// The block-CGNR acceptance criterion: solving all d columns together costs
+/// one `Ã` + one `Ãᵀ` product per iteration *total* (plus one initial `Ãᵀb`
+/// and one final true-residual check), while the per-column loop pays that
+/// per column — `2·max_j(iters_j) + 2` products versus `Σ_j (2·iters_j + 2)`.
+/// Also asserts column-for-column agreement between the two paths.
+#[test]
+fn block_cgnr_one_product_pair_per_iteration() {
+    let _guard = COUNTER_GUARD.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(79);
+    let (n, d) = (150usize, 8usize);
+    let g = gcon::graph::generators::erdos_renyi_gnm(n, 3 * n, &mut rng);
+    let a = row_stochastic_default(&g);
+    let mut x = Mat::uniform(n, d, 1.0, &mut rng);
+    x.normalize_rows_l2();
+    let alpha = 0.05; // the CGNR regime
+    let budget = ppr_cgnr_budget(n);
+
+    let before = spmm_ops_performed();
+    let (z_block, stats) = solve_ppr_cgnr(&a, &x, alpha, budget);
+    let block_products = spmm_ops_performed() - before;
+    assert!(stats.iter().all(|s| s.converged), "stats: {stats:?}");
+    let max_iters = stats.iter().map(|s| s.iterations).max().unwrap();
+    assert_eq!(
+        block_products,
+        2 * max_iters + 2,
+        "block CGNR must perform one product pair per iteration for all {d} columns"
+    );
+
+    // The old column-at-a-time path through the single-vector operator.
+    let op = PprOperator::new(&a, alpha);
+    let before = spmm_ops_performed();
+    let mut column_iters_sum = 0;
+    for j in 0..d {
+        let mut b = x.col(j);
+        for v in &mut b {
+            *v *= alpha;
+        }
+        let (col, s) = cgnr(&op, &b, 1e-12, budget);
+        assert!(s.converged);
+        column_iters_sum += s.iterations;
+        for (i, &v) in col.iter().enumerate() {
+            assert!(
+                (z_block.get(i, j) - v).abs() < 1e-10,
+                "({i},{j}): block {} vs column {v}",
+                z_block.get(i, j)
+            );
+        }
+    }
+    let column_products = spmm_ops_performed() - before;
+    assert_eq!(
+        column_products,
+        2 * column_iters_sum + 2 * d,
+        "per-column CGNR pays a product pair per iteration per column"
+    );
+    assert!(
+        block_products < column_products,
+        "block ({block_products}) must beat per-column ({column_products}) for {d} columns"
+    );
+}
+
+/// The CGNR path's operator applications are accounted: a lone `spmv`, a
+/// transposed `spmm_t_into` and one single-vector operator round trip all
+/// land in the shared counter (the pre-fix code bypassed it entirely).
+#[test]
+fn cgnr_operator_products_are_counted() {
+    let _guard = COUNTER_GUARD.lock().unwrap();
+    let mut rng = StdRng::seed_from_u64(80);
+    let g = gcon::graph::generators::erdos_renyi_gnm(30, 90, &mut rng);
+    let a = row_stochastic_default(&g);
+    let v = vec![1.0; 30];
+
+    let before = spmm_ops_performed();
+    let _ = a.spmv(&v);
+    assert_eq!(spmm_ops_performed() - before, 1, "spmv counts as one product");
+
+    let before = spmm_ops_performed();
+    let mut out = Mat::default();
+    a.spmm_t_into(&Mat::from_fn(30, 2, |i, j| (i + j) as f64), &mut out);
+    assert_eq!(spmm_ops_performed() - before, 1, "spmm_t_into counts as one product");
+
+    let before = spmm_ops_performed();
+    let _ = a.transpose();
+    assert_eq!(spmm_ops_performed() - before, 0, "transposition is structural, not a product");
+
+    use gcon::linalg::solve::LinearOperator;
+    let op = PprOperator::new(&a, 0.3);
+    let before = spmm_ops_performed();
+    let y = op.apply(&v);
+    let _ = op.apply_transpose(&y);
+    assert_eq!(
+        spmm_ops_performed() - before,
+        2,
+        "one forward and one transposed operator application"
     );
 }

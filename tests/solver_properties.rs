@@ -1,0 +1,77 @@
+//! Property tests for the PPR solver stack: the multi-RHS block CGNR must be
+//! column-for-column equivalent to the single-RHS solver, and the two
+//! `PprSolver` choices (power iteration vs. CGNR) must agree on the PPR
+//! limit across random Erdős–Rényi graphs and restart probabilities.
+
+use gcon::core::propagation::{
+    ppr_cgnr_budget, propagate_with_solver, solve_ppr_cgnr, PprOperator, PprSolver, PropagationStep,
+};
+use gcon::graph::normalize::row_stochastic_default;
+use gcon::linalg::solve::cgnr;
+use gcon::linalg::Mat;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_problem(seed: u64, n: usize, d: usize) -> (gcon::graph::Csr, Mat) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = (3 * n).min(n * (n - 1) / 2);
+    let g = gcon::graph::generators::erdos_renyi_gnm(n, m, &mut rng);
+    let a = row_stochastic_default(&g);
+    let mut x = Mat::uniform(n, d, 1.0, &mut rng);
+    x.normalize_rows_l2();
+    (a, x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `block_cgnr` is column-for-column equivalent to per-column `cgnr`:
+    /// identical solver trajectories, so identical iterates to 1e-10.
+    #[test]
+    fn block_cgnr_matches_per_column_cgnr(
+        seed in 0u64..500,
+        n in 10usize..60,
+        d in 1usize..6,
+        alpha in 0.05f64..0.9,
+    ) {
+        let (a, x) = random_problem(seed, n, d);
+        let budget = ppr_cgnr_budget(n);
+        let (z, stats) = solve_ppr_cgnr(&a, &x, alpha, budget);
+        let op = PprOperator::new(&a, alpha);
+        for (j, s) in stats.iter().enumerate() {
+            prop_assert!(s.converged, "column {j}: {s:?}");
+            let mut b = x.col(j);
+            for v in &mut b {
+                *v *= alpha;
+            }
+            let (col, s_col) = cgnr(&op, &b, 1e-12, budget);
+            prop_assert!(s_col.converged);
+            for (i, &v) in col.iter().enumerate() {
+                prop_assert!(
+                    (z.get(i, j) - v).abs() < 1e-10,
+                    "({i},{j}): block {} vs column {v}",
+                    z.get(i, j)
+                );
+            }
+        }
+    }
+
+    /// Both `PprSolver` choices compute the same `Z_∞` through
+    /// `propagate(…, Infinite)` to well within fixed-point tolerance.
+    #[test]
+    fn power_and_cgnr_propagation_agree(
+        seed in 0u64..500,
+        n in 10usize..50,
+        alpha in 0.03f64..0.9,
+    ) {
+        let (a, x) = random_problem(seed, n, 3);
+        let power =
+            propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
+        let cg =
+            propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Cgnr);
+        for (u, v) in power.as_slice().iter().zip(cg.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-6, "α={alpha}: {u} vs {v}");
+        }
+    }
+}
