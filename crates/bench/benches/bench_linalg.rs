@@ -1,35 +1,289 @@
-//! Substrate microbench: the dense GEMM and sparse×dense kernels every
-//! training loop in the workspace sits on.
+//! Substrate microbench and perf-trajectory recorder: the dense GEMM and
+//! sparse×dense kernels every training loop in the workspace sits on.
+//!
+//! Each rewritten kernel (PR 3's register-tiled `matmul`, pooled
+//! `t_matmul`, batched `matmul_bt`, unrolled `spmm`, allocation-free
+//! `spmv_into`) is timed against an in-binary copy of the **pre-PR scalar
+//! kernel**, run through the same `parallel_rows` partitioning at the same
+//! thread count, so the recorded speedup isolates the kernel rewrite from
+//! threading effects. Results are printed per shape and written
+//! machine-readably to `BENCH_linalg.json` at the workspace root (override
+//! with `GCON_BENCH_OUT`); `GCON_BENCH_QUICK=1` shrinks the sweep for CI
+//! smoke runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::black_box;
 use gcon_graph::normalize::row_stochastic_default;
+use gcon_graph::Csr;
 use gcon_linalg::{ops, Mat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
-fn bench_linalg(c: &mut Criterion) {
+/// Median-of-reps wall-clock nanoseconds for one call of `f`.
+fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warm-up (pool spin-up, buffer growth, icache)
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// One before/after comparison row of the JSON report.
+struct Row {
+    kernel: &'static str,
+    shape: String,
+    ns_before: f64,
+    ns_after: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.ns_before / self.ns_after.max(1.0)
+    }
+}
+
+// ---- pre-PR reference kernels (the seed/PR-1 scalar loops) ----
+
+/// The pre-PR `matmul_block`: scalar i-k-j with a zero-skip branch,
+/// re-reading and re-writing the output row on every `k` step.
+fn ref_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    c.reset_to_zeros(m, n);
+    gcon_runtime::parallel_rows(c.as_mut_slice(), m, n, m * k * n, |block, start, end| {
+        for i in start..end {
+            let arow = a.row(i);
+            let crow = &mut block[(i - start) * n..(i - start + 1) * n];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                for (cv, &bv) in crow.iter_mut().zip(b.row(kk)) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    });
+}
+
+/// The pre-PR `t_matmul_into`: completely serial sample-major scatter.
+fn ref_t_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    let (n_samples, d_in) = a.shape();
+    let d_out = b.cols();
+    c.reset_to_zeros(d_in, d_out);
+    let cs = c.as_mut_slice();
+    for i in 0..n_samples {
+        let brow = b.row(i);
+        for (k, &av) in a.row(i).iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cs[k * d_out..(k + 1) * d_out];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// The pre-PR `matmul_bt_into`: one naive sequential dot per output.
+fn ref_matmul_bt_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    let m = a.rows();
+    let n = b.rows();
+    let k = a.cols();
+    c.reset_to_zeros(m, n);
+    gcon_runtime::parallel_rows(c.as_mut_slice(), m, n, m * k * n, |block, start, _end| {
+        for (local, crow) in block.chunks_mut(n.max(1)).enumerate() {
+            let arow = a.row(start + local);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = arow.iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+            }
+        }
+    });
+}
+
+/// The pre-PR `spmm_block`: one scaled pass over the dense row per nonzero.
+fn ref_spmm_into(sp: &Csr, b: &Mat, out: &mut Mat) {
+    let d = b.cols();
+    out.reset_to_zeros(sp.rows(), d);
+    let work = sp.nnz() * d;
+    gcon_runtime::parallel_rows(out.as_mut_slice(), sp.rows(), d, work, |block, start, end| {
+        for i in start..end {
+            let (cols, vals) = sp.row(i);
+            let orow = &mut block[(i - start) * d..(i - start + 1) * d];
+            for (&j, &v) in cols.iter().zip(vals) {
+                for (o, &bv) in orow.iter_mut().zip(b.row(j as usize)) {
+                    *o += v * bv;
+                }
+            }
+        }
+    });
+}
+
+/// The pre-PR `spmv`: sequential per-row reduction, allocating per call.
+fn ref_spmv(sp: &Csr, x: &[f64]) -> Vec<f64> {
+    (0..sp.rows())
+        .map(|i| {
+            let (cols, vals) = sp.row(i);
+            cols.iter().zip(vals).map(|(&j, &v)| v * x[j as usize]).sum()
+        })
+        .collect()
+}
+
+fn random_graph_csr(n: usize, edges: usize, rng: &mut StdRng) -> Csr {
+    let g = gcon_graph::generators::erdos_renyi_gnm(n, edges, rng);
+    row_stochastic_default(&g)
+}
+
+fn main() {
+    // Quick mode only for a truthy setting: `GCON_BENCH_QUICK=0` (or empty)
+    // must run the full sweep, since that regenerates the committed file.
+    let quick =
+        std::env::var("GCON_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    let threads = gcon_runtime::configured_width();
+    let reps = if quick { 3 } else { 5 };
     let mut rng = StdRng::seed_from_u64(0);
-    let mut group = c.benchmark_group("linalg");
-    group.sample_size(10);
+    let mut rows: Vec<Row> = Vec::new();
 
-    for n in [64usize, 256] {
-        let a = Mat::uniform(n, n, 1.0, &mut rng);
-        let b = Mat::uniform(n, n, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
-            bench.iter(|| ops::matmul(&a, &b))
-        });
-        group.bench_with_input(BenchmarkId::new("t_matmul", n), &n, |bench, _| {
-            bench.iter(|| ops::t_matmul(&a, &b))
+    // GEMM sweep: square shapes around the paper's layer sizes plus the
+    // 512³ headline shape, and one rectangular epoch-like shape.
+    let gemm_shapes: &[(usize, usize, usize)] = if quick {
+        &[(64, 64, 64), (192, 192, 192), (300, 129, 61)]
+    } else {
+        &[(64, 64, 64), (256, 256, 256), (512, 512, 512), (300, 129, 61)]
+    };
+    for &(m, k, n) in gemm_shapes {
+        let a = Mat::uniform(m, k, 1.0, &mut rng);
+        let b = Mat::uniform(k, n, 1.0, &mut rng);
+        let mut out = Mat::default();
+        let ns_before = time_ns(reps, || ref_matmul_into(black_box(&a), black_box(&b), &mut out));
+        let ns_after = time_ns(reps, || ops::matmul_into(black_box(&a), black_box(&b), &mut out));
+        rows.push(Row { kernel: "matmul", shape: format!("{m}x{k}x{n}"), ns_before, ns_after });
+    }
+
+    // Aᵀ·B (weight gradients): tall-skinny sample-major shapes. `zeros` is
+    // the fraction of `A` entries ReLU-masked to 0 — the old scalar kernel
+    // had an `if av == 0.0 { continue }` zero-skip whose cost scaled with
+    // nnz(A), so the dense-A speedup alone would overstate the win on the
+    // post-ReLU activation matrices this kernel actually multiplies.
+    let tm_shapes: &[(usize, usize, usize, f64)] = if quick {
+        &[(1000, 64, 32, 0.0), (1000, 64, 32, 0.5)]
+    } else {
+        &[
+            (2000, 128, 64, 0.0),
+            (5000, 256, 16, 0.0),
+            (811, 67, 29, 0.0),
+            (2000, 128, 64, 0.5),
+            (2000, 128, 64, 0.9),
+        ]
+    };
+    for &(s, d_in, d_out, zeros) in tm_shapes {
+        let mut a = Mat::uniform(s, d_in, 1.0, &mut rng);
+        if zeros > 0.0 {
+            // ReLU-like mask: zero out a deterministic pseudo-random subset.
+            a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zeros { 0.0 } else { v });
+        }
+        let b = Mat::uniform(s, d_out, 1.0, &mut rng);
+        let mut out = Mat::default();
+        let ns_before = time_ns(reps, || ref_t_matmul_into(black_box(&a), black_box(&b), &mut out));
+        let ns_after = time_ns(reps, || ops::t_matmul_into(black_box(&a), black_box(&b), &mut out));
+        rows.push(Row {
+            kernel: "t_matmul",
+            shape: format!("{s}x{d_in}->{d_in}x{d_out}_z{:.0}%", zeros * 100.0),
+            ns_before,
+            ns_after,
         });
     }
 
-    let g = gcon_graph::generators::erdos_renyi_gnm(2000, 10_000, &mut rng);
-    let a_tilde = row_stochastic_default(&g);
-    let x = Mat::uniform(2000, 64, 1.0, &mut rng);
-    group.bench_function("spmm_2000x64", |bench| bench.iter(|| a_tilde.spmm(&x)));
+    // A·Bᵀ (pairwise row dots, the logits path).
+    let bt_shapes: &[(usize, usize, usize)] =
+        if quick { &[(128, 128, 64)] } else { &[(512, 512, 256), (300, 301, 129)] };
+    for &(m, n, k) in bt_shapes {
+        let a = Mat::uniform(m, k, 1.0, &mut rng);
+        let b = Mat::uniform(n, k, 1.0, &mut rng);
+        let mut out = Mat::default();
+        let ns_before =
+            time_ns(reps, || ref_matmul_bt_into(black_box(&a), black_box(&b), &mut out));
+        let ns_after =
+            time_ns(reps, || ops::matmul_bt_into(black_box(&a), black_box(&b), &mut out));
+        rows.push(Row {
+            kernel: "matmul_bt", shape: format!("{m}x{k}·t{n}"), ns_before, ns_after
+        });
+    }
 
-    group.finish();
+    // Sparse×dense at the paper's propagation widths d ∈ {16, 64, 256}.
+    let (sp_n, sp_m) = if quick { (1000, 5000) } else { (2000, 10_000) };
+    let a_tilde = random_graph_csr(sp_n, sp_m, &mut rng);
+    let spmm_widths: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    for &d in spmm_widths {
+        let x = Mat::uniform(sp_n, d, 1.0, &mut rng);
+        let mut out = Mat::default();
+        let ns_before =
+            time_ns(reps, || ref_spmm_into(black_box(&a_tilde), black_box(&x), &mut out));
+        let ns_after = time_ns(reps, || a_tilde.spmm_into(black_box(&x), &mut out));
+        rows.push(Row {
+            kernel: "spmm",
+            shape: format!("n{sp_n}_nnz{}_d{d}", a_tilde.nnz()),
+            ns_before,
+            ns_after,
+        });
+    }
+
+    // spmv: per-call allocation removed + unrolled row reduction.
+    {
+        let x: Vec<f64> = (0..sp_n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut out = Vec::new();
+        let ns_before = time_ns(reps, || {
+            black_box(ref_spmv(black_box(&a_tilde), black_box(&x)));
+        });
+        let ns_after = time_ns(reps, || a_tilde.spmv_into(black_box(&x), &mut out));
+        rows.push(Row {
+            kernel: "spmv",
+            shape: format!("n{sp_n}_nnz{}", a_tilde.nnz()),
+            ns_before,
+            ns_after,
+        });
+    }
+
+    // Report.
+    println!("linalg kernel sweep (GCON_THREADS={threads}, quick={quick})");
+    for r in &rows {
+        println!(
+            "{}/{}: before {:.0} ns, after {:.0} ns, speedup {:.2}x",
+            r.kernel,
+            r.shape,
+            r.ns_before,
+            r.ns_after,
+            r.speedup()
+        );
+    }
+
+    // Machine-readable trajectory file.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"linalg\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"unit\": \"ns_per_call_median\",\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"ns_before\": {:.0}, \
+             \"ns_after\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.ns_before,
+            r.ns_after,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out_path = std::env::var("GCON_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_linalg.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("failed to write BENCH_linalg.json");
+    println!("wrote {out_path}");
 }
-
-criterion_group!(benches, bench_linalg);
-criterion_main!(benches);

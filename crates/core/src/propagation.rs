@@ -244,18 +244,34 @@ impl<'a> PprOperator<'a> {
 
 impl LinearOperator for PprOperator<'_> {
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.a_tilde.spmv(x);
-        for (yi, &xi) in y.iter_mut().zip(x) {
-            *yi = xi - self.one_minus_alpha * *yi;
-        }
+        let mut y = Vec::new();
+        self.apply_into(x, &mut y);
         y
     }
 
     fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.apply_transpose_into(x, &mut y);
+        y
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        // `spmv_into` reuses `out`'s backing allocation, so the CGNR
+        // iteration loop driving this operator performs no per-step
+        // allocation (the former `spmv` call here allocated every step).
+        self.a_tilde.spmv_into(x, out);
+        for (yi, &xi) in out.iter_mut().zip(x) {
+            *yi = xi - self.one_minus_alpha * *yi;
+        }
+    }
+
+    fn apply_transpose_into(&self, x: &[f64], out: &mut Vec<f64>) {
         // (I − (1−α)Ã)ᵀ = I − (1−α)Ãᵀ; the per-vector `Ãᵀ` scatter is
         // exactly what the block operator's precomputed transpose avoids.
-        let at_x = self.a_tilde.spmv_t(x);
-        at_x.iter().zip(x).map(|(&a, &xi)| xi - self.one_minus_alpha * a).collect()
+        self.a_tilde.spmv_t_into(x, out);
+        for (yi, &xi) in out.iter_mut().zip(x) {
+            *yi = xi - self.one_minus_alpha * *yi;
+        }
     }
 
     fn dim(&self) -> usize {

@@ -127,14 +127,37 @@ impl Csr {
 
     /// Dense `self · x` for a vector.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.spmv_into(x, &mut out);
+        out
+    }
+
+    /// Dense `self · x` written into `out` (resized to `self.rows()`,
+    /// backing allocation reused). The buffer-reusing twin iterative
+    /// solvers call per step so the inner loop performs no allocation.
+    ///
+    /// Each row's reduction is unrolled four nonzeros per pass with
+    /// independent accumulators; the pairing depends only on the row's
+    /// nonzero count, so results are deterministic.
+    pub fn spmv_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
-        (0..self.rows)
-            .map(|i| {
-                let (cols, vals) = self.row(i);
-                cols.iter().zip(vals).map(|(&j, &v)| v * x[j as usize]).sum()
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.rows).map(|i| {
+            let (cols, vals) = self.row(i);
+            let main = cols.len() - cols.len() % 4;
+            let mut acc = [0.0; 4];
+            for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
+                for l in 0..4 {
+                    acc[l] += cv[l] * x[cj[l] as usize];
+                }
+            }
+            let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
+                s += v * x[j as usize];
+            }
+            s
+        }));
     }
 
     /// Dense `selfᵀ · x` for a vector, applied as an O(nnz) scatter over the
@@ -142,9 +165,19 @@ impl Csr {
     /// transposed products on dense blocks, precompute [`Csr::transpose`]
     /// and use the pooled [`Csr::spmm_into`] instead.
     pub fn spmv_t(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.spmv_t_into(x, &mut out);
+        out
+    }
+
+    /// Dense `selfᵀ · x` written into `out` (resized to `self.cols()`,
+    /// backing allocation reused) — the allocation-free twin of
+    /// [`Csr::spmv_t`].
+    pub fn spmv_t_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.rows, "spmv_t: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
-        let mut out = vec![0.0; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
         for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
@@ -154,7 +187,6 @@ impl Csr {
                 out[j as usize] += v * xi;
             }
         }
-        out
     }
 
     /// Dense `self · B` (sparse × dense), parallelized over row blocks on
@@ -184,12 +216,34 @@ impl Csr {
         });
     }
 
+    /// Computes rows `[start, end)` of `self · B` into the pre-zeroed local
+    /// block `out`.
+    ///
+    /// Four nonzeros of a CSR row are consumed per pass over the dense
+    /// output row: one read-modify-write of `out` carries four scaled `B`
+    /// rows (independent accumulators per column, so LLVM vectorizes across
+    /// the feature dimension and the four products overlap). The 4-group
+    /// structure depends only on the row's nonzero count — never on the
+    /// thread partition, which splits whole rows — so results are
+    /// byte-identical across `GCON_THREADS` values.
     fn spmm_block(&self, b: &Mat, out: &mut [f64], start: usize, end: usize) {
         let d = b.cols();
         for i in start..end {
             let (cols, vals) = self.row(i);
             let orow = &mut out[(i - start) * d..(i - start + 1) * d];
-            for (&j, &v) in cols.iter().zip(vals) {
+            let main = cols.len() - cols.len() % 4;
+            for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
+                let b0 = b.row(cj[0] as usize);
+                let b1 = b.row(cj[1] as usize);
+                let b2 = b.row(cj[2] as usize);
+                let b3 = b.row(cj[3] as usize);
+                let (v0, v1, v2, v3) = (cv[0], cv[1], cv[2], cv[3]);
+                for ((((o, &x0), &x1), &x2), &x3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += (v0 * x0 + v1 * x1) + (v2 * x2 + v3 * x3);
+                }
+            }
+            for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
                 let brow = b.row(j as usize);
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += v * bv;
@@ -295,6 +349,50 @@ mod tests {
         let m = sample();
         let x = [1.0, 2.0, 3.0];
         assert_eq!(m.spmv_t(&x), m.transpose().spmv(&x));
+    }
+
+    /// The `_into` twins reuse a stale buffer of the wrong length and still
+    /// match the allocating forms bit-for-bit.
+    #[test]
+    fn spmv_into_twins_match_allocating() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let (rows, cols) = (37, 29);
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+        for row in entries.iter_mut() {
+            for j in 0..cols as u32 {
+                if rng.gen::<f64>() < 0.3 {
+                    row.push((j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sp = Csr::from_row_entries(rows, cols, entries);
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let xt: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut reused = vec![f64::NAN; 5];
+        sp.spmv_into(&x, &mut reused);
+        assert_eq!(reused, sp.spmv(&x));
+        sp.spmv_t_into(&xt, &mut reused);
+        assert_eq!(reused, sp.spmv_t(&xt));
+    }
+
+    /// Nonzero counts around the 4-wide unroll boundary all match the dense
+    /// reference (rows with 0..=9 nonzeros).
+    #[test]
+    fn spmv_unroll_tails_match_dense() {
+        let n = 10usize;
+        let entries: Vec<Vec<(u32, f64)>> = (0..n)
+            .map(|i| (0..i as u32).map(|j| (j, (i as f64 + 1.0) * 0.1 + j as f64)).collect())
+            .collect();
+        let sp = Csr::from_row_entries(n, n, entries);
+        let x: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 1.0).collect();
+        let y = sp.spmv(&x);
+        let dense = sp.to_dense();
+        for (i, &yi) in y.iter().enumerate() {
+            let slow: f64 = (0..n).map(|j| dense.get(i, j) * x[j]).sum();
+            assert!((yi - slow).abs() < 1e-12, "row {i} (nnz {i}): {yi} vs {slow}");
+        }
     }
 
     #[test]

@@ -13,6 +13,18 @@
 //! Edge-level neighboring graphs (Definition 2 specialized to edge DP) are
 //! first-class: [`Graph::with_edge_removed`] / [`Graph::with_edge_added`]
 //! produce the `D'` needed by the sensitivity tests of Lemma 1/2.
+//!
+//! # Sparse-kernel structure and determinism
+//!
+//! The dense-output sparse kernels follow the same policy as `gcon-linalg`
+//! (see its crate docs): `Csr::spmm` consumes four nonzeros of a CSR row per
+//! pass over the dense output row, and `Csr::spmv` reduces each row with
+//! four independent accumulators. The unroll grouping is a function of the
+//! row's nonzero count alone — the pool partitions whole rows — so results
+//! are byte-identical across `GCON_THREADS` and differ from a strictly
+//! sequential reduction only by reassociation (≤ 1e-9 relative vs the naive
+//! reference, pinned by `tests/kernel_properties.rs`). Both `spmv`/`spmv_t`
+//! have buffer-reusing `_into` twins for solver inner loops.
 
 pub mod csr;
 pub mod generators;

@@ -5,7 +5,8 @@
 //! the free-function vector kernels in [`vecops`]. No external linear-algebra
 //! dependency is used: the paper's pipeline only needs dense GEMM-like
 //! products, row-wise normalization, and norms, all of which are implemented
-//! here with cache-friendly loops and scoped-thread parallelism.
+//! here as cache-blocked, register-tiled loops on the shared `gcon-runtime`
+//! worker pool.
 //!
 //! Design notes
 //! - `f64` throughout: the differential-privacy parameter chain of the paper
@@ -13,6 +14,29 @@
 //! - Matrices are row-major so that "a row = a node's feature vector" is a
 //!   contiguous slice, which is the dominant access pattern in graph
 //!   convolution.
+//!
+//! # Kernel tiling parameters
+//!
+//! The GEMM family in [`ops`] is written so stable-Rust LLVM autovectorizes
+//! it (no intrinsics; on x86-64 an AVX2 build of the same source is selected
+//! by runtime feature detection). The tile constants are exported:
+//! [`ops::MR`]` × `[`ops::NR`] register tiles (4×8 accumulators per
+//! microkernel pass) over a packed `K×NR` panel of `B`, and
+//! [`ops::TM_IB`]-sample reduction blocks in the `AᵀB` gradient kernel. The
+//! reduction kernels in [`vecops`] use [`vecops::LANES`] independent lane
+//! accumulators.
+//!
+//! # Determinism and tolerance policy
+//!
+//! Tiled accumulation reassociates floating-point sums, so the kernels are
+//! **not** bit-identical to a naive sequential loop — equivalence tests
+//! compare against naive references at 1e-9 *relative* tolerance
+//! (`tests/kernel_properties.rs`). They **are** bit-identical across
+//! `GCON_THREADS` settings: the pool partitions output rows only, and every
+//! code path accumulates a given output element in the same fixed order
+//! regardless of where thread or tile boundaries fall
+//! (`tests/runtime_equivalence.rs` pins this by re-running the kernels in
+//! subprocesses at widths 1/2/4 and comparing raw result bytes).
 
 pub mod eigen;
 pub mod lu;

@@ -5,10 +5,85 @@
 //! (one pool for the whole process; width from `GCON_THREADS` or the
 //! hardware). Each allocating kernel has a buffer-reusing `_into` twin so
 //! steady-state training loops perform no per-iteration allocation.
+//!
+//! # Kernel structure: register tiling on stable Rust
+//!
+//! The dense products are cache-blocked, register-tiled loops written so
+//! LLVM autovectorizes them — no intrinsics, no nightly features:
+//!
+//! - [`matmul_into`] packs a `K ×`[`NR`] panel of `B` into a thread-local
+//!   scratch buffer ([`gcon_runtime::with_scratch_f64`]) and accumulates an
+//!   [`MR`]`×`[`NR`] register tile per group of `A` rows: `MR·NR`
+//!   independent accumulators, one broadcast of `A[i][k]` and one contiguous
+//!   panel row per `k` step. Output elements are touched exactly once —
+//!   the scalar i-k-j kernel it replaces re-read and re-wrote the whole `C`
+//!   row on every `k`.
+//! - [`t_matmul_into`] (`C = AᵀB`, the weight-gradient shape) partitions the
+//!   *output* rows (columns of `A`) across the pool and streams samples in
+//!   [`TM_IB`]-row blocks, accumulating `MR×NR` register tiles per block.
+//! - [`matmul_bt_into`] (`C = A·Bᵀ`, pairwise row dots) batches four rows of
+//!   `B` per pass over a row of `A`, so each `A` row is loaded once per four
+//!   outputs.
+//!
+//! # Determinism policy
+//!
+//! Reassociating a floating-point accumulation changes its rounding, so the
+//! tiled kernels do **not** reproduce the scalar kernels bit-for-bit (they
+//! agree to ~1e-9 relative tolerance, pinned by the equivalence tests).
+//! What *is* guaranteed — and pinned by `tests/runtime_equivalence.rs` — is
+//! that results are byte-identical across `GCON_THREADS` values: the pool
+//! partitions output rows, every output element is produced by exactly one
+//! task, and every code path (register tile, M/N/K edge paths) accumulates a
+//! given element in the same order — sequentially over `k` (or over sample
+//! blocks of fixed size [`TM_IB`]) with a per-element accumulator — no
+//! matter where a thread boundary or tile boundary falls.
 
 use crate::Mat;
 
-/// `C = A · B` with an i-k-j loop order (streams rows of B, writes rows of C),
+/// Register-tile height: rows of `A` (or of `Aᵀ`'s output) per microkernel
+/// pass.
+pub const MR: usize = 4;
+
+/// Register-tile width: columns of `B` per packed panel / microkernel pass.
+pub const NR: usize = 8;
+
+/// Sample-block length of the [`t_matmul_into`] kernel: the `Σ_i` reduction
+/// is chunked into blocks of this many samples, each accumulated in
+/// registers and then added to the output. Fixed (never derived from the
+/// thread partition) so results are byte-identical across `GCON_THREADS`.
+pub const TM_IB: usize = 128;
+
+/// Declares `$name` as a dispatching front for the `#[inline(always)]`
+/// kernel body `$impl_fn`: on x86-64 with AVX2 detected at runtime, the body
+/// is recompiled under `#[target_feature(enable = "avx2,fma")]` (4-wide f64
+/// vectors instead of the baseline SSE2 pair); everywhere else the portable
+/// build is used. Still autovectorization-only — no intrinsics — and
+/// numerically *identical* across paths: Rust keeps strict FP semantics
+/// (no reassociation, no mul-add contraction), so wider registers change
+/// throughput, never results.
+macro_rules! simd_dispatch {
+    ($(#[$doc:meta])* fn $name:ident / $avx2:ident / $impl_fn:ident
+        ($($arg:ident : $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        fn $avx2($($arg: $ty),*) {
+            $impl_fn($($arg),*)
+        }
+
+        $(#[$doc])*
+        fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the detection guard guarantees the CPU supports
+                // every feature the callee is compiled with.
+                return unsafe { $avx2($($arg),*) };
+            }
+            $impl_fn($($arg),*)
+        }
+    };
+}
+
+/// `C = A · B` with a packed, register-tiled kernel (see the module docs),
 /// parallelized over row blocks of A on the shared runtime pool.
 pub fn matmul(a: &Mat, b: &Mat) -> Mat {
     // `matmul_into` shapes and zero-fills; starting empty avoids a
@@ -38,19 +113,96 @@ pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
     });
 }
 
-/// Computes rows `[start, end)` of `A · B` into `out` (local row-major block).
+/// Computes rows `[start, end)` of `A · B` into `out` (local row-major
+/// block, pre-zeroed by the caller). Acquires the thread-local panel buffer
+/// here — *outside* the dispatched body — so the hot loops sit directly in
+/// the `#[target_feature]` function rather than in a closure (closures
+/// don't inherit the caller's feature set).
 fn matmul_block(a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize) {
+    let k = a.cols();
     let n = b.cols();
-    for i in start..end {
-        let arow = a.row(i);
-        let crow = &mut out[(i - start) * n..(i - start + 1) * n];
-        for (kk, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
+    if k == 0 || n == 0 {
+        return;
+    }
+    gcon_runtime::with_scratch_f64(k * NR, |panel| {
+        matmul_block_panel(a, b, out, start, end, panel);
+    });
+}
+
+simd_dispatch! {
+    /// Panel-loop stage of [`matmul_block`] — see [`matmul_block_impl`].
+    fn matmul_block_panel / matmul_block_avx2 / matmul_block_impl(
+        a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize, panel: &mut [f64])
+}
+
+/// The `matmul` kernel body. Column panels of `B` ([`NR`] wide) are packed
+/// contiguously into the thread-local `panel`; each [`MR`]-row group of `A`
+/// then accumulates an `MR×NR` register tile over the full `k` range before
+/// touching `out`. Every per-element accumulation — tile, M-tail, and
+/// N-tail paths alike — runs sequentially over `k` with one accumulator, so
+/// a row's result does not depend on which path or thread computed it.
+#[inline(always)]
+fn matmul_block_impl(
+    a: &Mat,
+    b: &Mat,
+    out: &mut [f64],
+    start: usize,
+    end: usize,
+    panel: &mut [f64],
+) {
+    let k = a.cols();
+    let n = b.cols();
+    let main_n = n - n % NR;
+    {
+        let mut jj = 0;
+        while jj < main_n {
+            // Pack B[:, jj..jj+NR] row-major into the panel.
+            for (dst, kk) in panel.chunks_exact_mut(NR).zip(0..k) {
+                dst.copy_from_slice(&b.row(kk)[jj..jj + NR]);
             }
-            let brow = b.row(kk);
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += aik * bv;
+            let mut i = start;
+            while i + MR <= end {
+                let (r0, r1, r2, r3) = (a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3));
+                let mut acc = [[0.0; NR]; MR];
+                for ((((bp, &a0), &a1), &a2), &a3) in
+                    panel.chunks_exact(NR).zip(r0).zip(r1).zip(r2).zip(r3)
+                {
+                    for c in 0..NR {
+                        acc[0][c] += a0 * bp[c];
+                        acc[1][c] += a1 * bp[c];
+                        acc[2][c] += a2 * bp[c];
+                        acc[3][c] += a3 * bp[c];
+                    }
+                }
+                for (r, tile_row) in acc.iter().enumerate() {
+                    out[(i + r - start) * n + jj..][..NR].copy_from_slice(tile_row);
+                }
+                i += MR;
+            }
+            // M tail: one row at a time, same panel, same k order.
+            while i < end {
+                let mut acc = [0.0; NR];
+                for (bp, &aik) in panel.chunks_exact(NR).zip(a.row(i)) {
+                    for c in 0..NR {
+                        acc[c] += aik * bp[c];
+                    }
+                }
+                out[(i - start) * n + jj..][..NR].copy_from_slice(&acc);
+                i += 1;
+            }
+            jj += NR;
+        }
+    }
+    // N tail: the last n % NR columns, scalar over j, sequential over k
+    // accumulating into the zeroed output (same per-element order as the
+    // register paths).
+    if main_n < n {
+        for i in start..end {
+            let crow = &mut out[(i - start) * n + main_n..(i - start + 1) * n];
+            for (kk, &aik) in a.row(i).iter().enumerate() {
+                for (cv, &bv) in crow.iter_mut().zip(&b.row(kk)[main_n..]) {
+                    *cv += aik * bv;
+                }
             }
         }
     }
@@ -66,25 +218,123 @@ pub fn t_matmul(a: &Mat, b: &Mat) -> Mat {
     c
 }
 
-/// `C = Aᵀ · B` written into `c` (reshaped to `a.cols() × b.cols()`).
+/// `C = Aᵀ · B` written into `c` (reshaped to `a.cols() × b.cols()`),
+/// parallelized over row blocks of `C` (= column blocks of `A`) on the
+/// shared runtime pool. This was the one single-threaded GEMM left in the
+/// backprop stack.
 pub fn t_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.rows(), b.rows(), "t_matmul: row mismatch");
     let (n_samples, d_in) = a.shape();
     let d_out = b.cols();
     c.reset_to_zeros(d_in, d_out);
-    let cs = c.as_mut_slice();
-    for i in 0..n_samples {
-        let arow = a.row(i);
-        let brow = b.row(i);
-        for (k, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let work = n_samples * d_in * d_out;
+    gcon_runtime::parallel_rows(c.as_mut_slice(), d_in, d_out, work, |block, k0, k1| {
+        t_matmul_block(a, b, block, k0, k1);
+    });
+}
+
+simd_dispatch! {
+    /// Computes rows `[k0, k1)` of `Aᵀ · B` into `out` (pre-zeroed local
+    /// block) — see [`t_matmul_block_impl`].
+    fn t_matmul_block / t_matmul_block_avx2 / t_matmul_block_impl(
+        a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize)
+}
+
+/// The `t_matmul` kernel body. The `Σ_i a[i][k]·b[i][j]` reduction is
+/// chunked into [`TM_IB`]-sample blocks; within a block an [`MR`]`×`[`NR`]
+/// register tile accumulates `MR` output rows × `NR` output columns across
+/// the block's samples, then adds into `out`. Sample-block boundaries are
+/// fixed multiples of `TM_IB` and every edge path (K tail rows, J tail
+/// columns) uses the same block-sequential, sample-ascending per-element
+/// order, so results are byte-identical whatever the thread partition.
+#[inline(always)]
+fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize) {
+    let n_samples = a.rows();
+    let d_out = b.cols();
+    if d_out == 0 {
+        return;
+    }
+    let main_j = d_out - d_out % NR;
+    let mut ib = 0;
+    while ib < n_samples {
+        let ie = (ib + TM_IB).min(n_samples);
+        let mut kk = k0;
+        while kk + MR <= k1 {
+            let mut jj = 0;
+            while jj < main_j {
+                let mut acc = [[0.0; NR]; MR];
+                for i in ib..ie {
+                    let av = &a.row(i)[kk..kk + MR];
+                    let bv = &b.row(i)[jj..jj + NR];
+                    for r in 0..MR {
+                        for c in 0..NR {
+                            acc[r][c] += av[r] * bv[c];
+                        }
+                    }
+                }
+                for (r, tile_row) in acc.iter().enumerate() {
+                    let orow = &mut out[(kk + r - k0) * d_out + jj..][..NR];
+                    for (o, &v) in orow.iter_mut().zip(tile_row) {
+                        *o += v;
+                    }
+                }
+                jj += NR;
             }
-            let crow = &mut cs[k * d_out..(k + 1) * d_out];
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
+            if main_j < d_out {
+                // J tail: fewer than NR columns, same MR rows and order.
+                let mut acc = [[0.0; NR]; MR];
+                for i in ib..ie {
+                    let av = &a.row(i)[kk..kk + MR];
+                    let bv = &b.row(i)[main_j..];
+                    for r in 0..MR {
+                        for (c, &bvc) in bv.iter().enumerate() {
+                            acc[r][c] += av[r] * bvc;
+                        }
+                    }
+                }
+                for (r, tile_row) in acc.iter().enumerate() {
+                    let orow = &mut out[(kk + r - k0) * d_out + main_j..(kk + r - k0 + 1) * d_out];
+                    for (o, &v) in orow.iter_mut().zip(tile_row) {
+                        *o += v;
+                    }
+                }
             }
+            kk += MR;
         }
+        // K tail: remaining output rows one at a time, same sample blocks.
+        while kk < k1 {
+            let mut jj = 0;
+            while jj < main_j {
+                let mut acc = [0.0; NR];
+                for i in ib..ie {
+                    let av = a.row(i)[kk];
+                    let bv = &b.row(i)[jj..jj + NR];
+                    for c in 0..NR {
+                        acc[c] += av * bv[c];
+                    }
+                }
+                let orow = &mut out[(kk - k0) * d_out + jj..][..NR];
+                for (o, &v) in orow.iter_mut().zip(&acc) {
+                    *o += v;
+                }
+                jj += NR;
+            }
+            if main_j < d_out {
+                let mut acc = [0.0; NR];
+                for i in ib..ie {
+                    let av = a.row(i)[kk];
+                    for (c, &bvc) in b.row(i)[main_j..].iter().enumerate() {
+                        acc[c] += av * bvc;
+                    }
+                }
+                let orow = &mut out[(kk - k0) * d_out + main_j..(kk - k0 + 1) * d_out];
+                for (o, &v) in orow.iter_mut().zip(&acc) {
+                    *o += v;
+                }
+            }
+            kk += 1;
+        }
+        ib = ie;
     }
 }
 
@@ -97,6 +347,11 @@ pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
 
 /// `C = A · Bᵀ` written into `c` (reshaped to `a.rows() × b.rows()`),
 /// parallelized over row blocks of A on the shared runtime pool.
+///
+/// Rows of `B` are consumed four at a time ([`dot4`]), so each `A` row is
+/// streamed once per four outputs instead of once per output. The grouping
+/// starts at column 0 regardless of the thread partition (which splits rows
+/// of `A`), so each element's accumulation order is partition-independent.
 pub fn matmul_bt_into(a: &Mat, b: &Mat, c: &mut Mat) {
     assert_eq!(a.cols(), b.cols(), "matmul_bt: column mismatch");
     let m = a.rows();
@@ -104,13 +359,68 @@ pub fn matmul_bt_into(a: &Mat, b: &Mat, c: &mut Mat) {
     let k = a.cols();
     c.reset_to_zeros(m, n);
     gcon_runtime::parallel_rows(c.as_mut_slice(), m, n, m * k * n, |block, start, _end| {
-        for (local, crow) in block.chunks_mut(n.max(1)).enumerate() {
-            let arow = a.row(start + local);
-            for (j, cv) in crow.iter_mut().enumerate() {
-                *cv = crate::vecops::dot(arow, b.row(j));
+        matmul_bt_block(a, b, block, start);
+    });
+}
+
+simd_dispatch! {
+    /// Fills `block` (rows `start..` of `A·Bᵀ`) — see
+    /// [`matmul_bt_block_impl`].
+    fn matmul_bt_block / matmul_bt_block_avx2 / matmul_bt_block_impl(
+        a: &Mat, b: &Mat, block: &mut [f64], start: usize)
+}
+
+/// The `matmul_bt` kernel body: four rows of `B` per pass over each row of
+/// `A` ([`dot4`]), single dots for the `n % 4` tail columns.
+#[inline(always)]
+fn matmul_bt_block_impl(a: &Mat, b: &Mat, block: &mut [f64], start: usize) {
+    let n = b.rows();
+    let main_n = n - n % 4;
+    for (local, crow) in block.chunks_mut(n.max(1)).enumerate() {
+        let arow = a.row(start + local);
+        let mut j = 0;
+        while j < main_n {
+            let d = dot4(arow, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            crow[j..j + 4].copy_from_slice(&d);
+            j += 4;
+        }
+        for (jt, cv) in crow.iter_mut().enumerate().take(n).skip(main_n) {
+            *cv = crate::vecops::dot(arow, b.row(jt));
+        }
+    }
+}
+
+/// Four simultaneous dot products of `a` against `b0..b3` (all the same
+/// length): one pass over `a`, four lanes of independent accumulators per
+/// output. Deterministic — the accumulation structure depends only on the
+/// slice length.
+#[inline(always)]
+fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    const W: usize = 4;
+    let main = a.len() - a.len() % W;
+    let mut acc = [[0.0; W]; 4];
+    let mut kk = 0;
+    while kk < main {
+        let av = &a[kk..kk + W];
+        for (r, b) in [b0, b1, b2, b3].iter().enumerate() {
+            let bv = &b[kk..kk + W];
+            for l in 0..W {
+                acc[r][l] += av[l] * bv[l];
             }
         }
-    });
+        kk += W;
+    }
+    let mut out = [0.0; 4];
+    for (r, lanes) in acc.iter().enumerate() {
+        out[r] = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    }
+    for (t, &av) in a[main..].iter().enumerate() {
+        out[0] += av * b0[main + t];
+        out[1] += av * b1[main + t];
+        out[2] += av * b2[main + t];
+        out[3] += av * b3[main + t];
+    }
+    out
 }
 
 /// Element-wise `A + B`.
@@ -249,6 +559,66 @@ mod tests {
         let slow = matmul(&a, &b.transpose());
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// Tile-tail coverage: shapes around the MR/NR/dot4 boundaries, plus
+    /// 0/1-sized dimensions, all against the naive reference.
+    #[test]
+    fn tiled_kernels_handle_awkward_shapes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(8);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (MR, 3, NR),
+            (MR + 1, 1, NR + 1),
+            (MR - 1, NR, NR - 1),
+            (2 * MR + 3, 2 * NR + 5, 3 * NR + 7),
+            (5, 0, 4),
+            (0, 3, 4),
+            (4, 3, 0),
+        ] {
+            let a = Mat::uniform(m, k, 1.0, &mut rng);
+            let b = Mat::uniform(k, n, 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            assert_eq!(fast.shape(), (m, n), "{m}x{k}x{n}");
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-12, "matmul {m}x{k}x{n}: {x} vs {y}");
+            }
+            // Aᵀ·B over the same awkward shapes (a is m×k ⇒ use it as the
+            // sample matrix, b must share the row count).
+            let b2 = Mat::uniform(m, n, 1.0, &mut rng);
+            let fast_t = t_matmul(&a, &b2);
+            let slow_t = naive_matmul(&a.transpose(), &b2);
+            for (x, y) in fast_t.as_slice().iter().zip(slow_t.as_slice()) {
+                assert!((x - y).abs() < 1e-12, "t_matmul {m}x{k}x{n}: {x} vs {y}");
+            }
+            // A·Bᵀ: b3 shares the column count.
+            let b3 = Mat::uniform(n, k, 1.0, &mut rng);
+            let fast_bt = matmul_bt(&a, &b3);
+            let slow_bt = naive_matmul(&a, &b3.transpose());
+            for (x, y) in fast_bt.as_slice().iter().zip(slow_bt.as_slice()) {
+                assert!((x - y).abs() < 1e-12, "matmul_bt {m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// A sample count crossing the TM_IB block boundary exercises the
+    /// partial-sum accumulation of the tiled `t_matmul` kernel.
+    #[test]
+    fn t_matmul_across_sample_block_boundary() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let n_samples = TM_IB + TM_IB / 2 + 3;
+        let a = Mat::uniform(n_samples, 5, 1.0, &mut rng);
+        let b = Mat::uniform(n_samples, 9, 1.0, &mut rng);
+        let fast = t_matmul(&a, &b);
+        let slow = naive_matmul(&a.transpose(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
         }
     }
 

@@ -38,6 +38,21 @@ pub trait LinearOperator {
     fn apply_transpose(&self, x: &[f64]) -> Vec<f64>;
     /// Operator dimension (square).
     fn dim(&self) -> usize;
+
+    /// Applies the operator, writing into `out` (resized as needed, backing
+    /// allocation reused). [`cgnr`]'s inner loop calls this form so a solve
+    /// performs no per-iteration allocation; operators whose product has a
+    /// natural `_into` kernel (e.g. a CSR `spmv_into`) should override the
+    /// default, which delegates to the allocating [`LinearOperator::apply`].
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply(x);
+    }
+
+    /// Buffer-reusing form of [`LinearOperator::apply_transpose`]; see
+    /// [`LinearOperator::apply_into`].
+    fn apply_transpose_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply_transpose(x);
+    }
 }
 
 /// A matrix-free linear operator applied to every column of a dense block,
@@ -99,13 +114,17 @@ pub fn cgnr<Op: LinearOperator>(
     // z = Aᵀ r (gradient of the least-squares objective), p = z.
     let mut z = op.apply_transpose(&r);
     let mut p = z.clone();
+    // The only per-iteration buffer; every operator product in the loop
+    // below runs through the `_into` forms, so steady-state iterations
+    // allocate nothing.
+    let mut ap = Vec::new();
     let mut z_norm_sq = vecops::dot(&z, &z);
     let b_norm = vecops::norm2(b).max(1e-300);
 
     let mut iterations = 0;
     let mut recurrence_residual = vecops::norm2(&r);
     while iterations < max_iters && recurrence_residual / b_norm >= tol {
-        let ap = op.apply(&p);
+        op.apply_into(&p, &mut ap);
         let ap_norm_sq = vecops::dot(&ap, &ap);
         if ap_norm_sq == 0.0 {
             break; // stagnated: A p = 0 with p ≠ 0 (singular operator)
@@ -114,7 +133,7 @@ pub fn cgnr<Op: LinearOperator>(
         let alpha = z_norm_sq / ap_norm_sq;
         vecops::axpy(alpha, &p, &mut x);
         vecops::axpy(-alpha, &ap, &mut r);
-        z = op.apply_transpose(&r);
+        op.apply_transpose_into(&r, &mut z);
         let z_new = vecops::dot(&z, &z);
         let beta = z_new / z_norm_sq.max(1e-300);
         for (pi, &zi) in p.iter_mut().zip(&z) {
@@ -125,15 +144,18 @@ pub fn cgnr<Op: LinearOperator>(
     }
     // The recurrence residual drifts from ‖b − A x‖₂ in floating point on
     // ill-conditioned systems; the verdict must use the real thing.
-    let ax = op.apply(&x);
+    op.apply_into(&x, &mut ap);
+    let ax = ap;
     let residual = b.iter().zip(&ax).map(|(&bi, &ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
     let converged = residual / b_norm < tol;
     (x, SolveStats { iterations, residual, converged })
 }
 
 /// Per-column dot products `out[j] = Σ_i a[i][j]·b[i][j]`, accumulated in
-/// ascending row order so each column's sum matches the order
-/// [`vecops::dot`] would use on the extracted column.
+/// ascending row order — a fixed, partition-independent order (it no longer
+/// matches [`vecops::dot`] bit-for-bit now that `dot` uses lane
+/// accumulators; the block/column solver agreement tests compare to
+/// tolerance).
 fn column_dots(a: &Mat, b: &Mat) -> Vec<f64> {
     debug_assert_eq!(a.shape(), b.shape());
     let mut out = vec![0.0; a.cols()];
@@ -329,15 +351,28 @@ pub struct DenseOperator<'a> {
 
 impl LinearOperator for DenseOperator<'_> {
     fn apply(&self, x: &[f64]) -> Vec<f64> {
-        (0..self.mat.rows()).map(|i| vecops::dot(self.mat.row(i), x)).collect()
+        let mut out = Vec::new();
+        LinearOperator::apply_into(self, x, &mut out);
+        out
     }
 
     fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; self.mat.cols()];
-        for (i, &xi) in x.iter().enumerate() {
-            vecops::axpy(xi, self.mat.row(i), &mut out);
-        }
+        let mut out = Vec::new();
+        LinearOperator::apply_transpose_into(self, x, &mut out);
         out
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.mat.rows()).map(|i| vecops::dot(self.mat.row(i), x)));
+    }
+
+    fn apply_transpose_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.mat.cols(), 0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            vecops::axpy(xi, self.mat.row(i), out);
+        }
     }
 
     fn dim(&self) -> usize {

@@ -1,19 +1,67 @@
 //! Vector kernels shared across the workspace.
+//!
+//! The reduction kernels ([`dot`], [`norm2`], [`dist2`]) are unrolled over
+//! [`LANES`]-wide chunks with one independent accumulator per lane, breaking
+//! the serial floating-point dependency chain so LLVM autovectorizes them
+//! and the out-of-order core overlaps the adds. The lane structure is a
+//! fixed function of the input length — never of any thread partition — so
+//! results are deterministic for a given input, though they differ from a
+//! strictly sequential sum by reassociation (callers compare against naive
+//! references with a relative tolerance, see `gcon_linalg` crate docs).
+//!
+//! Length contracts are enforced with `assert_eq!` at the kernel boundary in
+//! all build profiles: a silent `zip` truncation on mismatched lengths would
+//! corrupt downstream numerics (the former `debug_assert_eq!` let release
+//! builds do exactly that).
 
 use rand::Rng;
 
+/// Unroll width of the reduction kernels: chunks of this many elements get
+/// one independent accumulator per lane.
+pub const LANES: usize = 8;
+
+/// Reduces [`LANES`] lane accumulators pairwise (fixed tree, part of the
+/// deterministic accumulation order).
+#[inline(always)]
+fn reduce_lanes(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
 /// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    let main = a.len() - a.len() % LANES;
+    let mut acc = [0.0; LANES];
+    for (ca, cb) in a[..main].chunks_exact(LANES).zip(b[..main].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut s = reduce_lanes(acc);
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        s += x * y;
+    }
+    s
 }
 
 /// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the lengths differ.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    let main = x.len() - x.len() % LANES;
+    for (cy, cx) in y[..main].chunks_exact_mut(LANES).zip(x[..main].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            cy[l] += alpha * cx[l];
+        }
+    }
+    for (yi, xi) in y[main..].iter_mut().zip(&x[main..]) {
         *yi += alpha * xi;
     }
 }
@@ -21,7 +69,18 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// Euclidean (L2) norm.
 #[inline]
 pub fn norm2(x: &[f64]) -> f64 {
-    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+    let main = x.len() - x.len() % LANES;
+    let mut acc = [0.0; LANES];
+    for c in x[..main].chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] += c[l] * c[l];
+        }
+    }
+    let mut s = reduce_lanes(acc);
+    for v in &x[main..] {
+        s += v * v;
+    }
+    s.sqrt()
 }
 
 /// L1 norm.
@@ -37,10 +96,25 @@ pub fn norm_inf(x: &[f64]) -> f64 {
 }
 
 /// Euclidean distance between two slices.
+///
+/// # Panics
+/// Panics if the lengths differ.
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    assert_eq!(a.len(), b.len(), "dist2: length mismatch {} vs {}", a.len(), b.len());
+    let main = a.len() - a.len() % LANES;
+    let mut acc = [0.0; LANES];
+    for (ca, cb) in a[..main].chunks_exact(LANES).zip(b[..main].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut s = reduce_lanes(acc);
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        s += (x - y) * (x - y);
+    }
+    s.sqrt()
 }
 
 /// Scales `x` in place by `alpha`.
@@ -201,5 +275,50 @@ mod tests {
         let b = [4.0, 6.0];
         assert_eq!(dist2(&a, &b), 5.0);
         assert_eq!(dist2(&b, &a), 5.0);
+    }
+
+    /// The unrolled reductions agree with a naive sequential sum to relative
+    /// tolerance on lengths straddling the lane width (0, 1, tails, exact
+    /// multiples).
+    #[test]
+    fn unrolled_kernels_match_naive_over_awkward_lengths() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [0usize, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100] {
+            let a: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0)).collect();
+            let dot_naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let tol = 1e-12 * dot_naive.abs().max(1.0);
+            assert!((dot(&a, &b) - dot_naive).abs() <= tol, "dot n={n}");
+            let n2_naive = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm2(&a) - n2_naive).abs() <= 1e-12 * n2_naive.max(1.0), "norm2 n={n}");
+            let d2_naive = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+            assert!((dist2(&a, &b) - d2_naive).abs() <= 1e-12 * d2_naive.max(1.0), "dist2 n={n}");
+            let mut y = b.clone();
+            axpy(0.37, &a, &mut y);
+            for ((yi, bi), ai) in y.iter().zip(&b).zip(&a) {
+                assert!((yi - (bi + 0.37 * ai)).abs() <= 1e-15, "axpy n={n}");
+            }
+        }
+    }
+
+    /// Length mismatches must panic in every build profile — a silent `zip`
+    /// truncation would corrupt solver numerics.
+    #[test]
+    #[should_panic(expected = "dot: length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy: length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut y = [0.0; 3];
+        axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    #[should_panic(expected = "dist2: length mismatch")]
+    fn dist2_length_mismatch_panics() {
+        let _ = dist2(&[1.0], &[1.0, 2.0]);
     }
 }

@@ -342,6 +342,31 @@ fn start_to_chunks(n: usize, rows_per_chunk: usize) -> usize {
     n.div_ceil(rows_per_chunk)
 }
 
+thread_local! {
+    /// Per-thread stack of reusable scratch buffers for [`with_scratch_f64`].
+    /// A stack (rather than a single slot) keeps the helper re-entrant: a
+    /// kernel that nests `with_scratch_f64` calls gets distinct buffers.
+    static SCRATCH_F64: std::cell::RefCell<Vec<Vec<f64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-local scratch slice of exactly `len` elements.
+///
+/// The backing allocation is cached per thread and reused across calls, so a
+/// kernel invoked from a [`parallel_rows`] chunk (pool workers are long-lived)
+/// pays for the buffer once per thread, not once per call. The slice's
+/// contents are **unspecified** on entry — callers must fully overwrite
+/// whatever region they read back. Re-entrant: nested calls receive distinct
+/// buffers. If `f` panics, the buffer is simply dropped (never handed out
+/// again half-initialized).
+pub fn with_scratch_f64<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = SCRATCH_F64.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    buf.resize(len, 0.0);
+    let out = f(&mut buf[..len]);
+    SCRATCH_F64.with(|s| s.borrow_mut().push(buf));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +473,23 @@ mod tests {
             });
             assert_eq!(sum.load(Ordering::Relaxed), (0..16).sum::<usize>());
         }
+    }
+
+    #[test]
+    fn scratch_buffer_has_exact_length_and_nests() {
+        with_scratch_f64(7, |outer| {
+            assert_eq!(outer.len(), 7);
+            outer.fill(1.0);
+            with_scratch_f64(3, |inner| {
+                assert_eq!(inner.len(), 3);
+                inner.fill(2.0);
+            });
+            // The nested call received a distinct buffer.
+            assert!(outer.iter().all(|&v| v == 1.0));
+        });
+        // Reuse with a different length still yields the exact length.
+        with_scratch_f64(11, |buf| assert_eq!(buf.len(), 11));
+        with_scratch_f64(0, |buf| assert!(buf.is_empty()));
     }
 
     #[test]

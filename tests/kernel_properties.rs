@@ -1,0 +1,192 @@
+//! Property tests for the register-tiled compute kernels (PR 3): every
+//! rewritten kernel must agree with a naive reference implementation to
+//! 1e-9 **relative** tolerance over awkward shapes — tile-tail M/N/K,
+//! 0/1-sized dimensions, and feature widths that are not multiples of the
+//! unroll widths. (Bit-exactness is deliberately *not* asserted here: the
+//! tiled kernels reassociate accumulation. What is bit-exact — identical
+//! results across `GCON_THREADS` — is pinned in `runtime_equivalence.rs`.)
+
+use gcon::graph::Csr;
+use gcon::linalg::{ops, vecops, Mat};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `|x - y| ≤ 1e-9 · max(1, |y|)` — the kernel acceptance tolerance.
+fn close(x: f64, y: f64) -> bool {
+    (x - y).abs() <= 1e-9 * y.abs().max(1.0)
+}
+
+fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut s = 0.0;
+            for k in 0..a.cols() {
+                s += a.get(i, k) * b.get(k, j);
+            }
+            c.set(i, j, s);
+        }
+    }
+    c
+}
+
+fn random_csr(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> Csr {
+    let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); rows];
+    for row in entries.iter_mut() {
+        for j in 0..cols as u32 {
+            if rng.gen::<f64>() < density {
+                row.push((j, rng.gen_range(-1.0..1.0)));
+            }
+        }
+    }
+    Csr::from_row_entries(rows, cols, entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `matmul` — register-tiled with packed B panels — vs the naive triple
+    /// loop. Shape ranges straddle the MR=4 / NR=8 tile boundaries and
+    /// include empty and unit dimensions.
+    #[test]
+    fn matmul_matches_naive_reference(
+        seed in 0u64..10_000,
+        m in 0usize..40,
+        k in 0usize..50,
+        n in 0usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::uniform(m, k, 1.0, &mut rng);
+        let b = Mat::uniform(k, n, 1.0, &mut rng);
+        let fast = ops::matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        prop_assert_eq!(fast.shape(), (m, n));
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!(close(*x, *y), "{} vs {}", x, y);
+        }
+    }
+
+    /// `t_matmul` — pooled, sample-blocked — vs naive on the transpose,
+    /// with sample counts crossing the TM_IB=128 block boundary.
+    #[test]
+    fn t_matmul_matches_naive_reference(
+        seed in 0u64..10_000,
+        n_samples in 0usize..300,
+        d_in in 0usize..24,
+        d_out in 0usize..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
+        let b = Mat::uniform(n_samples, d_out, 1.0, &mut rng);
+        let fast = ops::t_matmul(&a, &b);
+        let slow = naive_matmul(&a.transpose(), &b);
+        prop_assert_eq!(fast.shape(), (d_in, d_out));
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!(close(*x, *y), "{} vs {}", x, y);
+        }
+    }
+
+    /// `matmul_bt` — 4-batched row dots — vs naive on the transpose.
+    #[test]
+    fn matmul_bt_matches_naive_reference(
+        seed in 0u64..10_000,
+        m in 0usize..32,
+        n in 0usize..32,
+        k in 0usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Mat::uniform(m, k, 1.0, &mut rng);
+        let b = Mat::uniform(n, k, 1.0, &mut rng);
+        let fast = ops::matmul_bt(&a, &b);
+        let slow = naive_matmul(&a, &b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!(close(*x, *y), "{} vs {}", x, y);
+        }
+    }
+
+    /// `spmm` — 4-nonzeros-per-pass — vs dense naive matmul, including
+    /// rows whose nonzero count is not a multiple of the unroll group.
+    #[test]
+    fn spmm_matches_naive_reference(
+        seed in 0u64..10_000,
+        n in 1usize..50,
+        k in 1usize..50,
+        d in 0usize..30,
+        density in 0.02f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = random_csr(n, k, density, &mut rng);
+        let b = Mat::uniform(k, d, 1.0, &mut rng);
+        let fast = sp.spmm(&b);
+        let slow = naive_matmul(&sp.to_dense(), &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!(close(*x, *y), "{} vs {}", x, y);
+        }
+    }
+
+    /// `spmv` / `spmv_t` (and their `_into` twins, which are the same code
+    /// path) vs the dense reference.
+    #[test]
+    fn spmv_matches_naive_reference(
+        seed in 0u64..10_000,
+        n in 1usize..60,
+        k in 1usize..60,
+        density in 0.02f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = random_csr(n, k, density, &mut rng);
+        let dense = sp.to_dense();
+        let x: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let xt: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = sp.spmv(&x);
+        for (i, &yi) in y.iter().enumerate() {
+            let slow: f64 = (0..k).map(|j| dense.get(i, j) * x[j]).sum();
+            prop_assert!(close(yi, slow), "row {}: {} vs {}", i, yi, slow);
+        }
+        let yt = sp.spmv_t(&xt);
+        for (j, &yj) in yt.iter().enumerate() {
+            let slow: f64 = (0..n).map(|i| dense.get(i, j) * xt[i]).sum();
+            prop_assert!(close(yj, slow), "col {}: {} vs {}", j, yj, slow);
+        }
+    }
+
+    /// The lane-accumulator vector kernels vs naive sequential reductions,
+    /// over lengths straddling the 8-wide lane structure.
+    #[test]
+    fn vecops_match_naive_reference(
+        seed in 0u64..10_000,
+        n in 0usize..120,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let dot_naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!(close(vecops::dot(&a, &b), dot_naive));
+        let n2: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(close(vecops::norm2(&a), n2));
+        let d2: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        prop_assert!(close(vecops::dist2(&a, &b), d2));
+        let alpha = rng.gen_range(-2.0..2.0);
+        let mut y = b.clone();
+        vecops::axpy(alpha, &a, &mut y);
+        for ((yi, bi), ai) in y.iter().zip(&b).zip(&a) {
+            prop_assert!(close(*yi, bi + alpha * ai));
+        }
+    }
+}
+
+/// The length contract of the vector kernels holds in release builds: a
+/// mismatch panics instead of silently truncating via `zip`.
+#[test]
+fn vector_kernel_length_contract_is_release_checked() {
+    let r = std::panic::catch_unwind(|| vecops::dot(&[1.0, 2.0, 3.0], &[1.0]));
+    assert!(r.is_err(), "dot must panic on length mismatch");
+    let r = std::panic::catch_unwind(|| {
+        let mut y = vec![0.0; 2];
+        vecops::axpy(1.0, &[1.0, 2.0, 3.0], &mut y);
+    });
+    assert!(r.is_err(), "axpy must panic on length mismatch");
+    let r = std::panic::catch_unwind(|| vecops::dist2(&[1.0], &[1.0, 2.0]));
+    assert!(r.is_err(), "dist2 must panic on length mismatch");
+}

@@ -186,6 +186,86 @@ proptest! {
     }
 }
 
+/// Runs every rewritten kernel on fixed awkward-shaped inputs and returns
+/// the concatenated little-endian bytes of all results. Shapes are chosen to
+/// exceed `PAR_THRESHOLD` (so the pool actually partitions) and to be far
+/// from multiples of the MR/NR tile sizes (so tile tails land differently
+/// under different partitions).
+fn kernel_fingerprint() -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(424242);
+    let mut bytes = Vec::new();
+    fn push(bytes: &mut Vec<u8>, m: &Mat) {
+        for v in m.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    // Dense GEMM family.
+    let a = Mat::uniform(67, 129, 1.0, &mut rng);
+    let b = Mat::uniform(129, 61, 1.0, &mut rng);
+    push(&mut bytes, &ops::matmul(&a, &b));
+    let xt = Mat::uniform(263, 37, 1.0, &mut rng);
+    let grad = Mat::uniform(263, 29, 1.0, &mut rng);
+    push(&mut bytes, &ops::t_matmul(&xt, &grad));
+    let bt = Mat::uniform(53, 129, 1.0, &mut rng);
+    push(&mut bytes, &ops::matmul_bt(&a, &bt));
+
+    // Sparse kernels.
+    let sp = random_csr(301, 301, 0.05, &mut rng);
+    let feats = Mat::uniform(301, 23, 1.0, &mut rng);
+    push(&mut bytes, &sp.spmm(&feats));
+    let x: Vec<f64> = (0..301).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    for v in sp.spmv(&x).iter().chain(sp.spmv_t(&x).iter()) {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    // Propagation (drives spmm_into through the ping-pong recursion).
+    let g = gcon::graph::generators::erdos_renyi_gnm(260, 1500, &mut rng);
+    let at = row_stochastic_default(&g);
+    let px = Mat::uniform(260, 19, 1.0, &mut rng);
+    push(&mut bytes, &propagate(&at, &px, 0.3, PropagationStep::Finite(4)));
+    bytes
+}
+
+/// **Determinism policy test.** The tiled kernels reassociate accumulation
+/// (so they differ from the old scalar kernels within tolerance), but for a
+/// given input the result must be byte-identical whatever `GCON_THREADS` is:
+/// the thread partition decides only *who* computes an output row, never the
+/// accumulation order within it. The pool width is latched per process, so
+/// this test re-executes itself as a subprocess per width and compares the
+/// raw result bytes.
+#[test]
+fn kernels_byte_identical_across_thread_counts() {
+    if let Ok(path) = std::env::var("GCON_FINGERPRINT_OUT") {
+        std::fs::write(path, kernel_fingerprint()).expect("fingerprint write failed");
+        return;
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "4"] {
+        let path = std::env::temp_dir()
+            .join(format!("gcon-fingerprint-{}-t{threads}", std::process::id()));
+        let status = std::process::Command::new(&exe)
+            .args(["kernels_byte_identical_across_thread_counts", "--exact", "--test-threads=1"])
+            .env("GCON_THREADS", threads)
+            .env("GCON_FINGERPRINT_OUT", &path)
+            .status()
+            .expect("failed to respawn test binary");
+        assert!(status.success(), "GCON_THREADS={threads} child failed");
+        let data = std::fs::read(&path).expect("fingerprint read failed");
+        assert!(!data.is_empty(), "GCON_THREADS={threads} produced no fingerprint");
+        let _ = std::fs::remove_file(&path);
+        outputs.push((threads, data));
+    }
+    let (_, reference) = &outputs[0];
+    for (threads, data) in &outputs[1..] {
+        assert!(
+            data == reference,
+            "kernel results differ between GCON_THREADS=1 and GCON_THREADS={threads}"
+        );
+    }
+}
+
 #[test]
 fn degenerate_shapes_are_supported() {
     // rows == 0.
