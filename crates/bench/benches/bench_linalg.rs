@@ -1,12 +1,17 @@
 //! Substrate microbench and perf-trajectory recorder: the dense GEMM and
 //! sparse×dense kernels every training loop in the workspace sits on.
 //!
-//! Each rewritten kernel (PR 3's register-tiled `matmul`, pooled
-//! `t_matmul`, batched `matmul_bt`, unrolled `spmm`, allocation-free
-//! `spmv_into`) is timed against an in-binary copy of the **pre-PR scalar
-//! kernel**, run through the same `parallel_rows` partitioning at the same
-//! thread count, so the recorded speedup isolates the kernel rewrite from
-//! threading effects. Results are printed per shape and written
+//! Each rewritten kernel (the register-tiled, K-cache-blocked `matmul`,
+//! pooled sparsity-adaptive `t_matmul`, batched `matmul_bt`, unrolled
+//! `spmm`, allocation-free `spmv_into`) is timed against an in-binary copy
+//! of the **pre-PR-3 scalar kernel**, run through the same `parallel_rows`
+//! partitioning at the same thread count, so the recorded speedup isolates
+//! the kernel rewrite from threading effects. Every shape is swept **once
+//! per dispatch tier the host supports** (`gcon_runtime::available_tiers`
+//! — absent tiers are skipped, never failed, so the CI smoke passes on any
+//! box), pinning the tier with `set_kernel_tier`; `t_matmul` additionally
+//! sweeps ReLU-style sparsity at 0/50/90/99% zeros to track the adaptive
+//! skip-path crossover. Results are printed per shape × tier and written
 //! machine-readably to `BENCH_linalg.json` at the workspace root (override
 //! with `GCON_BENCH_OUT`); `GCON_BENCH_QUICK=1` shrinks the sweep for CI
 //! smoke runs.
@@ -19,9 +24,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Median-of-reps wall-clock nanoseconds for one call of `f`.
+/// Median-of-reps wall-clock nanoseconds for one call of `f`. `reps` is a
+/// floor: sub-millisecond kernels get enough extra reps to fill ~10 ms of
+/// sampling, keeping the median stable against scheduler/frequency jitter
+/// on the shared dev box (µs-scale kernels showed ±30% between fixed-rep
+/// runs).
 fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     f(); // warm-up (pool spin-up, buffer growth, icache)
+    let probe = Instant::now();
+    f();
+    let est = (probe.elapsed().as_nanos() as f64).max(1.0);
+    let reps = reps.max((1e7 / est) as usize).min(501);
     let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| {
             let t = Instant::now();
@@ -37,6 +50,7 @@ fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 struct Row {
     kernel: &'static str,
     shape: String,
+    tier: gcon_runtime::KernelTier,
     ns_before: f64,
     ns_after: f64,
 }
@@ -140,18 +154,46 @@ fn random_graph_csr(n: usize, edges: usize, rng: &mut StdRng) -> Csr {
     row_stochastic_default(&g)
 }
 
+/// Times `f` once per available tier (pinned via the entry-tier-restoring
+/// `gcon_runtime::for_each_available_tier`), appending one row per tier.
+///
+/// The tier-independent reference kernel `ref_f` is re-timed immediately
+/// before each tier measurement rather than once up front: the shared dev
+/// box drifts between throughput phases on a minutes timescale, and pairing
+/// the two timings back-to-back keeps each row's before/after ratio
+/// comparable even when the absolute numbers wander between rows.
+fn sweep_tiers(
+    rows: &mut Vec<Row>,
+    kernel: &'static str,
+    shape: &str,
+    reps: usize,
+    mut ref_f: impl FnMut(),
+    mut f: impl FnMut(),
+) {
+    gcon_runtime::for_each_available_tier(|tier| {
+        let ns_before = time_ns(reps, &mut ref_f);
+        let ns_after = time_ns(reps, &mut f);
+        rows.push(Row { kernel, shape: shape.to_string(), tier, ns_before, ns_after });
+    });
+}
+
 fn main() {
     // Quick mode only for a truthy setting: `GCON_BENCH_QUICK=0` (or empty)
     // must run the full sweep, since that regenerates the committed file.
     let quick =
         std::env::var("GCON_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
     let threads = gcon_runtime::configured_width();
-    let reps = if quick { 3 } else { 5 };
+    let tiers = gcon_runtime::available_tiers();
+    // Full-sweep medians feed the committed trajectory file; 9 reps keeps
+    // the median stable against single-core frequency jitter (±15% was
+    // observed between 5-rep runs on µs-scale kernels).
+    let reps = if quick { 3 } else { 9 };
     let mut rng = StdRng::seed_from_u64(0);
     let mut rows: Vec<Row> = Vec::new();
 
     // GEMM sweep: square shapes around the paper's layer sizes plus the
-    // 512³ headline shape, and one rectangular epoch-like shape.
+    // 512³ headline shape (whose K = 2·KC exercises the cache-block loop),
+    // and one rectangular epoch-like shape.
     let gemm_shapes: &[(usize, usize, usize)] = if quick {
         &[(64, 64, 64), (192, 192, 192), (300, 129, 61)]
     } else {
@@ -161,18 +203,26 @@ fn main() {
         let a = Mat::uniform(m, k, 1.0, &mut rng);
         let b = Mat::uniform(k, n, 1.0, &mut rng);
         let mut out = Mat::default();
-        let ns_before = time_ns(reps, || ref_matmul_into(black_box(&a), black_box(&b), &mut out));
-        let ns_after = time_ns(reps, || ops::matmul_into(black_box(&a), black_box(&b), &mut out));
-        rows.push(Row { kernel: "matmul", shape: format!("{m}x{k}x{n}"), ns_before, ns_after });
+        let mut out_ref = Mat::default();
+        sweep_tiers(
+            &mut rows,
+            "matmul",
+            &format!("{m}x{k}x{n}"),
+            reps,
+            || ref_matmul_into(black_box(&a), black_box(&b), &mut out_ref),
+            || ops::matmul_into(black_box(&a), black_box(&b), &mut out),
+        );
     }
 
     // Aᵀ·B (weight gradients): tall-skinny sample-major shapes. `zeros` is
     // the fraction of `A` entries ReLU-masked to 0 — the old scalar kernel
     // had an `if av == 0.0 { continue }` zero-skip whose cost scaled with
     // nnz(A), so the dense-A speedup alone would overstate the win on the
-    // post-ReLU activation matrices this kernel actually multiplies.
+    // post-ReLU activation matrices this kernel actually multiplies. The
+    // 90/99% points sit beyond TM_SKIP_ZERO_FRAC, where the adaptive kernel
+    // must route to its own skip loop and no longer lose to the old one.
     let tm_shapes: &[(usize, usize, usize, f64)] = if quick {
-        &[(1000, 64, 32, 0.0), (1000, 64, 32, 0.5)]
+        &[(1000, 64, 32, 0.0), (1000, 64, 32, 0.9)]
     } else {
         &[
             (2000, 128, 64, 0.0),
@@ -180,6 +230,7 @@ fn main() {
             (811, 67, 29, 0.0),
             (2000, 128, 64, 0.5),
             (2000, 128, 64, 0.9),
+            (2000, 128, 64, 0.99),
         ]
     };
     for &(s, d_in, d_out, zeros) in tm_shapes {
@@ -190,14 +241,16 @@ fn main() {
         }
         let b = Mat::uniform(s, d_out, 1.0, &mut rng);
         let mut out = Mat::default();
-        let ns_before = time_ns(reps, || ref_t_matmul_into(black_box(&a), black_box(&b), &mut out));
-        let ns_after = time_ns(reps, || ops::t_matmul_into(black_box(&a), black_box(&b), &mut out));
-        rows.push(Row {
-            kernel: "t_matmul",
-            shape: format!("{s}x{d_in}->{d_in}x{d_out}_z{:.0}%", zeros * 100.0),
-            ns_before,
-            ns_after,
-        });
+        let mut out_ref = Mat::default();
+        let shape = format!("{s}x{d_in}->{d_in}x{d_out}_z{:.0}%", zeros * 100.0);
+        sweep_tiers(
+            &mut rows,
+            "t_matmul",
+            &shape,
+            reps,
+            || ref_t_matmul_into(black_box(&a), black_box(&b), &mut out_ref),
+            || ops::t_matmul_into(black_box(&a), black_box(&b), &mut out),
+        );
     }
 
     // A·Bᵀ (pairwise row dots, the logits path).
@@ -207,13 +260,15 @@ fn main() {
         let a = Mat::uniform(m, k, 1.0, &mut rng);
         let b = Mat::uniform(n, k, 1.0, &mut rng);
         let mut out = Mat::default();
-        let ns_before =
-            time_ns(reps, || ref_matmul_bt_into(black_box(&a), black_box(&b), &mut out));
-        let ns_after =
-            time_ns(reps, || ops::matmul_bt_into(black_box(&a), black_box(&b), &mut out));
-        rows.push(Row {
-            kernel: "matmul_bt", shape: format!("{m}x{k}·t{n}"), ns_before, ns_after
-        });
+        let mut out_ref = Mat::default();
+        sweep_tiers(
+            &mut rows,
+            "matmul_bt",
+            &format!("{m}x{k}·t{n}"),
+            reps,
+            || ref_matmul_bt_into(black_box(&a), black_box(&b), &mut out_ref),
+            || ops::matmul_bt_into(black_box(&a), black_box(&b), &mut out),
+        );
     }
 
     // Sparse×dense at the paper's propagation widths d ∈ {16, 64, 256}.
@@ -223,40 +278,47 @@ fn main() {
     for &d in spmm_widths {
         let x = Mat::uniform(sp_n, d, 1.0, &mut rng);
         let mut out = Mat::default();
-        let ns_before =
-            time_ns(reps, || ref_spmm_into(black_box(&a_tilde), black_box(&x), &mut out));
-        let ns_after = time_ns(reps, || a_tilde.spmm_into(black_box(&x), &mut out));
-        rows.push(Row {
-            kernel: "spmm",
-            shape: format!("n{sp_n}_nnz{}_d{d}", a_tilde.nnz()),
-            ns_before,
-            ns_after,
-        });
+        let mut out_ref = Mat::default();
+        let shape = format!("n{sp_n}_nnz{}_d{d}", a_tilde.nnz());
+        sweep_tiers(
+            &mut rows,
+            "spmm",
+            &shape,
+            reps,
+            || ref_spmm_into(black_box(&a_tilde), black_box(&x), &mut out_ref),
+            || a_tilde.spmm_into(black_box(&x), &mut out),
+        );
     }
 
     // spmv: per-call allocation removed + unrolled row reduction.
     {
         let x: Vec<f64> = (0..sp_n).map(|i| (i as f64 * 0.37).sin()).collect();
         let mut out = Vec::new();
-        let ns_before = time_ns(reps, || {
-            black_box(ref_spmv(black_box(&a_tilde), black_box(&x)));
-        });
-        let ns_after = time_ns(reps, || a_tilde.spmv_into(black_box(&x), &mut out));
-        rows.push(Row {
-            kernel: "spmv",
-            shape: format!("n{sp_n}_nnz{}", a_tilde.nnz()),
-            ns_before,
-            ns_after,
-        });
+        let shape = format!("n{sp_n}_nnz{}", a_tilde.nnz());
+        sweep_tiers(
+            &mut rows,
+            "spmv",
+            &shape,
+            reps,
+            || {
+                black_box(ref_spmv(black_box(&a_tilde), black_box(&x)));
+            },
+            || a_tilde.spmv_into(black_box(&x), &mut out),
+        );
     }
 
     // Report.
-    println!("linalg kernel sweep (GCON_THREADS={threads}, quick={quick})");
+    let tier_names: Vec<&str> = tiers.iter().map(|t| t.name()).collect();
+    println!(
+        "linalg kernel sweep (GCON_THREADS={threads}, quick={quick}, tiers={})",
+        tier_names.join("/")
+    );
     for r in &rows {
         println!(
-            "{}/{}: before {:.0} ns, after {:.0} ns, speedup {:.2}x",
+            "{}/{} @ {}: before {:.0} ns, after {:.0} ns, speedup {:.2}x",
             r.kernel,
             r.shape,
+            r.tier,
             r.ns_before,
             r.ns_after,
             r.speedup()
@@ -268,13 +330,18 @@ fn main() {
     json.push_str("  \"bench\": \"linalg\",\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"tiers\": [{}],\n",
+        tier_names.iter().map(|t| format!("\"{t}\"")).collect::<Vec<_>>().join(", ")
+    ));
     json.push_str("  \"unit\": \"ns_per_call_median\",\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"ns_before\": {:.0}, \
-             \"ns_after\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"tier\": \"{}\", \
+             \"ns_before\": {:.0}, \"ns_after\": {:.0}, \"speedup\": {:.3}}}{}\n",
             r.kernel,
             r.shape,
+            r.tier,
             r.ns_before,
             r.ns_after,
             r.speedup(),

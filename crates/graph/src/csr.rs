@@ -143,21 +143,8 @@ impl Csr {
         assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         out.clear();
-        out.extend((0..self.rows).map(|i| {
-            let (cols, vals) = self.row(i);
-            let main = cols.len() - cols.len() % 4;
-            let mut acc = [0.0; 4];
-            for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
-                for l in 0..4 {
-                    acc[l] += cv[l] * x[cj[l] as usize];
-                }
-            }
-            let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-            for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
-                s += v * x[j as usize];
-            }
-            s
-        }));
+        out.resize(self.rows, 0.0);
+        spmv_fill(self, x, out);
     }
 
     /// Dense `selfᵀ · x` for a vector, applied as an O(nnz) scatter over the
@@ -178,15 +165,7 @@ impl Csr {
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         out.clear();
         out.resize(self.cols, 0.0);
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            let (cols, vals) = self.row(i);
-            for (&j, &v) in cols.iter().zip(vals) {
-                out[j as usize] += v * xi;
-            }
-        }
+        spmv_t_fill(self, x, out);
     }
 
     /// Dense `self · B` (sparse × dense), parallelized over row blocks on
@@ -212,44 +191,8 @@ impl Csr {
         out.reset_to_zeros(self.rows, d);
         let work = self.nnz() * d;
         gcon_runtime::parallel_rows(out.as_mut_slice(), self.rows, d, work, |block, start, end| {
-            self.spmm_block(b, block, start, end);
+            spmm_block(self, b, block, start, end);
         });
-    }
-
-    /// Computes rows `[start, end)` of `self · B` into the pre-zeroed local
-    /// block `out`.
-    ///
-    /// Four nonzeros of a CSR row are consumed per pass over the dense
-    /// output row: one read-modify-write of `out` carries four scaled `B`
-    /// rows (independent accumulators per column, so LLVM vectorizes across
-    /// the feature dimension and the four products overlap). The 4-group
-    /// structure depends only on the row's nonzero count — never on the
-    /// thread partition, which splits whole rows — so results are
-    /// byte-identical across `GCON_THREADS` values.
-    fn spmm_block(&self, b: &Mat, out: &mut [f64], start: usize, end: usize) {
-        let d = b.cols();
-        for i in start..end {
-            let (cols, vals) = self.row(i);
-            let orow = &mut out[(i - start) * d..(i - start + 1) * d];
-            let main = cols.len() - cols.len() % 4;
-            for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
-                let b0 = b.row(cj[0] as usize);
-                let b1 = b.row(cj[1] as usize);
-                let b2 = b.row(cj[2] as usize);
-                let b3 = b.row(cj[3] as usize);
-                let (v0, v1, v2, v3) = (cv[0], cv[1], cv[2], cv[3]);
-                for ((((o, &x0), &x1), &x2), &x3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    *o += (v0 * x0 + v1 * x1) + (v2 * x2 + v3 * x3);
-                }
-            }
-            for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
-                let brow = b.row(j as usize);
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += v * bv;
-                }
-            }
-        }
     }
 
     /// The transpose as a new CSR matrix, built with an O(nnz) counting
@@ -304,6 +247,110 @@ impl Csr {
             }
         }
         m
+    }
+}
+
+gcon_runtime::tier_dispatch! {
+    /// Computes rows `[start, end)` of `sp · B` into the pre-zeroed local
+    /// block `out` — see [`spmm_block_impl`].
+    fn spmm_block / spmm_block_avx2 / spmm_block_avx512 / spmm_block_impl(
+        sp: &Csr, b: &Mat, out: &mut [f64], start: usize, end: usize)
+}
+
+/// The `spmm` kernel body. Four nonzeros of a CSR row are consumed per pass
+/// over the dense output row: one read-modify-write of `out` carries four
+/// scaled `B` rows (independent accumulators per column, so LLVM vectorizes
+/// across the feature dimension and the four products overlap). The 4-group
+/// structure depends only on the row's nonzero count — never on the thread
+/// partition, which splits whole rows — so results are byte-identical
+/// across `GCON_THREADS` values (and across dispatch tiers, which compile
+/// this same body).
+#[inline(always)]
+fn spmm_block_impl(sp: &Csr, b: &Mat, out: &mut [f64], start: usize, end: usize) {
+    let d = b.cols();
+    for i in start..end {
+        let (cols, vals) = sp.row(i);
+        let orow = &mut out[(i - start) * d..(i - start + 1) * d];
+        let main = cols.len() - cols.len() % 4;
+        for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
+            let b0 = b.row(cj[0] as usize);
+            let b1 = b.row(cj[1] as usize);
+            let b2 = b.row(cj[2] as usize);
+            let b3 = b.row(cj[3] as usize);
+            let (v0, v1, v2, v3) = (cv[0], cv[1], cv[2], cv[3]);
+            for ((((o, &x0), &x1), &x2), &x3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *o += (v0 * x0 + v1 * x1) + (v2 * x2 + v3 * x3);
+            }
+        }
+        for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
+            let brow = b.row(j as usize);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += v * bv;
+            }
+        }
+    }
+}
+
+gcon_runtime::tier_dispatch! {
+    max_avx2
+    /// Row-reduction stage of [`Csr::spmv_into`] (writes `sp · x` into the
+    /// pre-sized `out`) — see [`spmv_fill_impl`].
+    ///
+    /// Capped at the AVX2 compilation: the reduction is gather-bound
+    /// (`x[col]` per nonzero), and with AVX-512 enabled LLVM vectorizes it
+    /// with AVX-512 gathers that measured consistently ~35% slower on the
+    /// dev box before this cap (23–26 µs vs 16–18 µs over three
+    /// `bench_linalg` runs at n=2000/nnz=22000; with the cap in place the
+    /// committed `BENCH_linalg.json` spmv rows time this same AVX2 build
+    /// under both tier labels, so any spread there is measurement noise).
+    /// Results are identical across compilations, so the cap is invisible
+    /// to the conformance suite.
+    fn spmv_fill / spmv_fill_avx2 / spmv_fill_impl(
+        sp: &Csr, x: &[f64], out: &mut [f64])
+}
+
+/// The `spmv` kernel body: each row reduces four nonzeros per pass with
+/// independent accumulators; the pairing depends only on the row's nonzero
+/// count, so results are deterministic.
+#[inline(always)]
+fn spmv_fill_impl(sp: &Csr, x: &[f64], out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let (cols, vals) = sp.row(i);
+        let main = cols.len() - cols.len() % 4;
+        let mut acc = [0.0; 4];
+        for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
+            for l in 0..4 {
+                acc[l] += cv[l] * x[cj[l] as usize];
+            }
+        }
+        let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
+            s += v * x[j as usize];
+        }
+        *o = s;
+    }
+}
+
+gcon_runtime::tier_dispatch! {
+    /// Scatter stage of [`Csr::spmv_t_into`] (accumulates `spᵀ · x` into the
+    /// pre-zeroed `out`) — see [`spmv_t_fill_impl`].
+    fn spmv_t_fill / spmv_t_fill_avx2 / spmv_t_fill_avx512 / spmv_t_fill_impl(
+        sp: &Csr, x: &[f64], out: &mut [f64])
+}
+
+/// The `spmv_t` kernel body: an O(nnz) row-major scatter that skips zero
+/// entries of `x`; the accumulation order per output element is the row
+/// order of `sp`, fixed for a given input.
+#[inline(always)]
+fn spmv_t_fill_impl(sp: &Csr, x: &[f64], out: &mut [f64]) {
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let (cols, vals) = sp.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            out[j as usize] += v * xi;
+        }
     }
 }
 

@@ -19,12 +19,17 @@
 //! The dense-output sparse kernels follow the same policy as `gcon-linalg`
 //! (see its crate docs): `Csr::spmm` consumes four nonzeros of a CSR row per
 //! pass over the dense output row, and `Csr::spmv` reduces each row with
-//! four independent accumulators. The unroll grouping is a function of the
-//! row's nonzero count alone — the pool partitions whole rows — so results
-//! are byte-identical across `GCON_THREADS` and differ from a strictly
-//! sequential reduction only by reassociation (≤ 1e-9 relative vs the naive
-//! reference, pinned by `tests/kernel_properties.rs`). Both `spmv`/`spmv_t`
-//! have buffer-reusing `_into` twins for solver inner loops.
+//! four independent accumulators. Each kernel body is compiled at every
+//! [`gcon_runtime::KernelTier`] (baseline / `avx2,fma` / `avx512f`) via
+//! [`gcon_runtime::tier_dispatch!`] and selected by the process-wide
+//! [`gcon_runtime::kernel_tier`]. The unroll grouping is a function of the
+//! row's nonzero count alone — the pool partitions whole rows, and every
+//! tier compiles the same source under strict FP semantics — so results
+//! are byte-identical across `GCON_THREADS` *and* across tiers, and differ
+//! from a strictly sequential reduction only by reassociation (≤ 1e-9
+//! relative vs the naive reference, pinned by `tests/kernel_properties.rs`
+//! at every available tier). Both `spmv`/`spmv_t` have buffer-reusing
+//! `_into` twins for solver inner loops.
 
 pub mod csr;
 pub mod generators;

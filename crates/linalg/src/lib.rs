@@ -15,14 +15,19 @@
 //!   contiguous slice, which is the dominant access pattern in graph
 //!   convolution.
 //!
-//! # Kernel tiling parameters
+//! # Kernel tiling parameters and dispatch tiers
 //!
 //! The GEMM family in [`ops`] is written so stable-Rust LLVM autovectorizes
-//! it (no intrinsics; on x86-64 an AVX2 build of the same source is selected
-//! by runtime feature detection). The tile constants are exported:
-//! [`ops::MR`]` × `[`ops::NR`] register tiles (4×8 accumulators per
-//! microkernel pass) over a packed `K×NR` panel of `B`, and
-//! [`ops::TM_IB`]-sample reduction blocks in the `AᵀB` gradient kernel. The
+//! it — no intrinsics. On x86-64 every kernel body is compiled at three
+//! feature levels (portable baseline, `avx2,fma`, `avx512f`) via
+//! [`gcon_runtime::tier_dispatch!`], and the process-wide
+//! [`gcon_runtime::kernel_tier`] — CPU detection, overridable with
+//! `GCON_KERNEL_TIER` — selects one at run time. The tile constants are
+//! exported: [`ops::MR`]` × `[`ops::NR`] register tiles (4×8 accumulators
+//! per microkernel pass) over a packed [`ops::KC`]`×NR` cache-blocked panel
+//! of `B`, and [`ops::TM_IB`]-sample reduction blocks in the `AᵀB` gradient
+//! kernel, which adaptively falls back to a zero-skipping loop on sample
+//! blocks above [`ops::TM_SKIP_ZERO_FRAC`] zeros (see [`ops::TmPath`]). The
 //! reduction kernels in [`vecops`] use [`vecops::LANES`] independent lane
 //! accumulators.
 //!
@@ -31,12 +36,16 @@
 //! Tiled accumulation reassociates floating-point sums, so the kernels are
 //! **not** bit-identical to a naive sequential loop — equivalence tests
 //! compare against naive references at 1e-9 *relative* tolerance
-//! (`tests/kernel_properties.rs`). They **are** bit-identical across
-//! `GCON_THREADS` settings: the pool partitions output rows only, and every
-//! code path accumulates a given output element in the same fixed order
-//! regardless of where thread or tile boundaries fall
-//! (`tests/runtime_equivalence.rs` pins this by re-running the kernels in
-//! subprocesses at widths 1/2/4 and comparing raw result bytes).
+//! (`tests/kernel_properties.rs`, run at every tier the host supports).
+//! They **are** bit-identical across `GCON_THREADS` settings *and* across
+//! dispatch tiers: the pool partitions output rows only, every code path
+//! accumulates a given output element in the same fixed order regardless of
+//! where thread or tile boundaries fall, and all tiers compile the same
+//! source under strict FP semantics (no reassociation, no mul-add
+//! contraction), so the cross-tier drift bound is exactly **zero**
+//! (`tests/runtime_equivalence.rs` pins both by re-running the kernels in
+//! subprocesses over the tier × thread-count matrix and comparing raw
+//! result bytes).
 
 pub mod eigen;
 pub mod lu;

@@ -11,32 +11,52 @@
 //! The dense products are cache-blocked, register-tiled loops written so
 //! LLVM autovectorizes them — no intrinsics, no nightly features:
 //!
-//! - [`matmul_into`] packs a `K ×`[`NR`] panel of `B` into a thread-local
+//! - [`matmul_into`] packs a [`KC`]`×`[`NR`] panel of `B` into a thread-local
 //!   scratch buffer ([`gcon_runtime::with_scratch_f64`]) and accumulates an
 //!   [`MR`]`×`[`NR`] register tile per group of `A` rows: `MR·NR`
 //!   independent accumulators, one broadcast of `A[i][k]` and one contiguous
-//!   panel row per `k` step. Output elements are touched exactly once —
-//!   the scalar i-k-j kernel it replaces re-read and re-wrote the whole `C`
-//!   row on every `k`.
+//!   panel row per `k` step. The `k` range is walked in [`KC`]-sized cache
+//!   blocks (partial tiles accumulate into the pre-zeroed `C`), so the
+//!   packed panel and the active `A` row segments stay cache-resident
+//!   however large the inner dimension grows.
 //! - [`t_matmul_into`] (`C = AᵀB`, the weight-gradient shape) partitions the
 //!   *output* rows (columns of `A`) across the pool and streams samples in
 //!   [`TM_IB`]-row blocks, accumulating `MR×NR` register tiles per block.
+//!   The kernel is **sparsity-adaptive**: each sample block's zero fraction
+//!   is estimated up front (every [`TM_SPARSITY_SAMPLE_STRIDE`]-th row of the
+//!   block), and blocks above [`TM_SKIP_ZERO_FRAC`] zeros take a
+//!   zero-skipping scatter loop instead of the dense register tile — post-ReLU
+//!   activation matrices at extreme sparsity were the one shape where the
+//!   tiled kernel lost to the pre-tiling scalar loop. [`t_matmul_into_with`]
+//!   pins the path for tests and benchmarks.
 //! - [`matmul_bt_into`] (`C = A·Bᵀ`, pairwise row dots) batches four rows of
 //!   `B` per pass over a row of `A`, so each `A` row is loaded once per four
 //!   outputs.
+//!
+//! # Dispatch tiers
+//!
+//! Each kernel body is compiled at every [`gcon_runtime::KernelTier`] —
+//! portable baseline, `avx2,fma` (4-wide f64) and `avx512f` (8-wide f64) —
+//! through the [`gcon_runtime::tier_dispatch!`] macro, and the active tier
+//! ([`gcon_runtime::kernel_tier`], override with `GCON_KERNEL_TIER`) picks
+//! the compilation at run time. All tiers execute the same arithmetic in the
+//! same order (strict FP semantics, autovectorization only), so **tier
+//! choice never changes results** — byte-for-byte, not merely to tolerance.
 //!
 //! # Determinism policy
 //!
 //! Reassociating a floating-point accumulation changes its rounding, so the
 //! tiled kernels do **not** reproduce the scalar kernels bit-for-bit (they
 //! agree to ~1e-9 relative tolerance, pinned by the equivalence tests).
-//! What *is* guaranteed — and pinned by `tests/runtime_equivalence.rs` — is
-//! that results are byte-identical across `GCON_THREADS` values: the pool
-//! partitions output rows, every output element is produced by exactly one
-//! task, and every code path (register tile, M/N/K edge paths) accumulates a
-//! given element in the same order — sequentially over `k` (or over sample
-//! blocks of fixed size [`TM_IB`]) with a per-element accumulator — no
-//! matter where a thread boundary or tile boundary falls.
+//! What *is* guaranteed — and pinned by `tests/runtime_equivalence.rs` over
+//! the full `GCON_KERNEL_TIER × GCON_THREADS` matrix — is that results are
+//! byte-identical across thread counts *and* tiers: the pool partitions
+//! output rows, every output element is produced by exactly one task, and
+//! every code path (register tile, M/N/K edge paths, the sparsity-skip loop)
+//! accumulates a given element in the same order — sequentially over `k`
+//! cache blocks of fixed size [`KC`] (or over sample blocks of fixed size
+//! [`TM_IB`], whose dense-vs-skip choice is a pure function of the data) —
+//! no matter where a thread boundary or tile boundary falls.
 
 use crate::Mat;
 
@@ -51,37 +71,30 @@ pub const NR: usize = 8;
 /// is chunked into blocks of this many samples, each accumulated in
 /// registers and then added to the output. Fixed (never derived from the
 /// thread partition) so results are byte-identical across `GCON_THREADS`.
+/// The dense-vs-skip sparsity decision is also made per block of this size.
 pub const TM_IB: usize = 128;
 
-/// Declares `$name` as a dispatching front for the `#[inline(always)]`
-/// kernel body `$impl_fn`: on x86-64 with AVX2 detected at runtime, the body
-/// is recompiled under `#[target_feature(enable = "avx2,fma")]` (4-wide f64
-/// vectors instead of the baseline SSE2 pair); everywhere else the portable
-/// build is used. Still autovectorization-only — no intrinsics — and
-/// numerically *identical* across paths: Rust keeps strict FP semantics
-/// (no reassociation, no mul-add contraction), so wider registers change
-/// throughput, never results.
-macro_rules! simd_dispatch {
-    ($(#[$doc:meta])* fn $name:ident / $avx2:ident / $impl_fn:ident
-        ($($arg:ident : $ty:ty),* $(,)?)) => {
-        #[cfg(target_arch = "x86_64")]
-        #[target_feature(enable = "avx2,fma")]
-        fn $avx2($($arg: $ty),*) {
-            $impl_fn($($arg),*)
-        }
+/// K-cache block length of the [`matmul_into`] kernel: the inner dimension
+/// is walked in blocks of this many steps, each packed into a `KC×NR` panel
+/// (16 KiB — L1-resident) and accumulated into `C`. Fixed (never derived
+/// from the thread partition) so results are byte-identical across
+/// `GCON_THREADS`.
+pub const KC: usize = 256;
 
-        $(#[$doc])*
-        fn $name($($arg: $ty),*) {
-            #[cfg(target_arch = "x86_64")]
-            if std::arch::is_x86_feature_detected!("avx2") {
-                // SAFETY: the detection guard guarantees the CPU supports
-                // every feature the callee is compiled with.
-                return unsafe { $avx2($($arg),*) };
-            }
-            $impl_fn($($arg),*)
-        }
-    };
-}
+/// Zero fraction of a [`TM_IB`] sample block above which [`t_matmul_into`]
+/// takes the zero-skipping scatter loop instead of the dense register tile.
+/// Measured on the `bench_linalg` sparsity sweep: the dense tile wins up to
+/// ~50% ReLU zeros, the skip loop wins from ~90%; the threshold sits in the
+/// indifference band between them.
+pub const TM_SKIP_ZERO_FRAC: f64 = 0.75;
+
+/// Row-sampling stride of the per-block zero count: every
+/// `TM_SPARSITY_SAMPLE_STRIDE`-th row of a [`TM_IB`] sample block is
+/// scanned, so the estimate costs `1/stride` of a full pass over `A` while
+/// still seeing ≥16 rows per full block. A pure function of the data (never
+/// of the thread partition), so the chosen path — and therefore the result —
+/// is deterministic.
+pub const TM_SPARSITY_SAMPLE_STRIDE: usize = 8;
 
 /// `C = A · B` with a packed, register-tiled kernel (see the module docs),
 /// parallelized over row blocks of A on the shared runtime pool.
@@ -124,23 +137,26 @@ fn matmul_block(a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize) {
     if k == 0 || n == 0 {
         return;
     }
-    gcon_runtime::with_scratch_f64(k * NR, |panel| {
+    gcon_runtime::with_scratch_f64(k.min(KC) * NR, |panel| {
         matmul_block_panel(a, b, out, start, end, panel);
     });
 }
 
-simd_dispatch! {
+gcon_runtime::tier_dispatch! {
     /// Panel-loop stage of [`matmul_block`] — see [`matmul_block_impl`].
-    fn matmul_block_panel / matmul_block_avx2 / matmul_block_impl(
+    fn matmul_block_panel / matmul_block_avx2 / matmul_block_avx512 / matmul_block_impl(
         a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize, panel: &mut [f64])
 }
 
-/// The `matmul` kernel body. Column panels of `B` ([`NR`] wide) are packed
-/// contiguously into the thread-local `panel`; each [`MR`]-row group of `A`
-/// then accumulates an `MR×NR` register tile over the full `k` range before
-/// touching `out`. Every per-element accumulation — tile, M-tail, and
-/// N-tail paths alike — runs sequentially over `k` with one accumulator, so
-/// a row's result does not depend on which path or thread computed it.
+/// The `matmul` kernel body. For each [`NR`]-wide column panel of `B` the
+/// `k` range is walked in [`KC`]-sized cache blocks: the block is packed
+/// contiguously into the thread-local `panel`, each [`MR`]-row group of `A`
+/// accumulates an `MR×NR` register tile over the block, and the tile is
+/// added into the pre-zeroed `out`. Every per-element accumulation — tile,
+/// M-tail, and N-tail paths alike — runs sequentially over `k` (cache
+/// blocks in ascending order, `k` ascending within each) with one
+/// accumulator per element, so a row's result does not depend on which
+/// path or thread computed it.
 #[inline(always)]
 fn matmul_block_impl(
     a: &Mat,
@@ -156,39 +172,56 @@ fn matmul_block_impl(
     {
         let mut jj = 0;
         while jj < main_n {
-            // Pack B[:, jj..jj+NR] row-major into the panel.
-            for (dst, kk) in panel.chunks_exact_mut(NR).zip(0..k) {
-                dst.copy_from_slice(&b.row(kk)[jj..jj + NR]);
-            }
-            let mut i = start;
-            while i + MR <= end {
-                let (r0, r1, r2, r3) = (a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3));
-                let mut acc = [[0.0; NR]; MR];
-                for ((((bp, &a0), &a1), &a2), &a3) in
-                    panel.chunks_exact(NR).zip(r0).zip(r1).zip(r2).zip(r3)
-                {
-                    for c in 0..NR {
-                        acc[0][c] += a0 * bp[c];
-                        acc[1][c] += a1 * bp[c];
-                        acc[2][c] += a2 * bp[c];
-                        acc[3][c] += a3 * bp[c];
+            let mut kb = 0;
+            while kb < k {
+                let ke = (kb + KC).min(k);
+                // Pack B[kb..ke, jj..jj+NR] row-major into the panel.
+                for (dst, kk) in panel.chunks_exact_mut(NR).zip(kb..ke) {
+                    dst.copy_from_slice(&b.row(kk)[jj..jj + NR]);
+                }
+                let packed = &panel[..(ke - kb) * NR];
+                let mut i = start;
+                while i + MR <= end {
+                    let (r0, r1, r2, r3) = (
+                        &a.row(i)[kb..ke],
+                        &a.row(i + 1)[kb..ke],
+                        &a.row(i + 2)[kb..ke],
+                        &a.row(i + 3)[kb..ke],
+                    );
+                    let mut acc = [[0.0; NR]; MR];
+                    for ((((bp, &a0), &a1), &a2), &a3) in
+                        packed.chunks_exact(NR).zip(r0).zip(r1).zip(r2).zip(r3)
+                    {
+                        for c in 0..NR {
+                            acc[0][c] += a0 * bp[c];
+                            acc[1][c] += a1 * bp[c];
+                            acc[2][c] += a2 * bp[c];
+                            acc[3][c] += a3 * bp[c];
+                        }
                     }
-                }
-                for (r, tile_row) in acc.iter().enumerate() {
-                    out[(i + r - start) * n + jj..][..NR].copy_from_slice(tile_row);
-                }
-                i += MR;
-            }
-            // M tail: one row at a time, same panel, same k order.
-            while i < end {
-                let mut acc = [0.0; NR];
-                for (bp, &aik) in panel.chunks_exact(NR).zip(a.row(i)) {
-                    for c in 0..NR {
-                        acc[c] += aik * bp[c];
+                    for (r, tile_row) in acc.iter().enumerate() {
+                        let orow = &mut out[(i + r - start) * n + jj..][..NR];
+                        for (o, &v) in orow.iter_mut().zip(tile_row) {
+                            *o += v;
+                        }
                     }
+                    i += MR;
                 }
-                out[(i - start) * n + jj..][..NR].copy_from_slice(&acc);
-                i += 1;
+                // M tail: one row at a time, same panel, same k order.
+                while i < end {
+                    let mut acc = [0.0; NR];
+                    for (bp, &aik) in packed.chunks_exact(NR).zip(&a.row(i)[kb..ke]) {
+                        for c in 0..NR {
+                            acc[c] += aik * bp[c];
+                        }
+                    }
+                    let orow = &mut out[(i - start) * n + jj..][..NR];
+                    for (o, &v) in orow.iter_mut().zip(&acc) {
+                        *o += v;
+                    }
+                    i += 1;
+                }
+                kb = ke;
             }
             jj += NR;
         }
@@ -218,37 +251,101 @@ pub fn t_matmul(a: &Mat, b: &Mat) -> Mat {
     c
 }
 
+/// Path selector for [`t_matmul_into_with`]: which inner loop handles each
+/// [`TM_IB`] sample block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TmPath {
+    /// Per-block data-driven choice (the default, used by [`t_matmul_into`]):
+    /// blocks whose sampled zero fraction exceeds [`TM_SKIP_ZERO_FRAC`] take
+    /// the skip loop, the rest the dense tile.
+    Auto,
+    /// Force the dense register-tile loop for every block.
+    Tiled,
+    /// Force the zero-skipping scatter loop for every block.
+    Skip,
+}
+
 /// `C = Aᵀ · B` written into `c` (reshaped to `a.cols() × b.cols()`),
 /// parallelized over row blocks of `C` (= column blocks of `A`) on the
-/// shared runtime pool. This was the one single-threaded GEMM left in the
-/// backprop stack.
+/// shared runtime pool, with the sparsity-adaptive block path
+/// ([`TmPath::Auto`] — see [`t_matmul_into_with`]).
 pub fn t_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+    t_matmul_into_with(a, b, c, TmPath::Auto);
+}
+
+/// [`t_matmul_into`] with an explicit block-path choice.
+///
+/// `TmPath::Auto` estimates each [`TM_IB`] sample block's zero fraction
+/// (scanning every [`TM_SPARSITY_SAMPLE_STRIDE`]-th row, full width — a
+/// pure function of `A`, independent of the thread partition and of the
+/// dispatch tier) and routes blocks above [`TM_SKIP_ZERO_FRAC`] to a
+/// zero-skipping scatter loop: on post-ReLU activations at ≥~80% zeros the
+/// dense tile performs the FLOPs the old scalar kernel's zero-skip avoided,
+/// and loses to it. `Tiled` / `Skip` pin the path so tests and benches can
+/// compare both loops on identical data; the crossover regression test
+/// asserts `Auto` matches the pinned path bit-for-bit on either side of the
+/// threshold.
+pub fn t_matmul_into_with(a: &Mat, b: &Mat, c: &mut Mat, path: TmPath) {
     assert_eq!(a.rows(), b.rows(), "t_matmul: row mismatch");
     let (n_samples, d_in) = a.shape();
     let d_out = b.cols();
     c.reset_to_zeros(d_in, d_out);
+    let skip = t_matmul_skip_flags(a, path);
     let work = n_samples * d_in * d_out;
     gcon_runtime::parallel_rows(c.as_mut_slice(), d_in, d_out, work, |block, k0, k1| {
-        t_matmul_block(a, b, block, k0, k1);
+        t_matmul_block(a, b, block, k0, k1, &skip);
     });
 }
 
-simd_dispatch! {
+/// One flag per [`TM_IB`] sample block of `A`: `true` routes the block to
+/// the zero-skipping loop. Computed once per call, over full rows (never
+/// the thread partition's column range), so every thread — and every
+/// dispatch tier — agrees on the path and the accumulation order.
+fn t_matmul_skip_flags(a: &Mat, path: TmPath) -> Vec<bool> {
+    let (n_samples, d_in) = a.shape();
+    let n_blocks = n_samples.div_ceil(TM_IB);
+    match path {
+        TmPath::Tiled => return vec![false; n_blocks],
+        TmPath::Skip => return vec![true; n_blocks],
+        TmPath::Auto => {}
+    }
+    if d_in == 0 {
+        return vec![false; n_blocks];
+    }
+    (0..n_blocks)
+        .map(|bi| {
+            let ib = bi * TM_IB;
+            let ie = (ib + TM_IB).min(n_samples);
+            let mut zeros = 0usize;
+            let mut scanned = 0usize;
+            for i in (ib..ie).step_by(TM_SPARSITY_SAMPLE_STRIDE) {
+                zeros += a.row(i).iter().filter(|v| **v == 0.0).count();
+                scanned += d_in;
+            }
+            zeros as f64 > TM_SKIP_ZERO_FRAC * scanned as f64
+        })
+        .collect()
+}
+
+gcon_runtime::tier_dispatch! {
     /// Computes rows `[k0, k1)` of `Aᵀ · B` into `out` (pre-zeroed local
     /// block) — see [`t_matmul_block_impl`].
-    fn t_matmul_block / t_matmul_block_avx2 / t_matmul_block_impl(
-        a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize)
+    fn t_matmul_block / t_matmul_block_avx2 / t_matmul_block_avx512 / t_matmul_block_impl(
+        a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, skip: &[bool])
 }
 
 /// The `t_matmul` kernel body. The `Σ_i a[i][k]·b[i][j]` reduction is
-/// chunked into [`TM_IB`]-sample blocks; within a block an [`MR`]`×`[`NR`]
-/// register tile accumulates `MR` output rows × `NR` output columns across
-/// the block's samples, then adds into `out`. Sample-block boundaries are
-/// fixed multiples of `TM_IB` and every edge path (K tail rows, J tail
-/// columns) uses the same block-sequential, sample-ascending per-element
-/// order, so results are byte-identical whatever the thread partition.
+/// chunked into [`TM_IB`]-sample blocks. A dense block accumulates an
+/// [`MR`]`×`[`NR`] register tile (`MR` output rows × `NR` output columns)
+/// across the block's samples, then adds into `out`; a block flagged in
+/// `skip` instead scatters each nonzero `a[i][k]` onto the output row —
+/// cheaper when almost everything is zero. Sample-block boundaries are
+/// fixed multiples of `TM_IB`, the flags are a pure function of `A`, and
+/// every path (dense tile, K tail rows, J tail columns, skip scatter) uses
+/// the same block-sequential, sample-ascending per-element order, so
+/// results are byte-identical whatever the thread partition.
 #[inline(always)]
-fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize) {
+fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, skip: &[bool]) {
     let n_samples = a.rows();
     let d_out = b.cols();
     if d_out == 0 {
@@ -258,6 +355,25 @@ fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize) 
     let mut ib = 0;
     while ib < n_samples {
         let ie = (ib + TM_IB).min(n_samples);
+        if skip[ib / TM_IB] {
+            // Zero-skipping scatter, restricted to this partition's output
+            // rows: one `d_out`-wide axpy per *nonzero* of A[i][k0..k1].
+            for i in ib..ie {
+                let arow = &a.row(i)[k0..k1];
+                let brow = b.row(i);
+                for (rel_k, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[rel_k * d_out..(rel_k + 1) * d_out];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            ib = ie;
+            continue;
+        }
         let mut kk = k0;
         while kk + MR <= k1 {
             let mut jj = 0;
@@ -363,10 +479,10 @@ pub fn matmul_bt_into(a: &Mat, b: &Mat, c: &mut Mat) {
     });
 }
 
-simd_dispatch! {
+gcon_runtime::tier_dispatch! {
     /// Fills `block` (rows `start..` of `A·Bᵀ`) — see
     /// [`matmul_bt_block_impl`].
-    fn matmul_bt_block / matmul_bt_block_avx2 / matmul_bt_block_impl(
+    fn matmul_bt_block / matmul_bt_block_avx2 / matmul_bt_block_avx512 / matmul_bt_block_impl(
         a: &Mat, b: &Mat, block: &mut [f64], start: usize)
 }
 
@@ -601,6 +717,52 @@ mod tests {
             let slow_bt = naive_matmul(&a, &b3.transpose());
             for (x, y) in fast_bt.as_slice().iter().zip(slow_bt.as_slice()) {
                 assert!((x - y).abs() < 1e-12, "matmul_bt {m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// Inner dimensions straddling the KC cache-block boundary exercise the
+    /// panel re-pack and the accumulate-into-C path of the K-blocked kernel.
+    #[test]
+    fn matmul_k_cache_blocking_matches_naive() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for &k in &[KC - 1, KC, KC + 1, KC + 37, 2 * KC + 5] {
+            let a = Mat::uniform(MR + 1, k, 1.0, &mut rng);
+            let b = Mat::uniform(k, NR + 3, 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() <= 1e-9 * y.abs().max(1.0), "k={k}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// Both pinned `t_matmul` paths agree with the naive reference, and the
+    /// skip path handles blocks that are entirely zero.
+    #[test]
+    fn t_matmul_pinned_paths_match_naive() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let n_samples = TM_IB * 2 + 11;
+        let mut a = Mat::uniform(n_samples, 13, 1.0, &mut rng);
+        // First sample block all-zero, rest ~60% zeros.
+        a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < 0.6 { 0.0 } else { v });
+        for i in 0..TM_IB {
+            for k in 0..13 {
+                a.set(i, k, 0.0);
+            }
+        }
+        let b = Mat::uniform(n_samples, 9, 1.0, &mut rng);
+        let slow = naive_matmul(&a.transpose(), &b);
+        for path in [TmPath::Auto, TmPath::Tiled, TmPath::Skip] {
+            let mut fast = Mat::default();
+            t_matmul_into_with(&a, &b, &mut fast, path);
+            assert_eq!(fast.shape(), (13, 9));
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() <= 1e-9 * y.abs().max(1.0), "{path:?}: {x} vs {y}");
             }
         }
     }

@@ -9,6 +9,12 @@
 //! strictly sequential sum by reassociation (callers compare against naive
 //! references with a relative tolerance, see `gcon_linalg` crate docs).
 //!
+//! [`dot`], [`axpy`], [`norm2`] and [`dist2`] — the four primitives sitting
+//! in solver inner loops — are compiled at every
+//! [`gcon_runtime::KernelTier`] through [`gcon_runtime::tier_dispatch!`];
+//! like the GEMM family, all tiers execute the identical arithmetic (strict
+//! FP semantics), so the tier never changes a result.
+//!
 //! Length contracts are enforced with `assert_eq!` at the kernel boundary in
 //! all build profiles: a silent `zip` truncation on mismatched lengths would
 //! corrupt downstream numerics (the former `debug_assert_eq!` let release
@@ -27,12 +33,17 @@ fn reduce_lanes(acc: [f64; LANES]) -> f64 {
     ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
 }
 
-/// Dot product of two equal-length slices.
-///
-/// # Panics
-/// Panics if the lengths differ.
-#[inline]
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+gcon_runtime::tier_dispatch! {
+    /// Dot product of two equal-length slices.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn dot / dot_avx2 / dot_avx512 / dot_impl(a: &[f64], b: &[f64]) -> f64
+}
+
+#[inline(always)]
+fn dot_impl(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
     let main = a.len() - a.len() % LANES;
     let mut acc = [0.0; LANES];
@@ -48,12 +59,17 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     s
 }
 
-/// `y += alpha * x`.
-///
-/// # Panics
-/// Panics if the lengths differ.
-#[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+gcon_runtime::tier_dispatch! {
+    /// `y += alpha * x`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn axpy / axpy_avx2 / axpy_avx512 / axpy_impl(alpha: f64, x: &[f64], y: &mut [f64])
+}
+
+#[inline(always)]
+fn axpy_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
     let main = x.len() - x.len() % LANES;
     for (cy, cx) in y[..main].chunks_exact_mut(LANES).zip(x[..main].chunks_exact(LANES)) {
@@ -66,9 +82,14 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Euclidean (L2) norm.
-#[inline]
-pub fn norm2(x: &[f64]) -> f64 {
+gcon_runtime::tier_dispatch! {
+    /// Euclidean (L2) norm.
+    #[inline]
+    pub fn norm2 / norm2_avx2 / norm2_avx512 / norm2_impl(x: &[f64]) -> f64
+}
+
+#[inline(always)]
+fn norm2_impl(x: &[f64]) -> f64 {
     let main = x.len() - x.len() % LANES;
     let mut acc = [0.0; LANES];
     for c in x[..main].chunks_exact(LANES) {
@@ -95,12 +116,17 @@ pub fn norm_inf(x: &[f64]) -> f64 {
     x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
 }
 
-/// Euclidean distance between two slices.
-///
-/// # Panics
-/// Panics if the lengths differ.
-#[inline]
-pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+gcon_runtime::tier_dispatch! {
+    /// Euclidean distance between two slices.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    #[inline]
+    pub fn dist2 / dist2_avx2 / dist2_avx512 / dist2_impl(a: &[f64], b: &[f64]) -> f64
+}
+
+#[inline(always)]
+fn dist2_impl(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dist2: length mismatch {} vs {}", a.len(), b.len());
     let main = a.len() - a.len() % LANES;
     let mut acc = [0.0; LANES];

@@ -22,8 +22,27 @@
 //!
 //! Work submitted while *on* a pool worker (nested parallelism) runs inline
 //! on the calling thread — the pool never deadlocks on reentrancy.
+//!
+//! # Kernel dispatch tiers
+//!
+//! Besides the thread pool, this crate owns the process-wide **kernel tier**:
+//! every SIMD-dispatched kernel in the workspace (`gcon-linalg::ops`,
+//! `gcon-linalg::vecops`, `gcon-graph::csr`) is compiled from one portable
+//! source at three feature levels — [`KernelTier::Scalar`] (baseline SSE2 on
+//! x86-64), [`KernelTier::Avx2`] (`avx2,fma`, 4-wide f64) and
+//! [`KernelTier::Avx512`] (`avx512f,avx512vl,avx512dq,avx512bw`, 8-wide
+//! f64) — and selects one at run time via [`kernel_tier`]. The tier is resolved once per process from CPU
+//! feature detection, can be pinned with the `GCON_KERNEL_TIER` environment
+//! variable (`scalar` | `avx2` | `avx512`; requests above the host's feature
+//! set warn and clamp to the best available tier), and can be switched by
+//! tests and benchmarks with [`set_kernel_tier`]. Because every tier compiles
+//! the *same* Rust source under strict FP semantics (no reassociation, no
+//! mul-add contraction — autovectorization only), all tiers produce
+//! **byte-identical** results; the tier changes throughput, never values.
+//! The conformance suite in `tests/kernel_properties.rs` and the fingerprint
+//! matrix in `tests/runtime_equivalence.rs` pin this.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Minimum number of scalar operations (e.g. `nnz · d` or `m·k·n`) below
@@ -367,6 +386,298 @@ pub fn with_scratch_f64<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
     out
 }
 
+/// A SIMD compilation level for the workspace's compute kernels.
+///
+/// Tiers are totally ordered by capability (`Scalar < Avx2 < Avx512`); a
+/// host "supports" every tier up to its detected maximum, and the scalar
+/// tier is supported everywhere (it is the portable baseline build). See the
+/// crate docs for the determinism guarantee: tiers are interchangeable
+/// bit-for-bit, so selecting one is purely a throughput decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelTier {
+    /// Portable baseline build (SSE2 on x86-64; whatever the target's
+    /// default feature set is elsewhere). Always available.
+    Scalar = 0,
+    /// `target_feature(enable = "avx2,fma")` — 4-wide f64 vectors.
+    Avx2 = 1,
+    /// `target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")` —
+    /// 8-wide f64 vectors, with 128/256-bit EVEX forms available so
+    /// narrower unroll patterns don't degrade (the `skylake-avx512`
+    /// baseline, present on every AVX-512 server/desktop core).
+    Avx512 = 2,
+}
+
+impl KernelTier {
+    /// The canonical lowercase name, as accepted by `GCON_KERNEL_TIER`.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for KernelTier {
+    type Err = ();
+
+    /// Case-insensitive parse of `scalar` / `avx2` / `avx512`.
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(KernelTier::Scalar),
+            "avx2" => Ok(KernelTier::Avx2),
+            "avx512" | "avx512f" => Ok(KernelTier::Avx512),
+            _ => Err(()),
+        }
+    }
+}
+
+/// The highest tier this CPU supports, from runtime feature detection.
+pub fn max_available_tier() -> KernelTier {
+    static MAX: OnceLock<KernelTier> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+                && std::arch::is_x86_feature_detected!("avx512bw")
+            {
+                return KernelTier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return KernelTier::Avx2;
+            }
+        }
+        KernelTier::Scalar
+    })
+}
+
+/// Every tier this host can run, ascending ([`KernelTier::Scalar`] first).
+/// Conformance tests and the kernel bench iterate this list so absent tiers
+/// are skipped rather than failed.
+pub fn available_tiers() -> &'static [KernelTier] {
+    match max_available_tier() {
+        KernelTier::Scalar => &[KernelTier::Scalar],
+        KernelTier::Avx2 => &[KernelTier::Scalar, KernelTier::Avx2],
+        KernelTier::Avx512 => &[KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512],
+    }
+}
+
+/// Pure tier-selection rule: an explicit request above the host's maximum is
+/// clamped (second component `true`); no request means the best available
+/// tier. Exposed so the clamp logic is unit-testable on every host,
+/// including the `avx512`-requested-on-scalar-host case that cannot be
+/// produced end-to-end on an AVX-512 machine.
+pub fn resolve_tier(
+    requested: Option<KernelTier>,
+    max_available: KernelTier,
+) -> (KernelTier, bool) {
+    match requested {
+        Some(t) if t > max_available => (max_available, true),
+        Some(t) => (t, false),
+        None => (max_available, false),
+    }
+}
+
+/// Sentinel for "not yet resolved" in [`KERNEL_TIER`].
+const TIER_UNRESOLVED: u8 = u8::MAX;
+
+/// The active tier as a `u8` (`TIER_UNRESOLVED` until first use). A relaxed
+/// atomic so the dispatch check on every kernel entry is one load.
+static KERNEL_TIER: AtomicU8 = AtomicU8::new(TIER_UNRESOLVED);
+
+fn tier_from_u8(raw: u8) -> KernelTier {
+    match raw {
+        0 => KernelTier::Scalar,
+        1 => KernelTier::Avx2,
+        _ => KernelTier::Avx512,
+    }
+}
+
+/// First-use resolution of the tier from `GCON_KERNEL_TIER` + detection.
+/// Behind a `OnceLock` so the clamp / parse warnings print exactly once.
+fn initial_tier() -> KernelTier {
+    static INIT: OnceLock<KernelTier> = OnceLock::new();
+    *INIT.get_or_init(|| {
+        let requested = match std::env::var("GCON_KERNEL_TIER") {
+            Ok(v) if !v.is_empty() => match v.parse::<KernelTier>() {
+                Ok(t) => Some(t),
+                Err(()) => {
+                    eprintln!(
+                        "gcon-runtime: unrecognized GCON_KERNEL_TIER={v:?} \
+                         (expected scalar|avx2|avx512); using best available tier"
+                    );
+                    None
+                }
+            },
+            _ => None,
+        };
+        let (tier, clamped) = resolve_tier(requested, max_available_tier());
+        if clamped {
+            eprintln!(
+                "gcon-runtime: GCON_KERNEL_TIER={} is not supported by this CPU; \
+                 clamping to {tier}",
+                requested.expect("clamp implies an explicit request"),
+            );
+        }
+        tier
+    })
+}
+
+/// The kernel dispatch tier in effect for this process.
+///
+/// Resolved on first call: `GCON_KERNEL_TIER` if set (clamped to the host's
+/// capabilities with a warning when necessary), otherwise the best detected
+/// tier. [`set_kernel_tier`] overrides it afterwards. Never exceeds
+/// [`max_available_tier`], so dispatching to the tier's `#[target_feature]`
+/// compilation is always sound.
+#[inline]
+pub fn kernel_tier() -> KernelTier {
+    let raw = KERNEL_TIER.load(Ordering::Relaxed);
+    if raw != TIER_UNRESOLVED {
+        return tier_from_u8(raw);
+    }
+    let tier = initial_tier();
+    // compare_exchange, not a blind store: a concurrent `set_kernel_tier`
+    // pin must not be clobbered by first-use resolution racing with it.
+    match KERNEL_TIER.compare_exchange(
+        TIER_UNRESOLVED,
+        tier as u8,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    ) {
+        Ok(_) => tier,
+        Err(pinned) => tier_from_u8(pinned),
+    }
+}
+
+/// Pins the dispatch tier for the whole process — the test/bench hook behind
+/// the cross-tier conformance suite and the per-tier kernel sweep.
+///
+/// # Panics
+/// Panics if `tier` exceeds [`max_available_tier`]: dispatching a tier the
+/// CPU lacks would execute illegal instructions. (The `GCON_KERNEL_TIER`
+/// environment path clamps instead of panicking; this function is for
+/// in-process callers that are expected to consult [`available_tiers`].)
+///
+/// Safe to call at any time: kernels read the tier once per entry, and all
+/// tiers produce byte-identical results, so a concurrent switch changes
+/// which compilation later calls run, never what they compute.
+pub fn set_kernel_tier(tier: KernelTier) {
+    assert!(
+        tier <= max_available_tier(),
+        "set_kernel_tier: {tier} is not available on this CPU (max {})",
+        max_available_tier()
+    );
+    KERNEL_TIER.store(tier as u8, Ordering::Relaxed);
+}
+
+/// Runs `f` once per tier in [`available_tiers`] (ascending), with the
+/// dispatch pinned to that tier via [`set_kernel_tier`] — the loop behind
+/// the cross-tier conformance tests and the per-tier kernel bench. The
+/// entry tier is restored when the loop finishes **or unwinds**, so a
+/// failing assertion inside `f` does not leave the process pinned to an
+/// arbitrary tier for unrelated code.
+pub fn for_each_available_tier(mut f: impl FnMut(KernelTier)) {
+    struct RestoreTier(KernelTier);
+    impl Drop for RestoreTier {
+        fn drop(&mut self) {
+            set_kernel_tier(self.0);
+        }
+    }
+    let _restore = RestoreTier(kernel_tier());
+    for &tier in available_tiers() {
+        set_kernel_tier(tier);
+        f(tier);
+    }
+}
+
+/// Declares `$name` as a tier-dispatching front for the `#[inline(always)]`
+/// kernel body `$impl_fn`: on x86-64 the body is additionally compiled under
+/// `#[target_feature(enable = "avx2,fma")]` (as `$avx2`) and
+/// `#[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")]` (as
+/// `$avx512`), and the active
+/// [`kernel_tier`] picks the compilation at run time. Everywhere else the
+/// portable build is used unconditionally.
+///
+/// Still autovectorization-only — no intrinsics — and numerically
+/// *identical* across tiers: Rust keeps strict FP semantics (no
+/// reassociation, no mul-add contraction), so wider registers change
+/// throughput, never results.
+///
+/// Doc comments and attributes before `fn` (e.g. `#[inline]`) apply to the
+/// dispatching front. An optional `-> Ret` return type is supported.
+///
+/// A leading `max_avx2` token declares a **capped** kernel: the
+/// [`KernelTier::Avx512`] tier runs the AVX2 compilation instead of an
+/// AVX-512 one. Use it only with a measured justification (e.g. a
+/// gather-bound loop that LLVM's AVX-512 cost model mis-vectorizes) — the
+/// cap is a pure throughput decision; results are identical across
+/// compilations either way, so conformance and fingerprint guarantees are
+/// unaffected.
+#[macro_export]
+macro_rules! tier_dispatch {
+    (max_avx2 $(#[$meta:meta])* $vis:vis fn $name:ident / $avx2:ident / $impl_fn:ident
+        ($($arg:ident : $ty:ty),* $(,)?) $(-> $ret:ty)?) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        fn $avx2($($arg: $ty),*) $(-> $ret)? {
+            $impl_fn($($arg),*)
+        }
+
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            match $crate::kernel_tier() {
+                // SAFETY: an Avx2-or-higher tier implies avx2+fma are
+                // present (tiers never exceed the detected feature set).
+                $crate::KernelTier::Avx512 | $crate::KernelTier::Avx2 => {
+                    return unsafe { $avx2($($arg),*) };
+                }
+                $crate::KernelTier::Scalar => {}
+            }
+            $impl_fn($($arg),*)
+        }
+    };
+    ($(#[$meta:meta])* $vis:vis fn $name:ident / $avx2:ident / $avx512:ident / $impl_fn:ident
+        ($($arg:ident : $ty:ty),* $(,)?) $(-> $ret:ty)?) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        fn $avx2($($arg: $ty),*) $(-> $ret)? {
+            $impl_fn($($arg),*)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")]
+        fn $avx512($($arg: $ty),*) $(-> $ret)? {
+            $impl_fn($($arg),*)
+        }
+
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            match $crate::kernel_tier() {
+                // SAFETY: `kernel_tier()` never exceeds the detected feature
+                // set, so the CPU supports every feature the callee is
+                // compiled with.
+                $crate::KernelTier::Avx512 => return unsafe { $avx512($($arg),*) },
+                $crate::KernelTier::Avx2 => return unsafe { $avx2($($arg),*) },
+                $crate::KernelTier::Scalar => {}
+            }
+            $impl_fn($($arg),*)
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +808,67 @@ mod tests {
         assert!(pool().width() >= 1);
         assert!(configured_width() >= 1);
         assert_eq!(Pool::with_threads(1).width(), 1);
+    }
+
+    /// The clamp rule covers every (request, host) combination — including
+    /// `avx512` requested on hosts that lack it, which cannot be produced
+    /// end-to-end on an AVX-512 CI box.
+    #[test]
+    fn resolve_tier_clamps_requests_above_the_host_maximum() {
+        use KernelTier::*;
+        // No request → best available, never clamped.
+        for max in [Scalar, Avx2, Avx512] {
+            assert_eq!(resolve_tier(None, max), (max, false));
+        }
+        // Requests at or below the maximum are honored.
+        assert_eq!(resolve_tier(Some(Scalar), Avx512), (Scalar, false));
+        assert_eq!(resolve_tier(Some(Avx2), Avx512), (Avx2, false));
+        assert_eq!(resolve_tier(Some(Avx512), Avx512), (Avx512, false));
+        assert_eq!(resolve_tier(Some(Scalar), Scalar), (Scalar, false));
+        // Requests above the maximum clamp (and report it).
+        assert_eq!(resolve_tier(Some(Avx512), Avx2), (Avx2, true));
+        assert_eq!(resolve_tier(Some(Avx512), Scalar), (Scalar, true));
+        assert_eq!(resolve_tier(Some(Avx2), Scalar), (Scalar, true));
+    }
+
+    #[test]
+    fn tier_names_roundtrip_through_parse() {
+        use KernelTier::*;
+        for t in [Scalar, Avx2, Avx512] {
+            assert_eq!(t.name().parse::<KernelTier>(), Ok(t));
+            assert_eq!(t.to_string(), t.name());
+            assert_eq!(tier_from_u8(t as u8), t);
+        }
+        assert_eq!("AVX512".parse::<KernelTier>(), Ok(Avx512));
+        assert!("sse2".parse::<KernelTier>().is_err());
+        assert!("".parse::<KernelTier>().is_err());
+    }
+
+    #[test]
+    fn tiers_are_ordered_by_capability() {
+        assert!(KernelTier::Scalar < KernelTier::Avx2);
+        assert!(KernelTier::Avx2 < KernelTier::Avx512);
+    }
+
+    #[test]
+    fn available_tiers_is_ascending_and_bounded_by_max() {
+        let tiers = available_tiers();
+        assert_eq!(tiers.first(), Some(&KernelTier::Scalar));
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(tiers.last(), Some(&max_available_tier()));
+    }
+
+    /// `set_kernel_tier` round-trips through `kernel_tier` for every
+    /// available tier; the active tier never exceeds the host maximum.
+    /// (Process-global state: tests touching the tier restore it.)
+    #[test]
+    fn set_kernel_tier_roundtrips_over_available_tiers() {
+        let initial = kernel_tier();
+        assert!(initial <= max_available_tier());
+        for &t in available_tiers() {
+            set_kernel_tier(t);
+            assert_eq!(kernel_tier(), t);
+        }
+        set_kernel_tier(initial);
     }
 }

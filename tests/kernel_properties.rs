@@ -1,13 +1,22 @@
-//! Property tests for the register-tiled compute kernels (PR 3): every
-//! rewritten kernel must agree with a naive reference implementation to
+//! Cross-tier conformance tests for the dispatched compute kernels (PR 3 +
+//! PR 4): every kernel must agree with a naive reference implementation to
 //! 1e-9 **relative** tolerance over awkward shapes — tile-tail M/N/K,
-//! 0/1-sized dimensions, and feature widths that are not multiples of the
-//! unroll widths. (Bit-exactness is deliberately *not* asserted here: the
-//! tiled kernels reassociate accumulation. What is bit-exact — identical
-//! results across `GCON_THREADS` — is pinned in `runtime_equivalence.rs`.)
+//! 0/1-sized dimensions, inner dimensions straddling the `KC` cache-block
+//! boundary, and feature widths that are not multiples of the unroll widths
+//! — **at every dispatch tier this host supports** (pinned per-iteration via
+//! `gcon_runtime::set_kernel_tier`, the in-process face of
+//! `GCON_KERNEL_TIER`). Tiers the CPU lacks are skipped, never failed.
+//!
+//! Two distinct guarantees are asserted:
+//! - *vs naive*: ≤ 1e-9 relative (tiled kernels reassociate accumulation);
+//! - *across tiers*: *bit-identical* — every tier compiles the same source
+//!   under strict FP semantics, so the cross-tier drift bound is zero. (The
+//!   tier × thread-count subprocess matrix lives in
+//!   `runtime_equivalence.rs`.)
 
 use gcon::graph::Csr;
 use gcon::linalg::{ops, vecops, Mat};
+use gcon_runtime::KernelTier;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,14 +52,45 @@ fn random_csr(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> Csr {
     Csr::from_row_entries(rows, cols, entries)
 }
 
+/// Runs `kernel` once per available tier (via the entry-tier-restoring
+/// `gcon_runtime::for_each_available_tier`); asserts each run is `close` to
+/// `reference` element-wise and that all tiers agree **bit-for-bit** with
+/// the first.
+fn assert_tiers_conform(reference: &Mat, label: &str, mut kernel: impl FnMut() -> Mat) {
+    let mut first: Option<(KernelTier, Mat)> = None;
+    gcon_runtime::for_each_available_tier(|tier| {
+        let fast = kernel();
+        prop_assert_eq!(fast.shape(), reference.shape(), "{} @ {}: shape", label, tier);
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!(close(*x, *y), "{} @ {}: {} vs naive {}", label, tier, x, y);
+        }
+        match &first {
+            None => first = Some((tier, fast)),
+            Some((t0, f0)) => {
+                for (x, y) in fast.as_slice().iter().zip(f0.as_slice()) {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "{}: tier {} and {} disagree bitwise: {} vs {}",
+                        label,
+                        tier,
+                        t0,
+                        x,
+                        y
+                    );
+                }
+            }
+        }
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// `matmul` — register-tiled with packed B panels — vs the naive triple
-    /// loop. Shape ranges straddle the MR=4 / NR=8 tile boundaries and
-    /// include empty and unit dimensions.
+    /// `matmul` — register-tiled with packed, K-cache-blocked B panels —
+    /// vs the naive triple loop at every tier. Shape ranges straddle the
+    /// MR=4 / NR=8 tile boundaries and include empty and unit dimensions.
     #[test]
-    fn matmul_matches_naive_reference(
+    fn matmul_matches_naive_reference_at_every_tier(
         seed in 0u64..10_000,
         m in 0usize..40,
         k in 0usize..50,
@@ -59,37 +99,33 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Mat::uniform(m, k, 1.0, &mut rng);
         let b = Mat::uniform(k, n, 1.0, &mut rng);
-        let fast = ops::matmul(&a, &b);
         let slow = naive_matmul(&a, &b);
-        prop_assert_eq!(fast.shape(), (m, n));
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            prop_assert!(close(*x, *y), "{} vs {}", x, y);
-        }
+        assert_tiers_conform(&slow, "matmul", || ops::matmul(&a, &b));
     }
 
-    /// `t_matmul` — pooled, sample-blocked — vs naive on the transpose,
-    /// with sample counts crossing the TM_IB=128 block boundary.
+    /// `t_matmul` — pooled, sample-blocked, sparsity-adaptive — vs naive on
+    /// the transpose, with sample counts crossing the TM_IB=128 block
+    /// boundary and a ReLU-style zero mask so the adaptive path flips
+    /// between the dense tile and the skip loop across cases.
     #[test]
-    fn t_matmul_matches_naive_reference(
+    fn t_matmul_matches_naive_reference_at_every_tier(
         seed in 0u64..10_000,
         n_samples in 0usize..300,
         d_in in 0usize..24,
         d_out in 0usize..20,
+        zero_frac in 0.0f64..1.0,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
+        let mut a = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
+        a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zero_frac { 0.0 } else { v });
         let b = Mat::uniform(n_samples, d_out, 1.0, &mut rng);
-        let fast = ops::t_matmul(&a, &b);
         let slow = naive_matmul(&a.transpose(), &b);
-        prop_assert_eq!(fast.shape(), (d_in, d_out));
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            prop_assert!(close(*x, *y), "{} vs {}", x, y);
-        }
+        assert_tiers_conform(&slow, "t_matmul", || ops::t_matmul(&a, &b));
     }
 
     /// `matmul_bt` — 4-batched row dots — vs naive on the transpose.
     #[test]
-    fn matmul_bt_matches_naive_reference(
+    fn matmul_bt_matches_naive_reference_at_every_tier(
         seed in 0u64..10_000,
         m in 0usize..32,
         n in 0usize..32,
@@ -98,17 +134,14 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Mat::uniform(m, k, 1.0, &mut rng);
         let b = Mat::uniform(n, k, 1.0, &mut rng);
-        let fast = ops::matmul_bt(&a, &b);
         let slow = naive_matmul(&a, &b.transpose());
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            prop_assert!(close(*x, *y), "{} vs {}", x, y);
-        }
+        assert_tiers_conform(&slow, "matmul_bt", || ops::matmul_bt(&a, &b));
     }
 
     /// `spmm` — 4-nonzeros-per-pass — vs dense naive matmul, including
     /// rows whose nonzero count is not a multiple of the unroll group.
     #[test]
-    fn spmm_matches_naive_reference(
+    fn spmm_matches_naive_reference_at_every_tier(
         seed in 0u64..10_000,
         n in 1usize..50,
         k in 1usize..50,
@@ -118,17 +151,14 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let sp = random_csr(n, k, density, &mut rng);
         let b = Mat::uniform(k, d, 1.0, &mut rng);
-        let fast = sp.spmm(&b);
         let slow = naive_matmul(&sp.to_dense(), &b);
-        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            prop_assert!(close(*x, *y), "{} vs {}", x, y);
-        }
+        assert_tiers_conform(&slow, "spmm", || sp.spmm(&b));
     }
 
     /// `spmv` / `spmv_t` (and their `_into` twins, which are the same code
-    /// path) vs the dense reference.
+    /// path) vs the dense reference, at every tier.
     #[test]
-    fn spmv_matches_naive_reference(
+    fn spmv_matches_naive_reference_at_every_tier(
         seed in 0u64..10_000,
         n in 1usize..60,
         k in 1usize..60,
@@ -139,54 +169,168 @@ proptest! {
         let dense = sp.to_dense();
         let x: Vec<f64> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let xt: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let y = sp.spmv(&x);
-        for (i, &yi) in y.iter().enumerate() {
-            let slow: f64 = (0..k).map(|j| dense.get(i, j) * x[j]).sum();
-            prop_assert!(close(yi, slow), "row {}: {} vs {}", i, yi, slow);
-        }
-        let yt = sp.spmv_t(&xt);
-        for (j, &yj) in yt.iter().enumerate() {
-            let slow: f64 = (0..n).map(|i| dense.get(i, j) * xt[i]).sum();
-            prop_assert!(close(yj, slow), "col {}: {} vs {}", j, yj, slow);
-        }
+        let mut first: Option<(Vec<f64>, Vec<f64>)> = None;
+        gcon_runtime::for_each_available_tier(|tier| {
+            let y = sp.spmv(&x);
+            for (i, &yi) in y.iter().enumerate() {
+                let slow: f64 = (0..k).map(|j| dense.get(i, j) * x[j]).sum();
+                prop_assert!(close(yi, slow), "spmv @ {} row {}: {} vs {}", tier, i, yi, slow);
+            }
+            let yt = sp.spmv_t(&xt);
+            for (j, &yj) in yt.iter().enumerate() {
+                let slow: f64 = (0..n).map(|i| dense.get(i, j) * xt[i]).sum();
+                prop_assert!(close(yj, slow), "spmv_t @ {} col {}: {} vs {}", tier, j, yj, slow);
+            }
+            match &first {
+                None => first = Some((y, yt)),
+                Some((y0, yt0)) => {
+                    prop_assert!(
+                        y.iter().zip(y0).all(|(a, b)| a.to_bits() == b.to_bits())
+                            && yt.iter().zip(yt0).all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "spmv/spmv_t disagree bitwise at tier {}", tier
+                    );
+                }
+            }
+        });
     }
 
     /// The lane-accumulator vector kernels vs naive sequential reductions,
-    /// over lengths straddling the 8-wide lane structure.
+    /// over lengths straddling the 8-wide lane structure, at every tier —
+    /// and bit-identical across tiers.
     #[test]
-    fn vecops_match_naive_reference(
+    fn vecops_match_naive_reference_at_every_tier(
         seed in 0u64..10_000,
         n in 0usize..120,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let dot_naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        prop_assert!(close(vecops::dot(&a, &b), dot_naive));
-        let n2: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
-        prop_assert!(close(vecops::norm2(&a), n2));
-        let d2: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
-        prop_assert!(close(vecops::dist2(&a, &b), d2));
         let alpha = rng.gen_range(-2.0..2.0);
-        let mut y = b.clone();
-        vecops::axpy(alpha, &a, &mut y);
-        for ((yi, bi), ai) in y.iter().zip(&b).zip(&a) {
-            prop_assert!(close(*yi, bi + alpha * ai));
-        }
+        let dot_naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let n2: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let d2: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let mut first: Option<[u64; 3]> = None;
+        gcon_runtime::for_each_available_tier(|tier| {
+            let (dt, nt, st) = (vecops::dot(&a, &b), vecops::norm2(&a), vecops::dist2(&a, &b));
+            prop_assert!(close(dt, dot_naive), "dot @ {}", tier);
+            prop_assert!(close(nt, n2), "norm2 @ {}", tier);
+            prop_assert!(close(st, d2), "dist2 @ {}", tier);
+            let mut y = b.clone();
+            vecops::axpy(alpha, &a, &mut y);
+            for ((yi, bi), ai) in y.iter().zip(&b).zip(&a) {
+                prop_assert!(close(*yi, bi + alpha * ai), "axpy @ {}", tier);
+            }
+            let bits = [dt.to_bits(), nt.to_bits(), st.to_bits()];
+            match first {
+                None => first = Some(bits),
+                Some(f) => prop_assert!(bits == f, "vecops disagree bitwise at tier {}", tier),
+            }
+        });
     }
 }
 
-/// The length contract of the vector kernels holds in release builds: a
-/// mismatch panics instead of silently truncating via `zip`.
+/// Deterministic ragged-tail sweep the random shape ranges undersample:
+/// M % MR ≠ 0, N % NR ≠ 0, and inner dimensions straddling the `KC`
+/// cache-block boundary (`K % KC ≠ 0` with one, two, and three partial or
+/// full K blocks), for all three GEMM-family kernels at every tier.
 #[test]
-fn vector_kernel_length_contract_is_release_checked() {
-    let r = std::panic::catch_unwind(|| vecops::dot(&[1.0, 2.0, 3.0], &[1.0]));
-    assert!(r.is_err(), "dot must panic on length mismatch");
-    let r = std::panic::catch_unwind(|| {
-        let mut y = vec![0.0; 2];
-        vecops::axpy(1.0, &[1.0, 2.0, 3.0], &mut y);
+fn gemm_ragged_tails_and_k_blocking_conform_at_every_tier() {
+    use ops::{KC, MR, NR};
+    let mut rng = StdRng::seed_from_u64(77);
+    let shapes: &[(usize, usize, usize)] = &[
+        (MR + 1, KC - 1, NR + 1),
+        (MR - 1, KC, NR - 1),
+        (2 * MR + 3, KC + 1, 2 * NR + 5),
+        (MR + 2, KC + 37, NR + 7),
+        (3, 2 * KC + 5, 2 * NR + 1),
+        (MR, 3 * KC - 1, NR),
+    ];
+    for &(m, k, n) in shapes {
+        let a = Mat::uniform(m, k, 1.0, &mut rng);
+        let b = Mat::uniform(k, n, 1.0, &mut rng);
+        let slow = naive_matmul(&a, &b);
+        assert_tiers_conform(&slow, &format!("matmul {m}x{k}x{n}"), || ops::matmul(&a, &b));
+
+        // Aᵀ·B with the same inner-dimension stress: samples = k crosses
+        // several TM_IB blocks, d_in/d_out are tile tails.
+        let at = Mat::uniform(k, m, 1.0, &mut rng);
+        let bt = Mat::uniform(k, n, 1.0, &mut rng);
+        let slow_t = naive_matmul(&at.transpose(), &bt);
+        assert_tiers_conform(&slow_t, &format!("t_matmul {k}x{m}->{m}x{n}"), || {
+            ops::t_matmul(&at, &bt)
+        });
+
+        // A·Bᵀ with K = k (dot length crossing the 4-wide batches).
+        let bbt = Mat::uniform(n, k, 1.0, &mut rng);
+        let slow_bt = naive_matmul(&a, &bbt.transpose());
+        assert_tiers_conform(&slow_bt, &format!("matmul_bt {m}x{k}·t{n}"), || {
+            ops::matmul_bt(&a, &bbt)
+        });
+    }
+}
+
+/// **Sparsity-crossover regression test.** The adaptive `t_matmul` must
+/// take the dense tile at low sparsity and the skip loop at high sparsity —
+/// asserted by *bit-identical* agreement with the corresponding pinned
+/// path (`TmPath::Tiled` / `TmPath::Skip`), so a mis-calibrated threshold
+/// cannot silently route a block down the wrong loop. Both pinned paths are
+/// also checked against the naive reference at every tier.
+#[test]
+fn t_matmul_sparsity_crossover_picks_the_documented_path() {
+    use ops::TmPath;
+    let n_samples = 3 * ops::TM_IB + 17; // several blocks + a partial one
+    let (d_in, d_out) = (33, 21);
+    for &zero_frac in &[0.0, 0.5, 0.9, 0.99] {
+        let mut rng = StdRng::seed_from_u64(1234 + (zero_frac * 100.0) as u64);
+        let mut a = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
+        a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zero_frac { 0.0 } else { v });
+        let b = Mat::uniform(n_samples, d_out, 1.0, &mut rng);
+        let slow = naive_matmul(&a.transpose(), &b);
+
+        // Which loop must Auto match? Below the threshold: the dense tile;
+        // above it: the skip loop. (0.5 < TM_SKIP_ZERO_FRAC < 0.9 — the
+        // sweep brackets the threshold from both sides.)
+        let expected_path =
+            if zero_frac > ops::TM_SKIP_ZERO_FRAC { TmPath::Skip } else { TmPath::Tiled };
+
+        gcon_runtime::for_each_available_tier(|tier| {
+            let mut auto = Mat::default();
+            ops::t_matmul_into_with(&a, &b, &mut auto, TmPath::Auto);
+            let mut pinned = Mat::default();
+            ops::t_matmul_into_with(&a, &b, &mut pinned, expected_path);
+            for (x, y) in auto.as_slice().iter().zip(pinned.as_slice()) {
+                assert!(
+                    x.to_bits() == y.to_bits(),
+                    "zeros={zero_frac} @ {tier}: Auto disagrees with {expected_path:?} \
+                     ({x} vs {y}) — wrong branch taken"
+                );
+            }
+            // And both pinned paths stay correct vs naive.
+            for path in [TmPath::Tiled, TmPath::Skip] {
+                let mut out = Mat::default();
+                ops::t_matmul_into_with(&a, &b, &mut out, path);
+                for (x, y) in out.as_slice().iter().zip(slow.as_slice()) {
+                    assert!(close(*x, *y), "zeros={zero_frac} {path:?} @ {tier}: {x} vs naive {y}");
+                }
+            }
+        });
+    }
+}
+
+/// The length contract of the vector kernels holds in release builds — and
+/// at every dispatch tier: a mismatch panics instead of silently truncating
+/// via `zip`.
+#[test]
+fn vector_kernel_length_contract_is_release_checked_at_every_tier() {
+    gcon_runtime::for_each_available_tier(|tier| {
+        let r = std::panic::catch_unwind(|| vecops::dot(&[1.0, 2.0, 3.0], &[1.0]));
+        assert!(r.is_err(), "dot must panic on length mismatch @ {tier}");
+        let r = std::panic::catch_unwind(|| {
+            let mut y = vec![0.0; 2];
+            vecops::axpy(1.0, &[1.0, 2.0, 3.0], &mut y);
+        });
+        assert!(r.is_err(), "axpy must panic on length mismatch @ {tier}");
+        let r = std::panic::catch_unwind(|| vecops::dist2(&[1.0], &[1.0, 2.0]));
+        assert!(r.is_err(), "dist2 must panic on length mismatch @ {tier}");
     });
-    assert!(r.is_err(), "axpy must panic on length mismatch");
-    let r = std::panic::catch_unwind(|| vecops::dist2(&[1.0], &[1.0, 2.0]));
-    assert!(r.is_err(), "dist2 must panic on length mismatch");
 }
