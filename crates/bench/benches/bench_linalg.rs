@@ -17,34 +17,12 @@
 //! smoke runs.
 
 use criterion::black_box;
+use gcon_bench::median_time_ns as time_ns;
 use gcon_graph::normalize::row_stochastic_default;
 use gcon_graph::Csr;
 use gcon_linalg::{ops, Mat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
-
-/// Median-of-reps wall-clock nanoseconds for one call of `f`. `reps` is a
-/// floor: sub-millisecond kernels get enough extra reps to fill ~10 ms of
-/// sampling, keeping the median stable against scheduler/frequency jitter
-/// on the shared dev box (µs-scale kernels showed ±30% between fixed-rep
-/// runs).
-fn time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    f(); // warm-up (pool spin-up, buffer growth, icache)
-    let probe = Instant::now();
-    f();
-    let est = (probe.elapsed().as_nanos() as f64).max(1.0);
-    let reps = reps.max((1e7 / est) as usize).min(501);
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
-}
 
 /// One before/after comparison row of the JSON report.
 struct Row {

@@ -1,0 +1,185 @@
+//! Serving-layer throughput bench: precomputed-store + micro-batched
+//! inference (`gcon-serve`) against the naive per-query path that re-runs
+//! the whole `public_predict` pipeline for every query.
+//!
+//! Four measurements per run:
+//!
+//! - **naive/query** — one full `public_logits` pipeline per query (encode,
+//!   normalize, build `Ã`, propagate every scale over the whole graph, full
+//!   head): what serving costs *without* the feature store.
+//! - **store build** — the one-time `ServingModel::build` cost (identical
+//!   work to a single naive query; the store then amortizes it over every
+//!   subsequent query).
+//! - **serve @ batch ∈ {1, 8, 64, 256}** — the steady-state gathered head
+//!   forward through one `ServingSession`, per-query cost = batch time /
+//!   batch size.
+//! - **micro-batched** — end-to-end `BatchQueue` throughput with 4
+//!   submitting threads (includes queueing/wake-up overhead and reports the
+//!   realized mean batch size).
+//!
+//! Every row reports queries/sec plus the speedup over naive; results are
+//! printed, and written machine-readably to `GCON_BENCH_OUT` when set (the
+//! file is overwritten — point each bench at its own path).
+//! `GCON_BENCH_QUICK=1` shrinks the dataset and rep counts for CI smoke
+//! runs. Thread-scaling caveats of the 1-core dev box apply (see
+//! `crates/bench/README.md`); the naive-vs-batched ratio is dominated by
+//! work *elided*, not by threading, so it is meaningful even there.
+
+use gcon_bench::median_time_ns as time_ns;
+use gcon_core::infer::{public_logits, public_predict};
+use gcon_core::train::train_gcon;
+use gcon_core::{GconConfig, PropagationStep};
+use gcon_serve::{BatchConfig, BatchQueue, ServingMode, ServingModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+struct Row {
+    label: String,
+    ns_per_query: f64,
+}
+
+fn main() {
+    let quick =
+        std::env::var("GCON_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    let scale = if quick { 0.12 } else { 0.3 };
+    let dataset = gcon_datasets::cora_ml(scale, 7);
+    let n = dataset.graph.num_nodes();
+    println!(
+        "bench_serve: {} at scale {scale} ({n} nodes, {} edges), GCON_THREADS={}",
+        dataset.name,
+        dataset.graph.num_edges(),
+        gcon_runtime::configured_width()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let config = GconConfig {
+        encoder: gcon_core::encoder::EncoderConfig {
+            hidden: 16,
+            d1: 8,
+            epochs: if quick { 20 } else { 60 },
+            lr: 0.02,
+            weight_decay: 1e-5,
+        },
+        steps: vec![PropagationStep::Finite(2)],
+        optimizer: gcon_core::model::OptimizerConfig {
+            lr: 0.05,
+            max_iters: if quick { 100 } else { 400 },
+            grad_tol: 1e-7,
+        },
+        ..Default::default()
+    };
+    let model = train_gcon(
+        &config,
+        &dataset.graph,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.split.train,
+        dataset.num_classes,
+        4.0,
+        1e-3,
+        &mut rng,
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Naive per-query: the whole public pipeline for one answer. The
+    // argmax row lookup is free next to propagation, so timing the logits
+    // pipeline is timing `public_predict`-per-query.
+    let naive_reps = if quick { 3 } else { 5 };
+    let query_node = n / 2;
+    let mut sink = 0usize;
+    let naive_ns = time_ns(naive_reps, || {
+        let logits = public_logits(&model, &dataset.graph, &dataset.features);
+        sink ^= gcon_linalg::vecops::argmax(logits.row(query_node));
+    });
+    rows.push(Row { label: "naive/query".into(), ns_per_query: naive_ns });
+
+    // One-time store build (== one naive query's feature stage + clone).
+    let build_ns = time_ns(naive_reps, || {
+        let s = ServingModel::build(&model, &dataset.graph, &dataset.features, ServingMode::Public);
+        sink ^= s.num_nodes();
+    });
+    println!("  store build (one-time): {:>12.0} ns", build_ns);
+
+    let serving =
+        ServingModel::build(&model, &dataset.graph, &dataset.features, ServingMode::Public);
+    // Sanity: the store answers exactly what the naive path answers.
+    assert_eq!(
+        serving.predict_all(),
+        public_predict(&model, &dataset.graph, &dataset.features),
+        "serving diverged from public_predict — equivalence broken"
+    );
+
+    // Steady-state gathered head forwards at fixed batch sizes.
+    let mut session = serving.session();
+    let mut qrng = StdRng::seed_from_u64(99);
+    for batch in [1usize, 8, 64, 256] {
+        let nodes: Vec<usize> = (0..batch).map(|_| qrng.gen_range(0..n)).collect();
+        let ns = time_ns(50, || {
+            let logits = session.logits_batch(&nodes);
+            sink ^= logits.rows();
+        });
+        rows.push(Row { label: format!("serve@batch={batch}"), ns_per_query: ns / batch as f64 });
+    }
+
+    // Micro-batcher end to end: 4 threads × `per_thread` queries each.
+    let per_thread = if quick { 200 } else { 1000 };
+    let threads = 4;
+    let queue = BatchQueue::new(
+        &serving,
+        BatchConfig { max_batch: 64, max_wait: Duration::from_micros(200) },
+    );
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let queue = &queue;
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                for q in 0..per_thread {
+                    queue.query_into((tid * 37 + q * 11) % n, &mut out);
+                }
+            });
+        }
+    });
+    let total_ns = t.elapsed().as_nanos() as f64;
+    let stats = queue.stats();
+    rows.push(Row {
+        label: format!(
+            "micro-batched ({} threads, mean batch {:.1})",
+            threads,
+            stats.requests as f64 / stats.batches.max(1) as f64
+        ),
+        ns_per_query: total_ns / stats.requests as f64,
+    });
+
+    println!("  {:<44} {:>14} {:>14} {:>12}", "path", "ns/query", "queries/sec", "vs naive");
+    for row in &rows {
+        println!(
+            "  {:<44} {:>14.0} {:>14.0} {:>11.1}x",
+            row.label,
+            row.ns_per_query,
+            1e9 / row.ns_per_query,
+            naive_ns / row.ns_per_query
+        );
+    }
+    std::hint::black_box(sink);
+
+    if let Ok(out_path) = std::env::var("GCON_BENCH_OUT") {
+        let mut json = String::from("{\n  \"bench\": \"serve\",\n");
+        json.push_str(&format!("  \"nodes\": {n},\n  \"quick\": {quick},\n"));
+        json.push_str("  \"unit\": \"ns_per_query_median\",\n  \"paths\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{ \"path\": \"{}\", \"ns_per_query\": {:.0}, \"speedup_vs_naive\": {:.1} }}{}\n",
+                row.label,
+                row.ns_per_query,
+                naive_ns / row.ns_per_query,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&out_path, &json).expect("failed to write bench_serve JSON");
+        println!("  wrote {out_path}");
+    }
+}

@@ -204,6 +204,33 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     }
 }
 
+/// Median wall-clock nanoseconds for one call of `f` — the shared timing
+/// policy of the perf microbenches (`bench_linalg`, `bench_serve`).
+///
+/// `reps` is a floor: sub-millisecond calls get enough extra reps to fill
+/// ~10 ms of sampling (capped at 501), keeping the median stable against
+/// scheduler/frequency jitter on the shared dev box (µs-scale kernels
+/// showed ±30% between fixed-rep runs). One warm-up call absorbs pool
+/// spin-up, buffer growth, and icache effects. See `crates/bench/README.md`
+/// for the full methodology.
+pub fn median_time_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    use std::time::Instant;
+    f(); // warm-up
+    let probe = Instant::now();
+    f();
+    let est = (probe.elapsed().as_nanos() as f64).max(1.0);
+    let reps = reps.max((1e7 / est) as usize).min(501);
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,28 @@
 //! - **Public inference**: when the test graph is public (Figure 3, following
 //!   the decoupled-GNN evaluation of \[46\]–\[48\]), the full training-time
 //!   propagation `Z` is computed and multiplied by `Θ_priv`.
+//!
+//! # Structure: propagate, then head
+//!
+//! Both modes factor into the same two stages, exposed separately so serving
+//! layers (`gcon-serve`) can run them at different times:
+//!
+//! 1. **Feature stage** — [`public_features`] / [`private_features`]: encode
+//!    and row-normalize the raw features, aggregate them over the graph
+//!    (full multi-scale propagation or the one-hop `R̂`), and apply the
+//!    `1/s` concatenation scaling. This is the expensive, whole-graph part;
+//!    its output depends only on `(model, graph, features)` and can be
+//!    precomputed and reused across queries.
+//! 2. **Head stage** — [`head_logits`]: multiply (rows of) the propagated
+//!    feature matrix by the released parameters `Θ_priv`. This is the cheap,
+//!    per-query part.
+//!
+//! [`private_logits`] and [`public_logits`] are thin compositions of the two
+//! stages; `gcon-serve::ServingModel` runs stage 1 once at build time and
+//! answers queries with stage 2 only. Because every dense kernel in
+//! `gcon-linalg` computes each output row independently of the surrounding
+//! row partition (see the determinism notes in its crate docs), the serving
+//! path is **bitwise identical** to calling the entry points here.
 
 use crate::model::TrainedGcon;
 use crate::propagation::{concat_features_with_solver, PropagationStep};
@@ -24,12 +46,15 @@ fn encode_normalized(model: &TrainedGcon, features: &Mat) -> Mat {
     x
 }
 
-/// Private inference (Eq. 16): one-hop aggregation only.
+/// Feature stage of private inference (Eq. 16): the one-hop aggregate
+/// `(1/s)(R̂_{m₁}X̄ ⊕ … ⊕ R̂_{m_s}X̄)` with `R̂ = (1−α_I)Ã + α_I·I`
+/// (`R̂ = I` for `mᵢ = 0`), where `X̄` is the encoded, row-normalized
+/// feature matrix.
 ///
-/// Returns the logit matrix `Ŷ = (R̂_{m₁}X̄ ⊕ … ⊕ R̂_{m_s}X̄)Θ_priv`
-/// (scaled by `1/s` to match the training-time feature scale; a uniform
-/// positive scaling does not change the argmax).
-pub fn private_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
+/// Row `i` of the result depends only on `X̄` rows adjacent to node `i` (and
+/// `X̄ᵢ` itself), which is what makes this stage admissible under edge DP.
+/// [`private_logits`] is this followed by [`head_logits`].
+pub fn private_features(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
     let x = encode_normalized(model, features);
     let a_tilde = row_stochastic(graph, model.config.clip_p);
     let alpha_i = model.config.alpha_inference;
@@ -53,30 +78,160 @@ pub fn private_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat
     }
     let inv_s = 1.0 / steps.len() as f64;
     z.map_inplace(|v| v * inv_s);
-    ops::matmul(&z, &model.theta)
+    z
 }
 
-/// Private inference returning hard class predictions.
-pub fn private_predict(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Vec<usize> {
-    reduce::row_argmax(&private_logits(model, graph, features))
-}
-
-/// Public inference: full training-time propagation (no DP constraint on the
-/// test graph's edges).
-pub fn public_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
+/// Feature stage of public inference: the full training-time propagation
+/// `Z = (1/s)(Z_{m₁} ⊕ … ⊕ Z_{m_s})` of the encoded, row-normalized
+/// features (no DP constraint on the test graph's edges).
+///
+/// This is the whole-graph computation a serving layer precomputes once;
+/// [`public_logits`] is this followed by [`head_logits`].
+pub fn public_features(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
     let x = encode_normalized(model, features);
     let a_tilde = row_stochastic(graph, model.config.clip_p);
-    let z = concat_features_with_solver(
+    concat_features_with_solver(
         &a_tilde,
         &x,
         model.config.alpha,
         &model.config.steps,
         model.config.ppr_solver,
-    );
-    ops::matmul(&z, &model.theta)
+    )
 }
 
-/// Public inference returning hard class predictions.
+/// Head stage shared by both inference modes: `Ŷ = Z·Θ_priv` for a (full or
+/// gathered) propagated feature matrix `z`.
+///
+/// Each output row is computed independently of every other row, so calling
+/// this on a row subset of `Z` yields bitwise the same logits those rows get
+/// in the full product — the property `gcon-serve` relies on.
+pub fn head_logits(model: &TrainedGcon, z: &Mat) -> Mat {
+    ops::matmul(z, &model.theta)
+}
+
+/// Private inference (Eq. 16): one-hop aggregation only.
+///
+/// Returns the logit matrix `Ŷ = (R̂_{m₁}X̄ ⊕ … ⊕ R̂_{m_s}X̄)Θ_priv`
+/// (scaled by `1/s` to match the training-time feature scale; a uniform
+/// positive scaling does not change the argmax). Composition of
+/// [`private_features`] and [`head_logits`].
+///
+/// ```
+/// use gcon_core::infer::{private_logits, private_predict};
+/// # use gcon_core::train::train_gcon;
+/// # use gcon_core::{GconConfig, PropagationStep};
+/// # use gcon_graph::generators::{sbm_homophily, SbmConfig};
+/// # use gcon_linalg::Mat;
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// # let mut rng = StdRng::seed_from_u64(7);
+/// # let cfg = SbmConfig { n: 30, num_edges: 90, num_classes: 2, homophily: 0.8,
+/// #                       degree_exponent: 2.5 };
+/// # let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+/// # let features = Mat::from_fn(30, 6, |i, j| if j % 2 == labels[i] { 1.0 } else { 0.0 });
+/// # let train_idx: Vec<usize> = (0..30).collect();
+/// # let mut config = GconConfig::default();
+/// # config.encoder.epochs = 5;
+/// # config.encoder.hidden = 8;
+/// # config.encoder.d1 = 4;
+/// # config.optimizer.max_iters = 30;
+/// let model = train_gcon(&config, &graph, &features, &labels, &train_idx, 2, 4.0, 1e-3, &mut rng);
+/// // One row of logits per node, one column per class.
+/// let logits = private_logits(&model, &graph, &features);
+/// assert_eq!(logits.shape(), (graph.num_nodes(), model.num_classes));
+/// // `private_predict` is the row-wise argmax of exactly these logits.
+/// assert_eq!(private_predict(&model, &graph, &features).len(), graph.num_nodes());
+/// ```
+pub fn private_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
+    head_logits(model, &private_features(model, graph, features))
+}
+
+/// Private inference returning hard class predictions (row-wise argmax of
+/// [`private_logits`]).
+///
+/// ```
+/// # use gcon_core::infer::private_predict;
+/// # use gcon_core::train::train_gcon;
+/// # use gcon_core::GconConfig;
+/// # use gcon_graph::generators::{sbm_homophily, SbmConfig};
+/// # use gcon_linalg::Mat;
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// # let mut rng = StdRng::seed_from_u64(8);
+/// # let cfg = SbmConfig { n: 30, num_edges: 90, num_classes: 2, homophily: 0.8,
+/// #                       degree_exponent: 2.5 };
+/// # let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+/// # let features = Mat::from_fn(30, 6, |i, j| if j % 2 == labels[i] { 1.0 } else { 0.0 });
+/// # let train_idx: Vec<usize> = (0..30).collect();
+/// # let mut config = GconConfig::default();
+/// # config.encoder.epochs = 5;
+/// # config.encoder.hidden = 8;
+/// # config.encoder.d1 = 4;
+/// # config.optimizer.max_iters = 30;
+/// let model = train_gcon(&config, &graph, &features, &labels, &train_idx, 2, 4.0, 1e-3, &mut rng);
+/// let pred = private_predict(&model, &graph, &features);
+/// assert!(pred.iter().all(|&c| c < model.num_classes));
+/// ```
+pub fn private_predict(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Vec<usize> {
+    reduce::row_argmax(&private_logits(model, graph, features))
+}
+
+/// Public inference: full training-time propagation (no DP constraint on the
+/// test graph's edges). Composition of [`public_features`] and
+/// [`head_logits`].
+///
+/// ```
+/// use gcon_core::infer::{public_features, public_logits, head_logits};
+/// # use gcon_core::train::train_gcon;
+/// # use gcon_core::GconConfig;
+/// # use gcon_graph::generators::{sbm_homophily, SbmConfig};
+/// # use gcon_linalg::Mat;
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// # let mut rng = StdRng::seed_from_u64(9);
+/// # let cfg = SbmConfig { n: 30, num_edges: 90, num_classes: 2, homophily: 0.8,
+/// #                       degree_exponent: 2.5 };
+/// # let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+/// # let features = Mat::from_fn(30, 6, |i, j| if j % 2 == labels[i] { 1.0 } else { 0.0 });
+/// # let train_idx: Vec<usize> = (0..30).collect();
+/// # let mut config = GconConfig::default();
+/// # config.encoder.epochs = 5;
+/// # config.encoder.hidden = 8;
+/// # config.encoder.d1 = 4;
+/// # config.optimizer.max_iters = 30;
+/// let model = train_gcon(&config, &graph, &features, &labels, &train_idx, 2, 4.0, 1e-3, &mut rng);
+/// // The entry point is exactly feature stage + head stage: a serving layer
+/// // may precompute the feature stage and replay the head per query.
+/// let z = public_features(&model, &graph, &features);
+/// let logits = public_logits(&model, &graph, &features);
+/// assert_eq!(head_logits(&model, &z), logits);
+/// ```
+pub fn public_logits(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Mat {
+    head_logits(model, &public_features(model, graph, features))
+}
+
+/// Public inference returning hard class predictions (row-wise argmax of
+/// [`public_logits`]).
+///
+/// ```
+/// # use gcon_core::infer::public_predict;
+/// # use gcon_core::train::train_gcon;
+/// # use gcon_core::GconConfig;
+/// # use gcon_graph::generators::{sbm_homophily, SbmConfig};
+/// # use gcon_linalg::Mat;
+/// # use rand::{rngs::StdRng, SeedableRng};
+/// # let mut rng = StdRng::seed_from_u64(10);
+/// # let cfg = SbmConfig { n: 30, num_edges: 90, num_classes: 2, homophily: 0.8,
+/// #                       degree_exponent: 2.5 };
+/// # let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+/// # let features = Mat::from_fn(30, 6, |i, j| if j % 2 == labels[i] { 1.0 } else { 0.0 });
+/// # let train_idx: Vec<usize> = (0..30).collect();
+/// # let mut config = GconConfig::default();
+/// # config.encoder.epochs = 5;
+/// # config.encoder.hidden = 8;
+/// # config.encoder.d1 = 4;
+/// # config.optimizer.max_iters = 30;
+/// let model = train_gcon(&config, &graph, &features, &labels, &train_idx, 2, 4.0, 1e-3, &mut rng);
+/// let pred = public_predict(&model, &graph, &features);
+/// assert_eq!(pred.len(), graph.num_nodes());
+/// ```
 pub fn public_predict(model: &TrainedGcon, graph: &Graph, features: &Mat) -> Vec<usize> {
     reduce::row_argmax(&public_logits(model, graph, features))
 }
@@ -135,6 +290,28 @@ mod tests {
         assert_eq!(lp.shape(), (90, 3));
         assert_eq!(lq.shape(), (90, 3));
         assert!(lp.is_finite() && lq.is_finite());
+    }
+
+    /// The entry points must be exactly feature stage ∘ head stage — the
+    /// decomposition `gcon-serve` consumes.
+    #[test]
+    fn logits_equal_feature_stage_then_head_stage() {
+        let (g, x, labels, train_idx) = toy_setup(103);
+        let mut rng = StdRng::seed_from_u64(104);
+        let mut cfg = quick_config();
+        cfg.steps = vec![PropagationStep::Finite(0), PropagationStep::Finite(2)];
+        let model = train_gcon(&cfg, &g, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        let z_pub = public_features(&model, &g, &x);
+        let z_priv = private_features(&model, &g, &x);
+        assert_eq!(z_pub.shape(), (90, 2 * 8));
+        assert_eq!(
+            head_logits(&model, &z_pub).as_slice(),
+            public_logits(&model, &g, &x).as_slice()
+        );
+        assert_eq!(
+            head_logits(&model, &z_priv).as_slice(),
+            private_logits(&model, &g, &x).as_slice()
+        );
     }
 
     #[test]

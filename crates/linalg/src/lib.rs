@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Dense linear-algebra substrate for the GCON reproduction.
 //!
 //! Every other crate in the workspace builds on the row-major [`Mat`] type and

@@ -464,7 +464,7 @@ pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
 /// `C = A · Bᵀ` written into `c` (reshaped to `a.rows() × b.rows()`),
 /// parallelized over row blocks of A on the shared runtime pool.
 ///
-/// Rows of `B` are consumed four at a time ([`dot4`]), so each `A` row is
+/// Rows of `B` are consumed four at a time (the `dot4` kernel), so each `A` row is
 /// streamed once per four outputs instead of once per output. The grouping
 /// starts at column 0 regardless of the thread partition (which splits rows
 /// of `A`), so each element's accumulation order is partition-independent.

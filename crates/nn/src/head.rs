@@ -1,0 +1,130 @@
+//! Batched linear-head forward on a shared, reusable workspace.
+//!
+//! Serving a decoupled model (propagate once, classify per query — GCON, and
+//! the GAP/ProGAP-style heads more generally) reduces every query to the
+//! same two steps: gather the queried rows of a precomputed feature matrix,
+//! and multiply the gathered batch by a weight matrix. [`HeadWorkspace`]
+//! owns the two intermediate buffers of that sequence so a serving loop
+//! answering queries at steady state performs **no per-batch allocation** —
+//! the same `_into` buffer-reuse discipline every training loop in the
+//! workspace follows (`gcon-runtime` crate docs).
+//!
+//! The forward runs on the pooled `gcon-linalg` GEMM, whose output rows are
+//! computed independently of the surrounding row partition; a batch of any
+//! size or order therefore reproduces, bitwise, the rows a full-matrix
+//! product would produce. `gcon-serve` builds its single-query, batched,
+//! and micro-batched paths on this one primitive.
+
+use gcon_linalg::{ops, reduce, Mat};
+
+/// Reusable buffers for [`batched head forwards`](HeadWorkspace::forward):
+/// the gathered feature batch and the logit output. Create once per serving
+/// thread (or per [`gcon-serve`-style queue][fwd]) and reuse across batches;
+/// both buffers reach steady-state capacity after the first full-size batch.
+///
+/// [fwd]: HeadWorkspace::forward
+#[derive(Clone, Debug, Default)]
+pub struct HeadWorkspace {
+    /// Gathered feature rows, `batch × d`.
+    gathered: Mat,
+    /// Head output, `batch × c`.
+    logits: Mat,
+}
+
+impl HeadWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gathers `rows` of `features` and multiplies the batch by `weights`:
+    /// returns `features[rows, :] · weights` (`batch × c`), computed without
+    /// allocating once the workspace has reached steady-state capacity.
+    ///
+    /// Row `r` of the result is bitwise equal to row `rows[r]` of the full
+    /// product `features · weights`, for any batch size, order, or
+    /// multiplicity of `rows` (the pooled GEMM computes every output row
+    /// independently of the row partition).
+    ///
+    /// # Panics
+    /// Panics if any row index is out of bounds or the inner dimensions
+    /// mismatch.
+    pub fn forward(&mut self, features: &Mat, rows: &[usize], weights: &Mat) -> &Mat {
+        features.select_rows_into(rows, &mut self.gathered);
+        ops::matmul_into(&self.gathered, weights, &mut self.logits);
+        &self.logits
+    }
+
+    /// [`HeadWorkspace::forward`] followed by a per-row argmax written into
+    /// `out` (cleared and refilled; the allocation is reused across calls).
+    pub fn forward_argmax_into(
+        &mut self,
+        features: &Mat,
+        rows: &[usize],
+        weights: &Mat,
+        out: &mut Vec<usize>,
+    ) {
+        self.forward(features, rows, weights);
+        out.clear();
+        out.extend(self.logits.rows_iter().map(gcon_linalg::vecops::argmax));
+    }
+
+    /// The logits of the last [`HeadWorkspace::forward`] call (`batch × c`).
+    pub fn logits(&self) -> &Mat {
+        &self.logits
+    }
+
+    /// Hard predictions of the last forward (allocating convenience).
+    pub fn predictions(&self) -> Vec<usize> {
+        reduce::row_argmax(&self.logits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gathered_rows_match_full_product_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let features = Mat::uniform(40, 12, 1.0, &mut rng);
+        let weights = Mat::uniform(12, 5, 1.0, &mut rng);
+        let full = ops::matmul(&features, &weights);
+        let mut ws = HeadWorkspace::new();
+        // Unordered, duplicated, and single-row batches all reproduce the
+        // full product's rows exactly.
+        for rows in [vec![3usize, 3, 0, 39, 17], vec![7], (0..40).rev().collect::<Vec<_>>()] {
+            let out = ws.forward(&features, &rows, &weights);
+            assert_eq!(out.shape(), (rows.len(), 5));
+            for (r, &i) in rows.iter().enumerate() {
+                assert_eq!(out.row(r), full.row(i), "batch row {r} (node {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_is_reused_across_batch_sizes() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let features = Mat::uniform(20, 6, 1.0, &mut rng);
+        let weights = Mat::uniform(6, 3, 1.0, &mut rng);
+        let mut ws = HeadWorkspace::new();
+        let mut preds = Vec::new();
+        for size in [20usize, 1, 7, 20] {
+            let rows: Vec<usize> = (0..size).collect();
+            ws.forward_argmax_into(&features, &rows, &weights, &mut preds);
+            assert_eq!(preds.len(), size);
+            assert_eq!(ws.logits().shape(), (size, 3));
+            assert_eq!(ws.predictions(), preds);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_row_panics() {
+        let features = Mat::zeros(4, 2);
+        let weights = Mat::zeros(2, 2);
+        HeadWorkspace::new().forward(&features, &[4], &weights);
+    }
+}

@@ -10,7 +10,10 @@
 //!   node features/labels only (public under edge DP);
 //! - the **MLP baseline** of Figure 1 (edge-free, hence trivially edge-DP);
 //! - the 2-layer **GCN baseline** (non-private upper bound) and the network
-//!   heads of GAP / ProGAP / LPGNet / DPGCN in `gcon-baselines`.
+//!   heads of GAP / ProGAP / LPGNet / DPGCN in `gcon-baselines`;
+//! - the **batched serving head** ([`head::HeadWorkspace`]): the
+//!   gather-rows-then-linear-head forward `gcon-serve` answers queries with,
+//!   on a reusable zero-alloc workspace.
 //!
 //! Matrix convention: activations are `n × d` (row = sample), weights are
 //! `d_in × d_out`, so forward is `Y = X·W + b` and the weight gradient is
@@ -18,12 +21,14 @@
 
 pub mod activations;
 pub mod dropout;
+pub mod head;
 pub mod linear;
 pub mod loss;
 pub mod mlp;
 pub mod optim;
 
 pub use activations::Activation;
+pub use head::HeadWorkspace;
 pub use linear::{Linear, LinearGrads};
 pub use mlp::{Mlp, MlpConfig, MlpWorkspace};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Shared execution layer for the GCON workspace.
 //!
 //! Every hot kernel in the workspace — dense GEMM (`gcon-linalg`), the

@@ -1,0 +1,134 @@
+#![deny(missing_docs)]
+//! Serving layer for trained GCON models: answer node-classification
+//! queries at per-query cost **O(one dense head forward)** instead of
+//! O(full-graph propagation).
+//!
+//! # Why a serving layer
+//!
+//! The inference entry points in `gcon-core::infer` re-run the entire
+//! propagation pipeline — encode, row-normalize, build `Ã`, propagate every
+//! scale over the whole graph — on *every* call, so answering one node's
+//! query costs the same as answering all of them. That is the right shape
+//! for one-shot evaluation harnesses and exactly the wrong shape for a
+//! service: propagated features depend only on `(model, graph, features)`,
+//! none of which change between queries.
+//!
+//! This crate splits inference at the seam `gcon-core::infer` exposes:
+//!
+//! 1. [`ServingModel::build`] runs the **feature stage** once
+//!    ([`gcon_core::infer::public_features`] /
+//!    [`gcon_core::infer::private_features`], on the shared
+//!    `gcon-runtime` pool) and stores the propagated matrix row-per-node.
+//! 2. Queries run only the **head stage**: gather the queried rows and
+//!    multiply by `Θ_priv` on a reusable [`gcon_nn::HeadWorkspace`] —
+//!    a `batch × d × c` GEMM, independent of graph size.
+//!
+//! On top of the store, [`BatchQueue`] adds **dynamic micro-batching**:
+//! concurrent single-node requests are coalesced into one head forward per
+//! batch window (bounded batch size + latency budget), amortizing kernel
+//! dispatch and letting the pooled GEMM see serving-efficient shapes. Both
+//! layers follow the workspace-wide `_into` convention — after warm-up the
+//! steady state allocates nothing per batch.
+//!
+//! # Exactness
+//!
+//! Serving is not an approximation. Every dense kernel in `gcon-linalg`
+//! computes each output row independently of the surrounding row partition
+//! (the same property that makes results byte-identical across
+//! `GCON_THREADS` and kernel tiers), so for every node, batch size, and
+//! batch order the served logits are **bitwise identical** to
+//! [`gcon_core::infer::public_logits`] / `private_logits` — pinned by the
+//! `serving_equivalence` suite across thread counts and dispatch tiers.
+//!
+//! ```
+//! use gcon_core::{train::train_gcon, GconConfig};
+//! use gcon_graph::generators::{sbm_homophily, SbmConfig};
+//! use gcon_linalg::Mat;
+//! use gcon_serve::{ServingMode, ServingModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # let mut rng = StdRng::seed_from_u64(5);
+//! # let cfg = SbmConfig { n: 30, num_edges: 90, num_classes: 2, homophily: 0.8,
+//! #                       degree_exponent: 2.5 };
+//! # let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+//! # let features = Mat::from_fn(30, 6, |i, j| if j % 2 == labels[i] { 1.0 } else { 0.0 });
+//! # let train_idx: Vec<usize> = (0..30).collect();
+//! # let mut config = GconConfig::default();
+//! # config.encoder.epochs = 5;
+//! # config.encoder.hidden = 8;
+//! # config.encoder.d1 = 4;
+//! # config.optimizer.max_iters = 30;
+//! let model = train_gcon(&config, &graph, &features, &labels, &train_idx, 2, 4.0, 1e-3, &mut rng);
+//!
+//! // Pay the full-graph propagation once…
+//! let serving = ServingModel::build(&model, &graph, &features, ServingMode::Public);
+//! // …then answer queries at dense-head cost, exactly.
+//! let mut session = serving.session();
+//! assert_eq!(
+//!     session.predict_batch(&[3, 7, 3]),
+//!     &[serving.predict(3), serving.predict(7), serving.predict(3)],
+//! );
+//! assert_eq!(
+//!     serving.predict_all(),
+//!     gcon_core::infer::public_predict(&model, &graph, &features),
+//! );
+//! ```
+
+mod batch;
+mod model;
+
+pub use batch::{BatchConfig, BatchQueue, BatchStats};
+pub use model::{ServingMode, ServingModel, ServingSession};
+
+/// Shared tiny trained model for this crate's unit tests (training once per
+/// test binary keeps each test cheap).
+#[cfg(test)]
+pub(crate) mod testutil {
+    use gcon_core::train::train_gcon;
+    use gcon_core::{GconConfig, PropagationStep, TrainedGcon};
+    use gcon_graph::generators::{sbm_homophily, SbmConfig};
+    use gcon_graph::Graph;
+    use gcon_linalg::Mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    pub(crate) fn tiny_trained() -> &'static (TrainedGcon, Graph, Mat) {
+        static MODEL: OnceLock<(TrainedGcon, Graph, Mat)> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(1234);
+            let cfg = SbmConfig {
+                n: 48,
+                num_edges: 140,
+                num_classes: 3,
+                homophily: 0.85,
+                degree_exponent: 2.5,
+            };
+            let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+            let x = Mat::from_fn(48, 9, |i, j| {
+                (if j % 3 == labels[i] { 1.2 } else { 0.0 })
+                    + 0.3 * (((i * 11 + j * 5) % 13) as f64 / 13.0 - 0.5)
+            });
+            let train_idx: Vec<usize> = (0..48).collect();
+            let config = GconConfig {
+                encoder: gcon_core::encoder::EncoderConfig {
+                    hidden: 12,
+                    d1: 6,
+                    epochs: 40,
+                    lr: 0.02,
+                    weight_decay: 1e-5,
+                },
+                steps: vec![PropagationStep::Finite(0), PropagationStep::Finite(2)],
+                optimizer: gcon_core::model::OptimizerConfig {
+                    lr: 0.05,
+                    max_iters: 200,
+                    grad_tol: 1e-7,
+                },
+                ..Default::default()
+            };
+            let model =
+                train_gcon(&config, &graph, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+            (model, graph, x)
+        })
+    }
+}

@@ -1,0 +1,272 @@
+//! The precomputed feature store and the query interface over it.
+
+use gcon_core::infer::{private_features, public_features};
+use gcon_core::TrainedGcon;
+use gcon_graph::Graph;
+use gcon_linalg::{reduce, Mat};
+use gcon_nn::HeadWorkspace;
+
+/// Which inference protocol the precomputed store reproduces (the two modes
+/// of `gcon-core::infer`, Sec. IV-C6 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServingMode {
+    /// Full training-time propagation of the (public) test graph — serving
+    /// twin of [`gcon_core::infer::public_logits`].
+    Public,
+    /// One-hop aggregation `R̂ = (1−α_I)Ã + α_I·I` only (Eq. 16) — serving
+    /// twin of [`gcon_core::infer::private_logits`]. Row `i` of the store
+    /// still depends only on node `i`'s own edges; precomputing it changes
+    /// *when* the admissible aggregation happens, not *what* is revealed.
+    Private,
+}
+
+impl ServingMode {
+    /// Lowercase name (`public` / `private`), for logs and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServingMode::Public => "public",
+            ServingMode::Private => "private",
+        }
+    }
+}
+
+/// A trained GCON model frozen for serving: the propagated feature matrix
+/// (one row per node, precomputed once at build time) plus the released
+/// parameters `Θ_priv`.
+///
+/// Queries index rows of the store and run only the dense head, so a query
+/// costs `O(d·c)` regardless of graph size — versus the full-graph
+/// propagation every `gcon-core::infer` call pays. Answers are bitwise
+/// identical to the corresponding entry point (crate docs: *Exactness*).
+///
+/// The model itself is immutable and shareable (`&ServingModel` /
+/// `Arc<ServingModel>` across threads); per-thread mutable state lives in
+/// [`ServingSession`] (direct calls) or inside [`crate::BatchQueue`]
+/// (micro-batched calls).
+#[derive(Clone, Debug)]
+pub struct ServingModel {
+    /// Propagated feature store, `n × d` (already `1/s`-scaled).
+    store: Mat,
+    /// Released parameters `Θ_priv`, `d × c`.
+    theta: Mat,
+    mode: ServingMode,
+}
+
+impl ServingModel {
+    /// Builds the store by running the feature stage of `mode` once —
+    /// [`gcon_core::infer::public_features`] or
+    /// [`gcon_core::infer::private_features`], on the shared runtime pool —
+    /// and freezing the result together with `Θ_priv`.
+    ///
+    /// Cost equals exactly one call of the corresponding inference entry
+    /// point; every subsequent query is a dense-head forward.
+    pub fn build(model: &TrainedGcon, graph: &Graph, features: &Mat, mode: ServingMode) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            features.rows(),
+            "ServingModel::build: graph has {} nodes but features have {} rows",
+            graph.num_nodes(),
+            features.rows()
+        );
+        let store = match mode {
+            ServingMode::Public => public_features(model, graph, features),
+            ServingMode::Private => private_features(model, graph, features),
+        };
+        debug_assert_eq!(store.cols(), model.theta.rows());
+        Self { store, theta: model.theta.clone(), mode }
+    }
+
+    /// Number of nodes the store can answer queries for.
+    pub fn num_nodes(&self) -> usize {
+        self.store.rows()
+    }
+
+    /// Number of classes (columns of every logit row).
+    pub fn num_classes(&self) -> usize {
+        self.theta.cols()
+    }
+
+    /// Propagated feature dimension `d = s·d₁` of the store.
+    pub fn feature_dim(&self) -> usize {
+        self.store.cols()
+    }
+
+    /// Which inference protocol this store reproduces.
+    pub fn mode(&self) -> ServingMode {
+        self.mode
+    }
+
+    /// The frozen propagated feature store (`num_nodes × feature_dim`).
+    /// Row `i` is the stage-1 feature vector of node `i`.
+    pub fn store(&self) -> &Mat {
+        &self.store
+    }
+
+    /// A query session bound to this model: owns the reusable head
+    /// workspace, so repeated queries through one session allocate nothing
+    /// at steady state. Create one per serving thread.
+    pub fn session(&self) -> ServingSession<'_> {
+        ServingSession { model: self, ws: HeadWorkspace::new(), preds: Vec::new() }
+    }
+
+    /// Logits of one node (allocating convenience; serving loops use
+    /// [`ServingSession::logits_into`] or the batched paths instead).
+    pub fn logits(&self, node: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.session().logits_into(node, &mut out);
+        out
+    }
+
+    /// Hard class prediction of one node (allocating convenience).
+    pub fn predict(&self, node: usize) -> usize {
+        let mut session = self.session();
+        session.predict(node)
+    }
+
+    /// Hard predictions for **every** node in the store — the full-graph
+    /// answer [`gcon_core::infer::public_predict`] / `private_predict`
+    /// produce, here at head-only cost.
+    pub fn predict_all(&self) -> Vec<usize> {
+        reduce::row_argmax(&gcon_linalg::ops::matmul(&self.store, &self.theta))
+    }
+
+    /// The head forward every query path funnels through: gather `nodes`
+    /// from the store and multiply by `Θ_priv` on `ws`.
+    pub(crate) fn forward_into<'w>(&self, nodes: &[usize], ws: &'w mut HeadWorkspace) -> &'w Mat {
+        for &node in nodes {
+            assert!(
+                node < self.store.rows(),
+                "ServingModel: query for node {node} but the store has {} nodes",
+                self.store.rows()
+            );
+        }
+        ws.forward(&self.store, nodes, &self.theta)
+    }
+}
+
+/// A per-thread query interface over a [`ServingModel`]: the model is shared
+/// immutably, the session owns the mutable workspace buffers. At steady
+/// state (buffers grown to the largest batch seen) no query path allocates.
+#[derive(Clone, Debug)]
+pub struct ServingSession<'m> {
+    model: &'m ServingModel,
+    ws: HeadWorkspace,
+    preds: Vec<usize>,
+}
+
+impl ServingSession<'_> {
+    /// Logit rows for a batch of nodes: row `r` of the result is bitwise
+    /// equal to the logits of node `nodes[r]` from the corresponding
+    /// `gcon-core::infer` entry point, for any batch size/order (duplicates
+    /// allowed).
+    pub fn logits_batch(&mut self, nodes: &[usize]) -> &Mat {
+        self.model.forward_into(nodes, &mut self.ws)
+    }
+
+    /// Logits of a single node written into `out` (cleared and refilled;
+    /// the caller's allocation is reused across calls).
+    pub fn logits_into(&mut self, node: usize, out: &mut Vec<f64>) {
+        let logits = self.model.forward_into(std::slice::from_ref(&node), &mut self.ws);
+        out.clear();
+        out.extend_from_slice(logits.row(0));
+    }
+
+    /// Hard class prediction of a single node.
+    pub fn predict(&mut self, node: usize) -> usize {
+        let logits = self.model.forward_into(std::slice::from_ref(&node), &mut self.ws);
+        gcon_linalg::vecops::argmax(logits.row(0))
+    }
+
+    /// Hard predictions for a batch of nodes (position `r` answers
+    /// `nodes[r]`). The returned slice borrows a session buffer that is
+    /// overwritten by the next call.
+    pub fn predict_batch(&mut self, nodes: &[usize]) -> &[usize] {
+        let model = self.model;
+        model.forward_into(nodes, &mut self.ws);
+        self.preds.clear();
+        self.preds.extend(self.ws.logits().rows_iter().map(gcon_linalg::vecops::argmax));
+        &self.preds
+    }
+
+    /// The model this session queries.
+    pub fn model(&self) -> &ServingModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_trained;
+    use gcon_core::infer::{private_logits, public_logits};
+
+    #[test]
+    fn build_reports_shapes_and_mode() {
+        let (model, graph, x) = tiny_trained();
+        for mode in [ServingMode::Public, ServingMode::Private] {
+            let serving = ServingModel::build(model, graph, x, mode);
+            assert_eq!(serving.num_nodes(), graph.num_nodes());
+            assert_eq!(serving.num_classes(), model.num_classes);
+            assert_eq!(serving.feature_dim(), model.dim());
+            assert_eq!(serving.mode(), mode);
+            assert_eq!(serving.store().shape(), (graph.num_nodes(), model.dim()));
+        }
+        assert_eq!(ServingMode::Public.name(), "public");
+        assert_eq!(ServingMode::Private.name(), "private");
+    }
+
+    #[test]
+    fn single_queries_match_entry_points_bitwise() {
+        let (model, graph, x) = tiny_trained();
+        for (mode, reference) in [
+            (ServingMode::Public, public_logits(model, graph, x)),
+            (ServingMode::Private, private_logits(model, graph, x)),
+        ] {
+            let serving = ServingModel::build(model, graph, x, mode);
+            let mut session = serving.session();
+            let mut out = Vec::new();
+            for node in 0..serving.num_nodes() {
+                session.logits_into(node, &mut out);
+                assert_eq!(out.as_slice(), reference.row(node), "{} node {node}", mode.name());
+                assert_eq!(serving.logits(node), reference.row(node));
+                assert_eq!(session.predict(node), serving.predict(node));
+            }
+            assert_eq!(serving.predict_all(), gcon_linalg::reduce::row_argmax(&reference));
+        }
+    }
+
+    #[test]
+    fn batched_queries_match_sequential_bitwise_in_any_order() {
+        let (model, graph, x) = tiny_trained();
+        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        let reference = public_logits(model, graph, x);
+        let n = serving.num_nodes();
+        let mut session = serving.session();
+        let batches: Vec<Vec<usize>> = vec![
+            (0..n).collect(),
+            (0..n).rev().collect(),
+            vec![5, 5, 5, 5],
+            vec![n - 1],
+            (0..n).map(|i| (i * 7) % n).collect(),
+        ];
+        for nodes in &batches {
+            let logits = session.logits_batch(nodes);
+            assert_eq!(logits.shape(), (nodes.len(), serving.num_classes()));
+            for (r, &node) in nodes.iter().enumerate() {
+                assert_eq!(logits.row(r), reference.row(node), "row {r} (node {node})");
+            }
+            let preds = session.predict_batch(nodes).to_vec();
+            for (r, &node) in nodes.iter().enumerate() {
+                assert_eq!(preds[r], gcon_linalg::vecops::argmax(reference.row(node)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "the store has")]
+    fn out_of_bounds_query_panics() {
+        let (model, graph, x) = tiny_trained();
+        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        serving.predict(serving.num_nodes());
+    }
+}

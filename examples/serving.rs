@@ -1,0 +1,80 @@
+//! Serving: freeze a trained model into a precomputed feature store and
+//! answer node queries at dense-head cost — including micro-batched
+//! concurrent queries — bitwise identical to the one-shot inference path.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use gcon::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn main() {
+    // 1. Train a model exactly as in the quickstart.
+    let dataset = gcon::datasets::two_moons_graph(42);
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = train_gcon(
+        &GconConfig::default(),
+        &dataset.graph,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.split.train,
+        dataset.num_classes,
+        2.0,
+        dataset.default_delta(),
+        &mut rng,
+    );
+
+    // 2. One-shot inference recomputes full-graph propagation per call —
+    //    answering one node costs the same as answering all of them.
+    let t = Instant::now();
+    let reference = public_predict(&model, &dataset.graph, &dataset.features);
+    println!("one-shot public_predict (all nodes): {:?}", t.elapsed());
+
+    // 3. Build the serving model: the propagation is paid once, here.
+    let t = Instant::now();
+    let serving =
+        ServingModel::build(&model, &dataset.graph, &dataset.features, ServingMode::Public);
+    println!("ServingModel::build (one-time):      {:?}", t.elapsed());
+
+    // 4. Queries now index the store and run only the head — and agree with
+    //    the one-shot path bit for bit, single or batched, in any order.
+    let mut session = serving.session();
+    let t = Instant::now();
+    let batch = session.predict_batch(&[3, 141, 59, 3]).to_vec();
+    println!("served batch {batch:?} in {:?}", t.elapsed());
+    assert_eq!(batch, [reference[3], reference[141], reference[59], reference[3]]);
+    assert_eq!(serving.predict_all(), reference);
+
+    // 5. Under concurrency, a BatchQueue coalesces single-node requests
+    //    into one head forward per window (≤ 32 requests / ≤ 300 µs here).
+    let queue = BatchQueue::new(
+        &serving,
+        BatchConfig { max_batch: 32, max_wait: Duration::from_micros(300) },
+    );
+    let n = serving.num_nodes();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let queue = &queue;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut logits = Vec::new();
+                for q in 0..50 {
+                    let node = (t * 61 + q * 13) % n;
+                    queue.query_into(node, &mut logits);
+                    assert_eq!(gcon::linalg::vecops::argmax(&logits), reference[node]);
+                }
+            });
+        }
+    });
+    let stats = queue.stats();
+    println!(
+        "micro-batcher: {} requests in {} batches (mean batch {:.1}, largest {})",
+        stats.requests,
+        stats.batches,
+        stats.requests as f64 / stats.batches as f64,
+        stats.largest_batch,
+    );
+}

@@ -49,7 +49,13 @@
 //! - [`dp`]: mechanisms, Erlang/sphere sampling, RDP accountant.
 //! - [`datasets`]: Table II stand-ins, splits, metrics.
 //! - [`baselines`]: DP-SGD, DPGCN, LPGNet, GAP, ProGAP, MLP, non-DP GCN.
+//! - [`serve`]: batched inference serving — precomputed feature store +
+//!   dynamic micro-batcher, bitwise-equal to the `core::infer` entry points.
 //! - [`runtime`]: the shared execution layer every kernel above runs on.
+//!
+//! The layer diagram, buffer-reuse convention, determinism policy and the
+//! environment-variable knob table live in `ARCHITECTURE.md` at the
+//! repository root.
 //!
 //! ## Architecture / execution layer
 //!
@@ -66,7 +72,7 @@
 //!   `graph::Csr::spmm` parallelize on the pool; `nn`, `core` and
 //!   `baselines` inherit it through those kernels.
 //! - **Buffer-reusing `_into` kernels.** Every allocating kernel has a twin
-//!   writing into a caller-owned [`Mat`] that is reshaped in place
+//!   writing into a caller-owned [`Mat`](linalg::Mat) that is reshaped in place
 //!   (`matmul_into`, `spmm_into`, `forward_into`/`backward_into`,
 //!   `softmax_cross_entropy_into`, …). Training loops — the GCON encoder,
 //!   the GCN/GAP/ProGAP baselines, `Mlp::train_cross_entropy` — hoist their
@@ -97,6 +103,7 @@ pub use gcon_graph as graph;
 pub use gcon_linalg as linalg;
 pub use gcon_nn as nn;
 pub use gcon_runtime as runtime;
+pub use gcon_serve as serve;
 
 /// The most common imports for using GCON end to end.
 pub mod prelude {
@@ -107,4 +114,5 @@ pub mod prelude {
     pub use gcon_datasets::Dataset;
     pub use gcon_graph::Graph;
     pub use gcon_linalg::Mat;
+    pub use gcon_serve::{BatchConfig, BatchQueue, ServingMode, ServingModel};
 }

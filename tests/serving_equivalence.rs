@@ -1,0 +1,248 @@
+//! Serving-layer equivalence suite: `gcon-serve` must be a *bitwise* drop-in
+//! for the `gcon-core::infer` entry points.
+//!
+//! Pinned here:
+//! - **Store ≡ entry points.** For every node and both modes, served logits
+//!   and predictions equal `public_logits`/`private_logits` (and their
+//!   `_predict` argmaxes) bit for bit.
+//! - **Batched ≡ sequential.** Any batch size, order, or multiplicity —
+//!   including micro-batched windows formed under real concurrency —
+//!   reproduces the single-query answers exactly (proptested over random
+//!   query mixes).
+//! - **Thread-count and tier invariance.** The full serving fingerprint
+//!   (train → build store → mixed direct/batched queries) is byte-identical
+//!   across `GCON_THREADS ∈ {1, 2, 4}` and every kernel dispatch tier the
+//!   host CPU supports, via the same subprocess-matrix technique as
+//!   `runtime_equivalence.rs`.
+
+use gcon::core::infer::{private_logits, private_predict, public_logits, public_predict};
+use gcon::core::train::train_gcon;
+use gcon::core::{GconConfig, PropagationStep, TrainedGcon};
+use gcon::graph::generators::{sbm_homophily, SbmConfig};
+use gcon::graph::Graph;
+use gcon::linalg::Mat;
+use gcon::serve::{BatchConfig, BatchQueue, ServingMode, ServingModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One deterministic trained model per test process (kernels are bitwise
+/// reproducible across threads/tiers, so every process trains the same one).
+fn trained() -> &'static (TrainedGcon, Graph, Mat) {
+    static MODEL: OnceLock<(TrainedGcon, Graph, Mat)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let cfg = SbmConfig {
+            n: 60,
+            num_edges: 180,
+            num_classes: 3,
+            homophily: 0.85,
+            degree_exponent: 2.5,
+        };
+        let (graph, labels) = sbm_homophily(&cfg, &mut rng);
+        let x = Mat::from_fn(60, 10, |i, j| {
+            (if j % 3 == labels[i] { 1.4 } else { 0.0 })
+                + 0.35 * (((i * 17 + j * 3) % 19) as f64 / 19.0 - 0.5)
+        });
+        let train_idx: Vec<usize> = (0..60).step_by(2).collect();
+        let config = GconConfig {
+            encoder: gcon::core::encoder::EncoderConfig {
+                hidden: 12,
+                d1: 6,
+                epochs: 50,
+                lr: 0.02,
+                weight_decay: 1e-5,
+            },
+            steps: vec![PropagationStep::Finite(0), PropagationStep::Finite(2)],
+            optimizer: gcon::core::model::OptimizerConfig {
+                lr: 0.05,
+                max_iters: 300,
+                grad_tol: 1e-7,
+            },
+            ..Default::default()
+        };
+        let model = train_gcon(&config, &graph, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
+        (model, graph, x)
+    })
+}
+
+#[test]
+fn serving_matches_infer_entry_points_bitwise_for_every_node() {
+    let (model, graph, x) = trained();
+    for (mode, logits, preds) in [
+        (ServingMode::Public, public_logits(model, graph, x), public_predict(model, graph, x)),
+        (ServingMode::Private, private_logits(model, graph, x), private_predict(model, graph, x)),
+    ] {
+        let serving = ServingModel::build(model, graph, x, mode);
+        let mut session = serving.session();
+        let mut out = Vec::new();
+        for (node, &expected) in preds.iter().enumerate() {
+            session.logits_into(node, &mut out);
+            assert_eq!(out.as_slice(), logits.row(node), "{} logits, node {node}", mode.name());
+            assert_eq!(session.predict(node), expected, "{} argmax, node {node}", mode.name());
+        }
+        assert_eq!(serving.predict_all(), preds, "{} predict_all", mode.name());
+    }
+}
+
+#[test]
+fn micro_batched_concurrent_queries_match_infer_bitwise() {
+    let (model, graph, x) = trained();
+    let reference = public_logits(model, graph, x);
+    let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+    let queue = BatchQueue::new(
+        &serving,
+        BatchConfig { max_batch: 16, max_wait: Duration::from_millis(2) },
+    );
+    let n = serving.num_nodes();
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let queue = &queue;
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut out = Vec::new();
+                for q in 0..30 {
+                    let node = (t * 23 + q * 5) % n;
+                    queue.query_into(node, &mut out);
+                    assert_eq!(
+                        out.as_slice(),
+                        reference.row(node),
+                        "thread {t} query {q} node {node}"
+                    );
+                }
+            });
+        }
+    });
+    let stats = queue.stats();
+    assert_eq!(stats.requests, 180);
+    assert!(stats.largest_batch <= 16);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random query mixes: any sequence of nodes, partitioned into batches
+    /// of any size, answers bitwise like the full-matrix entry point —
+    /// rows are position-independent in every kernel on the path.
+    #[test]
+    fn random_query_mixes_are_batch_invariant(
+        seed in 0u64..1000,
+        len in 1usize..70,
+        split in 1usize..20,
+    ) {
+        let (model, graph, x) = trained();
+        let reference = public_logits(model, graph, x);
+        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        let n = serving.num_nodes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let nodes: Vec<usize> = (0..len).map(|_| rng.gen_range(0..n)).collect();
+        let mut session = serving.session();
+        // Batched in `split`-sized windows…
+        for chunk in nodes.chunks(split) {
+            let logits = session.logits_batch(chunk);
+            for (r, &node) in chunk.iter().enumerate() {
+                prop_assert_eq!(logits.row(r), reference.row(node), "node {}", node);
+            }
+        }
+        // …and as one window, and per-query: all identical.
+        let all = session.logits_batch(&nodes);
+        for (r, &node) in nodes.iter().enumerate() {
+            prop_assert_eq!(all.row(r), reference.row(node), "node {}", node);
+        }
+    }
+}
+
+/// Serialized bitwise fingerprint of the whole serving path: train, build
+/// both stores, answer a fixed mixed workload directly and through the
+/// micro-batcher.
+fn serving_fingerprint() -> Vec<u8> {
+    let (model, graph, x) = trained();
+    let mut bytes = Vec::new();
+    fn push(bytes: &mut Vec<u8>, values: &[f64]) {
+        for v in values {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    for mode in [ServingMode::Public, ServingMode::Private] {
+        let serving = ServingModel::build(model, graph, x, mode);
+        push(&mut bytes, serving.store().as_slice());
+        let mut session = serving.session();
+        let nodes: Vec<usize> = (0..serving.num_nodes()).map(|i| (i * 13) % 60).collect();
+        push(&mut bytes, session.logits_batch(&nodes).as_slice());
+        let queue = BatchQueue::new(
+            &serving,
+            BatchConfig { max_batch: 8, max_wait: Duration::from_micros(100) },
+        );
+        let mut out = Vec::new();
+        for node in [0usize, 7, 59, 7, 31] {
+            queue.query_into(node, &mut out);
+            push(&mut bytes, &out);
+        }
+    }
+    bytes
+}
+
+/// **Acceptance pin:** the serving fingerprint is byte-identical across the
+/// `GCON_KERNEL_TIER × GCON_THREADS ∈ {1,2,4}` matrix. Pool width and tier
+/// are latched per process, so the test re-executes itself as a subprocess
+/// per cell (same technique as `runtime_equivalence.rs`); absent tiers are
+/// skipped, not failed.
+#[test]
+fn serving_byte_identical_across_thread_counts_and_tiers() {
+    if let Ok(path) = std::env::var("GCON_SERVE_FINGERPRINT_OUT") {
+        std::fs::write(path, serving_fingerprint()).expect("fingerprint write failed");
+        return;
+    }
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut outputs = Vec::new();
+    for &tier in gcon::runtime::available_tiers() {
+        for threads in ["1", "2", "4"] {
+            let path = std::env::temp_dir()
+                .join(format!("gcon-serve-fp-{}-{tier}-t{threads}", std::process::id()));
+            let status = std::process::Command::new(&exe)
+                .args([
+                    "serving_byte_identical_across_thread_counts_and_tiers",
+                    "--exact",
+                    "--test-threads=1",
+                ])
+                .env("GCON_THREADS", threads)
+                .env("GCON_KERNEL_TIER", tier.name())
+                .env("GCON_SERVE_FINGERPRINT_OUT", &path)
+                .status()
+                .expect("failed to respawn test binary");
+            assert!(status.success(), "tier={tier} GCON_THREADS={threads} child failed");
+            let data = std::fs::read(&path).expect("fingerprint read failed");
+            assert!(!data.is_empty(), "tier={tier} GCON_THREADS={threads} empty fingerprint");
+            let _ = std::fs::remove_file(&path);
+            outputs.push((tier, threads, data));
+        }
+    }
+    let (t0, w0, reference) = &outputs[0];
+    for (tier, threads, data) in &outputs[1..] {
+        assert!(
+            data == reference,
+            "serving results differ between ({t0}, GCON_THREADS={w0}) and \
+             ({tier}, GCON_THREADS={threads})"
+        );
+    }
+}
+
+/// In-process tier sweep: pinning each available tier, the served answers
+/// still equal the entry points computed under that same tier, bitwise.
+#[test]
+fn serving_matches_infer_at_every_available_tier() {
+    let (model, graph, x) = trained();
+    gcon::runtime::for_each_available_tier(|tier| {
+        let reference = public_logits(model, graph, x);
+        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        let mut session = serving.session();
+        let nodes: Vec<usize> = (0..serving.num_nodes()).rev().collect();
+        let logits = session.logits_batch(&nodes);
+        for (r, &node) in nodes.iter().enumerate() {
+            assert_eq!(logits.row(r), reference.row(node), "tier {tier}, node {node}");
+        }
+    });
+}
