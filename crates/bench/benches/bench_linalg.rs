@@ -11,7 +11,19 @@
 //! — absent tiers are skipped, never failed, so the CI smoke passes on any
 //! box), pinning the tier with `set_kernel_tier`; `t_matmul` additionally
 //! sweeps ReLU-style sparsity at 0/50/90/99% zeros to track the adaptive
-//! skip-path crossover. Results are printed per shape × tier and written
+//! skip-path crossover.
+//!
+//! The sweep also carries an **f32 column**: for each kernel family one or
+//! more shapes are re-timed with the `f64` tiled kernel as the paired
+//! "before" and the `f32` tiled kernel (same shape, operands quantized
+//! once up front) as the "after", so those rows' speedup isolates the
+//! dtype narrowing — half the memory traffic and double the SIMD lanes —
+//! from both threading and the scalar→tiled rewrite. The same
+//! back-to-back pairing per tier applies; `dtype` in the JSON tells the
+//! two row kinds apart (`f64` rows compare scalar-vs-tiled, `f32` rows
+//! compare f64-vs-f32 tiled).
+//!
+//! Results are printed per shape × tier and written
 //! machine-readably to `BENCH_linalg.json` at the workspace root (override
 //! with `GCON_BENCH_OUT`); `GCON_BENCH_QUICK=1` shrinks the sweep for CI
 //! smoke runs.
@@ -25,9 +37,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One before/after comparison row of the JSON report.
+///
+/// `dtype` says what the pairing means: `"f64"` rows time the pre-PR
+/// scalar kernel against the tiled `f64` kernel; `"f32"` rows time the
+/// tiled `f64` kernel against the tiled `f32` kernel on the same shape.
 struct Row {
     kernel: &'static str,
     shape: String,
+    dtype: &'static str,
     tier: gcon_runtime::KernelTier,
     ns_before: f64,
     ns_after: f64,
@@ -144,6 +161,7 @@ fn sweep_tiers(
     rows: &mut Vec<Row>,
     kernel: &'static str,
     shape: &str,
+    dtype: &'static str,
     reps: usize,
     mut ref_f: impl FnMut(),
     mut f: impl FnMut(),
@@ -151,7 +169,7 @@ fn sweep_tiers(
     gcon_runtime::for_each_available_tier(|tier| {
         let ns_before = time_ns(reps, &mut ref_f);
         let ns_after = time_ns(reps, &mut f);
-        rows.push(Row { kernel, shape: shape.to_string(), tier, ns_before, ns_after });
+        rows.push(Row { kernel, shape: shape.to_string(), dtype, tier, ns_before, ns_after });
     });
 }
 
@@ -182,13 +200,29 @@ fn main() {
         let b = Mat::uniform(k, n, 1.0, &mut rng);
         let mut out = Mat::default();
         let mut out_ref = Mat::default();
+        let shape = format!("{m}x{k}x{n}");
         sweep_tiers(
             &mut rows,
             "matmul",
-            &format!("{m}x{k}x{n}"),
+            &shape,
+            "f64",
             reps,
             || ref_matmul_into(black_box(&a), black_box(&b), &mut out_ref),
             || ops::matmul_into(black_box(&a), black_box(&b), &mut out),
+        );
+        // f32 column: quantize the operands once, then pair the f64 tiled
+        // kernel against the f32 tiled kernel on the identical shape.
+        let a32 = a.convert::<f32>();
+        let b32 = b.convert::<f32>();
+        let mut out32: Mat<f32> = Mat::default();
+        sweep_tiers(
+            &mut rows,
+            "matmul",
+            &shape,
+            "f32",
+            reps,
+            || ops::matmul_into(black_box(&a), black_box(&b), &mut out),
+            || ops::matmul_into(black_box(&a32), black_box(&b32), &mut out32),
         );
     }
 
@@ -212,7 +246,7 @@ fn main() {
         ]
     };
     for &(s, d_in, d_out, zeros) in tm_shapes {
-        let mut a = Mat::uniform(s, d_in, 1.0, &mut rng);
+        let mut a: Mat = Mat::uniform(s, d_in, 1.0, &mut rng);
         if zeros > 0.0 {
             // ReLU-like mask: zero out a deterministic pseudo-random subset.
             a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zeros { 0.0 } else { v });
@@ -225,10 +259,28 @@ fn main() {
             &mut rows,
             "t_matmul",
             &shape,
+            "f64",
             reps,
             || ref_t_matmul_into(black_box(&a), black_box(&b), &mut out_ref),
             || ops::t_matmul_into(black_box(&a), black_box(&b), &mut out),
         );
+        // f32 column at the dense and 90%-sparse points only: the dtype win
+        // is about lanes and bandwidth, which the zero-skip sweep already
+        // characterizes in f64.
+        if zeros == 0.0 || zeros == 0.9 {
+            let a32 = a.convert::<f32>();
+            let b32 = b.convert::<f32>();
+            let mut out32: Mat<f32> = Mat::default();
+            sweep_tiers(
+                &mut rows,
+                "t_matmul",
+                &shape,
+                "f32",
+                reps,
+                || ops::t_matmul_into(black_box(&a), black_box(&b), &mut out),
+                || ops::t_matmul_into(black_box(&a32), black_box(&b32), &mut out32),
+            );
+        }
     }
 
     // A·Bᵀ (pairwise row dots, the logits path).
@@ -239,13 +291,27 @@ fn main() {
         let b = Mat::uniform(n, k, 1.0, &mut rng);
         let mut out = Mat::default();
         let mut out_ref = Mat::default();
+        let shape = format!("{m}x{k}·t{n}");
         sweep_tiers(
             &mut rows,
             "matmul_bt",
-            &format!("{m}x{k}·t{n}"),
+            &shape,
+            "f64",
             reps,
             || ref_matmul_bt_into(black_box(&a), black_box(&b), &mut out_ref),
             || ops::matmul_bt_into(black_box(&a), black_box(&b), &mut out),
+        );
+        let a32 = a.convert::<f32>();
+        let b32 = b.convert::<f32>();
+        let mut out32: Mat<f32> = Mat::default();
+        sweep_tiers(
+            &mut rows,
+            "matmul_bt",
+            &shape,
+            "f32",
+            reps,
+            || ops::matmul_bt_into(black_box(&a), black_box(&b), &mut out),
+            || ops::matmul_bt_into(black_box(&a32), black_box(&b32), &mut out32),
         );
     }
 
@@ -262,9 +328,22 @@ fn main() {
             &mut rows,
             "spmm",
             &shape,
+            "f64",
             reps,
             || ref_spmm_into(black_box(&a_tilde), black_box(&x), &mut out_ref),
             || a_tilde.spmm_into(black_box(&x), &mut out),
+        );
+        let sp32 = a_tilde.convert::<f32>();
+        let x32 = x.convert::<f32>();
+        let mut out32: Mat<f32> = Mat::default();
+        sweep_tiers(
+            &mut rows,
+            "spmm",
+            &shape,
+            "f32",
+            reps,
+            || a_tilde.spmm_into(black_box(&x), &mut out),
+            || sp32.spmm_into(black_box(&x32), &mut out32),
         );
     }
 
@@ -277,11 +356,24 @@ fn main() {
             &mut rows,
             "spmv",
             &shape,
+            "f64",
             reps,
             || {
                 black_box(ref_spmv(black_box(&a_tilde), black_box(&x)));
             },
             || a_tilde.spmv_into(black_box(&x), &mut out),
+        );
+        let sp32 = a_tilde.convert::<f32>();
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let mut out32: Vec<f32> = Vec::new();
+        sweep_tiers(
+            &mut rows,
+            "spmv",
+            &shape,
+            "f32",
+            reps,
+            || a_tilde.spmv_into(black_box(&x), &mut out),
+            || sp32.spmv_into(black_box(&x32), &mut out32),
         );
     }
 
@@ -293,9 +385,10 @@ fn main() {
     );
     for r in &rows {
         println!(
-            "{}/{} @ {}: before {:.0} ns, after {:.0} ns, speedup {:.2}x",
+            "{}/{} [{}] @ {}: before {:.0} ns, after {:.0} ns, speedup {:.2}x",
             r.kernel,
             r.shape,
+            r.dtype,
             r.tier,
             r.ns_before,
             r.ns_after,
@@ -315,10 +408,11 @@ fn main() {
     json.push_str("  \"unit\": \"ns_per_call_median\",\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"tier\": \"{}\", \
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"dtype\": \"{}\", \"tier\": \"{}\", \
              \"ns_before\": {:.0}, \"ns_after\": {:.0}, \"speedup\": {:.3}}}{}\n",
             r.kernel,
             r.shape,
+            r.dtype,
             r.tier,
             r.ns_before,
             r.ns_after,

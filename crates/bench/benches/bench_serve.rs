@@ -12,14 +12,19 @@
 //!   subsequent query).
 //! - **serve @ batch ∈ {1, 8, 64, 256}** — the steady-state gathered head
 //!   forward through one `ServingSession`, per-query cost = batch time /
-//!   batch size.
+//!   batch size. Each batch size is timed on an **f64 store and an f32
+//!   store back-to-back** ([`gcon_serve::StoreDtype`]): the f32 rows halve
+//!   the store's memory traffic and double the SIMD lanes of the head GEMM,
+//!   and the report records the per-batch f32-over-f64 speedup alongside
+//!   the usual vs-naive ratio.
 //! - **micro-batched** — end-to-end `BatchQueue` throughput with 4
 //!   submitting threads (includes queueing/wake-up overhead and reports the
 //!   realized mean batch size).
 //!
 //! Every row reports queries/sec plus the speedup over naive; results are
-//! printed, and written machine-readably to `GCON_BENCH_OUT` when set (the
-//! file is overwritten — point each bench at its own path).
+//! printed, and written machine-readably to `BENCH_serve.json` at the
+//! workspace root (override with `GCON_BENCH_OUT` — the file is
+//! overwritten, so point each bench at its own path).
 //! `GCON_BENCH_QUICK=1` shrinks the dataset and rep counts for CI smoke
 //! runs. Thread-scaling caveats of the 1-core dev box apply (see
 //! `crates/bench/README.md`); the naive-vs-batched ratio is dominated by
@@ -29,7 +34,7 @@ use gcon_bench::median_time_ns as time_ns;
 use gcon_core::infer::{public_logits, public_predict};
 use gcon_core::train::train_gcon;
 use gcon_core::{GconConfig, PropagationStep};
-use gcon_serve::{BatchConfig, BatchQueue, ServingMode, ServingModel};
+use gcon_serve::{BatchConfig, BatchQueue, ServingMode, ServingModel, StoreDtype};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -37,6 +42,14 @@ use std::time::{Duration, Instant};
 struct Row {
     label: String,
     ns_per_query: f64,
+}
+
+/// One f64-store vs f32-store pairing at a fixed batch size, timed
+/// back-to-back so box drift cancels out of the ratio.
+struct DtypePair {
+    batch: usize,
+    ns_f64: f64,
+    ns_f32: f64,
 }
 
 fn main() {
@@ -53,15 +66,18 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(7);
+    // Head shape representative of the paper's Table II configs: d1 = 32
+    // over two propagation scales freezes a 64-wide store, so the gathered
+    // head forward is a `batch × 64 × c` GEMM rather than a toy one.
     let config = GconConfig {
         encoder: gcon_core::encoder::EncoderConfig {
-            hidden: 16,
-            d1: 8,
+            hidden: 32,
+            d1: 32,
             epochs: if quick { 20 } else { 60 },
             lr: 0.02,
             weight_decay: 1e-5,
         },
-        steps: vec![PropagationStep::Finite(2)],
+        steps: vec![PropagationStep::Finite(1), PropagationStep::Finite(2)],
         optimizer: gcon_core::model::OptimizerConfig {
             lr: 0.05,
             max_iters: if quick { 100 } else { 400 },
@@ -102,8 +118,13 @@ fn main() {
     });
     println!("  store build (one-time): {:>12.0} ns", build_ns);
 
-    let serving =
-        ServingModel::build(&model, &dataset.graph, &dataset.features, ServingMode::Public);
+    let serving = ServingModel::build_with_dtype(
+        &model,
+        &dataset.graph,
+        &dataset.features,
+        ServingMode::Public,
+        StoreDtype::F64,
+    );
     // Sanity: the store answers exactly what the naive path answers.
     assert_eq!(
         serving.predict_all(),
@@ -111,16 +132,44 @@ fn main() {
         "serving diverged from public_predict — equivalence broken"
     );
 
-    // Steady-state gathered head forwards at fixed batch sizes.
+    // The same store frozen in f32: half the bytes, double the GEMM lanes.
+    // The drift contract is pinned by tests; here we only sanity-check that
+    // predictions survive the quantization on this trained model.
+    let serving32 = ServingModel::build_with_dtype(
+        &model,
+        &dataset.graph,
+        &dataset.features,
+        ServingMode::Public,
+        StoreDtype::F32,
+    );
+    assert_eq!(
+        serving32.predict_all(),
+        serving.predict_all(),
+        "f32 store flipped a prediction on the bench model — drift beyond contract"
+    );
+
+    // Steady-state gathered head forwards at fixed batch sizes, each batch
+    // size timed on the f64 store then the f32 store back-to-back.
     let mut session = serving.session();
+    let mut session32 = serving32.session();
     let mut qrng = StdRng::seed_from_u64(99);
+    let mut pairs: Vec<DtypePair> = Vec::new();
     for batch in [1usize, 8, 64, 256] {
         let nodes: Vec<usize> = (0..batch).map(|_| qrng.gen_range(0..n)).collect();
         let ns = time_ns(50, || {
             let logits = session.logits_batch(&nodes);
             sink ^= logits.rows();
         });
+        let ns32 = time_ns(50, || {
+            let logits = session32.logits_batch(&nodes);
+            sink ^= logits.rows();
+        });
         rows.push(Row { label: format!("serve@batch={batch}"), ns_per_query: ns / batch as f64 });
+        rows.push(Row {
+            label: format!("serve@batch={batch} f32-store"),
+            ns_per_query: ns32 / batch as f64,
+        });
+        pairs.push(DtypePair { batch, ns_f64: ns, ns_f32: ns32 });
     }
 
     // Micro-batcher end to end: 4 threads × `per_thread` queries each.
@@ -163,23 +212,48 @@ fn main() {
             naive_ns / row.ns_per_query
         );
     }
+    println!(
+        "  {:<44} {:>14} {:>14} {:>12}",
+        "f32 store vs f64 store", "f64 ns", "f32 ns", "f32 gain"
+    );
+    for p in &pairs {
+        println!(
+            "  {:<44} {:>14.0} {:>14.0} {:>11.2}x",
+            format!("head forward @ batch={}", p.batch),
+            p.ns_f64,
+            p.ns_f32,
+            p.ns_f64 / p.ns_f32.max(1.0)
+        );
+    }
     std::hint::black_box(sink);
 
-    if let Ok(out_path) = std::env::var("GCON_BENCH_OUT") {
-        let mut json = String::from("{\n  \"bench\": \"serve\",\n");
-        json.push_str(&format!("  \"nodes\": {n},\n  \"quick\": {quick},\n"));
-        json.push_str("  \"unit\": \"ns_per_query_median\",\n  \"paths\": [\n");
-        for (i, row) in rows.iter().enumerate() {
-            json.push_str(&format!(
-                "    {{ \"path\": \"{}\", \"ns_per_query\": {:.0}, \"speedup_vs_naive\": {:.1} }}{}\n",
-                row.label,
-                row.ns_per_query,
-                naive_ns / row.ns_per_query,
-                if i + 1 == rows.len() { "" } else { "," }
-            ));
-        }
-        json.push_str("  ]\n}\n");
-        std::fs::write(&out_path, &json).expect("failed to write bench_serve JSON");
-        println!("  wrote {out_path}");
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n");
+    json.push_str(&format!("  \"nodes\": {n},\n  \"quick\": {quick},\n"));
+    json.push_str("  \"unit\": \"ns_per_query_median\",\n  \"paths\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"path\": \"{}\", \"ns_per_query\": {:.0}, \"speedup_vs_naive\": {:.1} }}{}\n",
+            row.label,
+            row.ns_per_query,
+            naive_ns / row.ns_per_query,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
     }
+    json.push_str("  ],\n  \"f32_store\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"batch\": {}, \"ns_f64\": {:.0}, \"ns_f32\": {:.0}, \
+             \"speedup_vs_f64\": {:.3} }}{}\n",
+            p.batch,
+            p.ns_f64,
+            p.ns_f32,
+            p.ns_f64 / p.ns_f32.max(1.0),
+            if i + 1 == pairs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out_path = std::env::var("GCON_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("failed to write BENCH_serve.json");
+    println!("  wrote {out_path}");
 }

@@ -1,6 +1,14 @@
 //! Compressed sparse row matrices and the threaded sparse×dense product that
 //! implements every graph-convolution step in the workspace.
 //!
+//! [`Csr`] is generic over the element dtype through [`CsrScalar`] (an
+//! extension of `gcon_linalg`'s sealed [`Scalar`] — f64 + f32, with f64 as
+//! the default type parameter so `Csr` written bare is the double-precision
+//! matrix the training pipeline uses). As in `gcon-linalg`,
+//! `#[target_feature]` cannot apply to generic functions, so each dtype gets
+//! its own concrete dispatch stack around a shared `#[inline(always)]`
+//! generic body; the [`CsrScalar`] hooks bind the generic methods to them.
+//!
 //! Every sparse product — [`Csr::spmv`]/[`Csr::spmv_t`],
 //! [`Csr::spmm`]/[`Csr::spmm_into`] and the transposed [`Csr::spmm_t_into`]
 //! — increments a process-wide counter exposed by [`spmm_ops_performed`].
@@ -9,7 +17,8 @@
 //! propagation and for the block CGNR solver both read deltas of this
 //! counter.
 
-use gcon_linalg::Mat;
+use gcon_linalg::{Mat, Scalar};
+use gcon_runtime::KernelTier;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -24,25 +33,75 @@ pub fn spmm_ops_performed() -> usize {
     SPMM_OPS.load(Ordering::Relaxed) as usize
 }
 
-/// A sparse matrix in compressed sparse row format.
+/// Mean nonzeros per row below which the spmv kernel caps its dispatch at
+/// the AVX2 compilation even when the process tier is AVX-512.
+///
+/// The spmv reduction is gather-bound (`x[col]` per nonzero). In the
+/// small-row regime LLVM's AVX-512 gathers measured consistently ~35%
+/// slower on the dev box (23–26 µs vs 16–18 µs over three `bench_linalg`
+/// runs at n=2000, nnz=22000 — i.e. ~11 nnz/row); the wider gathers only
+/// amortize their startup cost once rows are long enough to keep the
+/// pipeline full. The crossover sits well above typical graph adjacency
+/// rows, so propagation workloads always take the AVX2 compilation, while
+/// long-row sparse operators (dense-ish rows from solver preconditioners)
+/// keep the AVX-512 one.
+pub const SPMV_AVX512_MIN_MEAN_NNZ: f64 = 64.0;
+
+/// Shape-aware tier resolution for the spmv kernel: caps `requested` at
+/// [`KernelTier::Avx2`] when the mean row length is below
+/// [`SPMV_AVX512_MIN_MEAN_NNZ`] (the gather-bound small-row regime — see
+/// the constant's docs for the measurements).
+///
+/// A pure function of (tier, shape) — never of the data values or the
+/// thread partition — and all tiers compute byte-identical results, so the
+/// gate affects speed only. Kept as a free function (alongside
+/// `gcon_runtime::resolve_tier`, which resolves the *requested* tier
+/// against the CPU) so the decision is unit-testable without constructing
+/// matrices.
+pub fn resolve_spmv_tier(requested: KernelTier, mean_row_nnz: f64) -> KernelTier {
+    match requested {
+        KernelTier::Avx512 if mean_row_nnz < SPMV_AVX512_MIN_MEAN_NNZ => KernelTier::Avx2,
+        t => t,
+    }
+}
+
+/// The element dtype of a [`Csr`] matrix: `gcon_linalg`'s sealed [`Scalar`]
+/// (f64 + f32) extended with the CSR kernel hooks.
+///
+/// Like the dense kernel hooks on [`Scalar`], these bind the generic `Csr`
+/// methods to concrete per-dtype functions compiled through
+/// [`gcon_runtime::tier_dispatch!`] — implementation plumbing, not a
+/// user-facing API; call the `Csr` methods instead.
+pub trait CsrScalar: Scalar {
+    /// Tier-dispatched row-block stage of [`Csr::spmm_into`].
+    fn kernel_spmm_block(sp: &Csr<Self>, b: &Mat<Self>, out: &mut [Self], start: usize, end: usize);
+    /// Shape-aware tier-dispatched row-reduction stage of
+    /// [`Csr::spmv_into`] (see [`resolve_spmv_tier`]).
+    fn kernel_spmv_fill(sp: &Csr<Self>, x: &[Self], out: &mut [Self]);
+    /// Tier-dispatched scatter stage of [`Csr::spmv_t_into`].
+    fn kernel_spmv_t_fill(sp: &Csr<Self>, x: &[Self], out: &mut [Self]);
+}
+
+/// A sparse matrix in compressed sparse row format, generic over the
+/// element [`CsrScalar`] (default `f64`).
 ///
 /// Used for the normalized adjacency `Ã` so that one propagation step
 /// `Z ← Ã Z` costs O(nnz · d) instead of O(n² · d). The paper never needs the
 /// dense `R_m` (Eq. 9) explicitly — `gcon-core` carries `Z_m = R_m X` through
 /// the recursion `Z_m = (1-α) Ã Z_{m-1} + α X`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct Csr {
+pub struct Csr<S: CsrScalar = f64> {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
-    values: Vec<f64>,
+    values: Vec<S>,
 }
 
-impl Csr {
+impl<S: CsrScalar> Csr<S> {
     /// Builds a CSR matrix from per-row `(column, value)` pairs. Pairs within
     /// a row need not be sorted; duplicates are summed.
-    pub fn from_row_entries(rows: usize, cols: usize, row_entries: Vec<Vec<(u32, f64)>>) -> Self {
+    pub fn from_row_entries(rows: usize, cols: usize, row_entries: Vec<Vec<(u32, S)>>) -> Self {
         assert_eq!(row_entries.len(), rows, "from_row_entries: row count mismatch");
         let mut indptr = Vec::with_capacity(rows + 1);
         let mut indices = Vec::new();
@@ -73,7 +132,7 @@ impl Csr {
             cols: n,
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
-            values: vec![1.0; n],
+            values: vec![S::ONE; n],
         }
     }
 
@@ -95,30 +154,41 @@ impl Csr {
         self.values.len()
     }
 
+    /// Mean nonzeros per row (0 for an empty matrix) — the shape statistic
+    /// the spmv tier gate keys on (see [`resolve_spmv_tier`]).
+    #[inline]
+    pub fn mean_row_nnz(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.rows as f64
+        }
+    }
+
     /// `(columns, values)` of row `i`.
     #[inline]
-    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+    pub fn row(&self, i: usize) -> (&[u32], &[S]) {
         let (s, e) = (self.indptr[i], self.indptr[i + 1]);
         (&self.indices[s..e], &self.values[s..e])
     }
 
     /// Element lookup (O(log nnz_row)).
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         let (cols, vals) = self.row(i);
         match cols.binary_search(&(j as u32)) {
             Ok(pos) => vals[pos],
-            Err(_) => 0.0,
+            Err(_) => S::ZERO,
         }
     }
 
-    /// Sum of each row.
-    pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows).map(|i| self.row(i).1.iter().sum()).collect()
+    /// Sum of each row (sequential accumulation per row).
+    pub fn row_sums(&self) -> Vec<S> {
+        (0..self.rows).map(|i| self.row(i).1.iter().fold(S::ZERO, |acc, &v| acc + v)).collect()
     }
 
     /// Sum of each column.
-    pub fn col_sums(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+    pub fn col_sums(&self) -> Vec<S> {
+        let mut out = vec![S::ZERO; self.cols];
         for (&j, &v) in self.indices.iter().zip(&self.values) {
             out[j as usize] += v;
         }
@@ -126,7 +196,7 @@ impl Csr {
     }
 
     /// Dense `self · x` for a vector.
-    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+    pub fn spmv(&self, x: &[S]) -> Vec<S> {
         let mut out = Vec::new();
         self.spmv_into(x, &mut out);
         out
@@ -139,19 +209,19 @@ impl Csr {
     /// Each row's reduction is unrolled four nonzeros per pass with
     /// independent accumulators; the pairing depends only on the row's
     /// nonzero count, so results are deterministic.
-    pub fn spmv_into(&self, x: &[f64], out: &mut Vec<f64>) {
+    pub fn spmv_into(&self, x: &[S], out: &mut Vec<S>) {
         assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         out.clear();
-        out.resize(self.rows, 0.0);
-        spmv_fill(self, x, out);
+        out.resize(self.rows, S::ZERO);
+        S::kernel_spmv_fill(self, x, out);
     }
 
     /// Dense `selfᵀ · x` for a vector, applied as an O(nnz) scatter over the
     /// rows of `self` — no transposed structure required. For repeated
     /// transposed products on dense blocks, precompute [`Csr::transpose`]
     /// and use the pooled [`Csr::spmm_into`] instead.
-    pub fn spmv_t(&self, x: &[f64]) -> Vec<f64> {
+    pub fn spmv_t(&self, x: &[S]) -> Vec<S> {
         let mut out = Vec::new();
         self.spmv_t_into(x, &mut out);
         out
@@ -160,17 +230,17 @@ impl Csr {
     /// Dense `selfᵀ · x` written into `out` (resized to `self.cols()`,
     /// backing allocation reused) — the allocation-free twin of
     /// [`Csr::spmv_t`].
-    pub fn spmv_t_into(&self, x: &[f64], out: &mut Vec<f64>) {
+    pub fn spmv_t_into(&self, x: &[S], out: &mut Vec<S>) {
         assert_eq!(x.len(), self.rows, "spmv_t: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         out.clear();
-        out.resize(self.cols, 0.0);
-        spmv_t_fill(self, x, out);
+        out.resize(self.cols, S::ZERO);
+        S::kernel_spmv_t_fill(self, x, out);
     }
 
     /// Dense `self · B` (sparse × dense), parallelized over row blocks on
     /// the shared `gcon-runtime` pool.
-    pub fn spmm(&self, b: &Mat) -> Mat {
+    pub fn spmm(&self, b: &Mat<S>) -> Mat<S> {
         // `spmm_into` shapes and zero-fills; starting empty avoids a
         // redundant full-size zero write.
         let mut out = Mat::default();
@@ -184,14 +254,14 @@ impl Csr {
     /// This is the hot kernel of every propagation step; the `_into` form
     /// lets the APPR recursion ping-pong between two long-lived buffers
     /// instead of allocating a fresh matrix per step.
-    pub fn spmm_into(&self, b: &Mat, out: &mut Mat) {
+    pub fn spmm_into(&self, b: &Mat<S>, out: &mut Mat<S>) {
         assert_eq!(self.cols, b.rows(), "spmm: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
         let d = b.cols();
         out.reset_to_zeros(self.rows, d);
         let work = self.nnz() * d;
         gcon_runtime::parallel_rows(out.as_mut_slice(), self.rows, d, work, |block, start, end| {
-            spmm_block(self, b, block, start, end);
+            S::kernel_spmm_block(self, b, block, start, end);
         });
     }
 
@@ -202,7 +272,7 @@ impl Csr {
     /// CGNR iteration) should precompute this once and call [`Csr::spmm_into`]
     /// on the result — that runs the same pooled row-block kernel as the
     /// forward product instead of an O(nnz) scatter per application.
-    pub fn transpose(&self) -> Csr {
+    pub fn transpose(&self) -> Csr<S> {
         let mut indptr = vec![0usize; self.cols + 1];
         for &j in &self.indices {
             indptr[j as usize + 1] += 1;
@@ -212,7 +282,7 @@ impl Csr {
         }
         let mut next = indptr.clone();
         let mut indices = vec![0u32; self.nnz()];
-        let mut values = vec![0.0; self.nnz()];
+        let mut values = vec![S::ZERO; self.nnz()];
         for i in 0..self.rows {
             let (cols, vals) = self.row(i);
             for (&j, &v) in cols.iter().zip(vals) {
@@ -233,12 +303,25 @@ impl Csr {
     /// (iterative solvers) should hold [`Csr::transpose`] themselves and use
     /// [`Csr::spmm_into`] directly, which is what the PPR block operator in
     /// `gcon-core` does.
-    pub fn spmm_t_into(&self, b: &Mat, out: &mut Mat) {
+    pub fn spmm_t_into(&self, b: &Mat<S>, out: &mut Mat<S>) {
         self.transpose().spmm_into(b, out);
     }
 
+    /// Element-wise conversion to another [`CsrScalar`] (structure shared
+    /// semantics: indices/indptr copied, values converted through `f64`).
+    /// The sparse counterpart of `Mat::convert`.
+    pub fn convert<T: CsrScalar>(&self) -> Csr<T> {
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+
     /// Converts to a dense matrix (small graphs / tests only).
-    pub fn to_dense(&self) -> Mat {
+    pub fn to_dense(&self) -> Mat<S> {
         let mut m = Mat::zeros(self.rows, self.cols);
         for i in 0..self.rows {
             let (cols, vals) = self.row(i);
@@ -250,23 +333,16 @@ impl Csr {
     }
 }
 
-gcon_runtime::tier_dispatch! {
-    /// Computes rows `[start, end)` of `sp · B` into the pre-zeroed local
-    /// block `out` — see [`spmm_block_impl`].
-    fn spmm_block / spmm_block_avx2 / spmm_block_avx512 / spmm_block_impl(
-        sp: &Csr, b: &Mat, out: &mut [f64], start: usize, end: usize)
-}
-
 /// The `spmm` kernel body. Four nonzeros of a CSR row are consumed per pass
 /// over the dense output row: one read-modify-write of `out` carries four
 /// scaled `B` rows (independent accumulators per column, so LLVM vectorizes
-/// across the feature dimension and the four products overlap). The 4-group
-/// structure depends only on the row's nonzero count — never on the thread
-/// partition, which splits whole rows — so results are byte-identical
-/// across `GCON_THREADS` values (and across dispatch tiers, which compile
-/// this same body).
+/// across the feature dimension — at the dtype's full lane width — and the
+/// four products overlap). The 4-group structure depends only on the row's
+/// nonzero count — never on the thread partition, which splits whole rows —
+/// so results are byte-identical across `GCON_THREADS` values (and across
+/// dispatch tiers, which compile this same body).
 #[inline(always)]
-fn spmm_block_impl(sp: &Csr, b: &Mat, out: &mut [f64], start: usize, end: usize) {
+fn spmm_block_body<S: CsrScalar>(sp: &Csr<S>, b: &Mat<S>, out: &mut [S], start: usize, end: usize) {
     let d = b.cols();
     for i in start..end {
         let (cols, vals) = sp.row(i);
@@ -291,33 +367,15 @@ fn spmm_block_impl(sp: &Csr, b: &Mat, out: &mut [f64], start: usize, end: usize)
     }
 }
 
-gcon_runtime::tier_dispatch! {
-    max_avx2
-    /// Row-reduction stage of [`Csr::spmv_into`] (writes `sp · x` into the
-    /// pre-sized `out`) — see [`spmv_fill_impl`].
-    ///
-    /// Capped at the AVX2 compilation: the reduction is gather-bound
-    /// (`x[col]` per nonzero), and with AVX-512 enabled LLVM vectorizes it
-    /// with AVX-512 gathers that measured consistently ~35% slower on the
-    /// dev box before this cap (23–26 µs vs 16–18 µs over three
-    /// `bench_linalg` runs at n=2000/nnz=22000; with the cap in place the
-    /// committed `BENCH_linalg.json` spmv rows time this same AVX2 build
-    /// under both tier labels, so any spread there is measurement noise).
-    /// Results are identical across compilations, so the cap is invisible
-    /// to the conformance suite.
-    fn spmv_fill / spmv_fill_avx2 / spmv_fill_impl(
-        sp: &Csr, x: &[f64], out: &mut [f64])
-}
-
 /// The `spmv` kernel body: each row reduces four nonzeros per pass with
 /// independent accumulators; the pairing depends only on the row's nonzero
 /// count, so results are deterministic.
 #[inline(always)]
-fn spmv_fill_impl(sp: &Csr, x: &[f64], out: &mut [f64]) {
+fn spmv_fill_body<S: CsrScalar>(sp: &Csr<S>, x: &[S], out: &mut [S]) {
     for (i, o) in out.iter_mut().enumerate() {
         let (cols, vals) = sp.row(i);
         let main = cols.len() - cols.len() % 4;
-        let mut acc = [0.0; 4];
+        let mut acc = [S::ZERO; 4];
         for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
             for l in 0..4 {
                 acc[l] += cv[l] * x[cj[l] as usize];
@@ -331,26 +389,134 @@ fn spmv_fill_impl(sp: &Csr, x: &[f64], out: &mut [f64]) {
     }
 }
 
-gcon_runtime::tier_dispatch! {
-    /// Scatter stage of [`Csr::spmv_t_into`] (accumulates `spᵀ · x` into the
-    /// pre-zeroed `out`) — see [`spmv_t_fill_impl`].
-    fn spmv_t_fill / spmv_t_fill_avx2 / spmv_t_fill_avx512 / spmv_t_fill_impl(
-        sp: &Csr, x: &[f64], out: &mut [f64])
-}
-
 /// The `spmv_t` kernel body: an O(nnz) row-major scatter that skips zero
 /// entries of `x`; the accumulation order per output element is the row
 /// order of `sp`, fixed for a given input.
 #[inline(always)]
-fn spmv_t_fill_impl(sp: &Csr, x: &[f64], out: &mut [f64]) {
+fn spmv_t_fill_body<S: CsrScalar>(sp: &Csr<S>, x: &[S], out: &mut [S]) {
     for (i, &xi) in x.iter().enumerate() {
-        if xi == 0.0 {
+        if xi == S::ZERO {
             continue;
         }
         let (cols, vals) = sp.row(i);
         for (&j, &v) in cols.iter().zip(vals) {
             out[j as usize] += v * xi;
         }
+    }
+}
+
+// Per-dtype dispatch stacks. spmm and spmv_t go through the standard
+// three-tier macro; spmv hand-rolls the same dispatch shape so it can route
+// through `resolve_spmv_tier` (the macro's cap arm is unconditional).
+
+gcon_runtime::tier_dispatch! {
+    /// f64 row-block stage of [`Csr::spmm_into`] — see [`spmm_block_body`].
+    fn spmm_block_f64 / spmm_block_f64_avx2 / spmm_block_f64_avx512 / spmm_block_f64_impl(
+        sp: &Csr<f64>, b: &Mat<f64>, out: &mut [f64], start: usize, end: usize)
+}
+
+#[inline(always)]
+fn spmm_block_f64_impl(sp: &Csr<f64>, b: &Mat<f64>, out: &mut [f64], start: usize, end: usize) {
+    spmm_block_body(sp, b, out, start, end)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 row-block stage of [`Csr::spmm_into`] — see [`spmm_block_body`].
+    fn spmm_block_f32 / spmm_block_f32_avx2 / spmm_block_f32_avx512 / spmm_block_f32_impl(
+        sp: &Csr<f32>, b: &Mat<f32>, out: &mut [f32], start: usize, end: usize)
+}
+
+#[inline(always)]
+fn spmm_block_f32_impl(sp: &Csr<f32>, b: &Mat<f32>, out: &mut [f32], start: usize, end: usize) {
+    spmm_block_body(sp, b, out, start, end)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f64 scatter stage of [`Csr::spmv_t_into`] — see [`spmv_t_fill_body`].
+    fn spmv_t_fill_f64 / spmv_t_fill_f64_avx2 / spmv_t_fill_f64_avx512 / spmv_t_fill_f64_impl(
+        sp: &Csr<f64>, x: &[f64], out: &mut [f64])
+}
+
+#[inline(always)]
+fn spmv_t_fill_f64_impl(sp: &Csr<f64>, x: &[f64], out: &mut [f64]) {
+    spmv_t_fill_body(sp, x, out)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 scatter stage of [`Csr::spmv_t_into`] — see [`spmv_t_fill_body`].
+    fn spmv_t_fill_f32 / spmv_t_fill_f32_avx2 / spmv_t_fill_f32_avx512 / spmv_t_fill_f32_impl(
+        sp: &Csr<f32>, x: &[f32], out: &mut [f32])
+}
+
+#[inline(always)]
+fn spmv_t_fill_f32_impl(sp: &Csr<f32>, x: &[f32], out: &mut [f32]) {
+    spmv_t_fill_body(sp, x, out)
+}
+
+/// Hand-written spmv dispatch (per dtype): the same three-tier shape as
+/// [`gcon_runtime::tier_dispatch!`], but the effective tier runs through
+/// [`resolve_spmv_tier`] first so the gather-bound small-row regime caps at
+/// the AVX2 compilation. All compilations produce identical bytes, so the
+/// gate is invisible to the conformance suite.
+macro_rules! spmv_dispatch {
+    ($name:ident / $avx2:ident / $avx512:ident, $dtype:ty) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        fn $avx2(sp: &Csr<$dtype>, x: &[$dtype], out: &mut [$dtype]) {
+            spmv_fill_body(sp, x, out)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")]
+        fn $avx512(sp: &Csr<$dtype>, x: &[$dtype], out: &mut [$dtype]) {
+            spmv_fill_body(sp, x, out)
+        }
+
+        fn $name(sp: &Csr<$dtype>, x: &[$dtype], out: &mut [$dtype]) {
+            #[cfg(target_arch = "x86_64")]
+            match resolve_spmv_tier(gcon_runtime::kernel_tier(), sp.mean_row_nnz()) {
+                // SAFETY: `kernel_tier()` never exceeds the detected feature
+                // set, and `resolve_spmv_tier` only ever lowers the tier, so
+                // the CPU supports every feature the callee is compiled with.
+                KernelTier::Avx512 => return unsafe { $avx512(sp, x, out) },
+                KernelTier::Avx2 => return unsafe { $avx2(sp, x, out) },
+                KernelTier::Scalar => {}
+            }
+            spmv_fill_body(sp, x, out)
+        }
+    };
+}
+
+spmv_dispatch!(spmv_fill_f64 / spmv_fill_f64_avx2 / spmv_fill_f64_avx512, f64);
+spmv_dispatch!(spmv_fill_f32 / spmv_fill_f32_avx2 / spmv_fill_f32_avx512, f32);
+
+impl CsrScalar for f64 {
+    #[inline]
+    fn kernel_spmm_block(sp: &Csr<f64>, b: &Mat<f64>, out: &mut [f64], start: usize, end: usize) {
+        spmm_block_f64(sp, b, out, start, end)
+    }
+    #[inline]
+    fn kernel_spmv_fill(sp: &Csr<f64>, x: &[f64], out: &mut [f64]) {
+        spmv_fill_f64(sp, x, out)
+    }
+    #[inline]
+    fn kernel_spmv_t_fill(sp: &Csr<f64>, x: &[f64], out: &mut [f64]) {
+        spmv_t_fill_f64(sp, x, out)
+    }
+}
+
+impl CsrScalar for f32 {
+    #[inline]
+    fn kernel_spmm_block(sp: &Csr<f32>, b: &Mat<f32>, out: &mut [f32], start: usize, end: usize) {
+        spmm_block_f32(sp, b, out, start, end)
+    }
+    #[inline]
+    fn kernel_spmv_fill(sp: &Csr<f32>, x: &[f32], out: &mut [f32]) {
+        spmv_fill_f32(sp, x, out)
+    }
+    #[inline]
+    fn kernel_spmv_t_fill(sp: &Csr<f32>, x: &[f32], out: &mut [f32]) {
+        spmv_t_fill_f32(sp, x, out)
     }
 }
 
@@ -396,6 +562,71 @@ mod tests {
         let m = sample();
         let x = [1.0, 2.0, 3.0];
         assert_eq!(m.spmv_t(&x), m.transpose().spmv(&x));
+    }
+
+    /// The shape gate is a pure function: AVX-512 requests are lowered to
+    /// AVX2 below the crossover and kept above it; lower tiers pass through
+    /// untouched at any shape.
+    #[test]
+    fn resolve_spmv_tier_gates_on_mean_row_nnz() {
+        use KernelTier::*;
+        // Below the crossover: avx512 is capped, others unchanged.
+        for &nnz in &[0.0, 1.0, 11.0, SPMV_AVX512_MIN_MEAN_NNZ - 1e-9] {
+            assert_eq!(resolve_spmv_tier(Avx512, nnz), Avx2, "nnz={nnz}");
+            assert_eq!(resolve_spmv_tier(Avx2, nnz), Avx2);
+            assert_eq!(resolve_spmv_tier(Scalar, nnz), Scalar);
+        }
+        // At/above the crossover: everything passes through.
+        for &nnz in &[SPMV_AVX512_MIN_MEAN_NNZ, 100.0, 1e6] {
+            assert_eq!(resolve_spmv_tier(Avx512, nnz), Avx512, "nnz={nnz}");
+            assert_eq!(resolve_spmv_tier(Avx2, nnz), Avx2);
+            assert_eq!(resolve_spmv_tier(Scalar, nnz), Scalar);
+        }
+    }
+
+    #[test]
+    fn mean_row_nnz_statistic() {
+        assert_eq!(sample().mean_row_nnz(), 4.0 / 3.0);
+        let empty: Csr = Csr::from_row_entries(0, 0, vec![]);
+        assert_eq!(empty.mean_row_nnz(), 0.0);
+    }
+
+    /// spmv results are identical on either side of the tier gate: a
+    /// long-row matrix (above the crossover, AVX-512 eligible) and its
+    /// row-split equivalent (below it) agree with the dense reference.
+    #[test]
+    fn spmv_agrees_across_the_tier_gate_boundary() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let cols = 400;
+        let nnz_per_row = SPMV_AVX512_MIN_MEAN_NNZ as usize + 8;
+        // One long row (above crossover) vs the same entries split over
+        // many short rows (below crossover).
+        let entries: Vec<(u32, f64)> = (0..nnz_per_row as u32 * 4)
+            .map(|j| (j % cols as u32, rng.gen_range(-1.0..1.0)))
+            .collect();
+        let long = Csr::from_row_entries(
+            4,
+            cols,
+            entries.chunks(nnz_per_row).map(|c| c.to_vec()).collect(),
+        );
+        assert!(long.mean_row_nnz() >= SPMV_AVX512_MIN_MEAN_NNZ);
+        let short = Csr::from_row_entries(
+            32,
+            cols,
+            entries.chunks(entries.len() / 32).map(|c| c.to_vec()).collect(),
+        );
+        assert!(short.mean_row_nnz() < SPMV_AVX512_MIN_MEAN_NNZ);
+        let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for sp in [&long, &short] {
+            let y = sp.spmv(&x);
+            let dense = sp.to_dense();
+            for (i, &yi) in y.iter().enumerate() {
+                let slow: f64 = (0..cols).map(|j| dense.get(i, j) * x[j]).sum();
+                assert!((yi - slow).abs() < 1e-10, "row {i}: {yi} vs {slow}");
+            }
+        }
     }
 
     /// The `_into` twins reuse a stale buffer of the wrong length and still
@@ -457,11 +688,50 @@ mod tests {
             }
         }
         let sp = Csr::from_row_entries(40, 40, entries);
-        let b = Mat::uniform(40, 17, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(40, 17, 1.0, &mut rng);
         let fast = sp.spmm(&b);
         let slow = gcon_linalg::ops::matmul(&sp.to_dense(), &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
             assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// The f32 CSR kernels (spmm, spmv, spmv_t) match the f64 path widened
+    /// within f32 tolerance, and the converted structure is shared.
+    #[test]
+    fn f32_sparse_kernels_match_f64_within_tolerance() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 50;
+        let mut entries: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for row in entries.iter_mut() {
+            for j in 0..n as u32 {
+                if rng.gen::<f64>() < 0.2 {
+                    row.push((j, rng.gen_range(-1.0..1.0)));
+                }
+            }
+        }
+        let sp64 = Csr::from_row_entries(n, n, entries);
+        let sp32: Csr<f32> = sp64.convert();
+        assert_eq!(sp32.nnz(), sp64.nnz());
+        assert_eq!((sp32.rows(), sp32.cols()), (sp64.rows(), sp64.cols()));
+
+        let b64: Mat = Mat::uniform(n, 9, 1.0, &mut rng);
+        let b32 = b64.convert::<f32>();
+        let y64 = sp64.spmm(&b64);
+        let y32 = sp32.spmm(&b32);
+        for (x32, x64) in y32.as_slice().iter().zip(y64.as_slice()) {
+            assert!((*x32 as f64 - x64).abs() < 1e-4, "{x32} vs {x64}");
+        }
+
+        let x64v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x32v: Vec<f32> = x64v.iter().map(|&v| v as f32).collect();
+        for (a, b) in sp32.spmv(&x32v).iter().zip(sp64.spmv(&x64v)) {
+            assert!((*a as f64 - b).abs() < 1e-4);
+        }
+        for (a, b) in sp32.spmv_t(&x32v).iter().zip(sp64.spmv_t(&x64v)) {
+            assert!((*a as f64 - b).abs() < 1e-4);
         }
     }
 
@@ -480,7 +750,7 @@ mod tests {
             }
         }
         let sp = Csr::from_row_entries(n, n, entries);
-        let b = Mat::uniform(n, 64, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(n, 64, 1.0, &mut rng);
         let fast = sp.spmm(&b);
         let slow = gcon_linalg::ops::matmul(&sp.to_dense(), &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -491,7 +761,7 @@ mod tests {
     #[test]
     fn identity_spmm_is_neutral() {
         let b = Mat::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
-        let i5 = Csr::eye(5);
+        let i5: Csr = Csr::eye(5);
         assert_eq!(i5.spmm(&b), b);
     }
 
@@ -540,7 +810,7 @@ mod tests {
             }
         }
         let sp = Csr::from_row_entries(n, n, entries);
-        let b = Mat::uniform(n, 7, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(n, 7, 1.0, &mut rng);
         let mut fast = Mat::default();
         sp.spmm_t_into(&b, &mut fast);
         let slow = gcon_linalg::ops::matmul(&sp.to_dense().transpose(), &b);

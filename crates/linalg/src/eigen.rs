@@ -231,7 +231,7 @@ mod tests {
     fn eigenvectors_are_orthonormal_and_reconstruct() {
         let mut rng = StdRng::seed_from_u64(11);
         for n in [2usize, 4, 7, 10] {
-            let g = Mat::gaussian(n, n, 1.0, &mut rng);
+            let g: Mat = Mat::gaussian(n, n, 1.0, &mut rng);
             // Symmetrize.
             let a = Mat::from_fn(n, n, |i, j| 0.5 * (g.get(i, j) + g.get(j, i)));
             let e = jacobi_eigen(&a, 1e-13);
@@ -259,7 +259,7 @@ mod tests {
     #[test]
     fn eigenvalues_sorted_non_increasing() {
         let mut rng = StdRng::seed_from_u64(23);
-        let g = Mat::gaussian(6, 6, 1.0, &mut rng);
+        let g: Mat = Mat::gaussian(6, 6, 1.0, &mut rng);
         let a = Mat::from_fn(6, 6, |i, j| 0.5 * (g.get(i, j) + g.get(j, i)));
         let e = jacobi_eigen(&a, 1e-12);
         for w in e.values.windows(2) {
@@ -321,7 +321,7 @@ mod tests {
         // engine room). Build one by normalizing random positive rows.
         let mut rng = StdRng::seed_from_u64(3);
         let n = 8;
-        let mut a = Mat::uniform(n, n, 1.0, &mut rng);
+        let mut a: Mat = Mat::uniform(n, n, 1.0, &mut rng);
         a.map_inplace(|v| v.abs() + 0.01);
         for i in 0..n {
             let s: f64 = a.row(i).iter().sum();

@@ -1,30 +1,38 @@
 //! The dense row-major matrix type.
 
+use crate::scalar::Scalar;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A dense row-major `rows × cols` matrix of `f64`.
+/// A dense row-major `rows × cols` matrix, generic over the element
+/// [`Scalar`] (default `f64`, so `Mat` written without a parameter is the
+/// double-precision matrix the rest of the workspace trains with; `Mat<f32>`
+/// is the half-width serving-store variant).
 ///
-/// Row-major layout means `self.row(i)` is a contiguous `&[f64]`, which is the
+/// Row-major layout means `self.row(i)` is a contiguous `&[S]`, which is the
 /// access pattern used by graph convolution (`Z[i] = Σ_j Ã_ij X[j]`), loss
 /// evaluation (per-node dot products `z_iᵀ θ_j`), and the noise/regularizer
 /// terms of the perturbed objective (Eq. 13 of the paper).
+///
+/// The random constructors ([`Mat::uniform`], [`Mat::gaussian`]) always
+/// sample in `f64` and narrow via [`Scalar::from_f64`], so a seeded RNG
+/// produces the same stream regardless of the element type.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
-pub struct Mat {
+pub struct Mat<S: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Mat {
+impl<S: Scalar> Mat<S> {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self { rows, cols, data: vec![S::ZERO; rows * cols] }
     }
 
     /// Creates a matrix filled with `value`.
-    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn full(rows: usize, cols: usize, value: S) -> Self {
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 
@@ -32,7 +40,7 @@ impl Mat {
     pub fn eye(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.set(i, i, 1.0);
+            m.set(i, i, S::ONE);
         }
         m
     }
@@ -41,7 +49,7 @@ impl Mat {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -52,7 +60,7 @@ impl Mat {
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -63,7 +71,7 @@ impl Mat {
     }
 
     /// Builds a matrix from nested row slices (test convenience).
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[S]]) -> Self {
         let r = rows.len();
         let c = if r == 0 { 0 } else { rows[0].len() };
         let mut data = Vec::with_capacity(r * c);
@@ -74,15 +82,19 @@ impl Mat {
         Self { rows: r, cols: c, data }
     }
 
-    /// Fills a matrix with i.i.d. samples from `U(-scale, scale)`.
+    /// Fills a matrix with i.i.d. samples from `U(-scale, scale)`, sampled
+    /// in `f64` (identical RNG stream for every element type).
     pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f64, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+        let data = (0..rows * cols).map(|_| S::from_f64(rng.gen_range(-scale..scale))).collect();
         Self { rows, cols, data }
     }
 
-    /// Fills a matrix with i.i.d. standard-normal samples scaled by `std`.
+    /// Fills a matrix with i.i.d. standard-normal samples scaled by `std`,
+    /// sampled in `f64` (identical RNG stream for every element type).
     pub fn gaussian<R: Rng + ?Sized>(rows: usize, cols: usize, std: f64, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| crate::vecops::sample_std_normal(rng) * std).collect();
+        let data = (0..rows * cols)
+            .map(|_| S::from_f64(crate::vecops::sample_std_normal(rng) * std))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -106,58 +118,58 @@ impl Mat {
 
     /// Immutable element access.
     #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.cols + j]
     }
 
     /// Mutable element access.
     #[inline]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.cols + j] = v;
     }
 
     /// Adds `v` to element `(i, j)`.
     #[inline]
-    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+    pub fn add_at(&mut self, i: usize, j: usize, v: S) {
         debug_assert!(i < self.rows && j < self.cols);
         self.data[i * self.cols + j] += v;
     }
 
     /// Row `i` as a contiguous slice.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[S] {
         debug_assert!(i < self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Row `i` as a mutable slice.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [S] {
         debug_assert!(i < self.rows);
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Column `j` copied into a new vector (columns are strided).
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    pub fn col(&self, j: usize) -> Vec<S> {
         (0..self.rows).map(|i| self.get(i, j)).collect()
     }
 
     /// The flat row-major backing slice.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// The flat row-major backing slice, mutable.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Consumes the matrix, returning the backing vector.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<S> {
         self.data
     }
 
@@ -170,32 +182,43 @@ impl Mat {
         self.rows = rows;
         self.cols = cols;
         self.data.clear();
-        self.data.resize(rows * cols, 0.0);
+        self.data.resize(rows * cols, S::ZERO);
     }
 
     /// Makes `self` an element-wise copy of `src` (shape included), reusing
     /// the backing allocation whenever its capacity suffices.
-    pub fn copy_from(&mut self, src: &Mat) {
+    pub fn copy_from(&mut self, src: &Mat<S>) {
         self.rows = src.rows;
         self.cols = src.cols;
         self.data.clear();
         self.data.extend_from_slice(&src.data);
     }
 
+    /// Element-wise conversion to another [`Scalar`] (through `f64`, so
+    /// `f64 → f32` rounds to nearest once and `f32 → f64` is exact). The
+    /// one-time down-conversion behind `gcon-serve`'s f32 feature store.
+    pub fn convert<T: Scalar>(&self) -> Mat<T> {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+
     /// Iterator over rows as slices.
-    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[S]> {
         self.data.chunks_exact(self.cols.max(1))
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+    pub fn map_inplace(&mut self, f: impl Fn(S) -> S) {
         for v in &mut self.data {
             *v = f(*v);
         }
     }
 
     /// Returns a new matrix with `f` applied element-wise.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+    pub fn map(&self, f: impl Fn(S) -> S) -> Self {
         let mut out = self.clone();
         out.map_inplace(f);
         out
@@ -232,7 +255,7 @@ impl Mat {
     /// of `self` (same row count). The block-write primitive behind
     /// single-pass multi-scale propagation: each scale is snapshotted into
     /// its slot of the concatenated output without intermediate matrices.
-    pub fn copy_into_columns(&mut self, col_offset: usize, src: &Mat) {
+    pub fn copy_into_columns(&mut self, col_offset: usize, src: &Mat<S>) {
         assert_eq!(self.rows, src.rows, "copy_into_columns: row mismatch");
         assert!(
             col_offset + src.cols <= self.cols,
@@ -248,7 +271,7 @@ impl Mat {
     }
 
     /// Horizontally concatenates `self` and `other` (same row count).
-    pub fn hcat(&self, other: &Mat) -> Self {
+    pub fn hcat(&self, other: &Mat<S>) -> Self {
         assert_eq!(self.rows, other.rows, "hcat: row mismatch");
         let cols = self.cols + other.cols;
         let mut out = Self::zeros(self.rows, cols);
@@ -260,7 +283,7 @@ impl Mat {
     }
 
     /// Horizontally concatenates a list of matrices with identical row counts.
-    pub fn hcat_all(parts: &[&Mat]) -> Self {
+    pub fn hcat_all(parts: &[&Mat<S>]) -> Self {
         assert!(!parts.is_empty(), "hcat_all: empty input");
         let rows = parts[0].rows;
         let cols: usize = parts.iter().map(|m| m.cols).sum();
@@ -276,19 +299,19 @@ impl Mat {
         out
     }
 
-    /// Frobenius norm `‖M‖_F`.
-    pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    /// Frobenius norm `‖M‖_F`, accumulated in the element dtype.
+    pub fn frobenius_norm(&self) -> S {
+        self.frobenius_norm_sq().sqrt()
     }
 
-    /// Squared Frobenius norm.
-    pub fn frobenius_norm_sq(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>()
+    /// Squared Frobenius norm, accumulated in the element dtype.
+    pub fn frobenius_norm_sq(&self) -> S {
+        self.data.iter().fold(S::ZERO, |acc, &v| acc + v * v)
     }
 
     /// Maximum absolute element.
-    pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    pub fn max_abs(&self) -> S {
+        self.data.iter().fold(S::ZERO, |acc, &v| if v.abs() > acc { v.abs() } else { acc })
     }
 
     /// True when every element is finite.
@@ -301,8 +324,8 @@ impl Mat {
     pub fn normalize_rows_l2(&mut self) {
         for i in 0..self.rows {
             let row = self.row_mut(i);
-            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
-            if norm > 0.0 {
+            let norm = row.iter().fold(S::ZERO, |acc, &v| acc + v * v).sqrt();
+            if norm > S::ZERO {
                 for v in row.iter_mut() {
                     *v /= norm;
                 }
@@ -311,7 +334,7 @@ impl Mat {
     }
 }
 
-impl Default for Mat {
+impl<S: Scalar> Default for Mat<S> {
     /// The empty `0 × 0` matrix — the canonical starting state of a
     /// reusable buffer (every `_into` kernel reshapes it on first use).
     fn default() -> Self {
@@ -319,9 +342,9 @@ impl Default for Mat {
     }
 }
 
-impl fmt::Debug for Mat {
+impl<S: Scalar> fmt::Debug for Mat<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        writeln!(f, "Mat<{}> {}x{} [", S::DTYPE, self.rows, self.cols)?;
         let show = self.rows.min(6);
         for i in 0..show {
             let row = self.row(i);
@@ -343,14 +366,14 @@ mod tests {
 
     #[test]
     fn zeros_and_shape() {
-        let m = Mat::zeros(3, 4);
+        let m: Mat = Mat::zeros(3, 4);
         assert_eq!(m.shape(), (3, 4));
         assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn eye_diagonal() {
-        let m = Mat::eye(4);
+        let m: Mat = Mat::eye(4);
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
@@ -429,9 +452,42 @@ mod tests {
     fn gaussian_matrix_is_seeded_deterministic() {
         let mut r1 = StdRng::seed_from_u64(7);
         let mut r2 = StdRng::seed_from_u64(7);
-        let a = Mat::gaussian(5, 5, 1.0, &mut r1);
-        let b = Mat::gaussian(5, 5, 1.0, &mut r2);
+        let a: Mat = Mat::gaussian(5, 5, 1.0, &mut r1);
+        let b: Mat = Mat::gaussian(5, 5, 1.0, &mut r2);
         assert_eq!(a, b);
+    }
+
+    /// The random constructors consume the RNG identically for both dtypes,
+    /// and the f32 matrix is the rounded f64 one.
+    #[test]
+    fn random_constructors_share_one_rng_stream_across_dtypes() {
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let a64: Mat<f64> = Mat::uniform(4, 3, 1.0, &mut r1);
+        let a32: Mat<f32> = Mat::uniform(4, 3, 1.0, &mut r2);
+        assert_eq!(a32, a64.convert::<f32>());
+        // The streams stay in lockstep after the first draw.
+        let b64: Mat<f64> = Mat::gaussian(2, 2, 0.5, &mut r1);
+        let b32: Mat<f32> = Mat::gaussian(2, 2, 0.5, &mut r2);
+        assert_eq!(b32, b64.convert::<f32>());
+    }
+
+    #[test]
+    fn convert_roundtrip_exact_from_f32() {
+        let m32: Mat<f32> = Mat::from_fn(3, 3, |i, j| (i as f32 + 0.5) * (j as f32 - 1.25));
+        let up = m32.convert::<f64>();
+        assert_eq!(up.convert::<f32>(), m32);
+        assert_eq!(up.shape(), m32.shape());
+    }
+
+    #[test]
+    fn f32_mat_basic_ops() {
+        let mut m: Mat<f32> = Mat::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        m.normalize_rows_l2();
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!(m.is_finite());
+        assert_eq!(Mat::<f32>::eye(2).get(1, 1), 1.0);
+        assert!((Mat::<f32>::from_rows(&[&[3.0, 4.0]]).frobenius_norm() - 5.0).abs() < 1e-6);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Matrix-matrix and matrix-scalar operations, including the threaded GEMM
-//! used by every training loop in the workspace.
+//! used by every training loop in the workspace. All dense products are
+//! generic over the element [`Scalar`] (f64 / f32), with per-dtype tile
+//! widths so f32 fills the doubled SIMD lane count.
 //!
 //! The parallel kernels run on the persistent `gcon-runtime` worker pool
 //! (one pool for the whole process; width from `GCON_THREADS` or the
@@ -11,12 +13,14 @@
 //! The dense products are cache-blocked, register-tiled loops written so
 //! LLVM autovectorizes them — no intrinsics, no nightly features:
 //!
-//! - [`matmul_into`] packs a [`KC`]`×`[`NR`] panel of `B` into a thread-local
-//!   scratch buffer ([`gcon_runtime::with_scratch_f64`]) and accumulates an
-//!   [`MR`]`×`[`NR`] register tile per group of `A` rows: `MR·NR`
+//! - [`matmul_into`] packs a [`KC`]`×NR` panel of `B` into a thread-local
+//!   scratch buffer ([`Scalar::with_scratch`]) and accumulates an
+//!   [`MR`]`×NR` register tile per group of `A` rows: `MR·NR`
 //!   independent accumulators, one broadcast of `A[i][k]` and one contiguous
-//!   panel row per `k` step. The `k` range is walked in [`KC`]-sized cache
-//!   blocks (partial tiles accumulate into the pre-zeroed `C`), so the
+//!   panel row per `k` step. The panel width `NR` is per-dtype —
+//!   [`NR`] (8) for f64, [`NR_F32`] (16) for f32, the same 16 KiB
+//!   L1-resident panel either way. The `k` range is walked in [`KC`]-sized
+//!   cache blocks (partial tiles accumulate into the pre-zeroed `C`), so the
 //!   packed panel and the active `A` row segments stay cache-resident
 //!   however large the inner dimension grows.
 //! - [`t_matmul_into`] (`C = AᵀB`, the weight-gradient shape) partitions the
@@ -31,41 +35,63 @@
 //!   pins the path for tests and benchmarks.
 //! - [`matmul_bt_into`] (`C = A·Bᵀ`, pairwise row dots) batches four rows of
 //!   `B` per pass over a row of `A`, so each `A` row is loaded once per four
-//!   outputs.
+//!   outputs; the inner unroll width is 4 elements for f64, 8 for f32.
 //!
 //! # Dispatch tiers
 //!
 //! Each kernel body is compiled at every [`gcon_runtime::KernelTier`] —
-//! portable baseline, `avx2,fma` (4-wide f64) and `avx512f` (8-wide f64) —
-//! through the [`gcon_runtime::tier_dispatch!`] macro, and the active tier
+//! portable baseline, `avx2,fma` (4-wide f64 / 8-wide f32) and `avx512f`
+//! (8-wide f64 / 16-wide f32) — through the
+//! [`gcon_runtime::tier_dispatch!`] macro, and the active tier
 //! ([`gcon_runtime::kernel_tier`], override with `GCON_KERNEL_TIER`) picks
-//! the compilation at run time. All tiers execute the same arithmetic in the
-//! same order (strict FP semantics, autovectorization only), so **tier
-//! choice never changes results** — byte-for-byte, not merely to tolerance.
+//! the compilation at run time. `#[target_feature]` cannot apply to generic
+//! functions, so each dtype gets its own concrete dispatch stack (an
+//! `#[inline(always)]` generic body instantiated by `_f64`/`_f32` wrappers,
+//! routed through the [`Scalar`] kernel hooks). Within one dtype, all tiers
+//! execute the same arithmetic in the same order (strict FP semantics,
+//! autovectorization only), so **tier choice never changes a result** —
+//! byte-for-byte, not merely to tolerance.
 //!
-//! # Determinism policy
+//! Because tiers agree bitwise, dispatch may be *shape-aware*:
+//! [`resolve_matmul_tier`] caps tail-only products (`n <` one register
+//! panel, e.g. every small-`c` serving head forward) at the AVX2
+//! compilation, where the dot-based tail measures materially faster than
+//! under AVX-512 — a timing-only decision, mirroring
+//! `gcon_graph::resolve_spmv_tier`.
+//!
+//! # Determinism policy (per dtype)
 //!
 //! Reassociating a floating-point accumulation changes its rounding, so the
 //! tiled kernels do **not** reproduce the scalar kernels bit-for-bit (they
-//! agree to ~1e-9 relative tolerance, pinned by the equivalence tests).
-//! What *is* guaranteed — and pinned by `tests/runtime_equivalence.rs` over
-//! the full `GCON_KERNEL_TIER × GCON_THREADS` matrix — is that results are
-//! byte-identical across thread counts *and* tiers: the pool partitions
-//! output rows, every output element is produced by exactly one task, and
-//! every code path (register tile, M/N/K edge paths, the sparsity-skip loop)
-//! accumulates a given element in the same order — sequentially over `k`
-//! cache blocks of fixed size [`KC`] (or over sample blocks of fixed size
-//! [`TM_IB`], whose dense-vs-skip choice is a pure function of the data) —
-//! no matter where a thread boundary or tile boundary falls.
+//! agree to ~1e-9 relative tolerance for f64, pinned by the equivalence
+//! tests). What *is* guaranteed — and pinned by
+//! `tests/runtime_equivalence.rs` over the full
+//! `dtype × GCON_KERNEL_TIER × GCON_THREADS` matrix — is that results are
+//! byte-identical across thread counts *and* tiers **within one dtype**: the
+//! pool partitions output rows, every output element is produced by exactly
+//! one task, and every code path (register tile, M/N/K edge paths, the
+//! sparsity-skip loop) accumulates a given element in the same order —
+//! sequentially over `k` cache blocks of fixed size [`KC`] (or over sample
+//! blocks of fixed size [`TM_IB`], whose dense-vs-skip choice is a pure
+//! function of the data) — no matter where a thread boundary or tile
+//! boundary falls. Across dtypes no bit relation holds: f32 results carry
+//! f32 rounding at every step.
 
+use crate::scalar::Scalar;
 use crate::Mat;
 
 /// Register-tile height: rows of `A` (or of `Aᵀ`'s output) per microkernel
-/// pass.
+/// pass (both dtypes).
 pub const MR: usize = 4;
 
-/// Register-tile width: columns of `B` per packed panel / microkernel pass.
+/// Register-tile width for f64: columns of `B` per packed panel /
+/// microkernel pass.
 pub const NR: usize = 8;
+
+/// Register-tile width for f32 — double [`NR`], so the `MR×NR` accumulator
+/// tile occupies the same number of vector registers at twice the elements,
+/// and the packed `KC×NR` panel stays the same 16 KiB.
+pub const NR_F32: usize = 16;
 
 /// Sample-block length of the [`t_matmul_into`] kernel: the `Σ_i` reduction
 /// is chunked into blocks of this many samples, each accumulated in
@@ -76,9 +102,9 @@ pub const TM_IB: usize = 128;
 
 /// K-cache block length of the [`matmul_into`] kernel: the inner dimension
 /// is walked in blocks of this many steps, each packed into a `KC×NR` panel
-/// (16 KiB — L1-resident) and accumulated into `C`. Fixed (never derived
-/// from the thread partition) so results are byte-identical across
-/// `GCON_THREADS`.
+/// (16 KiB for either dtype — L1-resident) and accumulated into `C`. Fixed
+/// (never derived from the thread partition) so results are byte-identical
+/// across `GCON_THREADS`.
 pub const KC: usize = 256;
 
 /// Zero fraction of a [`TM_IB`] sample block above which [`t_matmul_into`]
@@ -98,7 +124,7 @@ pub const TM_SPARSITY_SAMPLE_STRIDE: usize = 8;
 
 /// `C = A · B` with a packed, register-tiled kernel (see the module docs),
 /// parallelized over row blocks of A on the shared runtime pool.
-pub fn matmul(a: &Mat, b: &Mat) -> Mat {
+pub fn matmul<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> Mat<S> {
     // `matmul_into` shapes and zero-fills; starting empty avoids a
     // redundant full-size zero write.
     let mut c = Mat::default();
@@ -108,7 +134,7 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 
 /// `C = A · B` written into `c`, which is reshaped (reusing its backing
 /// buffer when capacity allows) to `a.rows() × b.cols()`.
-pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+pub fn matmul_into<S: Scalar>(a: &Mat<S>, b: &Mat<S>, c: &mut Mat<S>) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -127,72 +153,177 @@ pub fn matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
 }
 
 /// Computes rows `[start, end)` of `A · B` into `out` (local row-major
-/// block, pre-zeroed by the caller). Acquires the thread-local panel buffer
-/// here — *outside* the dispatched body — so the hot loops sit directly in
-/// the `#[target_feature]` function rather than in a closure (closures
-/// don't inherit the caller's feature set).
-fn matmul_block(a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize) {
+/// block, pre-zeroed by the caller). Acquires the dtype's thread-local panel
+/// buffer here — *outside* the dispatched body — so the hot loops sit
+/// directly in the `#[target_feature]` function rather than in a closure
+/// (closures don't inherit the caller's feature set).
+fn matmul_block<S: Scalar>(a: &Mat<S>, b: &Mat<S>, out: &mut [S], start: usize, end: usize) {
     let k = a.cols();
     let n = b.cols();
     if k == 0 || n == 0 {
         return;
     }
-    gcon_runtime::with_scratch_f64(k.min(KC) * NR, |panel| {
-        matmul_block_panel(a, b, out, start, end, panel);
+    S::with_scratch(k.min(KC) * S::GEMM_NR, |panel| {
+        S::kernel_matmul_panel(a, b, out, start, end, panel);
     });
 }
 
-gcon_runtime::tier_dispatch! {
-    /// Panel-loop stage of [`matmul_block`] — see [`matmul_block_impl`].
-    fn matmul_block_panel / matmul_block_avx2 / matmul_block_avx512 / matmul_block_impl(
-        a: &Mat, b: &Mat, out: &mut [f64], start: usize, end: usize, panel: &mut [f64])
+/// Effective dispatch tier of the [`matmul_into`] panel kernel for an
+/// output `n` columns wide, given the dtype's panel width `nr` ([`NR`] /
+/// [`NR_F32`]).
+///
+/// When `n < nr` the product never fills one register panel — the whole
+/// output runs in the dot-based N-tail, which the dev box executes ~1.7×
+/// *slower* under the AVX-512 compilation than under AVX2 for both dtypes
+/// (double-pumped 512-bit execution: the wider reduction buys no
+/// throughput and costs frequency; measured in `bench_linalg` and on the
+/// `BENCH_serve.json` head forward, whose `batch × d × c` GEMM always has
+/// `c < nr`). Such shapes cap the requested tier at AVX2. At one panel or
+/// wider the packed register path dominates and AVX-512 keeps its usual
+/// margin.
+///
+/// A pure function of the requested tier and the shape — never of the
+/// thread partition — and every compilation of the kernel produces
+/// identical bytes, so the gate can change timing only, never results.
+pub fn resolve_matmul_tier(
+    requested: gcon_runtime::KernelTier,
+    n: usize,
+    nr: usize,
+) -> gcon_runtime::KernelTier {
+    match requested {
+        gcon_runtime::KernelTier::Avx512 if n < nr => gcon_runtime::KernelTier::Avx2,
+        t => t,
+    }
 }
 
-/// The `matmul` kernel body. For each [`NR`]-wide column panel of `B` the
+/// Hand-written matmul panel dispatch (per dtype): the same three-tier
+/// shape as [`gcon_runtime::tier_dispatch!`], but the effective tier runs
+/// through [`resolve_matmul_tier`] first so tail-only outputs cap at the
+/// AVX2 compilation. All compilations produce identical bytes, so the gate
+/// is invisible to the conformance suite.
+macro_rules! matmul_panel_dispatch {
+    ($(#[$meta:meta])* $name:ident / $avx2:ident / $avx512:ident, $dtype:ty, $nr:expr, $w:expr) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        fn $avx2(
+            a: &Mat<$dtype>,
+            b: &Mat<$dtype>,
+            out: &mut [$dtype],
+            start: usize,
+            end: usize,
+            panel: &mut [$dtype],
+        ) {
+            matmul_panel_body::<$dtype, $nr, $w>(a, b, out, start, end, panel)
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")]
+        fn $avx512(
+            a: &Mat<$dtype>,
+            b: &Mat<$dtype>,
+            out: &mut [$dtype],
+            start: usize,
+            end: usize,
+            panel: &mut [$dtype],
+        ) {
+            matmul_panel_body::<$dtype, $nr, $w>(a, b, out, start, end, panel)
+        }
+
+        $(#[$meta])*
+        pub(crate) fn $name(
+            a: &Mat<$dtype>,
+            b: &Mat<$dtype>,
+            out: &mut [$dtype],
+            start: usize,
+            end: usize,
+            panel: &mut [$dtype],
+        ) {
+            #[cfg(target_arch = "x86_64")]
+            match resolve_matmul_tier(gcon_runtime::kernel_tier(), b.cols(), $nr) {
+                // SAFETY: `kernel_tier()` never exceeds the detected feature
+                // set, and `resolve_matmul_tier` only ever lowers the tier,
+                // so the CPU supports every feature the callee is compiled
+                // with.
+                gcon_runtime::KernelTier::Avx512 => {
+                    return unsafe { $avx512(a, b, out, start, end, panel) }
+                }
+                gcon_runtime::KernelTier::Avx2 => {
+                    return unsafe { $avx2(a, b, out, start, end, panel) }
+                }
+                gcon_runtime::KernelTier::Scalar => {}
+            }
+            matmul_panel_body::<$dtype, $nr, $w>(a, b, out, start, end, panel)
+        }
+    };
+}
+
+matmul_panel_dispatch!(
+    /// f64 panel-loop stage of [`matmul_into`] (8-wide panels, 4-lane tail
+    /// dots) — see [`matmul_panel_body`] and [`resolve_matmul_tier`].
+    matmul_panel_f64 / matmul_panel_f64_avx2 / matmul_panel_f64_avx512,
+    f64,
+    NR,
+    4
+);
+
+matmul_panel_dispatch!(
+    /// f32 panel-loop stage of [`matmul_into`] (doubled panel width and
+    /// tail-dot lanes) — see [`matmul_panel_body`] and
+    /// [`resolve_matmul_tier`].
+    matmul_panel_f32 / matmul_panel_f32_avx2 / matmul_panel_f32_avx512,
+    f32,
+    NR_F32,
+    8
+);
+
+/// The `matmul` kernel body. For each `NR_`-wide column panel of `B` the
 /// `k` range is walked in [`KC`]-sized cache blocks: the block is packed
 /// contiguously into the thread-local `panel`, each [`MR`]-row group of `A`
-/// accumulates an `MR×NR` register tile over the block, and the tile is
-/// added into the pre-zeroed `out`. Every per-element accumulation — tile,
-/// M-tail, and N-tail paths alike — runs sequentially over `k` (cache
-/// blocks in ascending order, `k` ascending within each) with one
-/// accumulator per element, so a row's result does not depend on which
-/// path or thread computed it.
+/// accumulates an `MR×NR_` register tile over the block, and the tile is
+/// added into the pre-zeroed `out`. The N tail (the last `n % NR_`
+/// columns) packs those columns of `B` *transposed* into the same panel,
+/// per cache block, and computes each output as a [`dot4`]-style
+/// multi-accumulator dot over `k` — this is the path a small-`c` head
+/// forward (`c < NR_`) takes in its entirety, so it must vectorize over
+/// `k` rather than fall back to a scalar column loop.
+///
+/// Determinism: every per-element accumulation walks cache blocks in
+/// ascending order with a lane structure fixed by the block length and
+/// dtype alone (`W` accumulator lanes in the tail dots, one accumulator in
+/// the panel tiles), so a row's result does not depend on which path,
+/// thread, or row partition computed it.
 #[inline(always)]
-fn matmul_block_impl(
-    a: &Mat,
-    b: &Mat,
-    out: &mut [f64],
+fn matmul_panel_body<S: Scalar, const NR_: usize, const W: usize>(
+    a: &Mat<S>,
+    b: &Mat<S>,
+    out: &mut [S],
     start: usize,
     end: usize,
-    panel: &mut [f64],
+    panel: &mut [S],
 ) {
     let k = a.cols();
     let n = b.cols();
-    let main_n = n - n % NR;
+    let main_n = n - n % NR_;
     {
         let mut jj = 0;
         while jj < main_n {
             let mut kb = 0;
             while kb < k {
                 let ke = (kb + KC).min(k);
-                // Pack B[kb..ke, jj..jj+NR] row-major into the panel.
-                for (dst, kk) in panel.chunks_exact_mut(NR).zip(kb..ke) {
-                    dst.copy_from_slice(&b.row(kk)[jj..jj + NR]);
+                // Pack B[kb..ke, jj..jj+NR_] row-major into the panel.
+                for (dst, kk) in panel.chunks_exact_mut(NR_).zip(kb..ke) {
+                    dst.copy_from_slice(&b.row(kk)[jj..jj + NR_]);
                 }
-                let packed = &panel[..(ke - kb) * NR];
+                let packed = &panel[..(ke - kb) * NR_];
                 let mut i = start;
                 while i + MR <= end {
-                    let (r0, r1, r2, r3) = (
-                        &a.row(i)[kb..ke],
-                        &a.row(i + 1)[kb..ke],
-                        &a.row(i + 2)[kb..ke],
-                        &a.row(i + 3)[kb..ke],
-                    );
-                    let mut acc = [[0.0; NR]; MR];
+                    let [r0, r1, r2, r3]: [&[S]; MR] =
+                        std::array::from_fn(|r| &a.row(i + r)[kb..ke]);
+                    let mut acc = [[S::ZERO; NR_]; MR];
                     for ((((bp, &a0), &a1), &a2), &a3) in
-                        packed.chunks_exact(NR).zip(r0).zip(r1).zip(r2).zip(r3)
+                        packed.chunks_exact(NR_).zip(r0).zip(r1).zip(r2).zip(r3)
                     {
-                        for c in 0..NR {
+                        for c in 0..NR_ {
                             acc[0][c] += a0 * bp[c];
                             acc[1][c] += a1 * bp[c];
                             acc[2][c] += a2 * bp[c];
@@ -200,7 +331,7 @@ fn matmul_block_impl(
                         }
                     }
                     for (r, tile_row) in acc.iter().enumerate() {
-                        let orow = &mut out[(i + r - start) * n + jj..][..NR];
+                        let orow = &mut out[(i + r - start) * n + jj..][..NR_];
                         for (o, &v) in orow.iter_mut().zip(tile_row) {
                             *o += v;
                         }
@@ -209,13 +340,13 @@ fn matmul_block_impl(
                 }
                 // M tail: one row at a time, same panel, same k order.
                 while i < end {
-                    let mut acc = [0.0; NR];
-                    for (bp, &aik) in packed.chunks_exact(NR).zip(&a.row(i)[kb..ke]) {
-                        for c in 0..NR {
+                    let mut acc = [S::ZERO; NR_];
+                    for (bp, &aik) in packed.chunks_exact(NR_).zip(&a.row(i)[kb..ke]) {
+                        for c in 0..NR_ {
                             acc[c] += aik * bp[c];
                         }
                     }
-                    let orow = &mut out[(i - start) * n + jj..][..NR];
+                    let orow = &mut out[(i - start) * n + jj..][..NR_];
                     for (o, &v) in orow.iter_mut().zip(&acc) {
                         *o += v;
                     }
@@ -223,20 +354,46 @@ fn matmul_block_impl(
                 }
                 kb = ke;
             }
-            jj += NR;
+            jj += NR_;
         }
     }
-    // N tail: the last n % NR columns, scalar over j, sequential over k
-    // accumulating into the zeroed output (same per-element order as the
-    // register paths).
+    // N tail: pack the last n % NR_ columns of B transposed (one
+    // contiguous length-`klen` column per output) into the panel, per
+    // cache block, zero-padded up to a multiple of 4 columns so every
+    // group runs [`dot4`] — the padding outputs are discarded, and since
+    // `dot4` computes each output with the same `W`-lane structure a lone
+    // dot would use, padding changes timing only, never bits. The padded
+    // width never exceeds `NR_`, so `tail_pad · klen ≤ NR_ · KC` fits the
+    // panel the caller sized for the register path.
     if main_n < n {
-        for i in start..end {
-            let crow = &mut out[(i - start) * n + main_n..(i - start + 1) * n];
-            for (kk, &aik) in a.row(i).iter().enumerate() {
-                for (cv, &bv) in crow.iter_mut().zip(&b.row(kk)[main_n..]) {
-                    *cv += aik * bv;
+        let tail = n - main_n;
+        let tail_pad = (tail + 3) & !3;
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KC).min(k);
+            let klen = ke - kb;
+            for j in 0..tail {
+                let dst = &mut panel[j * klen..(j + 1) * klen];
+                for (d, kk) in dst.iter_mut().zip(kb..ke) {
+                    *d = b.row(kk)[main_n + j];
                 }
             }
+            panel[tail * klen..tail_pad * klen].fill(S::ZERO);
+            let packed = &panel[..tail_pad * klen];
+            for i in start..end {
+                let arow = &a.row(i)[kb..ke];
+                let crow = &mut out[(i - start) * n + main_n..(i - start + 1) * n];
+                let mut j = 0;
+                while j < tail {
+                    let col = |r: usize| &packed[(j + r) * klen..(j + r + 1) * klen];
+                    let d = dot4::<S, W>(arow, col(0), col(1), col(2), col(3));
+                    for (cv, &dv) in crow[j..].iter_mut().zip(&d) {
+                        *cv += dv;
+                    }
+                    j += 4;
+                }
+            }
+            kb = ke;
         }
     }
 }
@@ -245,7 +402,7 @@ fn matmul_block_impl(
 ///
 /// This is the shape that appears in every weight gradient of the manual
 /// backprop stack (`∂L/∂W = Xᵀ · δ`).
-pub fn t_matmul(a: &Mat, b: &Mat) -> Mat {
+pub fn t_matmul<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> Mat<S> {
     let mut c = Mat::default();
     t_matmul_into(a, b, &mut c);
     c
@@ -269,7 +426,7 @@ pub enum TmPath {
 /// parallelized over row blocks of `C` (= column blocks of `A`) on the
 /// shared runtime pool, with the sparsity-adaptive block path
 /// ([`TmPath::Auto`] — see [`t_matmul_into_with`]).
-pub fn t_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
+pub fn t_matmul_into<S: Scalar>(a: &Mat<S>, b: &Mat<S>, c: &mut Mat<S>) {
     t_matmul_into_with(a, b, c, TmPath::Auto);
 }
 
@@ -285,7 +442,7 @@ pub fn t_matmul_into(a: &Mat, b: &Mat, c: &mut Mat) {
 /// compare both loops on identical data; the crossover regression test
 /// asserts `Auto` matches the pinned path bit-for-bit on either side of the
 /// threshold.
-pub fn t_matmul_into_with(a: &Mat, b: &Mat, c: &mut Mat, path: TmPath) {
+pub fn t_matmul_into_with<S: Scalar>(a: &Mat<S>, b: &Mat<S>, c: &mut Mat<S>, path: TmPath) {
     assert_eq!(a.rows(), b.rows(), "t_matmul: row mismatch");
     let (n_samples, d_in) = a.shape();
     let d_out = b.cols();
@@ -293,7 +450,7 @@ pub fn t_matmul_into_with(a: &Mat, b: &Mat, c: &mut Mat, path: TmPath) {
     let skip = t_matmul_skip_flags(a, path);
     let work = n_samples * d_in * d_out;
     gcon_runtime::parallel_rows(c.as_mut_slice(), d_in, d_out, work, |block, k0, k1| {
-        t_matmul_block(a, b, block, k0, k1, &skip);
+        S::kernel_t_matmul_block(a, b, block, k0, k1, &skip);
     });
 }
 
@@ -301,7 +458,7 @@ pub fn t_matmul_into_with(a: &Mat, b: &Mat, c: &mut Mat, path: TmPath) {
 /// the zero-skipping loop. Computed once per call, over full rows (never
 /// the thread partition's column range), so every thread — and every
 /// dispatch tier — agrees on the path and the accumulation order.
-fn t_matmul_skip_flags(a: &Mat, path: TmPath) -> Vec<bool> {
+fn t_matmul_skip_flags<S: Scalar>(a: &Mat<S>, path: TmPath) -> Vec<bool> {
     let (n_samples, d_in) = a.shape();
     let n_blocks = n_samples.div_ceil(TM_IB);
     match path {
@@ -319,7 +476,7 @@ fn t_matmul_skip_flags(a: &Mat, path: TmPath) -> Vec<bool> {
             let mut zeros = 0usize;
             let mut scanned = 0usize;
             for i in (ib..ie).step_by(TM_SPARSITY_SAMPLE_STRIDE) {
-                zeros += a.row(i).iter().filter(|v| **v == 0.0).count();
+                zeros += a.row(i).iter().filter(|v| **v == S::ZERO).count();
                 scanned += d_in;
             }
             zeros as f64 > TM_SKIP_ZERO_FRAC * scanned as f64
@@ -328,15 +485,46 @@ fn t_matmul_skip_flags(a: &Mat, path: TmPath) -> Vec<bool> {
 }
 
 gcon_runtime::tier_dispatch! {
-    /// Computes rows `[k0, k1)` of `Aᵀ · B` into `out` (pre-zeroed local
-    /// block) — see [`t_matmul_block_impl`].
-    fn t_matmul_block / t_matmul_block_avx2 / t_matmul_block_avx512 / t_matmul_block_impl(
-        a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, skip: &[bool])
+    /// f64 `AᵀB` block kernel (rows `[k0, k1)` of the output) — see
+    /// [`t_matmul_block_body`].
+    pub(crate) fn t_matmul_block_f64 / t_matmul_block_f64_avx2 / t_matmul_block_f64_avx512 / t_matmul_block_f64_impl(
+        a: &Mat<f64>, b: &Mat<f64>, out: &mut [f64], k0: usize, k1: usize, skip: &[bool])
+}
+
+#[inline(always)]
+fn t_matmul_block_f64_impl(
+    a: &Mat<f64>,
+    b: &Mat<f64>,
+    out: &mut [f64],
+    k0: usize,
+    k1: usize,
+    skip: &[bool],
+) {
+    t_matmul_block_body::<f64, NR>(a, b, out, k0, k1, skip)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 `AᵀB` block kernel (doubled tile width) — see
+    /// [`t_matmul_block_body`].
+    pub(crate) fn t_matmul_block_f32 / t_matmul_block_f32_avx2 / t_matmul_block_f32_avx512 / t_matmul_block_f32_impl(
+        a: &Mat<f32>, b: &Mat<f32>, out: &mut [f32], k0: usize, k1: usize, skip: &[bool])
+}
+
+#[inline(always)]
+fn t_matmul_block_f32_impl(
+    a: &Mat<f32>,
+    b: &Mat<f32>,
+    out: &mut [f32],
+    k0: usize,
+    k1: usize,
+    skip: &[bool],
+) {
+    t_matmul_block_body::<f32, NR_F32>(a, b, out, k0, k1, skip)
 }
 
 /// The `t_matmul` kernel body. The `Σ_i a[i][k]·b[i][j]` reduction is
 /// chunked into [`TM_IB`]-sample blocks. A dense block accumulates an
-/// [`MR`]`×`[`NR`] register tile (`MR` output rows × `NR` output columns)
+/// [`MR`]`×NR_` register tile (`MR` output rows × `NR_` output columns)
 /// across the block's samples, then adds into `out`; a block flagged in
 /// `skip` instead scatters each nonzero `a[i][k]` onto the output row —
 /// cheaper when almost everything is zero. Sample-block boundaries are
@@ -345,13 +533,20 @@ gcon_runtime::tier_dispatch! {
 /// the same block-sequential, sample-ascending per-element order, so
 /// results are byte-identical whatever the thread partition.
 #[inline(always)]
-fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, skip: &[bool]) {
+fn t_matmul_block_body<S: Scalar, const NR_: usize>(
+    a: &Mat<S>,
+    b: &Mat<S>,
+    out: &mut [S],
+    k0: usize,
+    k1: usize,
+    skip: &[bool],
+) {
     let n_samples = a.rows();
     let d_out = b.cols();
     if d_out == 0 {
         return;
     }
-    let main_j = d_out - d_out % NR;
+    let main_j = d_out - d_out % NR_;
     let mut ib = 0;
     while ib < n_samples {
         let ie = (ib + TM_IB).min(n_samples);
@@ -362,7 +557,7 @@ fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, 
                 let arow = &a.row(i)[k0..k1];
                 let brow = b.row(i);
                 for (rel_k, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
+                    if av == S::ZERO {
                         continue;
                     }
                     let orow = &mut out[rel_k * d_out..(rel_k + 1) * d_out];
@@ -378,27 +573,27 @@ fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, 
         while kk + MR <= k1 {
             let mut jj = 0;
             while jj < main_j {
-                let mut acc = [[0.0; NR]; MR];
+                let mut acc = [[S::ZERO; NR_]; MR];
                 for i in ib..ie {
                     let av = &a.row(i)[kk..kk + MR];
-                    let bv = &b.row(i)[jj..jj + NR];
+                    let bv = &b.row(i)[jj..jj + NR_];
                     for r in 0..MR {
-                        for c in 0..NR {
+                        for c in 0..NR_ {
                             acc[r][c] += av[r] * bv[c];
                         }
                     }
                 }
                 for (r, tile_row) in acc.iter().enumerate() {
-                    let orow = &mut out[(kk + r - k0) * d_out + jj..][..NR];
+                    let orow = &mut out[(kk + r - k0) * d_out + jj..][..NR_];
                     for (o, &v) in orow.iter_mut().zip(tile_row) {
                         *o += v;
                     }
                 }
-                jj += NR;
+                jj += NR_;
             }
             if main_j < d_out {
-                // J tail: fewer than NR columns, same MR rows and order.
-                let mut acc = [[0.0; NR]; MR];
+                // J tail: fewer than NR_ columns, same MR rows and order.
+                let mut acc = [[S::ZERO; NR_]; MR];
                 for i in ib..ie {
                     let av = &a.row(i)[kk..kk + MR];
                     let bv = &b.row(i)[main_j..];
@@ -421,22 +616,22 @@ fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, 
         while kk < k1 {
             let mut jj = 0;
             while jj < main_j {
-                let mut acc = [0.0; NR];
+                let mut acc = [S::ZERO; NR_];
                 for i in ib..ie {
                     let av = a.row(i)[kk];
-                    let bv = &b.row(i)[jj..jj + NR];
-                    for c in 0..NR {
+                    let bv = &b.row(i)[jj..jj + NR_];
+                    for c in 0..NR_ {
                         acc[c] += av * bv[c];
                     }
                 }
-                let orow = &mut out[(kk - k0) * d_out + jj..][..NR];
+                let orow = &mut out[(kk - k0) * d_out + jj..][..NR_];
                 for (o, &v) in orow.iter_mut().zip(&acc) {
                     *o += v;
                 }
-                jj += NR;
+                jj += NR_;
             }
             if main_j < d_out {
-                let mut acc = [0.0; NR];
+                let mut acc = [S::ZERO; NR_];
                 for i in ib..ie {
                     let av = a.row(i)[kk];
                     for (c, &bvc) in b.row(i)[main_j..].iter().enumerate() {
@@ -455,7 +650,7 @@ fn t_matmul_block_impl(a: &Mat, b: &Mat, out: &mut [f64], k0: usize, k1: usize, 
 }
 
 /// `C = A · Bᵀ` without materializing the transpose (pairwise row dots).
-pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
+pub fn matmul_bt<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> Mat<S> {
     let mut c = Mat::default();
     matmul_bt_into(a, b, &mut c);
     c
@@ -468,35 +663,59 @@ pub fn matmul_bt(a: &Mat, b: &Mat) -> Mat {
 /// streamed once per four outputs instead of once per output. The grouping
 /// starts at column 0 regardless of the thread partition (which splits rows
 /// of `A`), so each element's accumulation order is partition-independent.
-pub fn matmul_bt_into(a: &Mat, b: &Mat, c: &mut Mat) {
+pub fn matmul_bt_into<S: Scalar>(a: &Mat<S>, b: &Mat<S>, c: &mut Mat<S>) {
     assert_eq!(a.cols(), b.cols(), "matmul_bt: column mismatch");
     let m = a.rows();
     let n = b.rows();
     let k = a.cols();
     c.reset_to_zeros(m, n);
     gcon_runtime::parallel_rows(c.as_mut_slice(), m, n, m * k * n, |block, start, _end| {
-        matmul_bt_block(a, b, block, start);
+        S::kernel_matmul_bt_block(a, b, block, start);
     });
 }
 
 gcon_runtime::tier_dispatch! {
-    /// Fills `block` (rows `start..` of `A·Bᵀ`) — see
-    /// [`matmul_bt_block_impl`].
-    fn matmul_bt_block / matmul_bt_block_avx2 / matmul_bt_block_avx512 / matmul_bt_block_impl(
-        a: &Mat, b: &Mat, block: &mut [f64], start: usize)
+    /// f64 `A·Bᵀ` block kernel (rows `start..` of the output) — see
+    /// [`matmul_bt_block_body`].
+    pub(crate) fn matmul_bt_block_f64 / matmul_bt_block_f64_avx2 / matmul_bt_block_f64_avx512 / matmul_bt_block_f64_impl(
+        a: &Mat<f64>, b: &Mat<f64>, block: &mut [f64], start: usize)
+}
+
+#[inline(always)]
+fn matmul_bt_block_f64_impl(a: &Mat<f64>, b: &Mat<f64>, block: &mut [f64], start: usize) {
+    // f64 dot4 unroll: 4 elements per step.
+    matmul_bt_block_body::<f64, 4>(a, b, block, start)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 `A·Bᵀ` block kernel (doubled dot4 unroll) — see
+    /// [`matmul_bt_block_body`].
+    pub(crate) fn matmul_bt_block_f32 / matmul_bt_block_f32_avx2 / matmul_bt_block_f32_avx512 / matmul_bt_block_f32_impl(
+        a: &Mat<f32>, b: &Mat<f32>, block: &mut [f32], start: usize)
+}
+
+#[inline(always)]
+fn matmul_bt_block_f32_impl(a: &Mat<f32>, b: &Mat<f32>, block: &mut [f32], start: usize) {
+    // f32 dot4 unroll: 8 elements per step (doubled lanes).
+    matmul_bt_block_body::<f32, 8>(a, b, block, start)
 }
 
 /// The `matmul_bt` kernel body: four rows of `B` per pass over each row of
 /// `A` ([`dot4`]), single dots for the `n % 4` tail columns.
 #[inline(always)]
-fn matmul_bt_block_impl(a: &Mat, b: &Mat, block: &mut [f64], start: usize) {
+fn matmul_bt_block_body<S: Scalar, const W: usize>(
+    a: &Mat<S>,
+    b: &Mat<S>,
+    block: &mut [S],
+    start: usize,
+) {
     let n = b.rows();
     let main_n = n - n % 4;
     for (local, crow) in block.chunks_mut(n.max(1)).enumerate() {
         let arow = a.row(start + local);
         let mut j = 0;
         while j < main_n {
-            let d = dot4(arow, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+            let d = dot4::<S, W>(arow, b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
             crow[j..j + 4].copy_from_slice(&d);
             j += 4;
         }
@@ -507,14 +726,13 @@ fn matmul_bt_block_impl(a: &Mat, b: &Mat, block: &mut [f64], start: usize) {
 }
 
 /// Four simultaneous dot products of `a` against `b0..b3` (all the same
-/// length): one pass over `a`, four lanes of independent accumulators per
-/// output. Deterministic — the accumulation structure depends only on the
-/// slice length.
+/// length): one pass over `a`, `W` lanes of independent accumulators per
+/// output (4 for f64, 8 for f32). Deterministic — the accumulation
+/// structure depends only on the slice length and dtype.
 #[inline(always)]
-fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
-    const W: usize = 4;
+fn dot4<S: Scalar, const W: usize>(a: &[S], b0: &[S], b1: &[S], b2: &[S], b3: &[S]) -> [S; 4] {
     let main = a.len() - a.len() % W;
-    let mut acc = [[0.0; W]; 4];
+    let mut acc = [[S::ZERO; W]; 4];
     let mut kk = 0;
     while kk < main {
         let av = &a[kk..kk + W];
@@ -526,9 +744,9 @@ fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
         }
         kk += W;
     }
-    let mut out = [0.0; 4];
+    let mut out = [S::ZERO; 4];
     for (r, lanes) in acc.iter().enumerate() {
-        out[r] = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        out[r] = crate::vecops::reduce_lanes(*lanes);
     }
     for (t, &av) in a[main..].iter().enumerate() {
         out[0] += av * b0[main + t];
@@ -540,7 +758,7 @@ fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
 }
 
 /// Element-wise `A + B`.
-pub fn add(a: &Mat, b: &Mat) -> Mat {
+pub fn add<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> Mat<S> {
     assert_eq!(a.shape(), b.shape(), "add: shape mismatch");
     let mut out = a.clone();
     add_assign(&mut out, b);
@@ -548,62 +766,96 @@ pub fn add(a: &Mat, b: &Mat) -> Mat {
 }
 
 /// `a += b` element-wise.
-pub fn add_assign(a: &mut Mat, b: &Mat) {
+pub fn add_assign<S: Scalar>(a: &mut Mat<S>, b: &Mat<S>) {
     assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
     for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += y;
+        *x += *y;
     }
 }
 
 /// `a += alpha * b` element-wise.
-pub fn add_scaled_assign(a: &mut Mat, alpha: f64, b: &Mat) {
+pub fn add_scaled_assign<S: Scalar>(a: &mut Mat<S>, alpha: S, b: &Mat<S>) {
     assert_eq!(a.shape(), b.shape(), "add_scaled_assign: shape mismatch");
     for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x += alpha * y;
+        *x += alpha * *y;
     }
 }
 
 /// Element-wise `A - B`.
-pub fn sub(a: &Mat, b: &Mat) -> Mat {
+pub fn sub<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> Mat<S> {
     assert_eq!(a.shape(), b.shape(), "sub: shape mismatch");
     let mut out = a.clone();
     for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x -= y;
+        *x -= *y;
     }
     out
 }
 
 /// `alpha * A`.
-pub fn scale(a: &Mat, alpha: f64) -> Mat {
+pub fn scale<S: Scalar>(a: &Mat<S>, alpha: S) -> Mat<S> {
     a.map(|v| v * alpha)
 }
 
 /// Element-wise (Hadamard) product.
-pub fn hadamard(a: &Mat, b: &Mat) -> Mat {
+pub fn hadamard<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> Mat<S> {
     assert_eq!(a.shape(), b.shape(), "hadamard: shape mismatch");
     let mut out = a.clone();
     for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *x *= y;
+        *x *= *y;
     }
     out
 }
 
 /// `⟨A, B⟩ = Σ_ij A_ij B_ij` — the `⊙` operator of Eq. (13) in the paper
-/// (element-wise product followed by a global sum).
-pub fn frobenius_inner(a: &Mat, b: &Mat) -> f64 {
+/// (element-wise product followed by a global sum, sequential order).
+pub fn frobenius_inner<S: Scalar>(a: &Mat<S>, b: &Mat<S>) -> S {
     assert_eq!(a.shape(), b.shape(), "frobenius_inner: shape mismatch");
-    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x * y).sum()
+    a.as_slice().iter().zip(b.as_slice()).fold(S::ZERO, |acc, (x, y)| acc + *x * *y)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The matmul tier gate caps AVX-512 to AVX2 exactly for tail-only
+    /// outputs (`n` below the dtype's panel width) and never touches any
+    /// other request.
+    #[test]
+    fn resolve_matmul_tier_caps_tail_only_shapes() {
+        use gcon_runtime::KernelTier::{Avx2, Avx512, Scalar};
+        for (nr, boundary) in [(NR, NR), (NR_F32, NR_F32)] {
+            for n in 0..boundary {
+                assert_eq!(resolve_matmul_tier(Avx512, n, nr), Avx2, "n={n} nr={nr}");
+                assert_eq!(resolve_matmul_tier(Avx2, n, nr), Avx2);
+                assert_eq!(resolve_matmul_tier(Scalar, n, nr), Scalar);
+            }
+            for n in [boundary, boundary + 1, 4 * boundary] {
+                assert_eq!(resolve_matmul_tier(Avx512, n, nr), Avx512, "n={n} nr={nr}");
+                assert_eq!(resolve_matmul_tier(Avx2, n, nr), Avx2);
+                assert_eq!(resolve_matmul_tier(Scalar, n, nr), Scalar);
+            }
+        }
+    }
+
     fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
         let mut c = Mat::zeros(a.rows(), b.cols());
         for i in 0..a.rows() {
             for j in 0..b.cols() {
                 let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn naive_matmul_f32(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f32> {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
                 for k in 0..a.cols() {
                     s += a.get(i, k) * b.get(k, j);
                 }
@@ -626,8 +878,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(1);
-        let a = Mat::uniform(67, 43, 1.0, &mut rng);
-        let b = Mat::uniform(43, 29, 1.0, &mut rng);
+        let a: Mat = Mat::uniform(67, 43, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(43, 29, 1.0, &mut rng);
         let fast = matmul(&a, &b);
         let slow = naive_matmul(&a, &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -641,8 +893,8 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(2);
         // Big enough to trigger the threaded path (m*k*n >= 2^16).
-        let a = Mat::uniform(128, 64, 1.0, &mut rng);
-        let b = Mat::uniform(64, 32, 1.0, &mut rng);
+        let a: Mat = Mat::uniform(128, 64, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(64, 32, 1.0, &mut rng);
         let fast = matmul(&a, &b);
         let slow = naive_matmul(&a, &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -655,8 +907,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(3);
-        let a = Mat::uniform(31, 7, 1.0, &mut rng);
-        let b = Mat::uniform(31, 5, 1.0, &mut rng);
+        let a: Mat = Mat::uniform(31, 7, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(31, 5, 1.0, &mut rng);
         let fast = t_matmul(&a, &b);
         let slow = matmul(&a.transpose(), &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -669,8 +921,8 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(4);
-        let a = Mat::uniform(13, 9, 1.0, &mut rng);
-        let b = Mat::uniform(11, 9, 1.0, &mut rng);
+        let a: Mat = Mat::uniform(13, 9, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(11, 9, 1.0, &mut rng);
         let fast = matmul_bt(&a, &b);
         let slow = matmul(&a, &b.transpose());
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -695,8 +947,8 @@ mod tests {
             (0, 3, 4),
             (4, 3, 0),
         ] {
-            let a = Mat::uniform(m, k, 1.0, &mut rng);
-            let b = Mat::uniform(k, n, 1.0, &mut rng);
+            let a: Mat = Mat::uniform(m, k, 1.0, &mut rng);
+            let b: Mat = Mat::uniform(k, n, 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive_matmul(&a, &b);
             assert_eq!(fast.shape(), (m, n), "{m}x{k}x{n}");
@@ -705,18 +957,59 @@ mod tests {
             }
             // Aᵀ·B over the same awkward shapes (a is m×k ⇒ use it as the
             // sample matrix, b must share the row count).
-            let b2 = Mat::uniform(m, n, 1.0, &mut rng);
+            let b2: Mat = Mat::uniform(m, n, 1.0, &mut rng);
             let fast_t = t_matmul(&a, &b2);
             let slow_t = naive_matmul(&a.transpose(), &b2);
             for (x, y) in fast_t.as_slice().iter().zip(slow_t.as_slice()) {
                 assert!((x - y).abs() < 1e-12, "t_matmul {m}x{k}x{n}: {x} vs {y}");
             }
             // A·Bᵀ: b3 shares the column count.
-            let b3 = Mat::uniform(n, k, 1.0, &mut rng);
+            let b3: Mat = Mat::uniform(n, k, 1.0, &mut rng);
             let fast_bt = matmul_bt(&a, &b3);
             let slow_bt = naive_matmul(&a, &b3.transpose());
             for (x, y) in fast_bt.as_slice().iter().zip(slow_bt.as_slice()) {
                 assert!((x - y).abs() < 1e-12, "matmul_bt {m}x{k}x{n}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// The f32 instantiations (NR_F32-wide tiles, widened dot4 unroll) hit
+    /// their own tile tails: shapes straddle NR_F32 and the doubled dot4
+    /// width, all against a naive f32 reference with f32-appropriate
+    /// tolerance.
+    #[test]
+    fn f32_kernels_handle_awkward_shapes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (MR, 3, NR_F32),
+            (MR + 1, 9, NR_F32 + 1),
+            (MR - 1, NR_F32, NR_F32 - 1),
+            (2 * MR + 3, NR_F32 + 5, 2 * NR_F32 + 7),
+            (5, 0, 4),
+            (0, 3, 4),
+        ] {
+            let a: Mat<f32> = Mat::uniform(m, k, 1.0, &mut rng);
+            let b: Mat<f32> = Mat::uniform(k, n, 1.0, &mut rng);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul_f32(&a, &b);
+            assert_eq!(fast.shape(), (m, n), "{m}x{k}x{n}");
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "matmul f32 {m}x{k}x{n}: {x} vs {y}");
+            }
+            let b2: Mat<f32> = Mat::uniform(m, n, 1.0, &mut rng);
+            let fast_t = t_matmul(&a, &b2);
+            let slow_t = naive_matmul_f32(&a.transpose(), &b2);
+            for (x, y) in fast_t.as_slice().iter().zip(slow_t.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "t_matmul f32 {m}x{k}x{n}: {x} vs {y}");
+            }
+            let b3: Mat<f32> = Mat::uniform(n, k, 1.0, &mut rng);
+            let fast_bt = matmul_bt(&a, &b3);
+            let slow_bt = naive_matmul_f32(&a, &b3.transpose());
+            for (x, y) in fast_bt.as_slice().iter().zip(slow_bt.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "matmul_bt f32 {m}x{k}x{n}: {x} vs {y}");
             }
         }
     }
@@ -729,8 +1022,8 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(17);
         for &k in &[KC - 1, KC, KC + 1, KC + 37, 2 * KC + 5] {
-            let a = Mat::uniform(MR + 1, k, 1.0, &mut rng);
-            let b = Mat::uniform(k, NR + 3, 1.0, &mut rng);
+            let a: Mat = Mat::uniform(MR + 1, k, 1.0, &mut rng);
+            let b: Mat = Mat::uniform(k, NR + 3, 1.0, &mut rng);
             let fast = matmul(&a, &b);
             let slow = naive_matmul(&a, &b);
             for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -747,7 +1040,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(23);
         let n_samples = TM_IB * 2 + 11;
-        let mut a = Mat::uniform(n_samples, 13, 1.0, &mut rng);
+        let mut a: Mat = Mat::uniform(n_samples, 13, 1.0, &mut rng);
         // First sample block all-zero, rest ~60% zeros.
         a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < 0.6 { 0.0 } else { v });
         for i in 0..TM_IB {
@@ -755,7 +1048,7 @@ mod tests {
                 a.set(i, k, 0.0);
             }
         }
-        let b = Mat::uniform(n_samples, 9, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(n_samples, 9, 1.0, &mut rng);
         let slow = naive_matmul(&a.transpose(), &b);
         for path in [TmPath::Auto, TmPath::Tiled, TmPath::Skip] {
             let mut fast = Mat::default();
@@ -775,8 +1068,8 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(12);
         let n_samples = TM_IB + TM_IB / 2 + 3;
-        let a = Mat::uniform(n_samples, 5, 1.0, &mut rng);
-        let b = Mat::uniform(n_samples, 9, 1.0, &mut rng);
+        let a: Mat = Mat::uniform(n_samples, 5, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(n_samples, 9, 1.0, &mut rng);
         let fast = t_matmul(&a, &b);
         let slow = naive_matmul(&a.transpose(), &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
@@ -818,8 +1111,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_dimension_mismatch_panics() {
-        let a = Mat::zeros(2, 3);
-        let b = Mat::zeros(2, 3);
+        let a: Mat = Mat::zeros(2, 3);
+        let b: Mat = Mat::zeros(2, 3);
         let _ = matmul(&a, &b);
     }
 }

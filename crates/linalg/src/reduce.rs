@@ -42,8 +42,10 @@ pub fn col_means(m: &Mat) -> Vec<f64> {
     s
 }
 
-/// Per-row argmax — the hard prediction of a logit/score matrix.
-pub fn row_argmax(m: &Mat) -> Vec<usize> {
+/// Per-row argmax — the hard prediction of a logit/score matrix. Generic
+/// over the dtype (f32 → f64 widening is monotone, so an f32 logits matrix
+/// yields the same predictions as its widened copy).
+pub fn row_argmax<S: crate::Scalar>(m: &Mat<S>) -> Vec<usize> {
     m.rows_iter().map(crate::vecops::argmax).collect()
 }
 

@@ -1,107 +1,249 @@
-//! Vector kernels shared across the workspace.
+//! Vector kernels shared across the workspace, generic over the element
+//! [`Scalar`] (f64 / f32).
 //!
 //! The reduction kernels ([`dot`], [`norm2`], [`dist2`]) are unrolled over
-//! [`LANES`]-wide chunks with one independent accumulator per lane, breaking
+//! lane-width chunks with one independent accumulator per lane, breaking
 //! the serial floating-point dependency chain so LLVM autovectorizes them
-//! and the out-of-order core overlaps the adds. The lane structure is a
-//! fixed function of the input length — never of any thread partition — so
-//! results are deterministic for a given input, though they differ from a
-//! strictly sequential sum by reassociation (callers compare against naive
-//! references with a relative tolerance, see `gcon_linalg` crate docs).
+//! and the out-of-order core overlaps the adds. The lane width is chosen
+//! **per dtype** — [`LANES`] (8) for f64, [`LANES_F32`] (16) for f32 — so an
+//! f32 slice fills the same vector registers with twice the elements instead
+//! of wasting half of each. The lane structure is a fixed function of the
+//! input length and dtype — never of any thread partition — so results are
+//! deterministic for a given input, though they differ from a strictly
+//! sequential sum by reassociation (callers compare against naive references
+//! with a relative tolerance, see `gcon_linalg` crate docs).
 //!
 //! [`dot`], [`axpy`], [`norm2`] and [`dist2`] — the four primitives sitting
 //! in solver inner loops — are compiled at every
-//! [`gcon_runtime::KernelTier`] through [`gcon_runtime::tier_dispatch!`];
-//! like the GEMM family, all tiers execute the identical arithmetic (strict
-//! FP semantics), so the tier never changes a result.
+//! [`gcon_runtime::KernelTier`] through [`gcon_runtime::tier_dispatch!`].
+//! `#[target_feature]` cannot apply to generic functions, so the dispatch
+//! plumbing is *per dtype*: one `#[inline(always)]` generic body (e.g.
+//! `dot_body`), instantiated by concrete `_f64`/`_f32` wrappers that go
+//! through the macro, selected by the [`Scalar`] kernel hooks. Within one
+//! dtype, all tiers execute the identical arithmetic (strict FP semantics),
+//! so the tier never changes a result.
 //!
 //! Length contracts are enforced with `assert_eq!` at the kernel boundary in
 //! all build profiles: a silent `zip` truncation on mismatched lengths would
 //! corrupt downstream numerics (the former `debug_assert_eq!` let release
 //! builds do exactly that).
 
+use crate::scalar::Scalar;
 use rand::Rng;
 
-/// Unroll width of the reduction kernels: chunks of this many elements get
-/// one independent accumulator per lane.
+/// Unroll width of the f64 reduction kernels: chunks of this many elements
+/// get one independent accumulator per lane.
 pub const LANES: usize = 8;
 
-/// Reduces [`LANES`] lane accumulators pairwise (fixed tree, part of the
-/// deterministic accumulation order).
+/// Unroll width of the f32 reduction kernels — double [`LANES`], matching
+/// the doubled element count per SIMD register at half the element width.
+pub const LANES_F32: usize = 16;
+
+/// Reduces `L` lane accumulators pairwise, adjacent pairs bottom-up (fixed
+/// tree, part of the deterministic accumulation order; for `L = 8` this is
+/// exactly `((a0+a1)+(a2+a3)) + ((a4+a5)+(a6+a7))`).
 #[inline(always)]
-fn reduce_lanes(acc: [f64; LANES]) -> f64 {
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+pub(crate) fn reduce_lanes<S: Scalar, const L: usize>(acc: [S; L]) -> S {
+    let mut buf = acc;
+    let mut width = L;
+    while width > 1 {
+        width /= 2;
+        for i in 0..width {
+            buf[i] = buf[2 * i] + buf[2 * i + 1];
+        }
+    }
+    buf[0]
 }
 
-gcon_runtime::tier_dispatch! {
-    /// Dot product of two equal-length slices.
-    ///
-    /// # Panics
-    /// Panics if the lengths differ.
-    #[inline]
-    pub fn dot / dot_avx2 / dot_avx512 / dot_impl(a: &[f64], b: &[f64]) -> f64
-}
-
 #[inline(always)]
-fn dot_impl(a: &[f64], b: &[f64]) -> f64 {
+fn dot_body<S: Scalar, const L: usize>(a: &[S], b: &[S]) -> S {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    let main = a.len() - a.len() % LANES;
-    let mut acc = [0.0; LANES];
-    for (ca, cb) in a[..main].chunks_exact(LANES).zip(b[..main].chunks_exact(LANES)) {
-        for l in 0..LANES {
+    let main = a.len() - a.len() % L;
+    let mut acc = [S::ZERO; L];
+    for (ca, cb) in a[..main].chunks_exact(L).zip(b[..main].chunks_exact(L)) {
+        for l in 0..L {
             acc[l] += ca[l] * cb[l];
         }
     }
     let mut s = reduce_lanes(acc);
     for (x, y) in a[main..].iter().zip(&b[main..]) {
-        s += x * y;
+        s += *x * *y;
     }
     s
 }
 
-gcon_runtime::tier_dispatch! {
-    /// `y += alpha * x`.
-    ///
-    /// # Panics
-    /// Panics if the lengths differ.
-    #[inline]
-    pub fn axpy / axpy_avx2 / axpy_avx512 / axpy_impl(alpha: f64, x: &[f64], y: &mut [f64])
-}
-
 #[inline(always)]
-fn axpy_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
+fn axpy_body<S: Scalar, const L: usize>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
-    let main = x.len() - x.len() % LANES;
-    for (cy, cx) in y[..main].chunks_exact_mut(LANES).zip(x[..main].chunks_exact(LANES)) {
-        for l in 0..LANES {
+    let main = x.len() - x.len() % L;
+    for (cy, cx) in y[..main].chunks_exact_mut(L).zip(x[..main].chunks_exact(L)) {
+        for l in 0..L {
             cy[l] += alpha * cx[l];
         }
     }
     for (yi, xi) in y[main..].iter_mut().zip(&x[main..]) {
-        *yi += alpha * xi;
+        *yi += alpha * *xi;
     }
 }
 
-gcon_runtime::tier_dispatch! {
-    /// Euclidean (L2) norm.
-    #[inline]
-    pub fn norm2 / norm2_avx2 / norm2_avx512 / norm2_impl(x: &[f64]) -> f64
-}
-
 #[inline(always)]
-fn norm2_impl(x: &[f64]) -> f64 {
-    let main = x.len() - x.len() % LANES;
-    let mut acc = [0.0; LANES];
-    for c in x[..main].chunks_exact(LANES) {
-        for l in 0..LANES {
+fn norm2_body<S: Scalar, const L: usize>(x: &[S]) -> S {
+    let main = x.len() - x.len() % L;
+    let mut acc = [S::ZERO; L];
+    for c in x[..main].chunks_exact(L) {
+        for l in 0..L {
             acc[l] += c[l] * c[l];
         }
     }
     let mut s = reduce_lanes(acc);
     for v in &x[main..] {
-        s += v * v;
+        s += *v * *v;
     }
     s.sqrt()
+}
+
+#[inline(always)]
+fn dist2_body<S: Scalar, const L: usize>(a: &[S], b: &[S]) -> S {
+    assert_eq!(a.len(), b.len(), "dist2: length mismatch {} vs {}", a.len(), b.len());
+    let main = a.len() - a.len() % L;
+    let mut acc = [S::ZERO; L];
+    for (ca, cb) in a[..main].chunks_exact(L).zip(b[..main].chunks_exact(L)) {
+        for l in 0..L {
+            let d = ca[l] - cb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut s = reduce_lanes(acc);
+    for (x, y) in a[main..].iter().zip(&b[main..]) {
+        s += (*x - *y) * (*x - *y);
+    }
+    s.sqrt()
+}
+
+// Per-dtype tier-dispatched instantiations. Each `_impl` pins the generic
+// body at that dtype's lane width; `tier_dispatch!` then compiles it at
+// every SIMD tier. The [`Scalar`] kernel hooks route the generic public
+// fronts below to these.
+
+gcon_runtime::tier_dispatch! {
+    /// f64 instantiation of the [`dot`] kernel.
+    #[inline]
+    pub(crate) fn dot_f64 / dot_f64_avx2 / dot_f64_avx512 / dot_f64_impl(a: &[f64], b: &[f64]) -> f64
+}
+
+#[inline(always)]
+fn dot_f64_impl(a: &[f64], b: &[f64]) -> f64 {
+    dot_body::<f64, LANES>(a, b)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 instantiation of the [`dot`] kernel (doubled lanes).
+    #[inline]
+    pub(crate) fn dot_f32 / dot_f32_avx2 / dot_f32_avx512 / dot_f32_impl(a: &[f32], b: &[f32]) -> f32
+}
+
+#[inline(always)]
+fn dot_f32_impl(a: &[f32], b: &[f32]) -> f32 {
+    dot_body::<f32, LANES_F32>(a, b)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f64 instantiation of the [`axpy`] kernel.
+    #[inline]
+    pub(crate) fn axpy_f64 / axpy_f64_avx2 / axpy_f64_avx512 / axpy_f64_impl(alpha: f64, x: &[f64], y: &mut [f64])
+}
+
+#[inline(always)]
+fn axpy_f64_impl(alpha: f64, x: &[f64], y: &mut [f64]) {
+    axpy_body::<f64, LANES>(alpha, x, y)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 instantiation of the [`axpy`] kernel (doubled lanes).
+    #[inline]
+    pub(crate) fn axpy_f32 / axpy_f32_avx2 / axpy_f32_avx512 / axpy_f32_impl(alpha: f32, x: &[f32], y: &mut [f32])
+}
+
+#[inline(always)]
+fn axpy_f32_impl(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_body::<f32, LANES_F32>(alpha, x, y)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f64 instantiation of the [`norm2`] kernel.
+    #[inline]
+    pub(crate) fn norm2_f64 / norm2_f64_avx2 / norm2_f64_avx512 / norm2_f64_impl(x: &[f64]) -> f64
+}
+
+#[inline(always)]
+fn norm2_f64_impl(x: &[f64]) -> f64 {
+    norm2_body::<f64, LANES>(x)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 instantiation of the [`norm2`] kernel (doubled lanes).
+    #[inline]
+    pub(crate) fn norm2_f32 / norm2_f32_avx2 / norm2_f32_avx512 / norm2_f32_impl(x: &[f32]) -> f32
+}
+
+#[inline(always)]
+fn norm2_f32_impl(x: &[f32]) -> f32 {
+    norm2_body::<f32, LANES_F32>(x)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f64 instantiation of the [`dist2`] kernel.
+    #[inline]
+    pub(crate) fn dist2_f64 / dist2_f64_avx2 / dist2_f64_avx512 / dist2_f64_impl(a: &[f64], b: &[f64]) -> f64
+}
+
+#[inline(always)]
+fn dist2_f64_impl(a: &[f64], b: &[f64]) -> f64 {
+    dist2_body::<f64, LANES>(a, b)
+}
+
+gcon_runtime::tier_dispatch! {
+    /// f32 instantiation of the [`dist2`] kernel (doubled lanes).
+    #[inline]
+    pub(crate) fn dist2_f32 / dist2_f32_avx2 / dist2_f32_avx512 / dist2_f32_impl(a: &[f32], b: &[f32]) -> f32
+}
+
+#[inline(always)]
+fn dist2_f32_impl(a: &[f32], b: &[f32]) -> f32 {
+    dist2_body::<f32, LANES_F32>(a, b)
+}
+
+/// Dot product of two equal-length slices (tier-dispatched per dtype).
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
+    S::kernel_dot(a, b)
+}
+
+/// `y += alpha * x` (tier-dispatched per dtype).
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
+    S::kernel_axpy(alpha, x, y)
+}
+
+/// Euclidean (L2) norm (tier-dispatched per dtype).
+#[inline]
+pub fn norm2<S: Scalar>(x: &[S]) -> S {
+    S::kernel_norm2(x)
+}
+
+/// Euclidean distance between two slices (tier-dispatched per dtype).
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dist2<S: Scalar>(a: &[S], b: &[S]) -> S {
+    S::kernel_dist2(a, b)
 }
 
 /// L1 norm.
@@ -114,33 +256,6 @@ pub fn norm1(x: &[f64]) -> f64 {
 #[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
     x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
-}
-
-gcon_runtime::tier_dispatch! {
-    /// Euclidean distance between two slices.
-    ///
-    /// # Panics
-    /// Panics if the lengths differ.
-    #[inline]
-    pub fn dist2 / dist2_avx2 / dist2_avx512 / dist2_impl(a: &[f64], b: &[f64]) -> f64
-}
-
-#[inline(always)]
-fn dist2_impl(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dist2: length mismatch {} vs {}", a.len(), b.len());
-    let main = a.len() - a.len() % LANES;
-    let mut acc = [0.0; LANES];
-    for (ca, cb) in a[..main].chunks_exact(LANES).zip(b[..main].chunks_exact(LANES)) {
-        for l in 0..LANES {
-            let d = ca[l] - cb[l];
-            acc[l] += d * d;
-        }
-    }
-    let mut s = reduce_lanes(acc);
-    for (x, y) in a[main..].iter().zip(&b[main..]) {
-        s += (x - y) * (x - y);
-    }
-    s.sqrt()
 }
 
 /// Scales `x` in place by `alpha`.
@@ -162,9 +277,12 @@ pub fn clip_norm2(x: &mut [f64], max_norm: f64) -> f64 {
 }
 
 /// Index of the maximum element (first on ties). Returns 0 for empty input.
-pub fn argmax(x: &[f64]) -> usize {
+///
+/// Generic over the dtype; since f32 → f64 widening is monotone, the argmax
+/// of an f32 logits row equals the argmax of its widened copy.
+pub fn argmax<S: Scalar>(x: &[S]) -> usize {
     let mut best = 0;
-    let mut best_v = f64::NEG_INFINITY;
+    let mut best_v = S::from_f64(f64::NEG_INFINITY);
     for (i, &v) in x.iter().enumerate() {
         if v > best_v {
             best_v = v;
@@ -261,7 +379,15 @@ mod tests {
     #[test]
     fn argmax_first_on_tie() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
-        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax::<f64>(&[]), 0);
+    }
+
+    #[test]
+    fn argmax_agrees_across_dtypes() {
+        let x64 = [0.25, -1.5, 0.75, 0.75, 0.5];
+        let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+        assert_eq!(argmax(&x64), argmax(&x32));
+        assert_eq!(argmax(&x32), 2);
     }
 
     #[test]
@@ -303,6 +429,15 @@ mod tests {
         assert_eq!(dist2(&b, &a), 5.0);
     }
 
+    /// The loop-based pairwise reduce preserves the documented fixed tree.
+    #[test]
+    fn reduce_lanes_matches_fixed_tree() {
+        let acc = [1e16, 1.0, -1e16, 3.0, 1e-8, 2.0, -1e-8, 4.0];
+        let tree =
+            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        assert_eq!(reduce_lanes::<f64, 8>(acc).to_bits(), tree.to_bits());
+    }
+
     /// The unrolled reductions agree with a naive sequential sum to relative
     /// tolerance on lengths straddling the lane width (0, 1, tails, exact
     /// multiples).
@@ -323,6 +458,32 @@ mod tests {
             axpy(0.37, &a, &mut y);
             for ((yi, bi), ai) in y.iter().zip(&b).zip(&a) {
                 assert!((yi - (bi + 0.37 * ai)).abs() <= 1e-15, "axpy n={n}");
+            }
+        }
+    }
+
+    /// Same sweep for the f32 instantiations (f32 lane width is 16, so the
+    /// lengths straddle its chunking too), with naive references accumulated
+    /// in f32 to keep the comparison within one dtype.
+    #[test]
+    fn f32_kernels_match_naive_over_awkward_lengths() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for n in [0usize, 1, 2, 15, 16, 17, 31, 32, 33, 100] {
+            let a: Vec<f32> =
+                (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0)).collect();
+            let b: Vec<f32> =
+                (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0)).collect();
+            let dot_naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let tol = 1e-4 * dot_naive.abs().max(1.0);
+            assert!((dot(&a, &b) - dot_naive).abs() <= tol, "dot n={n}");
+            let n2_naive = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm2(&a) - n2_naive).abs() <= 1e-4 * n2_naive.max(1.0), "norm2 n={n}");
+            let d2_naive = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+            assert!((dist2(&a, &b) - d2_naive).abs() <= 1e-4 * d2_naive.max(1.0), "dist2 n={n}");
+            let mut y = b.clone();
+            axpy(0.37f32, &a, &mut y);
+            for ((yi, bi), ai) in y.iter().zip(&b).zip(&a) {
+                assert!((yi - (bi + 0.37 * ai)).abs() <= 1e-6, "axpy n={n}");
             }
         }
     }

@@ -9,29 +9,36 @@
 //! the same `_into` buffer-reuse discipline every training loop in the
 //! workspace follows (`gcon-runtime` crate docs).
 //!
+//! The workspace is generic over the element dtype through `gcon-linalg`'s
+//! sealed [`Scalar`] trait (`f64` default): an `f32` feature store runs the
+//! whole gather + GEMM sequence in `f32` — doubled SIMD lanes, halved
+//! memory traffic — which is how `gcon-serve`'s `f32` store mode gets its
+//! speedup. Precision policy lives in `gcon_linalg::scalar`.
+//!
 //! The forward runs on the pooled `gcon-linalg` GEMM, whose output rows are
 //! computed independently of the surrounding row partition; a batch of any
 //! size or order therefore reproduces, bitwise, the rows a full-matrix
-//! product would produce. `gcon-serve` builds its single-query, batched,
-//! and micro-batched paths on this one primitive.
+//! product would produce (within one dtype). `gcon-serve` builds its
+//! single-query, batched, and micro-batched paths on this one primitive.
 
-use gcon_linalg::{ops, reduce, Mat};
+use gcon_linalg::{ops, reduce, Mat, Scalar};
 
 /// Reusable buffers for [`batched head forwards`](HeadWorkspace::forward):
-/// the gathered feature batch and the logit output. Create once per serving
-/// thread (or per [`gcon-serve`-style queue][fwd]) and reuse across batches;
-/// both buffers reach steady-state capacity after the first full-size batch.
+/// the gathered feature batch and the logit output, in the dtype `S` of the
+/// feature store (default `f64`). Create once per serving thread (or per
+/// [`gcon-serve`-style queue][fwd]) and reuse across batches; both buffers
+/// reach steady-state capacity after the first full-size batch.
 ///
 /// [fwd]: HeadWorkspace::forward
 #[derive(Clone, Debug, Default)]
-pub struct HeadWorkspace {
+pub struct HeadWorkspace<S: Scalar = f64> {
     /// Gathered feature rows, `batch × d`.
-    gathered: Mat,
+    gathered: Mat<S>,
     /// Head output, `batch × c`.
-    logits: Mat,
+    logits: Mat<S>,
 }
 
-impl HeadWorkspace {
+impl<S: Scalar> HeadWorkspace<S> {
     /// An empty workspace; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
@@ -49,7 +56,7 @@ impl HeadWorkspace {
     /// # Panics
     /// Panics if any row index is out of bounds or the inner dimensions
     /// mismatch.
-    pub fn forward(&mut self, features: &Mat, rows: &[usize], weights: &Mat) -> &Mat {
+    pub fn forward(&mut self, features: &Mat<S>, rows: &[usize], weights: &Mat<S>) -> &Mat<S> {
         features.select_rows_into(rows, &mut self.gathered);
         ops::matmul_into(&self.gathered, weights, &mut self.logits);
         &self.logits
@@ -57,11 +64,13 @@ impl HeadWorkspace {
 
     /// [`HeadWorkspace::forward`] followed by a per-row argmax written into
     /// `out` (cleared and refilled; the allocation is reused across calls).
+    /// The argmax is dtype-independent: `f32 → f64` widening is monotone,
+    /// so an `f32` workspace predicts exactly what its widened logits would.
     pub fn forward_argmax_into(
         &mut self,
-        features: &Mat,
+        features: &Mat<S>,
         rows: &[usize],
-        weights: &Mat,
+        weights: &Mat<S>,
         out: &mut Vec<usize>,
     ) {
         self.forward(features, rows, weights);
@@ -70,7 +79,7 @@ impl HeadWorkspace {
     }
 
     /// The logits of the last [`HeadWorkspace::forward`] call (`batch × c`).
-    pub fn logits(&self) -> &Mat {
+    pub fn logits(&self) -> &Mat<S> {
         &self.logits
     }
 
@@ -89,8 +98,8 @@ mod tests {
     #[test]
     fn gathered_rows_match_full_product_bitwise() {
         let mut rng = StdRng::seed_from_u64(31);
-        let features = Mat::uniform(40, 12, 1.0, &mut rng);
-        let weights = Mat::uniform(12, 5, 1.0, &mut rng);
+        let features: Mat = Mat::uniform(40, 12, 1.0, &mut rng);
+        let weights: Mat = Mat::uniform(12, 5, 1.0, &mut rng);
         let full = ops::matmul(&features, &weights);
         let mut ws = HeadWorkspace::new();
         // Unordered, duplicated, and single-row batches all reproduce the
@@ -104,11 +113,35 @@ mod tests {
         }
     }
 
+    /// The f32 workspace reproduces the full f32 product bitwise and tracks
+    /// the f64 workspace within f32 tolerance with matching predictions.
+    #[test]
+    fn f32_workspace_matches_f32_product_bitwise_and_f64_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let features: Mat = Mat::uniform(30, 10, 1.0, &mut rng);
+        let weights: Mat = Mat::uniform(10, 4, 1.0, &mut rng);
+        let features32 = features.convert::<f32>();
+        let weights32 = weights.convert::<f32>();
+        let full32 = ops::matmul(&features32, &weights32);
+        let mut ws64 = HeadWorkspace::<f64>::new();
+        let mut ws32 = HeadWorkspace::<f32>::new();
+        let rows: Vec<usize> = vec![29, 0, 7, 7, 15];
+        let out64 = ws64.forward(&features, &rows, &weights).clone();
+        let out32 = ws32.forward(&features32, &rows, &weights32);
+        for (r, &i) in rows.iter().enumerate() {
+            assert_eq!(out32.row(r), full32.row(i), "f32 batch row {r}");
+            for (a, b) in out32.row(r).iter().zip(out64.row(r)) {
+                assert!((*a as f64 - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+        assert_eq!(ws32.predictions(), ws64.predictions());
+    }
+
     #[test]
     fn workspace_is_reused_across_batch_sizes() {
         let mut rng = StdRng::seed_from_u64(32);
-        let features = Mat::uniform(20, 6, 1.0, &mut rng);
-        let weights = Mat::uniform(6, 3, 1.0, &mut rng);
+        let features: Mat = Mat::uniform(20, 6, 1.0, &mut rng);
+        let weights: Mat = Mat::uniform(6, 3, 1.0, &mut rng);
         let mut ws = HeadWorkspace::new();
         let mut preds = Vec::new();
         for size in [20usize, 1, 7, 20] {
@@ -123,8 +156,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_bounds_row_panics() {
-        let features = Mat::zeros(4, 2);
-        let weights = Mat::zeros(2, 2);
+        let features: Mat = Mat::zeros(4, 2);
+        let weights: Mat = Mat::zeros(2, 2);
         HeadWorkspace::new().forward(&features, &[4], &weights);
     }
 }

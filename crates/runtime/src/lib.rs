@@ -308,9 +308,10 @@ pub fn configured_width() -> usize {
 /// `work` is the caller's estimate of total scalar operations; jobs below
 /// [`PAR_THRESHOLD`] run inline on the calling thread. Degenerate shapes
 /// (`n == 0` or `d == 0`) return immediately without invoking `f`.
-pub fn parallel_rows<F>(out: &mut [f64], n: usize, d: usize, work: usize, f: F)
+pub fn parallel_rows<T, F>(out: &mut [T], n: usize, d: usize, work: usize, f: F)
 where
-    F: Fn(&mut [f64], usize, usize) + Sync,
+    T: Send,
+    F: Fn(&mut [T], usize, usize) + Sync,
 {
     assert_eq!(out.len(), n * d, "parallel_rows: buffer is not n × d");
     if n == 0 || d == 0 {
@@ -330,13 +331,13 @@ where
     let rows_per_chunk = n.div_ceil(chunks);
     // Raw-pointer newtype so the closure can share the base across threads
     // without an int-to-pointer round trip (provenance-preserving).
-    struct BasePtr(*mut f64);
-    unsafe impl Send for BasePtr {}
-    unsafe impl Sync for BasePtr {}
-    impl BasePtr {
+    struct BasePtr<T>(*mut T);
+    unsafe impl<T: Send> Send for BasePtr<T> {}
+    unsafe impl<T: Send> Sync for BasePtr<T> {}
+    impl<T> BasePtr<T> {
         // Accessor (rather than direct field use in the closure) so the
-        // closure captures the Sync newtype, not the raw `*mut f64` field.
-        fn get(&self) -> *mut f64 {
+        // closure captures the Sync newtype, not the raw `*mut T` field.
+        fn get(&self) -> *mut T {
             self.0
         }
     }
@@ -386,6 +387,25 @@ pub fn with_scratch_f64<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
     out
 }
 
+thread_local! {
+    /// Per-thread scratch stack for [`with_scratch_f32`] — the f32 twin of
+    /// [`SCRATCH_F64`], kept separate so mixed-precision kernels nesting both
+    /// dtypes never reinterpret each other's allocations.
+    static SCRATCH_F32: std::cell::RefCell<Vec<Vec<f32>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The `f32` twin of [`with_scratch_f64`]: runs `f` with a thread-local
+/// scratch slice of exactly `len` `f32` elements, cached per thread and
+/// re-entrant, with the same unspecified-contents contract.
+pub fn with_scratch_f32<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = SCRATCH_F32.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    buf.resize(len, 0.0);
+    let out = f(&mut buf[..len]);
+    SCRATCH_F32.with(|s| s.borrow_mut().push(buf));
+    out
+}
+
 /// A SIMD compilation level for the workspace's compute kernels.
 ///
 /// Tiers are totally ordered by capability (`Scalar < Avx2 < Avx512`); a
@@ -398,10 +418,11 @@ pub enum KernelTier {
     /// Portable baseline build (SSE2 on x86-64; whatever the target's
     /// default feature set is elsewhere). Always available.
     Scalar = 0,
-    /// `target_feature(enable = "avx2,fma")` — 4-wide f64 vectors.
+    /// `target_feature(enable = "avx2,fma")` — 4-wide f64 / 8-wide f32
+    /// vectors.
     Avx2 = 1,
     /// `target_feature(enable = "avx512f,avx512vl,avx512dq,avx512bw")` —
-    /// 8-wide f64 vectors, with 128/256-bit EVEX forms available so
+    /// 8-wide f64 / 16-wide f32 vectors, with 128/256-bit EVEX forms available so
     /// narrower unroll patterns don't degrade (the `skylake-avx512`
     /// baseline, present on every AVX-512 server/desktop core).
     Avx512 = 2,
@@ -801,6 +822,35 @@ mod tests {
         // Reuse with a different length still yields the exact length.
         with_scratch_f64(11, |buf| assert_eq!(buf.len(), 11));
         with_scratch_f64(0, |buf| assert!(buf.is_empty()));
+    }
+
+    #[test]
+    fn f32_scratch_is_independent_of_f64_scratch() {
+        with_scratch_f64(5, |d| {
+            d.fill(3.0);
+            with_scratch_f32(5, |s| {
+                assert_eq!(s.len(), 5);
+                s.fill(7.0);
+            });
+            assert!(d.iter().all(|&v| v == 3.0));
+        });
+        with_scratch_f32(9, |buf| assert_eq!(buf.len(), 9));
+    }
+
+    #[test]
+    fn parallel_rows_is_generic_over_the_element_type() {
+        let n = 600;
+        let d = 120; // above PAR_THRESHOLD → parallel path
+        let mut out = vec![0.0f32; n * d];
+        parallel_rows(&mut out, n, d, n * d, |block, start, end| {
+            for (r, row) in block.chunks_mut(d).enumerate() {
+                row.fill((start + r) as f32);
+            }
+            assert_eq!(block.len(), (end - start) * d);
+        });
+        for (i, row) in out.chunks(d).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f32), "f32 row {i} wrong");
+        }
     }
 
     #[test]

@@ -22,12 +22,13 @@
 //! # Steady-state allocation
 //!
 //! None per batch: the request vectors are recycled through a spare pool,
-//! the gathered-batch/logits buffers live in one [`HeadWorkspace`], and
+//! the gathered-batch/logits buffers live in one `gcon_nn::HeadWorkspace`
+//! (in the model's store dtype — see `ServingModel::store_dtype`), and
 //! results land in caller-owned `Vec`s via the `_into` convention. The
 //! queue allocates only while growing to its high-water batch size.
 
-use crate::model::ServingModel;
-use gcon_nn::HeadWorkspace;
+use crate::model::{ServingModel, SessionWs};
+use gcon_linalg::Mat;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -92,11 +93,13 @@ struct State {
     stats: BatchStats,
 }
 
-/// Shared buffers of the (single, in-order) executing leader.
-#[derive(Default)]
+/// Shared buffers of the (single, in-order) executing leader: the head
+/// workspace in the model's store dtype plus the widened `f64` logit block
+/// the result rows are scattered from.
 struct Exec {
-    ws: HeadWorkspace,
+    ws: SessionWs,
     nodes: Vec<usize>,
+    logits64: Mat,
 }
 
 /// A dynamic micro-batcher over a [`ServingModel`] — see the module docs
@@ -135,7 +138,11 @@ impl<'m> BatchQueue<'m> {
                 stats: BatchStats::default(),
             }),
             cv: Condvar::new(),
-            exec: Mutex::new(Exec::default()),
+            exec: Mutex::new(Exec {
+                ws: model.session_ws(),
+                nodes: Vec::new(),
+                logits64: Mat::default(),
+            }),
         }
     }
 
@@ -257,13 +264,13 @@ impl<'m> BatchQueue<'m> {
             let exec = &mut *exec;
             exec.nodes.clear();
             exec.nodes.extend(batch.iter().map(|r| r.node));
-            let logits = self.model.forward_into(&exec.nodes, &mut exec.ws);
+            self.model.forward_widen_into(&exec.nodes, &mut exec.ws, &mut exec.logits64);
             for (row, request) in batch.iter().enumerate() {
                 // SAFETY: per the module protocol the submitting thread is
                 // blocked and no other leader touches this window.
                 let out = unsafe { &mut *request.out };
                 out.clear();
-                out.extend_from_slice(logits.row(row));
+                out.extend_from_slice(exec.logits64.row(row));
             }
         }
 

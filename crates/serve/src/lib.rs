@@ -30,7 +30,7 @@
 //! layers follow the workspace-wide `_into` convention — after warm-up the
 //! steady state allocates nothing per batch.
 //!
-//! # Exactness
+//! # Exactness and the store dtype
 //!
 //! Serving is not an approximation. Every dense kernel in `gcon-linalg`
 //! computes each output row independently of the surrounding row partition
@@ -39,6 +39,17 @@
 //! batch order the served logits are **bitwise identical** to
 //! [`gcon_core::infer::public_logits`] / `private_logits` — pinned by the
 //! `serving_equivalence` suite across thread counts and dispatch tiers.
+//!
+//! The store can instead be frozen in `f32` ([`StoreDtype::F32`], or
+//! `GCON_STORE_DTYPE=f32` process-wide): the propagated features and
+//! `Θ_priv` are quantized once at build time and the whole head forward
+//! runs in `f32` — half the memory traffic, double the SIMD lanes — with
+//! only the final `batch × c` logits widened back to `f64`. That trades
+//! the cross-checked bitwise guarantee for a documented drift bound
+//! ([`F32_STORE_LOGIT_TOL`]); *within* the f32 store all the determinism
+//! properties above still hold bitwise. Training and the DP calibration
+//! chain are untouched — they always run in `f64`. See [`StoreDtype`] for
+//! the full contract.
 //!
 //! ```
 //! use gcon_core::{train::train_gcon, GconConfig};
@@ -78,7 +89,7 @@ mod batch;
 mod model;
 
 pub use batch::{BatchConfig, BatchQueue, BatchStats};
-pub use model::{ServingMode, ServingModel, ServingSession};
+pub use model::{ServingMode, ServingModel, ServingSession, StoreDtype, F32_STORE_LOGIT_TOL};
 
 /// Shared tiny trained model for this crate's unit tests (training once per
 /// test binary keeps each test cheap).

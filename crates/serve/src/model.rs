@@ -3,8 +3,9 @@
 use gcon_core::infer::{private_features, public_features};
 use gcon_core::TrainedGcon;
 use gcon_graph::Graph;
-use gcon_linalg::{reduce, Mat};
+use gcon_linalg::{reduce, Dtype, Mat};
 use gcon_nn::HeadWorkspace;
+use std::sync::OnceLock;
 
 /// Which inference protocol the precomputed store reproduces (the two modes
 /// of `gcon-core::infer`, Sec. IV-C6 of the paper).
@@ -30,14 +31,129 @@ impl ServingMode {
     }
 }
 
+/// Element dtype of the frozen store (and of every head forward over it).
+///
+/// # Precision contract
+///
+/// - [`StoreDtype::F64`] (the default): queries are **bitwise identical**
+///   to the corresponding `gcon-core::infer` entry point — the exactness
+///   guarantee in the crate docs.
+/// - [`StoreDtype::F32`]: the propagated store and `Θ_priv` are quantized
+///   to `f32` **once at build time** (per-element relative error ≤ 2⁻²⁴),
+///   and every head forward runs in `f32` end-to-end — half the memory
+///   traffic and double the SIMD lanes of the f64 path — with only the
+///   final `batch × c` logit block widened back to `f64` at the API
+///   boundary. Logits drift from the f64 path by at most ~`d · ε_f32`
+///   relative (store dimensions are small: the workspace pins an absolute
+///   drift below [`F32_STORE_LOGIT_TOL`] on its test models). Within the
+///   f32 path, results remain bitwise identical across batch sizes/orders,
+///   `GCON_THREADS`, and kernel tiers — the determinism matrix is
+///   per-dtype, exactly as in `gcon-linalg`.
+///
+/// Training, the DP accountants, and noise calibration always stay `f64`;
+/// this knob quantizes only the *frozen serving copy* of already-released
+/// quantities, so it does not touch the privacy analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreDtype {
+    /// Double-precision store: exact serving (the default).
+    F64,
+    /// Single-precision store: fast serving within [`F32_STORE_LOGIT_TOL`].
+    F32,
+}
+
+impl StoreDtype {
+    /// Lowercase name (`f64` / `f32`), as accepted by `GCON_STORE_DTYPE`.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreDtype::F64 => "f64",
+            StoreDtype::F32 => "f32",
+        }
+    }
+
+    /// The `gcon-linalg` dtype this store mode computes in.
+    pub fn dtype(self) -> Dtype {
+        match self {
+            StoreDtype::F64 => Dtype::F64,
+            StoreDtype::F32 => Dtype::F32,
+        }
+    }
+
+    /// The process-wide default store dtype: `GCON_STORE_DTYPE` (`f64` /
+    /// `f32`) if set, else [`StoreDtype::F64`]. Resolved once on first use
+    /// (like `GCON_KERNEL_TIER`); an unrecognized value warns on stderr and
+    /// falls back to `f64`. [`ServingModel::build`] uses this; tests and
+    /// callers that need a specific dtype regardless of environment use
+    /// [`ServingModel::build_with_dtype`].
+    pub fn from_env() -> Self {
+        static INIT: OnceLock<StoreDtype> = OnceLock::new();
+        *INIT.get_or_init(|| match std::env::var("GCON_STORE_DTYPE") {
+            Ok(v) if !v.is_empty() => match v.to_ascii_lowercase().as_str() {
+                "f64" => StoreDtype::F64,
+                "f32" => StoreDtype::F32,
+                _ => {
+                    eprintln!(
+                        "gcon-serve: unrecognized GCON_STORE_DTYPE={v:?} \
+                         (expected f64|f32); using f64"
+                    );
+                    StoreDtype::F64
+                }
+            },
+            _ => StoreDtype::F64,
+        })
+    }
+}
+
+/// Absolute logits-drift budget of the `f32` store on the workspace's test
+/// models: `|logit_f32 − logit_f64| < F32_STORE_LOGIT_TOL` per entry.
+///
+/// Why this is comfortably safe: with store rows and `Θ_priv` entries of
+/// magnitude O(1) and feature dimension `d` in the tens-to-hundreds, each
+/// f32 logit accumulates ≤ `d` products each carrying ~2⁻²⁴ relative
+/// rounding, for a worst-case absolute drift around `d · 2⁻²⁴ · max|x·θ|`
+/// ≈ 10⁻⁵ — two orders of magnitude inside this budget. The
+/// `serving_equivalence` and crate tests assert the measured drift against
+/// this constant on random graphs.
+pub const F32_STORE_LOGIT_TOL: f64 = 1e-3;
+
+/// The frozen store + released parameters, in the dtype picked at build
+/// time. The f32 variant holds the quantized copies; nothing f64 is kept
+/// (the point is the halved resident footprint).
+#[derive(Clone, Debug)]
+enum StoreRepr {
+    F64 {
+        /// Propagated feature store, `n × d` (already `1/s`-scaled).
+        store: Mat,
+        /// Released parameters `Θ_priv`, `d × c`.
+        theta: Mat,
+    },
+    F32 {
+        /// Quantized store, `n × d`.
+        store: Mat<f32>,
+        /// Quantized `Θ_priv`, `d × c`.
+        theta: Mat<f32>,
+    },
+}
+
+/// Per-session head workspace in the dtype of the model it was created
+/// from ([`ServingModel::session_ws`]); the forward paths match it against
+/// the store representation.
+#[derive(Clone, Debug)]
+pub(crate) enum SessionWs {
+    F64(HeadWorkspace<f64>),
+    F32(HeadWorkspace<f32>),
+}
+
 /// A trained GCON model frozen for serving: the propagated feature matrix
 /// (one row per node, precomputed once at build time) plus the released
-/// parameters `Θ_priv`.
+/// parameters `Θ_priv`, in the [`StoreDtype`] picked at build time.
 ///
 /// Queries index rows of the store and run only the dense head, so a query
 /// costs `O(d·c)` regardless of graph size — versus the full-graph
-/// propagation every `gcon-core::infer` call pays. Answers are bitwise
-/// identical to the corresponding entry point (crate docs: *Exactness*).
+/// propagation every `gcon-core::infer` call pays. With the default
+/// [`StoreDtype::F64`] store, answers are bitwise identical to the
+/// corresponding entry point (crate docs: *Exactness*); the
+/// [`StoreDtype::F32`] store trades ≤ [`F32_STORE_LOGIT_TOL`] logits drift
+/// for a faster, half-footprint head (see [`StoreDtype`]).
 ///
 /// The model itself is immutable and shareable (`&ServingModel` /
 /// `Arc<ServingModel>` across threads); per-thread mutable state lives in
@@ -45,10 +161,7 @@ impl ServingMode {
 /// (micro-batched calls).
 #[derive(Clone, Debug)]
 pub struct ServingModel {
-    /// Propagated feature store, `n × d` (already `1/s`-scaled).
-    store: Mat,
-    /// Released parameters `Θ_priv`, `d × c`.
-    theta: Mat,
+    repr: StoreRepr,
     mode: ServingMode,
 }
 
@@ -56,11 +169,27 @@ impl ServingModel {
     /// Builds the store by running the feature stage of `mode` once —
     /// [`gcon_core::infer::public_features`] or
     /// [`gcon_core::infer::private_features`], on the shared runtime pool —
-    /// and freezing the result together with `Θ_priv`.
+    /// and freezing the result together with `Θ_priv`, in the process-wide
+    /// default dtype ([`StoreDtype::from_env`], i.e. `GCON_STORE_DTYPE` or
+    /// `f64`).
     ///
     /// Cost equals exactly one call of the corresponding inference entry
-    /// point; every subsequent query is a dense-head forward.
+    /// point (the propagation itself always runs in `f64`; an f32 store is
+    /// quantized from its result, once); every subsequent query is a
+    /// dense-head forward.
     pub fn build(model: &TrainedGcon, graph: &Graph, features: &Mat, mode: ServingMode) -> Self {
+        Self::build_with_dtype(model, graph, features, mode, StoreDtype::from_env())
+    }
+
+    /// [`ServingModel::build`] with an explicit store dtype, ignoring
+    /// `GCON_STORE_DTYPE`. See [`StoreDtype`] for the precision contract.
+    pub fn build_with_dtype(
+        model: &TrainedGcon,
+        graph: &Graph,
+        features: &Mat,
+        mode: ServingMode,
+        dtype: StoreDtype,
+    ) -> Self {
         assert_eq!(
             graph.num_nodes(),
             features.rows(),
@@ -73,22 +202,37 @@ impl ServingModel {
             ServingMode::Private => private_features(model, graph, features),
         };
         debug_assert_eq!(store.cols(), model.theta.rows());
-        Self { store, theta: model.theta.clone(), mode }
+        let repr = match dtype {
+            StoreDtype::F64 => StoreRepr::F64 { store, theta: model.theta.clone() },
+            StoreDtype::F32 => {
+                StoreRepr::F32 { store: store.convert(), theta: model.theta.convert() }
+            }
+        };
+        Self { repr, mode }
     }
 
     /// Number of nodes the store can answer queries for.
     pub fn num_nodes(&self) -> usize {
-        self.store.rows()
+        match &self.repr {
+            StoreRepr::F64 { store, .. } => store.rows(),
+            StoreRepr::F32 { store, .. } => store.rows(),
+        }
     }
 
     /// Number of classes (columns of every logit row).
     pub fn num_classes(&self) -> usize {
-        self.theta.cols()
+        match &self.repr {
+            StoreRepr::F64 { theta, .. } => theta.cols(),
+            StoreRepr::F32 { theta, .. } => theta.cols(),
+        }
     }
 
     /// Propagated feature dimension `d = s·d₁` of the store.
     pub fn feature_dim(&self) -> usize {
-        self.store.cols()
+        match &self.repr {
+            StoreRepr::F64 { store, .. } => store.cols(),
+            StoreRepr::F32 { store, .. } => store.cols(),
+        }
     }
 
     /// Which inference protocol this store reproduces.
@@ -96,17 +240,53 @@ impl ServingModel {
         self.mode
     }
 
-    /// The frozen propagated feature store (`num_nodes × feature_dim`).
-    /// Row `i` is the stage-1 feature vector of node `i`.
-    pub fn store(&self) -> &Mat {
-        &self.store
+    /// The dtype this store was frozen in.
+    pub fn store_dtype(&self) -> StoreDtype {
+        match &self.repr {
+            StoreRepr::F64 { .. } => StoreDtype::F64,
+            StoreRepr::F32 { .. } => StoreDtype::F32,
+        }
+    }
+
+    /// The frozen f64 feature store (`num_nodes × feature_dim`), if this
+    /// model was built with [`StoreDtype::F64`]. Row `i` is the stage-1
+    /// feature vector of node `i`.
+    pub fn store_f64(&self) -> Option<&Mat> {
+        match &self.repr {
+            StoreRepr::F64 { store, .. } => Some(store),
+            StoreRepr::F32 { .. } => None,
+        }
+    }
+
+    /// The quantized f32 feature store, if this model was built with
+    /// [`StoreDtype::F32`].
+    pub fn store_f32(&self) -> Option<&Mat<f32>> {
+        match &self.repr {
+            StoreRepr::F64 { .. } => None,
+            StoreRepr::F32 { store, .. } => Some(store),
+        }
     }
 
     /// A query session bound to this model: owns the reusable head
-    /// workspace, so repeated queries through one session allocate nothing
-    /// at steady state. Create one per serving thread.
+    /// workspace (in the store's dtype), so repeated queries through one
+    /// session allocate nothing at steady state. Create one per serving
+    /// thread.
     pub fn session(&self) -> ServingSession<'_> {
-        ServingSession { model: self, ws: HeadWorkspace::new(), preds: Vec::new() }
+        ServingSession {
+            model: self,
+            ws: self.session_ws(),
+            logits64: Mat::default(),
+            preds: Vec::new(),
+        }
+    }
+
+    /// A head workspace matching this model's store dtype (for
+    /// [`crate::BatchQueue`], which owns its own instead of a session).
+    pub(crate) fn session_ws(&self) -> SessionWs {
+        match &self.repr {
+            StoreRepr::F64 { .. } => SessionWs::F64(HeadWorkspace::new()),
+            StoreRepr::F32 { .. } => SessionWs::F32(HeadWorkspace::new()),
+        }
     }
 
     /// Logits of one node (allocating convenience; serving loops use
@@ -125,66 +305,104 @@ impl ServingModel {
 
     /// Hard predictions for **every** node in the store — the full-graph
     /// answer [`gcon_core::infer::public_predict`] / `private_predict`
-    /// produce, here at head-only cost.
+    /// produce, here at head-only cost. (Argmax commutes with the monotone
+    /// `f32 → f64` widening, so this is the same per-dtype answer every
+    /// query path gives.)
     pub fn predict_all(&self) -> Vec<usize> {
-        reduce::row_argmax(&gcon_linalg::ops::matmul(&self.store, &self.theta))
+        match &self.repr {
+            StoreRepr::F64 { store, theta } => {
+                reduce::row_argmax(&gcon_linalg::ops::matmul(store, theta))
+            }
+            StoreRepr::F32 { store, theta } => {
+                reduce::row_argmax(&gcon_linalg::ops::matmul(store, theta))
+            }
+        }
     }
 
     /// The head forward every query path funnels through: gather `nodes`
-    /// from the store and multiply by `Θ_priv` on `ws`.
-    pub(crate) fn forward_into<'w>(&self, nodes: &[usize], ws: &'w mut HeadWorkspace) -> &'w Mat {
+    /// from the store, multiply by `Θ_priv` on `ws` (in the store dtype),
+    /// and write the `batch × c` logits into `out` — widened to `f64` for
+    /// the f32 store, copied bitwise for the f64 store. The widening/copy
+    /// touches only `batch × c` elements, negligible next to the
+    /// `batch × d × c` GEMM.
+    pub(crate) fn forward_widen_into(&self, nodes: &[usize], ws: &mut SessionWs, out: &mut Mat) {
+        let n = self.num_nodes();
         for &node in nodes {
-            assert!(
-                node < self.store.rows(),
-                "ServingModel: query for node {node} but the store has {} nodes",
-                self.store.rows()
-            );
+            assert!(node < n, "ServingModel: query for node {node} but the store has {n} nodes");
         }
-        ws.forward(&self.store, nodes, &self.theta)
+        match (&self.repr, ws) {
+            (StoreRepr::F64 { store, theta }, SessionWs::F64(ws)) => {
+                let logits = ws.forward(store, nodes, theta);
+                out.reset_to_zeros(logits.rows(), logits.cols());
+                out.as_mut_slice().copy_from_slice(logits.as_slice());
+            }
+            (StoreRepr::F32 { store, theta }, SessionWs::F32(ws)) => {
+                let logits = ws.forward(store, nodes, theta);
+                out.reset_to_zeros(logits.rows(), logits.cols());
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(logits.as_slice()) {
+                    *o = v as f64;
+                }
+            }
+            // `SessionWs` values only come from `session_ws()` on the same
+            // model, so the dtypes always agree.
+            _ => unreachable!("ServingModel: session workspace dtype does not match the store"),
+        }
     }
 }
 
 /// A per-thread query interface over a [`ServingModel`]: the model is shared
-/// immutably, the session owns the mutable workspace buffers. At steady
+/// immutably, the session owns the mutable workspace buffers (head
+/// workspace in the store dtype + the widened `f64` logit block). At steady
 /// state (buffers grown to the largest batch seen) no query path allocates.
 #[derive(Clone, Debug)]
 pub struct ServingSession<'m> {
     model: &'m ServingModel,
-    ws: HeadWorkspace,
+    ws: SessionWs,
+    logits64: Mat,
     preds: Vec<usize>,
 }
 
 impl ServingSession<'_> {
-    /// Logit rows for a batch of nodes: row `r` of the result is bitwise
-    /// equal to the logits of node `nodes[r]` from the corresponding
-    /// `gcon-core::infer` entry point, for any batch size/order (duplicates
-    /// allowed).
+    /// Logit rows for a batch of nodes, always as `f64`: with an f64 store,
+    /// row `r` is bitwise equal to the logits of node `nodes[r]` from the
+    /// corresponding `gcon-core::infer` entry point, for any batch
+    /// size/order (duplicates allowed); with an f32 store, row `r` is the
+    /// widened f32 logits, within [`F32_STORE_LOGIT_TOL`] of that
+    /// reference and itself batch-invariant bitwise.
     pub fn logits_batch(&mut self, nodes: &[usize]) -> &Mat {
-        self.model.forward_into(nodes, &mut self.ws)
+        self.model.forward_widen_into(nodes, &mut self.ws, &mut self.logits64);
+        &self.logits64
     }
 
     /// Logits of a single node written into `out` (cleared and refilled;
     /// the caller's allocation is reused across calls).
     pub fn logits_into(&mut self, node: usize, out: &mut Vec<f64>) {
-        let logits = self.model.forward_into(std::slice::from_ref(&node), &mut self.ws);
+        self.model.forward_widen_into(
+            std::slice::from_ref(&node),
+            &mut self.ws,
+            &mut self.logits64,
+        );
         out.clear();
-        out.extend_from_slice(logits.row(0));
+        out.extend_from_slice(self.logits64.row(0));
     }
 
     /// Hard class prediction of a single node.
     pub fn predict(&mut self, node: usize) -> usize {
-        let logits = self.model.forward_into(std::slice::from_ref(&node), &mut self.ws);
-        gcon_linalg::vecops::argmax(logits.row(0))
+        self.model.forward_widen_into(
+            std::slice::from_ref(&node),
+            &mut self.ws,
+            &mut self.logits64,
+        );
+        gcon_linalg::vecops::argmax(self.logits64.row(0))
     }
 
     /// Hard predictions for a batch of nodes (position `r` answers
     /// `nodes[r]`). The returned slice borrows a session buffer that is
     /// overwritten by the next call.
     pub fn predict_batch(&mut self, nodes: &[usize]) -> &[usize] {
-        let model = self.model;
-        model.forward_into(nodes, &mut self.ws);
+        self.model.forward_widen_into(nodes, &mut self.ws, &mut self.logits64);
         self.preds.clear();
-        self.preds.extend(self.ws.logits().rows_iter().map(gcon_linalg::vecops::argmax));
+        self.preds.extend(self.logits64.rows_iter().map(gcon_linalg::vecops::argmax));
         &self.preds
     }
 
@@ -203,16 +421,33 @@ mod tests {
     #[test]
     fn build_reports_shapes_and_mode() {
         let (model, graph, x) = tiny_trained();
-        for mode in [ServingMode::Public, ServingMode::Private] {
-            let serving = ServingModel::build(model, graph, x, mode);
-            assert_eq!(serving.num_nodes(), graph.num_nodes());
-            assert_eq!(serving.num_classes(), model.num_classes);
-            assert_eq!(serving.feature_dim(), model.dim());
-            assert_eq!(serving.mode(), mode);
-            assert_eq!(serving.store().shape(), (graph.num_nodes(), model.dim()));
+        for dtype in [StoreDtype::F64, StoreDtype::F32] {
+            for mode in [ServingMode::Public, ServingMode::Private] {
+                let serving = ServingModel::build_with_dtype(model, graph, x, mode, dtype);
+                assert_eq!(serving.num_nodes(), graph.num_nodes());
+                assert_eq!(serving.num_classes(), model.num_classes);
+                assert_eq!(serving.feature_dim(), model.dim());
+                assert_eq!(serving.mode(), mode);
+                assert_eq!(serving.store_dtype(), dtype);
+                let shape = (graph.num_nodes(), model.dim());
+                match dtype {
+                    StoreDtype::F64 => {
+                        assert_eq!(serving.store_f64().unwrap().shape(), shape);
+                        assert!(serving.store_f32().is_none());
+                    }
+                    StoreDtype::F32 => {
+                        assert_eq!(serving.store_f32().unwrap().shape(), shape);
+                        assert!(serving.store_f64().is_none());
+                    }
+                }
+            }
         }
         assert_eq!(ServingMode::Public.name(), "public");
         assert_eq!(ServingMode::Private.name(), "private");
+        assert_eq!(StoreDtype::F64.name(), "f64");
+        assert_eq!(StoreDtype::F32.name(), "f32");
+        assert_eq!(StoreDtype::F64.dtype(), gcon_linalg::Dtype::F64);
+        assert_eq!(StoreDtype::F32.dtype(), gcon_linalg::Dtype::F32);
     }
 
     #[test]
@@ -222,7 +457,7 @@ mod tests {
             (ServingMode::Public, public_logits(model, graph, x)),
             (ServingMode::Private, private_logits(model, graph, x)),
         ] {
-            let serving = ServingModel::build(model, graph, x, mode);
+            let serving = ServingModel::build_with_dtype(model, graph, x, mode, StoreDtype::F64);
             let mut session = serving.session();
             let mut out = Vec::new();
             for node in 0..serving.num_nodes() {
@@ -235,10 +470,66 @@ mod tests {
         }
     }
 
+    /// The f32 store's accuracy contract: every query path stays within
+    /// [`F32_STORE_LOGIT_TOL`] of the f64 reference — with two orders of
+    /// magnitude to spare on this model — and hard predictions agree.
+    #[test]
+    fn f32_store_logits_drift_within_contract() {
+        let (model, graph, x) = tiny_trained();
+        for (mode, reference) in [
+            (ServingMode::Public, public_logits(model, graph, x)),
+            (ServingMode::Private, private_logits(model, graph, x)),
+        ] {
+            let serving = ServingModel::build_with_dtype(model, graph, x, mode, StoreDtype::F32);
+            let mut session = serving.session();
+            let mut out = Vec::new();
+            let mut max_drift: f64 = 0.0;
+            for node in 0..serving.num_nodes() {
+                session.logits_into(node, &mut out);
+                for (a, b) in out.iter().zip(reference.row(node)) {
+                    max_drift = max_drift.max((a - b).abs());
+                }
+            }
+            assert!(
+                max_drift < F32_STORE_LOGIT_TOL,
+                "{}: f32 drift {max_drift:e} exceeds contract {F32_STORE_LOGIT_TOL:e}",
+                mode.name()
+            );
+            // The documented bound argument says the real drift is ~1e-5;
+            // leave headroom but catch a broken kernel masquerading as ok.
+            assert!(max_drift < F32_STORE_LOGIT_TOL / 10.0, "drift suspiciously large");
+            assert_eq!(serving.predict_all(), gcon_linalg::reduce::row_argmax(&reference));
+        }
+    }
+
+    /// Within the f32 dtype, batching is still exact: any batch reproduces
+    /// the single-query answers bitwise (the per-dtype determinism
+    /// contract).
+    #[test]
+    fn f32_batched_queries_match_f32_single_queries_bitwise() {
+        let (model, graph, x) = tiny_trained();
+        let serving =
+            ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, StoreDtype::F32);
+        let n = serving.num_nodes();
+        let mut session = serving.session();
+        let singles: Vec<Vec<f64>> = (0..n).map(|i| serving.logits(i)).collect();
+        for nodes in [(0..n).rev().collect::<Vec<_>>(), vec![5, 5, 5], vec![n - 1]] {
+            let logits = session.logits_batch(&nodes);
+            for (r, &node) in nodes.iter().enumerate() {
+                assert_eq!(logits.row(r), singles[node].as_slice(), "row {r} (node {node})");
+            }
+            let preds = session.predict_batch(&nodes).to_vec();
+            for (r, &node) in nodes.iter().enumerate() {
+                assert_eq!(preds[r], serving.predict(node));
+            }
+        }
+    }
+
     #[test]
     fn batched_queries_match_sequential_bitwise_in_any_order() {
         let (model, graph, x) = tiny_trained();
-        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        let serving =
+            ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, StoreDtype::F64);
         let reference = public_logits(model, graph, x);
         let n = serving.num_nodes();
         let mut session = serving.session();

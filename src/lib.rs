@@ -114,5 +114,5 @@ pub mod prelude {
     pub use gcon_datasets::Dataset;
     pub use gcon_graph::Graph;
     pub use gcon_linalg::Mat;
-    pub use gcon_serve::{BatchConfig, BatchQueue, ServingMode, ServingModel};
+    pub use gcon_serve::{BatchConfig, BatchQueue, ServingMode, ServingModel, StoreDtype};
 }

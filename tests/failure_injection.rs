@@ -262,8 +262,8 @@ fn mat_from_vec_wrong_len_panics() {
 #[test]
 #[should_panic]
 fn matmul_dimension_mismatch_panics() {
-    let a = Mat::zeros(2, 3);
-    let b = Mat::zeros(4, 2);
+    let a: Mat = Mat::zeros(2, 3);
+    let b: Mat = Mat::zeros(4, 2);
     let _ = gcon::linalg::ops::matmul(&a, &b);
 }
 
@@ -283,7 +283,7 @@ fn nan_features_are_caught_by_is_finite_guard() {
 #[test]
 fn zero_feature_rows_survive_l2_normalization() {
     // normalize_rows_l2 must not divide by zero on an all-zero row.
-    let mut x = Mat::zeros(2, 3);
+    let mut x: Mat = Mat::zeros(2, 3);
     x.set(0, 0, 3.0);
     x.normalize_rows_l2();
     assert!(x.is_finite());

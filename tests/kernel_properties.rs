@@ -13,6 +13,12 @@
 //!   under strict FP semantics, so the cross-tier drift bound is zero. (The
 //!   tier × thread-count subprocess matrix lives in
 //!   `runtime_equivalence.rs`.)
+//!
+//! Both guarantees are **per dtype**: the f32 kernel family (doubled SIMD
+//! lanes, its own `NR_F32`/`LANES_F32` tiling) is held to the same
+//! structure — ≤ 1e-4 relative vs the f64 naive reference (f32 rounding at
+//! every step) and bit-identical across tiers within f32. No bit relation
+//! across dtypes is claimed.
 
 use gcon::graph::Csr;
 use gcon::linalg::{ops, vecops, Mat};
@@ -24,6 +30,14 @@ use rand::{Rng, SeedableRng};
 /// `|x - y| ≤ 1e-9 · max(1, |y|)` — the kernel acceptance tolerance.
 fn close(x: f64, y: f64) -> bool {
     (x - y).abs() <= 1e-9 * y.abs().max(1.0)
+}
+
+/// f32 acceptance tolerance vs the f64 naive reference: every operand and
+/// every partial sum carries ~2⁻²⁴ relative rounding, accumulated over the
+/// inner dimensions these tests use (≤ a few hundred), so 1e-4 relative
+/// has an order of magnitude of headroom without masking real bugs.
+fn close32(x: f32, y: f64) -> bool {
+    (x as f64 - y).abs() <= 1e-4 * y.abs().max(1.0)
 }
 
 fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
@@ -83,6 +97,36 @@ fn assert_tiers_conform(reference: &Mat, label: &str, mut kernel: impl FnMut() -
     });
 }
 
+/// The f32 twin of [`assert_tiers_conform`]: each tier's f32 result must be
+/// `close32` to the f64 naive reference and bit-identical to the other
+/// tiers' f32 results.
+fn assert_tiers_conform_f32(reference: &Mat, label: &str, mut kernel: impl FnMut() -> Mat<f32>) {
+    let mut first: Option<(KernelTier, Mat<f32>)> = None;
+    gcon_runtime::for_each_available_tier(|tier| {
+        let fast = kernel();
+        prop_assert_eq!(fast.shape(), reference.shape(), "{} @ {}: shape", label, tier);
+        for (x, y) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!(close32(*x, *y), "{} @ {}: {} vs naive {}", label, tier, x, y);
+        }
+        match &first {
+            None => first = Some((tier, fast)),
+            Some((t0, f0)) => {
+                for (x, y) in fast.as_slice().iter().zip(f0.as_slice()) {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "{}: tier {} and {} disagree bitwise (f32): {} vs {}",
+                        label,
+                        tier,
+                        t0,
+                        x,
+                        y
+                    );
+                }
+            }
+        }
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -116,7 +160,7 @@ proptest! {
         zero_frac in 0.0f64..1.0,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut a = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
+        let mut a: Mat = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
         a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zero_frac { 0.0 } else { v });
         let b = Mat::uniform(n_samples, d_out, 1.0, &mut rng);
         let slow = naive_matmul(&a.transpose(), &b);
@@ -227,6 +271,139 @@ proptest! {
             }
         });
     }
+
+    /// The f32 GEMM family (matmul / t_matmul / matmul_bt) over its own
+    /// tile geometry (`NR_F32` = 16-wide panels) vs the f64 naive reference
+    /// at every tier — and bit-identical across tiers within f32. Inputs
+    /// are quantized f64 matrices, so the reference is computed on the
+    /// exact values the f32 kernels see.
+    #[test]
+    fn f32_gemm_family_matches_naive_reference_at_every_tier(
+        seed in 0u64..10_000,
+        m in 0usize..40,
+        k in 0usize..50,
+        n in 0usize..40,
+        zero_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a: Mat = Mat::uniform(m, k, 1.0, &mut rng);
+        a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zero_frac { 0.0 } else { v });
+        let b: Mat = Mat::uniform(k, n, 1.0, &mut rng);
+        // Quantize, then widen back: the f64 reference sees exactly the
+        // f32 operand values, isolating kernel accumulation error.
+        let a32 = a.convert::<f32>();
+        let b32 = b.convert::<f32>();
+        let aq = a32.convert::<f64>();
+        let bq = b32.convert::<f64>();
+
+        let slow = naive_matmul(&aq, &bq);
+        assert_tiers_conform_f32(&slow, "matmul f32", || ops::matmul(&a32, &b32));
+
+        // Aᵀ·C with samples = m (the zero-masked A exercises the adaptive
+        // skip path in f32 too): m×k ᵀ · m×n → k×n.
+        let c: Mat = Mat::uniform(m, n, 1.0, &mut rng);
+        let c32 = c.convert::<f32>();
+        let slow_t = naive_matmul(&aq.transpose(), &c32.convert::<f64>());
+        assert_tiers_conform_f32(&slow_t, "t_matmul f32", || ops::t_matmul(&a32, &c32));
+
+        // A·Bᵀ: m×k · (n×k)ᵀ → m×n, dot length k crossing the widened
+        // 8-batched f32 dot4 lanes.
+        let bt: Mat = Mat::uniform(n, k, 1.0, &mut rng);
+        let bt32 = bt.convert::<f32>();
+        let slow_bt = naive_matmul(&aq, &bt32.convert::<f64>().transpose());
+        assert_tiers_conform_f32(&slow_bt, "matmul_bt f32", || ops::matmul_bt(&a32, &bt32));
+    }
+
+    /// The f32 sparse kernels (spmm / spmv / spmv_t) vs the f64 dense
+    /// reference on the quantized values, at every tier, bit-identical
+    /// across tiers within f32.
+    #[test]
+    fn f32_sparse_kernels_match_naive_reference_at_every_tier(
+        seed in 0u64..10_000,
+        n in 1usize..50,
+        k in 1usize..50,
+        d in 0usize..30,
+        density in 0.02f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sp = random_csr(n, k, density, &mut rng);
+        let sp32: Csr<f32> = sp.convert();
+        let dense_q = sp32.convert::<f64>().to_dense();
+        let b: Mat = Mat::uniform(k, d, 1.0, &mut rng);
+        let b32 = b.convert::<f32>();
+        let slow = naive_matmul(&dense_q, &b32.convert::<f64>());
+        assert_tiers_conform_f32(&slow, "spmm f32", || sp32.spmm(&b32));
+
+        let x32: Vec<f32> = (0..k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let xt32: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut first: Option<(Vec<f32>, Vec<f32>)> = None;
+        gcon_runtime::for_each_available_tier(|tier| {
+            let y = sp32.spmv(&x32);
+            for (i, &yi) in y.iter().enumerate() {
+                let slow: f64 =
+                    (0..k).map(|j| dense_q.get(i, j) * x32[j] as f64).sum();
+                prop_assert!(close32(yi, slow), "spmv f32 @ {} row {}: {} vs {}", tier, i, yi, slow);
+            }
+            let yt = sp32.spmv_t(&xt32);
+            for (j, &yj) in yt.iter().enumerate() {
+                let slow: f64 =
+                    (0..n).map(|i| dense_q.get(i, j) * xt32[i] as f64).sum();
+                prop_assert!(close32(yj, slow), "spmv_t f32 @ {} col {}: {} vs {}", tier, j, yj, slow);
+            }
+            match &first {
+                None => first = Some((y, yt)),
+                Some((y0, yt0)) => {
+                    prop_assert!(
+                        y.iter().zip(y0).all(|(a, b)| a.to_bits() == b.to_bits())
+                            && yt.iter().zip(yt0).all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "f32 spmv/spmv_t disagree bitwise at tier {}", tier
+                    );
+                }
+            }
+        });
+    }
+
+    /// The f32 lane-accumulator vector kernels (16-wide `LANES_F32`
+    /// structure) vs naive f64 references on quantized inputs, at every
+    /// tier, bit-identical across tiers within f32.
+    #[test]
+    fn f32_vecops_match_naive_reference_at_every_tier(
+        seed in 0u64..10_000,
+        n in 0usize..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let alpha: f32 = rng.gen_range(-2.0f32..2.0);
+        let dot_naive: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+        let n2: f64 = a.iter().map(|&v| (v as f64) * v as f64).sum::<f64>().sqrt();
+        let d2: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x as f64 - y as f64) * (x as f64 - y as f64))
+            .sum::<f64>()
+            .sqrt();
+        let mut first: Option<[u32; 3]> = None;
+        gcon_runtime::for_each_available_tier(|tier| {
+            let (dt, nt, st) = (vecops::dot(&a, &b), vecops::norm2(&a), vecops::dist2(&a, &b));
+            prop_assert!(close32(dt, dot_naive), "dot f32 @ {}", tier);
+            prop_assert!(close32(nt, n2), "norm2 f32 @ {}", tier);
+            prop_assert!(close32(st, d2), "dist2 f32 @ {}", tier);
+            let mut y = b.clone();
+            vecops::axpy(alpha, &a, &mut y);
+            for ((yi, &bi), &ai) in y.iter().zip(&b).zip(&a) {
+                prop_assert!(
+                    close32(*yi, bi as f64 + alpha as f64 * ai as f64),
+                    "axpy f32 @ {}", tier
+                );
+            }
+            let bits = [dt.to_bits(), nt.to_bits(), st.to_bits()];
+            match first {
+                None => first = Some(bits),
+                Some(f) => prop_assert!(bits == f, "f32 vecops disagree bitwise at tier {}", tier),
+            }
+        });
+    }
 }
 
 /// Deterministic ragged-tail sweep the random shape ranges undersample:
@@ -282,7 +459,7 @@ fn t_matmul_sparsity_crossover_picks_the_documented_path() {
     let (d_in, d_out) = (33, 21);
     for &zero_frac in &[0.0, 0.5, 0.9, 0.99] {
         let mut rng = StdRng::seed_from_u64(1234 + (zero_frac * 100.0) as u64);
-        let mut a = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
+        let mut a: Mat = Mat::uniform(n_samples, d_in, 1.0, &mut rng);
         a.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < zero_frac { 0.0 } else { v });
         let b = Mat::uniform(n_samples, d_out, 1.0, &mut rng);
         let slow = naive_matmul(&a.transpose(), &b);

@@ -62,7 +62,7 @@ proptest! {
     #[test]
     fn det_equals_eigenvalue_product(seed in 0u64..500, n in 1usize..8) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let g = Mat::gaussian(n, n, 1.0, &mut rng);
+        let g: Mat = Mat::gaussian(n, n, 1.0, &mut rng);
         let a = Mat::from_fn(n, n, |i, j| 0.5 * (g.get(i, j) + g.get(j, i)));
         let det = Lu::new(&a).det();
         let prod: f64 = jacobi_eigen(&a, 1e-13).values.iter().product();
@@ -74,9 +74,9 @@ proptest! {
     #[test]
     fn eigenvalues_invariant_under_rotation(seed in 0u64..300, n in 2usize..7) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let g1 = Mat::gaussian(n, n, 1.0, &mut rng);
+        let g1: Mat = Mat::gaussian(n, n, 1.0, &mut rng);
         let a = Mat::from_fn(n, n, |i, j| 0.5 * (g1.get(i, j) + g1.get(j, i)));
-        let g2 = Mat::gaussian(n, n, 1.0, &mut rng);
+        let g2: Mat = Mat::gaussian(n, n, 1.0, &mut rng);
         let s = Mat::from_fn(n, n, |i, j| 0.5 * (g2.get(i, j) + g2.get(j, i)));
         let q = jacobi_eigen(&s, 1e-13).vectors; // orthogonal
         // B = QᵀAQ.
@@ -109,7 +109,7 @@ proptest! {
     #[test]
     fn power_iteration_matches_jacobi(seed in 0u64..300, n in 2usize..8) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let g = Mat::gaussian(n, n, 1.0, &mut rng);
+        let g: Mat = Mat::gaussian(n, n, 1.0, &mut rng);
         let a = Mat::from_fn(n, n, |i, j| 0.5 * (g.get(i, j) + g.get(j, i)));
         let eig = jacobi_eigen(&a, 1e-13);
         let top = eig.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));

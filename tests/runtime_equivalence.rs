@@ -213,7 +213,7 @@ fn kernel_fingerprint() -> Vec<u8> {
     push(&mut bytes, &ops::t_matmul(&xt, &grad));
     // ~90% ReLU zeros: the adaptive t_matmul routes blocks down the
     // zero-skipping loop, which must be just as partition/tier-stable.
-    let mut sparse_acts = Mat::uniform(263, 37, 1.0, &mut rng);
+    let mut sparse_acts: Mat = Mat::uniform(263, 37, 1.0, &mut rng);
     sparse_acts.map_inplace(|v| if (v * 1e4).rem_euclid(1.0) < 0.9 { 0.0 } else { v });
     push(&mut bytes, &ops::t_matmul(&sparse_acts, &grad));
     let bt = Mat::uniform(53, 129, 1.0, &mut rng);
@@ -245,13 +245,52 @@ fn kernel_fingerprint() -> Vec<u8> {
     let at = row_stochastic_default(&g);
     let px = Mat::uniform(260, 19, 1.0, &mut rng);
     push(&mut bytes, &propagate(&at, &px, 0.3, PropagationStep::Finite(4)));
+
+    // The f32 kernel family on the same awkward shapes, fingerprinted in
+    // raw f32 bits. Appending this to the same fingerprint extends the
+    // subprocess matrix below to the full dtype × tier × thread-count cube:
+    // determinism is claimed (and pinned) *within* each dtype.
+    fn push32(bytes: &mut Vec<u8>, m: &Mat<f32>) {
+        for v in m.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let (a32, b32) = (a.convert::<f32>(), b.convert::<f32>());
+    push32(&mut bytes, &ops::matmul(&a32, &b32));
+    // KC-crossing K: the blocked accumulate-into-C path, f32 flavor.
+    push32(&mut bytes, &ops::matmul(&ak.convert::<f32>(), &bk.convert::<f32>()));
+    let grad32 = grad.convert::<f32>();
+    push32(&mut bytes, &ops::t_matmul(&xt.convert::<f32>(), &grad32));
+    push32(&mut bytes, &ops::t_matmul(&sparse_acts.convert::<f32>(), &grad32));
+    push32(&mut bytes, &ops::matmul_bt(&a32, &bt.convert::<f32>()));
+
+    let va32: Vec<f32> = va.iter().map(|&v| v as f32).collect();
+    let vb32: Vec<f32> = vb.iter().map(|&v| v as f32).collect();
+    let mut vy32 = vb32.clone();
+    gcon::linalg::vecops::axpy(0.37f32, &va32, &mut vy32);
+    for v in [gcon::linalg::vecops::dot(&va32, &vb32), gcon::linalg::vecops::norm2(&va32)]
+        .iter()
+        .chain(vy32.iter())
+    {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let sp32: Csr<f32> = sp.convert();
+    push32(&mut bytes, &sp32.spmm(&feats.convert::<f32>()));
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    for v in sp32.spmv(&x32).iter().chain(sp32.spmv_t(&x32).iter()) {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
     bytes
 }
 
 /// **Determinism policy test.** The tiled kernels reassociate accumulation
 /// (so they differ from the old scalar kernels within tolerance), but for a
 /// given input the result must be byte-identical over the whole
-/// `GCON_KERNEL_TIER × GCON_THREADS` matrix:
+/// `GCON_KERNEL_TIER × GCON_THREADS` matrix — per dtype: the fingerprint
+/// carries an f64 and an f32 section, so one matrix sweep pins the
+/// dtype × tier × thread-count cube (no bit relation *across* dtypes is
+/// claimed):
 ///
 /// - *across thread counts* — the thread partition decides only *who*
 ///   computes an output row, never the accumulation order within it;

@@ -9,11 +9,17 @@
 //!   including micro-batched windows formed under real concurrency —
 //!   reproduces the single-query answers exactly (proptested over random
 //!   query mixes).
-//! - **Thread-count and tier invariance.** The full serving fingerprint
-//!   (train → build store → mixed direct/batched queries) is byte-identical
-//!   across `GCON_THREADS ∈ {1, 2, 4}` and every kernel dispatch tier the
-//!   host CPU supports, via the same subprocess-matrix technique as
-//!   `runtime_equivalence.rs`.
+//! - **Thread-count and tier invariance, per dtype.** The full serving
+//!   fingerprint (train → build f64 **and** f32 stores → mixed
+//!   direct/batched queries) is byte-identical across
+//!   `GCON_THREADS ∈ {1, 2, 4}` and every kernel dispatch tier the host CPU
+//!   supports, via the same subprocess-matrix technique as
+//!   `runtime_equivalence.rs`. Because the fingerprint interleaves both
+//!   store dtypes, one matrix pins the dtype × tier × thread-count cube.
+//! - **f32 store contract.** The quantized store's logits stay within
+//!   `F32_STORE_LOGIT_TOL` of the f64 entry points and its hard
+//!   predictions agree (the exactness tests pin their store to f64
+//!   explicitly, so this suite passes under any `GCON_STORE_DTYPE`).
 
 use gcon::core::infer::{private_logits, private_predict, public_logits, public_predict};
 use gcon::core::train::train_gcon;
@@ -21,7 +27,9 @@ use gcon::core::{GconConfig, PropagationStep, TrainedGcon};
 use gcon::graph::generators::{sbm_homophily, SbmConfig};
 use gcon::graph::Graph;
 use gcon::linalg::Mat;
-use gcon::serve::{BatchConfig, BatchQueue, ServingMode, ServingModel};
+use gcon::serve::{
+    BatchConfig, BatchQueue, ServingMode, ServingModel, StoreDtype, F32_STORE_LOGIT_TOL,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,7 +83,9 @@ fn serving_matches_infer_entry_points_bitwise_for_every_node() {
         (ServingMode::Public, public_logits(model, graph, x), public_predict(model, graph, x)),
         (ServingMode::Private, private_logits(model, graph, x), private_predict(model, graph, x)),
     ] {
-        let serving = ServingModel::build(model, graph, x, mode);
+        // The bitwise claim is the f64 store's contract — pinned explicitly
+        // so this test means the same thing under any GCON_STORE_DTYPE.
+        let serving = ServingModel::build_with_dtype(model, graph, x, mode, StoreDtype::F64);
         let mut session = serving.session();
         let mut out = Vec::new();
         for (node, &expected) in preds.iter().enumerate() {
@@ -91,7 +101,8 @@ fn serving_matches_infer_entry_points_bitwise_for_every_node() {
 fn micro_batched_concurrent_queries_match_infer_bitwise() {
     let (model, graph, x) = trained();
     let reference = public_logits(model, graph, x);
-    let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+    let serving =
+        ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, StoreDtype::F64);
     let queue = BatchQueue::new(
         &serving,
         BatchConfig { max_batch: 16, max_wait: Duration::from_millis(2) },
@@ -134,7 +145,8 @@ proptest! {
     ) {
         let (model, graph, x) = trained();
         let reference = public_logits(model, graph, x);
-        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        let serving =
+            ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, StoreDtype::F64);
         let n = serving.num_nodes();
         let mut rng = StdRng::seed_from_u64(seed);
         use rand::Rng;
@@ -153,11 +165,44 @@ proptest! {
             prop_assert_eq!(all.row(r), reference.row(node), "node {}", node);
         }
     }
+
+    /// f64 → f32 store quantization round-trip bound: each element of the
+    /// down-converted matrix, widened back, is within one f32 ulp of the
+    /// original (relative error ≤ 2⁻²⁴ over the magnitudes a propagated
+    /// store contains) — the per-element premise of the
+    /// `F32_STORE_LOGIT_TOL` drift argument. Exactly-representable values
+    /// survive bit-for-bit.
+    #[test]
+    fn f32_quantization_roundtrip_is_within_one_ulp(
+        seed in 0u64..10_000,
+        rows in 1usize..12,
+        cols in 1usize..12,
+        scale in 1e-6f64..1e6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m: Mat = Mat::uniform(rows, cols, scale, &mut rng);
+        let q = m.convert::<f32>();
+        let back = q.convert::<f64>();
+        for (orig, round) in m.as_slice().iter().zip(back.as_slice()) {
+            let err = (orig - round).abs();
+            prop_assert!(
+                err <= orig.abs() * (1.0 / (1u64 << 24) as f64),
+                "quantization error {} for value {} exceeds 2^-24 relative", err, orig
+            );
+        }
+        // Exactly f32-representable inputs round-trip bitwise.
+        let exact = Mat::from_fn(rows, cols, |i, j| (i as f64) - 0.5 * j as f64);
+        prop_assert_eq!(exact.convert::<f32>().convert::<f64>(), exact);
+    }
 }
 
 /// Serialized bitwise fingerprint of the whole serving path: train, build
-/// both stores, answer a fixed mixed workload directly and through the
-/// micro-batcher.
+/// the f64 **and** f32 stores of both modes, answer a fixed mixed workload
+/// directly and through the micro-batcher. The f32 section fingerprints the
+/// raw quantized store bits plus the widened query logits, so a fingerprint
+/// match across the subprocess matrix pins bitwise determinism *within each
+/// dtype* — the per-dtype contract; no bit relation across dtypes is
+/// claimed anywhere.
 fn serving_fingerprint() -> Vec<u8> {
     let (model, graph, x) = trained();
     let mut bytes = Vec::new();
@@ -166,27 +211,38 @@ fn serving_fingerprint() -> Vec<u8> {
             bytes.extend_from_slice(&v.to_bits().to_le_bytes());
         }
     }
-    for mode in [ServingMode::Public, ServingMode::Private] {
-        let serving = ServingModel::build(model, graph, x, mode);
-        push(&mut bytes, serving.store().as_slice());
+    fn query_workload(bytes: &mut Vec<u8>, serving: &ServingModel) {
         let mut session = serving.session();
         let nodes: Vec<usize> = (0..serving.num_nodes()).map(|i| (i * 13) % 60).collect();
-        push(&mut bytes, session.logits_batch(&nodes).as_slice());
+        push(bytes, session.logits_batch(&nodes).as_slice());
         let queue = BatchQueue::new(
-            &serving,
+            serving,
             BatchConfig { max_batch: 8, max_wait: Duration::from_micros(100) },
         );
         let mut out = Vec::new();
         for node in [0usize, 7, 59, 7, 31] {
             queue.query_into(node, &mut out);
-            push(&mut bytes, &out);
+            push(bytes, &out);
         }
+    }
+    for mode in [ServingMode::Public, ServingMode::Private] {
+        let serving = ServingModel::build_with_dtype(model, graph, x, mode, StoreDtype::F64);
+        push(&mut bytes, serving.store_f64().unwrap().as_slice());
+        query_workload(&mut bytes, &serving);
+
+        let serving32 = ServingModel::build_with_dtype(model, graph, x, mode, StoreDtype::F32);
+        for v in serving32.store_f32().unwrap().as_slice() {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        query_workload(&mut bytes, &serving32);
     }
     bytes
 }
 
-/// **Acceptance pin:** the serving fingerprint is byte-identical across the
-/// `GCON_KERNEL_TIER × GCON_THREADS ∈ {1,2,4}` matrix. Pool width and tier
+/// **Acceptance pin:** the serving fingerprint — which interleaves the f64
+/// and f32 store paths — is byte-identical across the
+/// `GCON_KERNEL_TIER × GCON_THREADS ∈ {1,2,4}` matrix, i.e. the full
+/// dtype × tier × thread-count cube is deterministic within each dtype. Pool width and tier
 /// are latched per process, so the test re-executes itself as a subprocess
 /// per cell (same technique as `runtime_equivalence.rs`); absent tiers are
 /// skipped, not failed.
@@ -230,6 +286,37 @@ fn serving_byte_identical_across_thread_counts_and_tiers() {
     }
 }
 
+/// The f32 store's accuracy contract on this (larger-than-unit-test) model:
+/// every logit stays within `F32_STORE_LOGIT_TOL` of the f64 entry points
+/// for both modes, and hard predictions agree node-for-node.
+#[test]
+fn f32_store_stays_within_drift_contract_of_entry_points() {
+    let (model, graph, x) = trained();
+    for (mode, logits, preds) in [
+        (ServingMode::Public, public_logits(model, graph, x), public_predict(model, graph, x)),
+        (ServingMode::Private, private_logits(model, graph, x), private_predict(model, graph, x)),
+    ] {
+        let serving = ServingModel::build_with_dtype(model, graph, x, mode, StoreDtype::F32);
+        assert_eq!(serving.store_dtype(), StoreDtype::F32);
+        let mut session = serving.session();
+        let mut out = Vec::new();
+        let mut max_drift: f64 = 0.0;
+        for (node, &expected) in preds.iter().enumerate() {
+            session.logits_into(node, &mut out);
+            for (a, b) in out.iter().zip(logits.row(node)) {
+                max_drift = max_drift.max((a - b).abs());
+            }
+            assert_eq!(session.predict(node), expected, "{} argmax, node {node}", mode.name());
+        }
+        assert!(
+            max_drift < F32_STORE_LOGIT_TOL,
+            "{}: f32 store drift {max_drift:e} exceeds {F32_STORE_LOGIT_TOL:e}",
+            mode.name()
+        );
+        assert_eq!(serving.predict_all(), preds, "{} predict_all", mode.name());
+    }
+}
+
 /// In-process tier sweep: pinning each available tier, the served answers
 /// still equal the entry points computed under that same tier, bitwise.
 #[test]
@@ -237,7 +324,8 @@ fn serving_matches_infer_at_every_available_tier() {
     let (model, graph, x) = trained();
     gcon::runtime::for_each_available_tier(|tier| {
         let reference = public_logits(model, graph, x);
-        let serving = ServingModel::build(model, graph, x, ServingMode::Public);
+        let serving =
+            ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, StoreDtype::F64);
         let mut session = serving.session();
         let nodes: Vec<usize> = (0..serving.num_nodes()).rev().collect();
         let logits = session.logits_batch(&nodes);

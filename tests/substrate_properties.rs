@@ -18,8 +18,8 @@ proptest! {
     #[test]
     fn matmul_transpose_identity(seed in 0u64..500, m in 1usize..12, k in 1usize..12, n in 1usize..12) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = Mat::uniform(m, k, 1.0, &mut rng);
-        let b = Mat::uniform(k, n, 1.0, &mut rng);
+        let a: Mat = Mat::uniform(m, k, 1.0, &mut rng);
+        let b: Mat = Mat::uniform(k, n, 1.0, &mut rng);
         let ab_t = ops::matmul(&a, &b).transpose();
         let bt_at = ops::matmul(&b.transpose(), &a.transpose());
         for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
@@ -31,8 +31,8 @@ proptest! {
     #[test]
     fn frobenius_inner_symmetry(seed in 0u64..500, m in 1usize..10, n in 1usize..10) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let a = Mat::uniform(m, n, 2.0, &mut rng);
-        let b = Mat::uniform(m, n, 2.0, &mut rng);
+        let a: Mat = Mat::uniform(m, n, 2.0, &mut rng);
+        let b: Mat = Mat::uniform(m, n, 2.0, &mut rng);
         prop_assert!((ops::frobenius_inner(&a, &b) - ops::frobenius_inner(&b, &a)).abs() < 1e-12);
         prop_assert!((ops::frobenius_inner(&a, &a) - a.frobenius_norm_sq()).abs() < 1e-10);
     }

@@ -81,7 +81,7 @@ fn lemma7_holds_with_calibrated_parameters() {
         let c = pair.y.cols();
         let mut rng = StdRng::seed_from_u64(seed + 999);
         // Scale columns to 90% of c_θ (the worst case the lemma covers).
-        let mut theta = Mat::gaussian(d, c, 1.0, &mut rng);
+        let mut theta: Mat = Mat::gaussian(d, c, 1.0, &mut rng);
         for j in 0..c {
             let norm: f64 = (0..d).map(|i| theta.get(i, j).powi(2)).sum::<f64>().sqrt();
             let target = 0.9 * params.c_theta.min(10.0);
@@ -122,7 +122,7 @@ fn lemma7_determinant_budget_covers_full_block_jacobian() {
     let d = pair.z.cols();
     let c = pair.y.cols();
     let mut rng = StdRng::seed_from_u64(77);
-    let mut theta = Mat::gaussian(d, c, 0.1, &mut rng);
+    let mut theta: Mat = Mat::gaussian(d, c, 0.1, &mut rng);
     // Keep ‖θ_j‖ well inside c_θ.
     let cap = params.c_theta.min(1.0);
     for j in 0..c {
@@ -158,7 +158,7 @@ fn lemma8_density_exponent_fits_remaining_budget() {
         let d = pair.z.cols();
         let c = pair.y.cols();
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut theta = Mat::gaussian(d, c, 0.05, &mut rng);
+        let mut theta: Mat = Mat::gaussian(d, c, 0.05, &mut rng);
         let cap = params.c_theta.min(0.5);
         for j in 0..c {
             let norm: f64 = (0..d).map(|i| theta.get(i, j).powi(2)).sum::<f64>().sqrt();
