@@ -1,0 +1,235 @@
+//! Dynamic-graph update bench: incremental store refresh
+//! (`gcon_serve::DynamicServingModel::apply_delta`) against the full
+//! rebuild (`ServingModel::build`) a static store would pay per mutation.
+//!
+//! Four measurements per run:
+//!
+//! - **full rebuild** — one `ServingModel::build` on the current graph: the
+//!   cost a static deployment pays for *every* edge that changes.
+//! - **incremental single-edge** — one `apply_delta` toggling a single
+//!   edge: O(affected rows) chain refresh + store row patch + generation
+//!   publish. The acceptance target is ≥ 10× cheaper than the rebuild;
+//!   the printed report and `BENCH_updates.json` record the ratio.
+//! - **incremental onboard** — one `apply_delta` that adds a node with one
+//!   edge (store grows a row, new node becomes queryable).
+//! - **sustained updates/sec while serving** — a writer thread applying
+//!   deltas back-to-back while reader threads hammer snapshots; reports
+//!   realized updates/sec and the queries/sec served *concurrently* (the
+//!   staleness-aware generation swap never blocks readers on the refresh).
+//!
+//! The bench model uses finite propagation scales, so every refreshed
+//! generation is **bitwise identical** to a from-scratch rebuild — asserted
+//! inline after the timed section, making the speedup an exactness-free
+//! comparison. Results go to `BENCH_updates.json` at the workspace root
+//! (override with `GCON_BENCH_OUT`); `GCON_BENCH_QUICK=1` shrinks the
+//! dataset and rep counts for CI smoke runs.
+
+use gcon_bench::median_time_ns as time_ns;
+use gcon_core::train::train_gcon;
+use gcon_core::{GconConfig, PropagationStep};
+use gcon_graph::CsrDelta;
+use gcon_linalg::Mat;
+use gcon_serve::{DynamicServingModel, ServingMode, ServingModel, StoreDtype};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+fn main() {
+    let quick =
+        std::env::var("GCON_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    let scale = if quick { 0.12 } else { 0.3 };
+    let dataset = gcon_datasets::cora_ml(scale, 7);
+    let n = dataset.graph.num_nodes();
+    println!(
+        "bench_updates: {} at scale {scale} ({n} nodes, {} edges), GCON_THREADS={}",
+        dataset.name,
+        dataset.graph.num_edges(),
+        gcon_runtime::configured_width()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    // Same head shape as bench_serve: d1 = 32 over two finite scales — the
+    // refreshed generations are bitwise-exact, so the speedup below trades
+    // away nothing.
+    let config = GconConfig {
+        encoder: gcon_core::encoder::EncoderConfig {
+            hidden: 32,
+            d1: 32,
+            epochs: if quick { 20 } else { 60 },
+            lr: 0.02,
+            weight_decay: 1e-5,
+        },
+        steps: vec![PropagationStep::Finite(1), PropagationStep::Finite(2)],
+        optimizer: gcon_core::model::OptimizerConfig {
+            lr: 0.05,
+            max_iters: if quick { 100 } else { 400 },
+            grad_tol: 1e-7,
+        },
+        ..Default::default()
+    };
+    let model = train_gcon(
+        &config,
+        &dataset.graph,
+        &dataset.features,
+        &dataset.labels,
+        &dataset.split.train,
+        dataset.num_classes,
+        4.0,
+        1e-3,
+        &mut rng,
+    );
+
+    let reps = if quick { 3 } else { 5 };
+    let mut sink = 0usize;
+
+    // Baseline: what a static store pays per mutation — a full rebuild.
+    let rebuild_ns = time_ns(reps, || {
+        let s = ServingModel::build_with_dtype(
+            &model,
+            &dataset.graph,
+            &dataset.features,
+            ServingMode::Public,
+            StoreDtype::F64,
+        );
+        sink ^= s.num_nodes();
+    });
+
+    let dynamic = DynamicServingModel::build_with_dtype(
+        &model,
+        dataset.graph.clone(),
+        &dataset.features,
+        ServingMode::Public,
+        StoreDtype::F64,
+    );
+
+    // A non-edge to toggle: insert on even calls, remove on odd, so every
+    // timed apply_delta performs real work and the graph stays bounded.
+    let u = (n / 3) as u32;
+    let v = (0..n as u32)
+        .find(|&w| w != u && !dataset.graph.neighbors(u).contains(&w))
+        .expect("graph is not complete");
+    let mut inserted = false;
+    let mut last_affected = 0usize;
+    let incr_ns = time_ns(reps * 10, || {
+        let mut delta = CsrDelta::new();
+        if inserted {
+            delta.remove_edge(u, v);
+        } else {
+            delta.insert_edge(u, v);
+        }
+        inserted = !inserted;
+        let outcome = dynamic.apply_delta(&delta, None);
+        last_affected = outcome.affected_rows;
+        sink ^= outcome.generation as usize;
+    });
+    // Leave the graph back in its original edge set for the equality check.
+    if inserted {
+        let mut delta = CsrDelta::new();
+        delta.remove_edge(u, v);
+        dynamic.apply_delta(&delta, None);
+    }
+    let rebuilt = ServingModel::build_with_dtype(
+        &model,
+        &dataset.graph,
+        &dataset.features,
+        ServingMode::Public,
+        StoreDtype::F64,
+    );
+    assert_eq!(
+        dynamic.snapshot().model().store_f64().unwrap().as_slice(),
+        rebuilt.store_f64().unwrap().as_slice(),
+        "incremental refreshes diverged from a from-scratch rebuild — exactness broken"
+    );
+
+    // Onboarding: add one node with one edge per timed call (store grows).
+    let d0 = dataset.features.cols();
+    let mut next = n;
+    let onboard_ns = time_ns(reps * 5, || {
+        let mut delta = CsrDelta::new();
+        delta.add_nodes(1);
+        delta.insert_edge(next as u32, (next % n) as u32);
+        let feats = Mat::from_fn(1, d0, |_, c| ((next * 13 + c * 5) % 17) as f64 / 17.0 - 0.4);
+        let outcome = dynamic.apply_delta(&delta, Some(&feats));
+        sink ^= outcome.onboarded.start as usize;
+        next += 1;
+    });
+
+    // Sustained: one writer toggling edges flat-out, 3 readers querying
+    // snapshots the whole time. Readers never block on the refresh lock.
+    let updates_target = if quick { 40 } else { 200 };
+    let stop = AtomicBool::new(false);
+    let queries = AtomicUsize::new(0);
+    let t = Instant::now();
+    let mut sustained_ns = 0.0;
+    std::thread::scope(|scope| {
+        for tid in 0..3usize {
+            let (stop, queries, dynamic) = (&stop, &queries, &dynamic);
+            scope.spawn(move || {
+                let mut q = tid;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = dynamic.snapshot();
+                    std::hint::black_box(snap.model().logits(q % n));
+                    queries.fetch_add(1, Ordering::Relaxed);
+                    q += 7;
+                }
+            });
+        }
+        let mut ins = false;
+        for _ in 0..updates_target {
+            let mut delta = CsrDelta::new();
+            if ins {
+                delta.remove_edge(u, v);
+            } else {
+                delta.insert_edge(u, v);
+            }
+            ins = !ins;
+            dynamic.apply_delta(&delta, None);
+        }
+        sustained_ns = t.elapsed().as_nanos() as f64;
+        stop.store(true, Ordering::Relaxed);
+    });
+    let concurrent_queries = queries.load(Ordering::Relaxed);
+    let updates_per_sec = updates_target as f64 / (sustained_ns / 1e9);
+    let queries_per_sec = concurrent_queries as f64 / (sustained_ns / 1e9);
+
+    let speedup = rebuild_ns / incr_ns;
+    println!("  {:<40} {:>14} {:>14}", "path", "ns/update", "updates/sec");
+    for (label, ns) in [
+        ("full rebuild (static baseline)", rebuild_ns),
+        ("incremental single-edge", incr_ns),
+        ("incremental onboard (+1 node)", onboard_ns),
+    ] {
+        println!("  {:<40} {:>14.0} {:>14.0}", label, ns, 1e9 / ns);
+    }
+    println!(
+        "  single-edge refresh speedup vs rebuild: {speedup:.1}x  \
+         (affected rows last toggle: {last_affected}/{n})"
+    );
+    println!(
+        "  sustained: {updates_per_sec:.0} updates/sec with {queries_per_sec:.0} \
+         queries/sec served concurrently ({concurrent_queries} queries over \
+         {updates_target} updates)"
+    );
+    std::hint::black_box(sink);
+
+    let mut json = String::from("{\n  \"bench\": \"updates\",\n");
+    json.push_str(&format!("  \"nodes\": {n},\n  \"quick\": {quick},\n"));
+    json.push_str("  \"unit\": \"ns_per_update_median\",\n");
+    json.push_str(&format!(
+        "  \"full_rebuild_ns\": {rebuild_ns:.0},\n  \"incremental_edge_ns\": {incr_ns:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"incremental_onboard_ns\": {onboard_ns:.0},\n  \
+         \"speedup_vs_rebuild\": {speedup:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sustained\": {{ \"updates_per_sec\": {updates_per_sec:.0}, \
+         \"concurrent_queries_per_sec\": {queries_per_sec:.0}, \
+         \"updates\": {updates_target}, \"queries\": {concurrent_queries} }}\n}}\n"
+    ));
+    let out_path = std::env::var("GCON_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_updates.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("failed to write BENCH_updates.json");
+    println!("  wrote {out_path}");
+}

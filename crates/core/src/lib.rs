@@ -28,6 +28,11 @@
 //!    (Eq. 40/47–49, Lemmas 7–8, exact dense `R_∞`): everything the privacy
 //!    proof asserts about Jacobians and noise densities, made computable on
 //!    small instances so the tests can check the algebra.
+//! 10. [`refresh`] — the dynamic-graph substrate: [`refresh::ApprChain`]
+//!     keeps the per-scale propagation iterates alive so a
+//!     `gcon_graph::CsrDelta` re-derives only delta-affected rows (finite
+//!     scales bitwise equal to full re-propagation; the `∞` scale
+//!     warm-started with a certified staleness bound).
 //!
 //! The top-level entry points are [`GconConfig`], [`train::train_gcon`] and
 //! [`TrainedGcon`].
@@ -40,6 +45,7 @@ pub mod noise;
 pub mod objective;
 pub mod params;
 pub mod propagation;
+pub mod refresh;
 pub mod sensitivity;
 pub mod serialize;
 pub mod train;
@@ -50,3 +56,4 @@ pub use loss::{ConvexLoss, LossBounds, LossKind};
 pub use model::{GconConfig, PrivacyReport, TrainedGcon};
 pub use params::TheoremOneParams;
 pub use propagation::{PprSolver, PropagationStep};
+pub use refresh::{ApprChain, RefreshStats};

@@ -41,18 +41,38 @@
 //!   poorly-connected graphs at small `α` — the regime where the power
 //!   iteration needs `O(log(1/tol)/α)` sweeps.
 //!
-//! [`PprSolver`] selects between them; the default [`PprSolver::Auto`] picks
-//! CGNR below `α <` [`PPR_CGNR_ALPHA_MAX`] and the power iteration
-//! otherwise, and `GconConfig::ppr_solver` overrides the choice for
-//! training/inference pipelines. **Convergence failure is a first-class
-//! outcome**: if any column of the CGNR solve fails to reach tolerance
-//! within its iteration budget, a warning is logged and the power iteration
-//! — which cannot fail to converge on a row-stochastic `Ã` — finishes the
-//! solve, warm-started from the partial CGNR iterate. No code path returns
-//! an unconverged solve.
+//! [`PprSolver`] selects between them; the default [`PprSolver::Auto`] is
+//! **spectral-gap aware**: for `α <` [`PPR_CGNR_ALPHA_MAX`] it estimates
+//! `λ₂(Ã)` with a short deflated power iteration ([`estimate_lambda2`]) and
+//! feeds it to the pure decision function [`auto_chooses_cgnr`], which
+//! compares the predicted sparse-product counts of both solvers (power:
+//! `ln(1/tol)/−ln((1−α)λ₂)`; CGNR: `∝ √κ_eff` with
+//! `κ_eff = (1+(1−α)λ₂)/(1−(1−α)λ₂)`). Expanders therefore stay on the
+//! power iteration even at tiny `α`, while poorly-connected graphs (rings,
+//! chains) switch to CGNR. For `α ≥` [`PPR_CGNR_ALPHA_MAX`] the power
+//! iteration is chosen without estimating the spectrum (the model's
+//! crossover lies below that threshold even in the gapless `λ₂ → 1` limit),
+//! so common restart probabilities pay zero selection overhead.
+//! `GconConfig::ppr_solver` overrides the choice for training/inference
+//! pipelines. **Convergence failure is a first-class outcome**: if any
+//! column of the CGNR solve fails to reach tolerance within its iteration
+//! budget, a warning is logged and the power iteration — which cannot fail
+//! to converge on a row-stochastic `Ã` — finishes the solve, warm-started
+//! from the partial CGNR iterate. No code path returns an unconverged
+//! solve.
+//!
+//! # Incremental refresh
+//!
+//! [`refresh_ppr`] re-solves the `∞` limit warm-started from a previous
+//! iterate after a graph delta, and [`ppr_staleness_bound`] turns any
+//! iterate's residual into a certified `‖Z − Z_∞‖_max` bound (the serving
+//! staleness contract). The finite-step refresh machinery lives in
+//! [`crate::refresh`].
 
 use gcon_graph::Csr;
-use gcon_linalg::solve::{block_cgnr, BlockLinearOperator, LinearOperator, SolveStats};
+use gcon_linalg::solve::{
+    block_cgnr, block_cgnr_warm, BlockLinearOperator, LinearOperator, SolveStats,
+};
 use gcon_linalg::{ops, Mat};
 
 /// A propagation step count `m ∈ [0, ∞]` (Eq. 9).
@@ -133,7 +153,7 @@ pub fn propagate_with_solver(
     step: PropagationStep,
     solver: PprSolver,
 ) -> Mat {
-    if step == PropagationStep::Infinite && solver.chooses_cgnr(alpha) {
+    if step == PropagationStep::Infinite && solver.resolves_to_cgnr(alpha, a_tilde) {
         assert!(
             alpha > 0.0 && alpha <= 1.0,
             "propagate: restart probability α must lie in (0, 1], got {alpha}"
@@ -180,7 +200,10 @@ pub fn propagate_into(
 
 /// One APPR sweep in place: `z ← (1−α) Ã z + α x`, with `scratch` receiving
 /// the previous iterate (the buffers are swapped, not copied).
-fn step_once_into(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha: f64) {
+///
+/// `pub(crate)` so the incremental refresh layer (`crate::refresh`) can
+/// replicate the batch sweep bit-for-bit when building its iterate chain.
+pub(crate) fn step_once_into(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha: f64) {
     a_tilde.spmm_into(z, scratch);
     scratch.map_inplace(|v| v * (1.0 - alpha));
     ops::add_scaled_assign(scratch, alpha, x);
@@ -188,17 +211,27 @@ fn step_once_into(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha:
 }
 
 /// Iterates `z` to the PPR fixed point (Eq. 5), leaving the result in `z`.
-fn run_to_fixed_point(a_tilde: &Csr, z: &mut Mat, scratch: &mut Mat, x: &Mat, alpha: f64) {
-    for _ in 0..PPR_MAX_ITERS {
+/// Returns the number of sweeps performed; since the recursion contracts
+/// from **any** starting point, a warm `z` close to the fixed point exits
+/// after very few sweeps — the property the incremental refresh exploits.
+pub(crate) fn run_to_fixed_point(
+    a_tilde: &Csr,
+    z: &mut Mat,
+    scratch: &mut Mat,
+    x: &Mat,
+    alpha: f64,
+) -> usize {
+    for sweep in 1..=PPR_MAX_ITERS {
         step_once_into(a_tilde, z, scratch, x, alpha);
         // After the swap `scratch` holds the previous iterate.
         if max_abs_diff(z, scratch) < PPR_TOL {
-            break;
+            return sweep;
         }
     }
+    PPR_MAX_ITERS
 }
 
-fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
+pub(crate) fn max_abs_diff(a: &Mat, b: &Mat) -> f64 {
     a.as_slice().iter().zip(b.as_slice()).fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
 }
 
@@ -217,7 +250,13 @@ pub enum PprSolver {
 }
 
 impl PprSolver {
-    /// Whether this selection resolves to CGNR for restart probability `α`.
+    /// The `α`-only coarse resolution: whether this selection *can* resolve
+    /// to CGNR for restart probability `α`, before consulting the graph.
+    /// For [`PprSolver::Auto`] this is the prefilter `α <`
+    /// [`PPR_CGNR_ALPHA_MAX`]; the full graph-aware decision is
+    /// [`PprSolver::resolves_to_cgnr`], which additionally estimates
+    /// `λ₂(Ã)` and can still keep the power iteration on well-connected
+    /// graphs. `resolves_to_cgnr ⇒ chooses_cgnr` for every variant.
     pub fn chooses_cgnr(self, alpha: f64) -> bool {
         match self {
             Self::Auto => alpha < PPR_CGNR_ALPHA_MAX,
@@ -225,6 +264,146 @@ impl PprSolver {
             Self::Cgnr => true,
         }
     }
+
+    /// The full solver resolution for the `∞` limit on a concrete graph:
+    /// `Power`/`Cgnr` are forced, and `Auto` runs the spectral-gap-aware
+    /// cost model — [`estimate_lambda2`] feeding [`auto_chooses_cgnr`] —
+    /// but only below the [`PPR_CGNR_ALPHA_MAX`] prefilter, so the common
+    /// `α` regime (where the power iteration always wins; the pure model's
+    /// crossover in the gapless `λ₂ → 1` limit sits at `α ≈ 0.021`) pays
+    /// nothing for the estimate. This is what [`propagate_with_solver`] and
+    /// [`propagate_multi_with_solver`] consult.
+    pub fn resolves_to_cgnr(self, alpha: f64, a_tilde: &Csr) -> bool {
+        match self {
+            Self::Power => false,
+            Self::Cgnr => true,
+            Self::Auto => {
+                alpha < PPR_CGNR_ALPHA_MAX
+                    && auto_chooses_cgnr(alpha, estimate_lambda2(a_tilde, LAMBDA2_SWEEPS))
+            }
+        }
+    }
+}
+
+/// Power-iteration sweeps used by [`PprSolver::resolves_to_cgnr`] for the
+/// `λ₂` estimate. The estimate only steers a solver choice whose candidates
+/// differ by hundreds of products, so a crude (≈ two-digit) estimate from a
+/// few dozen sweeps is plenty.
+pub const LAMBDA2_SWEEPS: usize = 32;
+
+/// Estimates `|λ₂|` of the row-stochastic `Ã` — the subdominant eigenvalue
+/// magnitude that sets the power iteration's effective rate `(1−α)·λ₂`.
+///
+/// A power iteration on `Ã` with **mean deflation**: `Ã` is row-stochastic,
+/// so its dominant right eigenvector is the all-ones vector with `λ₁ = 1`;
+/// subtracting the mean from the iterate after every product keeps the
+/// `𝟙`-component proportional to the (vanishing) residual, and the norm
+/// ratio converges to the subdominant magnitude. `Ã = D⁻¹(A+I)`-style
+/// normalizations are similar to a symmetric matrix via a `D^{1/2}`
+/// conjugation, so the spectrum is real and the ratio is well-defined; the
+/// clipped variant is a small perturbation of that. The start vector is a
+/// deterministic index hash (no RNG), and the whole estimate is built from
+/// `spmv_into` plus sequential scalar reductions, so it inherits the
+/// kernels' bitwise determinism across `GCON_THREADS` and kernel tiers —
+/// [`PprSolver::Auto`] resolves identically everywhere.
+///
+/// Returns a value clamped to `[0, 1]`; degenerate inputs (`n ≤ 1`, or an
+/// iterate collapsing to exactly the constant vector) return `0.0`, which
+/// [`auto_chooses_cgnr`] maps to the power iteration (one sweep converges).
+pub fn estimate_lambda2(a_tilde: &Csr, sweeps: usize) -> f64 {
+    assert_eq!(a_tilde.rows(), a_tilde.cols(), "estimate_lambda2: Ã must be square");
+    let n = a_tilde.rows();
+    if n <= 1 {
+        return 0.0;
+    }
+    // SplitMix64 of the index: deterministic, well-scattered start vector
+    // with (generically) nonzero overlap onto every eigenvector.
+    let mut v: Vec<f64> = (0..n as u64)
+        .map(|i| {
+            let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            // Map to [-0.5, 0.5).
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    let deflate_and_norm = |v: &mut [f64]| -> f64 {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let mut norm_sq = 0.0;
+        for vi in v.iter_mut() {
+            *vi -= mean;
+            norm_sq += *vi * *vi;
+        }
+        norm_sq.sqrt()
+    };
+    let norm = deflate_and_norm(&mut v);
+    if norm <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    v.iter_mut().for_each(|vi| *vi /= norm);
+    let mut av = Vec::new();
+    let mut lambda = 0.0;
+    for _ in 0..sweeps {
+        a_tilde.spmv_into(&v, &mut av);
+        let norm = deflate_and_norm(&mut av);
+        if norm <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        lambda = norm;
+        for (vi, &ai) in v.iter_mut().zip(&av) {
+            *vi = ai / norm;
+        }
+    }
+    lambda.min(1.0)
+}
+
+/// Natural-log factors of the two solver tolerances, used by the cost model.
+const LN_INV_PPR_TOL: f64 = 23.025_850_929_940_457; // ln(1e10)
+const LN_INV_PPR_CGNR_TOL: f64 = 27.631_021_115_928_548; // ln(1e12)
+/// Calibration factor of the CGNR product-count model. The Chebyshev bound
+/// `iters ≈ ½·√κ·ln(2/tol)` is loose for clustered PPR spectra; `F = 2`
+/// (absorbing the ½) reproduces the `bench_solvers` measurements: at
+/// `α = 0.01` the model keeps the power iteration on an Erdős–Rényi
+/// expander (`λ₂ ≈ 0.9`: ≈ 200 power products vs ≈ 460 predicted CGNR) and
+/// switches to CGNR on the ring lattice (`λ₂ ≈ 0.9995`: ≈ 2180 power
+/// products vs ≈ 1520 predicted CGNR) — matching which solver actually wins
+/// on each graph.
+const CGNR_COST_CALIBRATION: f64 = 2.0;
+
+/// The pure [`PprSolver::Auto`] decision function: given the restart
+/// probability and (an estimate of) `λ₂(Ã)`, predicts which solver reaches
+/// its tolerance in fewer sparse products and returns `true` iff CGNR wins.
+///
+/// Cost model, in units of one `Ã`-sized sparse product:
+///
+/// - **Power**: the sweep contracts at `rate = (1−α)·λ₂`, so reaching the
+///   fixed-point tolerance takes `ln(1/PPR_TOL) / −ln(rate)` products.
+/// - **CGNR**: `Ã`'s real spectrum in `[−λ₂, λ₂]` puts the spectrum of
+///   `I − (1−α)Ã` inside `[1−rate, 1+rate]`, i.e. condition number
+///   `κ = (1+rate)/(1−rate)`. The worst-case CG-on-normal-equations bound
+///   scales with `κ` itself, but PPR spectra are clustered and the
+///   observed iteration count tracks `√κ`; the model therefore charges
+///   `2 · F · √κ · ln(1/PPR_CGNR_TOL)` products (two per iteration) with
+///   the measured calibration factor `F = CGNR_COST_CALIBRATION`.
+///
+/// Separated from the `λ₂` estimation so it is unit-testable on exact
+/// spectra, the same way `resolve_spmv_tier` pins the kernel-tier gate.
+pub fn auto_chooses_cgnr(alpha: f64, lambda2: f64) -> bool {
+    assert!(alpha > 0.0 && alpha <= 1.0, "auto_chooses_cgnr: α in (0, 1]");
+    if alpha >= PPR_CGNR_ALPHA_MAX {
+        return false;
+    }
+    let rate = (1.0 - alpha) * lambda2.clamp(0.0, 1.0);
+    if rate <= 0.0 {
+        // One sweep converges; the power iteration cannot be beaten.
+        return false;
+    }
+    // λ₂ ≤ 1 and α > 0 keep rate < 1, so both costs are finite.
+    let power_products = LN_INV_PPR_TOL / -rate.ln();
+    let kappa_sqrt = ((1.0 + rate) / (1.0 - rate)).sqrt();
+    let cgnr_products = 2.0 * CGNR_COST_CALIBRATION * kappa_sqrt * LN_INV_PPR_CGNR_TOL;
+    cgnr_products < power_products
 }
 
 /// Matrix-free operator for `I − (1−α)Ã`, the PPR system matrix of Eq. (5),
@@ -283,14 +462,14 @@ impl LinearOperator for PprOperator<'_> {
 /// columns at once. The `Ãᵀ` application runs the pooled row-block `spmm`
 /// kernel on a transpose precomputed at construction — one O(nnz) counting
 /// sort buys scatter-free transposed products for every solver iteration.
-struct PprBlockOperator<'a> {
+pub(crate) struct PprBlockOperator<'a> {
     a_tilde: &'a Csr,
     a_tilde_t: Csr,
     one_minus_alpha: f64,
 }
 
 impl<'a> PprBlockOperator<'a> {
-    fn new(a_tilde: &'a Csr, alpha: f64) -> Self {
+    pub(crate) fn new(a_tilde: &'a Csr, alpha: f64) -> Self {
         Self { a_tilde, a_tilde_t: a_tilde.transpose(), one_minus_alpha: 1.0 - alpha }
     }
 
@@ -446,7 +625,7 @@ pub fn propagate_multi_with_solver(
         snapshot(&mut out, &z, PropagationStep::Finite(k));
     }
     if has_infinite {
-        if solver.chooses_cgnr(alpha) {
+        if solver.resolves_to_cgnr(alpha, a_tilde) {
             let z_inf = propagate_ppr_cgnr(a_tilde, x, alpha);
             snapshot(&mut out, &z_inf, PropagationStep::Infinite);
         } else {
@@ -484,6 +663,108 @@ pub fn concat_features_with_solver(
     let inv_s = 1.0 / steps.len() as f64;
     z.map_inplace(|v| v * inv_s);
     z
+}
+
+/// Result of a warm-started PPR refresh ([`refresh_ppr`]).
+#[derive(Clone, Debug)]
+pub struct PprRefresh {
+    /// The refreshed `Z_∞` iterate (converged to solver tolerance).
+    pub z: Mat,
+    /// Certified bound on `‖z − Z_∞‖_max` (see [`ppr_staleness_bound`]),
+    /// measured on the returned iterate with one extra sparse product.
+    pub staleness_bound: f64,
+    /// Iterations/sweeps the warm solve performed (CGNR: max over columns;
+    /// power: number of sweeps). A small delta with a good warm start
+    /// finishes in a handful — this is the quantity `bench_updates`
+    /// contrasts with a cold solve.
+    pub iterations: usize,
+    /// Whether the CGNR path ran (`false` = power sweeps).
+    pub used_cgnr: bool,
+}
+
+/// Re-solves the PPR limit `(I − (1−α)Ã) Z_∞ = α X` warm-started from a
+/// previous iterate `z_warm` — the `∞`-scale half of an incremental graph
+/// refresh. After a delta touches a handful of `Ã` rows, the old fixed
+/// point is already correct to working precision away from the edit, so
+/// the solver only pays for propagating the perturbation:
+///
+/// - With CGNR resolved (see [`PprSolver::resolves_to_cgnr`]), the block
+///   solver starts at `X₀ = z_warm` and its per-column convergence test
+///   freezes already-converged columns after zero iterations.
+/// - With the power iteration resolved, the sweep continues from `z_warm`;
+///   the recursion contracts toward `Z_∞` from any starting point.
+///
+/// `z_warm` must have `x`'s shape; onboarded nodes (rows new since the warm
+/// iterate was computed) should be seeded with their `x` rows — exact for
+/// isolated new nodes, a contraction-friendly start otherwise. Like every
+/// `∞` solve, an unconverged CGNR refresh falls back to warm power sweeps;
+/// the returned iterate is always converged, and `staleness_bound` is its
+/// *measured* certificate, not an assumption.
+pub fn refresh_ppr(
+    a_tilde: &Csr,
+    x: &Mat,
+    alpha: f64,
+    z_warm: &Mat,
+    solver: PprSolver,
+) -> PprRefresh {
+    assert!(alpha > 0.0 && alpha <= 1.0, "refresh_ppr: restart probability α must lie in (0, 1]");
+    assert_eq!(a_tilde.rows(), x.rows(), "refresh_ppr: dimension mismatch");
+    assert_eq!(z_warm.shape(), x.shape(), "refresh_ppr: warm iterate shape mismatch");
+    let (z, iterations, used_cgnr) = if solver.resolves_to_cgnr(alpha, a_tilde) {
+        let op = PprBlockOperator::new(a_tilde, alpha);
+        let b = x.map(|v| v * alpha);
+        let budget = ppr_cgnr_budget(a_tilde.rows());
+        let (z, stats) = block_cgnr_warm(&op, &b, z_warm, PPR_CGNR_TOL, budget);
+        let failed = stats.iter().filter(|s| !s.converged).count();
+        if failed == 0 {
+            let iters = stats.iter().map(|s| s.iterations).max().unwrap_or(0);
+            (z, iters, true)
+        } else {
+            // Same fallback contract as `propagate_ppr_cgnr_bounded`: finish
+            // with power sweeps warm-started from the partial iterate.
+            let worst = stats.iter().map(|s| s.residual).fold(0.0_f64, f64::max);
+            eprintln!(
+                "gcon-core: warm PPR CGNR left {failed}/{} columns unconverged after {budget} \
+                 iterations (worst residual {worst:.3e}); falling back to warm power sweeps",
+                stats.len(),
+            );
+            let mut z = if z.is_finite() { z } else { z_warm.clone() };
+            let mut scratch = Mat::default();
+            let sweeps = run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
+            (z, sweeps, false)
+        }
+    } else {
+        let mut z = z_warm.clone();
+        let mut scratch = Mat::default();
+        let sweeps = run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
+        (z, sweeps, false)
+    };
+    let staleness_bound = ppr_staleness_bound(a_tilde, x, alpha, &z);
+    PprRefresh { z, staleness_bound, iterations, used_cgnr }
+}
+
+/// Certified staleness bound for an approximate PPR iterate: returns
+/// `‖R‖_max / α ≥ ‖z − Z_∞‖_max`, where `R = αX − (I − (1−α)Ã) z` is the
+/// residual of Eq. (5).
+///
+/// The bound is exact linear algebra, not a heuristic: `z − Z_∞ =
+/// −(I − (1−α)Ã)⁻¹ R`, and for row-stochastic `Ã` the inverse's max-norm is
+/// at most `Σ_k (1−α)^k ‖Ã‖_max^k = 1/α`. Costs one sparse product. This is
+/// the quantity the serving layer reports per query generation: logits
+/// served from a stale store are wrong by at most
+/// `staleness_bound · ‖Θ‖_{1,∞}` before head scaling.
+pub fn ppr_staleness_bound(a_tilde: &Csr, x: &Mat, alpha: f64, z: &Mat) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0, "ppr_staleness_bound: α in (0, 1]");
+    assert_eq!(a_tilde.rows(), x.rows(), "ppr_staleness_bound: dimension mismatch");
+    assert_eq!(z.shape(), x.shape(), "ppr_staleness_bound: iterate shape mismatch");
+    let az = a_tilde.spmm(z);
+    let one_minus_alpha = 1.0 - alpha;
+    let mut r_max = 0.0_f64;
+    for ((&zi, &xi), &azi) in z.as_slice().iter().zip(x.as_slice()).zip(az.as_slice()) {
+        let r = alpha * xi - (zi - one_minus_alpha * azi);
+        r_max = r_max.max(r.abs());
+    }
+    r_max / alpha
 }
 
 #[cfg(test)]
@@ -705,6 +986,176 @@ mod tests {
         assert!(!PprSolver::Auto.chooses_cgnr(0.6));
         assert!(PprSolver::Cgnr.chooses_cgnr(0.9));
         assert!(!PprSolver::Power.chooses_cgnr(0.01));
+    }
+
+    /// Pins the pure Auto decision function on exact spectra, the way
+    /// `resolve_spmv_tier` pins the kernel-tier gate: expander-like gaps
+    /// keep the power iteration even at tiny `α`; gapless spectra switch
+    /// to CGNR; at or above the α prefilter the power iteration always
+    /// wins regardless of the gap.
+    #[test]
+    fn auto_decision_is_gap_aware() {
+        // α = 0.01, well below the prefilter.
+        assert!(!auto_chooses_cgnr(0.01, 0.0)); // disconnected-free, 1-sweep
+        assert!(!auto_chooses_cgnr(0.01, 0.9)); // ER-expander gap
+        assert!(!auto_chooses_cgnr(0.01, 0.95));
+        assert!(auto_chooses_cgnr(0.01, 0.999)); // ring-lattice regime
+        assert!(auto_chooses_cgnr(0.01, 0.9995));
+        assert!(auto_chooses_cgnr(0.01, 1.0)); // gapless limit
+                                               // At/above the prefilter: power, even with no spectral gap.
+        assert!(!auto_chooses_cgnr(PPR_CGNR_ALPHA_MAX, 1.0));
+        assert!(!auto_chooses_cgnr(0.15, 1.0));
+        // Out-of-range λ₂ estimates are clamped, not trusted.
+        assert!(auto_chooses_cgnr(0.01, 1.7) == auto_chooses_cgnr(0.01, 1.0));
+    }
+
+    /// At fixed `α` the decision flips from power to CGNR exactly once as
+    /// the graph loses its spectral gap (the cost model is monotone).
+    #[test]
+    fn auto_decision_monotone_in_lambda2() {
+        let mut flips = 0;
+        let mut prev = auto_chooses_cgnr(0.01, 0.0);
+        for i in 1..=1000 {
+            let cur = auto_chooses_cgnr(0.01, i as f64 / 1000.0);
+            if cur != prev {
+                assert!(cur, "decision may only flip power → CGNR");
+                flips += 1;
+            }
+            prev = cur;
+        }
+        assert_eq!(flips, 1, "exactly one crossover in λ₂ ∈ [0, 1]");
+    }
+
+    /// The λ₂ estimator against graphs with known spectra. The cycle's
+    /// row-stochastic `Ã` is the circulant with symbol `(1+2cos θ)/3`, so
+    /// `λ₂ = (1+2cos(2π/n))/3` exactly; the complete graph's `Ã` is `J/n`
+    /// whose subdominant eigenvalue is 0.
+    #[test]
+    fn lambda2_estimate_matches_known_spectra() {
+        let ring = row_stochastic_default(&generators::cycle(24));
+        let exact = (1.0 + 2.0 * (2.0 * std::f64::consts::PI / 24.0).cos()) / 3.0;
+        let est = estimate_lambda2(&ring, 200);
+        assert!((est - exact).abs() < 1e-3, "ring λ₂: estimated {est}, exact {exact}");
+
+        let complete = row_stochastic_default(&generators::complete(8));
+        let est = estimate_lambda2(&complete, 16);
+        assert!(est < 1e-6, "complete-graph λ₂ should be ≈ 0, got {est}");
+
+        // Two disconnected cliques: the indicator difference of the
+        // components is an eigenvector with eigenvalue exactly 1.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+                edges.push((u + 5, v + 5));
+            }
+        }
+        let split = row_stochastic_default(&gcon_graph::Graph::from_edges(10, &edges));
+        let est = estimate_lambda2(&split, 64);
+        assert!((est - 1.0).abs() < 1e-6, "disconnected λ₂ should be 1, got {est}");
+
+        // Degenerate sizes resolve to 0 (power iteration, one sweep).
+        assert_eq!(estimate_lambda2(&row_stochastic_default(&generators::path(1)), 8), 0.0);
+    }
+
+    /// The graph-aware resolution end to end: forced variants ignore the
+    /// graph; Auto at small `α` picks per-graph (CGNR on the gapless ring,
+    /// power on the well-connected complete graph) and short-circuits to
+    /// power at common `α` without consulting the spectrum.
+    #[test]
+    fn solver_resolution_is_graph_aware() {
+        let ring = row_stochastic_default(&generators::cycle(400));
+        let complete = row_stochastic_default(&generators::complete(16));
+        assert!(!PprSolver::Power.resolves_to_cgnr(0.01, &ring));
+        assert!(PprSolver::Cgnr.resolves_to_cgnr(0.4, &complete));
+        assert!(PprSolver::Auto.resolves_to_cgnr(0.01, &ring));
+        assert!(!PprSolver::Auto.resolves_to_cgnr(0.01, &complete));
+        assert!(!PprSolver::Auto.resolves_to_cgnr(0.15, &ring));
+        // The graph-aware decision only ever strengthens the α prefilter.
+        for &alpha in &[0.005, 0.01, 0.019, 0.02, 0.3] {
+            for a in [&ring, &complete] {
+                assert!(
+                    !PprSolver::Auto.resolves_to_cgnr(alpha, a)
+                        || PprSolver::Auto.chooses_cgnr(alpha),
+                    "resolves_to_cgnr must imply chooses_cgnr"
+                );
+            }
+        }
+    }
+
+    /// After an edge delta, the warm refresh converges to the *new* fixed
+    /// point: its distance to an independent cold solve is covered by the
+    /// two iterates' measured staleness certificates.
+    #[test]
+    fn refresh_matches_cold_solve_after_delta() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let g = generators::erdos_renyi_gnm(40, 90, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(40, 6, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.15;
+        let z_old =
+            propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
+
+        let g2 = g.with_edge_added(0, 20);
+        let a2 = row_stochastic_default(&g2);
+        let refresh = refresh_ppr(&a2, &x, alpha, &z_old, PprSolver::Power);
+        assert!(!refresh.used_cgnr);
+        assert!(refresh.iterations > 0, "the delta must perturb the fixed point");
+
+        let cold =
+            propagate_with_solver(&a2, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
+        let cold_bound = ppr_staleness_bound(&a2, &x, alpha, &cold);
+        let diff = max_abs_diff(&refresh.z, &cold);
+        assert!(
+            diff <= refresh.staleness_bound + cold_bound,
+            "refresh vs cold differ by {diff}, certificates allow {} + {}",
+            refresh.staleness_bound,
+            cold_bound
+        );
+        // A converged iterate's certificate is tight: ≤ (1−α)·PPR_TOL/α.
+        assert!(refresh.staleness_bound < 1e-8);
+    }
+
+    /// The staleness certificate is honest: the *true* distance between a
+    /// stale iterate (pre-delta fixed point) and the post-delta fixed point
+    /// never exceeds the bound computed from the stale residual alone.
+    #[test]
+    fn staleness_bound_dominates_true_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = generators::erdos_renyi_gnm(30, 60, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(30, 5, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.2;
+        let z_old =
+            propagate_with_solver(&a, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
+
+        let g2 = g.with_edge_added(1, 17);
+        let a2 = row_stochastic_default(&g2);
+        let bound = ppr_staleness_bound(&a2, &x, alpha, &z_old);
+        let fresh =
+            propagate_with_solver(&a2, &x, alpha, PropagationStep::Infinite, PprSolver::Power);
+        let true_err = max_abs_diff(&z_old, &fresh);
+        assert!(bound > 0.0, "a real delta must produce a nonzero certificate");
+        assert!(true_err <= bound + 1e-9, "true error {true_err} exceeds certified bound {bound}");
+    }
+
+    /// Warm-starting the CGNR refresh *at* the solution freezes every
+    /// column after zero iterations and returns the warm iterate verbatim.
+    #[test]
+    fn cgnr_refresh_at_solution_is_free_and_bitwise() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = generators::erdos_renyi_gnm(25, 50, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(25, 4, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        let alpha = 0.3;
+        let z = propagate_ppr_cgnr(&a, &x, alpha);
+        let refresh = refresh_ppr(&a, &x, alpha, &z, PprSolver::Cgnr);
+        assert!(refresh.used_cgnr);
+        assert_eq!(refresh.iterations, 0);
+        assert_eq!(refresh.z.as_slice(), z.as_slice(), "frozen solve must be bitwise");
     }
 
     /// `propagate_multi` with CGNR selected for the `∞` block agrees with

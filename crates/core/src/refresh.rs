@@ -1,0 +1,531 @@
+//! Incremental propagation refresh for dynamic graphs.
+//!
+//! [`ApprChain`] keeps the per-scale iterates `Z_0, Z_1, …, Z_{max(m)}`
+//! (and the `∞` limit, when requested) of the multi-scale propagation of
+//! Eq. (10–11) alive between graph updates. After a
+//! [`gcon_graph::CsrDelta`] patches the row-stochastic `Ã`,
+//! [`ApprChain::refresh`] re-derives only the rows the delta can reach:
+//!
+//! - **Finite scales are re-derived bitwise.** The recursion
+//!   `Z_k(i) = (1−α) Σ_j Ã(i,j) Z_{k−1}(j) + α X(i)` means row `i` of
+//!   level `k` changes only if `Ã` row `i` changed, `X` row `i` changed,
+//!   or a pattern-neighbor `j` changed at level `k−1`. The affected set
+//!   therefore grows by one pattern-neighborhood per level
+//!   (`C_k = C_{k−1} ∪ N(C_{k−1})`, seeded with the delta's touched rows),
+//!   and each affected row is recomputed by a scalar routine that
+//!   replicates the `spmm` kernel's per-row arithmetic **exactly** — same
+//!   four-nonzero chunking, same accumulation order — so a refreshed chain
+//!   is byte-identical to re-running
+//!   [`propagate_multi`](crate::propagation::propagate_multi) from scratch, at
+//!   `O(Σ_k |C_k| · nnz-per-row · d)` cost instead of `O(max(m) · nnz · d)`.
+//! - **The `∞` scale is refreshed warm.** The previous fixed point (new
+//!   rows seeded from `X`) warm-starts [`refresh_ppr`]; the result carries
+//!   the certified [`ppr_staleness_bound`] max-norm certificate instead of
+//!   a bitwise guarantee (the perturbation is global, but tiny sweeps/
+//!   frozen CGNR columns make it cheap).
+//!
+//! The memory cost of incrementality is explicit: the chain owns
+//! `max(m)+1` dense `n × d` iterates (plus the `∞` limit), because a row
+//! re-derivation at level `k` reads *neighbor* rows of level `k−1`, which a
+//! concatenated output alone cannot provide.
+//!
+//! The contract callers must uphold: between `build`/`refresh` calls, `x`
+//! rows outside the delta's touched/onboarded set must be bitwise
+//! unchanged (row-local encoders — `encode_normalized` — guarantee this),
+//! and `a_tilde` must be the patched matrix whose non-touched rows are
+//! bitwise identical to the previous one (what [`gcon_graph::CsrDelta`]
+//! produces).
+
+use crate::propagation::{
+    ppr_staleness_bound, propagate_ppr_cgnr, refresh_ppr, run_to_fixed_point, step_once_into,
+    PprSolver, PropagationStep,
+};
+use gcon_graph::Csr;
+use gcon_linalg::Mat;
+
+/// The live per-scale iterate chain of a multi-scale propagation, the unit
+/// of incremental refresh (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct ApprChain {
+    alpha: f64,
+    steps: Vec<PropagationStep>,
+    solver: PprSolver,
+    max_finite: usize,
+    has_infinite: bool,
+    /// `iterates[k]` is `Z_k`, for every `k ∈ [0, max_finite]` — including
+    /// scales not requested in `steps`, which later levels need as inputs.
+    iterates: Vec<Mat>,
+    z_inf: Option<Mat>,
+    staleness_bound: f64,
+}
+
+/// What a [`ApprChain::refresh`] call actually did — the observability the
+/// serving layer and `bench_updates` report.
+#[derive(Clone, Debug)]
+pub struct RefreshStats {
+    /// Rows re-derived across all finite levels (the incremental work; a
+    /// full rebuild would have been `max_finite · n`).
+    pub rows_recomputed: usize,
+    /// The affected set at the deepest finite level, sorted ascending —
+    /// exactly the rows whose finite-scale iterates may have changed (a
+    /// serving layer patches only these store rows).
+    pub affected: Vec<u32>,
+    /// Iterations/sweeps of the warm `∞` solve (0 when no `∞` scale).
+    pub inf_iterations: usize,
+    /// Whether the `∞` refresh ran CGNR (`false` = power sweeps or absent).
+    pub inf_used_cgnr: bool,
+    /// Certified `‖Z_∞-block − exact‖_max` bound after this refresh
+    /// (`0.0` when the chain has no `∞` scale — finite levels are exact).
+    pub staleness_bound: f64,
+}
+
+impl ApprChain {
+    /// Runs the full multi-scale sweep once and captures every iterate.
+    ///
+    /// The per-level arithmetic is the same `step_once_into` sweep that
+    /// [`propagate_multi`] runs, so
+    /// [`assemble`](Self::assemble)/[`assemble_concat`](Self::assemble_concat)
+    /// of a freshly built chain are byte-identical to
+    /// [`propagate_multi_with_solver`] / `concat_features_with_solver`
+    /// outputs (the `∞` block to fixed-point/solver tolerance — it is the
+    /// identical code path).
+    ///
+    /// [`propagate_multi`]: crate::propagation::propagate_multi
+    /// [`propagate_multi_with_solver`]: crate::propagation::propagate_multi_with_solver
+    pub fn build(
+        a_tilde: &Csr,
+        x: &Mat,
+        alpha: f64,
+        steps: &[PropagationStep],
+        solver: PprSolver,
+    ) -> Self {
+        assert!(!steps.is_empty(), "ApprChain: need at least one step");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "ApprChain: restart probability α must lie in (0, 1], got {alpha}"
+        );
+        assert_eq!(a_tilde.rows(), a_tilde.cols(), "ApprChain: Ã must be square");
+        assert_eq!(a_tilde.rows(), x.rows(), "ApprChain: dimension mismatch");
+        let max_finite = steps
+            .iter()
+            .filter_map(|s| match s {
+                PropagationStep::Finite(m) => Some(*m),
+                PropagationStep::Infinite => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let has_infinite = steps.contains(&PropagationStep::Infinite);
+
+        let mut iterates = Vec::with_capacity(max_finite + 1);
+        iterates.push(x.clone());
+        let mut scratch = Mat::zeros(0, 0);
+        for _ in 1..=max_finite {
+            let mut z = iterates.last().expect("chain starts at Z_0").clone();
+            step_once_into(a_tilde, &mut z, &mut scratch, x, alpha);
+            iterates.push(z);
+        }
+
+        let (z_inf, staleness_bound) = if has_infinite {
+            let z = if solver.resolves_to_cgnr(alpha, a_tilde) {
+                propagate_ppr_cgnr(a_tilde, x, alpha)
+            } else {
+                // Continue from the deepest finite iterate, exactly like the
+                // single-sweep propagate_multi (the recursion contracts to
+                // the same limit from any start).
+                let mut z = iterates.last().expect("chain starts at Z_0").clone();
+                run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
+                z
+            };
+            let bound = ppr_staleness_bound(a_tilde, x, alpha, &z);
+            (Some(z), bound)
+        } else {
+            (None, 0.0)
+        };
+
+        Self {
+            alpha,
+            steps: steps.to_vec(),
+            solver,
+            max_finite,
+            has_infinite,
+            iterates,
+            z_inf,
+            staleness_bound,
+        }
+    }
+
+    /// Re-derives the chain after a graph delta. `a_tilde` is the patched
+    /// row-stochastic matrix (possibly grown by onboarded nodes), `x` the
+    /// matching encoded features, and `touched` the rows the delta changed
+    /// (what [`gcon_graph::DeltaResult::touched`] reports — it already
+    /// includes onboarded rows). See the module docs for the exactness
+    /// contract: finite levels come out bitwise equal to a from-scratch
+    /// rebuild; the `∞` level carries a refreshed staleness certificate.
+    pub fn refresh(&mut self, a_tilde: &Csr, x: &Mat, touched: &[u32]) -> RefreshStats {
+        let n = a_tilde.rows();
+        assert_eq!(a_tilde.rows(), a_tilde.cols(), "ApprChain::refresh: Ã must be square");
+        assert_eq!(x.rows(), n, "ApprChain::refresh: feature rows must match Ã");
+        let d = self.iterates[0].cols();
+        assert_eq!(x.cols(), d, "ApprChain::refresh: feature width changed");
+        let n_old = self.iterates[0].rows();
+        assert!(n >= n_old, "ApprChain::refresh: the node set never shrinks");
+
+        // Grow every iterate row-wise; old rows keep their bits, onboarded
+        // rows start at zero (finite levels recompute them below; the warm
+        // ∞ start seeds them from `x` instead).
+        if n > n_old {
+            for z in &mut self.iterates {
+                *z = grow_rows(z, n);
+            }
+        }
+
+        // Seed the affected set: delta-touched rows plus every onboarded
+        // row (defensively — `DeltaResult::touched` already contains them).
+        let mut mask = vec![false; n];
+        let mut affected: Vec<u32> = Vec::new();
+        for &u in touched {
+            let ui = u as usize;
+            assert!(ui < n, "ApprChain::refresh: touched row {u} out of range for {n} nodes");
+            if !mask[ui] {
+                mask[ui] = true;
+                affected.push(u);
+            }
+        }
+        for u in n_old as u32..n as u32 {
+            if !mask[u as usize] {
+                mask[u as usize] = true;
+                affected.push(u);
+            }
+        }
+        affected.sort_unstable();
+
+        // Level 0 is X itself: re-copy the seed rows (onboarded rows get
+        // their features; touched old rows are bitwise no-ops by contract).
+        for &u in &affected {
+            self.iterates[0].row_mut(u as usize).copy_from_slice(x.row(u as usize));
+        }
+
+        let mut rows_recomputed = 0usize;
+        let mut saturated = affected.len() == n;
+        for k in 1..=self.max_finite {
+            // C_k = C_{k−1} ∪ N(C_{k−1}): one pattern-neighborhood of
+            // growth per level. Ã's pattern is symmetric (undirected graph
+            // plus self-loops), so out-neighbors are exactly the rows that
+            // read a changed row.
+            if !saturated {
+                let mut grown = Vec::new();
+                for &u in &affected {
+                    let (cols, _) = a_tilde.row(u as usize);
+                    for &v in cols {
+                        if !mask[v as usize] {
+                            mask[v as usize] = true;
+                            grown.push(v);
+                        }
+                    }
+                }
+                affected.extend(grown);
+                affected.sort_unstable();
+                saturated = affected.len() == n;
+            }
+            let (prev, rest) = self.iterates.split_at_mut(k);
+            let z_prev = &prev[k - 1];
+            let z_k = &mut rest[0];
+            for &u in &affected {
+                recompute_row(a_tilde, z_prev, x, self.alpha, u as usize, z_k.row_mut(u as usize));
+            }
+            rows_recomputed += affected.len();
+        }
+
+        let (inf_iterations, inf_used_cgnr) = if self.has_infinite {
+            let warm = match self.z_inf.take() {
+                Some(old) if old.rows() == n => old,
+                Some(old) => {
+                    // Seed onboarded rows from `x`: exact for isolated new
+                    // nodes, and a contraction-friendly start otherwise.
+                    let mut grown = grow_rows(&old, n);
+                    for u in n_old..n {
+                        grown.row_mut(u).copy_from_slice(x.row(u));
+                    }
+                    grown
+                }
+                None => unreachable!("has_infinite chains always carry z_inf"),
+            };
+            let refreshed = refresh_ppr(a_tilde, x, self.alpha, &warm, self.solver);
+            self.staleness_bound = refreshed.staleness_bound;
+            self.z_inf = Some(refreshed.z);
+            (refreshed.iterations, refreshed.used_cgnr)
+        } else {
+            (0, false)
+        };
+
+        RefreshStats {
+            rows_recomputed,
+            affected,
+            inf_iterations,
+            inf_used_cgnr,
+            staleness_bound: self.staleness_bound,
+        }
+    }
+
+    /// The unweighted multi-scale concatenation in `steps` order — the
+    /// [`propagate_multi`](crate::propagation::propagate_multi) layout.
+    pub fn assemble(&self) -> Mat {
+        let (n, d) = self.iterates[0].shape();
+        let mut out = Mat::zeros(n, self.steps.len() * d);
+        for (i, &s) in self.steps.iter().enumerate() {
+            out.copy_into_columns(i * d, self.block(s));
+        }
+        out
+    }
+
+    /// The `1/s`-weighted concatenation of Eq. (11) — the
+    /// [`concat_features`](crate::propagation::concat_features) layout that
+    /// feeds the private head.
+    pub fn assemble_concat(&self) -> Mat {
+        let mut z = self.assemble();
+        let inv_s = 1.0 / self.steps.len() as f64;
+        z.map_inplace(|v| v * inv_s);
+        z
+    }
+
+    fn block(&self, step: PropagationStep) -> &Mat {
+        match step {
+            PropagationStep::Finite(m) => &self.iterates[m],
+            PropagationStep::Infinite => {
+                self.z_inf.as_ref().expect("has_infinite chains always carry z_inf")
+            }
+        }
+    }
+
+    /// The stored iterate `Z_k` (`k ≤ max(m)` of the requested steps).
+    pub fn iterate(&self, k: usize) -> &Mat {
+        &self.iterates[k]
+    }
+
+    /// The `∞`-limit iterate, when the chain has an `∞` scale.
+    pub fn z_inf(&self) -> Option<&Mat> {
+        self.z_inf.as_ref()
+    }
+
+    /// Certified `‖Z_∞-block − exact‖_max` bound of the current state
+    /// (`0.0` for finite-only chains, whose levels are exact).
+    pub fn staleness_bound(&self) -> f64 {
+        self.staleness_bound
+    }
+
+    /// Number of graph nodes the chain currently covers.
+    pub fn num_nodes(&self) -> usize {
+        self.iterates[0].rows()
+    }
+
+    /// The requested propagation scales, in assembly order.
+    pub fn steps(&self) -> &[PropagationStep] {
+        &self.steps
+    }
+
+    /// The restart probability the chain propagates with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// Copies `z` into a taller zero matrix (row growth for onboarding).
+fn grow_rows(z: &Mat, new_rows: usize) -> Mat {
+    let (rows, cols) = z.shape();
+    debug_assert!(new_rows >= rows);
+    let mut out = Mat::zeros(new_rows, cols);
+    out.as_mut_slice()[..rows * cols].copy_from_slice(z.as_slice());
+    out
+}
+
+/// Scalar re-derivation of one row of `Z_k = (1−α) Ã Z_{k−1} + α X`,
+/// replicating the `spmm` kernel's per-row arithmetic bit for bit: the same
+/// four-nonzero chunks accumulated as `(v₀x₀ + v₁x₁) + (v₂x₂ + v₃x₃)`, the
+/// same sequential tail, then the same `·(1−α)` / `+ α·x` elementwise pair
+/// that `step_once_into` applies. The kernel parallelizes and tier-dispatches
+/// over *whole rows* under strict FP semantics, so per-row results are
+/// independent of threading and tier — which is what makes this scalar
+/// routine byte-identical to the batch sweep.
+fn recompute_row(a_tilde: &Csr, z_prev: &Mat, x: &Mat, alpha: f64, i: usize, out: &mut [f64]) {
+    out.fill(0.0);
+    let (cols, vals) = a_tilde.row(i);
+    let main = cols.len() - cols.len() % 4;
+    for (cj, cv) in cols[..main].chunks_exact(4).zip(vals[..main].chunks_exact(4)) {
+        let b0 = z_prev.row(cj[0] as usize);
+        let b1 = z_prev.row(cj[1] as usize);
+        let b2 = z_prev.row(cj[2] as usize);
+        let b3 = z_prev.row(cj[3] as usize);
+        let (v0, v1, v2, v3) = (cv[0], cv[1], cv[2], cv[3]);
+        for ((((o, &x0), &x1), &x2), &x3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o += (v0 * x0 + v1 * x1) + (v2 * x2 + v3 * x3);
+        }
+    }
+    for (&j, &v) in cols[main..].iter().zip(&vals[main..]) {
+        let brow = z_prev.row(j as usize);
+        for (o, &bv) in out.iter_mut().zip(brow) {
+            *o += v * bv;
+        }
+    }
+    let one_minus_alpha = 1.0 - alpha;
+    for (o, &xi) in out.iter_mut().zip(x.row(i)) {
+        let t = *o * one_minus_alpha;
+        *o = t + alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::{concat_features_with_solver, propagate_multi_with_solver};
+    use gcon_graph::normalize::row_stochastic_default;
+    use gcon_graph::{generators, CsrDelta, Graph};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const P_DEFAULT: f64 = 0.5;
+
+    fn setup(n: usize, m: usize, d: usize, seed: u64) -> (Graph, Csr, Mat) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_gnm(n, m, &mut rng);
+        let a = row_stochastic_default(&g);
+        let mut x = Mat::uniform(n, d, 1.0, &mut rng);
+        x.normalize_rows_l2();
+        (g, a, x)
+    }
+
+    #[test]
+    fn fresh_chain_matches_propagate_multi_bitwise() {
+        let (_, a, x) = setup(30, 70, 5, 3);
+        let steps =
+            [PropagationStep::Finite(0), PropagationStep::Finite(2), PropagationStep::Finite(3)];
+        let chain = ApprChain::build(&a, &x, 0.25, &steps, PprSolver::Power);
+        let direct = propagate_multi_with_solver(&a, &x, 0.25, &steps, PprSolver::Power);
+        assert_eq!(chain.assemble().as_slice(), direct.as_slice());
+        let concat = concat_features_with_solver(&a, &x, 0.25, &steps, PprSolver::Power);
+        assert_eq!(chain.assemble_concat().as_slice(), concat.as_slice());
+    }
+
+    #[test]
+    fn fresh_chain_matches_propagate_multi_with_infinity() {
+        let (_, a, x) = setup(24, 55, 4, 9);
+        let steps = [PropagationStep::Finite(1), PropagationStep::Infinite];
+        let chain = ApprChain::build(&a, &x, 0.3, &steps, PprSolver::Power);
+        let direct = propagate_multi_with_solver(&a, &x, 0.3, &steps, PprSolver::Power);
+        // The ∞ segment is the identical continuation code path: bitwise.
+        assert_eq!(chain.assemble().as_slice(), direct.as_slice());
+        assert!(chain.staleness_bound() < 1e-8, "converged limit certifies tightly");
+    }
+
+    #[test]
+    fn refresh_is_bitwise_equal_to_rebuild_on_finite_chain() {
+        let (mut g, a, x) = setup(40, 90, 6, 21);
+        let steps = [PropagationStep::Finite(1), PropagationStep::Finite(3)];
+        let mut chain = ApprChain::build(&a, &x, 0.2, &steps, PprSolver::Power);
+
+        let u0 = (0..40u32).find(|&u| !g.neighbors(u).is_empty()).expect("graph has edges");
+        let v0 = g.neighbors(u0)[0];
+        let mut delta = CsrDelta::new();
+        delta.insert_edge(2, 31).remove_edge(u0, v0).insert_edge(7, 19);
+        let result = delta.apply(&mut g, &a, P_DEFAULT);
+        let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+
+        let rebuilt = ApprChain::build(&result.a_tilde, &x, 0.2, &steps, PprSolver::Power);
+        assert_eq!(chain.assemble().as_slice(), rebuilt.assemble().as_slice());
+        assert!(
+            stats.rows_recomputed < 3 * 40,
+            "a sparse delta must not recompute every row at every level"
+        );
+        assert_eq!(stats.staleness_bound, 0.0, "finite-only chains are exact");
+    }
+
+    #[test]
+    fn refresh_with_onboarding_matches_rebuild_bitwise() {
+        let (mut g, a, x) = setup(30, 60, 4, 14);
+        let steps = [PropagationStep::Finite(0), PropagationStep::Finite(2)];
+        let mut chain = ApprChain::build(&a, &x, 0.15, &steps, PprSolver::Power);
+
+        let mut delta = CsrDelta::new();
+        delta.add_nodes(2).insert_edge(30, 5).insert_edge(31, 30).insert_edge(12, 17);
+        let result = delta.apply(&mut g, &a, P_DEFAULT);
+
+        // Extend the features: old rows bitwise unchanged (the refresh
+        // contract), new rows drawn fresh and unit-normalized in place.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut x2 = Mat::zeros(32, 4);
+        x2.as_mut_slice()[..30 * 4].copy_from_slice(x.as_slice());
+        for u in 30..32 {
+            let mut row = [0.0_f64; 4];
+            for v in row.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            let norm = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            for (c, v) in row.iter().enumerate() {
+                x2.set(u, c, v / norm);
+            }
+        }
+
+        let stats = chain.refresh(&result.a_tilde, &x2, &result.touched);
+        let rebuilt = ApprChain::build(&result.a_tilde, &x2, 0.15, &steps, PprSolver::Power);
+        assert_eq!(chain.num_nodes(), 32);
+        assert_eq!(chain.assemble_concat().as_slice(), rebuilt.assemble_concat().as_slice());
+        assert!(stats.affected.len() >= 2, "onboarded rows are always affected");
+    }
+
+    #[test]
+    fn refresh_sequence_of_deltas_stays_bitwise() {
+        let (mut g, a, x) = setup(36, 80, 5, 7);
+        let steps = [PropagationStep::Finite(2)];
+        let mut chain = ApprChain::build(&a, &x, 0.4, &steps, PprSolver::Power);
+        let mut current = a;
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..8 {
+            let u = rng.gen_range(0..36u32);
+            let v = rng.gen_range(0..36u32);
+            if u == v {
+                continue;
+            }
+            let mut delta = CsrDelta::new();
+            if g.neighbors(u).contains(&v) {
+                delta.remove_edge(u, v);
+            } else {
+                delta.insert_edge(u, v);
+            }
+            let result = delta.apply(&mut g, &current, P_DEFAULT);
+            chain.refresh(&result.a_tilde, &x, &result.touched);
+            current = result.a_tilde;
+        }
+        let rebuilt = ApprChain::build(&current, &x, 0.4, &steps, PprSolver::Power);
+        assert_eq!(chain.assemble().as_slice(), rebuilt.assemble().as_slice());
+    }
+
+    #[test]
+    fn refresh_with_infinity_stays_within_certificate() {
+        let (mut g, a, x) = setup(32, 70, 4, 55);
+        let steps = [PropagationStep::Finite(1), PropagationStep::Infinite];
+        let alpha = 0.2;
+        let mut chain = ApprChain::build(&a, &x, alpha, &steps, PprSolver::Power);
+
+        let mut delta = CsrDelta::new();
+        delta.insert_edge(3, 27);
+        let result = delta.apply(&mut g, &a, P_DEFAULT);
+        let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+        assert!(stats.inf_iterations > 0);
+
+        let rebuilt = ApprChain::build(&result.a_tilde, &x, alpha, &steps, PprSolver::Power);
+        // Finite block: bitwise. ∞ block: both converged, certificates add.
+        assert_eq!(chain.iterate(1).as_slice(), rebuilt.iterate(1).as_slice());
+        let ours = chain.z_inf().expect("∞ chain");
+        let theirs = rebuilt.z_inf().expect("∞ chain");
+        let worst = ours
+            .as_slice()
+            .iter()
+            .zip(theirs.as_slice())
+            .fold(0.0_f64, |acc, (u, v)| acc.max((u - v).abs()));
+        assert!(
+            worst <= stats.staleness_bound + rebuilt.staleness_bound(),
+            "∞ blocks differ by {worst}, certificates allow {} + {}",
+            stats.staleness_bound,
+            rebuilt.staleness_bound()
+        );
+    }
+}

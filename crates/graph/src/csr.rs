@@ -125,6 +125,84 @@ impl<S: CsrScalar> Csr<S> {
         Self { rows, cols, indptr, indices, values }
     }
 
+    /// Rebuilds the matrix with the given rows replaced — and, when
+    /// `new_rows > self.rows()`, trailing rows appended — copying every
+    /// untouched row's span verbatim.
+    ///
+    /// This is the O(Δ) structural path behind `CsrDelta` (`delta` module):
+    /// the replaced rows arrive **already sorted** by column (derived from
+    /// the graph's sorted adjacency lists), so unlike
+    /// [`Csr::from_row_entries`] no entry is ever sorted or deduplicated.
+    /// The work is O(changed entries) of emission plus one bulk
+    /// `extend_from_slice` per contiguous gap of untouched rows (memcpy
+    /// speed, no per-entry processing). Untouched rows are bit-identical to
+    /// the originals by construction.
+    ///
+    /// # Panics
+    /// Panics unless `new_rows ≥ self.rows()`, `new_cols ≥ self.cols()`,
+    /// `replaced` is sorted by row index without duplicates, every appended
+    /// row index in `self.rows()..new_rows` is present in `replaced`, and
+    /// each row's entries are strictly column-sorted within `new_cols`.
+    pub fn with_rows_replaced(
+        &self,
+        new_rows: usize,
+        new_cols: usize,
+        replaced: &[(usize, Vec<(u32, S)>)],
+    ) -> Csr<S> {
+        assert!(new_rows >= self.rows, "with_rows_replaced: rows cannot shrink");
+        assert!(new_cols >= self.cols, "with_rows_replaced: cols cannot shrink");
+        let delta_nnz: usize = replaced.iter().map(|(_, e)| e.len()).sum();
+        let mut indptr = Vec::with_capacity(new_rows + 1);
+        let mut indices = Vec::with_capacity(self.nnz() + delta_nnz);
+        let mut values = Vec::with_capacity(self.nnz() + delta_nnz);
+        indptr.push(0);
+        let mut next_row = 0usize; // next output row not yet emitted
+        for (ri, entries) in replaced {
+            assert!(
+                *ri >= next_row,
+                "with_rows_replaced: replaced rows must be sorted without duplicates"
+            );
+            assert!(*ri < new_rows, "with_rows_replaced: row {ri} out of range");
+            // Bulk-copy the untouched gap [next_row, ri) from the original.
+            let gap_end = (*ri).min(self.rows);
+            if next_row < gap_end {
+                let (s, e) = (self.indptr[next_row], self.indptr[gap_end]);
+                let base = indices.len();
+                indices.extend_from_slice(&self.indices[s..e]);
+                values.extend_from_slice(&self.values[s..e]);
+                indptr.extend((next_row..gap_end).map(|r| self.indptr[r + 1] - s + base));
+            }
+            // Emit the replacement row (already sorted — verified, not sorted).
+            let mut last: Option<u32> = None;
+            for &(j, v) in entries {
+                assert!((j as usize) < new_cols, "with_rows_replaced: column {j} out of range");
+                assert!(
+                    last.is_none_or(|l| l < j),
+                    "with_rows_replaced: row {ri} entries must be strictly column-sorted"
+                );
+                last = Some(j);
+                indices.push(j);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+            next_row = ri + 1;
+        }
+        // Trailing untouched rows.
+        if next_row < self.rows {
+            let (s, e) = (self.indptr[next_row], self.indptr[self.rows]);
+            let base = indices.len();
+            indices.extend_from_slice(&self.indices[s..e]);
+            values.extend_from_slice(&self.values[s..e]);
+            indptr.extend((next_row..self.rows).map(|r| self.indptr[r + 1] - s + base));
+        }
+        assert_eq!(
+            indptr.len(),
+            new_rows + 1,
+            "with_rows_replaced: every appended row must be provided"
+        );
+        Csr { rows: new_rows, cols: new_cols, indptr, indices, values }
+    }
+
     /// The `n × n` identity in CSR form.
     pub fn eye(n: usize) -> Self {
         Self {
@@ -230,6 +308,17 @@ impl<S: CsrScalar> Csr<S> {
     /// Dense `selfᵀ · x` written into `out` (resized to `self.cols()`,
     /// backing allocation reused) — the allocation-free twin of
     /// [`Csr::spmv_t`].
+    ///
+    /// Deliberately **not** routed through [`resolve_spmv_tier`]: that gate
+    /// models the gather-*reduction* kernel of [`Csr::spmv_into`], where the
+    /// vectorized loop length is the row nnz and short rows leave AVX-512
+    /// gathers stalled. This kernel is the opposite shape — an O(nnz)
+    /// write-*scatter* whose indexed stores stay scalar in every tier (no
+    /// conflict detection), so there is no row-length crossover to gate on.
+    /// Pinned by `transposed_kernels_need_no_spmv_gate`, which also shows
+    /// `self.mean_row_nnz()` would be the wrong statistic for a transposed
+    /// product in the first place (the operand acting row-wise is
+    /// `selfᵀ`, whose mean row length is `nnz/cols`, not `nnz/rows`).
     pub fn spmv_t_into(&self, x: &[S], out: &mut Vec<S>) {
         assert_eq!(x.len(), self.rows, "spmv_t: dimension mismatch");
         SPMM_OPS.fetch_add(1, Ordering::Relaxed);
@@ -298,6 +387,12 @@ impl<S: CsrScalar> Csr<S> {
     /// Dense `selfᵀ · B` written into `out` (reshaped to
     /// `self.cols() × b.cols()`), running the pooled row-block kernel on a
     /// transposed copy of `self`.
+    ///
+    /// No [`resolve_spmv_tier`] gate applies here either: the row-block
+    /// spmm kernel vectorizes over the **dense** feature dimension of `b`
+    /// (unit-stride loads of width `b.cols()`), so its AVX-512 profitability
+    /// is independent of how many nonzeros a sparse row holds — the shape
+    /// statistic the spmv gate keys on never enters the inner loop.
     ///
     /// This transposes on every call; callers applying `selfᵀ` repeatedly
     /// (iterative solvers) should hold [`Csr::transpose`] themselves and use
@@ -581,6 +676,52 @@ mod tests {
             assert_eq!(resolve_spmv_tier(Avx512, nnz), Avx512, "nnz={nnz}");
             assert_eq!(resolve_spmv_tier(Avx2, nnz), Avx2);
             assert_eq!(resolve_spmv_tier(Scalar, nnz), Scalar);
+        }
+    }
+
+    /// The tier-gate audit for the transposed kernels: `spmv_t`/`spmm_t`
+    /// take no [`resolve_spmv_tier`] gate (see their docs for the kernel
+    /// shapes). This pins the supporting fact that makes any such gate
+    /// ill-posed: the statistic the spmv gate keys on is not
+    /// transpose-invariant, so `self.mean_row_nnz()` can sit on the
+    /// opposite side of the crossover from the operand that actually acts
+    /// row-wise (`selfᵀ`) — while the results stay exactly the transposed
+    /// products at every shape.
+    #[test]
+    fn transposed_kernels_need_no_spmv_gate() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let (rows, cols) = (2usize, 400usize);
+        let nnz_per_row = SPMV_AVX512_MIN_MEAN_NNZ as usize * 2;
+        let entries: Vec<Vec<(u32, f64)>> = (0..rows)
+            .map(|i| {
+                (0..nnz_per_row)
+                    .map(|k| (((i + k * 3) % cols) as u32, rng.gen_range(-1.0..1.0)))
+                    .collect()
+            })
+            .collect();
+        let wide = Csr::from_row_entries(rows, cols, entries);
+        // The forward statistic is above the crossover, the transposed one
+        // far below it: one gate input cannot serve both orientations.
+        assert!(wide.mean_row_nnz() >= SPMV_AVX512_MIN_MEAN_NNZ);
+        assert!(wide.transpose().mean_row_nnz() < SPMV_AVX512_MIN_MEAN_NNZ);
+
+        // Ungated correctness at this gate-straddling shape: the scatter
+        // kernel equals the explicit transpose bitwise (same accumulation
+        // order — the counting-sort transpose preserves row order), and
+        // spmm_t equals it columnwise.
+        let x: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert_eq!(wide.spmv_t(&x), wide.transpose().spmv(&x));
+        let b = Mat::from_fn(rows, 3, |i, j| (i * 3 + j) as f64 - 2.5);
+        let mut out = Mat::zeros(cols, 3);
+        wide.spmm_t_into(&b, &mut out);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..rows).map(|i| b.get(i, j)).collect();
+            let expect = wide.spmv_t(&col);
+            for (i, &e) in expect.iter().enumerate() {
+                assert_eq!(out.get(i, j), e, "spmm_t col {j} row {i}");
+            }
         }
     }
 

@@ -120,6 +120,17 @@ impl Graph {
         g
     }
 
+    /// Appends `count` isolated nodes (ids `n .. n+count`), returning the id
+    /// of the first one. Online node onboarding: the new nodes are valid
+    /// endpoints for [`Graph::add_edge`] immediately, and every existing
+    /// node id, edge and degree is unchanged.
+    pub fn add_nodes(&mut self, count: usize) -> u32 {
+        let first = self.n as u32;
+        self.n += count;
+        self.adj.resize_with(self.n, Vec::new);
+        first
+    }
+
     /// All undirected edges as `(u, v)` pairs with `u < v`.
     pub fn edges(&self) -> Vec<(u32, u32)> {
         let mut out = Vec::with_capacity(self.num_edges);
@@ -244,6 +255,22 @@ mod tests {
         assert_eq!(kept, vec![1, 0]);
         assert!(sub.has_edge(0, 1));
         assert_eq!(sub.num_nodes(), 2);
+    }
+
+    #[test]
+    fn add_nodes_onboards_isolated_ids() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let first = g.add_nodes(2);
+        assert_eq!(first, 3);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree(4), 0);
+        // New ids participate in edges immediately.
+        assert!(g.add_edge(4, 1));
+        assert_eq!(g.neighbors(4), &[1]);
+        assert_eq!(g.add_nodes(0), 5); // zero-count is a no-op
+        assert_eq!(g.num_nodes(), 5);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //! first-class: [`Graph::with_edge_removed`] / [`Graph::with_edge_added`]
 //! produce the `D'` needed by the sensitivity tests of Lemma 1/2.
 //!
+//! Dynamic graphs are served by the [`delta`] module: [`CsrDelta`] batches
+//! edge inserts/removes and node onboarding, mutates the [`Graph`] in
+//! place, and patches only the touched rows of the row-stochastic `Ã` —
+//! bitwise identical to a from-scratch rebuild at O(Δ) re-derivation cost
+//! (see the module docs for the exact contract).
+//!
 //! # Sparse-kernel structure and determinism
 //!
 //! The dense-output sparse kernels follow the same policy as `gcon-linalg`
@@ -39,6 +45,7 @@
 //! for solver inner loops.
 
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod graph;
 pub mod homophily;
@@ -47,5 +54,6 @@ pub mod stats;
 pub mod traversal;
 
 pub use csr::{resolve_spmv_tier, spmm_ops_performed, Csr, CsrScalar, SPMV_AVX512_MIN_MEAN_NNZ};
+pub use delta::{CsrDelta, DeltaResult};
 pub use graph::Graph;
 pub use homophily::homophily_ratio;

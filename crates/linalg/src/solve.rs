@@ -19,6 +19,11 @@
 //!   iterates stop moving) while the remaining columns keep iterating, and
 //!   each column's trajectory is exactly the trajectory the single-column
 //!   [`cgnr`] would have taken.
+//! - [`block_cgnr_warm`] is [`block_cgnr`] started from a caller-supplied
+//!   iterate `X₀` instead of zero: columns whose warm residual already
+//!   passes the tolerance freeze before the first iteration, so re-solving
+//!   a slightly perturbed system costs iterations only where the
+//!   perturbation landed.
 //!
 //! Both solvers report honest statistics: `iterations` is the number of
 //! iterations actually performed on every exit path, and the `converged`
@@ -187,26 +192,80 @@ fn axpy_columns(alpha: &[f64], x: &Mat, y: &mut Mat) {
 /// coincide with what the single-RHS [`cgnr`] would compute.
 ///
 /// Returns the solution block and one [`SolveStats`] per column, each judged
-/// on the true residual of that column.
+/// on the true residual of that column. [`block_cgnr_warm`] is the same
+/// solver started from a caller-provided iterate instead of zero.
 pub fn block_cgnr<Op: BlockLinearOperator>(
     op: &Op,
     b: &Mat,
     tol: f64,
     max_iters: usize,
 ) -> (Mat, Vec<SolveStats>) {
+    block_cgnr_impl(op, b, None, tol, max_iters)
+}
+
+/// Warm-started multi-RHS block CGNR: identical to [`block_cgnr`] except the
+/// iteration starts from `x0` instead of zero, at the cost of **one** extra
+/// `A` product to form the initial residual `R = B − A X₀`.
+///
+/// Per-column early exit falls out of the block solver's scheduling: a
+/// column whose warm residual already passes `tol` freezes before the first
+/// iteration and reports `iterations == 0` — so re-solving a system where
+/// only a few right-hand-side columns changed costs iterations only for
+/// those columns. With `x0 = 0` the trajectory (and the returned solution)
+/// is bitwise identical to the cold [`block_cgnr`], since `B − A·0`
+/// subtracts exact zeros.
+///
+/// This is the solver shape the incremental PPR refresh in `gcon-core`
+/// builds on: the previous propagation `Z` is an excellent `X₀` after a
+/// small graph delta, leaving most columns at or near convergence.
+pub fn block_cgnr_warm<Op: BlockLinearOperator>(
+    op: &Op,
+    b: &Mat,
+    x0: &Mat,
+    tol: f64,
+    max_iters: usize,
+) -> (Mat, Vec<SolveStats>) {
+    block_cgnr_impl(op, b, Some(x0), tol, max_iters)
+}
+
+/// Shared body of [`block_cgnr`] / [`block_cgnr_warm`]. The cold path pays
+/// `2·iters + 2` operator products, the warm path `2·iters + 3` (the extra
+/// initial `A X₀`) — pinned by the op-count suite.
+fn block_cgnr_impl<Op: BlockLinearOperator>(
+    op: &Op,
+    b: &Mat,
+    x0: Option<&Mat>,
+    tol: f64,
+    max_iters: usize,
+) -> (Mat, Vec<SolveStats>) {
     let n = op.dim();
     let d = b.cols();
     assert_eq!(b.rows(), n, "block_cgnr: rhs dimension mismatch");
-    let mut x = Mat::zeros(n, d);
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.shape(), (n, d), "block_cgnr: warm-start shape mismatch");
+            x0.clone()
+        }
+        None => Mat::zeros(n, d),
+    };
     if d == 0 {
         return (x, Vec::new());
     }
-    // R = B − A X = B initially; Z = Aᵀ R; P = Z.
+    // R = B − A X₀ (one product when warm; B itself when X₀ = 0);
+    // Z = Aᵀ R; P = Z.
     let mut r = b.clone();
+    let mut ap = Mat::default();
+    if x0.is_some() {
+        op.apply_into(&x, &mut ap);
+        for i in 0..n {
+            for (rv, &av) in r.row_mut(i).iter_mut().zip(ap.row(i)) {
+                *rv -= av;
+            }
+        }
+    }
     let mut z = Mat::default();
     op.apply_transpose_into(&r, &mut z);
     let mut p = z.clone();
-    let mut ap = Mat::default();
     let mut z_norm_sq = column_dots(&z, &z);
     let b_norm: Vec<f64> = column_dots(b, b).iter().map(|v| v.sqrt().max(1e-300)).collect();
     let mut r_norm_sq = column_dots(&r, &r);
@@ -562,6 +621,112 @@ mod tests {
             assert!(!s.converged);
             assert!(s.residual > 0.0);
         }
+    }
+
+    #[test]
+    fn warm_start_at_solution_converges_in_zero_iterations() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 22;
+        let mut a = Mat::uniform(n, n, 0.3, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 2.5);
+        }
+        let b = Mat::uniform(n, 4, 1.0, &mut rng);
+        let op = DenseOperator { mat: &a };
+        let (x, stats) = block_cgnr(&op, &b, 1e-12, 500);
+        assert!(stats.iter().all(|s| s.converged));
+        // Restarting from the converged iterate: every column freezes
+        // before the first iteration and the iterate is returned untouched.
+        let (x2, stats2) = block_cgnr_warm(&op, &b, &x, 1e-12, 500);
+        assert!(stats2.iter().all(|s| s.converged && s.iterations == 0), "{stats2:?}");
+        assert_eq!(x2, x);
+    }
+
+    #[test]
+    fn warm_start_from_zero_is_bitwise_cold() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 25;
+        let mut a = Mat::uniform(n, n, 0.4, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 3.0);
+        }
+        let b = Mat::uniform(n, 3, 1.0, &mut rng);
+        let op = DenseOperator { mat: &a };
+        let (cold, s_cold) = block_cgnr(&op, &b, 1e-12, 500);
+        let (warm, s_warm) = block_cgnr_warm(&op, &b, &Mat::zeros(n, 3), 1e-12, 500);
+        assert_eq!(warm, cold);
+        for (c, w) in s_cold.iter().zip(&s_warm) {
+            assert_eq!(c.iterations, w.iterations);
+            assert_eq!(c.converged, w.converged);
+        }
+    }
+
+    #[test]
+    fn warm_start_only_iterates_on_perturbed_columns() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 24;
+        let mut a = Mat::uniform(n, n, 0.3, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 2.5);
+        }
+        let b = Mat::uniform(n, 3, 1.0, &mut rng);
+        let op = DenseOperator { mat: &a };
+        let (x, _) = block_cgnr(&op, &b, 1e-12, 500);
+        // Perturb the rhs of column 1 only; warm-start from the old answer.
+        let mut b2 = b.clone();
+        for i in 0..n {
+            b2.add_at(i, 1, 0.3 * ((i as f64 * 0.9).sin()));
+        }
+        let (x2, stats) = block_cgnr_warm(&op, &b2, &x, 1e-12, 500);
+        assert!(stats.iter().all(|s| s.converged), "{stats:?}");
+        assert_eq!(stats[0].iterations, 0, "unperturbed column must freeze at entry");
+        assert_eq!(stats[2].iterations, 0, "unperturbed column must freeze at entry");
+        assert!(stats[1].iterations > 0, "perturbed column must iterate");
+        // Frozen columns return the warm iterate verbatim; the perturbed
+        // column reaches the new solution.
+        for i in 0..n {
+            assert_eq!(x2.get(i, 0), x.get(i, 0));
+            assert_eq!(x2.get(i, 2), x.get(i, 2));
+        }
+        let (x_ref, s_ref) = block_cgnr(&op, &b2, 1e-12, 500);
+        assert!(s_ref.iter().all(|s| s.converged));
+        for i in 0..n {
+            assert!((x2.get(i, 1) - x_ref.get(i, 1)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations_after_small_perturbation() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let n = 40;
+        let mut a = Mat::uniform(n, n, 0.3, &mut rng);
+        for i in 0..n {
+            a.add_at(i, i, 2.0);
+        }
+        let b = Mat::uniform(n, 5, 1.0, &mut rng);
+        let op = DenseOperator { mat: &a };
+        let (x, _) = block_cgnr(&op, &b, 1e-12, 1000);
+        let mut b2 = b.clone();
+        for j in 0..5 {
+            b2.add_at(3, j, 1e-4);
+        }
+        let (_, warm) = block_cgnr_warm(&op, &b2, &x, 1e-10, 1000);
+        let (_, cold) = block_cgnr(&op, &b2, 1e-10, 1000);
+        assert!(warm.iter().all(|s| s.converged));
+        let warm_max = warm.iter().map(|s| s.iterations).max().unwrap();
+        let cold_max = cold.iter().map(|s| s.iterations).max().unwrap();
+        assert!(
+            warm_max < cold_max,
+            "warm ({warm_max} iters) must beat cold ({cold_max}) on a tiny perturbation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start shape mismatch")]
+    fn warm_start_shape_mismatch_panics() {
+        let a = Mat::eye(4);
+        let b = Mat::zeros(4, 2);
+        let _ = block_cgnr_warm(&DenseOperator { mat: &a }, &b, &Mat::zeros(4, 3), 1e-12, 10);
     }
 
     #[test]

@@ -86,9 +86,11 @@
 //! ```
 
 mod batch;
+mod dynamic;
 mod model;
 
 pub use batch::{BatchConfig, BatchQueue, BatchStats};
+pub use dynamic::{DeltaOutcome, DynamicServingModel, OnboardQuery, ServingGeneration};
 pub use model::{ServingMode, ServingModel, ServingSession, StoreDtype, F32_STORE_LOGIT_TOL};
 
 /// Shared tiny trained model for this crate's unit tests (training once per

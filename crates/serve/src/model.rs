@@ -211,6 +211,25 @@ impl ServingModel {
         Self { repr, mode }
     }
 
+    /// Freezes an already-assembled f64 feature store (plus `Θ_priv`) into
+    /// a serving model in `dtype` — the constructor the dynamic layer uses
+    /// to publish a refreshed store generation without re-running the
+    /// feature stage. The store must be the `1/s`-scaled concatenation the
+    /// feature stage produces; an f32 model quantizes both inputs here,
+    /// exactly like [`ServingModel::build_with_dtype`] does.
+    pub(crate) fn from_store(
+        store: Mat,
+        theta: &Mat,
+        mode: ServingMode,
+        dtype: StoreDtype,
+    ) -> Self {
+        let repr = match dtype {
+            StoreDtype::F64 => StoreRepr::F64 { store, theta: theta.clone() },
+            StoreDtype::F32 => StoreRepr::F32 { store: store.convert(), theta: theta.convert() },
+        };
+        Self { repr, mode }
+    }
+
     /// Number of nodes the store can answer queries for.
     pub fn num_nodes(&self) -> usize {
         match &self.repr {

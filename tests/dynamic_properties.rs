@@ -1,0 +1,176 @@
+//! Property tests for the dynamic-graph substrate: `CsrDelta` application
+//! against from-scratch normalization rebuilds, and incremental
+//! `ApprChain` refreshes against from-scratch propagation — over random
+//! graphs and random mutation sequences.
+//!
+//! The contracts under test (see `crates/graph/src/delta.rs` and
+//! `crates/core/src/refresh.rs`):
+//!
+//! - A `CsrDelta` patch of `Ã` is **bitwise** equal to rebuilding
+//!   `row_stochastic` from the mutated edge list, after every step of any
+//!   insert/remove/onboard sequence.
+//! - After any delta sequence, the refreshed chain's concatenation matches
+//!   the from-scratch `concat_features` on the final graph — bitwise for
+//!   finite scales, within the certified staleness bounds when an `∞`
+//!   scale is present.
+
+use gcon::core::propagation::concat_features_with_solver;
+use gcon::core::{ApprChain, PprSolver, PropagationStep};
+use gcon::graph::delta::matches_rebuild;
+use gcon::graph::normalize::row_stochastic;
+use gcon::graph::{CsrDelta, Graph};
+use gcon::linalg::Mat;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random simple graph on `n` nodes (plus a spine so it is connected
+/// enough to propagate over).
+fn random_graph(n: usize, extra_edges: usize, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 1..n as u32 {
+        g.add_edge(u - 1, u);
+    }
+    for _ in 0..extra_edges {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v && !g.neighbors(u).contains(&v) {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// One random mutation against the current graph state: an edge toggle
+/// (remove if present, insert otherwise) or, occasionally, onboarding a
+/// node wired to one random existing node. Returns the delta, how many
+/// feature rows it needs, and the toggled edge when the op was an edge op.
+fn random_delta(g: &Graph, rng: &mut StdRng) -> (CsrDelta, usize, Option<(u32, u32)>) {
+    let n = g.num_nodes() as u32;
+    let mut delta = CsrDelta::new();
+    if rng.gen::<f64>() < 0.25 {
+        let anchor = rng.gen_range(0..n);
+        delta.add_nodes(1).insert_edge(n, anchor);
+        (delta, 1, None)
+    } else {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        if v == u {
+            v = (v + 1) % n;
+        }
+        if g.neighbors(u).contains(&v) {
+            delta.remove_edge(u, v);
+        } else {
+            delta.insert_edge(u, v);
+        }
+        (delta, 0, Some((u, v)))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every step of a random mutation sequence, the patched `Ã` is
+    /// bitwise the `row_stochastic` rebuild of the mutated graph, and the
+    /// touched set names every row whose weights could have changed.
+    #[test]
+    fn delta_application_is_bitwise_rebuild(
+        seed in 0u64..500,
+        n in 4usize..32,
+        extra in 0usize..40,
+        ops in 1usize..10,
+        p in 0.1f64..0.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = random_graph(n, extra, &mut rng);
+        let mut a_tilde = row_stochastic(&g, p);
+        for step in 0..ops {
+            let (delta, _, edge) = random_delta(&g, &mut rng);
+            let before = g.num_nodes();
+            let result = delta.apply(&mut g, &a_tilde, p);
+            a_tilde = result.a_tilde;
+            prop_assert!(
+                matches_rebuild(&a_tilde, &g, p),
+                "step {} diverged from the from-scratch rebuild", step
+            );
+            // Every mutated endpoint (and every onboarded node) is in the
+            // touched set — the rows the refresh layer re-derives.
+            // `random_delta` only emits effective ops, so nothing is a no-op.
+            if let Some((u, v)) = edge {
+                prop_assert!(result.touched.contains(&u) && result.touched.contains(&v));
+            }
+            for new in before as u32..g.num_nodes() as u32 {
+                prop_assert!(result.touched.contains(&new));
+            }
+        }
+    }
+
+    /// After a random delta sequence, the incrementally refreshed chain
+    /// matches from-scratch `concat_features` on the final graph: bitwise
+    /// for finite scales; within the summed staleness certificates when an
+    /// `∞` scale is present (ours, plus the from-scratch power iterate's
+    /// own `(1−α)·tol/α` residual — `tol = 1e-10`, the solver's internal
+    /// `PPR_TOL`).
+    #[test]
+    fn refreshed_chain_matches_scratch_propagation(
+        seed in 0u64..500,
+        n in 6usize..24,
+        extra in 0usize..30,
+        ops in 1usize..6,
+        alpha in 0.1f64..0.6,
+        with_inf in 0usize..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+        let mut g = random_graph(n, extra, &mut rng);
+        let p = 0.5;
+        let mut a_tilde = row_stochastic(&g, p);
+        let mut steps = vec![PropagationStep::Finite(0), PropagationStep::Finite(2)];
+        if with_inf == 1 {
+            steps.push(PropagationStep::Infinite);
+        }
+        let d = 4;
+        let mut x: Mat = Mat::uniform(n, d, 1.0, &mut rng);
+        let mut chain = ApprChain::build(&a_tilde, &x, alpha, &steps, PprSolver::Power);
+
+        for _ in 0..ops {
+            let (delta, new_rows, _) = random_delta(&g, &mut rng);
+            let result = delta.apply(&mut g, &a_tilde, p);
+            a_tilde = result.a_tilde;
+            if new_rows > 0 {
+                let n_old = x.rows();
+                let mut grown = Mat::zeros(n_old + new_rows, d);
+                grown.as_mut_slice()[..n_old * d].copy_from_slice(x.as_slice());
+                for r in 0..new_rows {
+                    for c in 0..d {
+                        grown.set(n_old + r, c, rng.gen_range(-1.0..1.0));
+                    }
+                }
+                x = grown;
+            }
+            chain.refresh(&a_tilde, &x, &result.touched);
+        }
+
+        let refreshed = chain.assemble_concat();
+        let scratch = concat_features_with_solver(&a_tilde, &x, alpha, &steps, PprSolver::Power);
+        prop_assert_eq!(refreshed.shape(), scratch.shape());
+        if with_inf == 0 {
+            prop_assert!(chain.staleness_bound() == 0.0);
+            prop_assert_eq!(
+                refreshed.as_slice(), scratch.as_slice(),
+                "finite-only refresh must be bitwise"
+            );
+        } else {
+            // Both sides sit within a certificate of the exact limit; the
+            // 1/s scaling shrinks the per-element gap accordingly.
+            let scratch_residual = (1.0 - alpha) * 1e-10 / alpha;
+            let bound =
+                (chain.staleness_bound() + scratch_residual) / steps.len() as f64 + 1e-14;
+            for (a, b) in refreshed.as_slice().iter().zip(scratch.as_slice()) {
+                prop_assert!(
+                    (a - b).abs() <= bound,
+                    "refresh drifted {:e} > certified {:e}", (a - b).abs(), bound
+                );
+            }
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //!   `GCON_THREADS ∈ {1, 2, 4}` and every kernel dispatch tier the host CPU
 //!   supports, via the same subprocess-matrix technique as
 //!   `runtime_equivalence.rs`. Because the fingerprint interleaves both
-//!   store dtypes, one matrix pins the dtype × tier × thread-count cube.
+//!   store dtypes, one matrix pins the dtype × tier × thread-count cube —
+//!   and it extends past generation 0: a fixed `CsrDelta` is applied
+//!   through `DynamicServingModel`, and the refreshed generation's store
+//!   bits and staleness certificate join the fingerprint.
 //! - **f32 store contract.** The quantized store's logits stay within
 //!   `F32_STORE_LOGIT_TOL` of the f64 entry points and its hard
 //!   predictions agree (the exactness tests pin their store to f64
@@ -25,10 +28,12 @@ use gcon::core::infer::{private_logits, private_predict, public_logits, public_p
 use gcon::core::train::train_gcon;
 use gcon::core::{GconConfig, PropagationStep, TrainedGcon};
 use gcon::graph::generators::{sbm_homophily, SbmConfig};
+use gcon::graph::CsrDelta;
 use gcon::graph::Graph;
 use gcon::linalg::Mat;
 use gcon::serve::{
-    BatchConfig, BatchQueue, ServingMode, ServingModel, StoreDtype, F32_STORE_LOGIT_TOL,
+    BatchConfig, BatchQueue, DynamicServingModel, ServingMode, ServingModel, StoreDtype,
+    F32_STORE_LOGIT_TOL,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -198,7 +203,11 @@ proptest! {
 
 /// Serialized bitwise fingerprint of the whole serving path: train, build
 /// the f64 **and** f32 stores of both modes, answer a fixed mixed workload
-/// directly and through the micro-batcher. The f32 section fingerprints the
+/// directly and through the micro-batcher, then apply a fixed graph delta
+/// through `DynamicServingModel` and fingerprint the **post-delta
+/// generation** (store bits, staleness certificate, workload) in both
+/// dtypes — so the incremental refresh and row-patch paths are pinned by
+/// the same matrix as the frozen store. The f32 sections fingerprint the
 /// raw quantized store bits plus the widened query logits, so a fingerprint
 /// match across the subprocess matrix pins bitwise determinism *within each
 /// dtype* — the per-dtype contract; no bit relation across dtypes is
@@ -235,6 +244,41 @@ fn serving_fingerprint() -> Vec<u8> {
             bytes.extend_from_slice(&v.to_bits().to_le_bytes());
         }
         query_workload(&mut bytes, &serving32);
+
+        // Post-delta generation: the dynamic store after a fixed mutation
+        // batch (two edge toggles + one onboarded node) must be just as
+        // deterministic as the frozen one — the incremental refresh and row
+        // patch paths join the dtype × tier × thread-count cube here.
+        for dtype in [StoreDtype::F64, StoreDtype::F32] {
+            let dynamic =
+                DynamicServingModel::build_with_dtype(model, graph.clone(), x, mode, dtype);
+            let mut delta = CsrDelta::new();
+            for &(u, v) in &[(3u32, 41u32), (10u32, 50u32)] {
+                if graph.neighbors(u).contains(&v) {
+                    delta.remove_edge(u, v);
+                } else {
+                    delta.insert_edge(u, v);
+                }
+            }
+            let n0 = graph.num_nodes() as u32;
+            delta.add_nodes(1).insert_edge(n0, 7);
+            let feats = Mat::from_fn(1, x.cols(), |_, j| 0.3 + 0.1 * j as f64);
+            let outcome = dynamic.apply_delta(&delta, Some(&feats));
+            bytes.extend_from_slice(&outcome.generation.to_le_bytes());
+            push(&mut bytes, &[outcome.staleness_bound]);
+            let snap = dynamic.snapshot();
+            match dtype {
+                StoreDtype::F64 => {
+                    push(&mut bytes, snap.model().store_f64().unwrap().as_slice());
+                }
+                StoreDtype::F32 => {
+                    for v in snap.model().store_f32().unwrap().as_slice() {
+                        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            query_workload(&mut bytes, snap.model());
+        }
     }
     bytes
 }
