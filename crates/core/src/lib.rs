@@ -31,8 +31,11 @@
 //! 10. [`refresh`] — the dynamic-graph substrate: [`refresh::ApprChain`]
 //!     keeps the per-scale propagation iterates alive so a
 //!     `gcon_graph::CsrDelta` re-derives only delta-affected rows (finite
-//!     scales bitwise equal to full re-propagation; the `∞` scale
-//!     warm-started with a certified staleness bound).
+//!     scales bitwise equal to full re-propagation; the `∞` scale refreshed
+//!     with a certified staleness bound — by strictly local forward-push
+//!     residual maintenance ([`refresh::push`]) for local edits, or a
+//!     warm-started global solver otherwise, chosen by the touched-volume-
+//!     aware [`propagation::plan_inf_refresh`]).
 //!
 //! The top-level entry points are [`GconConfig`], [`train::train_gcon`] and
 //! [`TrainedGcon`].
@@ -55,5 +58,5 @@ pub mod verify;
 pub use loss::{ConvexLoss, LossBounds, LossKind};
 pub use model::{GconConfig, PrivacyReport, TrainedGcon};
 pub use params::TheoremOneParams;
-pub use propagation::{PprSolver, PropagationStep};
+pub use propagation::{InfRefreshKind, PprSolver, PropagationStep};
 pub use refresh::{ApprChain, RefreshStats};

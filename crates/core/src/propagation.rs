@@ -104,7 +104,9 @@ impl std::fmt::Display for PropagationStep {
 }
 
 /// Convergence tolerance for the PPR fixed point (max-abs change per sweep).
-const PPR_TOL: f64 = 1e-10;
+/// `pub(crate)` so the push refresh (`crate::refresh::push`) can derive its
+/// residual threshold `ε` from the same certified-staleness budget.
+pub(crate) const PPR_TOL: f64 = 1e-10;
 /// Hard cap on PPR sweeps; the geometric rate `(1−α)` makes this generous.
 const PPR_MAX_ITERS: usize = 10_000;
 /// Relative tolerance of the CGNR solve (judged on the true residual).
@@ -247,6 +249,13 @@ pub enum PprSolver {
     /// Always block CGNR, with automatic fallback to the power iteration on
     /// non-convergence.
     Cgnr,
+    /// Forward-push residual maintenance for **incremental refreshes**: the
+    /// `∞` block repairs its maintained residual after a delta and runs
+    /// local push sweeps over the active rows only (cost `O(vol(affected))`
+    /// instead of a global solve — see `crate::refresh::push`). Cold solves
+    /// have no residual to maintain, so every from-scratch propagation path
+    /// treats `Push` like [`PprSolver::Power`].
+    Push,
 }
 
 impl PprSolver {
@@ -260,7 +269,7 @@ impl PprSolver {
     pub fn chooses_cgnr(self, alpha: f64) -> bool {
         match self {
             Self::Auto => alpha < PPR_CGNR_ALPHA_MAX,
-            Self::Power => false,
+            Self::Power | Self::Push => false,
             Self::Cgnr => true,
         }
     }
@@ -275,7 +284,7 @@ impl PprSolver {
     /// [`propagate_multi_with_solver`] consult.
     pub fn resolves_to_cgnr(self, alpha: f64, a_tilde: &Csr) -> bool {
         match self {
-            Self::Power => false,
+            Self::Power | Self::Push => false,
             Self::Cgnr => true,
             Self::Auto => {
                 alpha < PPR_CGNR_ALPHA_MAX
@@ -404,6 +413,81 @@ pub fn auto_chooses_cgnr(alpha: f64, lambda2: f64) -> bool {
     let kappa_sqrt = ((1.0 + rate) / (1.0 - rate)).sqrt();
     let cgnr_products = 2.0 * CGNR_COST_CALIBRATION * kappa_sqrt * LN_INV_PPR_CGNR_TOL;
     cgnr_products < power_products
+}
+
+/// Volume headroom the push cost model charges for frontier expansion. Each
+/// local push sweep grows the active set by roughly one `Ã`-neighborhood, so
+/// the work of the whole refresh is a small multiple of the seed volume;
+/// push only wins when even that expanded volume stays well under the full
+/// `nnz(Ã)` a *single* global warm sweep (or CGNR product) pays. The factor
+/// is deliberately conservative: misclassifying a large edit onto push costs
+/// sweeps that approach global ones anyway (the frontier saturates), while
+/// misclassifying a tiny edit onto a global solver wastes `Θ(nnz)` per
+/// sweep — `bench_updates`'s push-vs-warm comparison records the measured
+/// gap the factor guards.
+pub const PUSH_VOLUME_FACTOR: f64 = 16.0;
+
+/// The pure touched-set-volume half of the [`PprSolver::Auto`] refresh
+/// decision: `true` iff the forward-push residual refresh is predicted
+/// cheaper than any global solver for a delta whose touched rows hold
+/// `touched_volume` nonzeros out of `total_volume = nnz(Ã)`.
+///
+/// Unit-testable like [`auto_chooses_cgnr`]; the full three-way resolution
+/// (push vs warm-CGNR vs power) is [`plan_inf_refresh`].
+pub fn auto_chooses_push(touched_volume: usize, total_volume: usize) -> bool {
+    touched_volume > 0 && PUSH_VOLUME_FACTOR * touched_volume as f64 <= total_volume as f64
+}
+
+/// How the `∞`-scale block of an **incremental refresh** is recomputed —
+/// the three-way resolution of [`PprSolver`] once a concrete delta is known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InfRefreshKind {
+    /// Local forward-push sweeps over the maintained residual
+    /// (`crate::refresh::push`).
+    Push,
+    /// Global warm-started power sweeps.
+    Power,
+    /// Global warm-started block CGNR (with power fallback).
+    Cgnr,
+}
+
+impl std::fmt::Display for InfRefreshKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Push => write!(f, "push"),
+            Self::Power => write!(f, "power"),
+            Self::Cgnr => write!(f, "cgnr"),
+        }
+    }
+}
+
+/// Resolves which solver an incremental `∞` refresh should run, given the
+/// configured [`PprSolver`] and the delta's touched-set volume (sum of the
+/// touched rows' `Ã` nonzeros). `Power`/`Cgnr`/`Push` are forced; `Auto`
+/// extends the spectral-gap-aware cost model with the touched-volume gate:
+/// a strictly-local edit ([`auto_chooses_push`]) refreshes by push regardless
+/// of `α`, and only a volumetric edit falls through to the existing
+/// power-vs-CGNR decision ([`PprSolver::resolves_to_cgnr`]).
+pub fn plan_inf_refresh(
+    solver: PprSolver,
+    alpha: f64,
+    a_tilde: &Csr,
+    touched_volume: usize,
+) -> InfRefreshKind {
+    match solver {
+        PprSolver::Push => InfRefreshKind::Push,
+        PprSolver::Power => InfRefreshKind::Power,
+        PprSolver::Cgnr => InfRefreshKind::Cgnr,
+        PprSolver::Auto => {
+            if auto_chooses_push(touched_volume, a_tilde.nnz()) {
+                InfRefreshKind::Push
+            } else if solver.resolves_to_cgnr(alpha, a_tilde) {
+                InfRefreshKind::Cgnr
+            } else {
+                InfRefreshKind::Power
+            }
+        }
+    }
 }
 
 /// Matrix-free operator for `I − (1−α)Ã`, the PPR system matrix of Eq. (5),
@@ -767,6 +851,31 @@ pub fn ppr_staleness_bound(a_tilde: &Csr, x: &Mat, alpha: f64, z: &Mat) -> f64 {
     r_max / alpha
 }
 
+/// Computes the full PPR residual `R = αX − (I − (1−α)Ã) z` into `r` and
+/// returns the certified staleness bound `‖R‖_max / α` — the same number
+/// [`ppr_staleness_bound`] reports, via the identical per-element arithmetic
+/// (`αxᵢ − (zᵢ − (1−α)·(Ãz)ᵢ)`), at the same one-sparse-product cost.
+///
+/// This is the materialized form the forward-push refresh
+/// (`crate::refresh::push`) maintains alongside `z`: after a delta it
+/// repairs only the touched rows of `r` and localizes its sweeps to rows
+/// whose residual exceeds the push threshold, so the global recompute here
+/// is only paid once at build time (or after a global-solver refresh).
+pub fn ppr_residual_into(a_tilde: &Csr, x: &Mat, alpha: f64, z: &Mat, r: &mut Mat) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0, "ppr_residual_into: α in (0, 1]");
+    assert_eq!(a_tilde.rows(), x.rows(), "ppr_residual_into: dimension mismatch");
+    assert_eq!(z.shape(), x.shape(), "ppr_residual_into: iterate shape mismatch");
+    a_tilde.spmm_into(z, r);
+    let one_minus_alpha = 1.0 - alpha;
+    let mut r_max = 0.0_f64;
+    for ((ri, &zi), &xi) in r.as_mut_slice().iter_mut().zip(z.as_slice()).zip(x.as_slice()) {
+        let v = alpha * xi - (zi - one_minus_alpha * *ri);
+        *ri = v;
+        r_max = r_max.max(v.abs());
+    }
+    r_max / alpha
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1007,6 +1116,39 @@ mod tests {
         assert!(!auto_chooses_cgnr(0.15, 1.0));
         // Out-of-range λ₂ estimates are clamped, not trusted.
         assert!(auto_chooses_cgnr(0.01, 1.7) == auto_chooses_cgnr(0.01, 1.0));
+    }
+
+    /// Pins the pure touched-volume gate and the three-way refresh plan:
+    /// forced variants are forced, and Auto routes by volume first, then by
+    /// the spectral cost model.
+    #[test]
+    fn refresh_plan_is_volume_aware() {
+        // Pure volume gate.
+        assert!(!auto_chooses_push(0, 1_000), "an empty delta never pushes");
+        assert!(auto_chooses_push(10, 1_000));
+        assert!(!auto_chooses_push(100, 1_000), "a 10% touched volume is not local");
+        let boundary = (PUSH_VOLUME_FACTOR * 10.0) as usize;
+        assert!(auto_chooses_push(10, boundary));
+        assert!(!auto_chooses_push(10, boundary - 1));
+
+        // Three-way resolution on a concrete expander.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let a = row_stochastic_default(&generators::erdos_renyi_gnm(300, 900, &mut rng));
+        assert_eq!(plan_inf_refresh(PprSolver::Push, 0.2, &a, a.nnz()), InfRefreshKind::Push);
+        assert_eq!(plan_inf_refresh(PprSolver::Power, 0.2, &a, 2), InfRefreshKind::Power);
+        assert_eq!(plan_inf_refresh(PprSolver::Cgnr, 0.2, &a, 2), InfRefreshKind::Cgnr);
+        // Auto: a two-row edit pushes at any α; a volumetric edit falls
+        // through to the spectral decision (power on an expander).
+        assert_eq!(plan_inf_refresh(PprSolver::Auto, 0.2, &a, 12), InfRefreshKind::Push);
+        assert_eq!(plan_inf_refresh(PprSolver::Auto, 0.01, &a, 12), InfRefreshKind::Push);
+        assert_eq!(plan_inf_refresh(PprSolver::Auto, 0.2, &a, a.nnz()), InfRefreshKind::Power);
+        // Gapless graph at tiny α: volumetric edits go CGNR, local stay push.
+        let ring = row_stochastic_default(&generators::cycle(400));
+        assert_eq!(
+            plan_inf_refresh(PprSolver::Auto, 0.01, &ring, ring.nnz()),
+            InfRefreshKind::Cgnr
+        );
+        assert_eq!(plan_inf_refresh(PprSolver::Auto, 0.01, &ring, 6), InfRefreshKind::Push);
     }
 
     /// At fixed `α` the decision flips from power to CGNR exactly once as

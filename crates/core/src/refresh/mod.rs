@@ -18,11 +18,17 @@
 //!   is byte-identical to re-running
 //!   [`propagate_multi`](crate::propagation::propagate_multi) from scratch, at
 //!   `O(Σ_k |C_k| · nnz-per-row · d)` cost instead of `O(max(m) · nnz · d)`.
-//! - **The `∞` scale is refreshed warm.** The previous fixed point (new
-//!   rows seeded from `X`) warm-starts [`refresh_ppr`]; the result carries
-//!   the certified [`ppr_staleness_bound`] max-norm certificate instead of
-//!   a bitwise guarantee (the perturbation is global, but tiny sweeps/
-//!   frozen CGNR columns make it cheap).
+//! - **The `∞` scale is refreshed by the cheapest sound plan.** The chain
+//!   maintains the residual `R = αX − (I−(1−α)Ã)Z_∞` alongside the limit
+//!   iterate, and [`plan_inf_refresh`] resolves the configured
+//!   [`PprSolver`] against the delta's touched-set volume: a strictly
+//!   local edit repairs `R` on the touched rows and drains it with
+//!   forward-push sweeps ([`push`]) at `O(vol(affected))` cost, while a
+//!   volumetric edit warm-starts a global solver ([`refresh_ppr`]) from
+//!   the previous fixed point (new rows seeded from `X`). Either way the
+//!   result carries the certified max-norm staleness certificate of
+//!   [`crate::propagation::ppr_staleness_bound`] instead of a bitwise
+//!   guarantee — measured, never assumed.
 //!
 //! The memory cost of incrementality is explicit: the chain owns
 //! `max(m)+1` dense `n × d` iterates (plus the `∞` limit), because a row
@@ -37,11 +43,13 @@
 //! produces).
 
 use crate::propagation::{
-    ppr_staleness_bound, propagate_ppr_cgnr, refresh_ppr, run_to_fixed_point, step_once_into,
-    PprSolver, PropagationStep,
+    plan_inf_refresh, ppr_residual_into, propagate_ppr_cgnr, refresh_ppr, run_to_fixed_point,
+    step_once_into, InfRefreshKind, PprSolver, PropagationStep,
 };
 use gcon_graph::Csr;
 use gcon_linalg::Mat;
+
+pub mod push;
 
 /// The live per-scale iterate chain of a multi-scale propagation, the unit
 /// of incremental refresh (see the [module docs](self)).
@@ -56,7 +64,12 @@ pub struct ApprChain {
     /// scales not requested in `steps`, which later levels need as inputs.
     iterates: Vec<Mat>,
     z_inf: Option<Mat>,
+    /// Maintained residual `R = αX − (I−(1−α)Ã)Z_∞` (present iff `z_inf`
+    /// is): the staleness certificate is a dense scan of it, and the push
+    /// refresh repairs it in O(touched) instead of recomputing globally.
+    r_inf: Option<Mat>,
     staleness_bound: f64,
+    cumulative_staleness_bound: f64,
 }
 
 /// What a [`ApprChain::refresh`] call actually did — the observability the
@@ -66,17 +79,33 @@ pub struct RefreshStats {
     /// Rows re-derived across all finite levels (the incremental work; a
     /// full rebuild would have been `max_finite · n`).
     pub rows_recomputed: usize,
+    /// Rows re-derived at each finite level `k = 1..=max(m)`, in level
+    /// order — the affected-set growth profile (`C_k = C_{k−1} ∪ N(C_{k−1})`)
+    /// a capacity planner watches.
+    pub rows_per_level: Vec<usize>,
     /// The affected set at the deepest finite level, sorted ascending —
     /// exactly the rows whose finite-scale iterates may have changed (a
     /// serving layer patches only these store rows).
     pub affected: Vec<u32>,
-    /// Iterations/sweeps of the warm `∞` solve (0 when no `∞` scale).
+    /// Iterations/sweeps of the `∞` refresh (push sweeps, power sweeps, or
+    /// CGNR iterations; 0 when no `∞` scale or nothing to do).
     pub inf_iterations: usize,
-    /// Whether the `∞` refresh ran CGNR (`false` = power sweeps or absent).
-    pub inf_used_cgnr: bool,
+    /// The solver the `∞` refresh **actually ran** — which can differ from
+    /// the configured [`PprSolver`]: `Auto` resolves per delta, a CGNR or
+    /// push attempt that exhausts its budget falls back to power sweeps,
+    /// and `None` means no `∞` scale (or an empty delta skipped the solve).
+    pub inf_solver: Option<InfRefreshKind>,
     /// Certified `‖Z_∞-block − exact‖_max` bound after this refresh
     /// (`0.0` when the chain has no `∞` scale — finite levels are exact).
     pub staleness_bound: f64,
+    /// Sum of the certified bounds of every `∞` state this chain has
+    /// published (build + each effective refresh, this one included). Each
+    /// generation's iterate deviates from **its own** exact limit by at
+    /// most that generation's bound, so by the triangle inequality this sum
+    /// is the tolerance budget for comparing any two refresh histories that
+    /// end at the same graph — e.g. one coalesced burst vs its sequential
+    /// replay (`0.0` for finite-only chains, which are exact).
+    pub cumulative_staleness_bound: f64,
 }
 
 impl ApprChain {
@@ -125,21 +154,26 @@ impl ApprChain {
             iterates.push(z);
         }
 
-        let (z_inf, staleness_bound) = if has_infinite {
+        let (z_inf, r_inf, staleness_bound) = if has_infinite {
             let z = if solver.resolves_to_cgnr(alpha, a_tilde) {
                 propagate_ppr_cgnr(a_tilde, x, alpha)
             } else {
                 // Continue from the deepest finite iterate, exactly like the
                 // single-sweep propagate_multi (the recursion contracts to
-                // the same limit from any start).
+                // the same limit from any start). PprSolver::Push lands here
+                // too: a cold build has no residual to push against.
                 let mut z = iterates.last().expect("chain starts at Z_0").clone();
                 run_to_fixed_point(a_tilde, &mut z, &mut scratch, x, alpha);
                 z
             };
-            let bound = ppr_staleness_bound(a_tilde, x, alpha, &z);
-            (Some(z), bound)
+            // Materialize the residual the push refresh maintains; the
+            // returned bound is bit-identical to `ppr_staleness_bound`
+            // (same arithmetic, one sparse product).
+            let mut r = Mat::zeros(0, 0);
+            let bound = ppr_residual_into(a_tilde, x, alpha, &z, &mut r);
+            (Some(z), Some(r), bound)
         } else {
-            (None, 0.0)
+            (None, None, 0.0)
         };
 
         Self {
@@ -150,7 +184,9 @@ impl ApprChain {
             has_infinite,
             iterates,
             z_inf,
+            r_inf,
             staleness_bound,
+            cumulative_staleness_bound: staleness_bound,
         }
     }
 
@@ -169,6 +205,23 @@ impl ApprChain {
         assert_eq!(x.cols(), d, "ApprChain::refresh: feature width changed");
         let n_old = self.iterates[0].rows();
         assert!(n >= n_old, "ApprChain::refresh: the node set never shrinks");
+
+        // Early out: an empty effective delta with no onboarding means `Ã`
+        // and `x` are bitwise unchanged (every row a byte copy), so the
+        // whole chain — including the maintained residual and its
+        // certificate — is still exact. A coalescing window whose
+        // operations cancelled lands here and costs nothing.
+        if touched.is_empty() && n == n_old {
+            return RefreshStats {
+                rows_recomputed: 0,
+                rows_per_level: vec![0; self.max_finite],
+                affected: Vec::new(),
+                inf_iterations: 0,
+                inf_solver: None,
+                staleness_bound: self.staleness_bound,
+                cumulative_staleness_bound: self.cumulative_staleness_bound,
+            };
+        }
 
         // Grow every iterate row-wise; old rows keep their bits, onboarded
         // rows start at zero (finite levels recompute them below; the warm
@@ -198,6 +251,10 @@ impl ApprChain {
             }
         }
         affected.sort_unstable();
+        // The seed set (delta-touched ∪ onboarded) and its volume — what
+        // the ∞ plan judges and the push repair re-derives.
+        let seed = affected.clone();
+        let touched_volume: usize = seed.iter().map(|&u| a_tilde.row(u as usize).0.len()).sum();
 
         // Level 0 is X itself: re-copy the seed rows (onboarded rows get
         // their features; touched old rows are bitwise no-ops by contract).
@@ -206,6 +263,7 @@ impl ApprChain {
         }
 
         let mut rows_recomputed = 0usize;
+        let mut rows_per_level = Vec::with_capacity(self.max_finite);
         let mut saturated = affected.len() == n;
         for k in 1..=self.max_finite {
             // C_k = C_{k−1} ∪ N(C_{k−1}): one pattern-neighborhood of
@@ -234,10 +292,11 @@ impl ApprChain {
                 recompute_row(a_tilde, z_prev, x, self.alpha, u as usize, z_k.row_mut(u as usize));
             }
             rows_recomputed += affected.len();
+            rows_per_level.push(affected.len());
         }
 
-        let (inf_iterations, inf_used_cgnr) = if self.has_infinite {
-            let warm = match self.z_inf.take() {
+        let (inf_iterations, inf_solver) = if self.has_infinite {
+            let mut z = match self.z_inf.take() {
                 Some(old) if old.rows() == n => old,
                 Some(old) => {
                     // Seed onboarded rows from `x`: exact for isolated new
@@ -250,20 +309,66 @@ impl ApprChain {
                 }
                 None => unreachable!("has_infinite chains always carry z_inf"),
             };
-            let refreshed = refresh_ppr(a_tilde, x, self.alpha, &warm, self.solver);
-            self.staleness_bound = refreshed.staleness_bound;
-            self.z_inf = Some(refreshed.z);
-            (refreshed.iterations, refreshed.used_cgnr)
+            let mut r = match self.r_inf.take() {
+                Some(old) if old.rows() == n => old,
+                // Onboarded residual rows start at zero; they are part of
+                // the seed set, so the push path repairs them and the
+                // global paths recompute them wholesale.
+                Some(old) => grow_rows(&old, n),
+                None => unreachable!("has_infinite chains always carry r_inf"),
+            };
+            let plan = plan_inf_refresh(self.solver, self.alpha, a_tilde, touched_volume);
+            let (iterations, used) = match plan {
+                InfRefreshKind::Push => {
+                    let outcome = push::push_refresh(a_tilde, x, self.alpha, &mut z, &mut r, &seed);
+                    self.staleness_bound = outcome.staleness_bound;
+                    self.z_inf = Some(z);
+                    let used = if outcome.converged {
+                        InfRefreshKind::Push
+                    } else {
+                        // Sweep budget ran out; push_refresh finished with
+                        // global power sweeps and a global residual.
+                        InfRefreshKind::Power
+                    };
+                    (outcome.sweeps, used)
+                }
+                InfRefreshKind::Power | InfRefreshKind::Cgnr => {
+                    let forced = if plan == InfRefreshKind::Cgnr {
+                        PprSolver::Cgnr
+                    } else {
+                        PprSolver::Power
+                    };
+                    let refreshed = refresh_ppr(a_tilde, x, self.alpha, &z, forced);
+                    // Re-materialize the maintained residual; the returned
+                    // bound is the same number `refresh_ppr` measured (the
+                    // identical arithmetic over the identical iterate).
+                    let bound = ppr_residual_into(a_tilde, x, self.alpha, &refreshed.z, &mut r);
+                    debug_assert_eq!(bound.to_bits(), refreshed.staleness_bound.to_bits());
+                    self.staleness_bound = bound;
+                    self.z_inf = Some(refreshed.z);
+                    let used = if refreshed.used_cgnr {
+                        InfRefreshKind::Cgnr
+                    } else {
+                        InfRefreshKind::Power
+                    };
+                    (refreshed.iterations, used)
+                }
+            };
+            self.r_inf = Some(r);
+            self.cumulative_staleness_bound += self.staleness_bound;
+            (iterations, Some(used))
         } else {
-            (0, false)
+            (0, None)
         };
 
         RefreshStats {
             rows_recomputed,
+            rows_per_level,
             affected,
             inf_iterations,
-            inf_used_cgnr,
+            inf_solver,
             staleness_bound: self.staleness_bound,
+            cumulative_staleness_bound: self.cumulative_staleness_bound,
         }
     }
 
@@ -311,6 +416,20 @@ impl ApprChain {
     /// (`0.0` for finite-only chains, whose levels are exact).
     pub fn staleness_bound(&self) -> f64 {
         self.staleness_bound
+    }
+
+    /// Sum of the certified bounds of every `∞` state the chain has
+    /// published since build — see
+    /// [`RefreshStats::cumulative_staleness_bound`] for the compounding
+    /// contract it certifies.
+    pub fn cumulative_staleness_bound(&self) -> f64 {
+        self.cumulative_staleness_bound
+    }
+
+    /// The maintained `∞` residual `R = αX − (I−(1−α)Ã)Z_∞`, when the chain
+    /// has an `∞` scale. `staleness_bound() == ‖R‖_max / α` by construction.
+    pub fn residual(&self) -> Option<&Mat> {
+        self.r_inf.as_ref()
     }
 
     /// Number of graph nodes the chain currently covers.
@@ -505,11 +624,18 @@ mod tests {
         let alpha = 0.2;
         let mut chain = ApprChain::build(&a, &x, alpha, &steps, PprSolver::Power);
 
+        // A guaranteed-absent edge: a present one would make the delta a
+        // no-op, which the refresh now short-circuits entirely.
+        let (eu, ev) = (0..32u32)
+            .flat_map(|u| (u + 1..32).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v))
+            .expect("graph is not complete");
         let mut delta = CsrDelta::new();
-        delta.insert_edge(3, 27);
+        delta.insert_edge(eu, ev);
         let result = delta.apply(&mut g, &a, P_DEFAULT);
         let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
         assert!(stats.inf_iterations > 0);
+        assert_eq!(stats.inf_solver, Some(crate::propagation::InfRefreshKind::Power));
 
         let rebuilt = ApprChain::build(&result.a_tilde, &x, alpha, &steps, PprSolver::Power);
         // Finite block: bitwise. ∞ block: both converged, certificates add.
@@ -527,5 +653,151 @@ mod tests {
             stats.staleness_bound,
             rebuilt.staleness_bound()
         );
+    }
+
+    fn absent_edge(g: &Graph, n: u32) -> (u32, u32) {
+        (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v))
+            .expect("graph is not complete")
+    }
+
+    fn max_abs_gap(a: &Mat, b: &Mat) -> f64 {
+        a.as_slice().iter().zip(b.as_slice()).fold(0.0_f64, |acc, (x, y)| acc.max((x - y).abs()))
+    }
+
+    #[test]
+    fn push_refresh_stays_within_certificate_and_reports_push() {
+        let (mut g, a, x) = setup(40, 90, 4, 77);
+        let steps = [PropagationStep::Finite(1), PropagationStep::Infinite];
+        let alpha = 0.2;
+        let mut chain = ApprChain::build(&a, &x, alpha, &steps, PprSolver::Push);
+
+        let (eu, ev) = absent_edge(&g, 40);
+        let mut delta = CsrDelta::new();
+        delta.insert_edge(eu, ev);
+        let result = delta.apply(&mut g, &a, P_DEFAULT);
+        let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+        assert_eq!(stats.inf_solver, Some(crate::propagation::InfRefreshKind::Push));
+        assert!(stats.inf_iterations > 0, "a local edit needs at least one push sweep");
+        assert_eq!(stats.rows_per_level, vec![stats.affected.len()]);
+
+        let rebuilt = ApprChain::build(&result.a_tilde, &x, alpha, &steps, PprSolver::Power);
+        // Finite block: bitwise (push touches only the ∞ state).
+        assert_eq!(chain.iterate(1).as_slice(), rebuilt.iterate(1).as_slice());
+        let worst = max_abs_gap(chain.z_inf().expect("∞ chain"), rebuilt.z_inf().expect("∞ chain"));
+        assert!(
+            worst <= stats.staleness_bound + rebuilt.staleness_bound(),
+            "push ∞ block off by {worst}, certificates allow {} + {}",
+            stats.staleness_bound,
+            rebuilt.staleness_bound()
+        );
+    }
+
+    #[test]
+    fn push_refresh_certificate_matches_global_residual() {
+        // The maintained residual drifts from the true residual only by
+        // incremental-update rounding; the certified bound must agree with
+        // a from-scratch residual recompute to far below the threshold.
+        let (mut g, a, x) = setup(36, 80, 5, 78);
+        let steps = [PropagationStep::Infinite];
+        let alpha = 0.15;
+        let mut chain = ApprChain::build(&a, &x, alpha, &steps, PprSolver::Push);
+        let mut current = a;
+        for k in 0..4 {
+            let (eu, ev) = absent_edge(&g, 36);
+            let mut delta = CsrDelta::new();
+            delta.insert_edge(eu, ev);
+            let result = delta.apply(&mut g, &current, P_DEFAULT);
+            let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+            assert_eq!(
+                stats.inf_solver,
+                Some(crate::propagation::InfRefreshKind::Push),
+                "edit {k}"
+            );
+            current = result.a_tilde;
+
+            let mut r_true = Mat::zeros(0, 0);
+            let true_bound = crate::propagation::ppr_residual_into(
+                &current,
+                &x,
+                alpha,
+                chain.z_inf().expect("∞ chain"),
+                &mut r_true,
+            );
+            let drift = max_abs_gap(chain.residual().expect("maintained residual"), &r_true);
+            assert!(drift < 1e-13, "maintained residual drifted by {drift} after edit {k}");
+            assert!((stats.staleness_bound - true_bound).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn empty_delta_refresh_is_a_no_op() {
+        let (g, a, x) = setup(28, 60, 4, 79);
+        let steps = [PropagationStep::Finite(1), PropagationStep::Infinite];
+        let mut chain = ApprChain::build(&a, &x, 0.25, &steps, PprSolver::Push);
+        let z_before = chain.z_inf().expect("∞ chain").clone();
+        let bound_before = chain.staleness_bound();
+        let cumulative_before = chain.cumulative_staleness_bound();
+        drop(g);
+
+        let stats = chain.refresh(&a, &x, &[]);
+        assert_eq!(stats.rows_recomputed, 0);
+        assert_eq!(stats.rows_per_level, vec![0]);
+        assert_eq!(stats.inf_iterations, 0);
+        assert_eq!(stats.inf_solver, None);
+        assert_eq!(stats.staleness_bound, bound_before);
+        assert_eq!(stats.cumulative_staleness_bound, cumulative_before);
+        assert_eq!(chain.z_inf().expect("∞ chain").as_slice(), z_before.as_slice());
+    }
+
+    #[test]
+    fn cumulative_bound_compounds_across_refreshes() {
+        let (mut g, a, x) = setup(30, 70, 4, 80);
+        let steps = [PropagationStep::Infinite];
+        let alpha = 0.3;
+        let mut chain = ApprChain::build(&a, &x, alpha, &steps, PprSolver::Push);
+        let mut expected = chain.staleness_bound();
+        assert_eq!(chain.cumulative_staleness_bound(), expected);
+        let mut current = a;
+        for _ in 0..3 {
+            let (eu, ev) = absent_edge(&g, 30);
+            let mut delta = CsrDelta::new();
+            delta.insert_edge(eu, ev);
+            let result = delta.apply(&mut g, &current, P_DEFAULT);
+            let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+            expected += stats.staleness_bound;
+            assert_eq!(stats.cumulative_staleness_bound, expected);
+            current = result.a_tilde;
+        }
+        assert!(chain.cumulative_staleness_bound() >= chain.staleness_bound());
+    }
+
+    #[test]
+    fn auto_routes_local_edit_to_push_and_volumetric_to_global() {
+        let (mut g, a, x) = setup(200, 500, 3, 81);
+        let steps = [PropagationStep::Infinite];
+        let alpha = 0.25;
+        let mut chain = ApprChain::build(&a, &x, alpha, &steps, PprSolver::Auto);
+
+        // One absent edge: touched volume is two rows — strictly local.
+        let (eu, ev) = absent_edge(&g, 200);
+        let mut delta = CsrDelta::new();
+        delta.insert_edge(eu, ev);
+        let result = delta.apply(&mut g, &a, P_DEFAULT);
+        let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+        assert_eq!(stats.inf_solver, Some(crate::propagation::InfRefreshKind::Push));
+
+        // A delta touching most rows: volumetric, must go global (power at
+        // this α).
+        let mut big = CsrDelta::new();
+        for u in 0..199u32 {
+            if !g.has_edge(u, u + 1) {
+                big.insert_edge(u, u + 1);
+            }
+        }
+        let result = big.apply(&mut g, &result.a_tilde, P_DEFAULT);
+        let stats = chain.refresh(&result.a_tilde, &x, &result.touched);
+        assert_eq!(stats.inf_solver, Some(crate::propagation::InfRefreshKind::Power));
     }
 }

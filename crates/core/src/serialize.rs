@@ -257,6 +257,7 @@ fn put_config(buf: &mut BytesMut, cfg: &GconConfig, version: u16) {
             PprSolver::Auto => 0,
             PprSolver::Power => 1,
             PprSolver::Cgnr => 2,
+            PprSolver::Push => 3,
         });
     }
     buf.put_f64_le(cfg.optimizer.lr);
@@ -295,6 +296,7 @@ fn get_config(buf: &mut Bytes, version: u16) -> Result<GconConfig, DecodeError> 
             0 => PprSolver::Auto,
             1 => PprSolver::Power,
             2 => PprSolver::Cgnr,
+            3 => PprSolver::Push,
             t => return Err(DecodeError::BadTag("ppr solver", t)),
         }
     } else {

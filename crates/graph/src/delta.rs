@@ -27,6 +27,7 @@
 
 use crate::csr::CsrScalar;
 use crate::{normalize, Csr, Graph};
+use std::collections::HashMap;
 use std::ops::Range;
 
 /// A batch of graph mutations: edge inserts, edge removes, and node
@@ -95,6 +96,83 @@ impl CsrDelta {
     /// Number of queued edge operations (inserts + removes).
     pub fn num_edge_ops(&self) -> usize {
         self.edge_inserts.len() + self.edge_removes.len()
+    }
+
+    /// Number of queued node onboardings.
+    pub fn num_new_nodes(&self) -> usize {
+        self.new_nodes
+    }
+
+    /// Folds `other` into `self` so that applying the merged delta once is
+    /// equivalent to applying `self` then `other` sequentially — for **any**
+    /// starting graph.
+    ///
+    /// Edge operations are state-setters (insert ≡ ensure-present, remove ≡
+    /// ensure-absent), and the combined stream applies in the order
+    /// `self.removes, self.inserts, other.removes, other.inserts` (removes
+    /// precede inserts within one delta — see [`CsrDelta::apply`]). The
+    /// **last** operation per undirected edge therefore decides its final
+    /// state; earlier ones are dropped. An insert-then-remove pair nets to a
+    /// single remove (a no-op if the edge was absent to begin with), never
+    /// to a blind cancellation — cancelling both ops would be wrong when the
+    /// edge pre-existed. Use [`CsrDelta::prune`] afterwards to discard netted
+    /// operations that are provably ineffective against a concrete graph.
+    ///
+    /// Onboard counts concatenate: node ids are absolute and assigned
+    /// sequentially, so edges in `other` that reference nodes onboarded by
+    /// `self` stay valid in the merged delta.
+    pub fn merge(&mut self, other: &CsrDelta) -> &mut Self {
+        let stream = self
+            .edge_removes
+            .iter()
+            .map(|&e| (e, false))
+            .chain(self.edge_inserts.iter().map(|&e| (e, true)))
+            .chain(other.edge_removes.iter().map(|&e| (e, false)))
+            .chain(other.edge_inserts.iter().map(|&e| (e, true)));
+        // Net to last-op-wins per undirected edge, preserving first-seen
+        // order so the merged delta is deterministic for a given stream.
+        let mut last: HashMap<(u32, u32), bool> = HashMap::new();
+        let mut order: Vec<(u32, u32)> = Vec::new();
+        for ((u, v), is_insert) in stream {
+            let key = (u.min(v), u.max(v));
+            if last.insert(key, is_insert).is_none() {
+                order.push(key);
+            }
+        }
+        self.edge_inserts.clear();
+        self.edge_removes.clear();
+        for key in order {
+            if last[&key] {
+                self.edge_inserts.push(key);
+            } else {
+                self.edge_removes.push(key);
+            }
+        }
+        self.new_nodes += other.new_nodes;
+        self
+    }
+
+    /// Drops queued edge operations that provably cannot change `graph`:
+    /// inserts of already-present edges or self-loops, and removes of absent
+    /// edges. Operations referencing nodes this delta onboards (id ≥
+    /// `graph.num_nodes()`) are kept — their effect cannot be judged against
+    /// the pre-delta graph.
+    ///
+    /// After [`CsrDelta::merge`] nets a window's operations, pruning reduces
+    /// a fully-cancelled window (e.g. insert then remove of an edge that was
+    /// absent) to an empty delta, letting a scheduler skip the refresh
+    /// entirely via [`CsrDelta::is_empty`].
+    pub fn prune(&mut self, graph: &Graph) -> &mut Self {
+        let n = graph.num_nodes() as u32;
+        self.edge_inserts.retain(|&(u, v)| {
+            if u >= n || v >= n {
+                true
+            } else {
+                u != v && !graph.has_edge(u, v)
+            }
+        });
+        self.edge_removes.retain(|&(u, v)| u >= n || v >= n || graph.has_edge(u, v));
+        self
     }
 
     /// Applies the delta: mutates `graph` in place and patches `a_tilde`
@@ -338,6 +416,84 @@ mod tests {
         // values flow through the same f64 arithmetic before quantization.
         assert_eq!(res32.a_tilde, res64.a_tilde.convert());
         assert_eq!(res32.touched, res64.touched);
+    }
+
+    #[test]
+    fn merge_matches_sequential_application() {
+        let (mut g_seq, a) = setup(30, 70, 20);
+        let mut g_merged = g_seq.clone();
+        let present = g_seq.edges()[4];
+        let absent = (0..30u32)
+            .flat_map(|x| (x + 1..30).map(move |y| (x, y)))
+            .find(|&(x, y)| !g_seq.has_edge(x, y))
+            .unwrap();
+        let mut d1 = CsrDelta::new();
+        d1.insert_edge(absent.0, absent.1).remove_edge(present.0, present.1).add_nodes(1);
+        let mut d2 = CsrDelta::new();
+        // References the node d1 onboarded, re-inserts the edge d1 removed,
+        // and removes the edge d1 inserted (nets to a remove of `absent`).
+        d2.insert_edge(30, 2)
+            .insert_edge(present.1, present.0)
+            .remove_edge(absent.0, absent.1)
+            .add_nodes(1);
+
+        let r1 = d1.apply(&mut g_seq, &a, 0.5);
+        let r2 = d2.apply(&mut g_seq, &r1.a_tilde, 0.5);
+
+        let mut merged = d1.clone();
+        merged.merge(&d2);
+        assert_eq!(merged.num_new_nodes(), 2);
+        let rm = merged.apply(&mut g_merged, &a, 0.5);
+        assert_eq!(g_merged, g_seq);
+        assert_eq!(rm.a_tilde, r2.a_tilde);
+        assert_eq!(rm.onboarded, 30..32);
+    }
+
+    #[test]
+    fn merged_insert_then_remove_prunes_to_empty() {
+        let (g, _) = setup(20, 40, 21);
+        let absent = (0..20u32)
+            .flat_map(|x| (x + 1..20).map(move |y| (x, y)))
+            .find(|&(x, y)| !g.has_edge(x, y))
+            .unwrap();
+        let mut d1 = CsrDelta::new();
+        d1.insert_edge(absent.0, absent.1);
+        let mut d2 = CsrDelta::new();
+        d2.remove_edge(absent.1, absent.0); // opposite endpoint order
+        d1.merge(&d2);
+        // Netting keeps the final remove (sound for any start state)...
+        assert_eq!(d1.num_edge_ops(), 1);
+        // ...and pruning against the concrete graph discards it: the edge
+        // was absent, so the whole window is a no-op.
+        d1.prune(&g);
+        assert!(d1.is_empty());
+    }
+
+    #[test]
+    fn merged_remove_then_insert_of_present_edge_prunes_to_empty() {
+        let (g, _) = setup(20, 40, 22);
+        let (u, v) = g.edges()[2];
+        let mut d1 = CsrDelta::new();
+        d1.remove_edge(u, v);
+        let mut d2 = CsrDelta::new();
+        d2.insert_edge(u, v);
+        d1.merge(&d2);
+        assert_eq!(d1.num_edge_ops(), 1); // nets to the insert
+        d1.prune(&g);
+        assert!(d1.is_empty()); // ...which is a no-op: edge already present
+    }
+
+    #[test]
+    fn prune_keeps_operations_on_onboarded_nodes() {
+        let (g, _) = setup(15, 30, 23);
+        let mut d = CsrDelta::new();
+        d.add_nodes(1).insert_edge(15, 3).insert_edge(3, 3);
+        d.prune(&g);
+        // The self-loop dies, the onboard edge survives (node 15 does not
+        // exist yet, so it cannot be judged against the pre-delta graph).
+        assert_eq!(d.num_edge_ops(), 1);
+        assert_eq!(d.num_new_nodes(), 1);
+        assert!(!d.is_empty());
     }
 
     #[test]

@@ -40,12 +40,15 @@
 //! # Solver knob
 //!
 //! The chain's `∞`-scale solver follows the trained model's
-//! `GconConfig::ppr_solver`; `GCON_REFRESH_SOLVER=auto|power|cgnr`
+//! `GconConfig::ppr_solver`; `GCON_REFRESH_SOLVER=auto|power|cgnr|push`
 //! overrides it process-wide (resolved once, like `GCON_STORE_DTYPE`).
+//! `push` forces local forward-push residual maintenance on every refresh;
+//! `auto` picks push/cgnr/power per delta from the touched-set volume (see
+//! `gcon_core::propagation::plan_inf_refresh`).
 
 use crate::model::{ServingMode, ServingModel, StoreDtype};
 use gcon_core::propagation::PropagationStep;
-use gcon_core::{ApprChain, PprSolver, TrainedGcon};
+use gcon_core::{ApprChain, InfRefreshKind, PprSolver, TrainedGcon};
 use gcon_graph::normalize::row_stochastic;
 use gcon_graph::{Csr, CsrDelta, Graph};
 use gcon_linalg::{ops, Mat};
@@ -97,12 +100,21 @@ pub struct DeltaOutcome {
     pub staleness_bound: f64,
     /// Rows re-derived across all finite propagation levels.
     pub rows_recomputed: usize,
+    /// Rows re-derived per finite level, outermost first (sums to
+    /// `rows_recomputed`).
+    pub rows_per_level: Vec<usize>,
     /// Distinct store rows patched (the affected set at the deepest level).
     pub affected_rows: usize,
     /// Warm iterations/sweeps of the `∞`-scale refresh (0 without `∞`).
     pub inf_iterations: usize,
-    /// Whether the `∞` refresh ran CGNR (`false` = power sweeps or absent).
-    pub inf_used_cgnr: bool,
+    /// The solver the `∞`-scale refresh actually ran (`None` without `∞` or
+    /// when the delta was fully ineffective).
+    pub inf_solver: Option<InfRefreshKind>,
+    /// Sum of the certified staleness bounds of every `∞` state this model
+    /// has published (build + each effective refresh) — the triangle-
+    /// inequality budget for comparing refresh histories (see
+    /// [`gcon_core::RefreshStats::cumulative_staleness_bound`]).
+    pub cumulative_staleness_bound: f64,
     /// Node ids onboarded by this delta (empty range when none).
     pub onboarded: Range<u32>,
 }
@@ -232,6 +244,13 @@ impl DynamicServingModel {
     ///
     /// Refreshes serialize; concurrent queries keep reading the previous
     /// generation until this returns.
+    ///
+    /// A **fully ineffective** delta — every edge operation cancels against
+    /// the current graph (e.g. a coalescing window whose inserts and removes
+    /// netted out) and no nodes are onboarded — publishes nothing: the store
+    /// is bitwise unchanged, so the returned outcome carries the *current*
+    /// generation and zero work counters instead of burning a generation on
+    /// a no-op.
     pub fn apply_delta(&self, delta: &CsrDelta, onboard_features: Option<&Mat>) -> DeltaOutcome {
         let mut state = self.state.lock().expect("refresh state poisoned");
         let result = {
@@ -261,6 +280,22 @@ impl DynamicServingModel {
             chain.refresh(&result.a_tilde, x_enc, &result.touched)
         };
         state.a_tilde = result.a_tilde;
+        if result.touched.is_empty() && num_new == 0 {
+            // Fully ineffective delta: `Ã` and every chain iterate are
+            // bitwise unchanged (the chain refresh early-outed the same
+            // way), so there is nothing to publish.
+            return DeltaOutcome {
+                generation: state.generation,
+                staleness_bound: stats.staleness_bound,
+                rows_recomputed: 0,
+                rows_per_level: stats.rows_per_level,
+                affected_rows: 0,
+                inf_iterations: 0,
+                inf_solver: None,
+                cumulative_staleness_bound: stats.cumulative_staleness_bound,
+                onboarded,
+            };
+        }
         {
             let RefreshState { chain, store, .. } = &mut *state;
             patch_store(store, chain, &self.model.config.steps, self.mode, &stats.affected);
@@ -281,9 +316,11 @@ impl DynamicServingModel {
             generation: state.generation,
             staleness_bound: stats.staleness_bound,
             rows_recomputed: stats.rows_recomputed,
+            rows_per_level: stats.rows_per_level,
             affected_rows: stats.affected.len(),
             inf_iterations: stats.inf_iterations,
-            inf_used_cgnr: stats.inf_used_cgnr,
+            inf_solver: stats.inf_solver,
+            cumulative_staleness_bound: stats.cumulative_staleness_bound,
             onboarded,
         }
     }
@@ -461,6 +498,7 @@ pub(crate) fn parse_refresh_solver(value: &str) -> Option<PprSolver> {
         "auto" => Some(PprSolver::Auto),
         "power" => Some(PprSolver::Power),
         "cgnr" => Some(PprSolver::Cgnr),
+        "push" => Some(PprSolver::Push),
         _ => None,
     }
 }
@@ -474,7 +512,7 @@ fn refresh_solver_env() -> Option<PprSolver> {
             if parsed.is_none() {
                 eprintln!(
                     "gcon-serve: unrecognized GCON_REFRESH_SOLVER={v:?} \
-                     (expected auto|power|cgnr); using the model's solver"
+                     (expected auto|power|cgnr|push); using the model's solver"
                 );
             }
             parsed
@@ -694,7 +732,38 @@ mod tests {
         assert_eq!(parse_refresh_solver("auto"), Some(PprSolver::Auto));
         assert_eq!(parse_refresh_solver("POWER"), Some(PprSolver::Power));
         assert_eq!(parse_refresh_solver("Cgnr"), Some(PprSolver::Cgnr));
+        assert_eq!(parse_refresh_solver("push"), Some(PprSolver::Push));
+        assert_eq!(parse_refresh_solver("PUSH"), Some(PprSolver::Push));
         assert_eq!(parse_refresh_solver("fastest"), None);
         assert_eq!(parse_refresh_solver(""), None);
+    }
+
+    #[test]
+    fn fully_ineffective_delta_publishes_nothing() {
+        let (model, graph, x) = tiny_trained();
+        let dynamic = DynamicServingModel::build_with_dtype(
+            model,
+            graph.clone(),
+            x,
+            ServingMode::Public,
+            StoreDtype::F64,
+        );
+        // Insert an edge that is already present and remove one that is
+        // absent: both operations cancel against the live graph.
+        let present = (0u32, graph.neighbors(0)[0]);
+        let absent = (0..graph.num_nodes() as u32)
+            .flat_map(|u| (u + 1..graph.num_nodes() as u32).map(move |v| (u, v)))
+            .find(|&(u, v)| !graph.has_edge(u, v))
+            .expect("tiny graph is not complete");
+        let mut delta = CsrDelta::new();
+        delta.insert_edge(present.0, present.1).remove_edge(absent.0, absent.1);
+        let before = dynamic.snapshot();
+        let outcome = dynamic.apply_delta(&delta, None);
+        assert_eq!(outcome.generation, 0, "no-op delta must not burn a generation");
+        assert_eq!(outcome.inf_solver, None);
+        assert_eq!((outcome.rows_recomputed, outcome.affected_rows), (0, 0));
+        let after = dynamic.snapshot();
+        assert_eq!(after.generation(), 0);
+        assert!(Arc::ptr_eq(&before, &after), "the published generation must be untouched");
     }
 }

@@ -30,6 +30,12 @@
 //! layers follow the workspace-wide `_into` convention — after warm-up the
 //! steady state allocates nothing per batch.
 //!
+//! The mutation side mirrors the query side: [`DynamicServingModel`]
+//! applies graph deltas incrementally and publishes immutable, versioned
+//! [`ServingGeneration`]s, and [`DeltaCoalescer`] batches concurrent edits
+//! the way [`BatchQueue`] batches queries — a burst of deltas merges into
+//! **one** refresh and one published generation per window.
+//!
 //! # Exactness and the store dtype
 //!
 //! Serving is not an approximation. Every dense kernel in `gcon-linalg`
@@ -86,11 +92,14 @@
 //! ```
 
 mod batch;
+mod coalesce;
 mod dynamic;
 mod model;
 
 pub use batch::{BatchConfig, BatchQueue, BatchStats};
+pub use coalesce::{CoalesceConfig, CoalesceStats, DeltaCoalescer};
 pub use dynamic::{DeltaOutcome, DynamicServingModel, OnboardQuery, ServingGeneration};
+pub use gcon_core::InfRefreshKind;
 pub use model::{ServingMode, ServingModel, ServingSession, StoreDtype, F32_STORE_LOGIT_TOL};
 
 /// Shared tiny trained model for this crate's unit tests (training once per

@@ -133,6 +133,62 @@ fn main() {
     assert_eq!(dynamic.snapshot().model().predict_all(), reference);
     println!("delta round-trip restored the original predictions (generation 2)");
 
+    // 7. Under an *edit* burst, a DeltaCoalescer plays the BatchQueue role
+    //    for mutations: concurrent submits merge into one CsrDelta and pay
+    //    one refresh + one published generation per window.
+    let gen_before_burst = dynamic.snapshot().generation();
+    let coalescer = gcon::serve::DeltaCoalescer::new(
+        &dynamic,
+        gcon::serve::CoalesceConfig { max_pending: 4, max_delay: Duration::MAX },
+    );
+    let burst: Vec<(u32, u32, bool)> = (0..4u32)
+        .map(|i| {
+            let (a, b) = (5 + i, (n as u32 / 2 + 7 * i) % n as u32);
+            (a, b, dataset.graph.neighbors(a).contains(&b))
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for &(a, b, present) in &burst {
+            let coalescer = &coalescer;
+            scope.spawn(move || {
+                let mut delta = gcon::graph::CsrDelta::new();
+                if present {
+                    delta.remove_edge(a, b);
+                } else {
+                    delta.insert_edge(a, b);
+                }
+                let outcome = coalescer.submit(delta, None);
+                assert_eq!(outcome.generation, gen_before_burst + 1);
+            });
+        }
+    });
+    let cstats = coalescer.stats();
+    println!(
+        "coalesced burst: {} edits in {} window(s) → one generation ({})",
+        cstats.edits,
+        cstats.windows,
+        dynamic.snapshot().generation(),
+    );
+
+    // Undo the whole burst the same way — one merged window — and the
+    // store returns to the post-round-trip (= original) answers.
+    std::thread::scope(|scope| {
+        for &(a, b, present) in &burst {
+            let coalescer = &coalescer;
+            scope.spawn(move || {
+                let mut undo = gcon::graph::CsrDelta::new();
+                if present {
+                    undo.insert_edge(a, b);
+                } else {
+                    undo.remove_edge(a, b);
+                }
+                coalescer.submit(undo, None);
+            });
+        }
+    });
+    assert_eq!(dynamic.snapshot().model().predict_all(), reference);
+    println!("burst round-trip restored the original predictions");
+
     // A node the store has never seen can still be answered immediately:
     // a batched one-hop gather over its own edges, no store mutation.
     let unseen = gcon::serve::OnboardQuery {

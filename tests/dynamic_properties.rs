@@ -13,6 +13,14 @@
 //!   the from-scratch `concat_features` on the final graph — bitwise for
 //!   finite scales, within the certified staleness bounds when an `∞`
 //!   scale is present.
+//! - `CsrDelta::merge` is **sequential application**: merging any delta
+//!   sequence into one delta and applying it yields the same graph and the
+//!   bitwise-identical `Ã` as applying the deltas one by one (including
+//!   insert-then-remove cancellation and cross-delta onboarding).
+//! - The forward-push `∞` refresh (`PprSolver::Push`) honors the same
+//!   certified staleness contract as the global solvers, and a coalesced
+//!   (merged) burst refresh agrees with sequential refreshes within the
+//!   sum of the two final certificates.
 
 use gcon::core::propagation::concat_features_with_solver;
 use gcon::core::{ApprChain, PprSolver, PropagationStep};
@@ -170,6 +178,208 @@ proptest! {
                     (a - b).abs() <= bound,
                     "refresh drifted {:e} > certified {:e}", (a - b).abs(), bound
                 );
+            }
+        }
+    }
+
+    /// Merging a random delta sequence into one `CsrDelta` and applying it
+    /// once yields the same node count and the **bitwise** same `Ã` as
+    /// applying the deltas one by one — insert/remove netting included.
+    #[test]
+    fn merged_delta_is_bitwise_sequential_application(
+        seed in 0u64..500,
+        n in 4usize..24,
+        extra in 0usize..30,
+        ops in 2usize..8,
+        p in 0.1f64..0.5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(97).wrapping_add(13));
+        let g0 = random_graph(n, extra, &mut rng);
+        let a0 = row_stochastic(&g0, p);
+
+        // Sequential: evolve graph + Ã one delta at a time, keeping each
+        // delta (computed against the live state, as a real writer would).
+        let mut g_seq = g0.clone();
+        let mut a_seq = a0.clone();
+        let mut deltas = Vec::new();
+        for _ in 0..ops {
+            let (delta, _, _) = random_delta(&g_seq, &mut rng);
+            let result = delta.apply(&mut g_seq, &a_seq, p);
+            a_seq = result.a_tilde;
+            deltas.push(delta);
+        }
+
+        // Coalesced: merge the same deltas FIFO, apply once to the origin.
+        let mut merged = deltas[0].clone();
+        for d in &deltas[1..] {
+            merged.merge(d);
+        }
+        let mut g_merged = g0.clone();
+        let result = merged.apply(&mut g_merged, &a0, p);
+        prop_assert_eq!(g_merged.num_nodes(), g_seq.num_nodes());
+        prop_assert_eq!(
+            &result.a_tilde, &a_seq,
+            "merged application diverged from sequential"
+        );
+        prop_assert!(matches_rebuild(&result.a_tilde, &g_merged, p));
+    }
+
+    /// The forward-push `∞` refresh stays inside the certified staleness
+    /// contract after any random delta sequence: finite scales bitwise,
+    /// the `∞` scale within the maintained-residual certificate — exactly
+    /// the contract the global solvers honor, at local cost.
+    #[test]
+    fn push_refresh_stays_within_certified_bound(
+        seed in 0u64..500,
+        n in 6usize..24,
+        extra in 0usize..30,
+        ops in 1usize..6,
+        alpha in 0.1f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(61).wrapping_add(3));
+        let mut g = random_graph(n, extra, &mut rng);
+        let p = 0.5;
+        let mut a_tilde = row_stochastic(&g, p);
+        let steps =
+            vec![PropagationStep::Finite(1), PropagationStep::Infinite];
+        let d = 4;
+        let mut x: Mat = Mat::uniform(n, d, 1.0, &mut rng);
+        let mut chain = ApprChain::build(&a_tilde, &x, alpha, &steps, PprSolver::Push);
+
+        let mut saw_push = false;
+        for _ in 0..ops {
+            let (delta, new_rows, _) = random_delta(&g, &mut rng);
+            let result = delta.apply(&mut g, &a_tilde, p);
+            a_tilde = result.a_tilde;
+            if new_rows > 0 {
+                let n_old = x.rows();
+                let mut grown = Mat::zeros(n_old + new_rows, d);
+                grown.as_mut_slice()[..n_old * d].copy_from_slice(x.as_slice());
+                for r in 0..new_rows {
+                    for c in 0..d {
+                        grown.set(n_old + r, c, rng.gen_range(-1.0..1.0));
+                    }
+                }
+                x = grown;
+            }
+            let stats = chain.refresh(&a_tilde, &x, &result.touched);
+            saw_push |= stats.inf_solver == Some(gcon::core::InfRefreshKind::Push);
+        }
+        prop_assert!(saw_push, "forced Push solver never reported a push refresh");
+
+        let refreshed = chain.assemble_concat();
+        let scratch = concat_features_with_solver(&a_tilde, &x, alpha, &steps, PprSolver::Power);
+        let scratch_residual = (1.0 - alpha) * 1e-10 / alpha;
+        let bound = (chain.staleness_bound() + scratch_residual) / steps.len() as f64 + 1e-14;
+        // Finite block bitwise, ∞ block within the certificate; comparing
+        // the whole concatenation against the certified bound covers both
+        // (the finite gap is exactly zero).
+        let (rows, cols) = refreshed.shape();
+        prop_assert_eq!((rows, cols), scratch.shape());
+        for r in 0..rows {
+            for (c, (a, b)) in refreshed.row(r).iter().zip(scratch.row(r)).enumerate() {
+                if c < d {
+                    prop_assert_eq!(a, b, "finite block must stay bitwise (row {})", r);
+                } else {
+                    prop_assert!(
+                        (a - b).abs() <= bound,
+                        "push refresh drifted {:e} > certified {:e}", (a - b).abs(), bound
+                    );
+                }
+            }
+        }
+    }
+
+    /// Coalescing contract end to end at the chain level: refreshing once
+    /// with the merged delta agrees with refreshing once per delta — finite
+    /// scales bitwise, the `∞` scale within the sum of the two final
+    /// certificates (both states certify against the same exact limit).
+    #[test]
+    fn coalesced_burst_refresh_matches_sequential_within_bounds(
+        seed in 0u64..500,
+        n in 6usize..20,
+        extra in 0usize..24,
+        ops in 2usize..6,
+        alpha in 0.15f64..0.6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7).wrapping_add(29));
+        let g0 = random_graph(n, extra, &mut rng);
+        let p = 0.5;
+        let a0 = row_stochastic(&g0, p);
+        let steps = vec![PropagationStep::Finite(2), PropagationStep::Infinite];
+        let d = 3;
+        let x0: Mat = Mat::uniform(n, d, 1.0, &mut rng);
+
+        // Sequential side: one refresh per delta.
+        let mut g_seq = g0.clone();
+        let mut a_seq = a0.clone();
+        let mut x = x0.clone();
+        let mut seq = ApprChain::build(&a_seq, &x, alpha, &steps, PprSolver::Push);
+        let mut deltas = Vec::new();
+        let mut onboard_rows: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..ops {
+            let (delta, new_rows, _) = random_delta(&g_seq, &mut rng);
+            let result = delta.apply(&mut g_seq, &a_seq, p);
+            a_seq = result.a_tilde;
+            for _ in 0..new_rows {
+                let row: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let n_old = x.rows();
+                let mut grown = Mat::zeros(n_old + 1, d);
+                grown.as_mut_slice()[..n_old * d].copy_from_slice(x.as_slice());
+                grown.row_mut(n_old).copy_from_slice(&row);
+                x = grown;
+                onboard_rows.push(row);
+            }
+            seq.refresh(&a_seq, &x, &result.touched);
+            deltas.push(delta);
+        }
+
+        // Coalesced side: merge FIFO, one refresh on the origin chain.
+        let mut merged = deltas[0].clone();
+        for dl in &deltas[1..] {
+            merged.merge(dl);
+        }
+        let mut g_co = g0.clone();
+        let result = merged.apply(&mut g_co, &a0, p);
+        prop_assert_eq!(&result.a_tilde, &a_seq);
+        let mut co = ApprChain::build(&a0, &x0, alpha, &steps, PprSolver::Push);
+        // Merged onboarding concatenates in FIFO order, so the grown
+        // feature matrix is identical to the sequential side's.
+        co.refresh(&result.a_tilde, &x, &result.touched);
+
+        // Fewer refreshes compound fewer certificates: every converged
+        // solve (build or refresh, push or power) certifies at most
+        // `(1−α)·tol/α`, so the coalesced history (build + 1 refresh) sums
+        // to at most two certificates while the sequential one carries
+        // `1 + ops`.
+        let cert = (1.0 - alpha) * 1e-10 / alpha;
+        prop_assert!(
+            co.cumulative_staleness_bound() <= 2.0 * cert * (1.0 + 1e-9),
+            "coalesced cumulative bound {:e} exceeds two certificates {:e}",
+            co.cumulative_staleness_bound(), 2.0 * cert
+        );
+        prop_assert!(
+            seq.cumulative_staleness_bound() <= (1 + ops) as f64 * cert * (1.0 + 1e-9),
+            "sequential cumulative bound {:e} exceeds {} certificates",
+            seq.cumulative_staleness_bound(), 1 + ops
+        );
+
+        let a = seq.assemble_concat();
+        let b = co.assemble_concat();
+        prop_assert_eq!(a.shape(), b.shape());
+        let bound =
+            (seq.staleness_bound() + co.staleness_bound()) / steps.len() as f64 + 1e-14;
+        let (rows, _) = a.shape();
+        for r in 0..rows {
+            for (c, (av, bv)) in a.row(r).iter().zip(b.row(r)).enumerate() {
+                if c < d {
+                    prop_assert_eq!(av, bv, "finite block must stay bitwise (row {})", r);
+                } else {
+                    prop_assert!(
+                        (av - bv).abs() <= bound,
+                        "coalesced refresh drifted {:e} > {:e}", (av - bv).abs(), bound
+                    );
+                }
             }
         }
     }

@@ -18,7 +18,11 @@
 //!   store dtypes, one matrix pins the dtype × tier × thread-count cube —
 //!   and it extends past generation 0: a fixed `CsrDelta` is applied
 //!   through `DynamicServingModel`, and the refreshed generation's store
-//!   bits and staleness certificate join the fingerprint.
+//!   bits and staleness certificate join the fingerprint — as does a
+//!   **post-burst** generation: a concurrent edit burst coalesced by
+//!   `DeltaCoalescer` into one forward-push `∞` refresh on a second,
+//!   `Infinite`-step trained model, pinning the push solver's iterate,
+//!   certificate, and cumulative-bound bits across the same cube.
 //! - **f32 store contract.** The quantized store's logits stay within
 //!   `F32_STORE_LOGIT_TOL` of the f64 entry points and its hard
 //!   predictions agree (the exactness tests pin their store to f64
@@ -27,13 +31,14 @@
 use gcon::core::infer::{private_logits, private_predict, public_logits, public_predict};
 use gcon::core::train::train_gcon;
 use gcon::core::{GconConfig, PropagationStep, TrainedGcon};
+use gcon::core::{InfRefreshKind, PprSolver};
 use gcon::graph::generators::{sbm_homophily, SbmConfig};
 use gcon::graph::CsrDelta;
 use gcon::graph::Graph;
 use gcon::linalg::Mat;
 use gcon::serve::{
-    BatchConfig, BatchQueue, DynamicServingModel, ServingMode, ServingModel, StoreDtype,
-    F32_STORE_LOGIT_TOL,
+    BatchConfig, BatchQueue, CoalesceConfig, DeltaCoalescer, DynamicServingModel, ServingMode,
+    ServingModel, StoreDtype, F32_STORE_LOGIT_TOL,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -78,6 +83,38 @@ fn trained() -> &'static (TrainedGcon, Graph, Mat) {
         };
         let model = train_gcon(&config, &graph, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
         (model, graph, x)
+    })
+}
+
+/// A second trained model with an `Infinite` propagation step and the
+/// forward-push refresh solver, on the same graph/features as [`trained`] —
+/// the subject of the post-burst fingerprint section (push state only
+/// exists on `∞` chains).
+fn trained_inf() -> &'static TrainedGcon {
+    static MODEL: OnceLock<TrainedGcon> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let (_, graph, x) = trained();
+        let mut rng = StdRng::seed_from_u64(4096);
+        let labels: Vec<usize> = (0..graph.num_nodes()).map(|i| i % 3).collect();
+        let train_idx: Vec<usize> = (0..graph.num_nodes()).step_by(3).collect();
+        let config = GconConfig {
+            encoder: gcon::core::encoder::EncoderConfig {
+                hidden: 10,
+                d1: 5,
+                epochs: 30,
+                lr: 0.02,
+                weight_decay: 1e-5,
+            },
+            steps: vec![PropagationStep::Finite(0), PropagationStep::Infinite],
+            ppr_solver: PprSolver::Push,
+            optimizer: gcon::core::model::OptimizerConfig {
+                lr: 0.05,
+                max_iters: 150,
+                grad_tol: 1e-7,
+            },
+            ..Default::default()
+        };
+        train_gcon(&config, graph, x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng)
     })
 }
 
@@ -279,6 +316,75 @@ fn serving_fingerprint() -> Vec<u8> {
             }
             query_workload(&mut bytes, snap.model());
         }
+    }
+
+    // Post-burst generation on the ∞-scale push model: four distinct edge
+    // toggles submitted concurrently coalesce into exactly one window
+    // (`max_pending = 4` + wait-until-full), hence one forward-push refresh
+    // and one published generation. The merged graph, touched set, push
+    // sweep order (sorted worklist), certificate, and cumulative bound are
+    // all arrival-order independent, so the post-burst state joins the
+    // dtype × tier × thread-count cube bit for bit.
+    let (_, graph, x) = trained();
+    let model_inf = trained_inf();
+    for dtype in [StoreDtype::F64, StoreDtype::F32] {
+        let dynamic = DynamicServingModel::build_with_dtype(
+            model_inf,
+            graph.clone(),
+            x,
+            ServingMode::Public,
+            dtype,
+        );
+        let coalescer = DeltaCoalescer::new(
+            &dynamic,
+            CoalesceConfig { max_pending: 4, max_delay: Duration::MAX },
+        );
+        let outcomes = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for &(u, v) in &[(5u32, 17u32), (12u32, 44u32), (23u32, 31u32), (40u32, 52u32)] {
+                let coalescer = &coalescer;
+                let outcomes = &outcomes;
+                scope.spawn(move || {
+                    let mut delta = CsrDelta::new();
+                    if graph.neighbors(u).contains(&v) {
+                        delta.remove_edge(u, v);
+                    } else {
+                        delta.insert_edge(u, v);
+                    }
+                    // Submit before locking: the receiver of `.push(..)` is
+                    // evaluated first, so inlining the blocking submit into
+                    // the push argument would hold the mutex across it and
+                    // starve the window of the other submitters.
+                    let outcome = coalescer.submit(delta, None);
+                    outcomes.lock().unwrap().push(outcome);
+                });
+            }
+        });
+        let outcomes = outcomes.into_inner().unwrap();
+        assert_eq!(coalescer.stats().windows, 1, "burst must coalesce into one window");
+        let outcome = &outcomes[0];
+        assert_eq!(outcome.generation, 1, "one burst, one generation");
+        // The solver knob may be overridden process-wide; when it is not
+        // (or is forced to push), the burst must have refreshed by push.
+        match std::env::var("GCON_REFRESH_SOLVER").as_deref() {
+            Err(_) | Ok("") | Ok("push") => {
+                assert_eq!(outcome.inf_solver, Some(InfRefreshKind::Push))
+            }
+            _ => assert!(outcome.inf_solver.is_some()),
+        }
+        bytes.extend_from_slice(&outcome.generation.to_le_bytes());
+        push(&mut bytes, &[outcome.staleness_bound, outcome.cumulative_staleness_bound]);
+        bytes.push(outcome.inf_solver.map_or(0, |s| s as u8 + 1));
+        let snap = dynamic.snapshot();
+        match dtype {
+            StoreDtype::F64 => push(&mut bytes, snap.model().store_f64().unwrap().as_slice()),
+            StoreDtype::F32 => {
+                for v in snap.model().store_f32().unwrap().as_slice() {
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        query_workload(&mut bytes, snap.model());
     }
     bytes
 }
