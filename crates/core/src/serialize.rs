@@ -11,6 +11,18 @@
 //! version), written and parsed with the `bytes` crate. Decoding is
 //! fail-closed: any truncation, bad magic, unknown enum tag or non-finite
 //! dimension yields a [`DecodeError`] instead of a partially-built model.
+//! Since version 3 the same container also carries a second artifact kind —
+//! a persisted serving feature store ([`StoreArtifact`], written by
+//! `gcon-serve`'s `ServingModel::save`) whose matrix payloads are 8-byte
+//! aligned relative to the stream start, so a later `mmap` of the file can
+//! point at them zero-copy.
+//!
+//! This module is also the byte-level trust boundary of the `gcond` wire
+//! protocol: the primitive readers ([`get_u8`] … [`get_f64`]) are public so
+//! `gcon-serve::wire` parses network frames with exactly the same
+//! fail-closed discipline, and every decode path bounds its allocations by
+//! the bytes actually present (a hostile header cannot provoke an
+//! oversized allocation, let alone a panic).
 
 use crate::encoder::EncoderConfig;
 use crate::encoder::FeatureEncoder;
@@ -25,11 +37,18 @@ use gcon_nn::{Activation, Linear, Mlp};
 /// Magic prefix of the format.
 pub const MAGIC: &[u8; 4] = b"GCON";
 /// Current format version. Version 2 added the `ppr_solver` tag to the
-/// configuration block; version-1 streams still decode (the solver defaults
-/// to `PprSolver::Auto`).
-pub const VERSION: u16 = 2;
+/// configuration block; version 3 added an artifact-kind tag after the
+/// version so the container can also carry a persisted serving feature
+/// store ([`StoreArtifact`]) with 8-byte-aligned payloads. Version-1/2
+/// streams still decode (v1 defaults the solver to `PprSolver::Auto`).
+pub const VERSION: u16 = 3;
 /// Oldest format version [`from_bytes`] still decodes.
 pub const MIN_VERSION: u16 = 1;
+
+/// Artifact-kind tag of a v3 stream: a trained model ([`TrainedGcon`]).
+pub const ARTIFACT_MODEL: u8 = 0;
+/// Artifact-kind tag of a v3 stream: a serving store ([`StoreArtifact`]).
+pub const ARTIFACT_STORE: u8 = 1;
 
 /// Why a byte stream failed to decode into a model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,56 +82,96 @@ impl std::error::Error for DecodeError {}
 
 // ------------------------------------------------------------- primitives
 
+/// Checked dimension/length encode: the format stores matrix dimensions and
+/// vector lengths as `u32`, so a value that does not fit would previously
+/// truncate silently (`as u32`) and round-trip to a *different*, corrupt
+/// object. Encoding is infallible for every representable model, so the
+/// overflow case asserts instead of threading a `Result` through every
+/// writer.
+///
+/// # Panics
+/// Panics when `n > u32::MAX` (only reachable on 64-bit targets, and only
+/// for objects far beyond what the format — or memory — supports).
+fn dim_u32(n: usize, what: &str) -> u32 {
+    u32::try_from(n).unwrap_or_else(|_| {
+        panic!("gcon serialize: {what} = {n} exceeds the format's u32 dimension limit")
+    })
+}
+
 fn put_mat(buf: &mut BytesMut, m: &Mat) {
-    buf.put_u32_le(m.rows() as u32);
-    buf.put_u32_le(m.cols() as u32);
+    buf.put_u32_le(dim_u32(m.rows(), "matrix rows"));
+    buf.put_u32_le(dim_u32(m.cols(), "matrix cols"));
     for &v in m.as_slice() {
         buf.put_f64_le(v);
     }
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+/// Reads one byte, fail-closed on truncation.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
     Ok(buf.get_u8())
 }
 
-fn get_u16(buf: &mut Bytes) -> Result<u16, DecodeError> {
+/// Reads a little-endian `u16`, fail-closed on truncation.
+pub fn get_u16(buf: &mut Bytes) -> Result<u16, DecodeError> {
     if buf.remaining() < 2 {
         return Err(DecodeError::Truncated);
     }
     Ok(buf.get_u16_le())
 }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+/// Reads a little-endian `u32`, fail-closed on truncation.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated);
     }
     Ok(buf.get_u32_le())
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+/// Reads a little-endian `u64`, fail-closed on truncation.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
     Ok(buf.get_u64_le())
 }
 
-fn get_f64(buf: &mut Bytes) -> Result<f64, DecodeError> {
+/// Reads a little-endian `f64`, fail-closed on truncation.
+pub fn get_f64(buf: &mut Bytes) -> Result<f64, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated);
     }
     Ok(buf.get_f64_le())
 }
 
+/// Reads a little-endian `f32`, fail-closed on truncation.
+pub fn get_f32(buf: &mut Bytes) -> Result<f32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(buf.get_f32_le())
+}
+
+/// Checks that `count` elements of `elem_size` bytes are actually present
+/// before any allocation happens. The arithmetic is checked: a hostile
+/// header advertising `u32::MAX × u32::MAX` elements must yield
+/// `Err(Truncated)` here, not an overflowed length that slips past the
+/// bounds check into a giant `Vec::with_capacity`.
+fn check_payload(buf: &Bytes, count: usize, elem_size: usize) -> Result<(), DecodeError> {
+    let bytes = count.checked_mul(elem_size).ok_or(DecodeError::Truncated)?;
+    if buf.remaining() < bytes {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(())
+}
+
 fn get_mat(buf: &mut Bytes) -> Result<Mat, DecodeError> {
     let rows = get_u32(buf)? as usize;
     let cols = get_u32(buf)? as usize;
     let len = rows.checked_mul(cols).ok_or(DecodeError::Invalid("matrix dimensions overflow"))?;
-    if buf.remaining() < len * 8 {
-        return Err(DecodeError::Truncated);
-    }
+    check_payload(buf, len, 8)?;
     let mut data = Vec::with_capacity(len);
     for _ in 0..len {
         data.push(buf.get_f64_le());
@@ -121,7 +180,7 @@ fn get_mat(buf: &mut Bytes) -> Result<Mat, DecodeError> {
 }
 
 fn put_vec_f64(buf: &mut BytesMut, v: &[f64]) {
-    buf.put_u32_le(v.len() as u32);
+    buf.put_u32_le(dim_u32(v.len(), "vector length"));
     for &x in v {
         buf.put_f64_le(x);
     }
@@ -129,9 +188,7 @@ fn put_vec_f64(buf: &mut BytesMut, v: &[f64]) {
 
 fn get_vec_f64(buf: &mut Bytes) -> Result<Vec<f64>, DecodeError> {
     let len = get_u32(buf)? as usize;
-    if buf.remaining() < len * 8 {
-        return Err(DecodeError::Truncated);
-    }
+    check_payload(buf, len, 8)?;
     Ok((0..len).map(|_| buf.get_f64_le()).collect())
 }
 
@@ -171,7 +228,7 @@ fn get_linear(buf: &mut Bytes) -> Result<Linear, DecodeError> {
 }
 
 fn put_mlp(buf: &mut BytesMut, net: &Mlp) {
-    buf.put_u32_le(net.layers.len() as u32);
+    buf.put_u32_le(dim_u32(net.layers.len(), "MLP depth"));
     for l in &net.layers {
         put_linear(buf, l);
     }
@@ -242,7 +299,7 @@ fn put_config(buf: &mut BytesMut, cfg: &GconConfig, version: u16) {
     buf.put_f64_le(cfg.encoder.lr);
     buf.put_f64_le(cfg.encoder.weight_decay);
     buf.put_f64_le(cfg.alpha);
-    buf.put_u32_le(cfg.steps.len() as u32);
+    buf.put_u32_le(dim_u32(cfg.steps.len(), "step count"));
     for &s in &cfg.steps {
         put_step(buf, s);
     }
@@ -366,6 +423,9 @@ fn to_bytes_versioned(model: &TrainedGcon, version: u16) -> Bytes {
     let mut buf = BytesMut::with_capacity(4096);
     buf.put_slice(MAGIC);
     buf.put_u16_le(version);
+    if version >= 3 {
+        buf.put_u8(ARTIFACT_MODEL);
+    }
     put_mat(&mut buf, &model.theta);
     put_mlp(&mut buf, &model.encoder.net);
     put_linear(&mut buf, &model.encoder.head);
@@ -392,6 +452,15 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TrainedGcon, DecodeError> {
     let version = get_u16(&mut buf)?;
     if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(DecodeError::UnsupportedVersion(version));
+    }
+    // Version 3 introduced the artifact-kind tag; earlier streams are
+    // implicitly trained models.
+    if version >= 3 {
+        match get_u8(&mut buf)? {
+            ARTIFACT_MODEL => {}
+            ARTIFACT_STORE => return Err(DecodeError::Invalid("artifact is a serving store")),
+            t => return Err(DecodeError::BadTag("artifact kind", t)),
+        }
     }
     let theta = get_mat(&mut buf)?;
     let net = get_mlp(&mut buf)?;
@@ -425,6 +494,210 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TrainedGcon, DecodeError> {
         opt_iterations,
         final_grad_norm,
     })
+}
+
+// ---------------------------------------------- serving-store artifact (v3)
+
+/// The matrix payloads of a persisted serving store, in the dtype the store
+/// was frozen in (`gcon-serve::StoreDtype`). `store` is the propagated
+/// feature matrix (`n × d`, already `1/s`-scaled), `theta` the released
+/// parameters (`d × c`); both round-trip bitwise.
+#[derive(Clone, Debug)]
+pub enum StoreArtifact {
+    /// Double-precision store + parameters (the exact-serving default).
+    F64 {
+        /// Propagated feature store, `n × d`.
+        store: Mat,
+        /// Released parameters `Θ_priv`, `d × c`.
+        theta: Mat,
+    },
+    /// Single-precision store + parameters (the quantized fast path).
+    F32 {
+        /// Quantized feature store, `n × d`.
+        store: Mat<f32>,
+        /// Quantized `Θ_priv`, `d × c`.
+        theta: Mat<f32>,
+    },
+}
+
+impl StoreArtifact {
+    /// `(rows, feature_dim, classes)` of the persisted store.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        match self {
+            StoreArtifact::F64 { store, theta } => (store.rows(), store.cols(), theta.cols()),
+            StoreArtifact::F32 { store, theta } => (store.rows(), store.cols(), theta.cols()),
+        }
+    }
+
+    fn dtype_tag(&self) -> u8 {
+        match self {
+            StoreArtifact::F64 { .. } => 0,
+            StoreArtifact::F32 { .. } => 1,
+        }
+    }
+}
+
+/// A persisted serving store plus the serving-mode tag `gcon-serve` stamps
+/// on it (0 = public, 1 = private; opaque to this crate — round-tripped,
+/// not interpreted).
+#[derive(Clone, Debug)]
+pub struct PersistedStore {
+    /// Serving-mode tag (`gcon-serve::ServingMode`).
+    pub mode_tag: u8,
+    /// The store + parameter payloads.
+    pub data: StoreArtifact,
+}
+
+/// Pads `buf` with zero bytes until its length is a multiple of 8, so the
+/// bytes that follow start 8-byte aligned **relative to the stream start**.
+/// `mmap` returns page-aligned bases, so file-relative alignment is
+/// pointer alignment — a future reader can point an `&[f64]` (or `&[f32]`)
+/// straight at the mapped payload without copying.
+fn pad_to_8(buf: &mut BytesMut) {
+    while !buf.len().is_multiple_of(8) {
+        buf.put_u8(0);
+    }
+}
+
+/// Skips the padding [`pad_to_8`] wrote: `total_len` is the full stream
+/// length, from which the cursor's absolute position is recovered.
+fn skip_pad_to_8(buf: &mut Bytes, total_len: usize) -> Result<(), DecodeError> {
+    let pos = total_len - buf.remaining();
+    let pad = (8 - pos % 8) % 8;
+    if buf.remaining() < pad {
+        return Err(DecodeError::Truncated);
+    }
+    for _ in 0..pad {
+        buf.get_u8();
+    }
+    Ok(())
+}
+
+/// Serializes a serving store to the v3 container (`GCON` magic, version,
+/// [`ARTIFACT_STORE`] tag, header, then the 8-byte-aligned store and theta
+/// payloads). Layout after the tag:
+///
+/// ```text
+/// u8  mode_tag        u8  dtype_tag (0 = f64, 1 = f32)
+/// u64 store_rows      u32 store_cols      u32 theta_cols
+/// ..  zero padding to the next 8-byte boundary (stream-relative)
+/// ..  store payload   (rows·cols elements, little-endian)
+/// ..  zero padding to the next 8-byte boundary
+/// ..  theta payload   (cols·classes elements, little-endian)
+/// ```
+pub fn store_to_bytes(persisted: &PersistedStore) -> Bytes {
+    let (rows, d, c) = persisted.data.shape();
+    let elem = match persisted.data {
+        StoreArtifact::F64 { .. } => 8,
+        StoreArtifact::F32 { .. } => 4,
+    };
+    let mut buf = BytesMut::with_capacity(64 + (rows * d + d * c) * elem);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(ARTIFACT_STORE);
+    buf.put_u8(persisted.mode_tag);
+    buf.put_u8(persisted.data.dtype_tag());
+    buf.put_u64_le(rows as u64);
+    buf.put_u32_le(dim_u32(d, "store cols"));
+    buf.put_u32_le(dim_u32(c, "theta cols"));
+    match &persisted.data {
+        StoreArtifact::F64 { store, theta } => {
+            pad_to_8(&mut buf);
+            for &v in store.as_slice() {
+                buf.put_f64_le(v);
+            }
+            pad_to_8(&mut buf);
+            for &v in theta.as_slice() {
+                buf.put_f64_le(v);
+            }
+        }
+        StoreArtifact::F32 { store, theta } => {
+            pad_to_8(&mut buf);
+            for &v in store.as_slice() {
+                buf.put_f32_le(v);
+            }
+            pad_to_8(&mut buf);
+            for &v in theta.as_slice() {
+                buf.put_f32_le(v);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a serving store from bytes produced by [`store_to_bytes`].
+/// Fail-closed exactly like [`from_bytes`]: truncation, bad magic, a
+/// model-artifact stream, hostile dimensions — every failure is an `Err`,
+/// never a panic or an allocation beyond the bytes actually present.
+pub fn store_from_bytes(bytes: &[u8]) -> Result<PersistedStore, DecodeError> {
+    let total_len = bytes.len();
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = get_u16(&mut buf)?;
+    // Store artifacts only exist from v3 on.
+    if !(3..=VERSION).contains(&version) {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    match get_u8(&mut buf)? {
+        ARTIFACT_STORE => {}
+        ARTIFACT_MODEL => return Err(DecodeError::Invalid("artifact is a trained model")),
+        t => return Err(DecodeError::BadTag("artifact kind", t)),
+    }
+    let mode_tag = get_u8(&mut buf)?;
+    if mode_tag > 1 {
+        return Err(DecodeError::BadTag("serving mode", mode_tag));
+    }
+    let dtype_tag = get_u8(&mut buf)?;
+    let rows = usize::try_from(get_u64(&mut buf)?).map_err(|_| DecodeError::Truncated)?;
+    let d = get_u32(&mut buf)? as usize;
+    let c = get_u32(&mut buf)? as usize;
+    let store_len = rows.checked_mul(d).ok_or(DecodeError::Invalid("store dimensions overflow"))?;
+    let theta_len = d.checked_mul(c).ok_or(DecodeError::Invalid("theta dimensions overflow"))?;
+    let data = match dtype_tag {
+        0 => {
+            skip_pad_to_8(&mut buf, total_len)?;
+            check_payload(&buf, store_len, 8)?;
+            let store = Mat::from_vec(rows, d, (0..store_len).map(|_| buf.get_f64_le()).collect());
+            skip_pad_to_8(&mut buf, total_len)?;
+            check_payload(&buf, theta_len, 8)?;
+            let theta = Mat::from_vec(d, c, (0..theta_len).map(|_| buf.get_f64_le()).collect());
+            StoreArtifact::F64 { store, theta }
+        }
+        1 => {
+            skip_pad_to_8(&mut buf, total_len)?;
+            check_payload(&buf, store_len, 4)?;
+            let store = Mat::from_vec(rows, d, (0..store_len).map(|_| buf.get_f32_le()).collect());
+            skip_pad_to_8(&mut buf, total_len)?;
+            check_payload(&buf, theta_len, 4)?;
+            let theta = Mat::from_vec(d, c, (0..theta_len).map(|_| buf.get_f32_le()).collect());
+            StoreArtifact::F32 { store, theta }
+        }
+        t => return Err(DecodeError::BadTag("store dtype", t)),
+    };
+    Ok(PersistedStore { mode_tag, data })
+}
+
+/// Writes a serving store to a file (the `gcon-serve::ServingModel::save`
+/// backend).
+pub fn save_store(
+    persisted: &PersistedStore,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, store_to_bytes(persisted))
+}
+
+/// Reads a serving store back from a file. The whole restart cost is this
+/// read — O(file size), no propagation.
+pub fn load_store(path: impl AsRef<std::path::Path>) -> std::io::Result<PersistedStore> {
+    let bytes = std::fs::read(path)?;
+    store_from_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Writes the model to a file.
@@ -570,6 +843,157 @@ mod tests {
             corrupted[i] = corrupted[i].wrapping_add(0x7F);
             let _ = from_bytes(&corrupted); // must not panic; Err or Ok both fine
         }
+    }
+
+    // ------------------------------------------------ store artifact (v3)
+
+    fn sample_store_f64() -> PersistedStore {
+        let store = Mat::from_fn(5, 4, |i, j| (i * 7 + j) as f64 * 0.125 - 1.0);
+        let theta = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64 * -0.25 + 0.5);
+        PersistedStore { mode_tag: 1, data: StoreArtifact::F64 { store, theta } }
+    }
+
+    fn sample_store_f32() -> PersistedStore {
+        let store = Mat::<f32>::from_fn(6, 3, |i, j| (i * 5 + j) as f32 * 0.5 - 2.0);
+        let theta = Mat::<f32>::from_fn(3, 2, |i, j| (i * 2 + j) as f32 * 0.75);
+        PersistedStore { mode_tag: 0, data: StoreArtifact::F32 { store, theta } }
+    }
+
+    #[test]
+    fn store_roundtrip_f64_bitwise() {
+        let p = sample_store_f64();
+        let back = store_from_bytes(&store_to_bytes(&p)).unwrap();
+        assert_eq!(back.mode_tag, 1);
+        match (&p.data, &back.data) {
+            (
+                StoreArtifact::F64 { store: s1, theta: t1 },
+                StoreArtifact::F64 { store: s2, theta: t2 },
+            ) => {
+                assert_eq!((s2.rows(), s2.cols()), (5, 4));
+                assert_eq!(s1.as_slice(), s2.as_slice());
+                assert_eq!(t1.as_slice(), t2.as_slice());
+            }
+            _ => panic!("dtype changed across roundtrip"),
+        }
+    }
+
+    #[test]
+    fn store_roundtrip_f32_bitwise() {
+        let p = sample_store_f32();
+        let back = store_from_bytes(&store_to_bytes(&p)).unwrap();
+        assert_eq!(back.mode_tag, 0);
+        match (&p.data, &back.data) {
+            (
+                StoreArtifact::F32 { store: s1, theta: t1 },
+                StoreArtifact::F32 { store: s2, theta: t2 },
+            ) => {
+                assert_eq!((s2.rows(), s2.cols()), (6, 3));
+                assert_eq!(s1.as_slice(), s2.as_slice());
+                assert_eq!(t1.as_slice(), t2.as_slice());
+            }
+            _ => panic!("dtype changed across roundtrip"),
+        }
+    }
+
+    /// The store payload must start on an 8-byte file offset so a future
+    /// mmap reader can point an `&[f64]` at it zero-copy.
+    #[test]
+    fn store_payloads_are_8_byte_aligned() {
+        let p = sample_store_f64();
+        let bytes = store_to_bytes(&p);
+        // Fixed header: magic(4) version(2) artifact(1) mode(1) dtype(1)
+        // rows(8) store_cols(4) theta_cols(4) = 25 bytes, padded to 32.
+        let store_off = 32;
+        assert_eq!(store_off % 8, 0);
+        let StoreArtifact::F64 { store, .. } = &p.data else { unreachable!() };
+        let first = f64::from_le_bytes(bytes[store_off..store_off + 8].try_into().unwrap());
+        assert_eq!(first.to_bits(), store.as_slice()[0].to_bits());
+        let theta_off = store_off + store.as_slice().len() * 8;
+        assert_eq!(theta_off % 8, 0, "theta payload must stay aligned too");
+    }
+
+    /// Hostile headers claiming astronomically large payloads must fail
+    /// fast with `Err`, not attempt a giant allocation.
+    #[test]
+    fn store_hostile_dimensions_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(ARTIFACT_STORE);
+        buf.put_u8(0); // mode
+        buf.put_u8(0); // f64
+        buf.put_u64_le(u64::MAX); // rows
+        buf.put_u32_le(u32::MAX); // store cols
+        buf.put_u32_le(u32::MAX); // theta cols
+        let bytes = buf.freeze();
+        assert!(store_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn store_artifact_kinds_do_not_cross_decode() {
+        let (model, _, _) = trained_model(9);
+        let model_bytes = to_bytes(&model);
+        assert!(matches!(store_from_bytes(&model_bytes), Err(DecodeError::Invalid(_))));
+        let store_bytes = store_to_bytes(&sample_store_f64());
+        assert!(matches!(from_bytes(&store_bytes), Err(DecodeError::Invalid(_))));
+    }
+
+    #[test]
+    fn store_truncation_rejected_at_every_prefix_length() {
+        let bytes = store_to_bytes(&sample_store_f64());
+        for cut in 0..bytes.len() {
+            assert!(
+                store_from_bytes(&bytes[..cut]).is_err(),
+                "store prefix of {cut} bytes unexpectedly decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn store_bad_tags_rejected() {
+        let good = store_to_bytes(&sample_store_f64()).to_vec();
+        let mut bad_mode = good.clone();
+        bad_mode[7] = 9;
+        assert!(matches!(store_from_bytes(&bad_mode), Err(DecodeError::BadTag("serving mode", 9))));
+        let mut bad_dtype = good.clone();
+        bad_dtype[8] = 5;
+        assert!(matches!(store_from_bytes(&bad_dtype), Err(DecodeError::BadTag("store dtype", 5))));
+    }
+
+    #[test]
+    fn store_file_roundtrip() {
+        let p = sample_store_f32();
+        let dir = std::env::temp_dir().join("gcon_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.gconstore");
+        save_store(&p, &path).unwrap();
+        let back = load_store(&path).unwrap();
+        match (&p.data, &back.data) {
+            (
+                StoreArtifact::F32 { store: s1, theta: t1 },
+                StoreArtifact::F32 { store: s2, theta: t2 },
+            ) => {
+                assert_eq!(s1.as_slice(), s2.as_slice());
+                assert_eq!(t1.as_slice(), t2.as_slice());
+            }
+            _ => panic!("dtype changed across file roundtrip"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Encoding a dimension that does not fit the format's u32 limit must
+    /// abort loudly instead of silently truncating to a corrupt artifact.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "u32 dimension limit")]
+    fn encode_dimension_overflow_panics() {
+        dim_u32(u32::MAX as usize + 1, "test dimension");
+    }
+
+    #[test]
+    fn encode_dimension_boundary_ok() {
+        assert_eq!(dim_u32(u32::MAX as usize, "test dimension"), u32::MAX);
+        assert_eq!(dim_u32(0, "test dimension"), 0);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Shared warn-and-fallback environment-knob resolution.
+//!
+//! Every `GCON_*` tuning knob in the workspace follows the same contract:
+//! unset means "use the built-in default", a parsable value overrides it,
+//! and an unparsable value falls back to the default with **one** warning
+//! on stderr (a misspelled knob must never silently change behaviour, and
+//! must never abort a serving process). Before this module each crate
+//! hand-rolled that match; now they all call [`env_knob`].
+//!
+//! The resolution core, [`resolve`], is pure — it takes the raw value as an
+//! `Option<&str>` instead of reading the environment — because env vars are
+//! process-global and the workspace's unit tests run in parallel threads.
+//! Tests exercise [`resolve`] directly; only [`env_knob`] touches
+//! [`std::env::var`], and callers cache its result in a `OnceLock` as
+//! before.
+
+/// Outcome of resolving one knob from a raw string: the value to use and,
+/// when the raw string was present but unusable, the warning to emit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnobResolution<T> {
+    /// The value the caller should use.
+    pub value: T,
+    /// A human-readable diagnostic when the raw value was rejected;
+    /// `None` when the knob was unset, empty, or parsed cleanly.
+    pub warning: Option<String>,
+}
+
+/// Pure warn-and-fallback core: resolves `raw` (the knob's raw string, or
+/// `None` when unset) against `parse`, falling back to `default`.
+///
+/// * unset or empty → `default`, no warning (empty mirrors the long-standing
+///   `GCON_STORE_DTYPE`/`GCON_KERNEL_TIER` behaviour of treating `FOO=` as
+///   unset);
+/// * `parse` returns `Some(v)` → `v`, no warning;
+/// * `parse` returns `None` → `default`, plus a warning naming the
+///   component, the knob, the rejected value, what was `expected`, and the
+///   `fallback` description actually used.
+pub fn resolve<T>(
+    component: &str,
+    name: &str,
+    raw: Option<&str>,
+    default: T,
+    expected: &str,
+    fallback: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> KnobResolution<T> {
+    match raw {
+        None | Some("") => KnobResolution { value: default, warning: None },
+        Some(v) => match parse(v) {
+            Some(value) => KnobResolution { value, warning: None },
+            None => KnobResolution {
+                value: default,
+                warning: Some(format!(
+                    "{component}: unrecognized {name}={v:?} (expected {expected}); \
+                     using {fallback}"
+                )),
+            },
+        },
+    }
+}
+
+/// Reads the environment variable `name` and resolves it via [`resolve`],
+/// printing the warning (if any) to stderr. Callers wanting once-per-process
+/// resolution wrap this in a `OnceLock`, which also bounds the warning to
+/// one emission.
+pub fn env_knob<T>(
+    component: &str,
+    name: &str,
+    default: T,
+    expected: &str,
+    fallback: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> T {
+    let raw = std::env::var(name).ok();
+    let r = resolve(component, name, raw.as_deref(), default, expected, fallback, parse);
+    if let Some(w) = r.warning {
+        eprintln!("{w}");
+    }
+    r.value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_positive(v: &str) -> Option<usize> {
+        v.parse::<usize>().ok().filter(|&n| n > 0)
+    }
+
+    #[test]
+    fn unset_uses_default_silently() {
+        let r = resolve("t", "K", None, 7usize, "an integer ≥ 1", "7", parse_positive);
+        assert_eq!(r, KnobResolution { value: 7, warning: None });
+    }
+
+    #[test]
+    fn empty_is_treated_as_unset() {
+        let r = resolve("t", "K", Some(""), 7usize, "an integer ≥ 1", "7", parse_positive);
+        assert_eq!(r, KnobResolution { value: 7, warning: None });
+    }
+
+    #[test]
+    fn parsable_value_overrides() {
+        let r = resolve("t", "K", Some("3"), 7usize, "an integer ≥ 1", "7", parse_positive);
+        assert_eq!(r, KnobResolution { value: 3, warning: None });
+    }
+
+    #[test]
+    fn rejected_value_warns_and_falls_back() {
+        let r = resolve("t", "K", Some("zero"), 7usize, "an integer ≥ 1", "7", parse_positive);
+        assert_eq!(r.value, 7);
+        let w = r.warning.expect("rejected value must warn");
+        assert!(w.contains("t: unrecognized K=\"zero\""), "warning was {w:?}");
+        assert!(w.contains("expected an integer ≥ 1"));
+        assert!(w.contains("using 7"));
+    }
+
+    #[test]
+    fn out_of_range_value_is_rejected_by_the_parser() {
+        // `parse` owns semantic validation, not just syntax: 0 is a parse
+        // failure for a ≥ 1 knob.
+        let r = resolve("t", "K", Some("0"), 7usize, "an integer ≥ 1", "7", parse_positive);
+        assert_eq!(r.value, 7);
+        assert!(r.warning.is_some());
+    }
+}

@@ -42,6 +42,8 @@
 //! The conformance suite in `tests/kernel_properties.rs` and the fingerprint
 //! matrix in `tests/runtime_equivalence.rs` pin this.
 
+pub mod envknob;
+
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -292,11 +294,15 @@ pub fn pool() -> &'static Pool {
 pub fn configured_width() -> usize {
     static WIDTH: OnceLock<usize> = OnceLock::new();
     *WIDTH.get_or_init(|| {
-        std::env::var("GCON_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        envknob::env_knob(
+            "gcon-runtime",
+            "GCON_THREADS",
+            hw,
+            "an integer ≥ 1",
+            "the hardware parallelism",
+            |v| v.parse::<usize>().ok().filter(|&n| n > 0),
+        )
     })
 }
 

@@ -1,0 +1,186 @@
+//! `GconClient`: the library client for a running `gcond` server.
+//!
+//! One client = one TCP connection = one session token. The client is a
+//! thin, blocking wrapper over [`crate::wire`]: it performs the handshake
+//! on connect, stamps the session token on every request, reassembles
+//! `BulkChunk` streams, and turns `Error` frames into
+//! [`WireError::Server`]. It is deliberately `&mut self` (one in-flight
+//! request per connection); open several clients for concurrency — the
+//! server micro-batches across connections.
+
+use crate::wire::{
+    read_frame, write_frame, Request, Response, ServerInfo, WireError, WireStats,
+    DEFAULT_MAX_FRAME, PROTO_VERSION,
+};
+use gcon_linalg::Mat;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected, handshaken `gcond` session.
+#[derive(Debug)]
+pub struct GconClient {
+    reader: TcpStream,
+    writer: std::io::BufWriter<TcpStream>,
+    token: u64,
+    info: ServerInfo,
+    max_frame: usize,
+}
+
+impl GconClient {
+    /// Connects with 30 s read / 10 s write timeouts and the default frame
+    /// bound, and performs the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::connect_with(
+            addr,
+            Duration::from_secs(30),
+            Duration::from_secs(10),
+            DEFAULT_MAX_FRAME,
+        )
+    }
+
+    /// [`GconClient::connect`] with explicit socket timeouts and maximum
+    /// accepted response-frame size.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+        write_timeout: Duration,
+        max_frame: usize,
+    ) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        let mut client = Self {
+            reader,
+            writer: std::io::BufWriter::new(stream),
+            token: 0,
+            info: ServerInfo {
+                proto: 0,
+                mode: crate::ServingMode::Public,
+                dtype: crate::StoreDtype::F64,
+                nodes: 0,
+                feature_dim: 0,
+                classes: 0,
+            },
+            max_frame,
+        };
+        match client.call(&Request::Hello { proto: PROTO_VERSION })? {
+            Response::HelloAck { token, info } => {
+                client.token = token;
+                client.info = info;
+                Ok(client)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The store handshake the server announced (shape, mode, dtype).
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Logits of one node (a `classes`-length row, bitwise what the
+    /// server-side store computes).
+    pub fn logits(&mut self, node: u64) -> Result<Vec<f64>, WireError> {
+        let token = self.token;
+        match self.call(&Request::Query { token, node })? {
+            Response::Logits { values } => Ok(values),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Logits of many nodes: one request, a reassembled
+    /// `nodes.len() × classes` matrix back (row `i` answers `nodes[i]`).
+    pub fn logits_bulk(&mut self, nodes: &[u64]) -> Result<Mat, WireError> {
+        let token = self.token;
+        self.send(&Request::Bulk { token, nodes: nodes.to_vec() })?;
+        let cols = self.info.classes as usize;
+        let mut out = Mat::zeros(nodes.len(), cols);
+        let mut rows_seen = 0u64;
+        loop {
+            match self.receive()? {
+                Response::BulkChunk { start, cols: chunk_cols, values } => {
+                    if chunk_cols as usize != cols {
+                        return Err(WireError::Malformed("chunk column count mismatch"));
+                    }
+                    let rows = values.len().checked_div(cols).unwrap_or(0);
+                    let start = usize::try_from(start)
+                        .map_err(|_| WireError::Malformed("chunk start out of range"))?;
+                    if start + rows > nodes.len() {
+                        return Err(WireError::Malformed("chunk rows exceed request"));
+                    }
+                    out.as_mut_slice()[start * cols..(start + rows) * cols]
+                        .copy_from_slice(&values);
+                    rows_seen += rows as u64;
+                }
+                Response::BulkDone { total_rows } => {
+                    if total_rows != nodes.len() as u64 || rows_seen != total_rows {
+                        return Err(WireError::Malformed("bulk stream incomplete"));
+                    }
+                    return Ok(out);
+                }
+                Response::Error { code, message } => {
+                    return Err(WireError::Server { code, message });
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    /// Hard class prediction of one node (argmax of [`Self::logits`]).
+    pub fn predict(&mut self, node: u64) -> Result<usize, WireError> {
+        Ok(gcon_linalg::vecops::argmax(&self.logits(node)?))
+    }
+
+    /// Server counter snapshot.
+    pub fn stats(&mut self) -> Result<WireStats, WireError> {
+        let token = self.token;
+        match self.call(&Request::Stats { token })? {
+            Response::StatsReply(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Liveness probe; `Ok(true)` means healthy (not degraded).
+    pub fn health(&mut self) -> Result<bool, WireError> {
+        match self.call(&Request::Health)? {
+            Response::HealthReply { ok } => Ok(ok),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn bye(mut self) -> Result<(), WireError> {
+        self.send(&Request::Bye)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), WireError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Response, WireError> {
+        match read_frame(&mut self.reader, self.max_frame)? {
+            Some(body) => Response::decode(&body),
+            None => Err(WireError::Malformed("server closed the connection")),
+        }
+    }
+
+    /// One request → one response, surfacing `Error` frames as
+    /// [`WireError::Server`].
+    fn call(&mut self, request: &Request) -> Result<Response, WireError> {
+        self.send(request)?;
+        match self.receive()? {
+            Response::Error { code, message } => Err(WireError::Server { code, message }),
+            response => Ok(response),
+        }
+    }
+}
+
+fn unexpected(response: Response) -> WireError {
+    let _ = response;
+    WireError::Malformed("unexpected response opcode for this request")
+}

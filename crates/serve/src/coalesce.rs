@@ -87,30 +87,35 @@ impl Default for CoalesceConfig {
 impl CoalesceConfig {
     /// [`Default`] overridden by `GCON_COALESCE_MAX_PENDING` (edits per
     /// window) and `GCON_COALESCE_MAX_DELAY_US` (budget in microseconds).
-    /// Unparsable values fall back to the default with a warning.
+    /// Unparsable values fall back to the default with a warning (via
+    /// [`gcon_runtime::envknob`]).
+    ///
+    /// `GCON_COALESCE_MAX_DELAY_US=0` is a **valid, intentional** setting,
+    /// not an error: it disables coalescing-by-time, so a window closes as
+    /// soon as its leader can take it — edits are then only merged when
+    /// they pile up behind an in-flight refresh (see
+    /// [`CoalesceConfig::max_delay`]). It trades coalescing factor for the
+    /// lowest possible edit-visibility latency.
     pub fn from_env() -> Self {
-        let mut config = Self::default();
-        if let Ok(v) = std::env::var("GCON_COALESCE_MAX_PENDING") {
-            match v.parse::<usize>() {
-                Ok(n) if n >= 1 => config.max_pending = n,
-                _ => eprintln!(
-                    "gcon-serve: unrecognized GCON_COALESCE_MAX_PENDING={v:?} \
-                     (expected an integer ≥ 1); using {}",
-                    config.max_pending
-                ),
-            }
+        let default = Self::default();
+        Self {
+            max_pending: gcon_runtime::envknob::env_knob(
+                "gcon-serve",
+                "GCON_COALESCE_MAX_PENDING",
+                default.max_pending,
+                "an integer ≥ 1",
+                "32",
+                |v| v.parse::<usize>().ok().filter(|&n| n >= 1),
+            ),
+            max_delay: gcon_runtime::envknob::env_knob(
+                "gcon-serve",
+                "GCON_COALESCE_MAX_DELAY_US",
+                default.max_delay,
+                "microseconds; 0 disables coalescing-by-time",
+                "2ms",
+                |v| v.parse::<u64>().ok().map(Duration::from_micros),
+            ),
         }
-        if let Ok(v) = std::env::var("GCON_COALESCE_MAX_DELAY_US") {
-            match v.parse::<u64>() {
-                Ok(us) => config.max_delay = Duration::from_micros(us),
-                Err(_) => eprintln!(
-                    "gcon-serve: unrecognized GCON_COALESCE_MAX_DELAY_US={v:?} \
-                     (expected microseconds); using {:?}",
-                    config.max_delay
-                ),
-            }
-        }
-        config
     }
 }
 

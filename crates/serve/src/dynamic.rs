@@ -53,6 +53,7 @@ use gcon_graph::normalize::row_stochastic;
 use gcon_graph::{Csr, CsrDelta, Graph};
 use gcon_linalg::{ops, Mat};
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// One immutable published store version: the frozen [`ServingModel`] plus
@@ -155,6 +156,11 @@ struct RefreshState {
 pub struct DynamicServingModel {
     state: Mutex<RefreshState>,
     current: RwLock<Arc<ServingGeneration>>,
+    /// Latched when a poisoned `current` lock was recovered: the last
+    /// published generation is still served, but a writer (or a reader
+    /// holding the lock) has panicked since. Surfaced via
+    /// [`Self::is_degraded`] and the server's stats frame.
+    degraded: AtomicBool,
     model: TrainedGcon,
     mode: ServingMode,
     dtype: StoreDtype,
@@ -209,6 +215,7 @@ impl DynamicServingModel {
         Self {
             state: Mutex::new(RefreshState { graph, a_tilde, x_enc, chain, store, generation: 0 }),
             current: RwLock::new(Arc::new(generation)),
+            degraded: AtomicBool::new(false),
             model: model.clone(),
             mode,
             dtype,
@@ -218,8 +225,30 @@ impl DynamicServingModel {
     /// The current published generation. The returned `Arc` stays valid
     /// (and keeps answering from its frozen store) across any number of
     /// later [`apply_delta`](Self::apply_delta) calls.
+    ///
+    /// A poisoned generation lock (some thread panicked while holding it)
+    /// does **not** cascade into readers: the slot always holds a
+    /// fully-constructed `Arc` — it is only ever replaced whole, never
+    /// mutated in place — so the last published generation is still
+    /// internally consistent. `snapshot` recovers it via
+    /// [`std::sync::PoisonError::into_inner`] and latches
+    /// [`Self::is_degraded`] so operators see that a panic happened.
     pub fn snapshot(&self) -> Arc<ServingGeneration> {
-        self.current.read().expect("generation lock poisoned").clone()
+        match self.current.read() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => {
+                self.degraded.store(true, Ordering::Relaxed);
+                poisoned.into_inner().clone()
+            }
+        }
+    }
+
+    /// True once a poisoned generation lock has been observed (a refresh or
+    /// query thread panicked). Serving continues from the last published
+    /// generation, but the process deserves a restart/investigation; the
+    /// `gcond` stats frame forwards this flag.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// Which inference protocol the store reproduces.
@@ -311,7 +340,16 @@ impl DynamicServingModel {
             generation: state.generation,
             staleness_bound: stats.staleness_bound,
         };
-        *self.current.write().expect("generation lock poisoned") = Arc::new(generation);
+        // Publishing replaces the whole Arc, so a poisoned lock is safe to
+        // recover here too — the new generation is already fully built.
+        let generation = Arc::new(generation);
+        match self.current.write() {
+            Ok(mut guard) => *guard = generation,
+            Err(poisoned) => {
+                self.degraded.store(true, Ordering::Relaxed);
+                *poisoned.into_inner() = generation;
+            }
+        }
         DeltaOutcome {
             generation: state.generation,
             staleness_bound: stats.staleness_bound,
@@ -506,18 +544,15 @@ pub(crate) fn parse_refresh_solver(value: &str) -> Option<PprSolver> {
 /// The process-wide `GCON_REFRESH_SOLVER` override, resolved once.
 fn refresh_solver_env() -> Option<PprSolver> {
     static INIT: OnceLock<Option<PprSolver>> = OnceLock::new();
-    *INIT.get_or_init(|| match std::env::var("GCON_REFRESH_SOLVER") {
-        Ok(v) if !v.is_empty() => {
-            let parsed = parse_refresh_solver(&v);
-            if parsed.is_none() {
-                eprintln!(
-                    "gcon-serve: unrecognized GCON_REFRESH_SOLVER={v:?} \
-                     (expected auto|power|cgnr|push); using the model's solver"
-                );
-            }
-            parsed
-        }
-        _ => None,
+    *INIT.get_or_init(|| {
+        gcon_runtime::envknob::env_knob(
+            "gcon-serve",
+            "GCON_REFRESH_SOLVER",
+            None,
+            "auto|power|cgnr|push",
+            "the model's solver",
+            |v| parse_refresh_solver(v).map(Some),
+        )
     })
 }
 
@@ -558,6 +593,49 @@ mod tests {
                 assert_eq!(snap.staleness_bound(), 0.0, "finite-only model is exact");
             }
         }
+    }
+
+    /// Regression for the poison cascade: a thread panicking while holding
+    /// the generation lock must not take down every later reader. The old
+    /// `snapshot()` `expect`ed the lock and propagated the poison forever.
+    #[test]
+    fn snapshot_survives_poisoned_generation_lock() {
+        let (model, graph, x) = tiny_trained();
+        let dynamic = DynamicServingModel::build_with_dtype(
+            model,
+            graph.clone(),
+            x,
+            ServingMode::Private,
+            StoreDtype::F64,
+        );
+        let before = dynamic.snapshot();
+        assert!(!dynamic.is_degraded());
+
+        // Poison `current` the way a crashing publisher would: panic while
+        // holding the write guard.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = dynamic.current.write().unwrap();
+            panic!("simulated publisher crash");
+        }));
+        assert!(poison.is_err());
+        assert!(dynamic.current.is_poisoned());
+
+        // Readers recover the last published generation and flag degraded.
+        let after = dynamic.snapshot();
+        assert_eq!(after.generation(), before.generation());
+        assert_eq!(
+            after.model().store_f64().unwrap().as_slice(),
+            before.model().store_f64().unwrap().as_slice(),
+            "recovered generation must be the same published store"
+        );
+        assert!(dynamic.is_degraded(), "poison recovery must latch the degraded flag");
+
+        // Publishing still works over the poisoned lock too.
+        let mut delta = CsrDelta::new();
+        delta.insert_edge(1, 5);
+        let outcome = dynamic.apply_delta(&delta, None);
+        assert_eq!(outcome.generation, 1);
+        assert_eq!(dynamic.snapshot().generation(), 1);
     }
 
     #[test]

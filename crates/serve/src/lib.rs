@@ -36,6 +36,15 @@
 //! the way [`BatchQueue`] batches queries — a burst of deltas merges into
 //! **one** refresh and one published generation per window.
 //!
+//! The networked tier puts all of this behind a socket: [`wire`] defines
+//! a hand-rolled, fail-closed length-prefixed frame protocol, [`Server`]
+//! is the thread-per-connection `gcond` daemon (session tokens, socket
+//! timeouts, a bounded-inflight gate in front of the [`BatchQueue`]), and
+//! [`GconClient`] is the matching blocking client. A store can be
+//! persisted with [`ServingModel::save`] and restored with
+//! [`ServingModel::load`] — a bitwise round-trip, so a daemon restart
+//! costs an `open(2)` instead of a full repropagation.
+//!
 //! # Exactness and the store dtype
 //!
 //! Serving is not an approximation. Every dense kernel in `gcon-linalg`
@@ -92,15 +101,20 @@
 //! ```
 
 mod batch;
+mod client;
 mod coalesce;
 mod dynamic;
 mod model;
+mod server;
+pub mod wire;
 
 pub use batch::{BatchConfig, BatchQueue, BatchStats};
+pub use client::GconClient;
 pub use coalesce::{CoalesceConfig, CoalesceStats, DeltaCoalescer};
 pub use dynamic::{DeltaOutcome, DynamicServingModel, OnboardQuery, ServingGeneration};
 pub use gcon_core::InfRefreshKind;
 pub use model::{ServingMode, ServingModel, ServingSession, StoreDtype, F32_STORE_LOGIT_TOL};
+pub use server::{Server, ServerConfig, ServerHandle};
 
 /// Shared tiny trained model for this crate's unit tests (training once per
 /// test binary keeps each test cheap).

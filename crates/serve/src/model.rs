@@ -1,7 +1,7 @@
 //! The precomputed feature store and the query interface over it.
 
 use gcon_core::infer::{private_features, public_features};
-use gcon_core::TrainedGcon;
+use gcon_core::{serialize, TrainedGcon};
 use gcon_graph::Graph;
 use gcon_linalg::{reduce, Dtype, Mat};
 use gcon_nn::HeadWorkspace;
@@ -86,20 +86,26 @@ impl StoreDtype {
     /// [`ServingModel::build_with_dtype`].
     pub fn from_env() -> Self {
         static INIT: OnceLock<StoreDtype> = OnceLock::new();
-        *INIT.get_or_init(|| match std::env::var("GCON_STORE_DTYPE") {
-            Ok(v) if !v.is_empty() => match v.to_ascii_lowercase().as_str() {
-                "f64" => StoreDtype::F64,
-                "f32" => StoreDtype::F32,
-                _ => {
-                    eprintln!(
-                        "gcon-serve: unrecognized GCON_STORE_DTYPE={v:?} \
-                         (expected f64|f32); using f64"
-                    );
-                    StoreDtype::F64
-                }
-            },
-            _ => StoreDtype::F64,
+        *INIT.get_or_init(|| {
+            gcon_runtime::envknob::env_knob(
+                "gcon-serve",
+                "GCON_STORE_DTYPE",
+                StoreDtype::F64,
+                "f64|f32",
+                "f64",
+                parse_store_dtype,
+            )
         })
+    }
+}
+
+/// Pure parser behind [`StoreDtype::from_env`] (case-insensitive); `None`
+/// is "unrecognized — fall back to f64 with a warning".
+pub(crate) fn parse_store_dtype(value: &str) -> Option<StoreDtype> {
+    match value.to_ascii_lowercase().as_str() {
+        "f64" => Some(StoreDtype::F64),
+        "f32" => Some(StoreDtype::F32),
+        _ => None,
     }
 }
 
@@ -367,6 +373,75 @@ impl ServingModel {
             _ => unreachable!("ServingModel: session workspace dtype does not match the store"),
         }
     }
+
+    // ------------------------------------------------------- persistence
+
+    /// Serializes the frozen store to the v3 store artifact
+    /// ([`gcon_core::serialize::store_to_bytes`]): mode, dtype, and both
+    /// payloads bitwise, 8-byte-aligned for a future zero-copy mmap reader.
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        let data = match &self.repr {
+            StoreRepr::F64 { store, theta } => {
+                serialize::StoreArtifact::F64 { store: store.clone(), theta: theta.clone() }
+            }
+            StoreRepr::F32 { store, theta } => {
+                serialize::StoreArtifact::F32 { store: store.clone(), theta: theta.clone() }
+            }
+        };
+        serialize::store_to_bytes(&serialize::PersistedStore {
+            mode_tag: match self.mode {
+                ServingMode::Public => 0,
+                ServingMode::Private => 1,
+            },
+            data,
+        })
+    }
+
+    /// Decodes a model persisted by [`ServingModel::to_bytes`] /
+    /// [`ServingModel::save`]. The restored store is **bitwise identical**
+    /// to the one that was saved — no propagation, no re-quantization —
+    /// which is the whole point: restart cost is reading the file, not
+    /// re-running the feature stage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serialize::DecodeError> {
+        let persisted = serialize::store_from_bytes(bytes)?;
+        let mode = match persisted.mode_tag {
+            0 => ServingMode::Public,
+            1 => ServingMode::Private,
+            t => return Err(serialize::DecodeError::BadTag("serving mode", t)),
+        };
+        let repr = match persisted.data {
+            serialize::StoreArtifact::F64 { store, theta } => {
+                if store.cols() != theta.rows() {
+                    return Err(serialize::DecodeError::Invalid(
+                        "store feature dim does not match theta rows",
+                    ));
+                }
+                StoreRepr::F64 { store, theta }
+            }
+            serialize::StoreArtifact::F32 { store, theta } => {
+                if store.cols() != theta.rows() {
+                    return Err(serialize::DecodeError::Invalid(
+                        "store feature dim does not match theta rows",
+                    ));
+                }
+                StoreRepr::F32 { store, theta }
+            }
+        };
+        Ok(Self { repr, mode })
+    }
+
+    /// Writes the store artifact to a file (see [`ServingModel::to_bytes`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a store artifact back from a file — O(file size), the restart
+    /// path `gcond --store` uses instead of re-propagating the graph.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
 }
 
 /// A per-thread query interface over a [`ServingModel`]: the model is shared
@@ -467,6 +542,55 @@ mod tests {
         assert_eq!(StoreDtype::F32.name(), "f32");
         assert_eq!(StoreDtype::F64.dtype(), gcon_linalg::Dtype::F64);
         assert_eq!(StoreDtype::F32.dtype(), gcon_linalg::Dtype::F32);
+    }
+
+    /// `save` → `load` restores the exact frozen store: bitwise-equal
+    /// payloads in both dtypes and modes, and bitwise-equal query answers —
+    /// the restart path does no arithmetic at all.
+    #[test]
+    fn save_load_restores_store_bitwise() {
+        let (model, graph, x) = tiny_trained();
+        let dir = std::env::temp_dir().join("gcon_serve_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for dtype in [StoreDtype::F64, StoreDtype::F32] {
+            for mode in [ServingMode::Public, ServingMode::Private] {
+                let built = ServingModel::build_with_dtype(model, graph, x, mode, dtype);
+                let path = dir.join(format!("{}_{}.gconstore", mode.name(), dtype.name()));
+                built.save(&path).unwrap();
+                let loaded = ServingModel::load(&path).unwrap();
+                assert_eq!(loaded.mode(), mode);
+                assert_eq!(loaded.store_dtype(), dtype);
+                match dtype {
+                    StoreDtype::F64 => assert_eq!(
+                        loaded.store_f64().unwrap().as_slice(),
+                        built.store_f64().unwrap().as_slice()
+                    ),
+                    StoreDtype::F32 => assert_eq!(
+                        loaded.store_f32().unwrap().as_slice(),
+                        built.store_f32().unwrap().as_slice()
+                    ),
+                }
+                for node in [0, 7, graph.num_nodes() - 1] {
+                    assert_eq!(
+                        loaded.logits(node),
+                        built.logits(node),
+                        "{} {} node {node}: loaded store must answer bitwise-identically",
+                        mode.name(),
+                        dtype.name()
+                    );
+                }
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_model_artifacts_and_garbage() {
+        let (model, _, _) = tiny_trained();
+        let model_bytes = gcon_core::serialize::to_bytes(model);
+        assert!(ServingModel::from_bytes(&model_bytes).is_err());
+        assert!(ServingModel::from_bytes(b"not a store").is_err());
+        assert!(ServingModel::from_bytes(&[]).is_err());
     }
 
     #[test]

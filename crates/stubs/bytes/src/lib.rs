@@ -51,6 +51,13 @@ pub trait Buf {
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
     }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
 }
 
 /// Write-side trait (mirror of `bytes::BufMut`).
@@ -81,6 +88,11 @@ pub trait BufMut {
     /// Appends a little-endian `f64`.
     fn put_f64_le(&mut self, v: f64) {
         self.put_u64_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
     }
 }
 

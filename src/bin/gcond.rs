@@ -1,0 +1,140 @@
+//! `gcond` — the GCON serving daemon: answers node-classification queries
+//! over TCP from a frozen feature store.
+//!
+//! ```text
+//! # O(open) restart from a persisted store (the production path):
+//! gcond --store store.gconstore [--addr 127.0.0.1:7464]
+//!
+//! # Cold start: build the store from a model artifact + dataset, serve it,
+//! # and optionally persist it for the next (fast) restart:
+//! gcond --model model.gcon --dataset cora-ml [--mode private|public]
+//!       [--dtype f64|f32] [--scale 0.25] [--seed 1]
+//!       [--save-store store.gconstore] [--addr 127.0.0.1:7464]
+//! ```
+//!
+//! On success the daemon prints exactly one line `listening on <ADDR>` to
+//! stdout (with the ephemeral port resolved when `--addr` ends in `:0`) and
+//! serves until killed. Tuning: `GCON_SERVER_MAX_INFLIGHT`,
+//! `GCON_SERVER_READ_TIMEOUT_MS`, `GCON_SERVER_WRITE_TIMEOUT_MS`,
+//! `GCON_SERVER_MAX_FRAME`, plus the usual `GCON_THREADS` /
+//! `GCON_KERNEL_TIER` compute knobs.
+
+use gcon::core::serialize;
+use gcon::serve::{Server, ServerConfig, ServingMode, ServingModel, StoreDtype};
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Parsed `--key value` arguments (same grammar as the `gcon` CLI).
+#[derive(Debug, Default)]
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(k) = it.next() {
+            let key = k.strip_prefix("--").ok_or_else(|| format!("expected --flag, got `{k}`"))?;
+            let val = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+            if flags.insert(key.to_string(), val.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+}
+
+/// Obtains the serving store per the CLI contract: `--store` loads a
+/// persisted artifact (no propagation at all), `--model` + `--dataset`
+/// builds one from scratch.
+fn obtain_store(args: &Args) -> Result<ServingModel, String> {
+    match (args.get("store"), args.get("model")) {
+        (Some(path), None) => {
+            ServingModel::load(path).map_err(|e| format!("loading store `{path}`: {e}"))
+        }
+        (None, Some(model_path)) => {
+            let model = serialize::load(model_path)
+                .map_err(|e| format!("loading model `{model_path}`: {e}"))?;
+            let name = args.get("dataset").ok_or("--model also needs --dataset")?;
+            let scale = args
+                .get("scale")
+                .map_or(Ok(0.25), |v| v.parse().map_err(|_| "--scale: not a number".to_string()))?;
+            let seed = args
+                .get("seed")
+                .map_or(Ok(1), |v| v.parse().map_err(|_| "--seed: not an integer".to_string()))?;
+            let dataset = match name {
+                "cora-ml" => gcon::datasets::cora_ml(scale, seed),
+                "citeseer" => gcon::datasets::citeseer(scale, seed),
+                "pubmed" => gcon::datasets::pubmed(scale, seed),
+                "actor" => gcon::datasets::actor(scale, seed),
+                "two-moons" => gcon::datasets::two_moons_graph(seed),
+                other => {
+                    return Err(format!(
+                        "unknown dataset `{other}` \
+                         (expected cora-ml|citeseer|pubmed|actor|two-moons)"
+                    ))
+                }
+            };
+            let mode = match args.get("mode").unwrap_or("private") {
+                "private" => ServingMode::Private,
+                "public" => ServingMode::Public,
+                other => return Err(format!("--mode must be private|public, got `{other}`")),
+            };
+            let dtype = match args.get("dtype") {
+                None => StoreDtype::from_env(),
+                Some("f64") => StoreDtype::F64,
+                Some("f32") => StoreDtype::F32,
+                Some(other) => return Err(format!("--dtype must be f64|f32, got `{other}`")),
+            };
+            let store = ServingModel::build_with_dtype(
+                &model,
+                &dataset.graph,
+                &dataset.features,
+                mode,
+                dtype,
+            );
+            if let Some(out) = args.get("save-store") {
+                store.save(out).map_err(|e| format!("saving store `{out}`: {e}"))?;
+            }
+            Ok(store)
+        }
+        (Some(_), Some(_)) => Err("--store and --model are mutually exclusive".into()),
+        (None, None) => Err("need --store FILE, or --model FILE with --dataset NAME".into()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv)?;
+    let store = obtain_store(&args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7464");
+    let config = ServerConfig::from_env();
+    let server =
+        Server::bind(&store, config, addr).map_err(|e| format!("binding `{addr}`: {e}"))?;
+    // The contract tests and tooling rely on: one line, flushed, with the
+    // resolved address (so `--addr host:0` callers learn the real port).
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serving: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gcond: {msg}");
+            eprintln!(
+                "usage: gcond --store FILE [--addr HOST:PORT]\n\
+                 \u{20}      gcond --model FILE --dataset NAME [--mode private|public] \
+                 [--dtype f64|f32] [--scale S] [--seed N] [--save-store FILE] [--addr HOST:PORT]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
