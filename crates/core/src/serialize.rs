@@ -529,6 +529,51 @@ impl StoreArtifact {
         }
     }
 
+    /// The **store-slice artifact**: rows `start..end` of the feature store
+    /// together with the full `theta` (every shard needs the whole head).
+    /// The slice is a bitwise copy — no arithmetic, no re-quantization — so
+    /// a shard serving rows `start..end` of the slice answers exactly what
+    /// the unsliced store answers for those rows. This is the shard-handoff
+    /// payload of the fleet layer: encode the slice with
+    /// [`store_to_bytes`], ship it, and the worker decodes a perfectly
+    /// ordinary (smaller) v3 store artifact.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end` exceeds the store's row count —
+    /// slicing is a coordinator-side operation over trusted shapes, not a
+    /// decode surface.
+    pub fn slice_rows(&self, start: usize, end: usize) -> StoreArtifact {
+        let rows = self.shape().0;
+        assert!(
+            start <= end && end <= rows,
+            "StoreArtifact::slice_rows: range {start}..{end} out of bounds for {rows} rows"
+        );
+        match self {
+            StoreArtifact::F64 { store, theta } => {
+                let d = store.cols();
+                StoreArtifact::F64 {
+                    store: Mat::from_vec(
+                        end - start,
+                        d,
+                        store.as_slice()[start * d..end * d].to_vec(),
+                    ),
+                    theta: theta.clone(),
+                }
+            }
+            StoreArtifact::F32 { store, theta } => {
+                let d = store.cols();
+                StoreArtifact::F32 {
+                    store: Mat::from_vec(
+                        end - start,
+                        d,
+                        store.as_slice()[start * d..end * d].to_vec(),
+                    ),
+                    theta: theta.clone(),
+                }
+            }
+        }
+    }
+
     fn dtype_tag(&self) -> u8 {
         match self {
             StoreArtifact::F64 { .. } => 0,
@@ -546,6 +591,14 @@ pub struct PersistedStore {
     pub mode_tag: u8,
     /// The store + parameter payloads.
     pub data: StoreArtifact,
+}
+
+impl PersistedStore {
+    /// [`StoreArtifact::slice_rows`] with the mode tag carried along — the
+    /// encodable shard-handoff slice.
+    pub fn slice_rows(&self, start: usize, end: usize) -> PersistedStore {
+        PersistedStore { mode_tag: self.mode_tag, data: self.data.slice_rows(start, end) }
+    }
 }
 
 /// Pads `buf` with zero bytes until its length is a multiple of 8, so the
@@ -893,6 +946,47 @@ mod tests {
             }
             _ => panic!("dtype changed across roundtrip"),
         }
+    }
+
+    /// The store-slice artifact is a bitwise row-range copy: sliced rows
+    /// match the original payload exactly, theta rides along whole, and the
+    /// slice encodes/decodes as an ordinary v3 store artifact.
+    #[test]
+    fn store_slice_rows_is_bitwise_and_roundtrips() {
+        let p = sample_store_f64();
+        let sliced = p.slice_rows(1, 4);
+        assert_eq!(sliced.mode_tag, p.mode_tag);
+        let (rows, d, c) = sliced.data.shape();
+        assert_eq!((rows, d, c), (3, 4, 3));
+        let (
+            StoreArtifact::F64 { store: full, theta: full_theta },
+            StoreArtifact::F64 { store: part, theta: part_theta },
+        ) = (&p.data, &sliced.data)
+        else {
+            panic!("slice changed dtype")
+        };
+        assert_eq!(part.as_slice(), &full.as_slice()[d..4 * d]);
+        assert_eq!(part_theta.as_slice(), full_theta.as_slice());
+        let back = store_from_bytes(&store_to_bytes(&sliced)).unwrap();
+        let StoreArtifact::F64 { store: back_store, .. } = &back.data else { unreachable!() };
+        assert_eq!(back_store.as_slice(), part.as_slice());
+
+        // f32 slices, the full range, and the empty edge all hold too.
+        let p32 = sample_store_f32();
+        let full32 = p32.slice_rows(0, 6);
+        let (StoreArtifact::F32 { store: a, .. }, StoreArtifact::F32 { store: b, .. }) =
+            (&p32.data, &full32.data)
+        else {
+            panic!("slice changed dtype")
+        };
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(p32.slice_rows(2, 2).data.shape().0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn store_slice_rows_rejects_bad_range() {
+        sample_store_f64().slice_rows(2, 6);
     }
 
     /// The store payload must start on an 8-byte file offset so a future

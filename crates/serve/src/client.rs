@@ -7,6 +7,23 @@
 //! [`WireError::Server`]. It is deliberately `&mut self` (one in-flight
 //! request per connection); open several clients for concurrency — the
 //! server micro-batches across connections.
+//!
+//! # Reconnect / retry
+//!
+//! By default a client is zero-retry: any socket failure (read timeout,
+//! reset, server restart) surfaces immediately. Enabling
+//! [`GconClient::with_retries`] turns every request method into a bounded
+//! retry loop: on a **connection-level** failure (I/O error, or the server
+//! closing the stream — e.g. its read timeout reclaimed an idle session)
+//! the client reconnects to the original address, performs a **fresh
+//! `Hello` handshake** (new session token), and replays the request. Typed
+//! `Error` frames are never retried — the server answered; retrying would
+//! not change the answer. Every request the protocol defines is an
+//! idempotent read (queries, stats, fingerprints) or an idempotent
+//! overwrite (`ShardAssign` replaces the worker's whole assignment), so
+//! replaying a request that may or may not have executed is safe. This is
+//! the same retry path the fleet [`crate::fleet::Coordinator`] relies on
+//! for coordinator → shard calls.
 
 use crate::wire::{
     read_frame, write_frame, Request, Response, ServerInfo, WireError, WireStats,
@@ -14,7 +31,7 @@ use crate::wire::{
 };
 use gcon_linalg::Mat;
 use std::io::Write;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A connected, handshaken `gcond` session.
@@ -25,6 +42,12 @@ pub struct GconClient {
     token: u64,
     info: ServerInfo,
     max_frame: usize,
+    /// Resolved peer addresses, kept for reconnects.
+    peers: Vec<SocketAddr>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    /// Maximum reconnect-and-replay attempts after the initial try.
+    retries: u32,
 }
 
 impl GconClient {
@@ -47,32 +70,101 @@ impl GconClient {
         write_timeout: Duration,
         max_frame: usize,
     ) -> Result<Self, WireError> {
-        let stream = TcpStream::connect(addr)?;
+        let peers: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if peers.is_empty() {
+            return Err(WireError::Malformed("address resolved to no socket addresses"));
+        }
+        let (reader, writer, token, info) =
+            Self::open_session(&peers, read_timeout, write_timeout, max_frame)?;
+        Ok(Self {
+            reader,
+            writer,
+            token,
+            info,
+            max_frame,
+            peers,
+            read_timeout,
+            write_timeout,
+            retries: 0,
+        })
+    }
+
+    /// Enables bounded reconnect-and-replay: after a connection-level
+    /// failure, up to `retries` fresh-handshake attempts are made before
+    /// the error is surfaced (see the module docs for what is — and is
+    /// not — retried).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Dials the peers in order, handshakes, and returns the session parts.
+    fn open_session(
+        peers: &[SocketAddr],
+        read_timeout: Duration,
+        write_timeout: Duration,
+        max_frame: usize,
+    ) -> Result<(TcpStream, std::io::BufWriter<TcpStream>, u64, ServerInfo), WireError> {
+        let stream = TcpStream::connect(peers)?;
         stream.set_read_timeout(Some(read_timeout))?;
         stream.set_write_timeout(Some(write_timeout))?;
         stream.set_nodelay(true)?;
-        let reader = stream.try_clone()?;
-        let mut client = Self {
-            reader,
-            writer: std::io::BufWriter::new(stream),
-            token: 0,
-            info: ServerInfo {
-                proto: 0,
-                mode: crate::ServingMode::Public,
-                dtype: crate::StoreDtype::F64,
-                nodes: 0,
-                feature_dim: 0,
-                classes: 0,
-            },
-            max_frame,
-        };
-        match client.call(&Request::Hello { proto: PROTO_VERSION })? {
-            Response::HelloAck { token, info } => {
-                client.token = token;
-                client.info = info;
-                Ok(client)
+        let mut reader = stream.try_clone()?;
+        let mut writer = std::io::BufWriter::new(stream);
+        write_frame(&mut writer, &Request::Hello { proto: PROTO_VERSION }.encode())?;
+        writer.flush()?;
+        let body = read_frame(&mut reader, max_frame)?
+            .ok_or(WireError::Malformed("server closed the connection"))?;
+        match Response::decode(&body)? {
+            Response::HelloAck { token, info } => Ok((reader, writer, token, info)),
+            Response::Error { code, message } => Err(WireError::Server { code, message }),
+            _ => Err(WireError::Malformed("unexpected response opcode for this request")),
+        }
+    }
+
+    /// Replaces the dead connection with a freshly handshaken one (new
+    /// session token; the announced [`ServerInfo`] is refreshed too).
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        let (reader, writer, token, info) =
+            Self::open_session(&self.peers, self.read_timeout, self.write_timeout, self.max_frame)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.token = token;
+        self.info = info;
+        Ok(())
+    }
+
+    /// Is `e` a connection-level failure a fresh session could cure?
+    fn is_retryable(e: &WireError) -> bool {
+        match e {
+            WireError::Io(_) => true,
+            // The two shapes a server-side close takes at a frame boundary
+            // (`read_frame` EOF) and inside a header.
+            WireError::Malformed(m) => {
+                *m == "server closed the connection" || *m == "connection closed mid-header"
             }
-            other => Err(unexpected(other)),
+            _ => false,
+        }
+    }
+
+    /// Runs `op` with the bounded reconnect-and-replay policy. `op` must
+    /// read `self.token` at call time — the token changes on reconnect.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self) {
+                Err(e) if Self::is_retryable(&e) && attempt < self.retries => {
+                    attempt += 1;
+                    // A failed reconnect leaves the dead streams in place;
+                    // the next `op` fails fast and burns the next attempt,
+                    // so the loop stays bounded by `retries` either way.
+                    let _ = self.reconnect();
+                }
+                other => return other,
+            }
         }
     }
 
@@ -84,49 +176,24 @@ impl GconClient {
     /// Logits of one node (a `classes`-length row, bitwise what the
     /// server-side store computes).
     pub fn logits(&mut self, node: u64) -> Result<Vec<f64>, WireError> {
-        let token = self.token;
-        match self.call(&Request::Query { token, node })? {
-            Response::Logits { values } => Ok(values),
-            other => Err(unexpected(other)),
-        }
+        self.with_retry(|c| {
+            let token = c.token;
+            match c.call(&Request::Query { token, node })? {
+                Response::Logits { values } => Ok(values),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Logits of many nodes: one request, a reassembled
     /// `nodes.len() × classes` matrix back (row `i` answers `nodes[i]`).
     pub fn logits_bulk(&mut self, nodes: &[u64]) -> Result<Mat, WireError> {
-        let token = self.token;
-        self.send(&Request::Bulk { token, nodes: nodes.to_vec() })?;
-        let cols = self.info.classes as usize;
-        let mut out = Mat::zeros(nodes.len(), cols);
-        let mut rows_seen = 0u64;
-        loop {
-            match self.receive()? {
-                Response::BulkChunk { start, cols: chunk_cols, values } => {
-                    if chunk_cols as usize != cols {
-                        return Err(WireError::Malformed("chunk column count mismatch"));
-                    }
-                    let rows = values.len().checked_div(cols).unwrap_or(0);
-                    let start = usize::try_from(start)
-                        .map_err(|_| WireError::Malformed("chunk start out of range"))?;
-                    if start + rows > nodes.len() {
-                        return Err(WireError::Malformed("chunk rows exceed request"));
-                    }
-                    out.as_mut_slice()[start * cols..(start + rows) * cols]
-                        .copy_from_slice(&values);
-                    rows_seen += rows as u64;
-                }
-                Response::BulkDone { total_rows } => {
-                    if total_rows != nodes.len() as u64 || rows_seen != total_rows {
-                        return Err(WireError::Malformed("bulk stream incomplete"));
-                    }
-                    return Ok(out);
-                }
-                Response::Error { code, message } => {
-                    return Err(WireError::Server { code, message });
-                }
-                other => return Err(unexpected(other)),
-            }
-        }
+        self.with_retry(|c| {
+            let token = c.token;
+            c.send(&Request::Bulk { token, nodes: nodes.to_vec() })?;
+            let cols = c.info.classes as usize;
+            c.read_chunk_stream(nodes.len(), cols, /* shard */ false)
+        })
     }
 
     /// Hard class prediction of one node (argmax of [`Self::logits`]).
@@ -136,24 +203,130 @@ impl GconClient {
 
     /// Server counter snapshot.
     pub fn stats(&mut self) -> Result<WireStats, WireError> {
-        let token = self.token;
-        match self.call(&Request::Stats { token })? {
-            Response::StatsReply(stats) => Ok(stats),
-            other => Err(unexpected(other)),
-        }
+        self.with_retry(|c| {
+            let token = c.token;
+            match c.call(&Request::Stats { token })? {
+                Response::StatsReply(stats) => Ok(stats),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Liveness probe; `Ok(true)` means healthy (not degraded).
     pub fn health(&mut self) -> Result<bool, WireError> {
-        match self.call(&Request::Health)? {
+        self.with_retry(|c| match c.call(&Request::Health)? {
             Response::HealthReply { ok } => Ok(ok),
             other => Err(unexpected(other)),
-        }
+        })
     }
 
     /// Says goodbye and closes the connection.
     pub fn bye(mut self) -> Result<(), WireError> {
         self.send(&Request::Bye)
+    }
+
+    // -------------------------------------------------------- fleet calls
+    //
+    // The coordinator → shard-worker side of the protocol. These target a
+    // `gcond --shard` worker ([`crate::fleet::ShardWorker`]); a plain
+    // single-store daemon answers them with `ErrorCode::NotAssigned`.
+
+    /// Hands a shard worker its row range: `artifact` is an encoded
+    /// store-slice artifact ([`crate::ServingModel::slice_bytes`]) whose
+    /// first row is global row `row_start`. Returns the row count the
+    /// worker adopted. Replaces any previous assignment on the worker, so
+    /// replaying after a reconnect is safe.
+    pub fn shard_assign(
+        &mut self,
+        shard_id: u32,
+        row_start: u64,
+        artifact: &[u8],
+    ) -> Result<u64, WireError> {
+        self.with_retry(|c| {
+            let token = c.token;
+            let req =
+                Request::ShardAssign { token, shard_id, row_start, artifact: artifact.to_vec() };
+            match c.call(&req)? {
+                Response::ShardReady { shard_id: echoed, rows } => {
+                    if echoed != shard_id {
+                        return Err(WireError::Malformed("worker echoed a different shard id"));
+                    }
+                    Ok(rows)
+                }
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    /// Logits for **global** node ids inside the worker's assigned range,
+    /// reassembled from the `ShardLogits` chunk stream into a
+    /// `nodes.len() × classes` matrix (row `i` answers `nodes[i]`).
+    /// `classes` comes from the coordinator's own store knowledge — a
+    /// worker contacted before assignment announces zero classes.
+    pub fn shard_query(&mut self, nodes: &[u64], classes: usize) -> Result<Mat, WireError> {
+        self.with_retry(|c| {
+            let token = c.token;
+            c.send(&Request::ShardQuery { token, nodes: nodes.to_vec() })?;
+            c.read_chunk_stream(nodes.len(), classes, /* shard */ true)
+        })
+    }
+
+    /// The worker's per-chunk store fingerprints at `chunk_rows`
+    /// granularity — the consensus payload the coordinator cross-checks
+    /// (see [`crate::ServingModel::chunk_fingerprints`]).
+    pub fn shard_fingerprints(&mut self, chunk_rows: u64) -> Result<Vec<u64>, WireError> {
+        self.with_retry(|c| {
+            let token = c.token;
+            match c.call(&Request::ShardFingerprint { token, chunk_rows })? {
+                Response::ShardFingerprintReply { chunk_rows: echoed, fingerprints } => {
+                    if echoed != chunk_rows {
+                        return Err(WireError::Malformed("worker echoed a different chunk size"));
+                    }
+                    Ok(fingerprints)
+                }
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    /// Reassembles a `BulkChunk`/`ShardLogits` stream terminated by
+    /// `BulkDone` into a `rows × cols` matrix (chunk `start` offsets index
+    /// the request's node list).
+    fn read_chunk_stream(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        shard: bool,
+    ) -> Result<Mat, WireError> {
+        let mut out = Mat::zeros(rows, cols);
+        let mut rows_seen = 0u64;
+        loop {
+            let (start, chunk_cols, values) = match (self.receive()?, shard) {
+                (Response::BulkChunk { start, cols, values }, false)
+                | (Response::ShardLogits { start, cols, values }, true) => (start, cols, values),
+                (Response::BulkDone { total_rows }, _) => {
+                    if total_rows != rows as u64 || rows_seen != total_rows {
+                        return Err(WireError::Malformed("bulk stream incomplete"));
+                    }
+                    return Ok(out);
+                }
+                (Response::Error { code, message }, _) => {
+                    return Err(WireError::Server { code, message });
+                }
+                (other, _) => return Err(unexpected(other)),
+            };
+            if chunk_cols as usize != cols {
+                return Err(WireError::Malformed("chunk column count mismatch"));
+            }
+            let chunk_rows = values.len().checked_div(cols).unwrap_or(0);
+            let start = usize::try_from(start)
+                .map_err(|_| WireError::Malformed("chunk start out of range"))?;
+            if start + chunk_rows > rows {
+                return Err(WireError::Malformed("chunk rows exceed request"));
+            }
+            out.as_mut_slice()[start * cols..(start + chunk_rows) * cols].copy_from_slice(&values);
+            rows_seen += chunk_rows as u64;
+        }
     }
 
     fn send(&mut self, request: &Request) -> Result<(), WireError> {

@@ -45,6 +45,14 @@
 //! [`ServingModel::load`] — a bitwise round-trip, so a daemon restart
 //! costs an `open(2)` instead of a full repropagation.
 //!
+//! The [`fleet`] layer scales the daemon horizontally: a [`Coordinator`]
+//! partitions the store into contiguous row-range shards, ships each
+//! slice to `gcond --shard` workers ([`ShardWorker`]) over the same wire
+//! protocol, scatter-gathers bulk queries, and — because serving is
+//! bitwise-deterministic — cross-checks replicas by store *fingerprint*
+//! consensus, quarantining any replica whose bytes diverge and failing
+//! over when one dies.
+//!
 //! # Exactness and the store dtype
 //!
 //! Serving is not an approximation. Every dense kernel in `gcon-linalg`
@@ -104,6 +112,7 @@ mod batch;
 mod client;
 mod coalesce;
 mod dynamic;
+pub mod fleet;
 mod model;
 mod server;
 pub mod wire;
@@ -112,6 +121,7 @@ pub use batch::{BatchConfig, BatchQueue, BatchStats};
 pub use client::GconClient;
 pub use coalesce::{CoalesceConfig, CoalesceStats, DeltaCoalescer};
 pub use dynamic::{DeltaOutcome, DynamicServingModel, OnboardQuery, ServingGeneration};
+pub use fleet::{ConsensusReport, Coordinator, FleetConfig, FleetError, FleetStats, ShardWorker};
 pub use gcon_core::InfRefreshKind;
 pub use model::{ServingMode, ServingModel, ServingSession, StoreDtype, F32_STORE_LOGIT_TOL};
 pub use server::{Server, ServerConfig, ServerHandle};
@@ -165,6 +175,17 @@ pub(crate) mod testutil {
             let model =
                 train_gcon(&config, &graph, &x, &labels, &train_idx, 3, 4.0, 1e-3, &mut rng);
             (model, graph, x)
+        })
+    }
+
+    /// A frozen private-mode `f64` serving store over [`tiny_trained`],
+    /// built once per test binary (the fleet tests slice and ship it).
+    pub(crate) fn tiny_store() -> &'static crate::ServingModel {
+        use crate::{ServingMode, ServingModel, StoreDtype};
+        static STORE: OnceLock<ServingModel> = OnceLock::new();
+        STORE.get_or_init(|| {
+            let (model, graph, x) = tiny_trained();
+            ServingModel::build_with_dtype(model, graph, x, ServingMode::Private, StoreDtype::F64)
         })
     }
 }

@@ -374,6 +374,80 @@ impl ServingModel {
         }
     }
 
+    // ------------------------------------------------- sharding / slicing
+
+    /// A serving model holding only store rows `start..end` (same `Θ_priv`,
+    /// mode, and dtype). The slice is a **bitwise copy** — no arithmetic —
+    /// so for every global node `g` in `start..end`, `slice.logits(g -
+    /// start)` is bitwise equal to `self.logits(g)` (each store row's head
+    /// forward depends only on that row and `Θ_priv`). This is the unit a
+    /// fleet shard serves; combine with [`ServingModel::to_bytes`] for the
+    /// wire handoff, or use [`ServingModel::slice_bytes`] directly.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > num_nodes()` (coordinator-side
+    /// shapes are trusted; the decode surface stays fail-closed).
+    pub fn slice_rows(&self, start: usize, end: usize) -> ServingModel {
+        let repr = match &self.repr {
+            StoreRepr::F64 { store, theta } => {
+                let art =
+                    serialize::StoreArtifact::F64 { store: store.clone(), theta: theta.clone() }
+                        .slice_rows(start, end);
+                let serialize::StoreArtifact::F64 { store, theta } = art else { unreachable!() };
+                StoreRepr::F64 { store, theta }
+            }
+            StoreRepr::F32 { store, theta } => {
+                let art =
+                    serialize::StoreArtifact::F32 { store: store.clone(), theta: theta.clone() }
+                        .slice_rows(start, end);
+                let serialize::StoreArtifact::F32 { store, theta } = art else { unreachable!() };
+                StoreRepr::F32 { store, theta }
+            }
+        };
+        Self { repr, mode: self.mode }
+    }
+
+    /// The encoded **store-slice artifact** for rows `start..end` — the
+    /// shard-handoff payload a coordinator ships in a `ShardAssign` frame.
+    /// The bytes are an ordinary v3 store artifact of the slice, so the
+    /// worker decodes them with the same fail-closed
+    /// [`ServingModel::from_bytes`] path used for whole stores.
+    pub fn slice_bytes(&self, start: usize, end: usize) -> bytes::Bytes {
+        self.slice_rows(start, end).to_bytes()
+    }
+
+    /// Per-chunk fingerprints of the frozen store: one FNV-1a-64 hash over
+    /// the **bit patterns** of each `chunk_rows`-row block of the store,
+    /// plus one final element hashing `Θ_priv`. Because every query path is
+    /// bitwise-deterministic, two replicas holding the same slice must
+    /// report identical fingerprints — this is the whole consensus check of
+    /// the fleet layer; a single flipped mantissa bit anywhere in a chunk
+    /// changes that chunk's fingerprint.
+    ///
+    /// # Panics
+    /// Panics if `chunk_rows == 0`.
+    pub fn chunk_fingerprints(&self, chunk_rows: usize) -> Vec<u64> {
+        assert!(chunk_rows >= 1, "chunk_fingerprints: chunk_rows must be ≥ 1");
+        let mut out = Vec::new();
+        match &self.repr {
+            StoreRepr::F64 { store, theta } => {
+                let row = store.cols().max(1);
+                for chunk in store.as_slice().chunks(chunk_rows * row) {
+                    out.push(fnv1a_u64(chunk.iter().map(|v| v.to_bits())));
+                }
+                out.push(fnv1a_u64(theta.as_slice().iter().map(|v| v.to_bits())));
+            }
+            StoreRepr::F32 { store, theta } => {
+                let row = store.cols().max(1);
+                for chunk in store.as_slice().chunks(chunk_rows * row) {
+                    out.push(fnv1a_u64(chunk.iter().map(|v| u64::from(v.to_bits()))));
+                }
+                out.push(fnv1a_u64(theta.as_slice().iter().map(|v| u64::from(v.to_bits()))));
+            }
+        }
+        out
+    }
+
     // ------------------------------------------------------- persistence
 
     /// Serializes the frozen store to the v3 store artifact
@@ -442,6 +516,19 @@ impl ServingModel {
         Self::from_bytes(&bytes)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+}
+
+/// FNV-1a over the little-endian bytes of each 64-bit word — the stable,
+/// dependency-free hash behind [`ServingModel::chunk_fingerprints`].
+fn fnv1a_u64(words: impl Iterator<Item = u64>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
 }
 
 /// A per-thread query interface over a [`ServingModel`]: the model is shared
@@ -694,6 +781,76 @@ mod tests {
                 assert_eq!(preds[r], gcon_linalg::vecops::argmax(reference.row(node)));
             }
         }
+    }
+
+    /// Slicing is the fleet's correctness kernel: for every dtype, a row
+    /// slice answers its global nodes bitwise-identically to the unsliced
+    /// store, and the encoded slice round-trips through the ordinary store
+    /// decoder.
+    #[test]
+    fn slice_rows_answers_bitwise_and_roundtrips() {
+        let (model, graph, x) = tiny_trained();
+        let n = graph.num_nodes();
+        for dtype in [StoreDtype::F64, StoreDtype::F32] {
+            let full = ServingModel::build_with_dtype(model, graph, x, ServingMode::Private, dtype);
+            for (start, end) in [(0, n / 2), (n / 2, n), (3, 3), (0, n)] {
+                let slice = full.slice_rows(start, end);
+                assert_eq!(slice.num_nodes(), end - start);
+                assert_eq!(slice.num_classes(), full.num_classes());
+                assert_eq!(slice.mode(), full.mode());
+                assert_eq!(slice.store_dtype(), dtype);
+                for g in start..end {
+                    assert_eq!(slice.logits(g - start), full.logits(g), "node {g}");
+                }
+                let decoded = ServingModel::from_bytes(&full.slice_bytes(start, end)).unwrap();
+                if end > start {
+                    assert_eq!(decoded.logits(0), full.logits(start));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rows_rejects_bad_range() {
+        let (model, graph, x) = tiny_trained();
+        let full = ServingModel::build(model, graph, x, ServingMode::Public);
+        let n = full.num_nodes();
+        let _ = full.slice_rows(1, n + 1);
+    }
+
+    /// Fingerprints are the consensus primitive: equal slices agree, any
+    /// bit flip in any chunk (or in theta) disagrees, and the chunk count
+    /// is ⌈rows / chunk_rows⌉ + 1 (the trailing theta fingerprint).
+    #[test]
+    fn chunk_fingerprints_detect_any_flip() {
+        let (model, graph, x) = tiny_trained();
+        for dtype in [StoreDtype::F64, StoreDtype::F32] {
+            let a = ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, dtype);
+            let b = ServingModel::from_bytes(&a.to_bytes()).unwrap();
+            let n = a.num_nodes();
+            for chunk_rows in [1, 7, n, n + 5] {
+                let fa = a.chunk_fingerprints(chunk_rows);
+                assert_eq!(fa.len(), n.div_ceil(chunk_rows) + 1);
+                assert_eq!(fa, b.chunk_fingerprints(chunk_rows), "replicas must agree");
+            }
+            // A half slice agrees with the full store's matching prefix
+            // only when chunk boundaries line up — and always with itself.
+            let half = a.slice_rows(0, n / 2);
+            assert_eq!(
+                half.chunk_fingerprints(n / 2).first(),
+                a.chunk_fingerprints(n / 2).first(),
+                "aligned chunk of the same rows must hash identically"
+            );
+        }
+        // Flipping one payload bit flips the owning chunk's fingerprint.
+        let a =
+            ServingModel::build_with_dtype(model, graph, x, ServingMode::Public, StoreDtype::F64);
+        let mut bytes = a.to_bytes().to_vec();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01;
+        let corrupted = ServingModel::from_bytes(&bytes).unwrap();
+        assert_ne!(a.chunk_fingerprints(8), corrupted.chunk_fingerprints(8));
     }
 
     #[test]

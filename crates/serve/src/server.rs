@@ -170,6 +170,12 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// Wraps a shutdown flag (shared with [`crate::fleet::ShardWorker`],
+    /// which reuses this handle type for its own accept loop).
+    pub(crate) fn new(shutdown: Arc<AtomicBool>) -> Self {
+        Self { shutdown }
+    }
+
     /// Asks the server to stop accepting and return from [`Server::run`]
     /// once in-flight connections drain (their sockets still honour the
     /// read timeout, so drain is bounded).
@@ -252,6 +258,8 @@ impl<'m> Server<'m> {
             batches: batch.batches,
             largest_batch: batch.largest_batch as u64,
             rejected_overload: self.rejected.load(Ordering::Relaxed),
+            quarantined: 0,
+            failovers: 0,
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
@@ -386,7 +394,10 @@ impl<'m> Server<'m> {
         let presented = match &request {
             Request::Query { token, .. }
             | Request::Bulk { token, .. }
-            | Request::Stats { token } => *token,
+            | Request::Stats { token }
+            | Request::ShardAssign { token, .. }
+            | Request::ShardQuery { token, .. }
+            | Request::ShardFingerprint { token, .. } => *token,
             // Health/Bye/Hello never reach here (handled by the caller).
             _ => unreachable!("serve_authenticated: unauthenticated opcode"),
         };
@@ -427,6 +438,16 @@ impl<'m> Server<'m> {
                 self.stream_bulk(writer, &nodes)
             }
             Request::Stats { .. } => self.reply(writer, &Response::StatsReply(self.stats())),
+            // Fleet frames belong to shard workers (`crate::ShardWorker`);
+            // a plain single-store daemon answers them with a typed error
+            // instead of dropping the connection.
+            Request::ShardAssign { .. }
+            | Request::ShardQuery { .. }
+            | Request::ShardFingerprint { .. } => self.reply_error(
+                writer,
+                ErrorCode::NotAssigned,
+                "shard frames are served by gcond --shard workers",
+            ),
             _ => unreachable!("serve_authenticated: unauthenticated opcode"),
         }
     }

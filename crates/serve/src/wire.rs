@@ -24,16 +24,35 @@
 //!   0x04 Stats                   u64 token
 //!   0x05 Health                  —
 //!   0x06 Bye                     —
+//!   0x07 ShardAssign             u64 token, u32 shard_id, u64 row_start,
+//!                                u32 len, len × u8 store-slice artifact (v3)
+//!   0x08 ShardQuery              u64 token, u32 count, count × u64 global node
+//!   0x09 ShardFingerprint        u64 token, u64 chunk_rows
 //!
 //! responses
 //!   0x81 HelloAck                u64 token, ServerInfo
 //!   0x82 Logits                  u32 count, count × f64
 //!   0x83 BulkChunk               u64 start, u32 rows, u32 cols, rows·cols × f64
 //!   0x84 BulkDone                u64 total_rows
-//!   0x85 StatsReply              5 × u64 counters, u8 degraded
+//!   0x85 StatsReply              7 × u64 counters, u8 degraded
 //!   0x86 HealthReply             u8 ok
 //!   0x87 Error                   u8 code, u32 len, len × u8 UTF-8 message
+//!   0x88 ShardReady              u32 shard_id, u64 rows
+//!   0x89 ShardLogits             u64 start, u32 rows, u32 cols, rows·cols × f64
+//!   0x8A ShardFingerprintReply   u64 chunk_rows, u32 count, count × u64
 //! ```
+//!
+//! # Fleet frames
+//!
+//! The `0x07`–`0x09` requests (and their `0x88`–`0x8A` responses) are the
+//! coordinator → shard-worker protocol of [`crate::fleet`]. `ShardAssign`
+//! hands a worker its row range as an embedded **store-slice artifact** —
+//! the same v3 container `ServingModel::save` writes, so the worker reuses
+//! the fail-closed on-disk decoder verbatim. `ShardQuery` carries *global*
+//! node ids (the worker translates by its `row_start`), answered by a
+//! bounded `ShardLogits` chunk stream terminated by `BulkDone`.
+//! `ShardFingerprint` asks for the per-chunk store fingerprints the
+//! coordinator cross-checks for replica consensus.
 //!
 //! # Session model
 //!
@@ -58,8 +77,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gcon_core::serialize::{get_u16, get_u32, get_u64, get_u8, DecodeError};
 
 /// Protocol version carried in `Hello`/`HelloAck`; bumped on any
-/// incompatible frame change.
-pub const PROTO_VERSION: u16 = 1;
+/// incompatible frame change. v2 added the fleet frames and widened
+/// `StatsReply` with the `quarantined` / `failovers` counters.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Client magic in `Hello` — same four bytes as the on-disk artifacts.
 pub const WIRE_MAGIC: &[u8; 4] = b"GCON";
@@ -87,6 +107,9 @@ pub enum ErrorCode {
     Overloaded = 6,
     /// The server hit an internal failure serving the request.
     Internal = 7,
+    /// A shard frame arrived before the worker received its
+    /// `ShardAssign` (or a plain query hit a shard worker).
+    NotAssigned = 8,
 }
 
 impl ErrorCode {
@@ -100,6 +123,7 @@ impl ErrorCode {
             5 => ErrorCode::TooLarge,
             6 => ErrorCode::Overloaded,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::NotAssigned,
             _ => return None,
         })
     }
@@ -192,6 +216,12 @@ pub struct WireStats {
     pub largest_batch: u64,
     /// Requests rejected by the bounded-inflight gate.
     pub rejected_overload: u64,
+    /// Replicas currently quarantined by the fleet consensus check
+    /// (always 0 on a plain single-store server).
+    pub quarantined: u64,
+    /// Queries rerouted to another replica after a shard died or timed
+    /// out (always 0 on a plain single-store server).
+    pub failovers: u64,
     /// True once the serving path recovered from a panic (see
     /// [`crate::DynamicServingModel::is_degraded`]); a healthy static
     /// store always reports `false`.
@@ -229,6 +259,37 @@ pub enum Request {
     Health,
     /// Graceful goodbye; the server closes the connection.
     Bye,
+    /// Coordinator → worker: adopt this row range. The artifact bytes are
+    /// a complete v3 store-slice artifact (rows `row_start ..
+    /// row_start + slice_rows` of the fleet store).
+    ShardAssign {
+        /// Session token from `HelloAck`.
+        token: u64,
+        /// Shard index within the fleet partition.
+        shard_id: u32,
+        /// Global row id of the slice's first row.
+        row_start: u64,
+        /// Encoded store-slice artifact (decoded by the same fail-closed
+        /// path as an on-disk store).
+        artifact: Vec<u8>,
+    },
+    /// Coordinator → worker: logits for **global** node ids inside the
+    /// worker's assigned range, answered as a `ShardLogits` stream
+    /// terminated by `BulkDone`.
+    ShardQuery {
+        /// Session token from `HelloAck`.
+        token: u64,
+        /// Global node ids, in answer order.
+        nodes: Vec<u64>,
+    },
+    /// Coordinator → worker: report per-chunk store fingerprints (the
+    /// consensus check; see `ServingModel::chunk_fingerprints`).
+    ShardFingerprint {
+        /// Session token from `HelloAck`.
+        token: u64,
+        /// Rows per fingerprint chunk (≥ 1).
+        chunk_rows: u64,
+    },
 }
 
 /// A server → client frame.
@@ -273,6 +334,32 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Worker → coordinator: the `ShardAssign` slice was decoded and the
+    /// worker now serves it.
+    ShardReady {
+        /// Echo of the assigned shard index.
+        shard_id: u32,
+        /// Rows the worker holds (the slice's row count).
+        rows: u64,
+    },
+    /// One row range of a `ShardQuery` answer (same shape as `BulkChunk`;
+    /// `start` indexes the *request's* node list).
+    ShardLogits {
+        /// First answer row this chunk carries.
+        start: u64,
+        /// Number of columns (classes) per row.
+        cols: u32,
+        /// `rows × cols` logits, row-major.
+        values: Vec<f64>,
+    },
+    /// Worker → coordinator: the per-chunk store fingerprints.
+    ShardFingerprintReply {
+        /// Echo of the requested chunk granularity.
+        chunk_rows: u64,
+        /// One FNV-1a-64 fingerprint per store chunk, plus the trailing
+        /// theta fingerprint.
+        fingerprints: Vec<u64>,
     },
 }
 
@@ -354,6 +441,27 @@ impl Request {
             }
             Request::Health => buf.put_u8(0x05),
             Request::Bye => buf.put_u8(0x06),
+            Request::ShardAssign { token, shard_id, row_start, artifact } => {
+                buf.put_u8(0x07);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(*shard_id);
+                buf.put_u64_le(*row_start);
+                buf.put_u32_le(u32::try_from(artifact.len()).expect("shard artifact too large"));
+                buf.put_slice(artifact);
+            }
+            Request::ShardQuery { token, nodes } => {
+                buf.put_u8(0x08);
+                buf.put_u64_le(*token);
+                buf.put_u32_le(u32::try_from(nodes.len()).expect("shard query too large"));
+                for &n in nodes {
+                    buf.put_u64_le(n);
+                }
+            }
+            Request::ShardFingerprint { token, chunk_rows } => {
+                buf.put_u8(0x09);
+                buf.put_u64_le(*token);
+                buf.put_u64_le(*chunk_rows);
+            }
         }
         buf.freeze().to_vec()
     }
@@ -388,6 +496,32 @@ impl Request {
             0x04 => Request::Stats { token: get_u64(&mut buf)? },
             0x05 => Request::Health,
             0x06 => Request::Bye,
+            0x07 => {
+                let token = get_u64(&mut buf)?;
+                let shard_id = get_u32(&mut buf)?;
+                let row_start = get_u64(&mut buf)?;
+                let len = get_u32(&mut buf)? as usize;
+                // Bound the allocation by the bytes actually present.
+                if buf.remaining() < len {
+                    return Err(DecodeError::Truncated.into());
+                }
+                let mut artifact = vec![0u8; len];
+                buf.copy_to_slice(&mut artifact);
+                Request::ShardAssign { token, shard_id, row_start, artifact }
+            }
+            0x08 => {
+                let token = get_u64(&mut buf)?;
+                let count = get_u32(&mut buf)? as usize;
+                if count.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                    return Err(DecodeError::Truncated.into());
+                }
+                let nodes = (0..count).map(|_| buf.get_u64_le()).collect();
+                Request::ShardQuery { token, nodes }
+            }
+            0x09 => Request::ShardFingerprint {
+                token: get_u64(&mut buf)?,
+                chunk_rows: get_u64(&mut buf)?,
+            },
             _ => return Err(WireError::Malformed("unknown request opcode")),
         };
         if buf.remaining() != 0 {
@@ -441,6 +575,8 @@ impl Response {
                 buf.put_u64_le(s.batches);
                 buf.put_u64_le(s.largest_batch);
                 buf.put_u64_le(s.rejected_overload);
+                buf.put_u64_le(s.quarantined);
+                buf.put_u64_le(s.failovers);
                 buf.put_u8(s.degraded as u8);
             }
             Response::HealthReply { ok } => {
@@ -454,6 +590,32 @@ impl Response {
                 let take = msg.len().min(1024);
                 buf.put_u32_le(take as u32);
                 buf.put_slice(&msg[..take]);
+            }
+            Response::ShardReady { shard_id, rows } => {
+                buf.put_u8(0x88);
+                buf.put_u32_le(*shard_id);
+                buf.put_u64_le(*rows);
+            }
+            Response::ShardLogits { start, cols, values } => {
+                buf.put_u8(0x89);
+                buf.put_u64_le(*start);
+                let cols_usize = *cols as usize;
+                debug_assert!(cols_usize > 0 && values.len() % cols_usize == 0);
+                buf.put_u32_le(u32::try_from(values.len() / cols_usize).expect("chunk too tall"));
+                buf.put_u32_le(*cols);
+                for &v in values {
+                    buf.put_f64_le(v);
+                }
+            }
+            Response::ShardFingerprintReply { chunk_rows, fingerprints } => {
+                buf.put_u8(0x8A);
+                buf.put_u64_le(*chunk_rows);
+                buf.put_u32_le(
+                    u32::try_from(fingerprints.len()).expect("fingerprint reply too large"),
+                );
+                for &f in fingerprints {
+                    buf.put_u64_le(f);
+                }
             }
         }
         buf.freeze().to_vec()
@@ -515,6 +677,8 @@ impl Response {
                 batches: get_u64(&mut buf)?,
                 largest_batch: get_u64(&mut buf)?,
                 rejected_overload: get_u64(&mut buf)?,
+                quarantined: get_u64(&mut buf)?,
+                failovers: get_u64(&mut buf)?,
                 degraded: match get_u8(&mut buf)? {
                     0 => false,
                     1 => true,
@@ -538,6 +702,34 @@ impl Response {
                 let mut msg = vec![0u8; len];
                 buf.copy_to_slice(&mut msg);
                 Response::Error { code, message: String::from_utf8_lossy(&msg).into_owned() }
+            }
+            0x88 => Response::ShardReady { shard_id: get_u32(&mut buf)?, rows: get_u64(&mut buf)? },
+            0x89 => {
+                let start = get_u64(&mut buf)?;
+                let rows = get_u32(&mut buf)? as usize;
+                let cols = get_u32(&mut buf)?;
+                let count = rows
+                    .checked_mul(cols as usize)
+                    .ok_or(WireError::Malformed("shard chunk dimensions overflow"))?;
+                if count.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                    return Err(DecodeError::Truncated.into());
+                }
+                Response::ShardLogits {
+                    start,
+                    cols,
+                    values: (0..count).map(|_| buf.get_f64_le()).collect(),
+                }
+            }
+            0x8A => {
+                let chunk_rows = get_u64(&mut buf)?;
+                let count = get_u32(&mut buf)? as usize;
+                if count.checked_mul(8).is_none_or(|b| buf.remaining() < b) {
+                    return Err(DecodeError::Truncated.into());
+                }
+                Response::ShardFingerprintReply {
+                    chunk_rows,
+                    fingerprints: (0..count).map(|_| buf.get_u64_le()).collect(),
+                }
             }
             _ => return Err(WireError::Malformed("unknown response opcode")),
         };
@@ -575,6 +767,16 @@ mod tests {
             Request::Stats { token: 1 },
             Request::Health,
             Request::Bye,
+            Request::ShardAssign {
+                token: 7,
+                shard_id: 2,
+                row_start: 24,
+                artifact: vec![0xDE, 0xAD, 0xBE, 0xEF, 0x00],
+            },
+            Request::ShardAssign { token: 7, shard_id: 0, row_start: 0, artifact: vec![] },
+            Request::ShardQuery { token: 7, nodes: vec![24, 25, u64::MAX] },
+            Request::ShardQuery { token: 7, nodes: vec![] },
+            Request::ShardFingerprint { token: 7, chunk_rows: 64 },
         ]
     }
 
@@ -600,10 +802,18 @@ mod tests {
                 batches: 3,
                 largest_batch: 4,
                 rejected_overload: 5,
+                quarantined: 6,
+                failovers: 7,
                 degraded: true,
             }),
             Response::HealthReply { ok: true },
             Response::Error { code: ErrorCode::Overloaded, message: "busy".into() },
+            Response::ShardReady { shard_id: 2, rows: 24 },
+            Response::ShardLogits { start: 8, cols: 3, values: vec![1.5, -2.0, 0.25] },
+            Response::ShardFingerprintReply {
+                chunk_rows: 64,
+                fingerprints: vec![0xCBF2_9CE4, 0, u64::MAX],
+            },
         ]
     }
 
@@ -679,6 +889,40 @@ mod tests {
         buf.put_u32_le(u32::MAX);
         let body = buf.freeze().to_vec();
         assert!(Request::decode(&body).is_err());
+    }
+
+    /// Same discipline for every fleet frame carrying a count or length:
+    /// a hostile header larger than the payload present is rejected before
+    /// any count-sized allocation.
+    #[test]
+    fn hostile_shard_counts_rejected() {
+        // ShardAssign with an artifact length beyond the body.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x07);
+        buf.put_u64_le(0);
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        buf.put_u32_le(u32::MAX);
+        assert!(Request::decode(&buf.freeze()).is_err());
+        // ShardQuery with a hostile node count.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x08);
+        buf.put_u64_le(0);
+        buf.put_u32_le(u32::MAX);
+        assert!(Request::decode(&buf.freeze()).is_err());
+        // ShardLogits with overflowing dims.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x89);
+        buf.put_u64_le(0);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        assert!(Response::decode(&buf.freeze()).is_err());
+        // ShardFingerprintReply with a hostile fingerprint count.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x8A);
+        buf.put_u64_le(64);
+        buf.put_u32_le(u32::MAX);
+        assert!(Response::decode(&buf.freeze()).is_err());
     }
 
     /// Hostile chunk dims whose product overflows must be rejected, not

@@ -10,6 +10,11 @@
 //! gcond --model model.gcon --dataset cora-ml [--mode private|public]
 //!       [--dtype f64|f32] [--scale 0.25] [--seed 1]
 //!       [--save-store store.gconstore] [--addr 127.0.0.1:7464]
+//!
+//! # Fleet shard worker: starts with NO store; a coordinator ships it a
+//! # row-range slice over the wire (ShardAssign) and it answers
+//! # ShardQuery/ShardFingerprint for that range until killed:
+//! gcond --shard [--addr 127.0.0.1:0]
 //! ```
 //!
 //! On success the daemon prints exactly one line `listening on <ADDR>` to
@@ -20,7 +25,7 @@
 //! `GCON_KERNEL_TIER` compute knobs.
 
 use gcon::core::serialize;
-use gcon::serve::{Server, ServerConfig, ServingMode, ServingModel, StoreDtype};
+use gcon::serve::{Server, ServerConfig, ServingMode, ServingModel, ShardWorker, StoreDtype};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -32,13 +37,20 @@ struct Args {
 }
 
 impl Args {
+    /// Flags that take no value (presence is the value).
+    const BOOLEAN: &'static [&'static str] = &["shard"];
+
     fn parse(argv: &[String]) -> Result<Self, String> {
         let mut flags = HashMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(k) = it.next() {
             let key = k.strip_prefix("--").ok_or_else(|| format!("expected --flag, got `{k}`"))?;
-            let val = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
-            if flags.insert(key.to_string(), val.clone()).is_some() {
+            let val = if Self::BOOLEAN.contains(&key) {
+                "true".to_string()
+            } else {
+                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.clone()
+            };
+            if flags.insert(key.to_string(), val).is_some() {
                 return Err(format!("flag --{key} given twice"));
             }
         }
@@ -112,9 +124,19 @@ fn obtain_store(args: &Args) -> Result<ServingModel, String> {
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&argv)?;
-    let store = obtain_store(&args)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7464");
     let config = ServerConfig::from_env();
+    if args.get("shard").is_some() {
+        if args.get("store").is_some() || args.get("model").is_some() {
+            return Err("--shard workers take no store; a coordinator assigns one".into());
+        }
+        let worker =
+            ShardWorker::bind(config, addr).map_err(|e| format!("binding `{addr}`: {e}"))?;
+        println!("listening on {}", worker.local_addr());
+        std::io::stdout().flush().ok();
+        return worker.run().map_err(|e| format!("serving: {e}"));
+    }
+    let store = obtain_store(&args)?;
     let server =
         Server::bind(&store, config, addr).map_err(|e| format!("binding `{addr}`: {e}"))?;
     // The contract tests and tooling rely on: one line, flushed, with the
@@ -132,7 +154,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: gcond --store FILE [--addr HOST:PORT]\n\
                  \u{20}      gcond --model FILE --dataset NAME [--mode private|public] \
-                 [--dtype f64|f32] [--scale S] [--seed N] [--save-store FILE] [--addr HOST:PORT]"
+                 [--dtype f64|f32] [--scale S] [--seed N] [--save-store FILE] [--addr HOST:PORT]\n\
+                 \u{20}      gcond --shard [--addr HOST:PORT]"
             );
             ExitCode::FAILURE
         }

@@ -1,0 +1,227 @@
+//! Fleet fault-injection suite: real `gcond --shard` worker processes,
+//! real failures.
+//!
+//! - **Crash failover**: `kill -9` a replica while bulk traffic is in
+//!   flight — every answer the caller sees (including the ones rerouted
+//!   mid-storm) must stay bitwise identical to the single-process store,
+//!   and the failover must be surfaced in the coordinator's stats.
+//! - **Consensus quarantine**: corrupt one replica's store by a single
+//!   decodable bit flip — `consensus_check` must quarantine exactly that
+//!   replica, surface it in `Stats`, and keep serving bitwise-correct
+//!   answers from the healthy replica.
+//! - **Exhaustion**: a shard whose only replica died answers with a typed
+//!   `NoHealthyReplica` error, never a hang or a wrong answer.
+
+use gcon::core::train::train_gcon;
+use gcon::core::GconConfig;
+use gcon::linalg::Mat;
+use gcon::serve::{
+    Coordinator, FleetConfig, FleetError, GconClient, ServingMode, ServingModel, StoreDtype,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One trained private-mode f64 store per test binary (f64 so "bitwise
+/// correct" means bitwise vs the exact same store the coordinator sliced).
+fn store() -> &'static ServingModel {
+    static STORE: OnceLock<ServingModel> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let dataset = gcon::datasets::two_moons_graph(11);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut config = GconConfig::default();
+        config.encoder.epochs = 10;
+        config.optimizer.max_iters = 60;
+        let model = train_gcon(
+            &config,
+            &dataset.graph,
+            &dataset.features,
+            &dataset.labels,
+            &dataset.split.train,
+            dataset.num_classes,
+            2.0,
+            dataset.default_delta(),
+            &mut rng,
+        );
+        ServingModel::build_with_dtype(
+            &model,
+            &dataset.graph,
+            &dataset.features,
+            ServingMode::Private,
+            StoreDtype::F64,
+        )
+    })
+}
+
+struct ShardDaemon {
+    child: Child,
+    addr: String,
+}
+
+impl ShardDaemon {
+    fn spawn() -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_gcond"))
+            .arg("--shard")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawning gcond --shard");
+        let stdout = child.stdout.take().expect("gcond stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("reading gcond banner");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected gcond banner: {line:?}"))
+            .to_string();
+        Self { child, addr }
+    }
+
+    /// SIGKILL — no shutdown handshake, no flush: the hard-crash case.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardDaemon {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+/// In-process ground truth: the full logit matrix of the fixture store.
+fn ground_truth() -> Mat {
+    let store = store();
+    let n = store.num_nodes();
+    store.session().logits_batch(&(0..n).collect::<Vec<_>>()).clone()
+}
+
+/// Crash failover under fire: one shard, two replicas, bulk traffic
+/// running in a loop while the preferred replica is SIGKILLed from
+/// another thread. Every bulk — before, during, and after the crash —
+/// must succeed with bitwise-correct rows; afterwards the coordinator
+/// must report the failover and the dead replica.
+#[test]
+fn kill9_mid_bulk_fails_over_with_bitwise_answers() {
+    let store = store();
+    let truth = ground_truth();
+    let n = store.num_nodes() as u64;
+    let mut preferred = ShardDaemon::spawn();
+    let backup = ShardDaemon::spawn();
+    let topology = vec![vec![preferred.addr.clone(), backup.addr.clone()]];
+    let fleet = Coordinator::deploy(store, &topology, FleetConfig::default()).unwrap();
+
+    let nodes: Vec<u64> = (0..n).collect();
+    std::thread::scope(|scope| {
+        let killer = scope.spawn(move || {
+            // Land the SIGKILL while the query loop below is mid-storm.
+            std::thread::sleep(Duration::from_millis(60));
+            preferred.kill9();
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut iterations = 0u32;
+        while std::time::Instant::now() < deadline {
+            let bulk = fleet.bulk(&nodes).unwrap_or_else(|e| {
+                panic!("bulk {iterations} must survive the crash via failover: {e}")
+            });
+            assert_eq!(
+                bulk.as_slice(),
+                truth.as_slice(),
+                "bulk {iterations}: failover answers must be bitwise identical"
+            );
+            iterations += 1;
+            if killer.is_finished() && fleet.stats().failovers > 0 && iterations >= 5 {
+                break;
+            }
+        }
+        killer.join().unwrap();
+        assert!(iterations >= 5, "the loop must have run across the crash window");
+    });
+
+    let stats = fleet.stats();
+    assert!(stats.failovers >= 1, "the crash must be visible as a failover: {stats:?}");
+    assert_eq!(stats.dead, 1, "exactly the killed replica is dead: {stats:?}");
+    assert!(fleet.wire_stats().degraded, "a dead replica degrades fleet health");
+    // Single queries keep working on the surviving replica.
+    assert_eq!(fleet.query(0).unwrap().as_slice(), truth.row(0));
+}
+
+/// Consensus quarantine: a single decodable bit flip in one replica's
+/// store (injected by re-assigning a tampered artifact out-of-band) is
+/// caught by fingerprint cross-checking, the replica is quarantined and
+/// surfaced in `Stats`, and answers stay bitwise-correct throughout.
+#[test]
+fn flipped_fingerprint_quarantines_replica_and_surfaces_in_stats() {
+    let store = store();
+    let truth = ground_truth();
+    let daemons: Vec<ShardDaemon> = (0..2).map(|_| ShardDaemon::spawn()).collect();
+    let topology = vec![vec![daemons[0].addr.clone(), daemons[1].addr.clone()]];
+    let fleet = Coordinator::deploy(store, &topology, FleetConfig::default()).unwrap();
+    assert_eq!(fleet.stats().quarantined, 0, "deploy-time consensus starts clean");
+
+    // Tamper with replica 1 behind the coordinator's back: flip one
+    // mantissa bit in the artifact (still decodes — same shape, same
+    // header, one wrong weight: the worst corruption case, invisible to
+    // frame validation and caught only by content fingerprints).
+    let mut artifact = store.slice_bytes(0, store.num_nodes()).to_vec();
+    let len = artifact.len();
+    artifact[len - 3] ^= 0x01;
+    let mut side = GconClient::connect(daemons[1].addr.as_str()).expect("side channel");
+    side.shard_assign(0, 0, &artifact).expect("tampered artifact still decodes");
+
+    let report = fleet.consensus_check();
+    assert_eq!(report.quarantined, vec![(0, 1)], "exactly the tampered replica: {report:?}");
+    assert!(report.unreachable.is_empty());
+    let stats = fleet.stats();
+    assert_eq!(stats.quarantined, 1, "quarantine must be surfaced in stats: {stats:?}");
+    let wire = fleet.wire_stats();
+    assert_eq!(wire.quarantined, 1, "and in the wire Stats shape: {wire:?}");
+    assert!(wire.degraded);
+    assert_eq!(
+        fleet.replica_health(0),
+        vec![(daemons[0].addr.clone(), true), (daemons[1].addr.clone(), false),]
+    );
+
+    // All traffic now lands on the clean replica — bitwise correct.
+    let nodes: Vec<u64> = (0..store.num_nodes() as u64).collect();
+    assert_eq!(fleet.bulk(&nodes).unwrap().as_slice(), truth.as_slice());
+    assert_eq!(fleet.stats().failovers, 0, "quarantine routing is not a failover");
+
+    // A second sweep is idempotent: the quarantined replica is skipped,
+    // nothing new is quarantined.
+    let report = fleet.consensus_check();
+    assert!(report.quarantined.is_empty());
+    assert_eq!(fleet.stats().quarantined, 1);
+}
+
+/// A shard with no replica left answers with a typed error — and other
+/// shards keep serving.
+#[test]
+fn exhausted_shard_is_a_typed_error_and_others_keep_serving() {
+    let store = store();
+    let truth = ground_truth();
+    let n = store.num_nodes() as u64;
+    let mut lone = ShardDaemon::spawn();
+    let healthy = ShardDaemon::spawn();
+    // Shard 0 has a single replica; shard 1 is healthy.
+    let topology = vec![vec![lone.addr.clone()], vec![healthy.addr.clone()]];
+    // fail fast: a SIGKILLed process cannot come back
+    let cfg = FleetConfig { retries: 0, ..Default::default() };
+    let fleet = Coordinator::deploy(store, &topology, cfg).unwrap();
+    lone.kill9();
+    // Shard 0 (rows [0, n/2)) is gone…
+    assert!(matches!(fleet.query(0), Err(FleetError::NoHealthyReplica { shard: 0 })));
+    // …and a bulk touching it fails the same way, typed.
+    assert!(matches!(fleet.bulk(&[0, n - 1]), Err(FleetError::NoHealthyReplica { shard: 0 })));
+    // Shard 1 still answers bitwise.
+    assert_eq!(fleet.query(n - 1).unwrap().as_slice(), truth.row(n as usize - 1));
+    let stats = fleet.stats();
+    assert_eq!(stats.dead, 1);
+    assert!(stats.failovers >= 1, "the exhausted search is counted: {stats:?}");
+}

@@ -37,23 +37,27 @@ fn model_bytes() -> &'static [u8] {
     })
 }
 
-/// A small store artifact (f64 and f32) encoded once.
-fn store_bytes() -> &'static [Vec<u8>; 2] {
-    static BYTES: OnceLock<[Vec<u8>; 2]> = OnceLock::new();
+/// A small store artifact (f64, f32, and a row-range **slice** — the
+/// shard-handoff payload the fleet coordinator ships in `ShardAssign`
+/// frames) encoded once.
+fn store_bytes() -> &'static [Vec<u8>; 3] {
+    static BYTES: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
     BYTES.get_or_init(|| {
         let store = Mat::from_fn(9, 4, |i, j| (i as f64 - 3.5) * 0.25 + j as f64);
         let theta = Mat::from_fn(4, 3, |i, j| 1.0 / (1.0 + (i * 3 + j) as f64));
-        let f64_bytes = serialize::store_to_bytes(&PersistedStore {
+        let f64_store = PersistedStore {
             mode_tag: 1,
             data: StoreArtifact::F64 { store: store.clone(), theta: theta.clone() },
-        });
+        };
+        let f64_bytes = serialize::store_to_bytes(&f64_store);
+        let slice_bytes = serialize::store_to_bytes(&f64_store.slice_rows(2, 7));
         let store32 = Mat::<f32>::from_fn(9, 4, |i, j| (i as f32) * 0.5 - j as f32);
         let theta32 = Mat::<f32>::from_fn(4, 3, |i, j| ((i + j) as f32).sin());
         let f32_bytes = serialize::store_to_bytes(&PersistedStore {
             mode_tag: 0,
             data: StoreArtifact::F32 { store: store32, theta: theta32 },
         });
-        [f64_bytes.to_vec(), f32_bytes.to_vec()]
+        [f64_bytes.to_vec(), f32_bytes.to_vec(), slice_bytes.to_vec()]
     })
 }
 
@@ -66,10 +70,21 @@ fn wire_bodies() -> Vec<Vec<u8>> {
         Request::Stats { token: 77 }.encode(),
         Request::Health.encode(),
         Request::Bye.encode(),
+        // Fleet shard frames (proto v2): the assign payload carries an
+        // embedded artifact blob, the query carries global node ids.
+        Request::ShardAssign { token: 77, shard_id: 1, row_start: 4, artifact: vec![9; 24] }
+            .encode(),
+        Request::ShardQuery { token: 77, nodes: vec![4, 5, 6] }.encode(),
+        Request::ShardFingerprint { token: 77, chunk_rows: 64 }.encode(),
     ];
     bodies.push(Response::Logits { values: vec![0.25, -3.5] }.encode());
     bodies.push(Response::BulkChunk { start: 2, cols: 2, values: vec![1.0, 2.0] }.encode());
     bodies.push(Response::BulkDone { total_rows: 3 }.encode());
+    bodies.push(Response::ShardReady { shard_id: 1, rows: 5 }.encode());
+    bodies.push(Response::ShardLogits { start: 1, cols: 2, values: vec![0.5, -1.5] }.encode());
+    bodies.push(
+        Response::ShardFingerprintReply { chunk_rows: 64, fingerprints: vec![7, 8] }.encode(),
+    );
     bodies
 }
 

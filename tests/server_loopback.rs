@@ -305,6 +305,47 @@ fn idle_connections_are_reclaimed_by_read_timeout() {
     assert!(!client.logits(1).expect("query").is_empty());
 }
 
+/// The reconnect/retry path: a server-side idle drop (read timeout
+/// reclaiming the session) kills the connection under the client. A
+/// zero-retry client surfaces the failure; a client with
+/// `with_retries` transparently reconnects — fresh TCP, fresh `Hello`,
+/// fresh token — replays the request, and still answers bitwise. The
+/// retry budget is bounded: against a dead server it errors out instead
+/// of hanging.
+#[test]
+fn client_retry_survives_server_side_drop_with_fresh_handshake() {
+    let daemon = Daemon::spawn_with_env(&[("GCON_SERVER_READ_TIMEOUT_MS", "200")]);
+    let (model, graph, x, _) = fixture();
+    let reference = private_logits(model, graph, x);
+    let mut plain = GconClient::connect(&daemon.addr).expect("connect");
+    let mut retrying = GconClient::connect(&daemon.addr).expect("connect").with_retries(2);
+    assert_eq!(plain.logits(0).expect("warm query").as_slice(), reference.row(0));
+    assert_eq!(retrying.logits(0).expect("warm query").as_slice(), reference.row(0));
+
+    // Idle past the server's 200 ms read timeout: both sessions are
+    // reclaimed server-side.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(plain.logits(1).is_err(), "zero-retry client must surface the dropped session");
+    assert_eq!(
+        retrying.logits(1).expect("retried query").as_slice(),
+        reference.row(1),
+        "reconnect-and-replay must answer bitwise"
+    );
+
+    // Bulk rides the same retry path (the whole stream is replayed).
+    std::thread::sleep(Duration::from_millis(600));
+    let nodes: Vec<u64> = (0..graph.num_nodes() as u64).collect();
+    let bulk = retrying.logits_bulk(&nodes).expect("retried bulk");
+    assert_eq!(bulk.as_slice(), reference.as_slice(), "retried bulk must be bitwise");
+
+    // Against a dead server the retry budget is bounded: a typed error,
+    // promptly, not a hang.
+    drop(daemon);
+    let started = std::time::Instant::now();
+    assert!(retrying.logits(2).is_err(), "retries against a dead server must exhaust");
+    assert!(started.elapsed() < Duration::from_secs(20), "bounded retry must not hang");
+}
+
 /// The bounded-inflight gate: with `GCON_SERVER_MAX_INFLIGHT=1`, 8-way
 /// concurrent queries must either succeed or be rejected with a typed
 /// `Overloaded` error (never a hang, never a panic), and the server-side
